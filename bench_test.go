@@ -1,0 +1,259 @@
+// Package exacoll's root benchmark suite: one testing.B benchmark per
+// table/figure of the paper's evaluation. Two kinds of measurement:
+//
+//   - Benchmark* running collectives on the in-memory transport measure
+//     real wall-clock per operation on this host (useful for relative
+//     comparisons and regression tracking);
+//   - Benchmark*Sim running the deterministic machine simulator report
+//     the simulated collective latency in the custom metric
+//     "sim-us/op" (the numbers EXPERIMENTS.md records), while ns/op
+//     measures the simulator's own speed.
+//
+// The full paper-scale figure data is produced by cmd/gcabench; these
+// benches exercise the same code paths at a size that completes in
+// seconds.
+package exacoll
+
+import (
+	"fmt"
+	"testing"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/transport/mem"
+)
+
+// runWall runs one collective repeatedly across a mem world and reports
+// wall time per operation.
+func runWall(b *testing.B, p int, op core.CollOp, algName string, n, k int) {
+	b.Helper()
+	alg, err := core.Lookup(algName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := mem.NewWorld(p)
+	defer w.Close()
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	err = w.Run(func(c comm.Comm) error {
+		for i := 0; i < b.N; i++ {
+			a := bench.MakeArgs(op, c.Rank(), p, n, 0, k)
+			if err := alg.Run(c, a); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// runSim times one simulated collective per iteration and reports the
+// virtual latency as sim-us/op.
+func runSim(b *testing.B, spec machine.Spec, p int, algName string, n, k int) {
+	b.Helper()
+	fn, op, err := bench.AlgFn(algName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		t, err := bench.SimLatency(spec, p, op, fn, n, 0, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(last*1e6, "sim-us/op")
+}
+
+// BenchmarkTable1 exercises each of Table I's 10 generalized algorithms on
+// the in-memory transport (p=8, 4 KiB, k=4).
+func BenchmarkTable1(b *testing.B) {
+	for _, alg := range core.TableIAlgorithms() {
+		switch alg.Op {
+		case core.OpBcast, core.OpReduce, core.OpAllgather, core.OpAllreduce:
+			alg := alg
+			b.Run(alg.Name, func(b *testing.B) {
+				runWall(b, 8, alg.Op, alg.Name, 4096, 4)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7DefaultRadix compares each generalized algorithm at its
+// default radix with its fixed-radix baseline (wall clock; the slowdown
+// claim of Fig. 7).
+func BenchmarkFig7DefaultRadix(b *testing.B) {
+	pairs := []struct {
+		gen, base string
+		op        core.CollOp
+		k         int
+	}{
+		{"bcast_knomial", "bcast_binomial", core.OpBcast, 2},
+		{"reduce_knomial", "reduce_binomial", core.OpReduce, 2},
+		{"allreduce_recmul", "allreduce_recdbl", core.OpAllreduce, 2},
+		{"allgather_recmul", "allgather_recdbl", core.OpAllgather, 2},
+		{"bcast_kring", "bcast_ring", core.OpBcast, 1},
+		{"allreduce_kring", "allreduce_ring", core.OpAllreduce, 1},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		b.Run(pr.gen, func(b *testing.B) { runWall(b, 8, pr.op, pr.gen, 16<<10, pr.k) })
+		b.Run(pr.base, func(b *testing.B) { runWall(b, 8, pr.op, pr.base, 16<<10, 0) })
+	}
+}
+
+// BenchmarkFig8aKnomialReduceSim sweeps the k-nomial reduce radix on
+// simulated Frontier (the Fig. 8a k-sweep).
+func BenchmarkFig8aKnomialReduceSim(b *testing.B) {
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		for _, n := range []int{8, 64 << 10} {
+			b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
+				runSim(b, machine.Frontier(), 32, "reduce_knomial", n, k)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8bRecMulAllreduceSim sweeps the recursive-multiplying
+// allreduce radix on simulated Frontier (Fig. 8b; optimal near the port
+// count, 4).
+func BenchmarkFig8bRecMulAllreduceSim(b *testing.B) {
+	for _, k := range []int{2, 3, 4, 5, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			runSim(b, machine.Frontier(), 32, "allreduce_recmul", 64<<10, k)
+		})
+	}
+}
+
+// BenchmarkFig8cKRingBcastSim sweeps the k-ring bcast group size on
+// simulated Frontier with 8 PPN (Fig. 8c; optimal at k = PPN = 8).
+func BenchmarkFig8cKRingBcastSim(b *testing.B) {
+	spec := machine.Frontier().WithPPN(8)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			runSim(b, spec, 64, "bcast_kring", 1<<20, k)
+		})
+	}
+}
+
+// BenchmarkFig9Collectives runs the best-vs-baseline matchups of Fig. 9 on
+// the in-memory transport.
+func BenchmarkFig9Collectives(b *testing.B) {
+	cases := []struct {
+		name string
+		op   core.CollOp
+		alg  string
+		n, k int
+	}{
+		{"reduce/best", core.OpReduce, "reduce_knomial", 1 << 10, 8},
+		{"reduce/baseline", core.OpReduce, "reduce_binomial", 1 << 10, 0},
+		{"bcast/best", core.OpBcast, "bcast_recmul", 1 << 20, 4},
+		{"bcast/baseline", core.OpBcast, "bcast_ring", 1 << 20, 0},
+		{"allgather/best", core.OpAllgather, "allgather_recmul", 4 << 10, 4},
+		{"allgather/baseline", core.OpAllgather, "allgather_ring", 4 << 10, 0},
+		{"allreduce/best", core.OpAllreduce, "allreduce_recmul", 64 << 10, 4},
+		{"allreduce/baseline", core.OpAllreduce, "allreduce_recdbl", 64 << 10, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) { runWall(b, 8, tc.op, tc.alg, tc.n, tc.k) })
+	}
+}
+
+// BenchmarkFig10ScaleSim measures the large-scale trends of Fig. 10 at a
+// bench-tractable size (p=256 on simulated Frontier).
+func BenchmarkFig10ScaleSim(b *testing.B) {
+	for _, tc := range []struct {
+		name, alg string
+		n, k      int
+	}{
+		{"reduce/k=2", "reduce_knomial", 1 << 10, 2},
+		{"reduce/k=32", "reduce_knomial", 1 << 10, 32},
+		{"reduce/k=256", "reduce_knomial", 1 << 10, 256},
+		{"allreduce/k=2", "allreduce_recmul", 64 << 10, 2},
+		{"allreduce/k=4", "allreduce_recmul", 64 << 10, 4},
+		{"allreduce/k=8", "allreduce_recmul", 64 << 10, 8},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			runSim(b, machine.Frontier(), 256, tc.alg, tc.n, tc.k)
+		})
+	}
+}
+
+// BenchmarkFig11PolarisSim mirrors Fig. 11 on simulated Polaris (2 NIC
+// ports: recursive multiplying favors k=4/8, multiples of 2).
+func BenchmarkFig11PolarisSim(b *testing.B) {
+	for _, k := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("allreduce/k=%d", k), func(b *testing.B) {
+			runSim(b, machine.Polaris(), 32, "allreduce_recmul", 64<<10, k)
+		})
+	}
+}
+
+// BenchmarkExtensions exercises the beyond-Table-I algorithms: prefix
+// scans and the pipelined chain bcast.
+func BenchmarkExtensions(b *testing.B) {
+	b.Run("scan_linear", func(b *testing.B) { runWall(b, 8, core.OpScan, "scan_linear", 16<<10, 0) })
+	b.Run("scan_hillissteele", func(b *testing.B) { runWall(b, 8, core.OpScan, "scan_hillissteele", 16<<10, 0) })
+	b.Run("bcast_chain", func(b *testing.B) { runWall(b, 8, core.OpBcast, "bcast_chain", 1<<20, 0) })
+	b.Run("bcast_knomial_pipelined", func(b *testing.B) {
+		runWall(b, 8, core.OpBcast, "bcast_knomial_pipelined", 1<<20, 4)
+	})
+	b.Run("allreduce_hier", func(b *testing.B) { runWall(b, 8, core.OpAllreduce, "allreduce_hier", 64<<10, 4) })
+}
+
+// BenchmarkTransportPingPong compares the raw substrates.
+func BenchmarkTransportPingPong(b *testing.B) {
+	w := mem.NewWorld(2)
+	defer w.Close()
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	err := w.Run(func(c comm.Comm) error {
+		in := make([]byte, 4096)
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				if err := c.Send(1, 1, buf); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 2, in); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(0, 1, in); err != nil {
+					return err
+				}
+				if err := c.Send(0, 2, buf); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleConstruction measures k-ring schedule building (it runs
+// per collective invocation).
+func BenchmarkScheduleConstruction(b *testing.B) {
+	for _, tc := range []struct{ p, k int }{{64, 8}, {256, 8}, {1024, 8}} {
+		tc := tc
+		b.Run(fmt.Sprintf("p=%d", tc.p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := core.KRingSchedule(tc.p, tc.k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = s
+			}
+		})
+	}
+}

@@ -1,0 +1,185 @@
+// Command gcabench regenerates the paper's evaluation figures on the
+// machine simulator and writes one TSV per grid (plus optional ASCII
+// plots to stdout).
+//
+// Usage:
+//
+//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|model|table1|all
+//
+// Flags:
+//
+//	-out DIR     output directory for TSVs (default "results")
+//	-quick       shrunken sweeps (smoke test)
+//	-nodes N     main evaluation node count (default 128)
+//	-large N     scale-study node count (default 1024)
+//	-ppnnodes N  node count for 8-PPN runs (default 32)
+//	-ascii       also render ASCII plots to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/machine"
+	"exacoll/internal/model"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory for TSV files")
+	quick := flag.Bool("quick", false, "shrunken sweeps for smoke testing")
+	nodes := flag.Int("nodes", 128, "main evaluation node count")
+	large := flag.Int("large", 1024, "scale-study node count")
+	ppnNodes := flag.Int("ppnnodes", 32, "node count for 8-PPN runs")
+	ascii := flag.Bool("ascii", false, "render ASCII plots to stdout")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|model|table1|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Nodes = *nodes
+	cfg.LargeNodes = *large
+	cfg.PPNNodes = *ppnNodes
+	if *quick {
+		q := bench.QuickConfig()
+		q.Quick = true
+		cfg = q
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	targets := map[string]func() (*bench.Figure, error){
+		"fig7":  cfg.Fig7,
+		"fig8":  cfg.Fig8,
+		"fig9":  cfg.Fig9,
+		"fig10": cfg.Fig10,
+		"fig11": cfg.Fig11,
+	}
+	order := []string{"fig7", "fig8", "fig9", "fig10", "fig11"}
+
+	for _, arg := range flag.Args() {
+		switch arg {
+		case "all":
+			emitTable1(*out)
+			emitModel(*out, cfg, *ascii)
+			for _, id := range order {
+				runFigure(targets[id], *out, *ascii)
+			}
+		case "table1":
+			emitTable1(*out)
+		case "model":
+			emitModel(*out, cfg, *ascii)
+		default:
+			f, ok := targets[arg]
+			if !ok {
+				fatal(fmt.Errorf("unknown target %q", arg))
+			}
+			runFigure(f, *out, *ascii)
+		}
+	}
+}
+
+func runFigure(f func() (*bench.Figure, error), out string, ascii bool) {
+	fig, err := f()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== %s: %s\n", fig.ID, fig.Caption)
+	for _, note := range fig.Notes {
+		fmt.Printf("   note: %s\n", note)
+	}
+	for i, g := range fig.Grids {
+		name := fmt.Sprintf("%s_%c.tsv", fig.ID, 'a'+i)
+		if len(fig.Grids) == 1 {
+			name = fig.ID + ".tsv"
+		}
+		path := filepath.Join(out, name)
+		fh, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteTSV(fh); err != nil {
+			fatal(err)
+		}
+		fh.Close()
+		fmt.Printf("   wrote %s (%d x %d)\n", path, len(g.Xs), len(g.Series))
+		if ascii {
+			if err := g.RenderASCII(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func emitTable1(out string) {
+	path := filepath.Join(out, "table1.tsv")
+	if err := os.WriteFile(path, []byte(bench.Table1()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== table1\n%s   wrote %s\n", indent(bench.Table1()), path)
+}
+
+// emitModel writes the analytical-model counterparts of Fig. 8: predicted
+// latency vs k for each generalized kernel, for side-by-side comparison
+// with the simulator's "measured" grids (the §VI-F accuracy discussion).
+func emitModel(out string, cfg bench.Config, ascii bool) {
+	inter, intra := model.FromSpec(machine.Frontier())
+	p := cfg.Nodes
+	sizes := []int{8, 1 << 10, 64 << 10, 1 << 20}
+
+	emit := func(id string, ks []int, predict func(n, k int) float64) {
+		g := &bench.Grid{
+			Title: fmt.Sprintf("%s: analytical model, p=%d, frontier", id, p),
+			XName: "k", YName: "latency_us", Xs: ks,
+		}
+		for _, n := range sizes {
+			ys := make([]float64, len(ks))
+			for i, k := range ks {
+				ys[i] = predict(n, k) * 1e6
+			}
+			if err := g.AddSeries(fmt.Sprintf("%dB", n), ys); err != nil {
+				fatal(err)
+			}
+		}
+		path := filepath.Join(out, id+".tsv")
+		fh, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteTSV(fh); err != nil {
+			fatal(err)
+		}
+		fh.Close()
+		fmt.Printf("   wrote %s\n", path)
+		if ascii {
+			g.RenderASCII(os.Stdout)
+		}
+	}
+
+	fmt.Println("== model: analytical cost models (eqs. 1-14) as k-sweeps")
+	emit("model_knomial_reduce", []int{2, 4, 8, 16, 32, 64, 128},
+		func(n, k int) float64 { return inter.ReduceKnomial(n, p, k) })
+	emit("model_recmul_allreduce", []int{2, 3, 4, 5, 6, 8, 12, 16},
+		func(n, k int) float64 { return inter.AllreduceRecMul(n, p, k) })
+	emit("model_kring_bcast", []int{1, 2, 4, 8, 16, 32},
+		func(n, k int) float64 { return inter.AllgatherKRing(n, p*8, k, intra) })
+}
+
+func indent(s string) string {
+	return "   " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n   ") + "\n"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcabench:", err)
+	os.Exit(1)
+}

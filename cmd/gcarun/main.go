@@ -1,0 +1,202 @@
+// Command gcarun runs one collective across real OS processes over TCP —
+// the mpirun-style launcher for the library. Start one process per rank
+// with the same -size and -addr; rank 0 listens, the rest dial in.
+//
+// Example (3 ranks of an allreduce on one host):
+//
+//	gcarun -rank 0 -size 3 -addr 127.0.0.1:7777 -coll allreduce -alg allreduce_recmul -k 3 -bytes 1024 &
+//	gcarun -rank 1 -size 3 -addr 127.0.0.1:7777 -coll allreduce -alg allreduce_recmul -k 3 -bytes 1024 &
+//	gcarun -rank 2 -size 3 -addr 127.0.0.1:7777 -coll allreduce -alg allreduce_recmul -k 3 -bytes 1024
+//
+// With -spawn N (rank -1), gcarun forks N copies of itself and acts as
+// the launcher, so a full run is one command:
+//
+//	gcarun -spawn 3 -coll allreduce -alg allreduce_recmul -k 3 -bytes 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/osu"
+	"exacoll/internal/transport/tcp"
+)
+
+func main() {
+	rank := flag.Int("rank", -1, "this process's rank (set by -spawn)")
+	size := flag.Int("size", 0, "total ranks")
+	addr := flag.String("addr", "127.0.0.1:7777", "rank 0 rendezvous address")
+	coll := flag.String("coll", "allreduce", "collective: bcast|reduce|gather|scatter|allgather|allreduce|reducescatter|alltoall")
+	algName := flag.String("alg", "", "algorithm registry name (default: a sensible generalized choice)")
+	k := flag.Int("k", 4, "radix for generalized algorithms")
+	nbytes := flag.Int("bytes", 1024, "message size in bytes")
+	root := flag.Int("root", 0, "root rank for rooted collectives")
+	iters := flag.Int("iters", 10, "timed iterations")
+	spawn := flag.Int("spawn", 0, "spawn N local ranks and act as launcher")
+	flag.Parse()
+
+	if *spawn > 0 {
+		launch(*spawn)
+		return
+	}
+	if *rank < 0 || *size < 1 {
+		fatal(fmt.Errorf("need -rank and -size (or -spawn N)"))
+	}
+
+	op, err := parseOp(*coll)
+	if err != nil {
+		fatal(err)
+	}
+	name := *algName
+	if name == "" {
+		name = defaultAlg(op)
+	}
+	alg, err := core.Lookup(name)
+	if err != nil {
+		fatal(err)
+	}
+	if alg.Op != op {
+		fatal(fmt.Errorf("%s implements %v, not %v", name, alg.Op, op))
+	}
+
+	c, err := tcp.Rendezvous(*rank, *size, *addr, tcp.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	n := bench.RoundSize(*nbytes)
+	// OSU protocol: warmup, barrier, timed loop, cross-rank statistics.
+	stats, err := osu.Algorithm(c, name, n, *root, *k, osu.Options{Warmup: 3, Iters: *iters})
+	if err != nil {
+		fatal(err)
+	}
+	if *rank == 0 {
+		fmt.Printf("%s %s n=%dB k=%d p=%d: %s\n", op, name, n, *k, *size, stats)
+	}
+
+	// Correctness spot check for reductions: sum of MakeArgs float64
+	// patterns is deterministic, so verify one element on every rank.
+	if op == core.OpAllreduce {
+		a := bench.MakeArgs(op, *rank, *size, n, *root, *k)
+		if err := alg.Run(c, a); err != nil {
+			fatal(err)
+		}
+		var want float64
+		for r := 0; r < *size; r++ {
+			b := bench.MakeArgs(op, r, *size, n, *root, *k)
+			want += datatype.DecodeFloat64(b.SendBuf[:8])[0]
+		}
+		got := datatype.DecodeFloat64(a.RecvBuf[:8])[0]
+		if got != want {
+			fatal(fmt.Errorf("verification failed: element 0 = %g, want %g", got, want))
+		}
+		fmt.Printf("rank %d: verified\n", *rank)
+	}
+	// Final barrier so no rank tears its connections down while a peer is
+	// still inside the last collective.
+	if err := core.BarrierDissemination(c); err != nil {
+		fatal(err)
+	}
+}
+
+// launch re-executes this binary once per rank with the original flags.
+func launch(n int) {
+	self, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	args := []string{}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "spawn" {
+			return
+		}
+		args = append(args, "-"+f.Name, f.Value.String())
+	})
+	if !flagSet("size") {
+		args = append(args, "-size", strconv.Itoa(n))
+	}
+	procs := make([]*exec.Cmd, n)
+	for r := 0; r < n; r++ {
+		cmd := exec.Command(self, append(append([]string{}, args...), "-rank", strconv.Itoa(r))...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		procs[r] = cmd
+	}
+	code := 0
+	for r, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "gcarun: rank %d: %v\n", r, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func parseOp(s string) (core.CollOp, error) {
+	switch s {
+	case "bcast":
+		return core.OpBcast, nil
+	case "reduce":
+		return core.OpReduce, nil
+	case "gather":
+		return core.OpGather, nil
+	case "scatter":
+		return core.OpScatter, nil
+	case "allgather":
+		return core.OpAllgather, nil
+	case "allreduce":
+		return core.OpAllreduce, nil
+	case "reducescatter":
+		return core.OpReduceScatter, nil
+	case "alltoall":
+		return core.OpAlltoall, nil
+	}
+	return 0, fmt.Errorf("unknown collective %q", s)
+}
+
+func defaultAlg(op core.CollOp) string {
+	switch op {
+	case core.OpBcast:
+		return "bcast_knomial"
+	case core.OpReduce:
+		return "reduce_knomial"
+	case core.OpGather:
+		return "gather_knomial"
+	case core.OpScatter:
+		return "scatter_knomial"
+	case core.OpAllgather:
+		return "allgather_recmul"
+	case core.OpReduceScatter:
+		return "reducescatter_kring"
+	case core.OpAlltoall:
+		return "alltoall_bruck"
+	default:
+		return "allreduce_recmul"
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcarun:", err)
+	os.Exit(1)
+}

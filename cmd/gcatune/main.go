@@ -1,0 +1,125 @@
+// Command gcatune generates a §VI-G selection configuration for a machine
+// by exhaustively benchmarking every (algorithm, radix) candidate on the
+// simulator and writing the winning ladder as JSON. Point gca.WithTable
+// (or the runtime selection in your application) at the file to get the
+// speedups transparently.
+//
+// Usage:
+//
+//	gcatune -machine frontier -p 128 -ppn 1 -o frontier-128.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/tuning"
+)
+
+func main() {
+	mach := flag.String("machine", "frontier", "machine model: frontier|polaris|testbox")
+	p := flag.Int("p", 32, "communicator size to tune for")
+	ppn := flag.Int("ppn", 1, "processes per node")
+	out := flag.String("o", "", "output file (default stdout)")
+	maxBytes := flag.Int("maxbytes", 1<<20, "largest message size to tune")
+	quick := flag.Bool("quick", false, "coarser sweeps")
+	flag.Parse()
+
+	var spec machine.Spec
+	switch *mach {
+	case "frontier":
+		spec = machine.Frontier()
+	case "polaris":
+		spec = machine.Polaris()
+	case "testbox":
+		spec = machine.Testbox()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *mach))
+	}
+	spec = spec.WithPPN(*ppn)
+
+	// Candidate set: every algorithm for each operation; generalized ones
+	// at a sweep of radices.
+	ks := map[core.Kernel][]int{
+		core.KernelKnomial: {2, 4, 8, 16, 32, 64, 128},
+		core.KernelRecMul:  {2, 3, 4, 5, 8, 16},
+		core.KernelKRing:   {1, 2, 4, 8, 16},
+	}
+	ops := map[core.CollOp][]tuning.Candidate{}
+	for _, op := range []core.CollOp{core.OpBcast, core.OpReduce, core.OpAllgather,
+		core.OpAllreduce, core.OpReduceScatter, core.OpAlltoall} {
+		for _, alg := range core.Algorithms(op) {
+			if alg.Pow2Only && *p&(*p-1) != 0 {
+				continue
+			}
+			if alg.Kernel == core.KernelLinear && op != core.OpReduce {
+				continue // flat algorithms are only ever competitive for reduce
+			}
+			if !alg.Generalized {
+				ops[op] = append(ops[op], tuning.Candidate{Alg: alg.Name})
+				continue
+			}
+			for _, k := range ks[alg.Kernel] {
+				if k > *p {
+					continue
+				}
+				ops[op] = append(ops[op], tuning.Candidate{Alg: alg.Name, K: k})
+			}
+		}
+	}
+
+	sizes := bench.OSUSizes(8, *maxBytes)
+	if *quick {
+		sizes = nil
+		for n := 8; n <= *maxBytes; n *= 16 {
+			sizes = append(sizes, n)
+		}
+	}
+	// Allgather result buffers are p·n per rank; bound the tuned sizes.
+	agCap := 1 << 30 / (*p * *p)
+
+	measure := func(cand tuning.Candidate, n int) (float64, error) {
+		alg, err := core.Lookup(cand.Alg)
+		if err != nil {
+			return 0, err
+		}
+		if alg.Op == core.OpAllgather && n > agCap {
+			return 1e18, nil // out of single-host budget: never selected
+		}
+		return bench.SimLatency(spec, *p, alg.Op, alg.Run, n, 0, cand.K)
+	}
+
+	fmt.Fprintf(os.Stderr, "gcatune: machine=%s p=%d ppn=%d, %d sizes\n", spec.Name, *p, *ppn, len(sizes))
+	tab, err := tuning.Autotune(ops, sizes, measure)
+	if err != nil {
+		fatal(err)
+	}
+	tab.Machine = spec.Name
+	tab.P = *p
+	tab.PPN = *ppn
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tab.Save(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "gcatune: wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcatune:", err)
+	os.Exit(1)
+}

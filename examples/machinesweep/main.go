@@ -1,0 +1,75 @@
+// Machinesweep: explore how the optimal radix shifts between machines —
+// the paper's headline claim that "a single, system-agnostic
+// implementation of a generalized algorithm can optimize for multiple
+// hardware features across multiple systems". The same
+// recursive-multiplying allreduce is swept over k on simulated Frontier
+// (4 NIC ports) and Polaris (2 NIC ports); the winning radix tracks the
+// port count on each machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+)
+
+func main() {
+	const p = 32
+	const n = 64 << 10
+	ks := []int{2, 3, 4, 5, 8, 16}
+
+	fn, op, err := bench.AlgFn("allreduce_recmul")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("allreduce_recmul, p=%d, n=%d bytes\n\n", p, n)
+	fmt.Printf("%-10s %6s", "machine", "ports")
+	for _, k := range ks {
+		fmt.Printf("  k=%-2d   ", k)
+	}
+	fmt.Printf("  best\n")
+
+	for _, spec := range []machine.Spec{machine.Frontier(), machine.Polaris()} {
+		bestK, bestT := 0, math.Inf(1)
+		fmt.Printf("%-10s %6d", spec.Name, spec.Ports)
+		for _, k := range ks {
+			t, err := bench.SimLatency(spec, p, op, fn, n, 0, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %6.1fus", t*1e6)
+			if t < bestT {
+				bestK, bestT = k, t
+			}
+		}
+		fmt.Printf("  k=%d\n", bestK)
+	}
+
+	fmt.Println("\nk-ring bcast on Frontier, 8 PPN (intranode links reward k = PPN):")
+	fnB, opB, err := bench.AlgFn("bcast_kring")
+	if err != nil {
+		log.Fatal(err)
+	}
+	f8 := machine.Frontier().WithPPN(8)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		t, err := bench.SimLatency(f8, 64, opB, fnB, 1<<20, 0, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := ""
+		if k == 1 {
+			label = " (classic ring)"
+		}
+		if k == f8.PPN {
+			label = " (= PPN)"
+		}
+		fmt.Printf("  k=%-2d  %8.1fus%s\n", k, t*1e6, label)
+	}
+
+	_ = core.OpAllreduce // document the op constants exist for users
+}

@@ -1,0 +1,131 @@
+// Stencil: a distributed 1-D Jacobi heat diffusion solver — the classic
+// HPC pattern mixing point-to-point halo exchange with collectives. Each
+// rank owns a slab of the rod, exchanges one-cell halos with its
+// neighbors every iteration, and every 10 iterations computes the global
+// residual with a generalized allreduce to decide convergence; the final
+// solution is assembled at rank 0 with a k-nomial gather.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"exacoll/gca"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+const (
+	ranks     = 8
+	cellsEach = 8
+	maxIters  = 60000
+	tolerance = 1e-10
+)
+
+func main() {
+	world := gca.NewLocalWorld(ranks)
+	defer world.Close()
+
+	err := world.Run(func(c gca.Comm) error {
+		r := c.Rank()
+		// Local slab with two ghost cells; fixed boundary temperatures
+		// 1.0 (left end of the rod) and 0.0 (right end).
+		u := make([]float64, cellsEach+2)
+		next := make([]float64, cellsEach+2)
+		if r == 0 {
+			u[0] = 1.0
+		}
+
+		const haloTag gca.Tag = 1
+		iters := 0
+		for ; iters < maxIters; iters++ {
+			// Halo exchange with neighbors (point-to-point through the
+			// same communicator the collectives use).
+			var reqs []gca.Request
+			if r > 0 {
+				req, err := c.Isend(r-1, haloTag, datatype.EncodeFloat64(u[1:2]))
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			if r < ranks-1 {
+				req, err := c.Isend(r+1, haloTag, datatype.EncodeFloat64(u[cellsEach:cellsEach+1]))
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			if r > 0 {
+				var b [8]byte
+				if _, err := c.Recv(r-1, haloTag, b[:]); err != nil {
+					return err
+				}
+				u[0] = datatype.DecodeFloat64(b[:])[0]
+			}
+			if r < ranks-1 {
+				var b [8]byte
+				if _, err := c.Recv(r+1, haloTag, b[:]); err != nil {
+					return err
+				}
+				u[cellsEach+1] = datatype.DecodeFloat64(b[:])[0]
+			}
+			if err := gca.WaitAll(reqs...); err != nil {
+				return err
+			}
+
+			// Jacobi sweep and local residual.
+			local := 0.0
+			for i := 1; i <= cellsEach; i++ {
+				next[i] = 0.5 * (u[i-1] + u[i+1])
+				d := next[i] - u[i]
+				local += d * d
+			}
+			copy(u[1:cellsEach+1], next[1:cellsEach+1])
+			if r == 0 {
+				u[0] = 1.0
+			}
+
+			// Global convergence check every 10 sweeps via recursive-
+			// multiplying allreduce.
+			if iters%10 == 9 {
+				sendbuf := datatype.EncodeFloat64([]float64{local})
+				recvbuf := make([]byte, 8)
+				if err := core.AllreduceRecMul(c, sendbuf, recvbuf,
+					datatype.Sum, datatype.Float64, 4); err != nil {
+					return err
+				}
+				if math.Sqrt(datatype.DecodeFloat64(recvbuf)[0]) < tolerance {
+					iters++
+					break
+				}
+			}
+		}
+
+		// Assemble the full rod at rank 0 with a k-nomial gather (k=4).
+		mine := datatype.EncodeFloat64(u[1 : cellsEach+1])
+		var all []byte
+		if r == 0 {
+			all = make([]byte, len(mine)*ranks)
+		}
+		if err := core.GatherKnomial(c, mine, all, 0, 4); err != nil {
+			return err
+		}
+		if r == 0 {
+			rod := datatype.DecodeFloat64(all)
+			// The steady state of the heat equation on a rod with fixed
+			// ends is linear: check the midpoint.
+			mid := rod[len(rod)/2]
+			fmt.Printf("converged after %d sweeps; u(mid) = %.4f (analytic 0.5)\n", iters, mid)
+			if math.Abs(mid-0.5) > 0.01 {
+				return fmt.Errorf("midpoint %.4f too far from 0.5", mid)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stencil with halo exchange + generalized collectives: ok")
+}

@@ -1,0 +1,117 @@
+// Training: data-parallel SGD over generalized allreduce — the workload
+// class (gradient averaging) that makes MPI_Allreduce "the most popular
+// collective for exascale applications" (§VI-C). Each of 8 workers holds a
+// shard of a synthetic linear-regression dataset, computes a local
+// gradient, and averages it across workers with the recursive-multiplying
+// allreduce (k = 4, the Frontier port count) every step.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"exacoll/gca"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+const (
+	workers  = 8
+	features = 16
+	perShard = 64
+	steps    = 300
+	lr       = 0.1
+)
+
+// trueWeights is the model the synthetic data is generated from.
+func trueWeights() []float64 {
+	w := make([]float64, features)
+	for i := range w {
+		w[i] = float64(i%5) - 2
+	}
+	return w
+}
+
+// shard generates worker r's deterministic examples.
+func shard(r int) (xs [][]float64, ys []float64) {
+	w := trueWeights()
+	seed := uint64(r*2654435761 + 12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53) // [0, 1)
+	}
+	for i := 0; i < perShard; i++ {
+		x := make([]float64, features)
+		dot := 0.0
+		for j := range x {
+			x[j] = 2*next() - 1
+			dot += w[j] * x[j]
+		}
+		xs = append(xs, x)
+		ys = append(ys, dot)
+	}
+	return xs, ys
+}
+
+func main() {
+	world := gca.NewLocalWorld(workers)
+	defer world.Close()
+
+	losses := make([]float64, workers)
+	err := world.Run(func(c gca.Comm) error {
+		xs, ys := shard(c.Rank())
+		w := make([]float64, features) // model replica, starts at zero
+
+		for step := 0; step < steps; step++ {
+			// Local gradient of mean squared error over the shard.
+			grad := make([]float64, features)
+			loss := 0.0
+			for i, x := range xs {
+				pred := 0.0
+				for j := range w {
+					pred += w[j] * x[j]
+				}
+				diff := pred - ys[i]
+				loss += diff * diff
+				for j := range x {
+					grad[j] += 2 * diff * x[j] / perShard
+				}
+			}
+
+			// Average gradients across workers: the allreduce step.
+			sendbuf := datatype.EncodeFloat64(grad)
+			recvbuf := make([]byte, len(sendbuf))
+			if err := core.AllreduceRecMul(c, sendbuf, recvbuf,
+				datatype.Sum, datatype.Float64, 4); err != nil {
+				return err
+			}
+			sum := datatype.DecodeFloat64(recvbuf)
+			for j := range w {
+				w[j] -= lr * sum[j] / workers
+			}
+			if c.Rank() == 0 && step%75 == 0 {
+				fmt.Printf("step %2d: shard-0 loss %.4f\n", step, loss/perShard)
+			}
+			losses[c.Rank()] = loss / perShard
+		}
+
+		// Converged model must be close to the generating weights on every
+		// replica (allreduce keeps replicas bit-identical).
+		maxErr := 0.0
+		for j, tw := range trueWeights() {
+			maxErr = math.Max(maxErr, math.Abs(w[j]-tw))
+		}
+		if maxErr > 0.05 {
+			return fmt.Errorf("rank %d: model error %.4f after %d steps", c.Rank(), maxErr, steps)
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("converged: max |w - w*| = %.5f across %d features\n", maxErr, features)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data-parallel training with recursive-multiplying allreduce: ok")
+}

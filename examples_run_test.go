@@ -1,0 +1,39 @@
+package exacoll
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end via `go run`
+// and checks for its success marker. Skipped with -short (each example is
+// a full build + multi-rank run).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are not short")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "allreduce sum = 28"},
+		{"./examples/training", "data-parallel training with recursive-multiplying allreduce: ok"},
+		{"./examples/stencil", "stencil with halo exchange + generalized collectives: ok"},
+		{"./examples/machinesweep", "k-ring bcast on Frontier"},
+		{"./examples/tunedselection", "tuned session ran allreduce + bcast: ok"},
+		{"./examples/learnedselection", "learned selection generalizes across communicator sizes: ok"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("%s output missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}

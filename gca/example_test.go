@@ -1,0 +1,62 @@
+package gca_test
+
+import (
+	"fmt"
+
+	"exacoll/gca"
+)
+
+// ExampleSession_Allreduce shows the one-liner data-parallel sum.
+func ExampleSession_Allreduce() {
+	world := gca.NewLocalWorld(4)
+	defer world.Close()
+	_ = world.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c, gca.OnMachine(gca.Frontier()))
+		sum, err := s.AllreduceFloat64([]float64{float64(s.Rank())}, gca.Sum)
+		if err != nil {
+			return err
+		}
+		if s.Rank() == 0 {
+			fmt.Println("sum:", sum[0])
+		}
+		return nil
+	})
+	// Output: sum: 6
+}
+
+// ExampleSession_Bcast broadcasts a buffer from a chosen root.
+func ExampleSession_Bcast() {
+	world := gca.NewLocalWorld(3)
+	defer world.Close()
+	_ = world.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c)
+		msg := make([]byte, 5)
+		if s.Rank() == 2 {
+			copy(msg, "hello")
+		}
+		if err := s.Bcast(msg, 2); err != nil {
+			return err
+		}
+		if s.Rank() == 0 {
+			fmt.Println(string(msg))
+		}
+		return nil
+	})
+	// Output: hello
+}
+
+// ExampleNewSimulation measures a collective's latency on a simulated
+// exascale machine without any hardware.
+func ExampleNewSimulation() {
+	sim, err := gca.NewSimulation(gca.Frontier(), 16)
+	if err != nil {
+		panic(err)
+	}
+	_ = sim.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c, gca.OnMachine(gca.Frontier()))
+		_, err := s.AllreduceFloat64(make([]float64, 1024), gca.Sum)
+		return err
+	})
+	fmt.Println("positive latency:", sim.Latency() > 0)
+	// Output: positive latency: true
+}

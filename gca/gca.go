@@ -1,0 +1,252 @@
+// Package gca is the public facade of the exacoll library: generalized
+// collective algorithms (k-nomial, recursive multiplying, k-ring — from
+// "Generalized Collective Algorithms for the Exascale Era", CLUSTER 2023)
+// over pluggable transports.
+//
+// Quick start:
+//
+//	world := gca.NewLocalWorld(8)
+//	world.Run(func(c gca.Comm) error {
+//	    s := gca.NewSession(c, gca.OnMachine(gca.Frontier()))
+//	    return s.Allreduce(sendbuf, recvbuf, gca.Sum, gca.Float64)
+//	})
+//
+// A Session picks algorithms and radices through a selection table — by
+// default the paper's recommended configuration for the machine (§VI-G) —
+// or runs a specific algorithm when asked explicitly. The three substrates
+// are the in-process world (NewLocalWorld), the machine simulator
+// (NewSimulation), and TCP across OS processes (ConnectTCP).
+package gca
+
+import (
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+	"exacoll/internal/transport/mem"
+	"exacoll/internal/transport/tcp"
+	"exacoll/internal/tuning"
+)
+
+// Core communication types.
+type (
+	// Comm is the communicator every rank drives.
+	Comm = comm.Comm
+	// Tag identifies a point-to-point message stream.
+	Tag = comm.Tag
+	// Request is a nonblocking-operation handle.
+	Request = comm.Request
+)
+
+// Reduction operators.
+const (
+	Sum  = datatype.Sum
+	Prod = datatype.Prod
+	Max  = datatype.Max
+	Min  = datatype.Min
+	BAnd = datatype.BAnd
+	BOr  = datatype.BOr
+)
+
+// Element types.
+const (
+	Uint8   = datatype.Uint8
+	Int32   = datatype.Int32
+	Int64   = datatype.Int64
+	Float32 = datatype.Float32
+	Float64 = datatype.Float64
+)
+
+// Op is a reduction operator.
+type Op = datatype.Op
+
+// Type is an element type.
+type Type = datatype.Type
+
+// Machine is a simulated machine description.
+type Machine = machine.Spec
+
+// WaitAll waits on every request and returns the first error.
+func WaitAll(reqs ...Request) error { return comm.WaitAll(reqs...) }
+
+// Frontier returns the Frontier machine model (ORNL; 4 NIC ports, 8 GPUs
+// with Infinity Fabric per node).
+func Frontier() Machine { return machine.Frontier() }
+
+// Polaris returns the Polaris machine model (ANL; 2 NIC ports, 4 GPUs with
+// NVLink per node).
+func Polaris() Machine { return machine.Polaris() }
+
+// LocalWorld hosts p ranks as goroutines in this process.
+type LocalWorld struct{ w *mem.World }
+
+// NewLocalWorld creates an in-process world of p ranks.
+func NewLocalWorld(p int) *LocalWorld { return &LocalWorld{w: mem.NewWorld(p)} }
+
+// Run executes fn once per rank concurrently and returns the first error.
+func (l *LocalWorld) Run(fn func(c Comm) error) error { return l.w.Run(fn) }
+
+// Comm returns rank r's communicator (drive it from one goroutine).
+func (l *LocalWorld) Comm(r int) Comm { return l.w.Comm(r) }
+
+// Close shuts the world down.
+func (l *LocalWorld) Close() { l.w.Close() }
+
+// Simulation hosts p ranks on a simulated machine with virtual time.
+type Simulation struct{ s *simnet.Sim }
+
+// NewSimulation creates a deterministic simulation of p ranks on m.
+func NewSimulation(m Machine, p int) (*Simulation, error) {
+	s, err := simnet.New(m, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{s: s}, nil
+}
+
+// Run executes fn once per rank under the simulation kernel.
+func (s *Simulation) Run(fn func(c Comm) error) error { return s.s.Run(fn) }
+
+// Latency returns the maximum virtual completion time (seconds) of the
+// most recent Run.
+func (s *Simulation) Latency() float64 { return s.s.MaxTime() }
+
+// ConnectTCP joins a multi-process world over TCP: rank 0 listens on addr,
+// other ranks dial it (provide the same addr everywhere).
+func ConnectTCP(rank, size int, addr string, timeout time.Duration) (Comm, error) {
+	return tcp.Rendezvous(rank, size, addr, tcp.Options{Timeout: timeout})
+}
+
+// Session binds a communicator to an algorithm-selection policy.
+type Session struct {
+	c   Comm
+	tab *tuning.Table
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*Session)
+
+// OnMachine selects algorithms using the paper's recommended configuration
+// for the given machine (§VI-G guidelines).
+func OnMachine(m Machine) SessionOption {
+	return func(s *Session) { s.tab = tuning.Recommended(m, s.c.Size()) }
+}
+
+// WithTable selects algorithms using a tuned table (e.g. produced by
+// cmd/gcatune).
+func WithTable(t *tuning.Table) SessionOption {
+	return func(s *Session) { s.tab = t }
+}
+
+// NewSession creates a session. Without options, the recommended
+// configuration for a generic multi-port machine is used.
+func NewSession(c Comm, opts ...SessionOption) *Session {
+	s := &Session{c: c}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.tab == nil {
+		s.tab = tuning.Recommended(machine.Testbox(), c.Size())
+	}
+	return s
+}
+
+// Comm returns the underlying communicator for point-to-point use.
+func (s *Session) Comm() Comm { return s.c }
+
+// Rank returns the caller's rank.
+func (s *Session) Rank() int { return s.c.Rank() }
+
+// Size returns the communicator size.
+func (s *Session) Size() int { return s.c.Size() }
+
+// Bcast broadcasts buf from root to every rank.
+func (s *Session) Bcast(buf []byte, root int) error {
+	return s.tab.Run(s.c, core.OpBcast, core.Args{SendBuf: buf, Root: root})
+}
+
+// Reduce combines every rank's sendbuf into recvbuf at root.
+func (s *Session) Reduce(sendbuf, recvbuf []byte, op Op, t Type, root int) error {
+	return s.tab.Run(s.c, core.OpReduce, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t, Root: root})
+}
+
+// Allreduce combines every rank's sendbuf into every rank's recvbuf.
+func (s *Session) Allreduce(sendbuf, recvbuf []byte, op Op, t Type) error {
+	return s.tab.Run(s.c, core.OpAllreduce, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+}
+
+// Gather collects every rank's sendbuf into recvbuf (len(sendbuf)·p) at
+// root.
+func (s *Session) Gather(sendbuf, recvbuf []byte, root int) error {
+	return s.tab.Run(s.c, core.OpGather, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Root: root})
+}
+
+// Scatter distributes root's sendbuf (len(recvbuf)·p) so each rank gets
+// its block in recvbuf.
+func (s *Session) Scatter(sendbuf, recvbuf []byte, root int) error {
+	return s.tab.Run(s.c, core.OpScatter, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Root: root})
+}
+
+// Allgather collects every rank's sendbuf into every rank's recvbuf
+// (len(sendbuf)·p).
+func (s *Session) Allgather(sendbuf, recvbuf []byte) error {
+	return s.tab.Run(s.c, core.OpAllgather, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf})
+}
+
+// ReduceScatter reduces every rank's full sendbuf and scatters the result:
+// each rank receives its element-aligned fair block in recvbuf (use
+// ReduceScatterBlockSize to size it).
+func (s *Session) ReduceScatter(sendbuf, recvbuf []byte, op Op, t Type) error {
+	return s.tab.Run(s.c, core.OpReduceScatter, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+}
+
+// ReduceScatterBlockSize returns the size in bytes of rank's result block
+// for a ReduceScatter over an n-byte vector of the given element type.
+func (s *Session) ReduceScatterBlockSize(n int, t Type) int {
+	_, sz := core.FairLayoutAligned(n, s.c.Size(), t.Size())(s.c.Rank())
+	return sz
+}
+
+// Alltoall exchanges personalized blocks: sendbuf and recvbuf both hold p
+// blocks of len(sendbuf)/p bytes; block j of sendbuf goes to rank j and
+// block j of recvbuf comes from rank j.
+func (s *Session) Alltoall(sendbuf, recvbuf []byte) error {
+	return s.tab.Run(s.c, core.OpAlltoall, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf})
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives the
+// combination of ranks 0..r.
+func (s *Session) Scan(sendbuf, recvbuf []byte, op Op, t Type) error {
+	return s.tab.Run(s.c, core.OpScan, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+}
+
+// Exscan computes the exclusive prefix reduction: rank r receives the
+// combination of ranks 0..r−1 (rank 0's recvbuf is untouched, as in MPI).
+func (s *Session) Exscan(sendbuf, recvbuf []byte, op Op, t Type) error {
+	return core.Exscan(s.c, sendbuf, recvbuf, op, t)
+}
+
+// Barrier synchronizes all ranks.
+func (s *Session) Barrier() error { return core.BarrierDissemination(s.c) }
+
+// AllreduceFloat64 is a convenience wrapper over Allreduce for float64
+// vectors (the dominant use in data-parallel training).
+func (s *Session) AllreduceFloat64(vals []float64, op Op) ([]float64, error) {
+	sendbuf := datatype.EncodeFloat64(vals)
+	recvbuf := make([]byte, len(sendbuf))
+	if err := s.Allreduce(sendbuf, recvbuf, op, Float64); err != nil {
+		return nil, err
+	}
+	return datatype.DecodeFloat64(recvbuf), nil
+}

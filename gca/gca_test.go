@@ -1,0 +1,215 @@
+package gca
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestSessionLocalWorld drives every Session collective on the in-process
+// world with the Frontier recommended configuration.
+func TestSessionLocalWorld(t *testing.T) {
+	const p = 8
+	w := NewLocalWorld(p)
+	err := w.Run(func(c Comm) error {
+		s := NewSession(c, OnMachine(Frontier()))
+		if s.Size() != p || s.Rank() != c.Rank() {
+			return fmt.Errorf("geometry %d/%d", s.Rank(), s.Size())
+		}
+		// Allreduce.
+		sum, err := s.AllreduceFloat64([]float64{1, float64(s.Rank())}, Sum)
+		if err != nil {
+			return err
+		}
+		if sum[0] != p || sum[1] != 28 {
+			return fmt.Errorf("allreduce = %v", sum)
+		}
+		// Bcast.
+		buf := make([]byte, 1000)
+		if s.Rank() == 3 {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		if err := s.Bcast(buf, 3); err != nil {
+			return err
+		}
+		if buf[999] != byte(999%256) {
+			return fmt.Errorf("bcast tail = %d", buf[999])
+		}
+		// Gather + Scatter + Allgather.
+		mine := []byte{byte(s.Rank() + 1)}
+		all := make([]byte, p)
+		if err := s.Allgather(mine, all); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			if all[r] != byte(r+1) {
+				return fmt.Errorf("allgather = %v", all)
+			}
+		}
+		var gathered []byte
+		if s.Rank() == 0 {
+			gathered = make([]byte, p)
+		}
+		if err := s.Gather(mine, gathered, 0); err != nil {
+			return err
+		}
+		if s.Rank() == 0 && !bytes.Equal(gathered, all) {
+			return fmt.Errorf("gather = %v", gathered)
+		}
+		got := make([]byte, 1)
+		if err := s.Scatter(gathered, got, 0); err != nil {
+			return err
+		}
+		if got[0] != byte(s.Rank()+1) {
+			return fmt.Errorf("scatter = %v", got)
+		}
+		// Reduce.
+		recvbuf := make([]byte, 16)
+		if err := s.Reduce(make([]byte, 16), recvbuf, Sum, Float64, 0); err != nil {
+			return err
+		}
+		return s.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionReduceScatterAlltoall covers the remaining Session ops.
+func TestSessionReduceScatterAlltoall(t *testing.T) {
+	const p = 6
+	w := NewLocalWorld(p)
+	defer w.Close()
+	err := w.Run(func(c Comm) error {
+		s := NewSession(c, OnMachine(Frontier()))
+		// Reduce-scatter of a 6-element vector: every element i sums to
+		// 6*i + 15 (ranks contribute i + rank).
+		elems := p
+		vals := make([]float64, elems)
+		for i := range vals {
+			vals[i] = float64(i + s.Rank())
+		}
+		sendbuf := make([]byte, 8*elems)
+		for i, v := range vals {
+			copy(sendbuf[8*i:], encodeF64(v))
+		}
+		recvbuf := make([]byte, s.ReduceScatterBlockSize(len(sendbuf), Float64))
+		if err := s.ReduceScatter(sendbuf, recvbuf, Sum, Float64); err != nil {
+			return err
+		}
+		// Rank r's aligned fair block over 6 elements is element r.
+		if got, want := decodeF64(recvbuf[:8]), float64(p*s.Rank()+15); got != want {
+			return fmt.Errorf("rank %d reduce-scatter = %v, want %v", s.Rank(), got, want)
+		}
+		// Alltoall: rank r sends byte r*16+j to rank j.
+		out := make([]byte, p)
+		for j := range out {
+			out[j] = byte(s.Rank()*16 + j)
+		}
+		in := make([]byte, p)
+		if err := s.Alltoall(out, in); err != nil {
+			return err
+		}
+		for src := range in {
+			if in[src] != byte(src*16+s.Rank()) {
+				return fmt.Errorf("alltoall block from %d = %d", src, in[src])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func encodeF64(v float64) []byte {
+	b := make([]byte, 8)
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+	return b
+}
+
+func decodeF64(b []byte) float64 {
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(bits)
+}
+
+// TestSessionScan covers the prefix reductions through the facade.
+func TestSessionScan(t *testing.T) {
+	const p = 5
+	w := NewLocalWorld(p)
+	defer w.Close()
+	err := w.Run(func(c Comm) error {
+		s := NewSession(c, OnMachine(Frontier()))
+		sendbuf := encodeF64(float64(s.Rank() + 1))
+		recvbuf := make([]byte, 8)
+		if err := s.Scan(sendbuf, recvbuf, Sum, Float64); err != nil {
+			return err
+		}
+		r := s.Rank()
+		if got, want := decodeF64(recvbuf), float64((r+1)*(r+2)/2); got != want {
+			return fmt.Errorf("scan at rank %d = %v, want %v", r, got, want)
+		}
+		ex := make([]byte, 8)
+		if err := s.Exscan(sendbuf, ex, Sum, Float64); err != nil {
+			return err
+		}
+		if r > 0 {
+			if got, want := decodeF64(ex), float64(r*(r+1)/2); got != want {
+				return fmt.Errorf("exscan at rank %d = %v, want %v", r, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionOnSimulation runs a session on the simulator and checks a
+// positive latency is observed.
+func TestSessionOnSimulation(t *testing.T) {
+	sim, err := NewSimulation(Polaris(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sim.Run(func(c Comm) error {
+		s := NewSession(c, OnMachine(Polaris()))
+		_, err := s.AllreduceFloat64(make([]float64, 128), Sum)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Latency() <= 0 {
+		t.Errorf("latency = %g", sim.Latency())
+	}
+}
+
+// TestDefaultSession checks NewSession without options works.
+func TestDefaultSession(t *testing.T) {
+	w := NewLocalWorld(4)
+	defer w.Close()
+	err := w.Run(func(c Comm) error {
+		s := NewSession(c)
+		out, err := s.AllreduceFloat64([]float64{2}, Prod)
+		if err != nil {
+			return err
+		}
+		if out[0] != 16 {
+			return fmt.Errorf("prod = %v", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

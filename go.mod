@@ -1,0 +1,3 @@
+module exacoll
+
+go 1.22

@@ -1,0 +1,113 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation (Figs. 7–11, Table I): OSU-microbenchmark-style latency
+// sweeps over message sizes and radix values, run on the deterministic
+// machine simulator, plus speedup computation against the fixed-radix and
+// vendor baselines.
+package bench
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+)
+
+// CollFn abstracts "run one collective with these arguments" so the same
+// harness times registry algorithms, the vendor selection, and the tuned
+// selection.
+type CollFn func(c comm.Comm, a core.Args) error
+
+// MakeArgs builds a valid, deterministic argument bundle for an operation
+// on one rank. Reduction payloads are float64 sums; n is the per-rank
+// contribution in bytes and is rounded up to a multiple of 8 for
+// reductions by RoundSize before calling.
+func MakeArgs(op core.CollOp, rank, p, n, root, k int) core.Args {
+	pattern := func(seed, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte((seed*31 + i) % 251)
+		}
+		return b
+	}
+	a := core.Args{Root: root, K: k, Op: datatype.Sum, Type: datatype.Float64}
+	switch op {
+	case core.OpBcast:
+		a.SendBuf = pattern(root, n)
+	case core.OpReduce, core.OpAllreduce:
+		a.SendBuf = pattern(rank, n)
+		a.RecvBuf = make([]byte, n)
+	case core.OpGather, core.OpAllgather:
+		a.SendBuf = pattern(rank, n)
+		a.RecvBuf = make([]byte, n*p)
+	case core.OpScatter:
+		if rank == root {
+			a.SendBuf = pattern(root, n*p)
+		}
+		a.RecvBuf = make([]byte, n)
+	case core.OpReduceScatter:
+		a.SendBuf = pattern(rank, n)
+		_, sz := core.FairLayoutAligned(n, p, 8)(rank)
+		a.RecvBuf = make([]byte, sz)
+	case core.OpAlltoall:
+		a.SendBuf = pattern(rank, n*p)
+		a.RecvBuf = make([]byte, n*p)
+	case core.OpScan:
+		a.SendBuf = pattern(rank, n)
+		a.RecvBuf = make([]byte, n)
+	}
+	return a
+}
+
+// RoundSize rounds a message size up to a multiple of 8 bytes so float64
+// reductions are well-formed (OSU sizes are already powers of two >= 8;
+// this guards the tiny end of sweeps).
+func RoundSize(n int) int {
+	if n < 8 {
+		return 8
+	}
+	return (n + 7) &^ 7
+}
+
+// SimLatency runs one collective once on a fresh simulator and returns its
+// latency: the maximum virtual completion time across ranks. The simulator
+// is deterministic, so a single shot is exact — the warmup/repetition
+// protocol real systems need (§VI-H) is only used by the wall-clock
+// benchmarks in bench_test.go.
+func SimLatency(spec machine.Spec, p int, op core.CollOp, fn CollFn, n, root, k int) (float64, error) {
+	sim, err := simnet.New(spec, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := sim.Run(func(c comm.Comm) error {
+		return fn(c, MakeArgs(op, c.Rank(), p, n, root, k))
+	}); err != nil {
+		return 0, err
+	}
+	return sim.MaxTime(), nil
+}
+
+// AlgFn returns the CollFn for a registry algorithm name.
+func AlgFn(name string) (CollFn, core.CollOp, error) {
+	alg, err := core.Lookup(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return alg.Run, alg.Op, nil
+}
+
+// Seconds formats a latency in microseconds for figure output (the paper's
+// y axes are μs).
+func Seconds(t float64) string { return fmt.Sprintf("%.3f", t*1e6) }
+
+// OSUSizes returns the standard power-of-two message-size sweep from lo to
+// hi inclusive (bytes).
+func OSUSizes(lo, hi int) []int {
+	var out []int
+	for n := lo; n <= hi; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}

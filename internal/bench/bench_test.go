@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+)
+
+// TestSimLatencyBasics checks the harness end to end on a small machine.
+func TestSimLatencyBasics(t *testing.T) {
+	fn, op, err := AlgFn("bcast_binomial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := machine.Frontier()
+	t1, err := SimLatency(spec, 16, op, fn, 1024, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 <= 0 {
+		t.Fatalf("latency = %g", t1)
+	}
+	// Determinism through the harness.
+	t2, err := SimLatency(spec, 16, op, fn, 1024, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatalf("nondeterministic harness: %g vs %g", t1, t2)
+	}
+	// More ranks cannot be faster for the same bcast.
+	t3, err := SimLatency(spec, 64, op, fn, 1024, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 < t1 {
+		t.Errorf("p=64 bcast (%g) faster than p=16 (%g)", t3, t1)
+	}
+}
+
+// TestShapeKnomialSmallMessages asserts §VI-C2's k-nomial finding on the
+// simulator: for small-message Reduce, a large radix beats the binomial
+// radix, and for large messages the advantage erodes (§III-D).
+func TestShapeKnomialSmallMessages(t *testing.T) {
+	spec := machine.Frontier() // 1 PPN
+	p := 64
+	fn, op, err := AlgFn("reduce_knomial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(n, k int) float64 {
+		v, err := SimLatency(spec, p, op, fn, n, 0, k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, k, err)
+		}
+		return v
+	}
+	if k2, k16 := lat(8, 2), lat(8, 16); k16 >= k2 {
+		t.Errorf("small reduce: k=16 (%g) should beat k=2 (%g)", k16, k2)
+	}
+	// Large messages: the advantage of the maximal radix (k=p, the
+	// flattest tree) must shrink relative to tiny messages — the paper's
+	// eroding speedup as bandwidth terms take over.
+	small := lat(8, 2) / lat(8, p)
+	large := lat(1<<20, 2) / lat(1<<20, p)
+	if large >= small {
+		t.Errorf("k=p advantage should erode with size: small ratio %g, large ratio %g", small, large)
+	}
+}
+
+// TestShapeRecMulPortBound asserts §VI-C2's recursive multiplying finding:
+// on a 4-port machine, k near the port count beats both k=2 and very
+// large k for allreduce.
+func TestShapeRecMulPortBound(t *testing.T) {
+	spec := machine.Frontier() // 4 ports, 1 PPN
+	p := 64
+	fn, op, err := AlgFn("allreduce_recmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(n, k int) float64 {
+		v, err := SimLatency(spec, p, op, fn, n, 0, k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, k, err)
+		}
+		return v
+	}
+	n := 64 << 10
+	k4 := lat(n, 4)
+	if k2 := lat(n, 2); k4 >= k2 {
+		t.Errorf("allreduce 64KB: k=4 (%g) should beat k=2 (%g)", k4, k2)
+	}
+	if k16 := lat(n, 16); k4 >= k16 {
+		t.Errorf("allreduce 64KB: k=4 (%g) should beat k=16 (%g) — ports cap overlap", k4, k16)
+	}
+}
+
+// TestShapeKRingPPN asserts §VI-C2's k-ring finding: with 8 PPN and
+// contiguous placement, k = PPN makes intra-group rounds intranode and
+// beats the classic ring (k=1) for large bcast; and under dispersed
+// placement the advantage collapses (§VI-C3's explanation for k-ring
+// losing at system scale).
+func TestShapeKRingPPN(t *testing.T) {
+	spec := machine.Frontier().WithPPN(8)
+	p := 64 // 8 nodes x 8 PPN
+	fn, op, err := AlgFn("bcast_kring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 20
+	lat := func(s machine.Spec, k int) float64 {
+		v, err := SimLatency(s, p, op, fn, n, 0, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		return v
+	}
+	ring := lat(spec, 1)
+	k8 := lat(spec, 8)
+	if k8 >= ring {
+		t.Errorf("large bcast, 8 PPN: k-ring k=8 (%g) should beat ring (%g)", k8, ring)
+	}
+	// Dispersed placement: intra-groups span nodes, advantage collapses.
+	disp := spec.WithPlacement(machine.PlaceDispersed)
+	ringD := lat(disp, 1)
+	k8D := lat(disp, 8)
+	if k8D < 0.8*ringD {
+		t.Errorf("dispersed placement: k-ring k=8 (%g) should not retain a large advantage over ring (%g)", k8D, ringD)
+	}
+}
+
+// TestShapeGeneralizationNoSlowdown asserts Fig. 7's claim: generalized
+// algorithms at default radix are within a few percent of their baselines.
+func TestShapeGeneralizationNoSlowdown(t *testing.T) {
+	spec := machine.Frontier()
+	p := 32
+	pairs := [][2]string{
+		{"bcast_knomial", "bcast_binomial"},
+		{"reduce_knomial", "reduce_binomial"},
+		{"allreduce_recmul", "allreduce_recdbl"},
+		{"allgather_recmul", "allgather_recdbl"},
+	}
+	for _, pr := range pairs {
+		genAlg, err := core.Lookup(pr[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		genFn, op, err := AlgFn(pr[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseFn, _, err := AlgFn(pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{8, 4096, 1 << 18} {
+			tg, err := SimLatency(spec, p, op, genFn, n, 0, genAlg.DefaultK)
+			if err != nil {
+				t.Fatalf("%s: %v", pr[0], err)
+			}
+			tb, err := SimLatency(spec, p, op, baseFn, n, 0, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", pr[1], err)
+			}
+			if ratio := tg / tb; ratio > 1.10 {
+				t.Errorf("%s at n=%d: slowdown %.3f over %s (want <= 1.10)", pr[0], n, ratio, pr[1])
+			}
+		}
+	}
+}
+
+// TestQuickFigures smoke-tests every figure builder end to end at reduced
+// scale and checks the emitted TSV is well formed.
+func TestQuickFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test is not short")
+	}
+	cfg := QuickConfig()
+	figs := []func() (*Figure, error){cfg.Fig7, cfg.Fig8, cfg.Fig9, cfg.Fig10, cfg.Fig11}
+	for _, f := range figs {
+		fig, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Grids) == 0 {
+			t.Fatalf("%s: no grids", fig.ID)
+		}
+		for _, g := range fig.Grids {
+			var buf bytes.Buffer
+			if err := g.WriteTSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+			if len(lines) != len(g.Xs)+2 {
+				t.Errorf("%s: TSV has %d lines, want %d", g.Title, len(lines), len(g.Xs)+2)
+			}
+			var ascii bytes.Buffer
+			if err := g.RenderASCII(&ascii); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestTable1 checks the Table I rendering covers the paper's 10
+// generalized algorithms.
+func TestTable1(t *testing.T) {
+	got := Table1()
+	for _, want := range []string{
+		"k-nomial", "recursive-multiplying", "k-ring",
+		"MPI_Bcast", "MPI_Reduce", "MPI_Allgather", "MPI_Allreduce",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, got)
+		}
+	}
+	count := 0
+	for _, alg := range core.TableIAlgorithms() {
+		switch alg.Op {
+		case core.OpBcast, core.OpReduce, core.OpAllgather, core.OpAllreduce:
+			count++
+		}
+	}
+	if count != 10 {
+		t.Errorf("Table I inventory: %d generalized algorithms, want the paper's 10", count)
+	}
+}
+
+// TestGridBestSeries checks the per-size winner extraction.
+func TestGridBestSeries(t *testing.T) {
+	g := &Grid{Xs: []int{1, 2}}
+	if err := g.AddSeries("a", []float64{1.0, 5.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddSeries("b", []float64{2.0, 3.0}); err != nil {
+		t.Fatal(err)
+	}
+	names, vals := g.BestSeries()
+	if names[0] != "a" || names[1] != "b" || vals[0] != 1.0 || vals[1] != 3.0 {
+		t.Errorf("BestSeries = %v %v", names, vals)
+	}
+	if err := g.AddSeries("short", []float64{1}); err == nil {
+		t.Error("want length-mismatch error")
+	}
+}

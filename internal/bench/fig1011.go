@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+
+	"exacoll/internal/core"
+)
+
+// Fig10 reproduces the 1024-node scale study: latency vs. message size for
+// the most promising configurations identified at smaller scale, with the
+// k=2 default and the vendor selection as reference lines. Expected
+// shapes: (a) large k wins small-message Reduce but k = p (1024) is worse
+// than k = 128 — the parameter has an upper bound at scale; (b)/(c) k=4
+// and k=8 recursive multiplying keep their advantage until large sizes.
+func (cfg Config) Fig10() (*Figure, error) {
+	p := cfg.LargeNodes
+	spec := cfg.Frontier.WithPPN(1)
+	fig := &Figure{
+		ID:      "fig10",
+		Caption: fmt.Sprintf("Large-scale latency vs. message size, %s, p=%d, 1 PPN", spec.Name, p),
+		Notes: []string{
+			"Allgather per-rank sizes capped (result buffers are p·n per rank on a single host).",
+		},
+	}
+
+	mk := func(names []string, ks []int, withVendor bool, op core.CollOp) ([]sizedSeries, error) {
+		var out []sizedSeries
+		for i, name := range names {
+			s, err := algSeries(name, ks[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		if withVendor {
+			out = append(out, vendorSeries(op))
+		}
+		return out, nil
+	}
+
+	// (a) k-nomial reduce: k = 2 (baseline), 8, 128, p.
+	ksA := cfg.ksweep(p, []int{2, 8, 128, p})
+	names := make([]string, len(ksA))
+	for i := range ksA {
+		names[i] = "reduce_knomial"
+	}
+	sA, err := mk(names, ksA, true, core.OpReduce)
+	if err != nil {
+		return nil, err
+	}
+	ga, err := latencyOverSize(spec, p, sA, cfg.sizes(8, 128<<10))
+	if err != nil {
+		return nil, err
+	}
+	ga.Title = fmt.Sprintf("fig10a: reduce_knomial at scale, %s p=%d", spec.Name, p)
+
+	// (b) recursive-multiplying allgather: k = 2, 4, 8.
+	ksB := cfg.ksweep(p, []int{2, 4, 8})
+	names = make([]string, len(ksB))
+	for i := range ksB {
+		names[i] = "allgather_recmul"
+	}
+	sB, err := mk(names, ksB, true, core.OpAllgather)
+	if err != nil {
+		return nil, err
+	}
+	gb, err := latencyOverSize(spec, p, sB, cfg.sizes(8, 1<<10))
+	if err != nil {
+		return nil, err
+	}
+	gb.Title = fmt.Sprintf("fig10b: allgather_recmul at scale, %s p=%d", spec.Name, p)
+
+	// (c) recursive-multiplying allreduce: k = 2, 4, 8.
+	sC, err := mk(names2("allreduce_recmul", len(ksB)), ksB, true, core.OpAllreduce)
+	if err != nil {
+		return nil, err
+	}
+	gc, err := latencyOverSize(spec, p, sC, cfg.sizes(8, 128<<10))
+	if err != nil {
+		return nil, err
+	}
+	gc.Title = fmt.Sprintf("fig10c: allreduce_recmul at scale, %s p=%d", spec.Name, p)
+
+	fig.Grids = []*Grid{ga, gb, gc}
+	return fig, nil
+}
+
+func names2(name string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = name
+	}
+	return out
+}
+
+// Fig11 reproduces the Polaris comparison (Fig. 8's layout on the other
+// machine): (a) k-nomial MPI_Reduce and (b) recursive-multiplying
+// MPI_Allreduce should match the Frontier trends, with the best
+// recursive-multiplying k a small multiple of Polaris' two NIC ports;
+// (c) the k-ring sweep, where the paper reports minimal parameter effect.
+func (cfg Config) Fig11() (*Figure, error) {
+	p := cfg.Nodes
+	fig := &Figure{
+		ID:      "fig11",
+		Caption: fmt.Sprintf("Parameter value k vs. latency on Polaris (sim), p=%d", p),
+		Notes: []string{
+			fmt.Sprintf("(c) uses 1 rank per GPU: 4 PPN on %d nodes (p=%d).", cfg.PPNNodes, cfg.PPNNodes*4),
+			"See EXPERIMENTS.md for the k-ring discussion: the resource simulator models dedicated per-pair intranode links, so some k-ring benefit persists on simulated Polaris where the paper measured none.",
+		},
+	}
+
+	ga, err := latencyOverK(cfg.Polaris.WithPPN(1), p, "reduce_knomial",
+		cfg.ksweep(p, []int{2, 4, 8, 16, 32, 64, 128}),
+		[]int{8, 1 << 10, 64 << 10, 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	ga.Title = "fig11a: " + ga.Title
+
+	gb, err := latencyOverK(cfg.Polaris.WithPPN(1), p, "allreduce_recmul",
+		cfg.ksweep(p, []int{2, 3, 4, 5, 6, 8, 12, 16}),
+		[]int{8, 1 << 10, 64 << 10, 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	gb.Title = "fig11b: " + gb.Title
+
+	p4 := cfg.PPNNodes * 4
+	gc, err := latencyOverK(cfg.Polaris.WithPPN(4), p4, "bcast_kring",
+		cfg.ksweep(p4, []int{1, 2, 4, 8, 16}),
+		[]int{64 << 10, 512 << 10, 4 << 20})
+	if err != nil {
+		return nil, err
+	}
+	gc.Title = "fig11c: " + gc.Title
+
+	fig.Grids = []*Grid{ga, gb, gc}
+	return fig, nil
+}
+
+// Table1 renders Table I: the kernels, their generalizations, and the
+// collective operations each implements, straight from the registry.
+func Table1() string {
+	type row struct{ base, gen string }
+	rows := []row{
+		{"binomial", "k-nomial"},
+		{"recursive-doubling", "recursive-multiplying"},
+		{"ring", "k-ring"},
+	}
+	out := "Base Kernel\tGeneralized Kernel\tCollective Operations\n"
+	for _, r := range rows {
+		ops := ""
+		for _, alg := range core.TableIAlgorithms() {
+			if alg.Kernel.String() != r.gen {
+				continue
+			}
+			switch alg.Op {
+			case core.OpBcast, core.OpReduce, core.OpAllgather, core.OpAllreduce:
+				if ops != "" {
+					ops += ", "
+				}
+				ops += alg.Op.String()
+			}
+		}
+		out += fmt.Sprintf("%s\t%s\t%s\n", r.base, r.gen, ops)
+	}
+	return out
+}

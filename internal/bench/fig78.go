@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+)
+
+// Fig7 reproduces "Message Size vs. Slowdown, 128 Nodes w/ 1 or 8
+// Process(es) Per Node on Frontier. Generalization does not result in
+// slowdown": every generalized algorithm at its default radix (k=2 for
+// k-nomial and recursive multiplying, k=1 for k-ring) is timed against the
+// fixed-radix baseline it generalizes, and the ratio generalized/baseline
+// is reported. Values ≈ 1.0 everywhere are the expected result.
+func (cfg Config) Fig7() (*Figure, error) {
+	fig := &Figure{
+		ID: "fig7",
+		Caption: "Message size vs. slowdown of generalized algorithms at " +
+			"default radix (1.0 = no slowdown)",
+		Notes: []string{
+			fmt.Sprintf("1-PPN pairs at p=%d (1 rank/node); k-ring pairs at p=%d (8 PPN on %d nodes).",
+				cfg.Nodes, cfg.PPNNodes*8, cfg.PPNNodes),
+			"Allgather sweeps cap the per-rank size so p²·n fits single-host memory (see EXPERIMENTS.md).",
+		},
+	}
+
+	type pair struct{ gen, base string }
+	onePPN := []pair{
+		{"bcast_knomial", "bcast_binomial"},
+		{"reduce_knomial", "reduce_binomial"},
+		{"bcast_recmul", "bcast_recdbl"},
+		{"allgather_recmul", "allgather_recdbl"},
+		{"allreduce_recmul", "allreduce_recdbl"},
+	}
+	eightPPN := []pair{
+		{"bcast_kring", "bcast_ring"},
+		{"allgather_kring", "allgather_ring"},
+		{"allreduce_kring", "allreduce_ring"},
+	}
+
+	build := func(title string, spec machine.Spec, p int, pairs []pair, bigSizes, agSizes []int) (*Grid, error) {
+		g := &Grid{Title: title, XName: "bytes", YName: "slowdown"}
+		for _, n := range bigSizes {
+			g.Xs = append(g.Xs, RoundSize(n))
+		}
+		agCap := agSizes[len(agSizes)-1]
+		for _, pr := range pairs {
+			genAlg, err := core.Lookup(pr.gen)
+			if err != nil {
+				return nil, err
+			}
+			genFn, op, err := AlgFn(pr.gen)
+			if err != nil {
+				return nil, err
+			}
+			baseFn, _, err := AlgFn(pr.base)
+			if err != nil {
+				return nil, err
+			}
+			ys := make([]float64, len(g.Xs))
+			for i, n := range g.Xs {
+				if op == core.OpAllgather && n > agCap {
+					// Allgather result buffers are p·n per rank; hold the
+					// last in-budget ratio rather than exceed memory.
+					ys[i] = ys[i-1]
+					continue
+				}
+				tg, err := SimLatency(spec, p, op, genFn, n, 0, genAlg.DefaultK)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", pr.gen, err)
+				}
+				tb, err := SimLatency(spec, p, op, baseFn, n, 0, 0)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", pr.base, err)
+				}
+				ys[i] = tg / tb
+			}
+			if err := g.AddSeries(pr.gen, ys); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	}
+
+	g1, err := build(
+		fmt.Sprintf("fig7a: slowdown at default radix, %s, p=%d, 1 PPN", cfg.Frontier.Name, cfg.Nodes),
+		cfg.Frontier.WithPPN(1), cfg.Nodes,
+		onePPN, cfg.sizes(8, 4<<20), cfg.sizes(8, 8<<10))
+	if err != nil {
+		return nil, err
+	}
+	p8 := cfg.PPNNodes * 8
+	g2, err := build(
+		fmt.Sprintf("fig7b: slowdown at default radix, %s, p=%d, 8 PPN", cfg.Frontier.Name, p8),
+		cfg.Frontier.WithPPN(8), p8,
+		eightPPN, cfg.sizes(8, 1<<20), cfg.sizes(8, 4<<10))
+	if err != nil {
+		return nil, err
+	}
+	fig.Grids = []*Grid{g1, g2}
+	return fig, nil
+}
+
+// Fig8 reproduces "Parameter Value (K) vs. Latency, 128 Nodes on
+// Frontier": (a) k-nomial MPI_Reduce, (b) recursive multiplying
+// MPI_Allreduce, (c) k-ring MPI_Bcast with 8 PPN. The expected shapes:
+// (a) larger k wins for small messages, with the advantage eroding as the
+// message grows; (b) k at or near 4 — the NIC port count — wins across
+// sizes; (c) k = 8 — the PPN — wins for large messages.
+func (cfg Config) Fig8() (*Figure, error) {
+	p := cfg.Nodes
+	fig := &Figure{
+		ID:      "fig8",
+		Caption: "Parameter value k vs. latency on Frontier (sim)",
+		Notes: []string{
+			fmt.Sprintf("(a)/(b): p=%d, 1 PPN. (c): p=%d (8 PPN on %d nodes).", p, cfg.PPNNodes*8, cfg.PPNNodes),
+		},
+	}
+
+	ga, err := latencyOverK(cfg.Frontier.WithPPN(1), p, "reduce_knomial",
+		cfg.ksweep(p, []int{2, 4, 8, 16, 32, 64, 128}),
+		[]int{8, 1 << 10, 64 << 10, 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	ga.Title = "fig8a: " + ga.Title
+
+	gb, err := latencyOverK(cfg.Frontier.WithPPN(1), p, "allreduce_recmul",
+		cfg.ksweep(p, []int{2, 3, 4, 5, 6, 8, 12, 16}),
+		[]int{8, 1 << 10, 64 << 10, 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	gb.Title = "fig8b: " + gb.Title
+
+	p8 := cfg.PPNNodes * 8
+	gc, err := latencyOverK(cfg.Frontier.WithPPN(8), p8, "bcast_kring",
+		cfg.ksweep(p8, []int{1, 2, 4, 8, 16, 32}),
+		[]int{64 << 10, 512 << 10, 4 << 20})
+	if err != nil {
+		return nil, err
+	}
+	gc.Title = "fig8c: " + gc.Title
+
+	fig.Grids = []*Grid{ga, gb, gc}
+	return fig, nil
+}

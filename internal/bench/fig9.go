@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"exacoll/internal/core"
+)
+
+// kCandidates returns the radix sweep per kernel used when searching for
+// the optimal generalized configuration (Fig. 9's "optimal algorithm for
+// each message size").
+func (cfg Config) kCandidates(kernel core.Kernel, p int) []int {
+	switch kernel {
+	case core.KernelKnomial:
+		return cfg.ksweep(p, []int{2, 4, 8, 16, 32, 64, 128})
+	case core.KernelRecMul:
+		return cfg.ksweep(p, []int{2, 3, 4, 5, 8, 16})
+	case core.KernelKRing:
+		return cfg.ksweep(p, []int{2, 4, 8, 16})
+	}
+	return []int{2}
+}
+
+// Fig9 reproduces "Message Size vs. Speedup": for each collective, the
+// best generalized (algorithm, k) per message size against two baselines —
+// the default-radix version of the winning kernel (the "generalization
+// alone" speedup, the paper's dark green line) and the vendor selection
+// (the red line). Expected shapes: Reduce starts >2× and erodes, with the
+// vendor line spiking >4.5× at large sizes; Bcast shows modest small-size
+// speedups and recursive-multiplying wins for large; Allgather sustains
+// 1.4–2×; Allreduce sustains 1.2–1.8× with k≈4 winning.
+func (cfg Config) Fig9() (*Figure, error) {
+	p := cfg.Nodes
+	spec := cfg.Frontier.WithPPN(1)
+	fig := &Figure{
+		ID:      "fig9",
+		Caption: fmt.Sprintf("Message size vs. speedup of best generalized algorithm, %s, p=%d, 1 PPN", spec.Name, p),
+		Notes: []string{
+			"speedup_vs_default = default-radix latency / best generalized latency (generalization alone).",
+			"speedup_vs_vendor = vendor-selection latency / best generalized latency.",
+			"winner series encodes the chosen algorithm: see the companion .winners.tsv.",
+		},
+	}
+
+	sub := []struct {
+		id    string
+		op    core.CollOp
+		sizes []int
+	}{
+		{"fig9a_reduce", core.OpReduce, cfg.sizes(8, 4<<20)},
+		{"fig9b_bcast", core.OpBcast, cfg.sizes(8, 4<<20)},
+		{"fig9c_allgather", core.OpAllgather, cfg.sizes(8, 16<<10)},
+		{"fig9d_allreduce", core.OpAllreduce, cfg.sizes(8, 4<<20)},
+	}
+
+	for _, s := range sub {
+		g := &Grid{
+			Title: fmt.Sprintf("%s: speedup over baselines, %s p=%d", s.id, spec.Name, p),
+			XName: "bytes", YName: "speedup",
+		}
+		for _, n := range s.sizes {
+			g.Xs = append(g.Xs, RoundSize(n))
+		}
+		vsDefault := make([]float64, len(g.Xs))
+		vsVendor := make([]float64, len(g.Xs))
+		winners := make([]string, len(g.Xs))
+
+		for i, n := range g.Xs {
+			bestT := math.Inf(1)
+			var bestAlg *core.Algorithm
+			bestK := 0
+			for _, alg := range core.TableIAlgorithms() {
+				if alg.Op != s.op {
+					continue
+				}
+				for _, k := range cfg.kCandidates(alg.Kernel, p) {
+					t, err := SimLatency(spec, p, s.op, alg.Run, n, 0, k)
+					if err != nil {
+						return nil, fmt.Errorf("%s %s k=%d n=%d: %w", s.id, alg.Name, k, n, err)
+					}
+					if t < bestT {
+						bestT, bestAlg, bestK = t, alg, k
+					}
+				}
+			}
+			winners[i] = fmt.Sprintf("%s k=%d", bestAlg.Name, bestK)
+
+			// Default-radix baseline: the winning kernel's fixed-radix
+			// ancestor, or the winner itself at its default k.
+			var defT float64
+			if bestAlg.Baseline != "" {
+				base, err := core.Lookup(bestAlg.Baseline)
+				if err != nil {
+					return nil, err
+				}
+				if !base.Pow2Only || isPow2(p) {
+					t, err := SimLatency(spec, p, s.op, base.Run, n, 0, 0)
+					if err != nil {
+						return nil, fmt.Errorf("%s baseline %s: %w", s.id, base.Name, err)
+					}
+					defT = t
+				}
+			}
+			if defT == 0 {
+				t, err := SimLatency(spec, p, s.op, bestAlg.Run, n, 0, bestAlg.DefaultK)
+				if err != nil {
+					return nil, err
+				}
+				defT = t
+			}
+
+			vend := vendorSeries(s.op)
+			venT, err := SimLatency(spec, p, s.op, vend.Fn, n, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s vendor: %w", s.id, err)
+			}
+			vsDefault[i] = defT / bestT
+			vsVendor[i] = venT / bestT
+		}
+		if err := g.AddSeries("speedup_vs_default", vsDefault); err != nil {
+			return nil, err
+		}
+		if err := g.AddSeries("speedup_vs_vendor", vsVendor); err != nil {
+			return nil, err
+		}
+		for i, w := range winners {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s %dB winner: %s", s.id, g.Xs[i], w))
+		}
+		fig.Grids = append(fig.Grids, g)
+	}
+	return fig, nil
+}
+
+func isPow2(p int) bool { return p > 0 && p&(p-1) == 0 }

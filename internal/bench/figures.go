@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/vendorsel"
+)
+
+// Config parameterizes the figure reproductions. The defaults mirror the
+// paper's setups scaled to a single-host simulation: the paper's 128-node
+// results use Nodes, its 1024-node results LargeNodes, and its
+// 8-process-per-node runs PPNNodes nodes × 8 ranks (the paper reports
+// 32-node and 128-node results are "very similar" (§VI-B), which is what
+// makes the smaller PPN grids faithful).
+type Config struct {
+	// Frontier and Polaris are the machine models.
+	Frontier machine.Spec
+	Polaris  machine.Spec
+	// Nodes is the main evaluation size (paper: 128).
+	Nodes int
+	// LargeNodes is the scale study size (paper: 1024).
+	LargeNodes int
+	// PPNNodes is the node count for 8-PPN (1 rank per GPU) runs; ring
+	// schedules cost O(p²) simulated messages, so this defaults to the
+	// paper's 32-node configuration.
+	PPNNodes int
+	// Quick shrinks every sweep for smoke tests.
+	Quick bool
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Frontier:   machine.Frontier(),
+		Polaris:    machine.Polaris(),
+		Nodes:      128,
+		LargeNodes: 1024,
+		PPNNodes:   32,
+	}
+}
+
+// QuickConfig returns a configuration small enough for unit tests.
+func QuickConfig() Config {
+	return Config{
+		Frontier:   machine.Frontier(),
+		Polaris:    machine.Polaris(),
+		Nodes:      16,
+		LargeNodes: 64,
+		PPNNodes:   4,
+		Quick:      true,
+	}
+}
+
+// Figure is one reproduced figure: a set of grids plus notes recording
+// deviations from the paper's exact setup.
+type Figure struct {
+	ID      string
+	Caption string
+	Grids   []*Grid
+	Notes   []string
+}
+
+func (cfg Config) sizes(lo, hi int) []int {
+	if cfg.Quick {
+		if hi > lo*64 {
+			hi = lo * 64
+		}
+		var out []int
+		for n := lo; n <= hi; n *= 8 {
+			out = append(out, n)
+		}
+		return out
+	}
+	return OSUSizes(lo, hi)
+}
+
+func (cfg Config) ksweep(max int, ks []int) []int {
+	var out []int
+	for _, k := range ks {
+		if k <= max {
+			out = append(out, k)
+		}
+	}
+	if cfg.Quick && len(out) > 4 {
+		out = out[:4]
+	}
+	return out
+}
+
+// latencyOverK builds a k-versus-latency grid (the Fig. 8/11 style): one
+// series per message size.
+func latencyOverK(spec machine.Spec, p int, algName string, ks, sizes []int) (*Grid, error) {
+	fn, op, err := AlgFn(algName)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{
+		Title: fmt.Sprintf("%s on %s, p=%d", algName, spec.Name, p),
+		XName: "k", YName: "latency_us", Xs: ks,
+	}
+	for _, n := range sizes {
+		n := RoundSize(n)
+		ys := make([]float64, len(ks))
+		for i, k := range ks {
+			t, err := SimLatency(spec, p, op, fn, n, 0, k)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d k=%d: %w", algName, n, k, err)
+			}
+			ys[i] = t * 1e6
+		}
+		if err := g.AddSeries(fmt.Sprintf("%dB", n), ys); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// latencyOverSize builds a size-versus-latency grid (the Fig. 10 style):
+// one series per (algorithm, k) plus optional vendor baseline.
+type sizedSeries struct {
+	Name string
+	Fn   CollFn
+	Op   core.CollOp
+	K    int
+}
+
+func latencyOverSize(spec machine.Spec, p int, series []sizedSeries, sizes []int) (*Grid, error) {
+	g := &Grid{
+		Title: fmt.Sprintf("latency on %s, p=%d", spec.Name, p),
+		XName: "bytes", YName: "latency_us",
+	}
+	for _, n := range sizes {
+		g.Xs = append(g.Xs, RoundSize(n))
+	}
+	for _, s := range series {
+		ys := make([]float64, len(g.Xs))
+		for i, n := range g.Xs {
+			t, err := SimLatency(spec, p, s.Op, s.Fn, n, 0, s.K)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", s.Name, n, err)
+			}
+			ys[i] = t * 1e6
+		}
+		if err := g.AddSeries(s.Name, ys); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// vendorSeries wraps the vendor selection as a timed series.
+func vendorSeries(op core.CollOp) sizedSeries {
+	return sizedSeries{
+		Name: "vendor",
+		Op:   op,
+		Fn:   func(c comm.Comm, a core.Args) error { return vendorsel.Run(c, op, a) },
+	}
+}
+
+// algSeries wraps a registry algorithm at a fixed radix as a timed series.
+func algSeries(name string, k int) (sizedSeries, error) {
+	fn, op, err := AlgFn(name)
+	if err != nil {
+		return sizedSeries{}, err
+	}
+	label := name
+	if k > 0 {
+		label = fmt.Sprintf("%s k=%d", name, k)
+	}
+	return sizedSeries{Name: label, Fn: fn, Op: op, K: k}, nil
+}

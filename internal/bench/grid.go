@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Grid holds one figure's data: a swept x axis and one y series per line.
+type Grid struct {
+	// Title names the figure (e.g. "fig8b: recursive multiplying
+	// MPI_Allreduce, 128 nodes, frontier").
+	Title string
+	// XName labels the x axis ("bytes" or "k").
+	XName string
+	// YName labels the y axis ("latency_us" or "speedup").
+	YName string
+	// Xs are the swept x values.
+	Xs []int
+	// Series are the lines.
+	Series []Series
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// AddSeries appends a line; its length must match Xs.
+func (g *Grid) AddSeries(name string, ys []float64) error {
+	if len(ys) != len(g.Xs) {
+		return fmt.Errorf("bench: series %q has %d points, want %d", name, len(ys), len(g.Xs))
+	}
+	g.Series = append(g.Series, Series{Name: name, Ys: ys})
+	return nil
+}
+
+// WriteTSV emits the grid as a tab-separated table with a header row, the
+// format EXPERIMENTS.md records and plotting tools consume.
+func (g *Grid) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", g.Title); err != nil {
+		return err
+	}
+	header := []string{g.XName}
+	for _, s := range g.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for i, x := range g.Xs {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range g.Series {
+			row = append(row, fmt.Sprintf("%.6g", s.Ys[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws a compact log-scale chart for terminal inspection: one
+// row per x value, one column block per series, with a bar proportional to
+// log(y/min). It is intentionally crude — the TSV is the real artifact.
+func (g *Grid) RenderASCII(w io.Writer) error {
+	if len(g.Series) == 0 || len(g.Xs) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (empty)\n", g.Title)
+		return err
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range g.Series {
+		for _, y := range s.Ys {
+			if y > 0 {
+				min = math.Min(min, y)
+				max = math.Max(max, y)
+			}
+		}
+	}
+	if math.IsInf(min, 1) {
+		min, max = 1, 1
+	}
+	span := math.Log(max/min) + 1e-12
+	const width = 40
+	if _, err := fmt.Fprintf(w, "%s  [%s vs %s]\n", g.Title, g.YName, g.XName); err != nil {
+		return err
+	}
+	for si, s := range g.Series {
+		if _, err := fmt.Fprintf(w, "  series %c = %s\n", 'A'+si, s.Name); err != nil {
+			return err
+		}
+	}
+	for i, x := range g.Xs {
+		for si, s := range g.Series {
+			y := s.Ys[i]
+			bar := 0
+			if y > 0 {
+				bar = int(math.Log(y/min) / span * float64(width))
+			}
+			if _, err := fmt.Fprintf(w, "%10d %c |%s %.4g\n", x, 'A'+si,
+				strings.Repeat("#", bar), y); err != nil {
+				return err
+			}
+		}
+		if i < len(g.Xs)-1 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BestSeries returns, per x index, the name and value of the minimum
+// (lower-is-better) series — used to pick "optimal algorithm per message
+// size" in Fig. 9.
+func (g *Grid) BestSeries() ([]string, []float64) {
+	names := make([]string, len(g.Xs))
+	vals := make([]float64, len(g.Xs))
+	for i := range g.Xs {
+		best := math.Inf(1)
+		for _, s := range g.Series {
+			if s.Ys[i] < best {
+				best = s.Ys[i]
+				names[i] = s.Name
+				vals[i] = s.Ys[i]
+			}
+		}
+	}
+	return names, vals
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"testing"
+
+	"exacoll/internal/machine"
+	"exacoll/internal/model"
+)
+
+// TestModelAccuracyKnomial reproduces §VI-F's first finding: the (α, β, γ)
+// analytical model tracks the simulator well for the k-nomial kernel —
+// within a factor-2 band across sizes and radices, and, more importantly,
+// RANKING radices correctly for small messages (model and sim agree that
+// moderate k beats k=2 for tiny reduces).
+func TestModelAccuracyKnomial(t *testing.T) {
+	spec := machine.Frontier()
+	inter, _ := model.FromSpec(spec)
+	p := 64
+	fn, op, err := AlgFn("reduce_knomial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The accuracy claim is for the latency-bound regime the k-nomial
+	// kernel targets (<16KB, §III); at bandwidth-bound sizes the model's
+	// serialized (k-1)nβ term ignores multi-port overlap, which is
+	// exactly the §III-D caveat ("we assume ... perfect overlapping").
+	for _, n := range []int{8, 1 << 10, 8 << 10} {
+		for _, k := range []int{2, 4, 8} {
+			sim, err := SimLatency(spec, p, op, fn, n, 0, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred := inter.ReduceKnomial(n, p, k)
+			if ratio := sim / pred; ratio < 0.4 || ratio > 2.5 {
+				t.Errorf("knomial n=%d k=%d: sim/model = %.2f (sim %.1fus, model %.1fus)",
+					n, k, ratio, sim*1e6, pred*1e6)
+			}
+		}
+	}
+	// At k=2 (no overlap assumption in play) the band holds even for
+	// bandwidth-bound sizes.
+	simBig, err := SimLatency(spec, p, op, fn, 256<<10, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred := inter.ReduceKnomial(256<<10, p, 2); simBig/pred < 0.4 || simBig/pred > 2.5 {
+		t.Errorf("knomial 256KB k=2: sim/model = %.2f", simBig/pred)
+	}
+	// Ranking agreement at 8 bytes: both prefer k=4 over k=2.
+	sim2, _ := SimLatency(spec, p, op, fn, 8, 0, 2)
+	sim4, _ := SimLatency(spec, p, op, fn, 8, 0, 4)
+	if (inter.ReduceKnomial(8, p, 4) < inter.ReduceKnomial(8, p, 2)) != (sim4 < sim2) {
+		t.Error("model and sim disagree on k=4 vs k=2 for tiny reduce")
+	}
+}
+
+// TestModelDivergesForRecMul reproduces §VI-F's second finding: for
+// recursive multiplying, hardware effects (the NIC port cap) overtake the
+// analytical intuition. The pure model says very small messages keep
+// improving with k well beyond the port count; the simulator caps the
+// benefit near k = ports — so at k = 16 the model UNDERESTIMATES the cost
+// relative to k = 4 while the simulator shows k = 16 clearly worse.
+func TestModelDivergesForRecMul(t *testing.T) {
+	spec := machine.Frontier() // 4 ports
+	inter, _ := model.FromSpec(spec)
+	p := 64
+	fn, op, err := AlgFn("allreduce_recmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 8
+	sim4, err := SimLatency(spec, p, op, fn, n, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim16, err := SimLatency(spec, p, op, fn, n, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod4 := inter.AllreduceRecMul(n, p, 4)
+	mod16 := inter.AllreduceRecMul(n, p, 16)
+	// The model thinks k=16 is at least as good as k=4 for 8-byte
+	// messages (fewer rounds, negligible bandwidth term)...
+	if mod16 > mod4*1.05 {
+		t.Skipf("model already penalizes k=16 (%.2fus vs %.2fus); divergence premise gone", mod16*1e6, mod4*1e6)
+	}
+	// ...but the simulator's port serialization makes k=16 measurably
+	// worse — the empirical contradiction §VI-C2 reports.
+	if sim16 <= sim4 {
+		t.Errorf("sim should penalize k=16 (%.2fus) vs k=4 (%.2fus) via the port cap", sim16*1e6, sim4*1e6)
+	}
+}
+
+// TestModelDivergesForKRing reproduces §VI-F's third finding: the uniform
+// eq. (12) model sees no benefit in k-ring ((p−1)·Ti regardless of k),
+// while the simulator's heterogeneous links reward k = PPN. The refined
+// heterogeneous model (AllgatherKRing with intranode parameters) agrees
+// with the simulator's direction.
+func TestModelDivergesForKRing(t *testing.T) {
+	spec := machine.Frontier().WithPPN(8)
+	inter, intra := model.FromSpec(spec)
+	p := 64
+	n := 1 << 20 // the Fig. 8c experiment is a large-message MPI_Bcast
+	fn, op, err := AlgFn("bcast_kring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRing, err := SimLatency(spec, p, op, fn, n, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simK8, err := SimLatency(spec, p, op, fn, n, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform model: identical for any k.
+	uniformRing := inter.AllgatherKRing(n, p, 1, inter)
+	uniformK8 := inter.AllgatherKRing(n, p, 8, inter)
+	if diff := uniformK8 - uniformRing; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("uniform eq.12 model should be k-independent: %g vs %g", uniformK8, uniformRing)
+	}
+	// Simulator: k=8 wins.
+	if simK8 >= simRing {
+		t.Errorf("sim: k=8 (%.1fus) should beat ring (%.1fus)", simK8*1e6, simRing*1e6)
+	}
+	// Heterogeneous model agrees in direction with the simulator.
+	hetRing := inter.AllgatherKRing(n, p, 1, intra)
+	hetK8 := inter.AllgatherKRing(n, p, 8, intra)
+	if hetK8 >= hetRing {
+		t.Errorf("heterogeneous model: k=8 (%g) should beat ring (%g)", hetK8, hetRing)
+	}
+}

@@ -1,0 +1,155 @@
+// Package comm defines the communicator abstraction that every collective
+// algorithm in this repository is written against.
+//
+// The interface mirrors the MPI point-to-point layer that MPICH collective
+// algorithms are built on: blocking Send/Recv, nonblocking Isend/Irecv with
+// Wait, (source, tag) matching with FIFO ordering per (source, tag) pair,
+// and eager buffering so a blocking Send never deadlocks against a matching
+// Recv posted later.
+//
+// Three substrates implement Comm:
+//
+//   - transport/mem:  N ranks as goroutines inside one process (real
+//     parallelism, used for correctness tests and wall-clock benchmarks);
+//   - transport/tcp:  N OS processes over TCP (used by cmd/gcarun);
+//   - simnet:         a deterministic discrete-event simulator of an
+//     exascale machine (used to regenerate the paper's figures).
+//
+// Collective algorithms live in internal/core and never know which
+// substrate they run on.
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tag identifies a message stream between two ranks. Matching is on the
+// exact (source, tag) pair; there are no wildcards, which keeps all three
+// substrates deterministic.
+type Tag int32
+
+// Reserved tag ranges. Collective algorithms use tags derived from these
+// bases so that point-to-point traffic issued by user code (tags >= TagUser)
+// can never match collective-internal messages.
+const (
+	// TagCollBase is the first tag reserved for collective-internal
+	// messages. Each algorithm round derives its tag as
+	// TagCollBase + round offset.
+	TagCollBase Tag = 1 << 20
+	// TagUser is the start of the range available to applications.
+	TagUser Tag = 0
+)
+
+// Errors returned by communicator operations.
+var (
+	// ErrRankOutOfRange reports a peer rank outside [0, Size).
+	ErrRankOutOfRange = errors.New("comm: rank out of range")
+	// ErrTruncated reports a receive buffer smaller than the matched message.
+	ErrTruncated = errors.New("comm: message truncated (recv buffer too small)")
+	// ErrClosed reports use of a communicator after Close/shutdown.
+	ErrClosed = errors.New("comm: communicator closed")
+	// ErrDeadlock is returned by the simulator when every rank is blocked
+	// on a receive that can never be matched.
+	ErrDeadlock = errors.New("comm: deadlock detected (all ranks blocked)")
+	// ErrSelfMessage reports a send or receive addressed to the caller
+	// itself; algorithms must special-case local data movement.
+	ErrSelfMessage = errors.New("comm: send/recv to self not supported")
+)
+
+// Request is the handle for a nonblocking operation. Wait blocks until the
+// operation completes and returns its terminal status. Wait is idempotent:
+// further calls return the same result. For receives, Len reports the number
+// of bytes of the matched message after Wait has returned.
+type Request interface {
+	// Wait blocks until the operation completes.
+	Wait() error
+	// Len returns the size in bytes of the completed message. It must be
+	// called only after Wait has returned nil. For sends it returns the
+	// number of bytes sent.
+	Len() int
+}
+
+// Comm is a group of p ranks that can exchange messages. Implementations
+// must be safe for each rank to drive from its own goroutine, but a single
+// rank's operations are issued sequentially (MPI semantics).
+type Comm interface {
+	// Rank returns the caller's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the communicator.
+	Size() int
+
+	// Send delivers buf to rank `to` with tag `tag`. Eager semantics: the
+	// implementation buffers the message, so Send returns without waiting
+	// for the matching Recv. buf may be reused once Send returns.
+	Send(to int, tag Tag, buf []byte) error
+	// Recv blocks until a message from rank `from` with tag `tag` arrives
+	// and copies it into buf, returning the message length.
+	Recv(from int, tag Tag, buf []byte) (int, error)
+
+	// Isend starts a nonblocking send. buf must not be modified until the
+	// returned Request's Wait returns.
+	Isend(to int, tag Tag, buf []byte) (Request, error)
+	// Irecv starts a nonblocking receive into buf. buf must not be read
+	// until the returned Request's Wait returns.
+	Irecv(from int, tag Tag, buf []byte) (Request, error)
+
+	// ChargeCompute accounts for local computation over n bytes (the γ term
+	// of the paper's cost model, e.g. applying a reduction operator).
+	// Real transports treat it as a no-op; the simulator advances the
+	// calling rank's virtual clock by γ·n.
+	ChargeCompute(n int)
+}
+
+// Clock is implemented by substrates that track virtual time (the
+// simulator). Figure harnesses assert this interface to read per-rank
+// completion times.
+type Clock interface {
+	// Now returns the calling rank's current virtual time in seconds.
+	Now() float64
+}
+
+// CheckPeer validates a peer rank for a p-rank communicator and rejects
+// self-messaging. Shared by all transports.
+func CheckPeer(self, peer, size int) error {
+	if peer < 0 || peer >= size {
+		return fmt.Errorf("%w: peer %d, size %d", ErrRankOutOfRange, peer, size)
+	}
+	if peer == self {
+		return ErrSelfMessage
+	}
+	return nil
+}
+
+// WaitAll waits on every request and returns the first error encountered
+// (after waiting on all of them, so no request is leaked mid-flight).
+func WaitAll(reqs ...Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SendRecv performs a simultaneous exchange: a nonblocking send of sendBuf
+// to `to` and a receive of recvBuf from `from`, both with tag `tag`. This is
+// the MPI_Sendrecv idiom used by ring and pairwise-exchange algorithms;
+// using Isend avoids the head-to-head deadlock of two blocking sends on
+// rendezvous transports.
+func SendRecv(c Comm, to int, sendBuf []byte, from int, recvBuf []byte, tag Tag) (int, error) {
+	sreq, err := c.Isend(to, tag, sendBuf)
+	if err != nil {
+		return 0, err
+	}
+	n, rerr := c.Recv(from, tag, recvBuf)
+	serr := sreq.Wait()
+	if rerr != nil {
+		return n, rerr
+	}
+	return n, serr
+}

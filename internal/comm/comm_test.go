@@ -1,0 +1,71 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+)
+
+// fakeReq is a canned request for WaitAll tests.
+type fakeReq struct {
+	err    error
+	n      int
+	waited *int
+}
+
+func (r *fakeReq) Wait() error {
+	if r.waited != nil {
+		*r.waited++
+	}
+	return r.err
+}
+
+func (r *fakeReq) Len() int { return r.n }
+
+// TestCheckPeer covers the validation matrix.
+func TestCheckPeer(t *testing.T) {
+	if err := CheckPeer(0, 1, 2); err != nil {
+		t.Errorf("valid peer: %v", err)
+	}
+	if err := CheckPeer(0, 2, 2); !errors.Is(err, ErrRankOutOfRange) {
+		t.Errorf("want ErrRankOutOfRange, got %v", err)
+	}
+	if err := CheckPeer(0, -1, 2); !errors.Is(err, ErrRankOutOfRange) {
+		t.Errorf("want ErrRankOutOfRange, got %v", err)
+	}
+	if err := CheckPeer(1, 1, 2); !errors.Is(err, ErrSelfMessage) {
+		t.Errorf("want ErrSelfMessage, got %v", err)
+	}
+}
+
+// TestWaitAll checks that every request is waited and the first error is
+// returned.
+func TestWaitAll(t *testing.T) {
+	counts := make([]int, 3)
+	boom := errors.New("boom")
+	reqs := []Request{
+		&fakeReq{waited: &counts[0]},
+		&fakeReq{err: boom, waited: &counts[1]},
+		&fakeReq{waited: &counts[2]},
+	}
+	if err := WaitAll(reqs...); !errors.Is(err, boom) {
+		t.Errorf("want boom, got %v", err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("request %d waited %d times", i, c)
+		}
+	}
+	if err := WaitAll(); err != nil {
+		t.Errorf("empty WaitAll: %v", err)
+	}
+	if err := WaitAll(nil, &fakeReq{}); err != nil {
+		t.Errorf("nil request skipped: %v", err)
+	}
+}
+
+// TestTagRanges documents the reserved collective tag space.
+func TestTagRanges(t *testing.T) {
+	if TagUser >= TagCollBase {
+		t.Error("user tags must sit below the collective-reserved range")
+	}
+}

@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SubComm presents a subset of a communicator's ranks as a dense
+// communicator of its own — the analogue of MPI_Comm_split for the
+// hierarchical algorithms (intranode phase + leader phase). Ranks outside
+// the subset must not use the SubComm; messages travel through the parent
+// communicator, so sub-communicator traffic between the same pair shares
+// the parent's per-(source, tag) FIFO ordering.
+type SubComm struct {
+	inner Comm
+	ranks []int // dense index -> parent rank, strictly ascending
+	myIdx int
+}
+
+// NewSub creates the sub-communicator containing the given parent ranks
+// (which must be distinct and include the caller). Every member must call
+// NewSub with the same rank list.
+func NewSub(c Comm, ranks []int) (*SubComm, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("comm: empty sub-communicator")
+	}
+	sorted := append([]int(nil), ranks...)
+	sort.Ints(sorted)
+	myIdx := -1
+	for i, r := range sorted {
+		if r < 0 || r >= c.Size() {
+			return nil, fmt.Errorf("%w: sub rank %d", ErrRankOutOfRange, r)
+		}
+		if i > 0 && sorted[i-1] == r {
+			return nil, fmt.Errorf("comm: duplicate sub rank %d", r)
+		}
+		if r == c.Rank() {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		return nil, fmt.Errorf("comm: caller (rank %d) not in sub-communicator", c.Rank())
+	}
+	return &SubComm{inner: c, ranks: sorted, myIdx: myIdx}, nil
+}
+
+// Parent returns the parent rank of a sub-communicator index.
+func (s *SubComm) Parent(idx int) int { return s.ranks[idx] }
+
+// Rank implements Comm.
+func (s *SubComm) Rank() int { return s.myIdx }
+
+// Size implements Comm.
+func (s *SubComm) Size() int { return len(s.ranks) }
+
+// ChargeCompute implements Comm.
+func (s *SubComm) ChargeCompute(n int) { s.inner.ChargeCompute(n) }
+
+func (s *SubComm) translate(idx int) (int, error) {
+	if idx < 0 || idx >= len(s.ranks) {
+		return 0, fmt.Errorf("%w: sub index %d, size %d", ErrRankOutOfRange, idx, len(s.ranks))
+	}
+	return s.ranks[idx], nil
+}
+
+// Send implements Comm.
+func (s *SubComm) Send(to int, tag Tag, buf []byte) error {
+	r, err := s.translate(to)
+	if err != nil {
+		return err
+	}
+	return s.inner.Send(r, tag, buf)
+}
+
+// Recv implements Comm.
+func (s *SubComm) Recv(from int, tag Tag, buf []byte) (int, error) {
+	r, err := s.translate(from)
+	if err != nil {
+		return 0, err
+	}
+	return s.inner.Recv(r, tag, buf)
+}
+
+// Isend implements Comm.
+func (s *SubComm) Isend(to int, tag Tag, buf []byte) (Request, error) {
+	r, err := s.translate(to)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.Isend(r, tag, buf)
+}
+
+// Irecv implements Comm.
+func (s *SubComm) Irecv(from int, tag Tag, buf []byte) (Request, error) {
+	r, err := s.translate(from)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.Irecv(r, tag, buf)
+}
+
+// Now implements Clock when the parent tracks virtual time.
+func (s *SubComm) Now() float64 {
+	if cl, ok := s.inner.(Clock); ok {
+		return cl.Now()
+	}
+	return 0
+}

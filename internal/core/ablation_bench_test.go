@@ -1,0 +1,214 @@
+package core
+
+// Ablation benchmarks for the implementation choices DESIGN.md §5 calls
+// out. Each Benchmark*/variant pair isolates one choice; run with
+//
+//	go test ./internal/core -bench Ablation -benchtime 10x
+//
+// The interesting output is the ratio between the variants, measured on
+// the in-memory transport (wall clock).
+
+import (
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/transport/mem"
+)
+
+// reduceKnomialDescending is ReduceKnomial with the ablated child-wait
+// order: deepest subtree first. This serializes every shallow child's
+// per-message overhead and reduction behind the slowest arrival — the
+// exact defect found (and fixed) during Fig. 7 calibration; kept here as
+// the ablation baseline.
+func reduceKnomialDescending(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, root, k int) error {
+	p := c.Size()
+	me := c.Rank()
+	var acc []byte
+	if me == root {
+		acc = recvbuf
+	} else {
+		acc = make([]byte, len(sendbuf))
+	}
+	copy(acc, sendbuf)
+	if p == 1 {
+		return nil
+	}
+	t := KnomialTree{P: p, K: k}
+	v := vrank(me, root, p)
+	children := t.Children(v)
+	bufs := make([][]byte, len(children))
+	reqs := make([]comm.Request, len(children))
+	for i, ch := range children {
+		bufs[i] = make([]byte, len(sendbuf))
+		req, err := c.Irecv(absRank(ch.VRank, root, p), tagKnomial, bufs[i])
+		if err != nil {
+			return err
+		}
+		reqs[i] = req
+	}
+	for i := range children { // descending weight: the ablated order
+		if err := reqs[i].Wait(); err != nil {
+			return err
+		}
+		if err := reduceInto(c, op, dt, acc, bufs[i]); err != nil {
+			return err
+		}
+	}
+	if par := t.Parent(v); par >= 0 {
+		return c.Send(absRank(par, root, p), tagKnomial, acc)
+	}
+	return nil
+}
+
+func benchReduceVariant(b *testing.B, fn func(c comm.Comm, s, r []byte, op datatype.Op, dt datatype.Type, root, k int) error) {
+	const p, n, k = 16, 64 << 10, 4
+	w := mem.NewWorld(p)
+	defer w.Close()
+	b.ResetTimer()
+	err := w.Run(func(c comm.Comm) error {
+		sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), n/8))
+		recvbuf := make([]byte, n)
+		for i := 0; i < b.N; i++ {
+			if err := fn(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, 0, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblationReduceWaitOrder compares ascending (shipped) vs
+// descending (ablated) child-wait order in the k-nomial reduce.
+func BenchmarkAblationReduceWaitOrder(b *testing.B) {
+	b.Run("ascending", func(b *testing.B) { benchReduceVariant(b, ReduceKnomial) })
+	b.Run("descending", func(b *testing.B) { benchReduceVariant(b, reduceKnomialDescending) })
+}
+
+// runAllgatherPerBlock executes a schedule without message coalescing: one
+// message per edge even when several blocks move between the same pair in
+// a round (the ablated executor).
+func runAllgatherPerBlock(c comm.Comm, s *Schedule, buf []byte, layout BlockLayout, tag comm.Tag) error {
+	me := c.Rank()
+	for _, round := range s.Rounds {
+		var reqs []comm.Request
+		for _, e := range round {
+			if e.To == me {
+				off, sz := layout(e.Block)
+				req, err := c.Irecv(e.From, tag+comm.Tag(e.Block), buf[off:off+sz])
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+		}
+		for _, e := range round {
+			if e.From == me {
+				off, sz := layout(e.Block)
+				req, err := c.Isend(e.To, tag+comm.Tag(e.Block), buf[off:off+sz])
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+		}
+		if err := comm.WaitAll(reqs...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkAblationScheduleCoalescing compares the shipped coalescing
+// executor against per-block messages on a non-uniform k-ring schedule
+// (where inter rounds bundle several blocks per pair).
+func BenchmarkAblationScheduleCoalescing(b *testing.B) {
+	const p, k, n = 24, 5, 4 << 10 // 5 does not divide 24: bundled transfers
+	s, err := KRingSchedule(p, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, exec func(c comm.Comm, buf []byte) error) {
+		w := mem.NewWorld(p)
+		defer w.Close()
+		b.ResetTimer()
+		err := w.Run(func(c comm.Comm) error {
+			for i := 0; i < b.N; i++ {
+				buf := make([]byte, n*p)
+				copy(buf[c.Rank()*n:], rankPayload(c.Rank(), n))
+				if err := exec(c, buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("coalesced", func(b *testing.B) {
+		run(b, func(c comm.Comm, buf []byte) error {
+			return s.RunAllgather(c, buf, UniformLayout(n), tagSched)
+		})
+	})
+	b.Run("per-block", func(b *testing.B) {
+		run(b, func(c comm.Comm, buf []byte) error {
+			return runAllgatherPerBlock(c, s, buf, UniformLayout(n), tagSched)
+		})
+	})
+}
+
+// TestAblationVariantsCorrect pins that both ablated variants still
+// compute correct results (so the benchmarks compare equal work).
+func TestAblationVariantsCorrect(t *testing.T) {
+	const p, n, k = 9, 1024, 3
+	want := datatype.EncodeFloat64(expectedSum(p, n/8))
+	w := mem.NewWorld(p)
+	err := w.Run(func(c comm.Comm) error {
+		sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), n/8))
+		recvbuf := make([]byte, n)
+		if err := reduceKnomialDescending(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, 0, k); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := range want {
+				if recvbuf[i] != want[i] {
+					return fmt.Errorf("descending reduce wrong at byte %d", i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := KRingSchedule(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := mem.NewWorld(p)
+	err = w2.Run(func(c comm.Comm) error {
+		buf := make([]byte, 64*p)
+		copy(buf[c.Rank()*64:], rankPayload(c.Rank(), 64))
+		if err := runAllgatherPerBlock(c, s, buf, UniformLayout(64), tagSched); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			wantBlock := rankPayload(r, 64)
+			for i := 0; i < 64; i++ {
+				if buf[r*64+i] != wantBlock[i] {
+					return fmt.Errorf("per-block allgather wrong at block %d", r)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

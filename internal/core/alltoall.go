@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+)
+
+// Alltoall semantics: sendbuf holds p blocks of n bytes, block j destined
+// for rank j; recvbuf receives p blocks, block j originating at rank j.
+// Alltoall is not one of the paper's generalized targets (Table I), but it
+// is the substrate of the related work the paper builds on (Bruck's
+// algorithm [7], generalized by Fan et al. [12]), so the standard
+// algorithm ladder is provided as baselines: linear for small worlds,
+// pairwise exchange for large messages, and Bruck for small messages at
+// scale.
+
+func checkAlltoallBufs(c comm.Comm, sendbuf, recvbuf []byte) (n int, err error) {
+	p := c.Size()
+	if len(sendbuf) != len(recvbuf) {
+		return 0, fmt.Errorf("%w: alltoall sendbuf=%d recvbuf=%d", ErrBadBuffer, len(sendbuf), len(recvbuf))
+	}
+	if len(sendbuf)%p != 0 {
+		return 0, fmt.Errorf("%w: alltoall buffer %d not divisible by p=%d", ErrBadBuffer, len(sendbuf), p)
+	}
+	return len(sendbuf) / p, nil
+}
+
+// AlltoallLinear posts every send and receive at once — optimal when the
+// network can buffer all p−1 messages (small worlds / multi-port nodes).
+func AlltoallLinear(c comm.Comm, sendbuf, recvbuf []byte) error {
+	n, err := checkAlltoallBufs(c, sendbuf, recvbuf)
+	if err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	copy(recvbuf[me*n:(me+1)*n], sendbuf[me*n:(me+1)*n])
+	reqs := make([]comm.Request, 0, 2*(p-1))
+	for q := 0; q < p; q++ {
+		if q == me {
+			continue
+		}
+		req, err := c.Irecv(q, tagAlltoall, recvbuf[q*n:(q+1)*n])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	for q := 0; q < p; q++ {
+		if q == me {
+			continue
+		}
+		req, err := c.Isend(q, tagAlltoall, sendbuf[q*n:(q+1)*n])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return comm.WaitAll(reqs...)
+}
+
+// AlltoallPairwise runs p−1 exchange rounds (round s pairs rank r with
+// r+s and r−s mod p) — MPICH's large-message alltoall, bounding the
+// in-flight data to one block per rank.
+func AlltoallPairwise(c comm.Comm, sendbuf, recvbuf []byte) error {
+	n, err := checkAlltoallBufs(c, sendbuf, recvbuf)
+	if err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	copy(recvbuf[me*n:(me+1)*n], sendbuf[me*n:(me+1)*n])
+	for s := 1; s < p; s++ {
+		to := (me + s) % p
+		from := ((me-s)%p + p) % p
+		if _, err := comm.SendRecv(c, to, sendbuf[to*n:(to+1)*n],
+			from, recvbuf[from*n:(from+1)*n], tagAlltoall); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AlltoallBruck is Bruck's ⌈log2 p⌉-round alltoall (the paper's reference
+// [7]): blocks are locally rotated so every rank's outgoing data is
+// indexed by distance, then round i forwards every block whose index has
+// bit i set to the rank 2^i ahead, and a final inverse rotation restores
+// rank order. Optimal message count for small blocks at large p.
+func AlltoallBruck(c comm.Comm, sendbuf, recvbuf []byte) error {
+	n, err := checkAlltoallBufs(c, sendbuf, recvbuf)
+	if err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	if p == 1 {
+		copy(recvbuf, sendbuf)
+		return nil
+	}
+
+	// Phase 1: local rotation — tmp block i is the block destined for
+	// rank (me + i) mod p.
+	tmp := make([]byte, n*p)
+	for i := 0; i < p; i++ {
+		dst := (me + i) % p
+		copy(tmp[i*n:(i+1)*n], sendbuf[dst*n:(dst+1)*n])
+	}
+
+	// Phase 2: log rounds; in round `dist` every block whose index has
+	// that bit set moves 2^i ranks forward.
+	for dist := 1; dist < p; dist <<= 1 {
+		var idxs []int
+		for i := 0; i < p; i++ {
+			if i&dist != 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		out := make([]byte, 0, len(idxs)*n)
+		for _, i := range idxs {
+			out = append(out, tmp[i*n:(i+1)*n]...)
+		}
+		in := make([]byte, len(out))
+		to := (me + dist) % p
+		from := ((me-dist)%p + p) % p
+		if _, err := comm.SendRecv(c, to, out, from, in, tagBruck); err != nil {
+			return err
+		}
+		for bi, i := range idxs {
+			copy(tmp[i*n:(i+1)*n], in[bi*n:(bi+1)*n])
+		}
+	}
+
+	// Phase 3: inverse rotation — after forwarding, tmp block i holds the
+	// data sent BY rank (me - i) mod p.
+	for i := 0; i < p; i++ {
+		src := ((me-i)%p + p) % p
+		copy(recvbuf[src*n:(src+1)*n], tmp[i*n:(i+1)*n])
+	}
+	return nil
+}

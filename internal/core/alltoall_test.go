@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"exacoll/internal/comm"
+)
+
+// alltoallBlock is rank src's block destined for rank dst.
+func alltoallBlock(src, dst, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte((src*67 + dst*31 + i*13 + 3) % 251)
+	}
+	return b
+}
+
+// checkAlltoall runs one alltoall implementation over a grid and verifies
+// every (src, dst) block.
+func checkAlltoall(t *testing.T, name string, fn func(c comm.Comm, s, r []byte) error, p, n int) {
+	t.Helper()
+	runOnWorld(t, p, func(c comm.Comm) error {
+		me := c.Rank()
+		sendbuf := make([]byte, 0, n*p)
+		for dst := 0; dst < p; dst++ {
+			sendbuf = append(sendbuf, alltoallBlock(me, dst, n)...)
+		}
+		recvbuf := make([]byte, n*p)
+		if err := fn(c, sendbuf, recvbuf); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for src := 0; src < p; src++ {
+			if !bytes.Equal(recvbuf[src*n:(src+1)*n], alltoallBlock(src, me, n)) {
+				return fmt.Errorf("%s: p=%d n=%d block from %d wrong at rank %d", name, p, n, src, me)
+			}
+		}
+		return nil
+	})
+}
+
+// TestAlltoallConformance runs all three algorithms over a (p, n) grid.
+func TestAlltoallConformance(t *testing.T) {
+	algs := map[string]func(c comm.Comm, s, r []byte) error{
+		"linear":   AlltoallLinear,
+		"pairwise": AlltoallPairwise,
+		"bruck":    AlltoallBruck,
+	}
+	for name, fn := range algs {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16} {
+				for _, n := range []int{1, 8, 100, 1000} {
+					checkAlltoall(t, name, fn, p, n)
+				}
+			}
+		})
+	}
+}
+
+// TestAlltoallBadArgs checks buffer validation.
+func TestAlltoallBadArgs(t *testing.T) {
+	runOnWorld(t, 2, func(c comm.Comm) error {
+		if err := AlltoallLinear(c, make([]byte, 4), make([]byte, 8)); err == nil {
+			return fmt.Errorf("want length-mismatch error")
+		}
+		if err := AlltoallBruck(c, make([]byte, 3), make([]byte, 3)); err == nil {
+			return fmt.Errorf("want divisibility error")
+		}
+		return nil
+	})
+}
+
+// TestQuickAlltoallAgree: testing/quick — Bruck and pairwise agree with
+// linear for random geometry.
+func TestQuickAlltoallAgree(t *testing.T) {
+	prop := func(pRaw, nRaw uint32) bool {
+		p := int(pRaw%10) + 1
+		n := int(nRaw%257) + 1
+		for _, fn := range []func(c comm.Comm, s, r []byte) error{AlltoallPairwise, AlltoallBruck} {
+			fn := fn
+			err := runQuickWorld(p, func(c comm.Comm) error {
+				me := c.Rank()
+				sendbuf := make([]byte, 0, n*p)
+				for dst := 0; dst < p; dst++ {
+					sendbuf = append(sendbuf, alltoallBlock(me, dst, n)...)
+				}
+				recvbuf := make([]byte, n*p)
+				if err := fn(c, sendbuf, recvbuf); err != nil {
+					return err
+				}
+				for src := 0; src < p; src++ {
+					if !bytes.Equal(recvbuf[src*n:(src+1)*n], alltoallBlock(src, me, n)) {
+						return fmt.Errorf("block %d wrong", src)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBarrierKDissemination checks the generalized barrier's
+// synchronization property on the simulator-free substrate: all ranks
+// complete, across radices and sizes (the timing property is tested in
+// internal/bench on the simulator).
+func TestBarrierKDissemination(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 16, 17} {
+		for _, k := range []int{2, 3, 4, 8} {
+			p, k := p, k
+			runOnWorld(t, p, func(c comm.Comm) error {
+				for iter := 0; iter < 3; iter++ {
+					if err := BarrierKDissemination(c, k); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}
+	runOnWorld(t, 4, func(c comm.Comm) error {
+		if err := BarrierKDissemination(c, 1); err == nil {
+			return fmt.Errorf("want ErrBadRadix for k=1")
+		}
+		return nil
+	})
+}

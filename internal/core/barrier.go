@@ -1,0 +1,57 @@
+package core
+
+import (
+	"exacoll/internal/comm"
+)
+
+// BarrierDissemination synchronizes all ranks with the classic
+// dissemination barrier (Hensgen/Finkel/Manber): ⌈log2 p⌉ rounds in which
+// rank r sends a zero-byte token to (r + 2^i) mod p and receives one from
+// (r − 2^i) mod p. The benchmark harness inserts it between timed
+// iterations, mirroring the OSU microbenchmarks.
+func BarrierDissemination(c comm.Comm) error {
+	return BarrierKDissemination(c, 2)
+}
+
+// BarrierKDissemination is the n-way (radix-k) dissemination barrier of
+// Hoefler et al. (the paper's reference [19]) — the same generalization
+// idea applied to synchronization: in round i every rank exchanges tokens
+// with the k−1 ranks at distances j·k^i (j = 1..k−1), completing in
+// ⌈log_k p⌉ rounds. Like the k-nomial tree, larger k trades messages per
+// round (overlapped across NIC ports) for rounds.
+func BarrierKDissemination(c comm.Comm, k int) error {
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	r := c.Rank()
+	var token [1]byte
+	for dist := 1; dist < p; dist *= k {
+		reqs := make([]comm.Request, 0, 2*(k-1))
+		ins := make([][1]byte, 0, k-1)
+		for j := 1; j < k && j*dist < p; j++ {
+			from := ((r-j*dist)%p + p) % p
+			ins = append(ins, [1]byte{})
+			req, err := c.Irecv(from, tagBarrier, ins[len(ins)-1][:])
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for j := 1; j < k && j*dist < p; j++ {
+			to := (r + j*dist) % p
+			req, err := c.Isend(to, tagBarrier, token[:])
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := comm.WaitAll(reqs...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// The binomial algorithms below are deliberately independent, mask-based
+// transcriptions of the classic MPICH implementations (Thakur et al.),
+// rather than calls into the k-nomial code with k=2. They serve two roles:
+// the fixed-radix baseline the paper's Figs. 7 and 9 compare against, and a
+// cross-validation oracle for the generalized k-nomial implementation.
+
+// BcastBinomial broadcasts buf from root using the classic binomial tree.
+func BcastBinomial(c comm.Comm, buf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	me := c.Rank()
+	v := vrank(me, root, p)
+
+	// Receive from parent: the parent differs at v's lowest set bit.
+	mask := 1
+	for mask < p {
+		if v&mask != 0 {
+			src := absRank(v-mask, root, p)
+			if _, err := c.Recv(src, tagBinomial, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Forward down, largest subtree first.
+	mask >>= 1
+	var reqs []comm.Request
+	for mask > 0 {
+		if v+mask < p {
+			req, err := c.Isend(absRank(v+mask, root, p), tagBinomial, buf)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		mask >>= 1
+	}
+	return comm.WaitAll(reqs...)
+}
+
+// ReduceBinomial reduces sendbuf from all ranks into recvbuf at root using
+// the classic binomial tree (commutative op).
+func ReduceBinomial(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	var acc []byte
+	if me == root {
+		if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+			return err
+		}
+		acc = recvbuf
+	} else {
+		acc = make([]byte, len(sendbuf))
+	}
+	copy(acc, sendbuf)
+	if p == 1 {
+		return nil
+	}
+
+	v := vrank(me, root, p)
+	tmp := make([]byte, len(sendbuf))
+	mask := 1
+	for mask < p {
+		if v&mask == 0 {
+			src := v | mask
+			if src < p {
+				if _, err := c.Recv(absRank(src, root, p), tagBinomial, tmp); err != nil {
+					return err
+				}
+				if err := reduceInto(c, op, dt, acc, tmp); err != nil {
+					return err
+				}
+			}
+		} else {
+			dst := v &^ mask
+			return c.Send(absRank(dst, root, p), tagBinomial, acc)
+		}
+		mask <<= 1
+	}
+	return nil
+}
+
+// GatherBinomial gathers every rank's n-byte sendbuf into recvbuf at root
+// using the classic binomial tree. Subtrees are contiguous vrank ranges, so
+// each hop forwards one contiguous region.
+func GatherBinomial(c comm.Comm, sendbuf, recvbuf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(sendbuf)
+	me := c.Rank()
+	if me == root && len(recvbuf) != n*p {
+		return checkAllgatherBufs(c, sendbuf, recvbuf)
+	}
+	v := vrank(me, root, p)
+
+	// Subtree span of v: up to its lowest set bit (the whole tree for v=0).
+	span := p - v
+	if v != 0 {
+		low := v & (-v)
+		span = minInt(low, p-v)
+	}
+	tmp := make([]byte, n*span)
+	copy(tmp[:n], sendbuf)
+
+	mask := 1
+	for mask < p {
+		if v&mask == 0 {
+			src := v | mask
+			if src < p {
+				sz := minInt(mask, p-src)
+				if _, err := c.Recv(absRank(src, root, p), tagBinomial, tmp[(src-v)*n:(src-v+sz)*n]); err != nil {
+					return err
+				}
+			}
+		} else {
+			dst := v &^ mask
+			return c.Send(absRank(dst, root, p), tagBinomial, tmp)
+		}
+		mask <<= 1
+	}
+	// Root: rotate vrank order to absolute order.
+	for vr := 0; vr < p; vr++ {
+		r := absRank(vr, root, p)
+		copy(recvbuf[r*n:(r+1)*n], tmp[vr*n:(vr+1)*n])
+	}
+	return nil
+}
+
+// ScatterBinomial distributes n-byte blocks from root's sendbuf (n·p) into
+// each rank's recvbuf (n) using the classic binomial tree.
+func ScatterBinomial(c comm.Comm, sendbuf, recvbuf []byte, root int) error {
+	return ScatterKnomial(c, sendbuf, recvbuf, root, 2)
+}

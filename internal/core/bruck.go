@@ -1,0 +1,47 @@
+package core
+
+import (
+	"exacoll/internal/comm"
+)
+
+// AllgatherBruck is Bruck's allgather (referenced in §VII): ⌈log2 p⌉
+// rounds for any p, at the price of a local rotation. In round i each rank
+// sends its first min(2^i, p−2^i) accumulated blocks to rank−2^i and
+// receives as many from rank+2^i; blocks are kept in "own-first" rotated
+// order and rotated back at the end. MPICH selects it for small messages
+// and non-power-of-two sizes, making it the natural baseline partner of
+// recursive doubling.
+func AllgatherBruck(c comm.Comm, sendbuf, recvbuf []byte) error {
+	if err := checkAllgatherBufs(c, sendbuf, recvbuf); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(sendbuf)
+	me := c.Rank()
+	if p == 1 {
+		copy(recvbuf, sendbuf)
+		return nil
+	}
+
+	// tmp holds blocks in rotated order: tmp[i] is the block of rank
+	// (me + i) mod p once received.
+	tmp := make([]byte, n*p)
+	copy(tmp[:n], sendbuf)
+	have := 1
+	for dist := 1; dist < p; dist *= 2 {
+		count := minInt(have, p-have)
+		to := ((me-dist)%p + p) % p
+		from := (me + dist) % p
+		if _, err := comm.SendRecv(c, to, tmp[:count*n], from, tmp[have*n:(have+count)*n], tagBruck); err != nil {
+			return err
+		}
+		have += count
+	}
+
+	// Rotate back: tmp[i] is block (me+i) mod p.
+	for i := 0; i < p; i++ {
+		r := (me + i) % p
+		copy(recvbuf[r*n:(r+1)*n], tmp[i*n:(i+1)*n])
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/transport/mem"
+)
+
+// rankPayload is rank r's deterministic n-byte contribution.
+func rankPayload(r, n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte((r*131 + i*7 + 11) % 251)
+	}
+	return buf
+}
+
+// rankVector is rank r's deterministic float64 contribution (elems values
+// are small integers so sums are exact).
+func rankVector(r, elems int) []float64 {
+	v := make([]float64, elems)
+	for i := range v {
+		v[i] = float64((r+1)*(i%17+1) - i%5)
+	}
+	return v
+}
+
+// expectedSum is the element-wise sum of all ranks' vectors.
+func expectedSum(p, elems int) []float64 {
+	sum := make([]float64, elems)
+	for r := 0; r < p; r++ {
+		for i, x := range rankVector(r, elems) {
+			sum[i] += x
+		}
+	}
+	return sum
+}
+
+// runOnWorld executes fn once per rank on a fresh mem world.
+func runOnWorld(t *testing.T, p int, fn func(c comm.Comm) error) {
+	t.Helper()
+	w := mem.NewWorld(p)
+	if err := w.Run(fn); err != nil {
+		t.Fatalf("collective failed: %v", err)
+	}
+}
+
+// checkCollective runs algorithm alg on p ranks with the given parameters
+// and verifies the result of the collective's semantics.
+func checkCollective(t *testing.T, alg *Algorithm, p, n, root, k int) {
+	t.Helper()
+	if alg.Pow2Only && !isPow2(p) {
+		return
+	}
+	switch alg.Op {
+	case OpBcast:
+		payload := rankPayload(root, n)
+		runOnWorld(t, p, func(c comm.Comm) error {
+			buf := make([]byte, n)
+			if c.Rank() == root {
+				copy(buf, payload)
+			}
+			if err := alg.Run(c, Args{SendBuf: buf, Root: root, K: k}); err != nil {
+				return err
+			}
+			if !bytes.Equal(buf, payload) {
+				return fmt.Errorf("bcast result mismatch at rank %d", c.Rank())
+			}
+			return nil
+		})
+
+	case OpReduce, OpAllreduce:
+		elems := n / 8
+		want := datatype.EncodeFloat64(expectedSum(p, elems))
+		runOnWorld(t, p, func(c comm.Comm) error {
+			sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+			recvbuf := make([]byte, len(sendbuf))
+			a := Args{SendBuf: sendbuf, RecvBuf: recvbuf,
+				Op: datatype.Sum, Type: datatype.Float64, Root: root, K: k}
+			if err := alg.Run(c, a); err != nil {
+				return err
+			}
+			if alg.Op == OpAllreduce || c.Rank() == root {
+				if !bytes.Equal(recvbuf, want) {
+					return fmt.Errorf("%v result mismatch at rank %d", alg.Op, c.Rank())
+				}
+			}
+			return nil
+		})
+
+	case OpGather, OpAllgather:
+		want := make([]byte, 0, n*p)
+		for r := 0; r < p; r++ {
+			want = append(want, rankPayload(r, n)...)
+		}
+		runOnWorld(t, p, func(c comm.Comm) error {
+			sendbuf := rankPayload(c.Rank(), n)
+			var recvbuf []byte
+			if alg.Op == OpAllgather || c.Rank() == root {
+				recvbuf = make([]byte, n*p)
+			}
+			if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, Root: root, K: k}); err != nil {
+				return err
+			}
+			if alg.Op == OpAllgather || c.Rank() == root {
+				if !bytes.Equal(recvbuf, want) {
+					return fmt.Errorf("%v result mismatch at rank %d", alg.Op, c.Rank())
+				}
+			}
+			return nil
+		})
+
+	case OpScatter:
+		runOnWorld(t, p, func(c comm.Comm) error {
+			var sendbuf []byte
+			if c.Rank() == root {
+				sendbuf = make([]byte, 0, n*p)
+				for r := 0; r < p; r++ {
+					sendbuf = append(sendbuf, rankPayload(r, n)...)
+				}
+			}
+			recvbuf := make([]byte, n)
+			if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, Root: root, K: k}); err != nil {
+				return err
+			}
+			if !bytes.Equal(recvbuf, rankPayload(c.Rank(), n)) {
+				return fmt.Errorf("scatter result mismatch at rank %d", c.Rank())
+			}
+			return nil
+		})
+
+	case OpReduceScatter:
+		elems := n / 8
+		nn := elems * 8
+		sum := expectedSum(p, elems)
+		runOnWorld(t, p, func(c comm.Comm) error {
+			sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+			layout := FairLayoutAligned(nn, p, 8)
+			off, sz := layout(c.Rank())
+			recvbuf := make([]byte, sz)
+			a := Args{SendBuf: sendbuf, RecvBuf: recvbuf,
+				Op: datatype.Sum, Type: datatype.Float64, K: k}
+			if err := alg.Run(c, a); err != nil {
+				return err
+			}
+			want := datatype.EncodeFloat64(sum)[off : off+sz]
+			if !bytes.Equal(recvbuf, want) {
+				return fmt.Errorf("reduce-scatter block mismatch at rank %d", c.Rank())
+			}
+			return nil
+		})
+
+	case OpScan:
+		elems := n / 8
+		runOnWorld(t, p, func(c comm.Comm) error {
+			sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+			recvbuf := make([]byte, len(sendbuf))
+			a := Args{SendBuf: sendbuf, RecvBuf: recvbuf,
+				Op: datatype.Sum, Type: datatype.Float64, K: k}
+			if err := alg.Run(c, a); err != nil {
+				return err
+			}
+			if !bytes.Equal(recvbuf, datatype.EncodeFloat64(prefixSum(c.Rank(), elems))) {
+				return fmt.Errorf("scan mismatch at rank %d", c.Rank())
+			}
+			return nil
+		})
+
+	case OpAlltoall:
+		runOnWorld(t, p, func(c comm.Comm) error {
+			me := c.Rank()
+			sendbuf := make([]byte, 0, n*p)
+			for dst := 0; dst < p; dst++ {
+				sendbuf = append(sendbuf, rankPayload(me*1000+dst, n)...)
+			}
+			recvbuf := make([]byte, n*p)
+			if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, K: k}); err != nil {
+				return err
+			}
+			for src := 0; src < p; src++ {
+				if !bytes.Equal(recvbuf[src*n:(src+1)*n], rankPayload(src*1000+me, n)) {
+					return fmt.Errorf("alltoall block from %d wrong at rank %d", src, me)
+				}
+			}
+			return nil
+		})
+
+	default:
+		t.Fatalf("unhandled op %v", alg.Op)
+	}
+}
+
+var conformanceSizes = []int{8, 64, 1024, 8192}
+
+var conformanceP = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 17, 24, 32}
+
+// TestConformanceAllAlgorithms runs every registered algorithm over a grid
+// of communicator sizes, message sizes, radices and roots, checking the
+// collective's result against a locally computed expectation.
+func TestConformanceAllAlgorithms(t *testing.T) {
+	for _, alg := range Algorithms(-1) {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			ks := []int{0}
+			if alg.Generalized {
+				ks = []int{2, 3, 4, 5, 8}
+				if alg.Kernel == KernelKRing {
+					ks = append(ks, 1)
+				}
+			}
+			for _, p := range conformanceP {
+				for _, n := range conformanceSizes {
+					for _, k := range ks {
+						if k > p && k != 0 && alg.Kernel != KernelKRing {
+							// k-nomial and rec-mul accept k > p, but skip
+							// most of the redundant grid; keep one case.
+							if k != 8 || p > 8 {
+								continue
+							}
+						}
+						roots := []int{0}
+						if p > 1 && (alg.Op == OpBcast || alg.Op == OpReduce || alg.Op == OpGather || alg.Op == OpScatter) {
+							roots = []int{0, p - 1, p / 2}
+						}
+						for _, root := range roots {
+							checkCollective(t, alg, p, n, root, k)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceOddSizes exercises message sizes that do not divide evenly
+// into fair blocks (n mod p != 0) and tiny messages (n < p), which stress
+// zero-size fair blocks in the scatter-allgather compositions.
+func TestConformanceOddSizes(t *testing.T) {
+	odd := []int{16, 24, 88, 104, 1000}
+	for _, alg := range Algorithms(-1) {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			k := 3
+			if alg.Kernel == KernelKRing {
+				k = 2
+			}
+			if !alg.Generalized {
+				k = 0
+			}
+			for _, p := range []int{5, 6, 8, 13} {
+				for _, n := range odd {
+					checkCollective(t, alg, p, n, p-1, k)
+				}
+			}
+		})
+	}
+}
+
+// TestReduceOps checks every (op, type) pair through one tree and one ring
+// reduction.
+func TestReduceOps(t *testing.T) {
+	const p = 6
+	cases := []struct {
+		op datatype.Op
+		dt datatype.Type
+	}{
+		{datatype.Sum, datatype.Float64},
+		{datatype.Prod, datatype.Float32},
+		{datatype.Max, datatype.Int64},
+		{datatype.Min, datatype.Int32},
+		{datatype.BAnd, datatype.Uint8},
+		{datatype.BOr, datatype.Uint8},
+		{datatype.Sum, datatype.Int32},
+		{datatype.Max, datatype.Float64},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%v_%v", tc.op, tc.dt), func(t *testing.T) {
+			elems := 50
+			es := tc.dt.Size()
+			input := func(r int) []byte {
+				buf := make([]byte, elems*es)
+				for i := range buf {
+					buf[i] = byte((r*37 + i*13 + 5) % 200)
+				}
+				if tc.dt == datatype.Float64 {
+					// Build well-behaved floats instead of raw bit patterns.
+					v := make([]float64, elems)
+					for i := range v {
+						v[i] = 1 + float64((r+i)%3)/4 // keeps products small
+					}
+					return datatype.EncodeFloat64(v)
+				}
+				if tc.dt == datatype.Float32 {
+					b := make([]byte, elems*4)
+					for i := 0; i < elems; i++ {
+						binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(1+float32((r+i)%3)/4))
+					}
+					return b
+				}
+				return buf
+			}
+			want := input(0)
+			for r := 1; r < p; r++ {
+				if err := datatype.Apply(tc.op, tc.dt, want, input(r)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			algs := []string{"allreduce_recdbl", "allreduce_ring", "allreduce_recmul", "allreduce_rabenseifner", "allreduce_kring"}
+			for _, name := range algs {
+				alg, err := Lookup(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runOnWorld(t, p, func(c comm.Comm) error {
+					sendbuf := input(c.Rank())
+					recvbuf := make([]byte, len(sendbuf))
+					a := Args{SendBuf: sendbuf, RecvBuf: recvbuf, Op: tc.op, Type: tc.dt, K: 3}
+					if err := alg.Run(c, a); err != nil {
+						return err
+					}
+					if !bytes.Equal(recvbuf, want) {
+						return fmt.Errorf("%s: op %v/%v mismatch at rank %d", name, tc.op, tc.dt, c.Rank())
+					}
+					return nil
+				})
+			}
+		})
+	}
+}
+
+// TestBadArgs checks argument validation paths.
+func TestBadArgs(t *testing.T) {
+	runOnWorld(t, 2, func(c comm.Comm) error {
+		if err := BcastKnomial(c, nil, 5, 2); !errors.Is(err, ErrBadRoot) {
+			return fmt.Errorf("want ErrBadRoot, got %v", err)
+		}
+		if err := BcastKnomial(c, nil, 0, 1); !errors.Is(err, ErrBadRadix) {
+			return fmt.Errorf("want ErrBadRadix, got %v", err)
+		}
+		if err := AllgatherRing(c, make([]byte, 8), make([]byte, 8)); !errors.Is(err, ErrBadBuffer) {
+			return fmt.Errorf("want ErrBadBuffer, got %v", err)
+		}
+		return nil
+	})
+}

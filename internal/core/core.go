@@ -1,0 +1,143 @@
+// Package core implements the paper's contribution: generalized collective
+// algorithms (k-nomial tree, recursive multiplying, k-ring) for Bcast,
+// Reduce, Gather, Allgather and Allreduce, together with the fixed-radix
+// baselines they generalize (binomial tree, recursive doubling, ring) and
+// the standard MPICH composite algorithms used for comparison
+// (scatter-allgather bcast, reduce-scatter-allgather allreduce, Bruck
+// allgather, linear algorithms).
+//
+// Every algorithm is a plain function over comm.Comm, so the same body runs
+// on the in-memory transport, the TCP transport, and the machine simulator.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// Tag bases, one per algorithm family. Rounds within one collective share a
+// tag: per-(source, tag) FIFO ordering makes that safe, exactly as in MPICH.
+const (
+	tagLinear   comm.Tag = comm.TagCollBase + 0x000
+	tagBinomial comm.Tag = comm.TagCollBase + 0x100
+	tagKnomial  comm.Tag = comm.TagCollBase + 0x200
+	tagRecDbl   comm.Tag = comm.TagCollBase + 0x300
+	tagRecMul   comm.Tag = comm.TagCollBase + 0x400
+	tagSched    comm.Tag = comm.TagCollBase + 0x500
+	tagScatter  comm.Tag = comm.TagCollBase + 0x600
+	tagFold     comm.Tag = comm.TagCollBase + 0x700
+	tagBruck    comm.Tag = comm.TagCollBase + 0x800
+	tagRabens   comm.Tag = comm.TagCollBase + 0x900
+	tagBarrier  comm.Tag = comm.TagCollBase + 0xa00
+	tagAlltoall comm.Tag = comm.TagCollBase + 0xb00
+)
+
+// Validation errors shared by all algorithms.
+var (
+	// ErrBadRadix reports a radix k outside the algorithm's valid range.
+	ErrBadRadix = errors.New("core: radix k must be >= 2 (k-ring: >= 1)")
+	// ErrBadRoot reports a root rank outside [0, Size).
+	ErrBadRoot = errors.New("core: root out of range")
+	// ErrBadBuffer reports mismatched buffer lengths.
+	ErrBadBuffer = errors.New("core: buffer length mismatch")
+)
+
+func checkRoot(c comm.Comm, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("%w: root %d, size %d", ErrBadRoot, root, c.Size())
+	}
+	return nil
+}
+
+func checkRadix(k int) error {
+	if k < 2 {
+		return fmt.Errorf("%w: got %d", ErrBadRadix, k)
+	}
+	return nil
+}
+
+// checkAllgatherBufs validates the uniform-contribution allgather layout:
+// every rank contributes len(sendbuf) bytes and recvbuf holds p such blocks.
+func checkAllgatherBufs(c comm.Comm, sendbuf, recvbuf []byte) error {
+	if len(recvbuf) != len(sendbuf)*c.Size() {
+		return fmt.Errorf("%w: allgather recvbuf=%d, want sendbuf(%d) * p(%d)",
+			ErrBadBuffer, len(recvbuf), len(sendbuf), c.Size())
+	}
+	return nil
+}
+
+// checkReduceBufs validates sendbuf/recvbuf for reductions: equal lengths,
+// multiple of the element size.
+func checkReduceBufs(sendbuf, recvbuf []byte, t datatype.Type) error {
+	if len(sendbuf) != len(recvbuf) {
+		return fmt.Errorf("%w: reduce sendbuf=%d recvbuf=%d", ErrBadBuffer, len(sendbuf), len(recvbuf))
+	}
+	if len(sendbuf)%t.Size() != 0 {
+		return fmt.Errorf("%w: buffer length %d not a multiple of %v size %d",
+			ErrBadBuffer, len(sendbuf), t, t.Size())
+	}
+	return nil
+}
+
+// fairOffset returns the start offset of fair block i when n bytes are
+// split across p blocks: block i spans [i*n/p, (i+1)*n/p). Blocks differ in
+// size by at most one "unit" and cover n exactly.
+func fairOffset(n, p, i int) int { return i * n / p }
+
+// fairBlock returns (offset, size) of fair block i of n bytes over p blocks.
+func fairBlock(n, p, i int) (off, size int) {
+	off = fairOffset(n, p, i)
+	return off, fairOffset(n, p, i+1) - off
+}
+
+// vrank maps an absolute rank to its rank relative to root (MPI idiom for
+// rooted trees): vrank(root) = 0.
+func vrank(rank, root, p int) int { return (rank - root + p) % p }
+
+// absRank inverts vrank.
+func absRank(vr, root, p int) int { return (vr + root) % p }
+
+// reduceInto applies dst = dst op src and charges the γ (computation) term
+// to the communicator's clock.
+func reduceInto(c comm.Comm, op datatype.Op, t datatype.Type, dst, src []byte) error {
+	if err := datatype.Apply(op, t, dst, src); err != nil {
+		return err
+	}
+	c.ChargeCompute(len(dst))
+	return nil
+}
+
+// ilog returns floor(log_k(x)) for x >= 1, k >= 2.
+func ilog(k, x int) int {
+	n := 0
+	for v := k; v <= x; v *= k {
+		n++
+	}
+	return n
+}
+
+// ipow returns k^e for small non-negative e.
+func ipow(k, e int) int {
+	v := 1
+	for i := 0; i < e; i++ {
+		v *= k
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

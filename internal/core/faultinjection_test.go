@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/transport/faulty"
+	"exacoll/internal/transport/mem"
+)
+
+// TestFaultInjectionAllAlgorithms runs every registered algorithm with a
+// shrinking world-wide send budget and demands that each run either
+// completes successfully or surfaces an error — never hangs and never
+// panics. This covers the error-propagation paths of every algorithm
+// (a send failure mid-collective must unwind cleanly through WaitAll,
+// schedule executors, fold phases, and composed sub-collectives).
+func TestFaultInjectionAllAlgorithms(t *testing.T) {
+	const p = 6
+	const n = 256
+	for _, alg := range Algorithms(-1) {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			if alg.Pow2Only {
+				t.Skip("pow2-only algorithm, p=6 grid")
+			}
+			// Budgets from "fails immediately" to "just enough to finish".
+			for _, budget := range []int{0, 1, 2, 5, 9, 17, 40, 1 << 20} {
+				w := mem.NewWorld(p)
+				b := faulty.NewBudget(budget)
+				err := w.Run(func(c comm.Comm) error {
+					fc := faulty.Wrap(c, b)
+					a := buildArgs(alg.Op, c.Rank(), p, n)
+					a.K = 3
+					return alg.Run(fc, a)
+				})
+				if budget >= 1<<20 && err != nil {
+					t.Fatalf("budget %d: unexpected failure: %v", budget, err)
+				}
+				if err != nil && !errors.Is(err, faulty.ErrInjected) && !errors.Is(err, comm.ErrClosed) {
+					t.Fatalf("budget %d: unexpected error type: %v", budget, err)
+				}
+				w.Close()
+			}
+		})
+	}
+}
+
+// buildArgs mirrors the conformance argument construction for fault runs
+// (values are irrelevant; shapes must be right).
+func buildArgs(op CollOp, rank, p, n int) Args {
+	a := Args{Op: datatype.Sum, Type: datatype.Float64, Root: 0}
+	switch op {
+	case OpBcast:
+		a.SendBuf = make([]byte, n)
+	case OpReduce, OpAllreduce:
+		a.SendBuf = make([]byte, n)
+		a.RecvBuf = make([]byte, n)
+	case OpGather, OpAllgather:
+		a.SendBuf = make([]byte, n)
+		a.RecvBuf = make([]byte, n*p)
+	case OpScatter:
+		if rank == 0 {
+			a.SendBuf = make([]byte, n*p)
+		}
+		a.RecvBuf = make([]byte, n)
+	case OpReduceScatter:
+		a.SendBuf = make([]byte, n)
+		_, sz := FairLayoutAligned(n, p, 8)(rank)
+		a.RecvBuf = make([]byte, sz)
+	case OpAlltoall:
+		a.SendBuf = make([]byte, n*p)
+		a.RecvBuf = make([]byte, n*p)
+	case OpScan:
+		a.SendBuf = make([]byte, n)
+		a.RecvBuf = make([]byte, n)
+	}
+	return a
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// AllreduceHierarchical is the two-level hierarchical allreduce of Hasanov
+// et al. (the paper's reference [17], which inspired the k-ring
+// generalization): ranks are split into contiguous groups of `group`
+// (normally the node's PPN); each group reduces to its leader over the
+// fast intranode links, leaders run a recursive-doubling allreduce across
+// nodes, and each leader broadcasts the result back into its group. With
+// group=1 it degenerates to the flat recursive-doubling allreduce.
+func AllreduceHierarchical(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, group int) error {
+	if group < 1 {
+		return fmt.Errorf("%w: hierarchical group %d", ErrBadRadix, group)
+	}
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	if group > p {
+		group = p
+	}
+	base := (me / group) * group
+	size := minInt(group, p-base)
+
+	if size == 1 {
+		// Singleton group: the rank is its own leader.
+		copy(recvbuf, sendbuf)
+	} else {
+		members := make([]int, size)
+		for i := range members {
+			members[i] = base + i
+		}
+		sub, err := comm.NewSub(c, members)
+		if err != nil {
+			return err
+		}
+		// Phase 1: intra-group reduce to the leader (sub-rank 0).
+		if err := ReduceKnomial(sub, sendbuf, recvbuf, op, dt, 0, 2); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: leaders allreduce across groups.
+	if me == base {
+		g := (p + group - 1) / group
+		leaders := make([]int, g)
+		for i := range leaders {
+			leaders[i] = i * group
+		}
+		lsub, err := comm.NewSub(c, leaders)
+		if err != nil {
+			return err
+		}
+		if g > 1 {
+			tmp := make([]byte, len(recvbuf))
+			copy(tmp, recvbuf)
+			if err := AllreduceRecDbl(lsub, tmp, recvbuf, op, dt); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: leaders broadcast into their groups.
+	if size > 1 {
+		members := make([]int, size)
+		for i := range members {
+			members[i] = base + i
+		}
+		sub, err := comm.NewSub(c, members)
+		if err != nil {
+			return err
+		}
+		return BcastKnomial(sub, recvbuf, 0, 2)
+	}
+	return nil
+}

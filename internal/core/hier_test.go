@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// TestHierarchicalAllreduce validates the two-level allreduce across
+// group sizes including non-divisible ones.
+func TestHierarchicalAllreduce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6, 8, 12, 13} {
+		for _, group := range []int{1, 2, 3, 4, 8, 20} {
+			p, group := p, group
+			elems := 64
+			want := datatype.EncodeFloat64(expectedSum(p, elems))
+			runOnWorld(t, p, func(c comm.Comm) error {
+				sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+				recvbuf := make([]byte, len(sendbuf))
+				if err := AllreduceHierarchical(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, group); err != nil {
+					return err
+				}
+				if !bytes.Equal(recvbuf, want) {
+					return fmt.Errorf("p=%d group=%d mismatch at rank %d", p, group, c.Rank())
+				}
+				return nil
+			})
+		}
+	}
+	runOnWorld(t, 2, func(c comm.Comm) error {
+		err := AllreduceHierarchical(c, make([]byte, 8), make([]byte, 8), datatype.Sum, datatype.Float64, 0)
+		if err == nil {
+			return fmt.Errorf("want error for group=0")
+		}
+		return nil
+	})
+}
+
+// TestSegmentedBcast validates the pipelined bcast across segment sizes,
+// including segments larger than the message and non-dividing sizes.
+func TestSegmentedBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		for _, n := range []int{0, 1, 100, 1000, 4096} {
+			for _, seg := range []int{1, 7, 64, 512, 10000} {
+				for _, k := range []int{2, 4} {
+					p, n, seg, k := p, n, seg, k
+					root := p / 2
+					payload := rankPayload(root+5, n)
+					runOnWorld(t, p, func(c comm.Comm) error {
+						buf := make([]byte, n)
+						if c.Rank() == root {
+							copy(buf, payload)
+						}
+						if err := BcastKnomialSegmented(c, buf, root, k, seg); err != nil {
+							return err
+						}
+						if !bytes.Equal(buf, payload) {
+							return fmt.Errorf("p=%d n=%d seg=%d k=%d mismatch at rank %d", p, n, seg, k, c.Rank())
+						}
+						return nil
+					})
+				}
+			}
+		}
+	}
+	runOnWorld(t, 2, func(c comm.Comm) error {
+		if err := BcastKnomialSegmented(c, make([]byte, 8), 0, 2, 0); err == nil {
+			return fmt.Errorf("want error for segSize=0")
+		}
+		return nil
+	})
+}
+
+// TestPipelineSegments pins the segment arithmetic.
+func TestPipelineSegments(t *testing.T) {
+	cases := []struct{ n, seg, want int }{
+		{0, 8, 0}, {1, 8, 1}, {8, 8, 1}, {9, 8, 2}, {100, 7, 15}, {5, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := PipelineSegments(tc.n, tc.seg); got != tc.want {
+			t.Errorf("PipelineSegments(%d,%d) = %d, want %d", tc.n, tc.seg, got, tc.want)
+		}
+	}
+}
+
+// TestSubCommValidation covers comm.NewSub error paths and translation.
+func TestSubCommValidation(t *testing.T) {
+	runOnWorld(t, 4, func(c comm.Comm) error {
+		if _, err := comm.NewSub(c, nil); err == nil {
+			return fmt.Errorf("want error for empty sub")
+		}
+		if _, err := comm.NewSub(c, []int{0, 0, 1, 2, 3}); err == nil {
+			return fmt.Errorf("want error for duplicate ranks")
+		}
+		if _, err := comm.NewSub(c, []int{0, 9}); err == nil {
+			return fmt.Errorf("want error for out-of-range rank")
+		}
+		if c.Rank() == 3 {
+			if _, err := comm.NewSub(c, []int{0, 1}); err == nil {
+				return fmt.Errorf("want error for non-member caller")
+			}
+			return nil
+		}
+		sub, err := comm.NewSub(c, []int{2, 0, 1}) // unsorted on purpose
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 || sub.Rank() != c.Rank() {
+			return fmt.Errorf("sub geometry %d/%d", sub.Rank(), sub.Size())
+		}
+		if sub.Parent(2) != 2 {
+			return fmt.Errorf("Parent(2) = %d", sub.Parent(2))
+		}
+		// A collective over the sub-communicator.
+		sendbuf := datatype.EncodeFloat64([]float64{float64(c.Rank())})
+		recvbuf := make([]byte, 8)
+		if err := AllreduceRecDbl(sub, sendbuf, recvbuf, datatype.Sum, datatype.Float64); err != nil {
+			return err
+		}
+		if got := datatype.DecodeFloat64(recvbuf)[0]; got != 3 {
+			return fmt.Errorf("sub allreduce = %v", got)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// BcastKnomial broadcasts buf from root using a k-nomial tree (§III). Each
+// internal node receives the message once from its parent and then issues
+// nonblocking sends to all of its up to (k-1)·log_k(p) children
+// simultaneously, relying on multi-port NICs and message buffering to
+// overlap them (§II-B2). k = 2 is the binomial tree.
+func BcastKnomial(c comm.Comm, buf []byte, root, k int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	t := KnomialTree{P: p, K: k}
+	v := vrank(c.Rank(), root, p)
+
+	if par := t.Parent(v); par >= 0 {
+		if _, err := c.Recv(absRank(par, root, p), tagKnomial, buf); err != nil {
+			return err
+		}
+	}
+	children := t.Children(v)
+	reqs := make([]comm.Request, 0, len(children))
+	for _, ch := range children {
+		req, err := c.Isend(absRank(ch.VRank, root, p), tagKnomial, buf)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return comm.WaitAll(reqs...)
+}
+
+// ReduceKnomial reduces every rank's sendbuf into recvbuf at root using a
+// k-nomial tree. Each internal node posts receives from all children at
+// once (the overlapped messages highlighted in Fig. 2), combines them, and
+// forwards one partial result to its parent. Requires a commutative op.
+func ReduceKnomial(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, root, k int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+
+	// Accumulator: the root reduces directly into recvbuf; other ranks use
+	// scratch.
+	var acc []byte
+	if me == root {
+		if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+			return err
+		}
+		acc = recvbuf
+	} else {
+		acc = make([]byte, len(sendbuf))
+	}
+	copy(acc, sendbuf)
+	if p == 1 {
+		return nil
+	}
+
+	t := KnomialTree{P: p, K: k}
+	v := vrank(me, root, p)
+	children := t.Children(v)
+
+	// Post all child receives simultaneously so the NIC ports can overlap
+	// them; then combine in ascending subtree-weight order — shallow
+	// subtrees finish first, so their reductions overlap with the deeper
+	// children still in flight (as in MPICH's binomial reduce, which
+	// processes small-mask children before the message from the large
+	// subtree has arrived).
+	bufs := make([][]byte, len(children))
+	reqs := make([]comm.Request, len(children))
+	for i, ch := range children {
+		bufs[i] = make([]byte, len(sendbuf))
+		req, err := c.Irecv(absRank(ch.VRank, root, p), tagKnomial, bufs[i])
+		if err != nil {
+			return err
+		}
+		reqs[i] = req
+	}
+	for i := len(children) - 1; i >= 0; i-- {
+		if err := reqs[i].Wait(); err != nil {
+			return err
+		}
+		if err := reduceInto(c, op, dt, acc, bufs[i]); err != nil {
+			return err
+		}
+	}
+	if par := t.Parent(v); par >= 0 {
+		return c.Send(absRank(par, root, p), tagKnomial, acc)
+	}
+	return nil
+}
+
+// GatherKnomial gathers every rank's n-byte sendbuf into recvbuf (length
+// n·p, rank order) at root using a k-nomial tree (Figs. 1 and 2 show the
+// k=2 and k=3 trees). Subtrees span contiguous vrank ranges, so each node
+// forwards a single contiguous buffer per child.
+func GatherKnomial(c comm.Comm, sendbuf, recvbuf []byte, root, k int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(sendbuf)
+	me := c.Rank()
+	if me == root && len(recvbuf) != n*p {
+		return checkAllgatherBufs(c, sendbuf, recvbuf)
+	}
+	t := KnomialTree{P: p, K: k}
+	v := vrank(me, root, p)
+	children := t.Children(v)
+
+	// tmp holds this rank's subtree in vrank order: vrank v at offset 0.
+	span := t.P - v
+	if par := t.Parent(v); par >= 0 {
+		span = t.SubtreeSize(v, t.lowestWeight(v))
+	}
+	tmp := make([]byte, n*span)
+	copy(tmp[:n], sendbuf)
+
+	reqs := make([]comm.Request, len(children))
+	for i, ch := range children {
+		sz := t.SubtreeSize(ch.VRank, ch.Weight)
+		off := (ch.VRank - v) * n
+		req, err := c.Irecv(absRank(ch.VRank, root, p), tagKnomial, tmp[off:off+sz*n])
+		if err != nil {
+			return err
+		}
+		reqs[i] = req
+	}
+	if err := comm.WaitAll(reqs...); err != nil {
+		return err
+	}
+	if par := t.Parent(v); par >= 0 {
+		return c.Send(absRank(par, root, p), tagKnomial, tmp)
+	}
+	// Root: rotate from vrank order back to absolute rank order.
+	for vr := 0; vr < p; vr++ {
+		r := absRank(vr, root, p)
+		copy(recvbuf[r*n:(r+1)*n], tmp[vr*n:(vr+1)*n])
+	}
+	return nil
+}
+
+// ScatterKnomial distributes n-byte blocks from sendbuf (length n·p, rank
+// order) at root so each rank receives its block in recvbuf (length n),
+// using a k-nomial tree (the reverse of GatherKnomial).
+func ScatterKnomial(c comm.Comm, sendbuf, recvbuf []byte, root, k int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(recvbuf)
+	me := c.Rank()
+	t := KnomialTree{P: p, K: k}
+	v := vrank(me, root, p)
+
+	var tmp []byte
+	if v == 0 {
+		if len(sendbuf) != n*p {
+			return checkAllgatherBufs(c, recvbuf, sendbuf)
+		}
+		// Rotate into vrank order.
+		tmp = make([]byte, n*p)
+		for vr := 0; vr < p; vr++ {
+			r := absRank(vr, root, p)
+			copy(tmp[vr*n:(vr+1)*n], sendbuf[r*n:(r+1)*n])
+		}
+	} else {
+		span := t.SubtreeSize(v, t.lowestWeight(v))
+		tmp = make([]byte, n*span)
+		if _, err := c.Recv(absRank(t.Parent(v), root, p), tagScatter, tmp); err != nil {
+			return err
+		}
+	}
+	children := t.Children(v)
+	reqs := make([]comm.Request, 0, len(children))
+	for _, ch := range children {
+		sz := t.SubtreeSize(ch.VRank, ch.Weight)
+		off := (ch.VRank - v) * n
+		req, err := c.Isend(absRank(ch.VRank, root, p), tagScatter, tmp[off:off+sz*n])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	copy(recvbuf, tmp[:n])
+	return comm.WaitAll(reqs...)
+}
+
+// AllgatherKnomial implements allgather as a k-nomial gather to rank 0
+// followed by a k-nomial bcast, matching the composition the paper's eq.
+// (2)/(3) models.
+func AllgatherKnomial(c comm.Comm, sendbuf, recvbuf []byte, k int) error {
+	if err := checkAllgatherBufs(c, sendbuf, recvbuf); err != nil {
+		return err
+	}
+	if err := GatherKnomial(c, sendbuf, recvbuf, 0, k); err != nil {
+		return err
+	}
+	return BcastKnomial(c, recvbuf, 0, k)
+}
+
+// AllreduceKnomial implements allreduce as a k-nomial reduce to rank 0
+// followed by a k-nomial bcast (paper eq. (3)).
+func AllreduceKnomial(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, k int) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	if err := ReduceKnomial(c, sendbuf, recvbuf, op, dt, 0, k); err != nil {
+		return err
+	}
+	return BcastKnomial(c, recvbuf, 0, k)
+}
+
+// scatterFairForBcast distributes root's buf across all ranks in fair
+// blocks keyed by absolute rank, using a radix-k tree. On return, every
+// rank's buf contains at least its own fair block at fairOffset(rank)
+// (root's buf is of course complete). This is phase 1 of every
+// "scatter-allgather" bcast (van de Geijn), shared by the ring, k-ring,
+// recursive-doubling and recursive-multiplying bcast variants.
+func scatterFairForBcast(c comm.Comm, buf []byte, root, k int) error {
+	p := c.Size()
+	n := len(buf)
+	me := c.Rank()
+	t := KnomialTree{P: p, K: k}
+	v := vrank(me, root, p)
+
+	// Packed layout: fair blocks of the absolute ranks, ordered by vrank.
+	// packedOff(vr) = total size of blocks of vranks < vr.
+	packedOff := make([]int, p+1)
+	for vr := 0; vr < p; vr++ {
+		_, sz := fairBlock(n, p, absRank(vr, root, p))
+		packedOff[vr+1] = packedOff[vr] + sz
+	}
+
+	var packed []byte
+	if v == 0 {
+		packed = make([]byte, n)
+		for vr := 0; vr < p; vr++ {
+			off, sz := fairBlock(n, p, absRank(vr, root, p))
+			copy(packed[packedOff[vr]:packedOff[vr]+sz], buf[off:off+sz])
+		}
+	} else {
+		span := t.SubtreeSize(v, t.lowestWeight(v))
+		packed = make([]byte, packedOff[v+span]-packedOff[v])
+		if _, err := c.Recv(absRank(t.Parent(v), root, p), tagScatter, packed); err != nil {
+			return err
+		}
+	}
+	base := packedOff[v]
+	children := t.Children(v)
+	reqs := make([]comm.Request, 0, len(children))
+	for _, ch := range children {
+		sz := t.SubtreeSize(ch.VRank, ch.Weight)
+		lo := packedOff[ch.VRank] - base
+		hi := packedOff[ch.VRank+sz] - base
+		req, err := c.Isend(absRank(ch.VRank, root, p), tagScatter, packed[lo:hi])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	if v != 0 {
+		off, sz := fairBlock(n, p, me)
+		copy(buf[off:off+sz], packed[:sz])
+	}
+	return comm.WaitAll(reqs...)
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// The k-ring algorithm (§V-C) splits the p ranks into g = ⌈p/k⌉ contiguous
+// groups and alternates fast intra-group ring rounds with a single
+// inter-group round per phase. With contiguous rank placement and k equal
+// to the number of processes per node, "intra-group" becomes "intranode",
+// letting most rounds run over the high-bandwidth intranode links without
+// synchronizing against slower internode messages (§II-B3). k=1 and k≥p
+// both degenerate to the classic ring.
+//
+// Structure for p=6, k=3 (Fig. 6): two intra rounds completing each
+// group's internal allgather, one inter round in which each process passes
+// one block to its inter-group neighbor, and two more intra rounds
+// circulating the received foreign blocks: g(k−1) intra + (g−1) inter
+// rounds, p−1 total (eq. (11)/(12)).
+
+// KRingSchedule builds the k-ring allgather schedule for any p ≥ 1 and
+// group size k ≥ 1. If k does not divide p the last group is smaller (the
+// non-uniform corner case of §VI-A): inter-round transfers then map block
+// q of the source group to sender index q mod |senders| and receiver index
+// (q mod |senders|) mod |receivers|, and circulation forwards whatever a
+// member received in the previous round.
+func KRingSchedule(p, k int) (*Schedule, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k-ring group size %d", ErrBadRadix, k)
+	}
+	if k > p {
+		k = p
+	}
+	g := (p + k - 1) / k
+	base := func(j int) int { return j * k }
+	size := func(j int) int { return minInt(k, p-j*k) }
+	maxSize := k
+	s := &Schedule{P: p}
+
+	// Phase A: intra-group ring allgather, size(j)-1 rounds per group,
+	// aligned on global round indices (smaller groups idle in later
+	// rounds; rounds are logical only — there is no barrier).
+	for t := 0; t < maxSize-1; t++ {
+		var round Round
+		for j := 0; j < g; j++ {
+			sj := size(j)
+			if t >= sj-1 {
+				continue
+			}
+			for idx := 0; idx < sj; idx++ {
+				round = append(round, Edge{
+					From:  base(j) + idx,
+					To:    base(j) + (idx+1)%sj,
+					Block: base(j) + ((idx-t)%sj+sj)%sj,
+				})
+			}
+		}
+		if len(round) > 0 {
+			s.Rounds = append(s.Rounds, round)
+		}
+	}
+
+	// Phases x = 1..g-1: one inter-group round, then circulation rounds
+	// spreading the received foreign blocks within each group.
+	for x := 1; x < g; x++ {
+		// startIdx[j][q]: the member of group j that receives block q of
+		// the foreign group during this phase's inter round.
+		inter := make(Round, 0, p)
+		startIdx := make([][]int, g)
+		for j := 0; j < g; j++ {
+			jr := (j + 1) % g
+			// Group j sends the blocks of group sgs to group jr.
+			sgs := ((j-x+1)%g + g) % g
+			srcSize := size(sgs)
+			if startIdx[jr] == nil {
+				startIdx[jr] = make([]int, srcSize)
+			}
+			for q := 0; q < srcSize; q++ {
+				senderIdx := q % size(j)
+				recvIdx := senderIdx % size(jr)
+				inter = append(inter, Edge{
+					From:  base(j) + senderIdx,
+					To:    base(jr) + recvIdx,
+					Block: base(sgs) + q,
+				})
+				startIdx[jr][q] = recvIdx
+			}
+		}
+		s.Rounds = append(s.Rounds, inter)
+
+		// Circulation: in round c, member m forwards the blocks that
+		// entered the group at member (m-(c-1)) mod size and have been
+		// forwarded c-1 times, stopping after size-1 rounds per group.
+		for c := 1; c < maxSize; c++ {
+			var round Round
+			for jr := 0; jr < g; jr++ {
+				sj := size(jr)
+				if c >= sj {
+					continue
+				}
+				sgr := ((jr-x)%g + g) % g // source group of jr's foreign blocks
+				for q := range startIdx[jr] {
+					m := (startIdx[jr][q] + c - 1) % sj
+					round = append(round, Edge{
+						From:  base(jr) + m,
+						To:    base(jr) + (m+1)%sj,
+						Block: base(sgr) + q,
+					})
+				}
+			}
+			if len(round) > 0 {
+				s.Rounds = append(s.Rounds, round)
+			}
+		}
+	}
+	return s, nil
+}
+
+// KRingRoundCounts reports the number of intra-group and inter-group
+// communication rounds of the schedule, matching eq. (11): g(k−1) intra
+// and (g−1) inter rounds in the uniform case (rounds are global steps, as
+// in Fig. 6 where both groups communicate within the same intra round).
+func KRingRoundCounts(p, k int) (intra, inter int) {
+	s, err := KRingSchedule(p, k)
+	if err != nil {
+		return 0, 0
+	}
+	if k > p {
+		k = p
+	}
+	group := func(r int) int { return r / k }
+	for _, round := range s.Rounds {
+		if len(round) == 0 {
+			continue
+		}
+		if group(round[0].From) != group(round[0].To) {
+			inter++
+		} else {
+			intra++
+		}
+	}
+	return intra, inter
+}
+
+// InterGroupBytes returns the total bytes a group sends plus receives
+// across all inter-group rounds for total message size n, eq. (13):
+// D = 2n(p−k)/p for uniform groups (k=1 reduces to the classic ring's
+// 2n(p−1)/p, eq. (14)).
+func InterGroupBytes(n, p, k int) float64 {
+	if k > p {
+		k = p
+	}
+	return 2 * float64(n) * float64(p-k) / float64(p)
+}
+
+// AllgatherKRing is the generalized k-ring allgather.
+func AllgatherKRing(c comm.Comm, sendbuf, recvbuf []byte, k int) error {
+	if err := checkAllgatherBufs(c, sendbuf, recvbuf); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(sendbuf)
+	copy(recvbuf[c.Rank()*n:], sendbuf)
+	if p == 1 {
+		return nil
+	}
+	s, err := KRingSchedule(p, k)
+	if err != nil {
+		return err
+	}
+	return s.RunAllgather(c, recvbuf, UniformLayout(n), tagSched)
+}
+
+// BcastKRing broadcasts via a radix-k tree scatter followed by a k-ring
+// allgather over fair blocks; identical dissemination to AllgatherKRing,
+// as §V-D notes ("bcast uses a scatter-allgather algorithm").
+func BcastKRing(c comm.Comm, buf []byte, root, k int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	if err := scatterFairForBcast(c, buf, root, maxInt(k, 2)); err != nil {
+		return err
+	}
+	s, err := KRingSchedule(p, k)
+	if err != nil {
+		return err
+	}
+	return s.RunAllgather(c, buf, FairLayout(len(buf), p), tagSched)
+}
+
+// AllreduceKRing is the k-ring allreduce: a k-ring reduce-scatter (the
+// time-reversed k-ring allgather, giving the offset-partition behaviour
+// §V-D describes) followed by a k-ring allgather.
+func AllreduceKRing(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, k int) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(sendbuf)
+	copy(recvbuf, sendbuf)
+	if p == 1 {
+		return nil
+	}
+	s, err := KRingSchedule(p, k)
+	if err != nil {
+		return err
+	}
+	layout := FairLayoutAligned(n, p, dt.Size())
+	if err := s.RunReduceScatter(c, recvbuf, layout, op, dt, tagSched); err != nil {
+		return err
+	}
+	return s.RunAllgather(c, recvbuf, layout, tagSched+1)
+}
+
+// ReduceScatterKRing reduce-scatters the full vector sendbuf: every rank
+// receives its fully reduced fair block in recvbuf, using the
+// time-reversed k-ring schedule.
+func ReduceScatterKRing(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, k int) error {
+	p := c.Size()
+	n := len(sendbuf)
+	layout := FairLayoutAligned(n, p, dt.Size())
+	off, sz := layout(c.Rank())
+	if len(recvbuf) != sz {
+		return ErrBadBuffer
+	}
+	work := make([]byte, n)
+	copy(work, sendbuf)
+	if p > 1 {
+		s, err := KRingSchedule(p, k)
+		if err != nil {
+			return err
+		}
+		if err := s.RunReduceScatter(c, work, layout, op, dt, tagSched); err != nil {
+			return err
+		}
+	}
+	copy(recvbuf, work[off:off+sz])
+	return nil
+}

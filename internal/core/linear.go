@@ -1,0 +1,154 @@
+package core
+
+import (
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// Linear (flat) algorithms: the root exchanges directly with every other
+// rank. They model the naïve τ = p(α + βn) cost of §III-B, serve as the
+// reference oracle for correctness tests, and stand in for the "linear"
+// algorithms production MPIs select for some regimes (§VI-C3 notes Cray
+// MPI's competitive "linear" reduce).
+
+// BcastLinear sends buf from root directly to every rank.
+func BcastLinear(c comm.Comm, buf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if c.Rank() != root {
+		_, err := c.Recv(root, tagLinear, buf)
+		return err
+	}
+	reqs := make([]comm.Request, 0, c.Size()-1)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		req, err := c.Isend(r, tagLinear, buf)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return comm.WaitAll(reqs...)
+}
+
+// ReduceLinear receives every rank's contribution at root and reduces them
+// in rank order.
+func ReduceLinear(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if c.Rank() != root {
+		return c.Send(root, tagLinear, sendbuf)
+	}
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	copy(recvbuf, sendbuf)
+	bufs := make([][]byte, c.Size())
+	reqs := make([]comm.Request, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		bufs[r] = make([]byte, len(sendbuf))
+		req, err := c.Irecv(r, tagLinear, bufs[r])
+		if err != nil {
+			return err
+		}
+		reqs[r] = req
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if err := reqs[r].Wait(); err != nil {
+			return err
+		}
+		if err := reduceInto(c, op, dt, recvbuf, bufs[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GatherLinear receives every rank's n-byte block directly at root.
+func GatherLinear(c comm.Comm, sendbuf, recvbuf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	n := len(sendbuf)
+	if c.Rank() != root {
+		return c.Send(root, tagLinear, sendbuf)
+	}
+	if len(recvbuf) != n*c.Size() {
+		return checkAllgatherBufs(c, sendbuf, recvbuf)
+	}
+	copy(recvbuf[root*n:], sendbuf)
+	reqs := make([]comm.Request, 0, c.Size()-1)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		req, err := c.Irecv(r, tagLinear, recvbuf[r*n:(r+1)*n])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return comm.WaitAll(reqs...)
+}
+
+// ScatterLinear sends each rank its n-byte block directly from root.
+func ScatterLinear(c comm.Comm, sendbuf, recvbuf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	n := len(recvbuf)
+	if c.Rank() != root {
+		_, err := c.Recv(root, tagLinear, recvbuf)
+		return err
+	}
+	if len(sendbuf) != n*c.Size() {
+		return checkAllgatherBufs(c, recvbuf, sendbuf)
+	}
+	copy(recvbuf, sendbuf[root*n:(root+1)*n])
+	reqs := make([]comm.Request, 0, c.Size()-1)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		req, err := c.Isend(r, tagLinear, sendbuf[r*n:(r+1)*n])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return comm.WaitAll(reqs...)
+}
+
+// AllgatherLinear gathers to rank 0 and broadcasts linearly (reference
+// oracle only).
+func AllgatherLinear(c comm.Comm, sendbuf, recvbuf []byte) error {
+	if err := checkAllgatherBufs(c, sendbuf, recvbuf); err != nil {
+		return err
+	}
+	if err := GatherLinear(c, sendbuf, recvbuf, 0); err != nil {
+		return err
+	}
+	return BcastLinear(c, recvbuf, 0)
+}
+
+// AllreduceLinear reduces to rank 0 and broadcasts linearly (reference
+// oracle only).
+func AllreduceLinear(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	if err := ReduceLinear(c, sendbuf, recvbuf, op, dt, 0); err != nil {
+		return err
+	}
+	return BcastLinear(c, recvbuf, 0)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+)
+
+// BcastKnomialSegmented is the pipelined (segmented) k-nomial broadcast —
+// the standard production refinement of tree broadcasts (MPICH and Open
+// MPI both segment large messages): the payload is split into segments of
+// segSize bytes, and every internal node forwards segment s to its
+// children as soon as it arrives, overlapping its own receive of segment
+// s+1. For a tree of depth d and m segments the pipeline completes in
+// d + m − 1 segment steps instead of d full-message steps, converting the
+// k-nomial bcast from latency-optimal-only into a competitive
+// large-message algorithm.
+func BcastKnomialSegmented(c comm.Comm, buf []byte, root, k, segSize int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	if segSize < 1 {
+		return fmt.Errorf("%w: segment size %d", ErrBadBuffer, segSize)
+	}
+	p := c.Size()
+	if p == 1 || len(buf) == 0 {
+		return nil
+	}
+	if len(buf) <= segSize {
+		return BcastKnomial(c, buf, root, k)
+	}
+
+	t := KnomialTree{P: p, K: k}
+	v := vrank(c.Rank(), root, p)
+	children := t.Children(v)
+	nseg := (len(buf) + segSize - 1) / segSize
+	segment := func(s int) []byte {
+		lo := s * segSize
+		hi := minInt(lo+segSize, len(buf))
+		return buf[lo:hi]
+	}
+
+	// Non-roots pre-post every segment receive; per-(source, tag) FIFO
+	// keeps segments in order.
+	var recvReqs []comm.Request
+	if par := t.Parent(v); par >= 0 {
+		recvReqs = make([]comm.Request, nseg)
+		src := absRank(par, root, p)
+		for s := 0; s < nseg; s++ {
+			req, err := c.Irecv(src, tagKnomial+1, segment(s))
+			if err != nil {
+				return err
+			}
+			recvReqs[s] = req
+		}
+	}
+
+	sendReqs := make([]comm.Request, 0, nseg*len(children))
+	for s := 0; s < nseg; s++ {
+		if recvReqs != nil {
+			if err := recvReqs[s].Wait(); err != nil {
+				return err
+			}
+		}
+		for _, ch := range children {
+			req, err := c.Isend(absRank(ch.VRank, root, p), tagKnomial+1, segment(s))
+			if err != nil {
+				return err
+			}
+			sendReqs = append(sendReqs, req)
+		}
+	}
+	return comm.WaitAll(sendReqs...)
+}
+
+// PipelineSegments returns the segment count used for n bytes at segSize
+// (exported for the analytical model and tests).
+func PipelineSegments(n, segSize int) int {
+	if n <= 0 || segSize < 1 {
+		return 0
+	}
+	return (n + segSize - 1) / segSize
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/transport/mem"
+)
+
+// Property-based tests (testing/quick): the invariants of the generalized
+// algorithms must hold for arbitrary (p, k, n, root) combinations, not
+// just the hand-picked grid of the conformance tests.
+
+// quickCfg bounds the random search so each property checks quickly but
+// covers the corner cases (non-power sizes, k > p, tiny payloads).
+var quickCfg = &quick.Config{
+	MaxCount: 60,
+	Rand:     rand.New(rand.NewSource(42)),
+}
+
+// clampParams maps arbitrary uints onto valid (p, k, n, root).
+func clampParams(pRaw, kRaw, nRaw, rootRaw uint32) (p, k, n, root int) {
+	p = int(pRaw%14) + 1     // 1..14
+	k = int(kRaw%(14+4)) + 1 // 1..18, may exceed p
+	n = int(nRaw % 2048)
+	root = int(rootRaw) % p
+	return
+}
+
+// TestQuickKnomialTreePartition: for any (p, k), the k-nomial tree's child
+// lists partition 1..p-1 and parents are consistent.
+func TestQuickKnomialTreePartition(t *testing.T) {
+	prop := func(pRaw, kRaw uint32) bool {
+		p := int(pRaw%200) + 1
+		k := int(kRaw%16) + 2
+		tr := KnomialTree{P: p, K: k}
+		edges := 0
+		for v := 0; v < p; v++ {
+			for _, ch := range tr.Children(v) {
+				if tr.Parent(ch.VRank) != v {
+					return false
+				}
+				edges++
+			}
+		}
+		return edges == p-1
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKRingScheduleValid: any (p, k) k-ring schedule satisfies the
+// exactly-once dissemination invariant.
+func TestQuickKRingScheduleValid(t *testing.T) {
+	prop := func(pRaw, kRaw uint32) bool {
+		p := int(pRaw%40) + 1
+		k := int(kRaw%45) + 1
+		s, err := KRingSchedule(p, k)
+		if err != nil {
+			return false
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFactorSchedule: the mixed-radix schedule always multiplies back
+// to the k-smooth size with every factor in [2, k].
+func TestQuickFactorSchedule(t *testing.T) {
+	prop := func(pRaw, kRaw uint32) bool {
+		p := int(pRaw%5000) + 1
+		k := int(kRaw%30) + 2
+		q := LargestKSmooth(p, k)
+		if q > p || 2*q < p {
+			return false
+		}
+		prod := 1
+		for _, f := range FactorSchedule(q, k) {
+			if f < 2 || f > k {
+				return false
+			}
+			prod *= f
+		}
+		return prod == q
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecMulPlan: the round plan always covers at least half the
+// ranks (bounded fold), uses factors in [2, k], and multiplies to p'.
+func TestQuickRecMulPlan(t *testing.T) {
+	prop := func(pRaw, kRaw uint32) bool {
+		p := int(pRaw%3000) + 1
+		k := int(kRaw%40) + 2
+		q, factors := RecMulPlan(p, k)
+		if q < 1 || q > p || 2*q < p {
+			return false
+		}
+		prod := 1
+		smallRounds := 0
+		for _, f := range factors {
+			if f < 2 || (f > k && f != p) {
+				return false
+			}
+			if f != k {
+				smallRounds++
+			}
+			prod *= f
+		}
+		if prod != q {
+			return false
+		}
+		// At most one non-k round unless the greedy fallback fired.
+		if smallRounds > 1 && isKSmooth(q, k) && q != LargestKSmooth(p, k) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// runQuickWorld runs fn across p mem ranks and reports success.
+func runQuickWorld(p int, fn func(c comm.Comm) error) error {
+	return mem.NewWorld(p).Run(fn)
+}
+
+// TestQuickBcastAgree: for random (p, k, n, root), k-nomial, recursive-
+// multiplying and k-ring bcast all deliver the root's exact payload.
+func TestQuickBcastAgree(t *testing.T) {
+	prop := func(pRaw, kRaw, nRaw, rootRaw uint32) bool {
+		p, k, n, root := clampParams(pRaw, kRaw, nRaw, rootRaw)
+		if k < 2 {
+			k = 2
+		}
+		payload := rankPayload(root+100, n)
+		run := func(bcast func(c comm.Comm, buf []byte) error) bool {
+			err := runQuickWorld(p, func(c comm.Comm) error {
+				buf := make([]byte, n)
+				if c.Rank() == root {
+					copy(buf, payload)
+				}
+				if err := bcast(c, buf); err != nil {
+					return err
+				}
+				if !bytes.Equal(buf, payload) {
+					return fmt.Errorf("mismatch at rank %d", c.Rank())
+				}
+				return nil
+			})
+			return err == nil
+		}
+		return run(func(c comm.Comm, buf []byte) error { return BcastKnomial(c, buf, root, k) }) &&
+			run(func(c comm.Comm, buf []byte) error { return BcastRecMul(c, buf, root, k) }) &&
+			run(func(c comm.Comm, buf []byte) error { return BcastKRing(c, buf, root, k) })
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAllreduceAgree: for random (p, k, elems), all allreduce
+// implementations produce the identical exact integer sum.
+func TestQuickAllreduceAgree(t *testing.T) {
+	prop := func(pRaw, kRaw, nRaw uint32) bool {
+		p, k, n, _ := clampParams(pRaw, kRaw, nRaw, 0)
+		if k < 2 {
+			k = 2
+		}
+		elems := n / 8
+		want := datatype.EncodeFloat64(expectedSum(p, elems))
+		algs := []func(c comm.Comm, s, r []byte) error{
+			func(c comm.Comm, s, r []byte) error {
+				return AllreduceRecMul(c, s, r, datatype.Sum, datatype.Float64, k)
+			},
+			func(c comm.Comm, s, r []byte) error {
+				return AllreduceKRing(c, s, r, datatype.Sum, datatype.Float64, k)
+			},
+			func(c comm.Comm, s, r []byte) error {
+				return AllreduceKnomial(c, s, r, datatype.Sum, datatype.Float64, k)
+			},
+			func(c comm.Comm, s, r []byte) error {
+				return AllreduceRabenseifner(c, s, r, datatype.Sum, datatype.Float64)
+			},
+		}
+		for _, alg := range algs {
+			err := runQuickWorld(p, func(c comm.Comm) error {
+				sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+				recvbuf := make([]byte, len(sendbuf))
+				if err := alg(c, sendbuf, recvbuf); err != nil {
+					return err
+				}
+				if !bytes.Equal(recvbuf, want) {
+					return fmt.Errorf("mismatch at rank %d", c.Rank())
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGatherScatterInverse: scatter followed by gather over the same
+// tree is the identity on the root's buffer.
+func TestQuickGatherScatterInverse(t *testing.T) {
+	prop := func(pRaw, kRaw, nRaw, rootRaw uint32) bool {
+		p, k, n, root := clampParams(pRaw, kRaw, nRaw, rootRaw)
+		if k < 2 {
+			k = 2
+		}
+		n = n%128 + 1
+		original := rankPayload(7, n*p)
+		err := runQuickWorld(p, func(c comm.Comm) error {
+			var sendbuf []byte
+			if c.Rank() == root {
+				sendbuf = append([]byte(nil), original...)
+			}
+			block := make([]byte, n)
+			if err := ScatterKnomial(c, sendbuf, block, root, k); err != nil {
+				return err
+			}
+			var back []byte
+			if c.Rank() == root {
+				back = make([]byte, n*p)
+			}
+			if err := GatherKnomial(c, block, back, root, k); err != nil {
+				return err
+			}
+			if c.Rank() == root && !bytes.Equal(back, original) {
+				return fmt.Errorf("scatter∘gather != id")
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReduceScatterAllgatherIdentity: reduce-scatter + allgather over
+// the same k-ring schedule equals allreduce (the §V-D composition).
+func TestQuickReduceScatterAllgather(t *testing.T) {
+	prop := func(pRaw, kRaw, nRaw uint32) bool {
+		p, k, n, _ := clampParams(pRaw, kRaw, nRaw, 0)
+		elems := n/8 + 1
+		want := datatype.EncodeFloat64(expectedSum(p, elems))
+		err := runQuickWorld(p, func(c comm.Comm) error {
+			sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+			recvbuf := make([]byte, len(sendbuf))
+			if err := AllreduceKRing(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, maxInt(k, 1)); err != nil {
+				return err
+			}
+			if !bytes.Equal(recvbuf, want) {
+				return fmt.Errorf("mismatch at rank %d", c.Rank())
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

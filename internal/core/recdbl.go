@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// ErrPow2Only reports an algorithm restricted to power-of-two communicator
+// sizes (matching MPICH, whose recursive-doubling allgather is only
+// selected for power-of-two sizes; the generalized recursive-multiplying
+// algorithms in recmul.go handle arbitrary sizes via folding).
+var ErrPow2Only = errors.New("core: algorithm requires a power-of-two number of ranks")
+
+func isPow2(p int) bool { return p > 0 && p&(p-1) == 0 }
+
+// recdblAllgatherLayout runs classic recursive-doubling allgather over
+// blocks keyed by absolute rank under the given layout. Each rank must
+// already hold its own block in buf; blocks form contiguous regions under
+// both supported layouts, so every exchange is a single contiguous
+// sendrecv. Requires power-of-two p.
+func recdblAllgatherLayout(c comm.Comm, buf []byte, layout BlockLayout, tag comm.Tag) error {
+	p := c.Size()
+	if !isPow2(p) {
+		return fmt.Errorf("%w: p=%d", ErrPow2Only, p)
+	}
+	r := c.Rank()
+	rangeOf := func(base, count int) (lo, hi int) {
+		lo, _ = layout(base)
+		off, sz := layout(base + count - 1)
+		return lo, off + sz
+	}
+	for mask := 1; mask < p; mask <<= 1 {
+		partner := r ^ mask
+		myBase := r &^ (mask - 1)
+		paBase := partner &^ (mask - 1)
+		mlo, mhi := rangeOf(myBase, mask)
+		plo, phi := rangeOf(paBase, mask)
+		if _, err := comm.SendRecv(c, partner, buf[mlo:mhi], partner, buf[plo:phi], tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllgatherRecDbl is the classic recursive-doubling allgather (Fig. 3 of
+// the paper, eq. (4)): log2(p) pairwise exchange rounds with the exchanged
+// data doubling every round. Power-of-two p only, as in MPICH.
+func AllgatherRecDbl(c comm.Comm, sendbuf, recvbuf []byte) error {
+	if err := checkAllgatherBufs(c, sendbuf, recvbuf); err != nil {
+		return err
+	}
+	n := len(sendbuf)
+	copy(recvbuf[c.Rank()*n:], sendbuf)
+	if c.Size() == 1 {
+		return nil
+	}
+	return recdblAllgatherLayout(c, recvbuf, UniformLayout(n), tagRecDbl)
+}
+
+// BcastRecDbl broadcasts via binomial scatter followed by a
+// recursive-doubling allgather over fair blocks (the "scatter-allgather"
+// bcast modeled by eq. (4)). Power-of-two p only.
+func BcastRecDbl(c comm.Comm, buf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	if !isPow2(p) {
+		return fmt.Errorf("%w: p=%d", ErrPow2Only, p)
+	}
+	if err := scatterFairForBcast(c, buf, root, 2); err != nil {
+		return err
+	}
+	return recdblAllgatherLayout(c, buf, FairLayout(len(buf), p), tagRecDbl)
+}
+
+// foldPre performs the pre-phase of MPICH's non-power-of-two handling for
+// reductions: with rem = p - p2 excess ranks, each even rank r < 2·rem
+// sends its accumulator to r+1, which reduces it. Returns the caller's rank
+// in the power-of-two subgroup, or -1 if the caller folded out and must
+// wait for foldPost.
+func foldPre(c comm.Comm, acc []byte, op datatype.Op, dt datatype.Type, p2 int) (newrank int, err error) {
+	p := c.Size()
+	r := c.Rank()
+	rem := p - p2
+	switch {
+	case r < 2*rem && r%2 == 0:
+		if err := c.Send(r+1, tagFold, acc); err != nil {
+			return 0, err
+		}
+		return -1, nil
+	case r < 2*rem:
+		tmp := make([]byte, len(acc))
+		if _, err := c.Recv(r-1, tagFold, tmp); err != nil {
+			return 0, err
+		}
+		if err := reduceInto(c, op, dt, acc, tmp); err != nil {
+			return 0, err
+		}
+		return r / 2, nil
+	default:
+		return r - rem, nil
+	}
+}
+
+// foldReal maps a power-of-two-subgroup rank back to its absolute rank.
+func foldReal(newrank, p, p2 int) int {
+	rem := p - p2
+	if newrank < rem {
+		return newrank*2 + 1
+	}
+	return newrank + rem
+}
+
+// foldPost completes non-power-of-two handling: each odd rank r < 2·rem
+// sends the final result back to r-1.
+func foldPost(c comm.Comm, result []byte, p2 int) error {
+	p := c.Size()
+	r := c.Rank()
+	rem := p - p2
+	switch {
+	case r < 2*rem && r%2 == 0:
+		_, err := c.Recv(r+1, tagFold, result)
+		return err
+	case r < 2*rem:
+		return c.Send(r-1, tagFold, result)
+	default:
+		return nil
+	}
+}
+
+// AllreduceRecDbl is the classic recursive-doubling allreduce (eq. (4)):
+// log2(p) rounds, each exchanging and reducing the full vector with a
+// partner 2^i away. Non-power-of-two sizes fold excess ranks first, as in
+// MPICH.
+func AllreduceRecDbl(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	copy(recvbuf, sendbuf)
+	if p == 1 {
+		return nil
+	}
+	p2 := 1 << ilog(2, p)
+	newrank, err := foldPre(c, recvbuf, op, dt, p2)
+	if err != nil {
+		return err
+	}
+	if newrank >= 0 {
+		tmp := make([]byte, len(sendbuf))
+		for mask := 1; mask < p2; mask <<= 1 {
+			partner := foldReal(newrank^mask, p, p2)
+			if _, err := comm.SendRecv(c, partner, recvbuf, partner, tmp, tagRecDbl); err != nil {
+				return err
+			}
+			if err := reduceInto(c, op, dt, recvbuf, tmp); err != nil {
+				return err
+			}
+		}
+	}
+	return foldPost(c, recvbuf, p2)
+}
+
+// AllreduceRabenseifner is MPICH's large-message allreduce: a
+// recursive-halving reduce-scatter followed by a recursive-doubling
+// allgather (the "reduce-scatter-allgather" algorithm the paper's §VI-C2
+// notes usually wins for large allreduce). Non-power-of-two sizes fold.
+func AllreduceRabenseifner(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(sendbuf)
+	copy(recvbuf, sendbuf)
+	if p == 1 {
+		return nil
+	}
+	p2 := 1 << ilog(2, p)
+	newrank, err := foldPre(c, recvbuf, op, dt, p2)
+	if err != nil {
+		return err
+	}
+	if newrank >= 0 {
+		layout := FairLayoutAligned(n, p2, dt.Size())
+		rangeOf := func(base, count int) (lo, hi int) {
+			lo, _ = layout(base)
+			off, sz := layout(base + count - 1)
+			return lo, off + sz
+		}
+		// Recursive-halving reduce-scatter: each round keeps the half of
+		// the active block range containing our own block and sends the
+		// other half to the partner.
+		lo, hi := 0, p2
+		tmp := make([]byte, n)
+		for mask := p2 / 2; mask >= 1; mask >>= 1 {
+			partner := foldReal(newrank^mask, p, p2)
+			mid := (lo + hi) / 2
+			var keepLo, keepHi, sendLo, sendHi int
+			if newrank&mask == 0 {
+				keepLo, keepHi, sendLo, sendHi = lo, mid, mid, hi
+			} else {
+				keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+			}
+			sByteLo, sByteHi := rangeOf(sendLo, sendHi-sendLo)
+			kByteLo, kByteHi := rangeOf(keepLo, keepHi-keepLo)
+			if _, err := comm.SendRecv(c, partner, recvbuf[sByteLo:sByteHi], partner, tmp[kByteLo:kByteHi], tagRabens); err != nil {
+				return err
+			}
+			if err := reduceInto(c, op, dt, recvbuf[kByteLo:kByteHi], tmp[kByteLo:kByteHi]); err != nil {
+				return err
+			}
+			lo, hi = keepLo, keepHi
+		}
+		// Recursive-doubling allgather over the reduced blocks. Blocks are
+		// keyed by newrank; exchanges translate newranks to real ranks.
+		for mask := 1; mask < p2; mask <<= 1 {
+			partner := foldReal(newrank^mask, p, p2)
+			myBase := newrank &^ (mask - 1)
+			paBase := (newrank ^ mask) &^ (mask - 1)
+			mByteLo, mByteHi := rangeOf(myBase, mask)
+			pByteLo, pByteHi := rangeOf(paBase, mask)
+			if _, err := comm.SendRecv(c, partner, recvbuf[mByteLo:mByteHi], partner, recvbuf[pByteLo:pByteHi], tagRabens); err != nil {
+				return err
+			}
+		}
+	}
+	return foldPost(c, recvbuf, p2)
+}
+
+// ReduceScatterRecHalving performs a recursive-halving reduce-scatter:
+// every rank contributes the full vector sendbuf (length n) and receives
+// the fully reduced fair block FairLayout(n, p)(rank) in recvbuf. Requires
+// power-of-two p.
+func ReduceScatterRecHalving(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	p := c.Size()
+	if !isPow2(p) {
+		return fmt.Errorf("%w: p=%d", ErrPow2Only, p)
+	}
+	n := len(sendbuf)
+	r := c.Rank()
+	layout := FairLayoutAligned(n, p, dt.Size())
+	off, sz := layout(r)
+	if len(recvbuf) != sz {
+		return fmt.Errorf("%w: reduce-scatter recvbuf=%d want %d", ErrBadBuffer, len(recvbuf), sz)
+	}
+	work := make([]byte, n)
+	copy(work, sendbuf)
+	if p == 1 {
+		copy(recvbuf, work)
+		return nil
+	}
+	rangeOf := func(base, count int) (lo, hi int) {
+		lo, _ = layout(base)
+		boff, bsz := layout(base + count - 1)
+		return lo, boff + bsz
+	}
+	tmp := make([]byte, n)
+	lo, hi := 0, p
+	for mask := p / 2; mask >= 1; mask >>= 1 {
+		partner := r ^ mask
+		mid := (lo + hi) / 2
+		var keepLo, keepHi, sendLo, sendHi int
+		if r&mask == 0 {
+			keepLo, keepHi, sendLo, sendHi = lo, mid, mid, hi
+		} else {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		sLo, sHi := rangeOf(sendLo, sendHi-sendLo)
+		kLo, kHi := rangeOf(keepLo, keepHi-keepLo)
+		if _, err := comm.SendRecv(c, partner, work[sLo:sHi], partner, tmp[kLo:kHi], tagRabens); err != nil {
+			return err
+		}
+		if err := reduceInto(c, op, dt, work[kLo:kHi], tmp[kLo:kHi]); err != nil {
+			return err
+		}
+		lo, hi = keepLo, keepHi
+	}
+	copy(recvbuf, work[off:off+sz])
+	return nil
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"sort"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// Recursive multiplying (§IV) generalizes recursive doubling: in round i,
+// every process exchanges data with the other f_i−1 members of its group,
+// where groups of size f_i are spaced w_i = f_1·…·f_{i−1} apart. With
+// p = k^m all factors equal k, reproducing the paper exactly (Fig. 4:
+// p=9, k=3 completes in 2 rounds); for other sizes we use a mixed-radix
+// factor schedule over the largest k-smooth p′ ≤ p and fold the p−p′
+// remainder ranks in a pre/post phase — the "non-uniform group sizes"
+// corner case §VI-A describes.
+
+// LargestKSmooth returns the largest q ≤ p all of whose prime factors are
+// ≤ k. Since every power of two is k-smooth for k ≥ 2, q > p/2.
+func LargestKSmooth(p, k int) int {
+	for q := p; ; q-- {
+		if isKSmooth(q, k) {
+			return q
+		}
+	}
+}
+
+func isKSmooth(q, k int) bool {
+	if q < 1 {
+		return false
+	}
+	for d := 2; d <= k && q > 1; d++ {
+		for q%d == 0 {
+			q /= d
+		}
+	}
+	return q == 1
+}
+
+// FactorSchedule greedily factors the k-smooth number q into round factors,
+// largest-first within each step: each round's group size is the largest
+// divisor of the remaining quotient that is ≤ k.
+func FactorSchedule(q, k int) []int {
+	var factors []int
+	for q > 1 {
+		f := 1
+		for d := minInt(k, q); d >= 2; d-- {
+			if q%d == 0 {
+				f = d
+				break
+			}
+		}
+		factors = append(factors, f)
+		q /= f
+	}
+	return factors
+}
+
+// RecMulPlan chooses the round structure for recursive multiplying with
+// radix k on p ranks: the largest p′ ≤ p of the form k^m·r (1 ≤ r ≤ k)
+// so that every round except at most one uses groups of exactly k — the
+// paper's round structure, with one non-uniform round (§VI-A's corner
+// case) — and the p−p′ remainder ranks fold. If that form would fold more
+// than half the ranks (impossible for k ≤ p, kept as a guard), it falls
+// back to the largest k-smooth p′ with a greedy factorization.
+func RecMulPlan(p, k int) (pPrime int, factors []int) {
+	if p <= 1 {
+		return p, nil
+	}
+	if k >= p {
+		return p, []int{p}
+	}
+	bestQ, bestM, bestR := 0, 0, 0
+	for m, km := 0, 1; km <= p; m, km = m+1, km*k {
+		r := p / km
+		if r > k {
+			r = k
+		}
+		if q := km * r; q > bestQ {
+			bestQ, bestM, bestR = q, m, r
+		}
+	}
+	if 2*bestQ < p {
+		q := LargestKSmooth(p, k)
+		return q, FactorSchedule(q, k)
+	}
+	for i := 0; i < bestM; i++ {
+		factors = append(factors, k)
+	}
+	if bestR >= 2 {
+		factors = append(factors, bestR)
+	}
+	return bestQ, factors
+}
+
+// groupMembers returns the members of slot's exchange group in the given
+// round (slots differing only in mixed-radix digit `round`), in ascending
+// order. weights[i] is the spacing of round i.
+func groupMembers(slot int, factors, weights []int, round int) []int {
+	w := weights[round]
+	f := factors[round]
+	d := (slot / w) % f
+	base := slot - d*w
+	members := make([]int, f)
+	for j := 0; j < f; j++ {
+		members[j] = base + j*w
+	}
+	return members
+}
+
+// roundWeights returns the spacing of each round: w_i = f_1·…·f_{i-1}.
+func roundWeights(factors []int) []int {
+	weights := make([]int, len(factors))
+	w := 1
+	for i, f := range factors {
+		weights[i] = w
+		w *= f
+	}
+	return weights
+}
+
+// gatheredSlots returns, in ascending order, the slots whose contributions
+// `slot` has accumulated after `rounds` completed rounds: all slots that
+// agree with `slot` in every digit ≥ rounds.
+func gatheredSlots(slot int, factors, weights []int, rounds int) []int {
+	combos := []int{0}
+	base := slot
+	for i := 0; i < rounds; i++ {
+		w, f := weights[i], factors[i]
+		d := (slot / w) % f
+		base -= d * w
+		next := make([]int, 0, len(combos)*f)
+		for j := 0; j < f; j++ {
+			for _, v := range combos {
+				next = append(next, v+j*w)
+			}
+		}
+		combos = next
+	}
+	out := make([]int, len(combos))
+	for i, v := range combos {
+		out[i] = base + v
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AllreduceRecMul is the generalized recursive-multiplying allreduce
+// (eq. (6)): log_k(p) rounds, each exchanging and reducing the full vector
+// among k-member groups, leaning on multi-port NICs to overlap the k−1
+// simultaneous messages per rank per round (§II-B2).
+func AllreduceRecMul(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, k int) error {
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	copy(recvbuf, sendbuf)
+	if p == 1 {
+		return nil
+	}
+	pPrime, factors := RecMulPlan(p, k)
+	weights := roundWeights(factors)
+
+	newrank, err := foldPre(c, recvbuf, op, dt, pPrime)
+	if err != nil {
+		return err
+	}
+	if newrank >= 0 {
+		for round := range factors {
+			members := groupMembers(newrank, factors, weights, round)
+			// Snapshot the accumulator: Isend buffers must stay unmodified
+			// until the sends complete, and we reduce into recvbuf below.
+			outgoing := append([]byte(nil), recvbuf...)
+			incoming := make([][]byte, 0, len(members)-1)
+			reqs := make([]comm.Request, 0, 2*(len(members)-1))
+			for _, m := range members {
+				if m == newrank {
+					continue
+				}
+				buf := make([]byte, len(recvbuf))
+				incoming = append(incoming, buf)
+				req, err := c.Irecv(foldReal(m, p, pPrime), tagRecMul, buf)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			for _, m := range members {
+				if m == newrank {
+					continue
+				}
+				req, err := c.Isend(foldReal(m, p, pPrime), tagRecMul, outgoing)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			if err := comm.WaitAll(reqs...); err != nil {
+				return err
+			}
+			for _, buf := range incoming {
+				if err := reduceInto(c, op, dt, recvbuf, buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return foldPost(c, recvbuf, pPrime)
+}
+
+// initialSlotBlocks returns the block ids (absolute ranks) that slot
+// carries at the start of the multiplying rounds, accounting for folded
+// ranks: slots below rem proxy for one folded rank each.
+func initialSlotBlocks(slot, p, pPrime int) []int {
+	rem := p - pPrime
+	if slot < rem {
+		return []int{2 * slot, 2*slot + 1}
+	}
+	return []int{slot + rem}
+}
+
+// slotOwnedBlocks returns, ascending, the block ids slot owns after
+// `rounds` completed rounds.
+func slotOwnedBlocks(slot int, factors, weights []int, rounds, p, pPrime int) []int {
+	var out []int
+	for _, s := range gatheredSlots(slot, factors, weights, rounds) {
+		out = append(out, initialSlotBlocks(s, p, pPrime)...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// recmulAllgatherLayout runs the recursive-multiplying allgather over
+// blocks keyed by absolute rank under the given layout. Each rank must
+// already hold its own block in buf at layout(rank); on success buf holds
+// every block. Handles arbitrary p by folding onto the largest k-smooth
+// p′ ≤ p.
+func recmulAllgatherLayout(c comm.Comm, buf []byte, layout BlockLayout, k int, tag comm.Tag) error {
+	p := c.Size()
+	r := c.Rank()
+	if p == 1 {
+		return nil
+	}
+	pPrime, factors := RecMulPlan(p, k)
+	weights := roundWeights(factors)
+	rem := p - pPrime
+
+	// Fold pre-phase: even ranks below 2·rem hand their block to the next
+	// (odd) rank, which acts as their proxy slot.
+	newrank := -1
+	switch {
+	case r < 2*rem && r%2 == 0:
+		off, sz := layout(r)
+		if err := c.Send(r+1, tagFold, buf[off:off+sz]); err != nil {
+			return err
+		}
+	case r < 2*rem:
+		off, sz := layout(r - 1)
+		if _, err := c.Recv(r-1, tagFold, buf[off:off+sz]); err != nil {
+			return err
+		}
+		newrank = r / 2
+	default:
+		newrank = r - rem
+	}
+
+	if newrank >= 0 {
+		for round := range factors {
+			members := groupMembers(newrank, factors, weights, round)
+			myBlocks := slotOwnedBlocks(newrank, factors, weights, round, p, pPrime)
+			outgoing := packBlocks(buf, myBlocks, layout)
+			type rx struct {
+				blocks  []int
+				staging []byte
+			}
+			rxs := make([]rx, 0, len(members)-1)
+			reqs := make([]comm.Request, 0, 2*(len(members)-1))
+			for _, m := range members {
+				if m == newrank {
+					continue
+				}
+				blocks := slotOwnedBlocks(m, factors, weights, round, p, pPrime)
+				size := 0
+				for _, b := range blocks {
+					_, sz := layout(b)
+					size += sz
+				}
+				staging := make([]byte, size)
+				rxs = append(rxs, rx{blocks: blocks, staging: staging})
+				req, err := c.Irecv(foldReal(m, p, pPrime), tag, staging)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			for _, m := range members {
+				if m == newrank {
+					continue
+				}
+				req, err := c.Isend(foldReal(m, p, pPrime), tag, outgoing)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			if err := comm.WaitAll(reqs...); err != nil {
+				return err
+			}
+			for _, x := range rxs {
+				if err := unpackBlocks(x.staging, buf, x.blocks, layout, nil); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Fold post-phase: proxies return the complete result.
+	switch {
+	case r < 2*rem && r%2 == 0:
+		_, err := c.Recv(r+1, tagFold, buf)
+		return err
+	case r < 2*rem:
+		return c.Send(r-1, tagFold, buf)
+	}
+	return nil
+}
+
+// AllgatherRecMul is the generalized recursive-multiplying allgather
+// (Fig. 4, eq. (6)): the gathered data multiplies by the group size every
+// round, completing in log_k(p) rounds.
+func AllgatherRecMul(c comm.Comm, sendbuf, recvbuf []byte, k int) error {
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	if err := checkAllgatherBufs(c, sendbuf, recvbuf); err != nil {
+		return err
+	}
+	n := len(sendbuf)
+	copy(recvbuf[c.Rank()*n:], sendbuf)
+	return recmulAllgatherLayout(c, recvbuf, UniformLayout(n), k, tagRecMul)
+}
+
+// BcastRecMul broadcasts via a radix-k tree scatter followed by a
+// recursive-multiplying allgather over fair blocks — the generalized
+// scatter-allgather bcast, the paper's longest MPICH integration because of
+// its multi-phase structure (§VI-A).
+func BcastRecMul(c comm.Comm, buf []byte, root, k int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	if err := scatterFairForBcast(c, buf, root, k); err != nil {
+		return err
+	}
+	return recmulAllgatherLayout(c, buf, FairLayout(len(buf), p), k, tagRecMul)
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// CollOp identifies a collective operation.
+type CollOp int
+
+// The collective operations covered by the paper (Table I) plus the
+// reduce-scatter building block.
+const (
+	OpBcast CollOp = iota
+	OpReduce
+	OpGather
+	OpScatter
+	OpAllgather
+	OpAllreduce
+	OpReduceScatter
+	OpAlltoall
+	OpScan
+)
+
+// String returns the MPI-style name of the operation.
+func (o CollOp) String() string {
+	switch o {
+	case OpBcast:
+		return "MPI_Bcast"
+	case OpReduce:
+		return "MPI_Reduce"
+	case OpGather:
+		return "MPI_Gather"
+	case OpScatter:
+		return "MPI_Scatter"
+	case OpAllgather:
+		return "MPI_Allgather"
+	case OpAllreduce:
+		return "MPI_Allreduce"
+	case OpReduceScatter:
+		return "MPI_Reduce_scatter"
+	case OpAlltoall:
+		return "MPI_Alltoall"
+	case OpScan:
+		return "MPI_Scan"
+	default:
+		return fmt.Sprintf("CollOp(%d)", int(o))
+	}
+}
+
+// Kernel identifies the communication pattern family (Table I rows).
+type Kernel int
+
+// Communication kernels.
+const (
+	KernelLinear Kernel = iota
+	KernelBinomial
+	KernelKnomial
+	KernelRecDbl
+	KernelRecMul
+	KernelRing
+	KernelKRing
+	KernelBruck
+	KernelRabenseifner
+	KernelHierarchical
+)
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelLinear:
+		return "linear"
+	case KernelBinomial:
+		return "binomial"
+	case KernelKnomial:
+		return "k-nomial"
+	case KernelRecDbl:
+		return "recursive-doubling"
+	case KernelRecMul:
+		return "recursive-multiplying"
+	case KernelRing:
+		return "ring"
+	case KernelKRing:
+		return "k-ring"
+	case KernelBruck:
+		return "bruck"
+	case KernelRabenseifner:
+		return "reduce-scatter-allgather"
+	case KernelHierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Args is the uniform argument bundle for invoking any algorithm through
+// the registry. Rooted collectives use Root; generalized algorithms use K.
+type Args struct {
+	// SendBuf is the caller's contribution (reductions, gather,
+	// allgather); for bcast it is the in/out payload buffer.
+	SendBuf []byte
+	// RecvBuf is the result buffer (ignored where not applicable).
+	RecvBuf []byte
+	// Op and Type configure reductions.
+	Op   datatype.Op
+	Type datatype.Type
+	// Root is the root rank for rooted collectives.
+	Root int
+	// K is the radix/group-size parameter of generalized algorithms.
+	K int
+}
+
+// Algorithm is one registry entry: a named collective implementation with
+// metadata (Table I) and a uniform Run adapter.
+type Algorithm struct {
+	// Name is the unique identifier, e.g. "allreduce_recmul".
+	Name string
+	// Op is the collective operation implemented.
+	Op CollOp
+	// Kernel is the communication pattern family.
+	Kernel Kernel
+	// Generalized reports whether the algorithm exposes the radix K.
+	Generalized bool
+	// TableI marks the paper's 10 generalized algorithms (Table I).
+	// Extensions like the hierarchical allreduce and the pipelined bcast
+	// are Generalized but not TableI.
+	TableI bool
+	// Baseline names the fixed-radix algorithm this generalizes ("" for
+	// baselines themselves).
+	Baseline string
+	// DefaultK is the radix at which the generalized algorithm matches its
+	// baseline (2 for k-nomial and recursive multiplying, 1 for k-ring).
+	DefaultK int
+	// Pow2Only restricts the algorithm to power-of-two sizes (as MPICH's
+	// recursive-doubling allgather is).
+	Pow2Only bool
+	// Run invokes the algorithm.
+	Run func(c comm.Comm, a Args) error
+}
+
+// registry holds all algorithms keyed by name.
+var registry = map[string]*Algorithm{}
+
+func register(a *Algorithm) {
+	if _, dup := registry[a.Name]; dup {
+		panic("core: duplicate algorithm " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Lookup returns the named algorithm.
+func Lookup(name string) (*Algorithm, error) {
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q", name)
+	}
+	return a, nil
+}
+
+// Algorithms returns all registered algorithms sorted by name. If op >= 0,
+// only algorithms for that operation are returned.
+func Algorithms(op CollOp) []*Algorithm {
+	var out []*Algorithm
+	for _, a := range registry {
+		if op < 0 || a.Op == op {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GeneralizedAlgorithms returns every algorithm exposing a tunable radix,
+// sorted by name (the paper's 10 plus the extensions).
+func GeneralizedAlgorithms() []*Algorithm {
+	var out []*Algorithm
+	for _, a := range registry {
+		if a.Generalized {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TableIAlgorithms returns exactly the paper's 10 generalized algorithms
+// (Table I), sorted by name.
+func TableIAlgorithms() []*Algorithm {
+	var out []*Algorithm
+	for _, a := range registry {
+		if a.TableI {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func init() {
+	// --- Generalized algorithms: the 10 of Table I. ---
+	register(&Algorithm{
+		Name: "bcast_knomial", Op: OpBcast, Kernel: KernelKnomial,
+		Generalized: true, TableI: true, Baseline: "bcast_binomial", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error { return BcastKnomial(c, a.SendBuf, a.Root, a.K) },
+	})
+	register(&Algorithm{
+		Name: "reduce_knomial", Op: OpReduce, Kernel: KernelKnomial,
+		Generalized: true, TableI: true, Baseline: "reduce_binomial", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			return ReduceKnomial(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.Root, a.K)
+		},
+	})
+	register(&Algorithm{
+		Name: "allgather_knomial", Op: OpAllgather, Kernel: KernelKnomial,
+		Generalized: true, TableI: true, Baseline: "allgather_recdbl", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error { return AllgatherKnomial(c, a.SendBuf, a.RecvBuf, a.K) },
+	})
+	register(&Algorithm{
+		Name: "allreduce_knomial", Op: OpAllreduce, Kernel: KernelKnomial,
+		Generalized: true, TableI: true, Baseline: "allreduce_recdbl", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceKnomial(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.K)
+		},
+	})
+	register(&Algorithm{
+		Name: "bcast_recmul", Op: OpBcast, Kernel: KernelRecMul,
+		Generalized: true, TableI: true, Baseline: "bcast_recdbl", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error { return BcastRecMul(c, a.SendBuf, a.Root, a.K) },
+	})
+	register(&Algorithm{
+		Name: "allgather_recmul", Op: OpAllgather, Kernel: KernelRecMul,
+		Generalized: true, TableI: true, Baseline: "allgather_recdbl", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error { return AllgatherRecMul(c, a.SendBuf, a.RecvBuf, a.K) },
+	})
+	register(&Algorithm{
+		Name: "allreduce_recmul", Op: OpAllreduce, Kernel: KernelRecMul,
+		Generalized: true, TableI: true, Baseline: "allreduce_recdbl", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceRecMul(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.K)
+		},
+	})
+	register(&Algorithm{
+		Name: "bcast_kring", Op: OpBcast, Kernel: KernelKRing,
+		Generalized: true, TableI: true, Baseline: "bcast_ring", DefaultK: 1,
+		Run: func(c comm.Comm, a Args) error { return BcastKRing(c, a.SendBuf, a.Root, a.K) },
+	})
+	register(&Algorithm{
+		Name: "allgather_kring", Op: OpAllgather, Kernel: KernelKRing,
+		Generalized: true, TableI: true, Baseline: "allgather_ring", DefaultK: 1,
+		Run: func(c comm.Comm, a Args) error { return AllgatherKRing(c, a.SendBuf, a.RecvBuf, a.K) },
+	})
+	register(&Algorithm{
+		Name: "allreduce_kring", Op: OpAllreduce, Kernel: KernelKRing,
+		Generalized: true, TableI: true, Baseline: "allreduce_ring", DefaultK: 1,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceKRing(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.K)
+		},
+	})
+	register(&Algorithm{
+		Name: "gather_knomial", Op: OpGather, Kernel: KernelKnomial,
+		Generalized: true, Baseline: "gather_binomial", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			return GatherKnomial(c, a.SendBuf, a.RecvBuf, a.Root, a.K)
+		},
+	})
+	register(&Algorithm{
+		Name: "scatter_knomial", Op: OpScatter, Kernel: KernelKnomial,
+		Generalized: true, Baseline: "scatter_binomial", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			return ScatterKnomial(c, a.SendBuf, a.RecvBuf, a.Root, a.K)
+		},
+	})
+
+	// --- Fixed-radix baselines. ---
+	register(&Algorithm{
+		Name: "bcast_binomial", Op: OpBcast, Kernel: KernelBinomial,
+		Run: func(c comm.Comm, a Args) error { return BcastBinomial(c, a.SendBuf, a.Root) },
+	})
+	register(&Algorithm{
+		Name: "reduce_binomial", Op: OpReduce, Kernel: KernelBinomial,
+		Run: func(c comm.Comm, a Args) error {
+			return ReduceBinomial(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.Root)
+		},
+	})
+	register(&Algorithm{
+		Name: "gather_binomial", Op: OpGather, Kernel: KernelBinomial,
+		Run: func(c comm.Comm, a Args) error {
+			return GatherBinomial(c, a.SendBuf, a.RecvBuf, a.Root)
+		},
+	})
+	register(&Algorithm{
+		Name: "scatter_binomial", Op: OpScatter, Kernel: KernelBinomial,
+		Run: func(c comm.Comm, a Args) error {
+			return ScatterBinomial(c, a.SendBuf, a.RecvBuf, a.Root)
+		},
+	})
+	register(&Algorithm{
+		Name: "bcast_recdbl", Op: OpBcast, Kernel: KernelRecDbl, Pow2Only: true,
+		Run: func(c comm.Comm, a Args) error { return BcastRecDbl(c, a.SendBuf, a.Root) },
+	})
+	register(&Algorithm{
+		Name: "allgather_recdbl", Op: OpAllgather, Kernel: KernelRecDbl, Pow2Only: true,
+		Run: func(c comm.Comm, a Args) error { return AllgatherRecDbl(c, a.SendBuf, a.RecvBuf) },
+	})
+	register(&Algorithm{
+		Name: "allreduce_recdbl", Op: OpAllreduce, Kernel: KernelRecDbl,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceRecDbl(c, a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		Name: "bcast_ring", Op: OpBcast, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error { return BcastRing(c, a.SendBuf, a.Root) },
+	})
+	register(&Algorithm{
+		Name: "allgather_ring", Op: OpAllgather, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error { return AllgatherRing(c, a.SendBuf, a.RecvBuf) },
+	})
+	register(&Algorithm{
+		Name: "allreduce_ring", Op: OpAllreduce, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceRing(c, a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		Name: "allreduce_rabenseifner", Op: OpAllreduce, Kernel: KernelRabenseifner,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceRabenseifner(c, a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		Name: "allgather_bruck", Op: OpAllgather, Kernel: KernelBruck,
+		Run: func(c comm.Comm, a Args) error { return AllgatherBruck(c, a.SendBuf, a.RecvBuf) },
+	})
+	register(&Algorithm{
+		Name: "reducescatter_ring", Op: OpReduceScatter, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error {
+			return ReduceScatterRing(c, a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		Name: "reducescatter_rechalving", Op: OpReduceScatter, Kernel: KernelRecDbl, Pow2Only: true,
+		Run: func(c comm.Comm, a Args) error {
+			return ReduceScatterRecHalving(c, a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		Name: "reducescatter_kring", Op: OpReduceScatter, Kernel: KernelKRing,
+		Generalized: true, Baseline: "reducescatter_ring", DefaultK: 1,
+		Run: func(c comm.Comm, a Args) error {
+			return ReduceScatterKRing(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.K)
+		},
+	})
+	register(&Algorithm{
+		Name: "allreduce_hier", Op: OpAllreduce, Kernel: KernelHierarchical,
+		Generalized: true, Baseline: "allreduce_recdbl", DefaultK: 1,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceHierarchical(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.K)
+		},
+	})
+	register(&Algorithm{
+		// Pipelined k-nomial bcast with a production-typical 64 KiB
+		// segment (the MPICH/Open MPI segmenting refinement).
+		Name: "bcast_knomial_pipelined", Op: OpBcast, Kernel: KernelKnomial,
+		Generalized: true, Baseline: "bcast_binomial", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			return BcastKnomialSegmented(c, a.SendBuf, a.Root, a.K, 64<<10)
+		},
+	})
+	register(&Algorithm{
+		Name: "alltoall_pairwise", Op: OpAlltoall, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error { return AlltoallPairwise(c, a.SendBuf, a.RecvBuf) },
+	})
+	register(&Algorithm{
+		Name: "alltoall_bruck", Op: OpAlltoall, Kernel: KernelBruck,
+		Run: func(c comm.Comm, a Args) error { return AlltoallBruck(c, a.SendBuf, a.RecvBuf) },
+	})
+
+	// --- Linear references. ---
+	register(&Algorithm{
+		Name: "bcast_linear", Op: OpBcast, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error { return BcastLinear(c, a.SendBuf, a.Root) },
+	})
+	register(&Algorithm{
+		Name: "reduce_linear", Op: OpReduce, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error {
+			return ReduceLinear(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.Root)
+		},
+	})
+	register(&Algorithm{
+		Name: "gather_linear", Op: OpGather, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error {
+			return GatherLinear(c, a.SendBuf, a.RecvBuf, a.Root)
+		},
+	})
+	register(&Algorithm{
+		Name: "scatter_linear", Op: OpScatter, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error {
+			return ScatterLinear(c, a.SendBuf, a.RecvBuf, a.Root)
+		},
+	})
+	register(&Algorithm{
+		Name: "allgather_linear", Op: OpAllgather, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error { return AllgatherLinear(c, a.SendBuf, a.RecvBuf) },
+	})
+	register(&Algorithm{
+		Name: "allreduce_linear", Op: OpAllreduce, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceLinear(c, a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		Name: "alltoall_linear", Op: OpAlltoall, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error { return AlltoallLinear(c, a.SendBuf, a.RecvBuf) },
+	})
+	register(&Algorithm{
+		Name: "scan_linear", Op: OpScan, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error {
+			return ScanLinear(c, a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		Name: "scan_hillissteele", Op: OpScan, Kernel: KernelRecDbl,
+		Run: func(c comm.Comm, a Args) error {
+			return ScanHillisSteele(c, a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		// Pipelined chain bcast with a production-typical 64 KiB segment.
+		Name: "bcast_chain", Op: OpBcast, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error {
+			return BcastChain(c, a.SendBuf, a.Root, 64<<10)
+		},
+	})
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLookup covers hit and miss.
+func TestLookup(t *testing.T) {
+	a, err := Lookup("allreduce_recmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Op != OpAllreduce || a.Kernel != KernelRecMul || !a.Generalized || a.DefaultK != 2 {
+		t.Errorf("allreduce_recmul metadata = %+v", a)
+	}
+	if _, err := Lookup("no_such"); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+}
+
+// TestAlgorithmsFilter checks per-op filtering and global ordering.
+func TestAlgorithmsFilter(t *testing.T) {
+	all := Algorithms(-1)
+	if len(all) < 25 {
+		t.Errorf("only %d algorithms registered", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("registry not sorted: %s >= %s", all[i-1].Name, all[i].Name)
+		}
+	}
+	for _, a := range Algorithms(OpBcast) {
+		if a.Op != OpBcast {
+			t.Errorf("%s leaked into bcast list", a.Name)
+		}
+	}
+}
+
+// TestTableIExact pins the paper's Table I: exactly which generalized
+// algorithm exists for each (kernel, op) pair.
+func TestTableIExact(t *testing.T) {
+	want := map[string]bool{
+		"k-nomial/MPI_Bcast":                  true,
+		"k-nomial/MPI_Reduce":                 true,
+		"k-nomial/MPI_Allgather":              true,
+		"k-nomial/MPI_Allreduce":              true,
+		"recursive-multiplying/MPI_Bcast":     true,
+		"recursive-multiplying/MPI_Allgather": true,
+		"recursive-multiplying/MPI_Allreduce": true,
+		"k-ring/MPI_Bcast":                    true,
+		"k-ring/MPI_Allgather":                true,
+		"k-ring/MPI_Allreduce":                true,
+	}
+	got := map[string]bool{}
+	for _, a := range TableIAlgorithms() {
+		switch a.Op {
+		case OpBcast, OpReduce, OpAllgather, OpAllreduce:
+			got[a.Kernel.String()+"/"+a.Op.String()] = true
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("Table I entry missing: %s", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected Table I entry: %s", k)
+		}
+	}
+}
+
+// TestBaselinesResolve: every Baseline reference names a registered
+// algorithm of the same operation.
+func TestBaselinesResolve(t *testing.T) {
+	for _, a := range Algorithms(-1) {
+		if a.Baseline == "" {
+			continue
+		}
+		base, err := Lookup(a.Baseline)
+		if err != nil {
+			t.Errorf("%s baseline: %v", a.Name, err)
+			continue
+		}
+		if base.Op != a.Op {
+			t.Errorf("%s baseline %s implements %v", a.Name, base.Name, base.Op)
+		}
+		if base.Generalized {
+			t.Errorf("%s baseline %s is itself generalized", a.Name, base.Name)
+		}
+	}
+}
+
+// TestKernelAndOpStrings covers the Stringers (used in config files and
+// figure titles, so their exact values matter).
+func TestKernelAndOpStrings(t *testing.T) {
+	if OpAllreduce.String() != "MPI_Allreduce" || OpReduceScatter.String() != "MPI_Reduce_scatter" {
+		t.Error("CollOp strings changed")
+	}
+	for k := KernelLinear; k <= KernelHierarchical; k++ {
+		if strings.HasPrefix(k.String(), "Kernel(") {
+			t.Errorf("kernel %d has no name", int(k))
+		}
+	}
+	if !strings.HasPrefix(Kernel(99).String(), "Kernel(") || !strings.HasPrefix(CollOp(99).String(), "CollOp(") {
+		t.Error("unknown enums must format distinctly")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// RingSchedule builds the classic ring allgather schedule (§V-A, Fig. 5):
+// p−1 rounds in which every rank forwards to its right neighbor the block
+// it received from its left neighbor in the previous round.
+func RingSchedule(p int) *Schedule {
+	s := &Schedule{P: p}
+	for t := 0; t < p-1; t++ {
+		round := make(Round, 0, p)
+		for r := 0; r < p; r++ {
+			round = append(round, Edge{
+				From:  r,
+				To:    (r + 1) % p,
+				Block: ((r-t)%p + p) % p,
+			})
+		}
+		s.Rounds = append(s.Rounds, round)
+	}
+	return s
+}
+
+// AllgatherRing is the bandwidth-optimal ring allgather (eq. (8)).
+func AllgatherRing(c comm.Comm, sendbuf, recvbuf []byte) error {
+	if err := checkAllgatherBufs(c, sendbuf, recvbuf); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(sendbuf)
+	copy(recvbuf[c.Rank()*n:], sendbuf)
+	if p == 1 {
+		return nil
+	}
+	return RingSchedule(p).RunAllgather(c, recvbuf, UniformLayout(n), tagSched)
+}
+
+// ReduceScatterRing reduce-scatters the full vector sendbuf (length n):
+// every rank receives the fully reduced fair block FairLayout(n, p)(rank)
+// in recvbuf. Implemented as the time-reversed ring allgather.
+func ReduceScatterRing(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	p := c.Size()
+	n := len(sendbuf)
+	layout := FairLayoutAligned(n, p, dt.Size())
+	off, sz := layout(c.Rank())
+	if len(recvbuf) != sz {
+		return ErrBadBuffer
+	}
+	work := make([]byte, n)
+	copy(work, sendbuf)
+	if p > 1 {
+		if err := RingSchedule(p).RunReduceScatter(c, work, layout, op, dt, tagSched); err != nil {
+			return err
+		}
+	}
+	copy(recvbuf, work[off:off+sz])
+	return nil
+}
+
+// AllreduceRing is the ring allreduce (Patarasuk & Yuan): a ring
+// reduce-scatter followed by a ring allgather over fair blocks of the
+// vector (eq. (8), the Allreduce row).
+func AllreduceRing(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	n := len(sendbuf)
+	copy(recvbuf, sendbuf)
+	if p == 1 {
+		return nil
+	}
+	s := RingSchedule(p)
+	layout := FairLayoutAligned(n, p, dt.Size())
+	if err := s.RunReduceScatter(c, recvbuf, layout, op, dt, tagSched); err != nil {
+		return err
+	}
+	return s.RunAllgather(c, recvbuf, layout, tagSched+1)
+}
+
+// BcastRing broadcasts via a binomial scatter followed by a ring allgather
+// over fair blocks (the large-message scatter-allgather bcast with a ring
+// dissemination phase).
+func BcastRing(c comm.Comm, buf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	if err := scatterFairForBcast(c, buf, root, 2); err != nil {
+		return err
+	}
+	return RingSchedule(p).RunAllgather(c, buf, FairLayout(len(buf), p), tagSched)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// Prefix reductions (MPI_Scan / MPI_Exscan). Not part of the paper's
+// Table I, but part of the collective surface a drop-in library needs;
+// both the O(p) chain and the O(log p) Hillis–Steele algorithms are
+// provided, and the combine order is left-to-right so non-commutative
+// operators would also be safe.
+
+// ScanLinear computes the inclusive prefix reduction with a serial chain:
+// rank r receives the prefix of 0..r−1 from r−1, combines its own
+// contribution, and forwards to r+1. O(p) latency, minimal bandwidth.
+func ScanLinear(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	copy(recvbuf, sendbuf)
+	if me > 0 {
+		prev := make([]byte, len(sendbuf))
+		if _, err := c.Recv(me-1, tagLinear+1, prev); err != nil {
+			return err
+		}
+		// Left-to-right: prefix(0..r-1) OP own.
+		if err := reduceInto(c, op, dt, prev, recvbuf); err != nil {
+			return err
+		}
+		copy(recvbuf, prev)
+	}
+	if me < p-1 {
+		return c.Send(me+1, tagLinear+1, recvbuf)
+	}
+	return nil
+}
+
+// ScanHillisSteele computes the inclusive prefix reduction in ⌈log2 p⌉
+// rounds: in round i, rank r sends its running partial to r+2^i and
+// combines the partial received from r−2^i on its left. Every rank is
+// busy every round, trading p·log p total messages for logarithmic depth.
+func ScanHillisSteele(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	copy(recvbuf, sendbuf)
+	incoming := make([]byte, len(sendbuf))
+	for dist := 1; dist < p; dist <<= 1 {
+		var sreq comm.Request
+		if me+dist < p {
+			// Snapshot: the buffer must stay stable until the send
+			// completes while we overwrite recvbuf below.
+			out := append([]byte(nil), recvbuf...)
+			req, err := c.Isend(me+dist, tagRecDbl+1, out)
+			if err != nil {
+				return err
+			}
+			sreq = req
+		}
+		if me-dist >= 0 {
+			if _, err := c.Recv(me-dist, tagRecDbl+1, incoming); err != nil {
+				return err
+			}
+			// incoming covers ranks left of ours: combine left-to-right.
+			if err := reduceInto(c, op, dt, incoming, recvbuf); err != nil {
+				return err
+			}
+			copy(recvbuf, incoming)
+		}
+		if sreq != nil {
+			if err := sreq.Wait(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Exscan computes the exclusive prefix reduction (rank r receives the
+// combination of ranks 0..r−1; rank 0's recvbuf is left untouched, as in
+// MPI): an inclusive Hillis–Steele scan followed by a one-position shift.
+func Exscan(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	if p == 1 {
+		return nil
+	}
+	inclusive := make([]byte, len(sendbuf))
+	if err := ScanHillisSteele(c, sendbuf, inclusive, op, dt); err != nil {
+		return err
+	}
+	var sreq comm.Request
+	if me < p-1 {
+		req, err := c.Isend(me+1, tagRecDbl+2, inclusive)
+		if err != nil {
+			return err
+		}
+		sreq = req
+	}
+	if me > 0 {
+		if _, err := c.Recv(me-1, tagRecDbl+2, recvbuf); err != nil {
+			return err
+		}
+	}
+	if sreq != nil {
+		return sreq.Wait()
+	}
+	return nil
+}
+
+// BcastChain is the pipelined chain broadcast: segments flow down the
+// linear chain root → root+1 → …, every hop forwarding segment s while
+// receiving s+1. With m segments the last rank finishes after p−1+m−1
+// segment steps — the classic large-message broadcast on systems where a
+// chain maps well onto the physical topology, and the degenerate k=p
+// endpoint of the ring family.
+func BcastChain(c comm.Comm, buf []byte, root, segSize int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if segSize < 1 {
+		return ErrBadBuffer
+	}
+	p := c.Size()
+	if p == 1 || len(buf) == 0 {
+		return nil
+	}
+	v := vrank(c.Rank(), root, p)
+	nseg := (len(buf) + segSize - 1) / segSize
+	segment := func(s int) []byte {
+		lo := s * segSize
+		hi := minInt(lo+segSize, len(buf))
+		return buf[lo:hi]
+	}
+	var recvReqs []comm.Request
+	if v > 0 {
+		src := absRank(v-1, root, p)
+		recvReqs = make([]comm.Request, nseg)
+		for s := 0; s < nseg; s++ {
+			req, err := c.Irecv(src, tagLinear+2, segment(s))
+			if err != nil {
+				return err
+			}
+			recvReqs[s] = req
+		}
+	}
+	var sendReqs []comm.Request
+	for s := 0; s < nseg; s++ {
+		if recvReqs != nil {
+			if err := recvReqs[s].Wait(); err != nil {
+				return err
+			}
+		}
+		if v < p-1 {
+			req, err := c.Isend(absRank(v+1, root, p), tagLinear+2, segment(s))
+			if err != nil {
+				return err
+			}
+			sendReqs = append(sendReqs, req)
+		}
+	}
+	return comm.WaitAll(sendReqs...)
+}

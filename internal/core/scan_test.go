@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// prefixSum is the expected inclusive scan result at rank r.
+func prefixSum(r, elems int) []float64 {
+	out := make([]float64, elems)
+	for q := 0; q <= r; q++ {
+		for i, x := range rankVector(q, elems) {
+			out[i] += x
+		}
+	}
+	return out
+}
+
+// TestScanAlgorithms validates both scan implementations across sizes.
+func TestScanAlgorithms(t *testing.T) {
+	algs := map[string]func(c comm.Comm, s, r []byte, op datatype.Op, dt datatype.Type) error{
+		"linear":        ScanLinear,
+		"hillis-steele": ScanHillisSteele,
+	}
+	for name, fn := range algs {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			for _, p := range []int{1, 2, 3, 5, 8, 13} {
+				for _, elems := range []int{1, 16, 200} {
+					p, elems := p, elems
+					runOnWorld(t, p, func(c comm.Comm) error {
+						sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+						recvbuf := make([]byte, len(sendbuf))
+						if err := fn(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64); err != nil {
+							return err
+						}
+						want := datatype.EncodeFloat64(prefixSum(c.Rank(), elems))
+						if !bytes.Equal(recvbuf, want) {
+							return fmt.Errorf("%s p=%d elems=%d: scan wrong at rank %d", name, p, elems, c.Rank())
+						}
+						return nil
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestExscan validates the exclusive scan (rank 0's buffer untouched).
+func TestExscan(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		p := p
+		elems := 32
+		runOnWorld(t, p, func(c comm.Comm) error {
+			sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+			recvbuf := bytes.Repeat([]byte{0xAB}, len(sendbuf))
+			if err := Exscan(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				if !bytes.Equal(recvbuf, bytes.Repeat([]byte{0xAB}, len(sendbuf))) {
+					return fmt.Errorf("rank 0 exscan buffer was modified")
+				}
+				return nil
+			}
+			want := datatype.EncodeFloat64(prefixSum(c.Rank()-1, elems))
+			if !bytes.Equal(recvbuf, want) {
+				return fmt.Errorf("exscan wrong at rank %d", c.Rank())
+			}
+			return nil
+		})
+	}
+}
+
+// TestBcastChain validates the pipelined chain bcast across segment sizes.
+func TestBcastChain(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 1000, 8192} {
+			for _, seg := range []int{1, 100, 4096, 1 << 20} {
+				p, n, seg := p, n, seg
+				root := p / 3
+				payload := rankPayload(root, n)
+				runOnWorld(t, p, func(c comm.Comm) error {
+					buf := make([]byte, n)
+					if c.Rank() == root {
+						copy(buf, payload)
+					}
+					if err := BcastChain(c, buf, root, seg); err != nil {
+						return err
+					}
+					if !bytes.Equal(buf, payload) {
+						return fmt.Errorf("p=%d n=%d seg=%d: chain bcast wrong at rank %d", p, n, seg, c.Rank())
+					}
+					return nil
+				})
+			}
+		}
+	}
+	runOnWorld(t, 2, func(c comm.Comm) error {
+		if err := BcastChain(c, make([]byte, 8), 0, 0); err == nil {
+			return fmt.Errorf("want error for segSize=0")
+		}
+		return nil
+	})
+}
+
+// TestQuickScanAgree: testing/quick — both scans agree with the locally
+// computed prefix for random geometry.
+func TestQuickScanAgree(t *testing.T) {
+	prop := func(pRaw, nRaw uint32) bool {
+		p := int(pRaw%10) + 1
+		elems := int(nRaw%100) + 1
+		for _, fn := range []func(c comm.Comm, s, r []byte, op datatype.Op, dt datatype.Type) error{
+			ScanLinear, ScanHillisSteele,
+		} {
+			fn := fn
+			err := runQuickWorld(p, func(c comm.Comm) error {
+				sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+				recvbuf := make([]byte, len(sendbuf))
+				if err := fn(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64); err != nil {
+					return err
+				}
+				if !bytes.Equal(recvbuf, datatype.EncodeFloat64(prefixSum(c.Rank(), elems))) {
+					return fmt.Errorf("mismatch")
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// Edge is one block transfer inside a schedule round: rank From sends the
+// data block that originated at rank Block to rank To.
+type Edge struct {
+	From, To, Block int
+}
+
+// Round is the set of transfers that may proceed concurrently. Rounds are a
+// logical ordering only — ranks never barrier between rounds; data
+// dependencies (a rank can only forward a block after receiving it) provide
+// all necessary synchronization.
+type Round []Edge
+
+// Schedule is an explicit allgather communication plan over p ranks: after
+// executing all rounds, every rank holds every rank's block. Ring and
+// k-ring algorithms are built as schedules; reduce-scatter runs the same
+// schedule in reverse with accumulation (the standard time-reversal duality
+// between allgather and reduce-scatter).
+type Schedule struct {
+	P      int
+	Rounds []Round
+}
+
+// Validate checks the structural invariants the executors rely on:
+//   - every rank receives every block other than its own exactly once;
+//   - no rank receives its own block;
+//   - a rank only sends blocks it owns at the start of the round (its own,
+//     or one received in a strictly earlier round);
+//   - edges reference valid ranks and blocks and have From != To.
+func (s *Schedule) Validate() error {
+	p := s.P
+	// owned[r] tracks which blocks rank r holds; initially its own.
+	owned := make([][]bool, p)
+	recvCount := make([][]int, p)
+	for r := 0; r < p; r++ {
+		owned[r] = make([]bool, p)
+		owned[r][r] = true
+		recvCount[r] = make([]int, p)
+	}
+	for t, round := range s.Rounds {
+		// Ownership updates apply only after the whole round.
+		type gain struct{ rank, block int }
+		var gains []gain
+		for _, e := range round {
+			if e.From < 0 || e.From >= p || e.To < 0 || e.To >= p || e.Block < 0 || e.Block >= p {
+				return fmt.Errorf("core: schedule round %d: edge %+v out of range (p=%d)", t, e, p)
+			}
+			if e.From == e.To {
+				return fmt.Errorf("core: schedule round %d: self edge %+v", t, e)
+			}
+			if !owned[e.From][e.Block] {
+				return fmt.Errorf("core: schedule round %d: rank %d sends block %d it does not own", t, e.From, e.Block)
+			}
+			if e.To == e.Block {
+				return fmt.Errorf("core: schedule round %d: rank %d receives its own block", t, e.To)
+			}
+			recvCount[e.To][e.Block]++
+			gains = append(gains, gain{e.To, e.Block})
+		}
+		for _, g := range gains {
+			owned[g.rank][g.block] = true
+		}
+	}
+	for r := 0; r < p; r++ {
+		for b := 0; b < p; b++ {
+			if b == r {
+				continue
+			}
+			if recvCount[r][b] != 1 {
+				return fmt.Errorf("core: rank %d receives block %d %d times (want 1)", r, b, recvCount[r][b])
+			}
+		}
+	}
+	return nil
+}
+
+// NumRounds returns the number of logical rounds.
+func (s *Schedule) NumRounds() int { return len(s.Rounds) }
+
+// TotalEdges returns the total number of block transfers.
+func (s *Schedule) TotalEdges() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += len(r)
+	}
+	return n
+}
+
+// BlockLayout maps a block id to its (offset, size) inside the result
+// buffer.
+type BlockLayout func(block int) (off, size int)
+
+// UniformLayout lays out p blocks of n bytes each: block i at offset i*n.
+// This is the allgather layout (every rank contributes n bytes).
+func UniformLayout(n int) BlockLayout {
+	return func(i int) (int, int) { return i * n, n }
+}
+
+// FairLayout splits total bytes into p nearly-equal blocks (block i spans
+// [i*total/p, (i+1)*total/p)). This is the layout used by scatter-allgather
+// bcast over a single vector.
+func FairLayout(total, p int) BlockLayout {
+	return func(i int) (int, int) { return fairBlock(total, p, i) }
+}
+
+// FairLayoutAligned splits total bytes into p nearly-equal blocks whose
+// boundaries fall on multiples of elemSize, so reductions never split an
+// element across blocks. Reduce-scatter paths must use this layout.
+func FairLayoutAligned(total, p, elemSize int) BlockLayout {
+	elems := total / elemSize
+	return func(i int) (int, int) {
+		lo := fairOffset(elems, p, i) * elemSize
+		hi := fairOffset(elems, p, i+1) * elemSize
+		if i == p-1 {
+			hi = total // absorb any trailing remainder bytes
+		}
+		return lo, hi - lo
+	}
+}
+
+// xfer is a coalesced per-round message: all blocks moving between one
+// (peer → me) or (me → peer) pair, packed in ascending block id order.
+type xfer struct {
+	peer   int
+	blocks []int
+	size   int
+}
+
+// roundXfers extracts this rank's coalesced sends and receives for a round.
+func roundXfers(round Round, me int, layout BlockLayout) (sends, recvs []xfer) {
+	sm := map[int][]int{}
+	rm := map[int][]int{}
+	for _, e := range round {
+		if e.From == me {
+			sm[e.To] = append(sm[e.To], e.Block)
+		}
+		if e.To == me {
+			rm[e.From] = append(rm[e.From], e.Block)
+		}
+	}
+	build := func(m map[int][]int) []xfer {
+		peers := make([]int, 0, len(m))
+		for pr := range m {
+			peers = append(peers, pr)
+		}
+		sort.Ints(peers)
+		out := make([]xfer, 0, len(peers))
+		for _, pr := range peers {
+			blocks := m[pr]
+			sort.Ints(blocks)
+			size := 0
+			for _, b := range blocks {
+				_, s := layout(b)
+				size += s
+			}
+			out = append(out, xfer{peer: pr, blocks: blocks, size: size})
+		}
+		return out
+	}
+	return build(sm), build(rm)
+}
+
+// packBlocks copies blocks (ascending id) from buf into a packed message.
+func packBlocks(buf []byte, blocks []int, layout BlockLayout) []byte {
+	size := 0
+	for _, b := range blocks {
+		_, s := layout(b)
+		size += s
+	}
+	msg := make([]byte, size)
+	pos := 0
+	for _, b := range blocks {
+		off, s := layout(b)
+		copy(msg[pos:pos+s], buf[off:off+s])
+		pos += s
+	}
+	return msg
+}
+
+// unpackBlocks scatters a packed message into buf at block positions. If
+// combine is non-nil it is used instead of copy (for reductions).
+func unpackBlocks(msg, buf []byte, blocks []int, layout BlockLayout, combine func(dst, src []byte) error) error {
+	pos := 0
+	for _, b := range blocks {
+		off, s := layout(b)
+		if pos+s > len(msg) {
+			return fmt.Errorf("%w: packed message too short", ErrBadBuffer)
+		}
+		if combine != nil {
+			if err := combine(buf[off:off+s], msg[pos:pos+s]); err != nil {
+				return err
+			}
+		} else {
+			copy(buf[off:off+s], msg[pos:pos+s])
+		}
+		pos += s
+	}
+	return nil
+}
+
+// RunAllgather executes the schedule as an allgather. buf must already
+// contain the caller's own block at layout(rank); on success it contains
+// every block. tag selects the message stream (callers composing multiple
+// schedule executions back-to-back pass distinct tags).
+func (s *Schedule) RunAllgather(c comm.Comm, buf []byte, layout BlockLayout, tag comm.Tag) error {
+	me := c.Rank()
+	for _, round := range s.Rounds {
+		sends, recvs := roundXfers(round, me, layout)
+		reqs := make([]comm.Request, 0, len(sends)+len(recvs))
+		staging := make([][]byte, len(recvs))
+		// Post receives first so the eager path can complete in place.
+		for i, rx := range recvs {
+			var dst []byte
+			if len(rx.blocks) == 1 {
+				off, sz := layout(rx.blocks[0])
+				dst = buf[off : off+sz]
+			} else {
+				staging[i] = make([]byte, rx.size)
+				dst = staging[i]
+			}
+			req, err := c.Irecv(rx.peer, tag, dst)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for _, tx := range sends {
+			var src []byte
+			if len(tx.blocks) == 1 {
+				off, sz := layout(tx.blocks[0])
+				src = buf[off : off+sz]
+			} else {
+				src = packBlocks(buf, tx.blocks, layout)
+			}
+			req, err := c.Isend(tx.peer, tag, src)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := comm.WaitAll(reqs...); err != nil {
+			return err
+		}
+		for i, rx := range recvs {
+			if len(rx.blocks) > 1 {
+				if err := unpackBlocks(staging[i], buf, rx.blocks, layout, nil); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunReduceScatter executes the schedule in reverse as a reduce-scatter
+// (time-reversal duality: reversing every edge of an allgather schedule
+// turns each block's dissemination tree into an aggregation tree rooted at
+// the block's owner).
+//
+// work must contain the caller's full input vector; on success,
+// work[layout(rank)] holds the fully reduced block owned by the caller and
+// the rest of work is scratch. tag selects the message stream.
+func (s *Schedule) RunReduceScatter(c comm.Comm, work []byte, layout BlockLayout, op datatype.Op, t datatype.Type, tag comm.Tag) error {
+	me := c.Rank()
+	combine := func(dst, src []byte) error { return reduceInto(c, op, t, dst, src) }
+	for ri := len(s.Rounds) - 1; ri >= 0; ri-- {
+		// Reversed edges: allgather (From→To, Block) becomes To sending its
+		// partial of Block back to From, which accumulates it.
+		round := s.Rounds[ri]
+		rev := make(Round, len(round))
+		for i, e := range round {
+			rev[i] = Edge{From: e.To, To: e.From, Block: e.Block}
+		}
+		sends, recvs := roundXfers(rev, me, layout)
+		reqs := make([]comm.Request, 0, len(sends)+len(recvs))
+		staging := make([][]byte, len(recvs))
+		for i, rx := range recvs {
+			staging[i] = make([]byte, rx.size)
+			req, err := c.Irecv(rx.peer, tag, staging[i])
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for _, tx := range sends {
+			var src []byte
+			if len(tx.blocks) == 1 {
+				off, sz := layout(tx.blocks[0])
+				src = work[off : off+sz]
+			} else {
+				src = packBlocks(work, tx.blocks, layout)
+			}
+			req, err := c.Isend(tx.peer, tag, src)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := comm.WaitAll(reqs...); err != nil {
+			return err
+		}
+		for i, rx := range recvs {
+			if err := unpackBlocks(staging[i], work, rx.blocks, layout, combine); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

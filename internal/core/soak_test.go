@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/transport/mem"
+)
+
+// TestCollectiveSoak runs a long, seeded-random sequence of different
+// collectives back-to-back on one communicator — the usage pattern of a
+// real application — and validates every result. This is the test that
+// catches cross-collective tag interference: a message from collective i
+// must never match a receive posted by collective i+1, even though no
+// barrier separates them and fast ranks race ahead.
+func TestCollectiveSoak(t *testing.T) {
+	const p = 8
+	const steps = 120
+	rng := rand.New(rand.NewSource(20230704))
+
+	type step struct {
+		alg  *Algorithm
+		n    int
+		k    int
+		root int
+	}
+	var algs []*Algorithm
+	for _, a := range Algorithms(-1) {
+		if a.Pow2Only && !isPow2(p) {
+			continue
+		}
+		algs = append(algs, a)
+	}
+	seq := make([]step, steps)
+	for i := range seq {
+		alg := algs[rng.Intn(len(algs))]
+		n := []int{8, 64, 512, 4096}[rng.Intn(4)]
+		k := []int{1, 2, 3, 4, 5, 8}[rng.Intn(6)]
+		if k < 2 && alg.Kernel != KernelKRing && alg.Kernel != KernelHierarchical {
+			k = 2
+		}
+		seq[i] = step{alg: alg, n: n, k: k, root: rng.Intn(p)}
+	}
+
+	w := mem.NewWorld(p)
+	defer w.Close()
+	err := w.Run(func(c comm.Comm) error {
+		for i, st := range seq {
+			if err := runAndVerify(c, st.alg, st.n, st.root, st.k); err != nil {
+				return fmt.Errorf("step %d (%s n=%d k=%d root=%d): %w",
+					i, st.alg.Name, st.n, st.k, st.root, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runAndVerify executes one collective on a live communicator and checks
+// its result (a goroutine-local variant of checkCollective that does not
+// create a fresh world).
+func runAndVerify(c comm.Comm, alg *Algorithm, n, root, k int) error {
+	p := c.Size()
+	me := c.Rank()
+	switch alg.Op {
+	case OpBcast:
+		payload := rankPayload(root, n)
+		buf := make([]byte, n)
+		if me == root {
+			copy(buf, payload)
+		}
+		if err := alg.Run(c, Args{SendBuf: buf, Root: root, K: k}); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, payload) {
+			return fmt.Errorf("bcast mismatch")
+		}
+	case OpReduce, OpAllreduce:
+		elems := n / 8
+		sendbuf := datatype.EncodeFloat64(rankVector(me, elems))
+		recvbuf := make([]byte, len(sendbuf))
+		if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf,
+			Op: datatype.Sum, Type: datatype.Float64, Root: root, K: k}); err != nil {
+			return err
+		}
+		if alg.Op == OpAllreduce || me == root {
+			if !bytes.Equal(recvbuf, datatype.EncodeFloat64(expectedSum(p, elems))) {
+				return fmt.Errorf("%v mismatch", alg.Op)
+			}
+		}
+	case OpGather, OpAllgather:
+		sendbuf := rankPayload(me, n)
+		recvbuf := make([]byte, n*p)
+		if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, Root: root, K: k}); err != nil {
+			return err
+		}
+		if alg.Op == OpAllgather || me == root {
+			for r := 0; r < p; r++ {
+				if !bytes.Equal(recvbuf[r*n:(r+1)*n], rankPayload(r, n)) {
+					return fmt.Errorf("%v block %d mismatch", alg.Op, r)
+				}
+			}
+		}
+	case OpScatter:
+		var sendbuf []byte
+		if me == root {
+			sendbuf = make([]byte, 0, n*p)
+			for r := 0; r < p; r++ {
+				sendbuf = append(sendbuf, rankPayload(r, n)...)
+			}
+		}
+		recvbuf := make([]byte, n)
+		if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, Root: root, K: k}); err != nil {
+			return err
+		}
+		if !bytes.Equal(recvbuf, rankPayload(me, n)) {
+			return fmt.Errorf("scatter mismatch")
+		}
+	case OpReduceScatter:
+		elems := n / 8
+		sendbuf := datatype.EncodeFloat64(rankVector(me, elems))
+		off, sz := FairLayoutAligned(len(sendbuf), p, 8)(me)
+		recvbuf := make([]byte, sz)
+		if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf,
+			Op: datatype.Sum, Type: datatype.Float64, K: k}); err != nil {
+			return err
+		}
+		want := datatype.EncodeFloat64(expectedSum(p, elems))[off : off+sz]
+		if !bytes.Equal(recvbuf, want) {
+			return fmt.Errorf("reduce-scatter mismatch")
+		}
+	case OpScan:
+		elems := n / 8
+		sendbuf := datatype.EncodeFloat64(rankVector(me, elems))
+		recvbuf := make([]byte, len(sendbuf))
+		if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf,
+			Op: datatype.Sum, Type: datatype.Float64, K: k}); err != nil {
+			return err
+		}
+		if !bytes.Equal(recvbuf, datatype.EncodeFloat64(prefixSum(me, elems))) {
+			return fmt.Errorf("scan mismatch")
+		}
+	case OpAlltoall:
+		sendbuf := make([]byte, 0, n*p)
+		for dst := 0; dst < p; dst++ {
+			sendbuf = append(sendbuf, rankPayload(me*1000+dst, n)...)
+		}
+		recvbuf := make([]byte, n*p)
+		if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, K: k}); err != nil {
+			return err
+		}
+		for src := 0; src < p; src++ {
+			if !bytes.Equal(recvbuf[src*n:(src+1)*n], rankPayload(src*1000+me, n)) {
+				return fmt.Errorf("alltoall block %d mismatch", src)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigure1BinomialTree reproduces the structure of Fig. 1: the binomial
+// (k=2) gather tree on 6 processes, plus its growth to 8.
+func TestFigure1BinomialTree(t *testing.T) {
+	tr := KnomialTree{P: 6, K: 2}
+	wantParents := map[int]int{1: 0, 2: 0, 3: 2, 4: 0, 5: 4}
+	if got := tr.Parent(0); got != -1 {
+		t.Errorf("root parent = %d, want -1", got)
+	}
+	for v, want := range wantParents {
+		if got := tr.Parent(v); got != want {
+			t.Errorf("parent(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Root's children, largest subtree first: 4 (weight 4), 2 (weight 2),
+	// 1 (weight 1).
+	got := tr.Children(0)
+	want := []Child{{VRank: 4, Weight: 4}, {VRank: 2, Weight: 2}, {VRank: 1, Weight: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("children(0) = %v, want %v", got, want)
+	}
+	// Adding processes 6 and 7 (Fig. 1's placeholders) does not change the
+	// existing structure but deepens node 4's subtree.
+	tr8 := KnomialTree{P: 8, K: 2}
+	for v, want := range wantParents {
+		if got := tr8.Parent(v); got != want {
+			t.Errorf("p=8: parent(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got := tr8.Parent(6); got != 4 {
+		t.Errorf("p=8: parent(6) = %d, want 4", got)
+	}
+	if got := tr8.Parent(7); got != 6 {
+		t.Errorf("p=8: parent(7) = %d, want 6", got)
+	}
+	if d := tr8.Depth(); d != 3 {
+		t.Errorf("p=8 depth = %d, want 3", d)
+	}
+}
+
+// TestFigure2TrinomialTree reproduces Fig. 2: the trinomial (k=3) tree on 6
+// processes; nodes 1 and 2 are children of 0, nodes 4 and 5 of 3, and the
+// tree holds up to 9 nodes without increasing its depth of 2.
+func TestFigure2TrinomialTree(t *testing.T) {
+	tr := KnomialTree{P: 6, K: 3}
+	wantParents := map[int]int{1: 0, 2: 0, 3: 0, 4: 3, 5: 3}
+	for v, want := range wantParents {
+		if got := tr.Parent(v); got != want {
+			t.Errorf("parent(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Fig. 2's placeholders: in a complete 9-node trinomial tree, 6 is a
+	// child of 0 and 7, 8 children of 6 — still depth 2.
+	tr9 := KnomialTree{P: 9, K: 3}
+	if got := tr9.Parent(6); got != 0 {
+		t.Errorf("p=9: parent(6) = %d, want 0", got)
+	}
+	if got := tr9.Parent(7); got != 6 {
+		t.Errorf("p=9: parent(7) = %d, want 6", got)
+	}
+	if got := tr9.Parent(8); got != 6 {
+		t.Errorf("p=9: parent(8) = %d, want 6", got)
+	}
+	if d := tr9.Depth(); d != 2 {
+		t.Errorf("p=9 trinomial depth = %d, want 2", d)
+	}
+	// The binomial tree cannot: 8 processes need depth 3 at k=2.
+	if d := (KnomialTree{P: 8, K: 2}).Depth(); d != 3 {
+		t.Errorf("p=8 binomial depth = %d, want 3", d)
+	}
+}
+
+// TestKnomialTreeInvariants checks tree well-formedness across a grid.
+func TestKnomialTreeInvariants(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 27, 30, 64, 100} {
+		for _, k := range []int{2, 3, 4, 5, 8, 16} {
+			tr := KnomialTree{P: p, K: k}
+			seen := make([]int, p)
+			for v := 1; v < p; v++ {
+				par := tr.Parent(v)
+				if par < 0 || par >= v {
+					t.Fatalf("p=%d k=%d: parent(%d) = %d out of order", p, k, v, par)
+				}
+				// v must appear in parent's child list exactly once.
+				count := 0
+				for _, ch := range tr.Children(par) {
+					if ch.VRank == v {
+						count++
+					}
+				}
+				if count != 1 {
+					t.Fatalf("p=%d k=%d: %d appears %d times in children(%d)", p, k, v, count, par)
+				}
+				seen[v]++
+			}
+			// Children lists must partition 1..p-1.
+			total := 0
+			for v := 0; v < p; v++ {
+				for _, ch := range tr.Children(v) {
+					if ch.VRank <= v || ch.VRank >= p {
+						t.Fatalf("p=%d k=%d: bad child %d of %d", p, k, ch.VRank, v)
+					}
+					total++
+				}
+			}
+			if total != p-1 {
+				t.Fatalf("p=%d k=%d: %d child edges, want %d", p, k, total, p-1)
+			}
+			// Depth bounds every node's level.
+			d := tr.Depth()
+			for v := 0; v < p; v++ {
+				if l := tr.Level(v); l > d {
+					t.Fatalf("p=%d k=%d: level(%d)=%d > depth %d", p, k, v, l, d)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure4RecursiveMultiplying reproduces Fig. 4: p=9, k=3 completes in
+// 2 rounds with groups spaced 1 apart, then 3 apart.
+func TestFigure4RecursiveMultiplying(t *testing.T) {
+	if got := LargestKSmooth(9, 3); got != 9 {
+		t.Fatalf("LargestKSmooth(9,3) = %d, want 9", got)
+	}
+	factors := FactorSchedule(9, 3)
+	if !reflect.DeepEqual(factors, []int{3, 3}) {
+		t.Fatalf("factors = %v, want [3 3]", factors)
+	}
+	weights := roundWeights(factors)
+	if !reflect.DeepEqual(weights, []int{1, 3}) {
+		t.Fatalf("weights = %v, want [1 3]", weights)
+	}
+	// Round 1: rank 4's group is {3,4,5} (adjacent); round 2: {1,4,7}.
+	if got := groupMembers(4, factors, weights, 0); !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Errorf("round-1 group of 4 = %v, want [3 4 5]", got)
+	}
+	if got := groupMembers(4, factors, weights, 1); !reflect.DeepEqual(got, []int{1, 4, 7}) {
+		t.Errorf("round-2 group of 4 = %v, want [1 4 7]", got)
+	}
+	// Recursive doubling (Fig. 3): p=4 takes 2 rounds with spacing 1, 2.
+	f2 := FactorSchedule(4, 2)
+	if !reflect.DeepEqual(f2, []int{2, 2}) {
+		t.Fatalf("FactorSchedule(4,2) = %v, want [2 2]", f2)
+	}
+}
+
+// TestFactorScheduleProperties checks the mixed-radix schedule across a
+// grid: factors multiply to the k-smooth size and never exceed k.
+func TestFactorScheduleProperties(t *testing.T) {
+	for p := 1; p <= 200; p++ {
+		for _, k := range []int{2, 3, 4, 5, 8, 16} {
+			q := LargestKSmooth(p, k)
+			if q > p || q < 1 {
+				t.Fatalf("LargestKSmooth(%d,%d) = %d out of range", p, k, q)
+			}
+			if 2*q < p {
+				t.Fatalf("LargestKSmooth(%d,%d) = %d below p/2 (fold too large)", p, k, q)
+			}
+			prod := 1
+			for _, f := range FactorSchedule(q, k) {
+				if f < 2 || f > k {
+					t.Fatalf("FactorSchedule(%d,%d) has bad factor %d", q, k, f)
+				}
+				prod *= f
+			}
+			if prod != q {
+				t.Fatalf("FactorSchedule(%d,%d) product %d != %d", q, k, prod, q)
+			}
+		}
+	}
+}
+
+// TestRingScheduleProperties validates ring schedules (Fig. 5): p−1 rounds
+// and the exactly-once dissemination invariant.
+func TestRingScheduleProperties(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5, 8, 13, 16, 32} {
+		s := RingSchedule(p)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ring p=%d: %v", p, err)
+		}
+		if got := s.NumRounds(); got != p-1 {
+			t.Fatalf("ring p=%d: %d rounds, want %d", p, got, p-1)
+		}
+		// Every edge connects ring neighbors.
+		for _, round := range s.Rounds {
+			for _, e := range round {
+				if e.To != (e.From+1)%p {
+					t.Fatalf("ring p=%d: edge %+v is not neighbor-only", p, e)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure6KRing reproduces Fig. 6: p=6, k=3 has 4 intra-group rounds and
+// 1 inter-group round (5 total), and Group 0's inter-group traffic is 6
+// partitions (eq. 13) versus the classic ring's 10 (eq. 14).
+func TestFigure6KRing(t *testing.T) {
+	s, err := KRingSchedule(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumRounds(); got != 5 {
+		t.Fatalf("k-ring p=6 k=3: %d rounds, want 5", got)
+	}
+	intra, inter := KRingRoundCounts(6, 3)
+	if intra != 4 || inter != 1 {
+		t.Fatalf("round counts = (%d intra, %d inter), want (4, 1)", intra, inter)
+	}
+	// Inter-group data per group, in units of the partition size φ = n/6:
+	// k-ring sends+receives 6φ, ring 10φ.
+	n := 6 // one byte per partition
+	if got := InterGroupBytes(n, 6, 3); got != 6 {
+		t.Errorf("k-ring inter-group bytes = %v, want 6", got)
+	}
+	if got := InterGroupBytes(n, 6, 1); got != 10 {
+		t.Errorf("ring inter-group bytes = %v, want 10", got)
+	}
+	// Count inter-group block crossings in the schedule itself: edges
+	// between groups carry 3 blocks out of group 0 and 3 in (6 total).
+	group := func(r int) int { return r / 3 }
+	crossings := 0
+	for _, round := range s.Rounds {
+		for _, e := range round {
+			if group(e.From) != group(e.To) && (group(e.From) == 0 || group(e.To) == 0) {
+				crossings++
+			}
+		}
+	}
+	if crossings != 6 {
+		t.Errorf("schedule inter-group block crossings for group 0 = %d, want 6", crossings)
+	}
+}
+
+// TestKRingScheduleProperties validates k-ring schedules across a grid,
+// including non-uniform group sizes (p % k != 0) and the degenerate cases
+// k=1 and k>=p, which must match the classic ring round count.
+func TestKRingScheduleProperties(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5, 6, 7, 8, 9, 12, 13, 16, 24, 30} {
+		for _, k := range []int{1, 2, 3, 4, 5, 8, 16, 40} {
+			s, err := KRingSchedule(p, k)
+			if err != nil {
+				t.Fatalf("p=%d k=%d: %v", p, k, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("p=%d k=%d: %v", p, k, err)
+			}
+			if k == 1 || k >= p {
+				if got := s.NumRounds(); got != p-1 {
+					t.Fatalf("degenerate p=%d k=%d: %d rounds, want %d", p, k, got, p-1)
+				}
+			}
+			if p%k == 0 && k <= p {
+				intra, inter := KRingRoundCounts(p, k)
+				g := p / k
+				if intra != g*(k-1) || inter != g-1 {
+					t.Fatalf("p=%d k=%d: counts (%d,%d), want (%d,%d) per eq. 11",
+						p, k, intra, inter, g*(k-1), g-1)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleValidateRejectsBad ensures Validate catches broken schedules.
+func TestScheduleValidateRejectsBad(t *testing.T) {
+	// Missing delivery: rank 2 never gets block 0.
+	s := &Schedule{P: 3, Rounds: []Round{
+		{{From: 0, To: 1, Block: 0}, {From: 1, To: 2, Block: 1}, {From: 2, To: 0, Block: 2}},
+		{{From: 0, To: 1, Block: 2}, {From: 1, To: 2, Block: 1}},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Error("want error for duplicate/missing deliveries")
+	}
+	// Sending a block not yet owned.
+	s2 := &Schedule{P: 2, Rounds: []Round{{{From: 0, To: 1, Block: 1}}}}
+	if err := s2.Validate(); err == nil {
+		t.Error("want error for unowned block send")
+	}
+	// Self edge.
+	s3 := &Schedule{P: 2, Rounds: []Round{{{From: 0, To: 0, Block: 0}}}}
+	if err := s3.Validate(); err == nil {
+		t.Error("want error for self edge")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+// KnomialTree describes the k-nomial tree over p virtual ranks rooted at
+// vrank 0 (§III of the paper). A binomial tree is the k=2 special case.
+//
+// The tree is defined by base-k digit decomposition: the parent of vrank v
+// is v with its lowest nonzero base-k digit cleared, and the children of v
+// are v + j·k^d for every digit position d below v's lowest nonzero digit
+// and j in 1..k-1 (bounded by p). The subtree rooted at child v + j·k^d
+// spans the contiguous vrank range [v+j·k^d, min(v+j·k^d + k^d, p)) — the
+// property gather/scatter rely on to keep payloads contiguous.
+type KnomialTree struct {
+	P int // number of ranks
+	K int // radix (>= 2)
+}
+
+// Child is one tree edge: the child's vrank and its subtree weight k^d.
+// The subtree spans [VRank, min(VRank+Weight, P)).
+type Child struct {
+	VRank  int
+	Weight int
+}
+
+// lowestWeight returns k^d for v's lowest nonzero base-k digit; for the
+// root (v=0) it returns the smallest power of k strictly greater than P-1,
+// i.e. the bound under which all digit positions belong to the root.
+func (t KnomialTree) lowestWeight(v int) int {
+	if v == 0 {
+		w := 1
+		for w < t.P {
+			w *= t.K
+		}
+		return w
+	}
+	w := 1
+	for (v/w)%t.K == 0 {
+		w *= t.K
+	}
+	return w
+}
+
+// Parent returns the parent vrank of v, or -1 for the root.
+func (t KnomialTree) Parent(v int) int {
+	if v == 0 {
+		return -1
+	}
+	w := t.lowestWeight(v)
+	d := (v / w) % t.K
+	return v - d*w
+}
+
+// Children returns v's children in decreasing subtree-weight order (largest
+// subtree first, matching MPICH's binomial send order), ascending j within
+// a weight.
+func (t KnomialTree) Children(v int) []Child {
+	var out []Child
+	for w := t.lowestWeight(v) / t.K; w >= 1; w /= t.K {
+		for j := 1; j < t.K; j++ {
+			c := v + j*w
+			if c < t.P {
+				out = append(out, Child{VRank: c, Weight: w})
+			}
+		}
+	}
+	return out
+}
+
+// SubtreeSize returns the number of vranks in the subtree rooted at v,
+// where weight is v's subtree weight (use SpanOf for children; the root's
+// subtree is all of P).
+func (t KnomialTree) SubtreeSize(v, weight int) int {
+	end := v + weight
+	if end > t.P {
+		end = t.P
+	}
+	return end - v
+}
+
+// Depth returns the tree depth: ceil(log_k p), the number of overlapped
+// communication rounds.
+func (t KnomialTree) Depth() int {
+	d, w := 0, 1
+	for w < t.P {
+		w *= t.K
+		d++
+	}
+	return d
+}
+
+// Level returns the depth of vrank v (root = 0): the number of nonzero
+// base-k digits of v.
+func (t KnomialTree) Level(v int) int {
+	n := 0
+	for v > 0 {
+		if v%t.K != 0 {
+			n++
+		}
+		v /= t.K
+	}
+	return n
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+)
+
+// Variable-count collectives (the MPI "v" variants). The k-nomial tree
+// handles them naturally: subtrees span contiguous vrank ranges, so a
+// variable-size gather/scatter still forwards one contiguous packed
+// region per child, exactly like the fair-block scatter inside the
+// scatter-allgather bcasts. These round out the library's MPI surface;
+// the paper's evaluation does not cover them.
+
+// checkCounts validates a per-rank byte-count vector.
+func checkCounts(p int, counts []int) (total int, err error) {
+	if len(counts) != p {
+		return 0, fmt.Errorf("%w: %d counts for %d ranks", ErrBadBuffer, len(counts), p)
+	}
+	for r, n := range counts {
+		if n < 0 {
+			return 0, fmt.Errorf("%w: negative count %d for rank %d", ErrBadBuffer, n, r)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// GathervKnomial gathers counts[r] bytes from every rank r into recvbuf at
+// root (rank blocks concatenated in rank order), over a radix-k tree.
+// Every rank must pass the same counts vector; rank r's sendbuf must be
+// counts[r] bytes.
+func GathervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, root, k int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	total, err := checkCounts(p, counts)
+	if err != nil {
+		return err
+	}
+	if len(sendbuf) != counts[me] {
+		return fmt.Errorf("%w: gatherv sendbuf=%d, counts[%d]=%d", ErrBadBuffer, len(sendbuf), me, counts[me])
+	}
+	if me == root && len(recvbuf) != total {
+		return fmt.Errorf("%w: gatherv recvbuf=%d, want %d", ErrBadBuffer, len(recvbuf), total)
+	}
+
+	t := KnomialTree{P: p, K: k}
+	v := vrank(me, root, p)
+
+	// Packed layout: blocks ordered by vrank; packedOff is the prefix sum.
+	packedOff := make([]int, p+1)
+	for vr := 0; vr < p; vr++ {
+		packedOff[vr+1] = packedOff[vr] + counts[absRank(vr, root, p)]
+	}
+	span := t.P - v
+	if par := t.Parent(v); par >= 0 {
+		span = t.SubtreeSize(v, t.lowestWeight(v))
+	}
+	packed := make([]byte, packedOff[v+span]-packedOff[v])
+	copy(packed, sendbuf)
+
+	children := t.Children(v)
+	reqs := make([]comm.Request, len(children))
+	base := packedOff[v]
+	for i, ch := range children {
+		sz := t.SubtreeSize(ch.VRank, ch.Weight)
+		lo := packedOff[ch.VRank] - base
+		hi := packedOff[ch.VRank+sz] - base
+		req, err := c.Irecv(absRank(ch.VRank, root, p), tagKnomial+2, packed[lo:hi])
+		if err != nil {
+			return err
+		}
+		reqs[i] = req
+	}
+	if err := comm.WaitAll(reqs...); err != nil {
+		return err
+	}
+	if par := t.Parent(v); par >= 0 {
+		return c.Send(absRank(par, root, p), tagKnomial+2, packed)
+	}
+	// Root: un-rotate from vrank order to rank order.
+	rankOff := make([]int, p+1)
+	for r := 0; r < p; r++ {
+		rankOff[r+1] = rankOff[r] + counts[r]
+	}
+	for vr := 0; vr < p; vr++ {
+		r := absRank(vr, root, p)
+		copy(recvbuf[rankOff[r]:rankOff[r+1]], packed[packedOff[vr]:packedOff[vr+1]])
+	}
+	return nil
+}
+
+// ScattervKnomial distributes counts[r] bytes to each rank r from root's
+// sendbuf (rank blocks concatenated in rank order), over a radix-k tree.
+// Rank r's recvbuf must be counts[r] bytes.
+func ScattervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, root, k int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	total, err := checkCounts(p, counts)
+	if err != nil {
+		return err
+	}
+	if len(recvbuf) != counts[me] {
+		return fmt.Errorf("%w: scatterv recvbuf=%d, counts[%d]=%d", ErrBadBuffer, len(recvbuf), me, counts[me])
+	}
+	if me == root && len(sendbuf) != total {
+		return fmt.Errorf("%w: scatterv sendbuf=%d, want %d", ErrBadBuffer, len(sendbuf), total)
+	}
+
+	t := KnomialTree{P: p, K: k}
+	v := vrank(me, root, p)
+	packedOff := make([]int, p+1)
+	for vr := 0; vr < p; vr++ {
+		packedOff[vr+1] = packedOff[vr] + counts[absRank(vr, root, p)]
+	}
+
+	var packed []byte
+	if v == 0 {
+		packed = make([]byte, total)
+		rankOff := make([]int, p+1)
+		for r := 0; r < p; r++ {
+			rankOff[r+1] = rankOff[r] + counts[r]
+		}
+		for vr := 0; vr < p; vr++ {
+			r := absRank(vr, root, p)
+			copy(packed[packedOff[vr]:packedOff[vr+1]], sendbuf[rankOff[r]:rankOff[r+1]])
+		}
+	} else {
+		span := t.SubtreeSize(v, t.lowestWeight(v))
+		packed = make([]byte, packedOff[v+span]-packedOff[v])
+		if _, err := c.Recv(absRank(t.Parent(v), root, p), tagScatter+2, packed); err != nil {
+			return err
+		}
+	}
+	base := packedOff[v]
+	children := t.Children(v)
+	reqs := make([]comm.Request, 0, len(children))
+	for _, ch := range children {
+		sz := t.SubtreeSize(ch.VRank, ch.Weight)
+		lo := packedOff[ch.VRank] - base
+		hi := packedOff[ch.VRank+sz] - base
+		req, err := c.Isend(absRank(ch.VRank, root, p), tagScatter+2, packed[lo:hi])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	copy(recvbuf, packed[:counts[me]])
+	return comm.WaitAll(reqs...)
+}
+
+// AllgathervRing gathers counts[r] bytes from every rank into every rank's
+// recvbuf (rank order) with the ring schedule — the bandwidth-optimal "v"
+// allgather.
+func AllgathervRing(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte) error {
+	p := c.Size()
+	me := c.Rank()
+	total, err := checkCounts(p, counts)
+	if err != nil {
+		return err
+	}
+	if len(sendbuf) != counts[me] {
+		return fmt.Errorf("%w: allgatherv sendbuf=%d, counts[%d]=%d", ErrBadBuffer, len(sendbuf), me, counts[me])
+	}
+	if len(recvbuf) != total {
+		return fmt.Errorf("%w: allgatherv recvbuf=%d, want %d", ErrBadBuffer, len(recvbuf), total)
+	}
+	off := make([]int, p+1)
+	for r := 0; r < p; r++ {
+		off[r+1] = off[r] + counts[r]
+	}
+	copy(recvbuf[off[me]:off[me+1]], sendbuf)
+	if p == 1 {
+		return nil
+	}
+	layout := func(b int) (int, int) { return off[b], counts[b] }
+	return RingSchedule(p).RunAllgather(c, recvbuf, layout, tagSched+2)
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"exacoll/internal/comm"
+)
+
+// vcounts builds a deterministic ragged count vector (including zeros).
+func vcounts(p int) []int {
+	counts := make([]int, p)
+	for r := range counts {
+		counts[r] = (r * 37 % 97) // some ranks contribute 0 bytes
+	}
+	return counts
+}
+
+// TestGathervScatterv checks the v-variants across sizes, roots and
+// radices, including zero-byte contributors.
+func TestGathervScatterv(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		for _, k := range []int{2, 3, 4} {
+			for _, root := range []int{0, p - 1} {
+				p, k, root := p, k, root
+				counts := vcounts(p)
+				total := 0
+				offs := make([]int, p+1)
+				for r, n := range counts {
+					offs[r+1] = offs[r] + n
+					total += n
+				}
+				full := rankPayload(99, total)
+				runOnWorld(t, p, func(c comm.Comm) error {
+					me := c.Rank()
+					// Scatterv then gatherv must round-trip root's buffer.
+					var sendbuf []byte
+					if me == root {
+						sendbuf = append([]byte(nil), full...)
+					}
+					mine := make([]byte, counts[me])
+					if err := ScattervKnomial(c, sendbuf, counts, mine, root, k); err != nil {
+						return fmt.Errorf("scatterv: %w", err)
+					}
+					if !bytes.Equal(mine, full[offs[me]:offs[me+1]]) {
+						return fmt.Errorf("scatterv block wrong at rank %d", me)
+					}
+					var back []byte
+					if me == root {
+						back = make([]byte, total)
+					}
+					if err := GathervKnomial(c, mine, counts, back, root, k); err != nil {
+						return fmt.Errorf("gatherv: %w", err)
+					}
+					if me == root && !bytes.Equal(back, full) {
+						return fmt.Errorf("gatherv != scatterv⁻¹")
+					}
+					return nil
+				})
+			}
+		}
+	}
+}
+
+// TestAllgathervRing checks the ragged ring allgather.
+func TestAllgathervRing(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7, 12} {
+		p := p
+		counts := vcounts(p)
+		total := 0
+		offs := make([]int, p+1)
+		for r, n := range counts {
+			offs[r+1] = offs[r] + n
+			total += n
+		}
+		runOnWorld(t, p, func(c comm.Comm) error {
+			me := c.Rank()
+			mine := rankPayload(me+40, counts[me])
+			all := make([]byte, total)
+			if err := AllgathervRing(c, mine, counts, all); err != nil {
+				return err
+			}
+			for r := 0; r < p; r++ {
+				if !bytes.Equal(all[offs[r]:offs[r+1]], rankPayload(r+40, counts[r])) {
+					return fmt.Errorf("block %d wrong at rank %d", r, me)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TestVCollValidation covers the count-vector error paths.
+func TestVCollValidation(t *testing.T) {
+	runOnWorld(t, 2, func(c comm.Comm) error {
+		if err := GathervKnomial(c, nil, []int{1}, nil, 0, 2); err == nil {
+			return fmt.Errorf("want error for short counts")
+		}
+		if err := ScattervKnomial(c, nil, []int{-1, 1}, nil, 0, 2); err == nil {
+			return fmt.Errorf("want error for negative count")
+		}
+		if err := AllgathervRing(c, make([]byte, 3), []int{1, 1}, make([]byte, 2)); err == nil {
+			return fmt.Errorf("want error for sendbuf/count mismatch")
+		}
+		return nil
+	})
+}
+
+// TestQuickAllgathervAgree: testing/quick over ragged geometries.
+func TestQuickAllgathervAgree(t *testing.T) {
+	prop := func(pRaw uint32, raw [6]uint16) bool {
+		p := int(pRaw%6) + 1
+		counts := make([]int, p)
+		total := 0
+		for r := range counts {
+			counts[r] = int(raw[r] % 300)
+			total += counts[r]
+		}
+		offs := make([]int, p+1)
+		for r, n := range counts {
+			offs[r+1] = offs[r] + n
+		}
+		err := runQuickWorld(p, func(c comm.Comm) error {
+			me := c.Rank()
+			mine := rankPayload(me, counts[me])
+			all := make([]byte, total)
+			if err := AllgathervRing(c, mine, counts, all); err != nil {
+				return err
+			}
+			for r := 0; r < p; r++ {
+				if !bytes.Equal(all[offs[r]:offs[r+1]], rankPayload(r, counts[r])) {
+					return fmt.Errorf("block %d", r)
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package datatype defines the element types and reduction operators that
+// reduction collectives (Reduce, Allreduce, Reduce-scatter) operate on.
+//
+// Collective algorithms move opaque byte buffers; only the reduction
+// operator needs to interpret them. This mirrors MPI, where datatypes and
+// MPI_Op are orthogonal to the communication algorithm.
+package datatype
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Type enumerates the supported element types.
+type Type int
+
+// Supported element types.
+const (
+	Uint8 Type = iota
+	Int32
+	Int64
+	Float32
+	Float64
+)
+
+// Size returns the size in bytes of one element.
+func (t Type) Size() int {
+	switch t {
+	case Uint8:
+		return 1
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	default:
+		panic(fmt.Sprintf("datatype: unknown type %d", int(t)))
+	}
+}
+
+// String returns the type's name.
+func (t Type) String() string {
+	switch t {
+	case Uint8:
+		return "uint8"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Op enumerates the supported reduction operators. All are associative and
+// commutative, which the recursive and ring algorithms rely on.
+type Op int
+
+// Supported reduction operators.
+const (
+	Sum Op = iota
+	Prod
+	Max
+	Min
+	BAnd // bitwise and (integer types only)
+	BOr  // bitwise or (integer types only)
+)
+
+// String returns the operator's name.
+func (o Op) String() string {
+	switch o {
+	case Sum:
+		return "sum"
+	case Prod:
+		return "prod"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	case BAnd:
+		return "band"
+	case BOr:
+		return "bor"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Reducer combines src into dst element-wise: dst[i] = dst[i] OP src[i].
+// Buffers must have equal length, a multiple of the element size.
+type Reducer func(dst, src []byte) error
+
+// MakeReducer returns the Reducer for (op, t), or an error for unsupported
+// combinations (bitwise ops on floating-point types).
+func MakeReducer(op Op, t Type) (Reducer, error) {
+	if (op == BAnd || op == BOr) && (t == Float32 || t == Float64) {
+		return nil, fmt.Errorf("datatype: %v not defined for %v", op, t)
+	}
+	return func(dst, src []byte) error {
+		return Apply(op, t, dst, src)
+	}, nil
+}
+
+// Apply combines src into dst element-wise: dst[i] = dst[i] OP src[i].
+func Apply(op Op, t Type, dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("datatype: length mismatch dst=%d src=%d", len(dst), len(src))
+	}
+	es := t.Size()
+	if len(dst)%es != 0 {
+		return fmt.Errorf("datatype: buffer length %d not a multiple of element size %d", len(dst), es)
+	}
+	switch t {
+	case Uint8:
+		for i := range dst {
+			dst[i] = reduceU8(op, dst[i], src[i])
+		}
+	case Int32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := int32(binary.LittleEndian.Uint32(dst[i:]))
+			b := int32(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], uint32(reduceI64(op, int64(a), int64(b))))
+		}
+	case Int64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(dst[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], uint64(reduceI64(op, a, b)))
+		}
+	case Float32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(dst[i:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(float32(reduceF64(op, float64(a), float64(b)))))
+		}
+	case Float64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(reduceF64(op, a, b)))
+		}
+	default:
+		return fmt.Errorf("datatype: unknown type %v", t)
+	}
+	return nil
+}
+
+func reduceU8(op Op, a, b uint8) uint8 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	case BAnd:
+		return a & b
+	case BOr:
+		return a | b
+	}
+	panic("datatype: unknown op")
+}
+
+func reduceI64(op Op, a, b int64) int64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	case BAnd:
+		return a & b
+	case BOr:
+		return a | b
+	}
+	panic("datatype: unknown op")
+}
+
+func reduceF64(op Op, a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		return math.Max(a, b)
+	case Min:
+		return math.Min(a, b)
+	}
+	panic("datatype: op not defined for float")
+}
+
+// EncodeFloat64 serializes vals into a fresh byte buffer.
+func EncodeFloat64(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeFloat64 deserializes a buffer produced by EncodeFloat64.
+func DecodeFloat64(buf []byte) []float64 {
+	vals := make([]float64, len(buf)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return vals
+}
+
+// EncodeInt64 serializes vals into a fresh byte buffer.
+func EncodeInt64(vals []int64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+// DecodeInt64 deserializes a buffer produced by EncodeInt64.
+func DecodeInt64(buf []byte) []int64 {
+	vals := make([]int64, len(buf)/8)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return vals
+}

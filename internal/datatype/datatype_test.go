@@ -1,0 +1,171 @@
+package datatype
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSizes checks element sizes and names.
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		t    Type
+		size int
+		name string
+	}{
+		{Uint8, 1, "uint8"},
+		{Int32, 4, "int32"},
+		{Int64, 8, "int64"},
+		{Float32, 4, "float32"},
+		{Float64, 8, "float64"},
+	}
+	for _, tc := range cases {
+		if tc.t.Size() != tc.size {
+			t.Errorf("%v size = %d, want %d", tc.t, tc.t.Size(), tc.size)
+		}
+		if tc.t.String() != tc.name {
+			t.Errorf("%v name = %q", tc.t, tc.t.String())
+		}
+	}
+}
+
+// TestApplyFloat64 checks every float op.
+func TestApplyFloat64(t *testing.T) {
+	a := []float64{1, -2, 3.5, 0}
+	b := []float64{4, 5, -1.5, 0}
+	cases := []struct {
+		op   Op
+		want []float64
+	}{
+		{Sum, []float64{5, 3, 2, 0}},
+		{Prod, []float64{4, -10, -5.25, 0}},
+		{Max, []float64{4, 5, 3.5, 0}},
+		{Min, []float64{1, -2, -1.5, 0}},
+	}
+	for _, tc := range cases {
+		dst := EncodeFloat64(a)
+		if err := Apply(tc.op, Float64, dst, EncodeFloat64(b)); err != nil {
+			t.Fatalf("%v: %v", tc.op, err)
+		}
+		got := DecodeFloat64(dst)
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v[%d] = %g, want %g", tc.op, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestApplyIntOps checks integer and bitwise ops on int64.
+func TestApplyIntOps(t *testing.T) {
+	a := []int64{6, -3, 255}
+	b := []int64{10, 4, 15}
+	cases := []struct {
+		op   Op
+		want []int64
+	}{
+		{Sum, []int64{16, 1, 270}},
+		{Prod, []int64{60, -12, 3825}},
+		{Max, []int64{10, 4, 255}},
+		{Min, []int64{6, -3, 15}},
+		{BAnd, []int64{2, 4, 15}},
+		{BOr, []int64{14, -3, 255}},
+	}
+	for _, tc := range cases {
+		dst := EncodeInt64(a)
+		if err := Apply(tc.op, Int64, dst, EncodeInt64(b)); err != nil {
+			t.Fatalf("%v: %v", tc.op, err)
+		}
+		got := DecodeInt64(dst)
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v[%d] = %d, want %d", tc.op, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestApplyErrors checks validation.
+func TestApplyErrors(t *testing.T) {
+	if err := Apply(Sum, Float64, make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Error("want length-mismatch error")
+	}
+	if err := Apply(Sum, Float64, make([]byte, 7), make([]byte, 7)); err == nil {
+		t.Error("want alignment error")
+	}
+	if _, err := MakeReducer(BAnd, Float64); err == nil {
+		t.Error("want error for bitwise op on float")
+	}
+	if _, err := MakeReducer(Sum, Float64); err != nil {
+		t.Errorf("MakeReducer(Sum, Float64): %v", err)
+	}
+}
+
+// TestQuickSumAssociative: testing/quick — float64 integer-valued sums are
+// associative and commutative, the property the tree/ring reductions rely
+// on for exact cross-algorithm agreement.
+func TestQuickSumAssociative(t *testing.T) {
+	prop := func(xs [3]int32) bool {
+		a := []float64{float64(xs[0])}
+		b := []float64{float64(xs[1])}
+		c := []float64{float64(xs[2])}
+		// (a+b)+c
+		d1 := EncodeFloat64(a)
+		Apply(Sum, Float64, d1, EncodeFloat64(b))
+		Apply(Sum, Float64, d1, EncodeFloat64(c))
+		// (c+a)+b
+		d2 := EncodeFloat64(c)
+		Apply(Sum, Float64, d2, EncodeFloat64(a))
+		Apply(Sum, Float64, d2, EncodeFloat64(b))
+		return DecodeFloat64(d1)[0] == DecodeFloat64(d2)[0]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncodeDecodeRoundTrip: testing/quick over the codecs.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	propF := func(vals []float64) bool {
+		got := DecodeFloat64(EncodeFloat64(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] && !(math.IsNaN(got[i]) && math.IsNaN(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(propF, nil); err != nil {
+		t.Error(err)
+	}
+	propI := func(vals []int64) bool {
+		got := DecodeInt64(EncodeInt64(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(propI, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUint8Ops covers the byte path.
+func TestUint8Ops(t *testing.T) {
+	dst := []byte{200, 3, 0xF0}
+	src := []byte{100, 4, 0x0F}
+	if err := Apply(Sum, Uint8, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 44 /* wraps */ || dst[1] != 7 || dst[2] != 0xFF {
+		t.Errorf("uint8 sum = %v", dst)
+	}
+}

@@ -1,0 +1,230 @@
+// Package machine defines the hardware models of the simulated systems:
+// Frontier (OLCF), Polaris (ALCF), and a small generic test machine. The
+// parameters capture the exascale commonalities §II-B identifies — multi-
+// port NICs, high-bandwidth intranode links, per-message injection
+// overhead (message buffering), and a dragonfly topology — at the level of
+// detail the paper's findings depend on. Absolute values are calibrated to
+// public system descriptions, not measured; figure reproductions compare
+// shapes, not microseconds (see DESIGN.md §2).
+package machine
+
+import "fmt"
+
+// PortPolicy selects how a rank's internode traffic maps onto its node's
+// NIC ports.
+type PortPolicy int
+
+const (
+	// PortAuto pins ranks to ports when PPN >= ports (the MPI+X and
+	// 1-rank-per-GPU models, e.g. Frontier's 1 NIC per 2 GPUs) and stripes
+	// across all ports when a node hosts fewer ranks than ports (the
+	// 1-rank-per-node model).
+	PortAuto PortPolicy = iota
+	// PortPinned always pins rank r to port (localRank*ports)/ppn.
+	PortPinned
+	// PortStriped always picks the least-loaded port.
+	PortStriped
+)
+
+// Placement maps ranks onto nodes.
+type Placement int
+
+const (
+	// PlaceContiguous fills nodes in rank order (the scheduler-friendly
+	// default; makes k-ring's intra-groups intranode when k = PPN).
+	PlaceContiguous Placement = iota
+	// PlaceDispersed spreads consecutive ranks round-robin across nodes,
+	// modelling the fragmented placements large shared systems produce
+	// (§VI-C3's explanation for k-ring losing at system scale).
+	PlaceDispersed
+)
+
+// Spec describes one simulated machine. Times are seconds, rates are
+// seconds per byte.
+type Spec struct {
+	// Name identifies the machine in figure output.
+	Name string
+	// Nodes is the total node count available.
+	Nodes int
+	// PPN is the number of MPI processes placed per node.
+	PPN int
+	// Ports is the number of NIC ports per node (§II-B2's multi-port
+	// feature; 4 on Frontier, 2 on Polaris).
+	Ports int
+
+	// AlphaIntra is the end-to-end latency of an intranode message.
+	AlphaIntra float64
+	// AlphaInter is the latency of an internode message within a dragonfly
+	// group.
+	AlphaInter float64
+	// AlphaGlobal is the additional latency when crossing dragonfly
+	// groups.
+	AlphaGlobal float64
+	// BetaIntra is the per-byte cost on intranode links (Infinity Fabric /
+	// NVLink). Each ordered rank pair has a dedicated intranode link.
+	BetaIntra float64
+	// BetaPort is the per-byte serialization cost of one NIC port; ports
+	// are shared node resources, so concurrent messages on one port queue.
+	BetaPort float64
+	// Gamma is the per-byte reduction (computation) cost of the paper's
+	// cost model.
+	Gamma float64
+	// SendOverhead is the per-message CPU injection cost at the sender
+	// (the o of LogGP); it is what ultimately bounds how many messages a
+	// rank can usefully buffer per round.
+	SendOverhead float64
+	// RecvOverhead is the per-message completion cost at the receiver.
+	RecvOverhead float64
+
+	// NodesPerGroup is the dragonfly group size (only latency-relevant:
+	// §II-B1 notes minimal adaptive routing makes path lengths uniform).
+	NodesPerGroup int
+
+	// PortMapping selects the rank→port policy.
+	PortMapping PortPolicy
+	// Place selects the rank→node mapping.
+	Place Placement
+
+	// Jitter adds deterministic pseudo-random noise to per-message wire
+	// latency: each message's α is scaled by a factor drawn uniformly
+	// from [1, 1+Jitter]. Zero (the default) disables it. This models the
+	// run-to-run variance §VI-H reports and lets the autotuner be
+	// exercised under noise; the draw sequence is seeded by JitterSeed so
+	// runs remain reproducible.
+	Jitter float64
+	// JitterSeed seeds the noise sequence (only used when Jitter > 0).
+	JitterSeed uint64
+}
+
+// WithJitter returns a copy with latency noise enabled.
+func (s Spec) WithJitter(frac float64, seed uint64) Spec {
+	s.Jitter = frac
+	s.JitterSeed = seed
+	return s
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.Nodes < 1:
+		return fmt.Errorf("machine %s: Nodes=%d", s.Name, s.Nodes)
+	case s.PPN < 1:
+		return fmt.Errorf("machine %s: PPN=%d", s.Name, s.PPN)
+	case s.Ports < 1:
+		return fmt.Errorf("machine %s: Ports=%d", s.Name, s.Ports)
+	case s.NodesPerGroup < 1:
+		return fmt.Errorf("machine %s: NodesPerGroup=%d", s.Name, s.NodesPerGroup)
+	case s.BetaPort <= 0 || s.BetaIntra <= 0:
+		return fmt.Errorf("machine %s: non-positive bandwidth terms", s.Name)
+	case s.AlphaInter <= 0 || s.AlphaIntra <= 0:
+		return fmt.Errorf("machine %s: non-positive latency terms", s.Name)
+	}
+	return nil
+}
+
+// MaxRanks returns the largest communicator this machine can host.
+func (s Spec) MaxRanks() int { return s.Nodes * s.PPN }
+
+// NodeOf returns the node hosting rank r under the placement policy, given
+// the total rank count p.
+func (s Spec) NodeOf(r, p int) int {
+	nodesUsed := (p + s.PPN - 1) / s.PPN
+	if nodesUsed > s.Nodes {
+		nodesUsed = s.Nodes
+	}
+	if s.Place == PlaceDispersed {
+		return r % nodesUsed
+	}
+	return r / s.PPN
+}
+
+// LocalRank returns r's index within its node.
+func (s Spec) LocalRank(r, p int) int {
+	nodesUsed := (p + s.PPN - 1) / s.PPN
+	if nodesUsed > s.Nodes {
+		nodesUsed = s.Nodes
+	}
+	if s.Place == PlaceDispersed {
+		return r / nodesUsed
+	}
+	return r % s.PPN
+}
+
+// GroupOf returns the dragonfly group of a node.
+func (s Spec) GroupOf(node int) int { return node / s.NodesPerGroup }
+
+// WithPPN returns a copy running the given number of processes per node
+// (the paper evaluates both 1 PPN and 8 PPN on Frontier).
+func (s Spec) WithPPN(ppn int) Spec { s.PPN = ppn; return s }
+
+// WithPlacement returns a copy using the given placement.
+func (s Spec) WithPlacement(p Placement) Spec { s.Place = p; return s }
+
+// Frontier models an OLCF Frontier node: one EPYC CPU, 8 logical MI250X
+// GPUs joined by Infinity Fabric, and four 200 Gb/s Slingshot NICs (one
+// per GPU pair). Defaults to the 1-process-per-GPU model (8 PPN users call
+// WithPPN(8); the paper's core results use 1 PPN on 128 nodes).
+func Frontier() Spec {
+	return Spec{
+		Name:          "frontier",
+		Nodes:         9408,
+		PPN:           1,
+		Ports:         4,
+		AlphaIntra:    7e-7,       // Infinity Fabric hop
+		AlphaInter:    1.8e-6,     // Slingshot intra-group
+		AlphaGlobal:   4e-7,       // extra global-link hop
+		BetaIntra:     1.0 / 72e9, // ~36 GB/s per IF link pair, bidirectional
+		BetaPort:      1.0 / 24e9, // ~200 Gb/s NIC port (effective)
+		Gamma:         1.0 / 96e9, // GPU-side reduction streams fast
+		SendOverhead:  4e-7,
+		RecvOverhead:  4e-7,
+		NodesPerGroup: 128,
+		PortMapping:   PortAuto,
+		Place:         PlaceContiguous,
+	}
+}
+
+// Polaris models an ALCF Polaris node: four A100 GPUs fully connected by
+// 600 GB/s NVLink and two Slingshot ports behind PCIe Gen4. Defaults to 1
+// PPN; the 1-process-per-GPU model is WithPPN(4).
+func Polaris() Spec {
+	return Spec{
+		Name:          "polaris",
+		Nodes:         560,
+		PPN:           1,
+		Ports:         2,
+		AlphaIntra:    5e-7, // NVLink, fully connected
+		AlphaInter:    2.0e-6,
+		AlphaGlobal:   4e-7,
+		BetaIntra:     1.0 / 300e9, // NVLink is far faster than the NIC
+		BetaPort:      1.0 / 22e9,  // PCIe Gen4-limited Slingshot port
+		Gamma:         1.0 / 96e9,
+		SendOverhead:  4.5e-7,
+		RecvOverhead:  4.5e-7,
+		NodesPerGroup: 64,
+		PortMapping:   PortAuto,
+		Place:         PlaceContiguous,
+	}
+}
+
+// Testbox is a small, fast-to-simulate machine for unit tests: 2 ports, 4
+// PPN, mildly heterogeneous links.
+func Testbox() Spec {
+	return Spec{
+		Name:          "testbox",
+		Nodes:         64,
+		PPN:           4,
+		Ports:         2,
+		AlphaIntra:    5e-7,
+		AlphaInter:    2e-6,
+		AlphaGlobal:   5e-7,
+		BetaIntra:     1.0 / 50e9,
+		BetaPort:      1.0 / 10e9,
+		Gamma:         1.0 / 20e9,
+		SendOverhead:  5e-7,
+		RecvOverhead:  5e-7,
+		NodesPerGroup: 16,
+		PortMapping:   PortAuto,
+		Place:         PlaceContiguous,
+	}
+}

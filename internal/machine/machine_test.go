@@ -1,0 +1,101 @@
+package machine
+
+import "testing"
+
+// TestSpecsValid checks the shipped machine models.
+func TestSpecsValid(t *testing.T) {
+	for _, s := range []Spec{Frontier(), Polaris(), Testbox()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	f := Frontier()
+	if f.Ports != 4 {
+		t.Errorf("Frontier ports = %d, want 4 (one 200Gb/s NIC per GPU pair)", f.Ports)
+	}
+	if f.Nodes != 9408 {
+		t.Errorf("Frontier nodes = %d, want 9408", f.Nodes)
+	}
+	p := Polaris()
+	if p.Ports != 2 {
+		t.Errorf("Polaris ports = %d, want 2", p.Ports)
+	}
+	if p.BetaIntra >= p.BetaPort {
+		t.Error("Polaris NVLink must be faster than its NIC ports")
+	}
+	if f.BetaIntra >= f.BetaPort {
+		t.Error("Frontier Infinity Fabric must be faster than its NIC ports")
+	}
+}
+
+// TestValidateRejects covers each validation branch.
+func TestValidateRejects(t *testing.T) {
+	base := Testbox()
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Nodes = 0 },
+		func(s *Spec) { s.PPN = 0 },
+		func(s *Spec) { s.Ports = 0 },
+		func(s *Spec) { s.NodesPerGroup = 0 },
+		func(s *Spec) { s.BetaPort = 0 },
+		func(s *Spec) { s.AlphaInter = 0 },
+	}
+	for i, mutate := range mutations {
+		s := base
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: want error", i)
+		}
+	}
+}
+
+// TestPlacementMaps checks contiguous vs dispersed rank->node mapping and
+// local ranks.
+func TestPlacementMaps(t *testing.T) {
+	s := Testbox() // 4 PPN
+	p := 16
+	// Contiguous: ranks 0..3 on node 0.
+	for r := 0; r < 4; r++ {
+		if got := s.NodeOf(r, p); got != 0 {
+			t.Errorf("contiguous NodeOf(%d) = %d", r, got)
+		}
+		if got := s.LocalRank(r, p); got != r {
+			t.Errorf("contiguous LocalRank(%d) = %d", r, got)
+		}
+	}
+	if got := s.NodeOf(5, p); got != 1 {
+		t.Errorf("contiguous NodeOf(5) = %d, want 1", got)
+	}
+	// Dispersed: consecutive ranks round-robin over the 4 nodes in use.
+	d := s.WithPlacement(PlaceDispersed)
+	for r := 0; r < 4; r++ {
+		if got := d.NodeOf(r, p); got != r {
+			t.Errorf("dispersed NodeOf(%d) = %d", r, got)
+		}
+	}
+	if got := d.NodeOf(4, p); got != 0 {
+		t.Errorf("dispersed NodeOf(4) = %d, want 0", got)
+	}
+	if got := d.LocalRank(4, p); got != 1 {
+		t.Errorf("dispersed LocalRank(4) = %d, want 1", got)
+	}
+}
+
+// TestGroupOf checks dragonfly grouping.
+func TestGroupOf(t *testing.T) {
+	s := Testbox() // 16 nodes per group
+	if s.GroupOf(0) != 0 || s.GroupOf(15) != 0 || s.GroupOf(16) != 1 {
+		t.Error("GroupOf boundaries wrong")
+	}
+}
+
+// TestWithPPN checks the copy helpers don't mutate the original.
+func TestWithPPN(t *testing.T) {
+	f := Frontier()
+	f8 := f.WithPPN(8)
+	if f.PPN != 1 || f8.PPN != 8 {
+		t.Errorf("WithPPN mutated: %d, %d", f.PPN, f8.PPN)
+	}
+	if f8.MaxRanks() != 8*f.Nodes {
+		t.Errorf("MaxRanks = %d", f8.MaxRanks())
+	}
+}

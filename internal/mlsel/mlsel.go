@@ -1,0 +1,205 @@
+// Package mlsel prototypes the paper's proposed future direction (§VII):
+// treating collective algorithms as black boxes and letting a learned
+// model pick the algorithm AND radix for unseen configurations, instead
+// of hand-built ladders. The model here is deliberately simple — a
+// distance-weighted k-nearest-neighbor vote in (log₂ msgsize, log₂ p)
+// feature space over benchmark samples — but it exercises the full loop
+// the paper sketches: sweep → train → predict (algorithm, k) → run.
+package mlsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+)
+
+// Sample is one training observation: the best-measured configuration for
+// a benchmark point.
+type Sample struct {
+	// Op is the collective operation.
+	Op core.CollOp
+	// Bytes is the message size of the point.
+	Bytes int
+	// P is the communicator size of the point.
+	P int
+	// Alg and K are the winning configuration.
+	Alg string
+	K   int
+}
+
+// Model is a trained selector.
+type Model struct {
+	// Neighbors is the k of k-NN (default 3).
+	Neighbors int
+	samples   map[core.CollOp][]Sample
+}
+
+// Train builds a model from winner samples (e.g. produced by sweeping the
+// simulator with bench.SimLatency and keeping the argmin per point).
+func Train(samples []Sample) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("mlsel: no training samples")
+	}
+	m := &Model{Neighbors: 3, samples: map[core.CollOp][]Sample{}}
+	for _, s := range samples {
+		if _, err := core.Lookup(s.Alg); err != nil {
+			return nil, fmt.Errorf("mlsel: sample references %q: %w", s.Alg, err)
+		}
+		if s.Bytes < 1 || s.P < 1 {
+			return nil, fmt.Errorf("mlsel: bad sample %+v", s)
+		}
+		m.samples[s.Op] = append(m.samples[s.Op], s)
+	}
+	return m, nil
+}
+
+// features maps a configuration into the model's metric space. Log scales
+// put equal weight on "4KB vs 8KB" and "4MB vs 8MB", matching how
+// algorithm crossovers behave.
+func features(bytes, p int) (float64, float64) {
+	return math.Log2(float64(bytes)), math.Log2(float64(p))
+}
+
+// Predict returns the (algorithm, k) for an unseen (op, bytes, p) point by
+// distance-weighted vote among the nearest training samples. The radix is
+// the weighted median of the voting samples' radices, snapped to the
+// nearest radix seen in training for that algorithm (so it never invents
+// untested values).
+func (m *Model) Predict(op core.CollOp, bytes, p int) (string, int, error) {
+	pool := m.samples[op]
+	if len(pool) == 0 {
+		return "", 0, fmt.Errorf("mlsel: no samples for %v", op)
+	}
+	fx, fy := features(bytes, p)
+	type scored struct {
+		s Sample
+		d float64
+	}
+	all := make([]scored, len(pool))
+	for i, s := range pool {
+		sx, sy := features(s.Bytes, s.P)
+		all[i] = scored{s: s, d: math.Hypot(fx-sx, fy-sy)}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	k := m.Neighbors
+	if k < 1 {
+		k = 3
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+
+	// Weighted vote per algorithm name.
+	votes := map[string]float64{}
+	for _, sc := range all[:k] {
+		votes[sc.s.Alg] += 1 / (sc.d + 1e-9)
+	}
+	bestAlg, bestV := "", -1.0
+	for alg, v := range votes {
+		if v > bestV || (v == bestV && alg < bestAlg) {
+			bestAlg, bestV = alg, v
+		}
+	}
+
+	// Radix: weighted geometric mean of the winning algorithm's voting
+	// radices, snapped to a seen value.
+	var logSum, wSum float64
+	seen := map[int]bool{}
+	for _, sc := range all[:k] {
+		if sc.s.Alg != bestAlg || sc.s.K < 1 {
+			continue
+		}
+		w := 1 / (sc.d + 1e-9)
+		logSum += w * math.Log(float64(sc.s.K))
+		wSum += w
+		seen[sc.s.K] = true
+	}
+	for _, s := range pool {
+		if s.Alg == bestAlg && s.K >= 1 {
+			seen[s.K] = true
+		}
+	}
+	kOut := 0
+	if wSum > 0 {
+		target := math.Exp(logSum / wSum)
+		bestDist := math.Inf(1)
+		for cand := range seen {
+			if d := math.Abs(math.Log(float64(cand)) - math.Log(target)); d < bestDist {
+				bestDist, kOut = d, cand
+			}
+		}
+	}
+	return bestAlg, kOut, nil
+}
+
+// Run predicts and executes the collective for the live arguments.
+func (m *Model) Run(c comm.Comm, op core.CollOp, a core.Args) error {
+	name, k, err := m.Predict(op, sizeOf(op, a), c.Size())
+	if err != nil {
+		return err
+	}
+	alg, err := core.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if alg.Generalized {
+		if k < 1 {
+			k = alg.DefaultK
+		}
+		a.K = k
+	}
+	return alg.Run(c, a)
+}
+
+func sizeOf(op core.CollOp, a core.Args) int {
+	if op == core.OpScatter {
+		return len(a.RecvBuf)
+	}
+	n := len(a.SendBuf)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// WinnersFromSweep converts a latency table — lat[point][candidate] — into
+// training samples by taking the argmin per point. Points and candidates
+// describe the table's axes.
+type Point struct {
+	Op    core.CollOp
+	Bytes int
+	P     int
+}
+
+// Candidate is a sweep column.
+type Candidate struct {
+	Alg string
+	K   int
+}
+
+// WinnersFromSweep picks the per-point argmin into samples.
+func WinnersFromSweep(points []Point, cands []Candidate, lat [][]float64) ([]Sample, error) {
+	if len(lat) != len(points) {
+		return nil, fmt.Errorf("mlsel: %d rows for %d points", len(lat), len(points))
+	}
+	out := make([]Sample, 0, len(points))
+	for i, pt := range points {
+		if len(lat[i]) != len(cands) {
+			return nil, fmt.Errorf("mlsel: row %d has %d cols for %d candidates", i, len(lat[i]), len(cands))
+		}
+		best, bestT := 0, math.Inf(1)
+		for j, t := range lat[i] {
+			if t < bestT {
+				best, bestT = j, t
+			}
+		}
+		out = append(out, Sample{
+			Op: pt.Op, Bytes: pt.Bytes, P: pt.P,
+			Alg: cands[best].Alg, K: cands[best].K,
+		})
+	}
+	return out, nil
+}

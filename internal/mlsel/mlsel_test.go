@@ -1,0 +1,189 @@
+package mlsel
+
+import (
+	"testing"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/transport/mem"
+)
+
+// sweepSamples trains on a simulator sweep of allreduce candidates over a
+// (bytes, p) grid.
+func sweepSamples(t *testing.T) []Sample {
+	t.Helper()
+	spec := machine.Frontier()
+	cands := []Candidate{
+		{Alg: "allreduce_recmul", K: 2},
+		{Alg: "allreduce_recmul", K: 4},
+		{Alg: "allreduce_recmul", K: 8},
+		{Alg: "allreduce_rabenseifner"},
+	}
+	var points []Point
+	var lat [][]float64
+	for _, p := range []int{8, 16, 32} {
+		for _, n := range []int{8, 1 << 10, 64 << 10, 1 << 20} {
+			points = append(points, Point{Op: core.OpAllreduce, Bytes: n, P: p})
+			row := make([]float64, len(cands))
+			for j, cand := range cands {
+				alg, err := core.Lookup(cand.Alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				v, err := bench.SimLatency(spec, p, alg.Op, alg.Run, n, 0, cand.K)
+				if err != nil {
+					t.Fatal(err)
+				}
+				row[j] = v
+			}
+			lat = append(lat, row)
+		}
+	}
+	samples, err := WinnersFromSweep(points, cands, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestPredictInterpolates trains on p ∈ {8,16,32} and asks about p=24 and
+// intermediate sizes: the prediction must be a trained candidate, and for
+// tiny messages it must be a low-latency configuration (never the
+// bandwidth algorithm).
+func TestPredictInterpolates(t *testing.T) {
+	m, err := Train(sweepSamples(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, k, err := m.Predict(core.OpAllreduce, 8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg == "allreduce_rabenseifner" {
+		t.Errorf("tiny-message prediction = %s (bandwidth algorithm)", alg)
+	}
+	if alg == "allreduce_recmul" && (k < 2 || k > 8) {
+		t.Errorf("predicted untrained radix %d", k)
+	}
+	// Far-out extrapolation still answers with a trained candidate.
+	alg2, _, err := m.Predict(core.OpAllreduce, 32<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range sweepSamples(t) {
+		if s.Alg == alg2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("prediction %q not among training winners", alg2)
+	}
+}
+
+// TestModelAccuracy does leave-one-p-out validation: train on p ∈ {8,32},
+// predict p=16, and demand the predicted configuration is within 25% of
+// the true best latency at every size — the "treat algorithms as a black
+// box and learn their trends" bar from §VII.
+func TestModelAccuracy(t *testing.T) {
+	all := sweepSamples(t)
+	var train []Sample
+	for _, s := range all {
+		if s.P != 16 {
+			train = append(train, s)
+		}
+	}
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := machine.Frontier()
+	for _, n := range []int{8, 1 << 10, 64 << 10, 1 << 20} {
+		alg, k, err := m.Predict(core.OpAllreduce, n, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Lookup(alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bench.SimLatency(spec, 16, a.Op, a.Run, n, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// True best among the full candidate set.
+		best := got
+		for _, s := range all {
+			if s.P != 16 || s.Bytes != n {
+				continue
+			}
+			ba, err := core.Lookup(s.Alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := bench.SimLatency(spec, 16, ba.Op, ba.Run, n, 0, s.K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < best {
+				best = v
+			}
+		}
+		if got > 1.25*best {
+			t.Errorf("n=%d: predicted %s k=%d is %.2fx the best", n, alg, k, got/best)
+		}
+	}
+}
+
+// TestRunExecutesPrediction drives Model.Run end to end on the mem
+// transport.
+func TestRunExecutesPrediction(t *testing.T) {
+	m, err := Train(sweepSamples(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	w := mem.NewWorld(p)
+	defer w.Close()
+	err = w.Run(func(c comm.Comm) error {
+		sendbuf := datatype.EncodeFloat64([]float64{float64(c.Rank() + 1)})
+		recvbuf := make([]byte, 8)
+		a := core.Args{SendBuf: sendbuf, RecvBuf: recvbuf, Op: datatype.Sum, Type: datatype.Float64}
+		if err := m.Run(c, core.OpAllreduce, a); err != nil {
+			return err
+		}
+		if got := datatype.DecodeFloat64(recvbuf)[0]; got != 36 {
+			t.Errorf("allreduce = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainValidation covers error paths.
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("want error for empty training set")
+	}
+	if _, err := Train([]Sample{{Op: core.OpAllreduce, Bytes: 8, P: 4, Alg: "nope"}}); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+	if _, err := Train([]Sample{{Op: core.OpAllreduce, Bytes: 0, P: 4, Alg: "allreduce_ring"}}); err == nil {
+		t.Error("want error for bad sample")
+	}
+	m, err := Train([]Sample{{Op: core.OpAllreduce, Bytes: 8, P: 4, Alg: "allreduce_ring"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Predict(core.OpBcast, 8, 4); err == nil {
+		t.Error("want error for untrained op")
+	}
+	if _, err := WinnersFromSweep([]Point{{}}, nil, nil); err == nil {
+		t.Error("want error for shape mismatch")
+	}
+}

@@ -1,0 +1,26 @@
+package model
+
+import "exacoll/internal/machine"
+
+// FromSpec derives internode and intranode (α, β, γ) parameters from a
+// machine description the way the paper's models would be calibrated on a
+// real system: from the end-to-end ping-pong cost. On the simulator a
+// ping-pong message of n bytes costs
+//
+//	o_send + n·β_port (sender NIC) + α_wire + n·β_port (receiver NIC) + o_recv
+//
+// so the model's α absorbs both overheads and the wire latency, and its β
+// absorbs both port serializations.
+func FromSpec(s machine.Spec) (inter, intra Params) {
+	inter = Params{
+		Alpha: s.AlphaInter + s.SendOverhead + s.RecvOverhead,
+		Beta:  2 * s.BetaPort,
+		Gamma: s.Gamma,
+	}
+	intra = Params{
+		Alpha: s.AlphaIntra + s.SendOverhead + s.RecvOverhead,
+		Beta:  s.BetaIntra,
+		Gamma: s.Gamma,
+	}
+	return inter, intra
+}

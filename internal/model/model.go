@@ -1,0 +1,274 @@
+// Package model implements the paper's analytical cost models (eqs. 1–14)
+// in the (α, β, γ) framework: a point-to-point message of n bytes costs
+// α + βn, and reductions add γ per byte. The models predict collective
+// latency as a function of message size n, process count p, and — for the
+// generalized algorithms — the radix k, and are compared against the
+// simulator's "measured" results exactly as §VI compares models against
+// Frontier (accurate for k-nomial, overtaken by hardware effects for
+// recursive multiplying and k-ring).
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the cost-model constants. Seconds and seconds-per-byte.
+type Params struct {
+	// Alpha is the per-message latency.
+	Alpha float64
+	// Beta is the per-byte transfer cost.
+	Beta float64
+	// Gamma is the per-byte reduction (computation) cost.
+	Gamma float64
+}
+
+// FromMachine derives (α, β, γ) for internode communication from a machine
+// description's parameters: α includes both endpoints' per-message
+// overheads, and β is the port serialization cost of both endpoints.
+type MachineLike interface {
+	ModelParams() Params
+}
+
+// logK returns log_k(p) as the paper's models use it (real-valued).
+func logK(k float64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Log(float64(p)) / math.Log(k)
+}
+
+// log2 returns log2(p).
+func log2(p int) float64 { return logK(2, p) }
+
+// --- Eq. (1): binomial tree ---
+
+// BcastBinomial is eq. (1): T = log2(p)·α + n·log2(p)·β.
+func (m Params) BcastBinomial(n, p int) float64 {
+	l := log2(p)
+	return l*m.Alpha + float64(n)*l*m.Beta
+}
+
+// ReduceBinomial is eq. (1): bcast plus the γ term.
+func (m Params) ReduceBinomial(n, p int) float64 {
+	l := log2(p)
+	return l*m.Alpha + float64(n)*l*(m.Beta+m.Gamma)
+}
+
+// GatherBinomial is eq. (1): T = log2(p)·α + n·(p−1)/p·β.
+func (m Params) GatherBinomial(n, p int) float64 {
+	return log2(p)*m.Alpha + float64(n)*frac(p)*m.Beta
+}
+
+// --- Eq. (2): binomial compositions ---
+
+// AllgatherBinomial is eq. (2): gather + bcast.
+func (m Params) AllgatherBinomial(n, p int) float64 {
+	l := log2(p)
+	return l*m.Alpha + float64(n)*(l+frac(p))*m.Beta
+}
+
+// AllreduceBinomial is eq. (2): reduce + bcast.
+func (m Params) AllreduceBinomial(n, p int) float64 {
+	l := log2(p)
+	return l*m.Alpha + float64(n)*(l+frac(p))*m.Beta + float64(n)*l*m.Gamma
+}
+
+// --- Eq. (3): k-nomial tree ---
+
+// BcastKnomial is eq. (3): T = log_k(p)·α + (k−1)·n·log_k(p)·β.
+func (m Params) BcastKnomial(n, p, k int) float64 {
+	l := logK(float64(k), p)
+	return l*m.Alpha + float64(k-1)*float64(n)*l*m.Beta
+}
+
+// ReduceKnomial is eq. (3).
+func (m Params) ReduceKnomial(n, p, k int) float64 {
+	l := logK(float64(k), p)
+	return l*m.Alpha + float64(k-1)*float64(n)*l*(m.Beta+m.Gamma)
+}
+
+// AllgatherKnomial is eq. (3).
+func (m Params) AllgatherKnomial(n, p, k int) float64 {
+	l := logK(float64(k), p)
+	return l*m.Alpha + float64(k-1)*float64(n)*(l+frac(p))*m.Beta
+}
+
+// AllreduceKnomial is eq. (3).
+func (m Params) AllreduceKnomial(n, p, k int) float64 {
+	l := logK(float64(k), p)
+	return l*m.Alpha + float64(k-1)*float64(n)*(l+frac(p))*m.Beta +
+		float64(k-1)*float64(n)*l*m.Gamma
+}
+
+// --- Eq. (4)/(5): recursive doubling ---
+
+// AllgatherRecDbl is eq. (4): T = α·log2(p) + β·n·(p−1)/p.
+func (m Params) AllgatherRecDbl(n, p int) float64 {
+	return m.Alpha*log2(p) + m.Beta*float64(n)*frac(p)
+}
+
+// BcastRecDbl is eq. (4) (scatter-allgather bcast).
+func (m Params) BcastRecDbl(n, p int) float64 { return m.AllgatherRecDbl(n, p) }
+
+// AllreduceRecDbl is eq. (4): T = log2(p)·(α + (β+γ)·n).
+func (m Params) AllreduceRecDbl(n, p int) float64 {
+	return log2(p) * (m.Alpha + (m.Beta+m.Gamma)*float64(n))
+}
+
+// RecDblRound is eq. (5): the cost of round i (1-based) of recursive
+// doubling.
+func (m Params) RecDblRound(n, p, i int, allreduce bool) float64 {
+	if allreduce {
+		return m.Alpha + (m.Beta+m.Gamma)*float64(n)
+	}
+	return m.Alpha + m.Beta*float64(n)*math.Pow(2, float64(i-1))/float64(p)
+}
+
+// --- Eq. (6)/(7): recursive multiplying ---
+
+// AllgatherRecMul is eq. (6): T = α·log_k(p) + β·n·(p−1)/p.
+func (m Params) AllgatherRecMul(n, p, k int) float64 {
+	return m.Alpha*logK(float64(k), p) + m.Beta*float64(n)*frac(p)
+}
+
+// BcastRecMul is eq. (6) (scatter-allgather bcast).
+func (m Params) BcastRecMul(n, p, k int) float64 { return m.AllgatherRecMul(n, p, k) }
+
+// AllreduceRecMul is eq. (6): T = log_k(p)·(α + (β+γ)·(k−1)·n).
+func (m Params) AllreduceRecMul(n, p, k int) float64 {
+	return logK(float64(k), p) * (m.Alpha + (m.Beta+m.Gamma)*float64(k-1)*float64(n))
+}
+
+// RecMulRound is eq. (7): the cost of round i (1-based) of recursive
+// multiplying.
+func (m Params) RecMulRound(n, p, k, i int, allreduce bool) float64 {
+	if allreduce {
+		return m.Alpha + (m.Beta+m.Gamma)*float64(k-1)*float64(n)
+	}
+	return m.Alpha + m.Beta*float64(n)*float64(k-1)*math.Pow(float64(k), float64(i-1))/float64(p)
+}
+
+// --- Eq. (8)/(9)/(10): ring ---
+
+// RingRound is eq. (9): the per-round cost of the ring algorithm.
+func (m Params) RingRound(n, p int, allreduce bool) float64 {
+	t := m.Alpha + m.Beta*float64(n)/float64(p)
+	if allreduce {
+		t += m.Gamma * float64(n) / float64(p)
+	}
+	return t
+}
+
+// AllgatherRing is eq. (8): T = (p−1)·T_i.
+func (m Params) AllgatherRing(n, p int) float64 {
+	return float64(p-1) * m.RingRound(n, p, false)
+}
+
+// BcastRing is eq. (8) for the allgather part of scatter-allgather bcast.
+func (m Params) BcastRing(n, p int) float64 { return m.AllgatherRing(n, p) }
+
+// AllreduceRing is eq. (8) with the reduce-scatter phase: 2(p−1) rounds,
+// the first (p−1) carrying the γ term.
+func (m Params) AllreduceRing(n, p int) float64 {
+	return float64(p-1)*m.RingRound(n, p, true) + float64(p-1)*m.RingRound(n, p, false)
+}
+
+// RingAsymptotic is eq. (10): the large-n limit βn (+γn for allreduce).
+func (m Params) RingAsymptotic(n int, allreduce bool) float64 {
+	t := m.Beta * float64(n)
+	if allreduce {
+		t += m.Gamma * float64(n)
+	}
+	return t
+}
+
+// --- Eq. (11)/(12): k-ring ---
+
+// KRingIntra is eq. (11): g(k−1) intra-group rounds with per-round cost Ti.
+func (m Params) KRingIntra(n, p, k int, intra Params) float64 {
+	g := float64(p) / float64(k)
+	return g * float64(k-1) * intra.RingRound(n, p, false)
+}
+
+// KRingInter is eq. (11): (g−1) inter-group rounds.
+func (m Params) KRingInter(n, p, k int) float64 {
+	g := float64(p) / float64(k)
+	return (g - 1) * m.RingRound(n, p, false)
+}
+
+// AllgatherKRing is eq. (12) refined with heterogeneous links: intra-group
+// rounds use the intranode parameters, inter-group rounds the internode
+// parameters. With intra == inter it reduces to eq. (12)'s (p−1)·Ti — the
+// uniform cost that made the analytic model "not present a clear benefit"
+// (§VI-C2) until hardware heterogeneity is accounted for.
+func (m Params) AllgatherKRing(n, p, k int, intra Params) float64 {
+	return m.KRingIntra(n, p, k, intra) + m.KRingInter(n, p, k)
+}
+
+// KRingDataInterGroup is eq. (13): D = 2n(p−k)/p.
+func KRingDataInterGroup(n, p, k int) float64 {
+	return 2 * float64(n) * float64(p-k) / float64(p)
+}
+
+// RingDataInterGroup is eq. (14): D = 2n(p−1)/p.
+func RingDataInterGroup(n, p int) float64 {
+	return 2 * float64(n) * float64(p-1) / float64(p)
+}
+
+func frac(p int) float64 { return float64(p-1) / float64(p) }
+
+// OptimalK sweeps k in [2, kMax] and returns the radix minimizing cost(k).
+func OptimalK(kMax int, cost func(k int) float64) (bestK int, bestT float64) {
+	bestK, bestT = 2, math.Inf(1)
+	for k := 2; k <= kMax; k++ {
+		if t := cost(k); t < bestT {
+			bestK, bestT = k, t
+		}
+	}
+	return bestK, bestT
+}
+
+// Predict returns the modelled cost for a named algorithm, for harnesses
+// that iterate the registry. intra is only used by k-ring.
+func (m Params) Predict(alg string, n, p, k int, intra Params) (float64, error) {
+	switch alg {
+	case "bcast_binomial":
+		return m.BcastBinomial(n, p), nil
+	case "reduce_binomial":
+		return m.ReduceBinomial(n, p), nil
+	case "gather_binomial":
+		return m.GatherBinomial(n, p), nil
+	case "bcast_knomial":
+		return m.BcastKnomial(n, p, k), nil
+	case "reduce_knomial":
+		return m.ReduceKnomial(n, p, k), nil
+	case "allgather_knomial":
+		return m.AllgatherKnomial(n, p, k), nil
+	case "allreduce_knomial":
+		return m.AllreduceKnomial(n, p, k), nil
+	case "bcast_recdbl":
+		return m.BcastRecDbl(n, p), nil
+	case "allgather_recdbl":
+		return m.AllgatherRecDbl(n, p), nil
+	case "allreduce_recdbl":
+		return m.AllreduceRecDbl(n, p), nil
+	case "bcast_recmul":
+		return m.BcastRecMul(n, p, k), nil
+	case "allgather_recmul":
+		return m.AllgatherRecMul(n, p, k), nil
+	case "allreduce_recmul":
+		return m.AllreduceRecMul(n, p, k), nil
+	case "bcast_ring":
+		return m.BcastRing(n, p), nil
+	case "allgather_ring":
+		return m.AllgatherRing(n, p), nil
+	case "allreduce_ring":
+		return m.AllreduceRing(n, p), nil
+	case "bcast_kring", "allgather_kring":
+		return m.AllgatherKRing(n, p, k, intra), nil
+	case "allreduce_kring":
+		return 2 * m.AllgatherKRing(n, p, k, intra), nil
+	}
+	return 0, fmt.Errorf("model: no prediction for algorithm %q", alg)
+}

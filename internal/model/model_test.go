@@ -1,0 +1,196 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"exacoll/internal/machine"
+)
+
+var m = Params{Alpha: 2e-6, Beta: 5e-11, Gamma: 2e-11}
+
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestKnomialReducesToBinomial: eq. (3) at k=2 must equal eq. (1)/(2).
+func TestKnomialReducesToBinomial(t *testing.T) {
+	for _, p := range []int{2, 4, 16, 128, 1024} {
+		for _, n := range []int{8, 1024, 1 << 20} {
+			if !close(m.BcastKnomial(n, p, 2), m.BcastBinomial(n, p)) {
+				t.Errorf("bcast: knomial(k=2) != binomial at p=%d n=%d", p, n)
+			}
+			if !close(m.ReduceKnomial(n, p, 2), m.ReduceBinomial(n, p)) {
+				t.Errorf("reduce: knomial(k=2) != binomial at p=%d n=%d", p, n)
+			}
+			if !close(m.AllgatherKnomial(n, p, 2), m.AllgatherBinomial(n, p)) {
+				t.Errorf("allgather: knomial(k=2) != binomial at p=%d n=%d", p, n)
+			}
+			if !close(m.AllreduceKnomial(n, p, 2), m.AllreduceBinomial(n, p)) {
+				t.Errorf("allreduce: knomial(k=2) != binomial at p=%d n=%d", p, n)
+			}
+		}
+	}
+}
+
+// TestRecMulReducesToRecDbl: eq. (6) at k=2 must equal eq. (4).
+func TestRecMulReducesToRecDbl(t *testing.T) {
+	for _, p := range []int{2, 8, 64, 1024} {
+		for _, n := range []int{8, 4096, 1 << 22} {
+			if !close(m.AllgatherRecMul(n, p, 2), m.AllgatherRecDbl(n, p)) {
+				t.Errorf("allgather: recmul(k=2) != recdbl at p=%d n=%d", p, n)
+			}
+			if !close(m.AllreduceRecMul(n, p, 2), m.AllreduceRecDbl(n, p)) {
+				t.Errorf("allreduce: recmul(k=2) != recdbl at p=%d n=%d", p, n)
+			}
+		}
+	}
+}
+
+// TestKRingReducesToRing: eq. (12) with homogeneous links must equal the
+// classic ring cost, and eq. (13) at k=1 must equal eq. (14).
+func TestKRingReducesToRing(t *testing.T) {
+	for _, p := range []int{4, 8, 64} {
+		n := 1 << 20
+		if got, want := m.AllgatherKRing(n, p, 1, m), m.AllgatherRing(n, p); !close(got, want) {
+			t.Errorf("kring(k=1, homo) = %g, want ring %g at p=%d", got, want, p)
+		}
+		if got, want := KRingDataInterGroup(n, p, 1), RingDataInterGroup(n, p); !close(got, want) {
+			t.Errorf("eq13(k=1) = %g, want eq14 %g", got, want)
+		}
+	}
+}
+
+// TestRoundSumsMatchClosedForm: summing eq. (5) rounds reproduces eq. (4),
+// and summing eq. (7) rounds reproduces eq. (6), for power-of-k sizes.
+func TestRoundSumsMatchClosedForm(t *testing.T) {
+	for _, tc := range []struct{ p, k int }{{16, 2}, {64, 2}, {27, 3}, {256, 4}} {
+		n := 1 << 18
+		rounds := int(math.Round(math.Log(float64(tc.p)) / math.Log(float64(tc.k))))
+		// Allreduce: every round costs the same.
+		sum := 0.0
+		for i := 1; i <= rounds; i++ {
+			sum += m.RecMulRound(n, tc.p, tc.k, i, true)
+		}
+		if want := m.AllreduceRecMul(n, tc.p, tc.k); !close(sum, want) {
+			t.Errorf("p=%d k=%d: allreduce round sum %g != closed form %g", tc.p, tc.k, sum, want)
+		}
+		// Allgather: the geometric series sums to n(p-1)/p·β.
+		sum = 0.0
+		for i := 1; i <= rounds; i++ {
+			sum += m.RecMulRound(n, tc.p, tc.k, i, false)
+		}
+		if want := m.AllgatherRecMul(n, tc.p, tc.k); !close(sum, want) {
+			t.Errorf("p=%d k=%d: allgather round sum %g != closed form %g", tc.p, tc.k, sum, want)
+		}
+	}
+}
+
+// TestRingRoundsSum: (p−1) rounds of eq. (9) equal eq. (8).
+func TestRingRoundsSum(t *testing.T) {
+	p, n := 32, 1<<20
+	sum := 0.0
+	for i := 0; i < p-1; i++ {
+		sum += m.RingRound(n, p, false)
+	}
+	if want := m.AllgatherRing(n, p); !close(sum, want) {
+		t.Errorf("ring round sum %g != %g", sum, want)
+	}
+}
+
+// TestRingAsymptotic: for large n the ring cost approaches eq. (10).
+func TestRingAsymptotic(t *testing.T) {
+	p := 64
+	n := 1 << 28
+	full := m.AllgatherRing(n, p)
+	asym := m.RingAsymptotic(n, false)
+	if math.Abs(full-asym)/asym > 0.05 {
+		t.Errorf("ring %g vs asymptotic %g differ by >5%% at n=%d", full, asym, n)
+	}
+}
+
+// TestKnomialOptimalKTrend reproduces §III-D's intuition: for tiny
+// messages the best k is at or near p; for large messages it shrinks
+// toward 2.
+func TestKnomialOptimalKTrend(t *testing.T) {
+	p := 128
+	kSmall, _ := OptimalK(p, func(k int) float64 { return m.ReduceKnomial(8, p, k) })
+	kLarge, _ := OptimalK(p, func(k int) float64 { return m.ReduceKnomial(1<<22, p, k) })
+	if kSmall < p/2 {
+		t.Errorf("tiny-message optimal k = %d, want near p=%d", kSmall, p)
+	}
+	if kLarge != 2 {
+		t.Errorf("large-message optimal k = %d, want 2", kLarge)
+	}
+}
+
+// TestRecMulOptimalKTrend: the pure model favors moderate k for small
+// messages (fewer rounds) and k=2 for large (less redundant data).
+func TestRecMulOptimalKTrend(t *testing.T) {
+	p := 128
+	kSmall, _ := OptimalK(p, func(k int) float64 { return m.AllreduceRecMul(8, p, k) })
+	kLarge, _ := OptimalK(p, func(k int) float64 { return m.AllreduceRecMul(1<<22, p, k) })
+	if kSmall <= 2 {
+		t.Errorf("tiny-message optimal k = %d, want > 2", kSmall)
+	}
+	if kLarge != 2 {
+		t.Errorf("large-message optimal k = %d, want 2", kLarge)
+	}
+}
+
+// TestKRingHeterogeneousBenefit: with intranode links much faster than
+// internode, k-ring at k=PPN beats the homogeneous ring model — the §V-D
+// motivation.
+func TestKRingHeterogeneousBenefit(t *testing.T) {
+	inter, intra := FromSpec(machine.Frontier().WithPPN(8))
+	p, n := 128, 1<<24
+	kring := inter.AllgatherKRing(n, p, 8, intra)
+	ring := inter.AllgatherRing(n, p)
+	if kring >= ring {
+		t.Errorf("k-ring (k=8) %g should beat homogeneous ring %g with fast intranode links", kring, ring)
+	}
+}
+
+// TestPredictCoversRegistryNames spot-checks the Predict dispatcher.
+func TestPredictCoversRegistryNames(t *testing.T) {
+	names := []string{
+		"bcast_binomial", "reduce_binomial", "gather_binomial",
+		"bcast_knomial", "reduce_knomial", "allgather_knomial", "allreduce_knomial",
+		"bcast_recdbl", "allgather_recdbl", "allreduce_recdbl",
+		"bcast_recmul", "allgather_recmul", "allreduce_recmul",
+		"bcast_ring", "allgather_ring", "allreduce_ring",
+		"bcast_kring", "allgather_kring", "allreduce_kring",
+	}
+	for _, name := range names {
+		v, err := m.Predict(name, 4096, 64, 4, m)
+		if err != nil {
+			t.Errorf("Predict(%s): %v", name, err)
+		}
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("Predict(%s) = %g", name, v)
+		}
+	}
+	if _, err := m.Predict("nope", 1, 2, 2, m); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+}
+
+// TestFromSpecPingPong: FromSpec's α/β reproduce the simulator's ping-pong
+// cost model by construction.
+func TestFromSpecPingPong(t *testing.T) {
+	s := machine.Testbox()
+	inter, intra := FromSpec(s)
+	n := 4096
+	wantInter := s.SendOverhead + 2*float64(n)*s.BetaPort + s.AlphaInter + s.RecvOverhead
+	if got := inter.Alpha + float64(n)*inter.Beta; !close(got, wantInter) {
+		t.Errorf("inter ping-pong: model %g, sim %g", got, wantInter)
+	}
+	wantIntra := s.SendOverhead + float64(n)*s.BetaIntra + s.AlphaIntra + s.RecvOverhead
+	if got := intra.Alpha + float64(n)*intra.Beta; !close(got, wantIntra) {
+		t.Errorf("intra ping-pong: model %g, sim %g", got, wantIntra)
+	}
+}

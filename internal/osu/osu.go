@@ -1,0 +1,196 @@
+// Package osu is a library-form port of the OSU microbenchmark protocol
+// the paper's evaluation uses (§VI-B): warmup iterations, barrier-
+// separated timed loops, per-rank averaging, and a cross-rank reduction of
+// the statistics. It measures wall-clock time, so it applies to the real
+// transports (mem, tcp); simulated latencies come from bench.SimLatency,
+// which needs no repetition because the simulator is deterministic.
+package osu
+
+import (
+	"fmt"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+// Options configures a measurement.
+type Options struct {
+	// Warmup iterations are run and discarded (default 5).
+	Warmup int
+	// Iters timed iterations (default 20).
+	Iters int
+}
+
+func (o Options) warmup() int {
+	if o.Warmup == 0 {
+		return 5
+	}
+	return o.Warmup
+}
+
+func (o Options) iters() int {
+	if o.Iters == 0 {
+		return 20
+	}
+	return o.Iters
+}
+
+// Stats summarizes a measurement across ranks, in seconds per operation.
+type Stats struct {
+	// MinRank/AvgRank/MaxRank aggregate the per-rank mean latencies.
+	MinRank float64
+	AvgRank float64
+	MaxRank float64
+	// Iters is the number of timed iterations.
+	Iters int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("min %.2fus avg %.2fus max %.2fus (%d iters)",
+		s.MinRank*1e6, s.AvgRank*1e6, s.MaxRank*1e6, s.Iters)
+}
+
+// PingPong measures the round-trip/2 latency between ranks 0 and 1 (the
+// osu_latency benchmark). Other ranks return zero Stats and participate in
+// nothing.
+func PingPong(c comm.Comm, n int, opts Options) (Stats, error) {
+	if c.Size() < 2 {
+		return Stats{}, fmt.Errorf("osu: ping-pong needs 2 ranks")
+	}
+	me := c.Rank()
+	if me > 1 {
+		return Stats{}, nil
+	}
+	peer := 1 - me
+	buf := make([]byte, n)
+	in := make([]byte, n)
+	const tag comm.Tag = comm.TagUser + 101
+	total := opts.warmup() + opts.iters()
+	var start time.Time
+	for i := 0; i < total; i++ {
+		if i == opts.warmup() {
+			start = time.Now()
+		}
+		if me == 0 {
+			if err := c.Send(peer, tag, buf); err != nil {
+				return Stats{}, err
+			}
+			if _, err := c.Recv(peer, tag, in); err != nil {
+				return Stats{}, err
+			}
+		} else {
+			if _, err := c.Recv(peer, tag, in); err != nil {
+				return Stats{}, err
+			}
+			if err := c.Send(peer, tag, buf); err != nil {
+				return Stats{}, err
+			}
+		}
+	}
+	lat := time.Since(start).Seconds() / float64(opts.iters()) / 2
+	return Stats{MinRank: lat, AvgRank: lat, MaxRank: lat, Iters: opts.iters()}, nil
+}
+
+// Collective measures one collective (invoked through fn, which must run
+// the same operation on every rank) with the OSU protocol: a barrier, then
+// timed iterations, then min/avg/max of the per-rank means reduced across
+// all ranks. Every rank receives the same Stats.
+func Collective(c comm.Comm, fn func() error, opts Options) (Stats, error) {
+	for i := 0; i < opts.warmup(); i++ {
+		if err := fn(); err != nil {
+			return Stats{}, fmt.Errorf("osu: warmup: %w", err)
+		}
+	}
+	if err := core.BarrierDissemination(c); err != nil {
+		return Stats{}, err
+	}
+	start := time.Now()
+	for i := 0; i < opts.iters(); i++ {
+		if err := fn(); err != nil {
+			return Stats{}, fmt.Errorf("osu: iteration %d: %w", i, err)
+		}
+	}
+	local := time.Since(start).Seconds() / float64(opts.iters())
+
+	// Reduce (min, sum, max) across ranks in one 3-element allreduce each.
+	stats := []float64{local}
+	agg := func(op datatype.Op) (float64, error) {
+		sendbuf := datatype.EncodeFloat64(stats)
+		recvbuf := make([]byte, len(sendbuf))
+		if err := core.AllreduceRecDbl(c, sendbuf, recvbuf, op, datatype.Float64); err != nil {
+			return 0, err
+		}
+		return datatype.DecodeFloat64(recvbuf)[0], nil
+	}
+	min, err := agg(datatype.Min)
+	if err != nil {
+		return Stats{}, err
+	}
+	max, err := agg(datatype.Max)
+	if err != nil {
+		return Stats{}, err
+	}
+	sum, err := agg(datatype.Sum)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		MinRank: min,
+		AvgRank: sum / float64(c.Size()),
+		MaxRank: max,
+		Iters:   opts.iters(),
+	}, nil
+}
+
+// Algorithm measures a registry algorithm at one message size with fresh
+// per-iteration arguments (mirroring how osu_allreduce et al. reuse
+// buffers but revalidate sizes).
+func Algorithm(c comm.Comm, algName string, n, root, k int, opts Options) (Stats, error) {
+	alg, err := core.Lookup(algName)
+	if err != nil {
+		return Stats{}, err
+	}
+	args := makeArgs(alg.Op, c.Rank(), c.Size(), n, root, k)
+	return Collective(c, func() error { return alg.Run(c, args) }, opts)
+}
+
+// makeArgs builds per-rank arguments (kept local to avoid importing
+// bench, which would create an import cycle through the figure harness).
+func makeArgs(op core.CollOp, rank, p, n, root, k int) core.Args {
+	pattern := func(seed, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte((seed*31 + i) % 251)
+		}
+		return b
+	}
+	a := core.Args{Root: root, K: k, Op: datatype.Sum, Type: datatype.Float64}
+	switch op {
+	case core.OpBcast:
+		a.SendBuf = pattern(root, n)
+	case core.OpReduce, core.OpAllreduce:
+		a.SendBuf = pattern(rank, n)
+		a.RecvBuf = make([]byte, n)
+	case core.OpGather, core.OpAllgather:
+		a.SendBuf = pattern(rank, n)
+		a.RecvBuf = make([]byte, n*p)
+	case core.OpScatter:
+		if rank == root {
+			a.SendBuf = pattern(root, n*p)
+		}
+		a.RecvBuf = make([]byte, n)
+	case core.OpReduceScatter:
+		a.SendBuf = pattern(rank, n)
+		_, sz := core.FairLayoutAligned(n, p, 8)(rank)
+		a.RecvBuf = make([]byte, sz)
+	case core.OpAlltoall:
+		a.SendBuf = pattern(rank, n*p)
+		a.RecvBuf = make([]byte, n*p)
+	case core.OpScan:
+		a.SendBuf = pattern(rank, n)
+		a.RecvBuf = make([]byte, n)
+	}
+	return a
+}

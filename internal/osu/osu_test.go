@@ -1,0 +1,94 @@
+package osu
+
+import (
+	"math"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/transport/mem"
+)
+
+// TestPingPong measures 0<->1 latency on the mem transport.
+func TestPingPong(t *testing.T) {
+	w := mem.NewWorld(4)
+	defer w.Close()
+	stats := make([]Stats, 4)
+	err := w.Run(func(c comm.Comm) error {
+		s, err := PingPong(c, 4096, Options{Warmup: 2, Iters: 10})
+		if err != nil {
+			return err
+		}
+		stats[c.Rank()] = s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].AvgRank <= 0 || stats[1].AvgRank <= 0 {
+		t.Errorf("participants reported %+v %+v", stats[0], stats[1])
+	}
+	if stats[2].AvgRank != 0 {
+		t.Errorf("bystander reported %+v", stats[2])
+	}
+}
+
+// TestCollectiveStats checks the cross-rank aggregation invariants:
+// min <= avg <= max, identical on every rank.
+func TestCollectiveStats(t *testing.T) {
+	const p = 6
+	w := mem.NewWorld(p)
+	defer w.Close()
+	stats := make([]Stats, p)
+	err := w.Run(func(c comm.Comm) error {
+		s, err := Algorithm(c, "allreduce_recmul", 4096, 0, 3, Options{Warmup: 2, Iters: 8})
+		if err != nil {
+			return err
+		}
+		stats[c.Rank()] = s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := stats[0]
+	if !(first.MinRank <= first.AvgRank && first.AvgRank <= first.MaxRank) {
+		t.Errorf("stats not ordered: %+v", first)
+	}
+	if first.MinRank <= 0 {
+		t.Errorf("non-positive latency: %+v", first)
+	}
+	for r := 1; r < p; r++ {
+		if math.Abs(stats[r].AvgRank-first.AvgRank) > 1e-12 {
+			t.Errorf("rank %d got different stats: %+v vs %+v", r, stats[r], first)
+		}
+	}
+	if first.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestAlgorithmErrors covers the failure paths.
+func TestAlgorithmErrors(t *testing.T) {
+	w := mem.NewWorld(2)
+	defer w.Close()
+	err := w.Run(func(c comm.Comm) error {
+		if _, err := Algorithm(c, "no_such_alg", 8, 0, 2, Options{}); err == nil {
+			t.Error("want lookup error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := mem.NewWorld(1)
+	defer w1.Close()
+	err = w1.Run(func(c comm.Comm) error {
+		if _, err := PingPong(c, 8, Options{}); err == nil {
+			t.Error("want error for 1-rank ping-pong")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package simnet
+
+import (
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/machine"
+)
+
+// oneTransfer runs a single internode send/recv and returns the receiver's
+// completion time.
+func oneTransfer(t *testing.T, spec machine.Spec) float64 {
+	t.Helper()
+	s, err := New(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(func(c comm.Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(4, 1, make([]byte, 4096))
+		case 4:
+			buf := make([]byte, 4096)
+			_, err := c.Recv(0, 1, buf)
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s.RankTime(4)
+}
+
+// TestJitterOffByDefault: no noise without opting in.
+func TestJitterOffByDefault(t *testing.T) {
+	spec := tiny()
+	if a, b := oneTransfer(t, spec), oneTransfer(t, spec); a != b {
+		t.Errorf("jitter-free runs differ: %g vs %g", a, b)
+	}
+}
+
+// TestJitterDeterministicPerSeed: same seed → identical noise; different
+// seed → (almost surely) different timing; all runs slower than or equal
+// to the noise-free baseline and bounded by (1 + jitter).
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	base := oneTransfer(t, tiny())
+	j1a := oneTransfer(t, tiny().WithJitter(0.5, 7))
+	j1b := oneTransfer(t, tiny().WithJitter(0.5, 7))
+	j2 := oneTransfer(t, tiny().WithJitter(0.5, 8))
+	if j1a != j1b {
+		t.Errorf("same seed differs: %g vs %g", j1a, j1b)
+	}
+	if j1a == j2 {
+		t.Errorf("different seeds produced identical timing %g", j1a)
+	}
+	if j1a < base {
+		t.Errorf("jittered run %g faster than baseline %g", j1a, base)
+	}
+	// The noise only scales α, so the slowdown is bounded by 1.5x of the
+	// α component — certainly under 1.5x of the whole transfer.
+	if j1a > 1.5*base {
+		t.Errorf("jittered run %g exceeds 1.5x baseline %g", j1a, base)
+	}
+}
+
+// TestDragonflyGroupLatency: messages crossing dragonfly groups pay the
+// extra global-link latency.
+func TestDragonflyGroupLatency(t *testing.T) {
+	spec := tiny() // 16 nodes per group, 4 PPN
+	spec.Nodes = 64
+	p := 40 * spec.PPN // spans 3 groups
+	run := func(dst int) float64 {
+		s, err := New(spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(func(c comm.Comm) error {
+			switch c.Rank() {
+			case 0:
+				return c.Send(dst, 1, make([]byte, 64))
+			case dst:
+				buf := make([]byte, 64)
+				_, err := c.Recv(0, 1, buf)
+				return err
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s.RankTime(dst)
+	}
+	sameGroup := run(1 * spec.PPN * 4) // node 4, group 0
+	farGroup := run(20 * spec.PPN)     // node 20, group 1
+	if want := sameGroup + spec.AlphaGlobal; !approx(farGroup, want) {
+		t.Errorf("cross-group transfer = %g, want %g (+AlphaGlobal)", farGroup, want)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+// TestPortPinnedPolicy: with 4 PPN and 2 ports under the auto policy,
+// local ranks 0,1 share port 0 and 2,3 share port 1 — two concurrent
+// sends from ranks sharing a port serialize; from ranks on different
+// ports they do not.
+func TestPortPinnedPolicy(t *testing.T) {
+	spec := tiny() // PPN 4, ports 2, PortAuto -> pinned
+	n := 1 << 20
+	elapsed := func(srcA, srcB int) float64 {
+		s, err := New(spec, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(func(c comm.Comm) error {
+			switch c.Rank() {
+			case srcA:
+				return c.Send(8, 1, make([]byte, n))
+			case srcB:
+				// Receivers sit on different ports of node 2 (local ranks
+				// 0 and 2), so the receive side never serializes and the
+				// measurement isolates the sender ports.
+				return c.Send(10, 1, make([]byte, n))
+			case 8:
+				buf := make([]byte, n)
+				_, err := c.Recv(srcA, 1, buf)
+				return err
+			case 10:
+				buf := make([]byte, n)
+				_, err := c.Recv(srcB, 1, buf)
+				return err
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if s.RankTime(8) > s.RankTime(10) {
+			return s.RankTime(8)
+		}
+		return s.RankTime(10)
+	}
+	shared := elapsed(0, 1)   // both pinned to port 0 of node 0
+	separate := elapsed(0, 2) // ports 0 and 1
+	if shared <= separate {
+		t.Errorf("port-sharing senders (%g) should be slower than separate-port senders (%g)", shared, separate)
+	}
+}

@@ -1,0 +1,537 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/machine"
+)
+
+// The kernel is a conservative sequential discrete-event engine. Each rank
+// runs its body on its own goroutine but is admitted to mutate simulation
+// state only when every other rank is quiescent (parked on a pending
+// operation, blocked in Wait, or finished); among pending operations the
+// kernel always processes the minimum (virtual clock, rank) first, making
+// resource allocation — and therefore all reported times — deterministic.
+
+type actionKind int
+
+const (
+	actIsend actionKind = iota
+	actIrecv
+	actWait
+	actCharge
+	actDone
+)
+
+type action struct {
+	kind  actionKind
+	rank  int
+	peer  int
+	tag   comm.Tag
+	buf   []byte
+	req   *simReq
+	bytes int // ChargeCompute size
+	reply chan error
+}
+
+// simReq is a nonblocking-operation handle inside the simulator.
+type simReq struct {
+	k      *kernel
+	rank   int
+	isSend bool
+
+	resolved bool    // message matched (recv) / completed (send)
+	arrival  float64 // virtual arrival time of the matched message
+	n        int
+	err      error
+	consumed bool // Wait already charged its completion
+
+	waiter    *rankState // rank parked in Wait on this request
+	parkClock float64
+	waitReply chan error
+}
+
+// Wait implements comm.Request.
+func (r *simReq) Wait() error {
+	rep := make(chan error, 1)
+	r.k.actions <- &action{kind: actWait, rank: r.rank, req: r, reply: rep}
+	return <-rep
+}
+
+// Len implements comm.Request.
+func (r *simReq) Len() int { return r.n }
+
+type matchKey struct {
+	src int
+	tag comm.Tag
+}
+
+type simMessage struct {
+	payload []byte
+	arrival float64
+}
+
+type postedRecv struct {
+	req *simReq
+	buf []byte
+}
+
+type rankState struct {
+	id         int
+	clock      float64
+	done       bool
+	unexpected map[matchKey][]*simMessage
+	posted     map[matchKey][]*postedRecv
+}
+
+type nodeState struct {
+	ports []float64 // next-free time per NIC port
+}
+
+type kernel struct {
+	spec  machine.Spec
+	p     int
+	ranks []*rankState
+	nodes map[int]*nodeState
+	intra map[[2]int]float64 // ordered-pair intranode link next-free time
+
+	actions    chan *action
+	deadlocked bool
+	stats      Stats
+
+	jitterState uint64 // xorshift state for the latency noise model
+}
+
+// jitterFactor draws the next deterministic noise factor in
+// [1, 1+spec.Jitter] (1.0 when jitter is disabled).
+func (k *kernel) jitterFactor() float64 {
+	if k.spec.Jitter <= 0 {
+		return 1
+	}
+	// xorshift64* — deterministic, seeded from the spec.
+	x := k.jitterState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	k.jitterState = x
+	u := float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+	return 1 + k.spec.Jitter*u
+}
+
+func newKernel(spec machine.Spec, p int) *kernel {
+	k := &kernel{
+		spec:    spec,
+		p:       p,
+		ranks:   make([]*rankState, p),
+		nodes:   make(map[int]*nodeState),
+		intra:   make(map[[2]int]float64),
+		actions: make(chan *action, p),
+	}
+	k.jitterState = spec.JitterSeed | 1
+	for r := range k.ranks {
+		k.ranks[r] = &rankState{
+			id:         r,
+			unexpected: make(map[matchKey][]*simMessage),
+			posted:     make(map[matchKey][]*postedRecv),
+		}
+	}
+	return k
+}
+
+func (k *kernel) node(n int) *nodeState {
+	ns, ok := k.nodes[n]
+	if !ok {
+		ns = &nodeState{ports: make([]float64, k.spec.Ports)}
+		k.nodes[n] = ns
+	}
+	return ns
+}
+
+// run drives the simulation to completion.
+func (k *kernel) run(fn func(c comm.Comm) error) error {
+	errs := make([]error, k.p)
+	var wg sync.WaitGroup
+	for r := 0; r < k.p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(&simComm{k: k, rank: r})
+			k.actions <- &action{kind: actDone, rank: r}
+		}(r)
+	}
+
+	pending := make(map[int]*action)
+	alive := k.p   // ranks that have not sent actDone
+	running := k.p // ranks currently executing user code
+	for alive > 0 {
+		for running > 0 {
+			a := <-k.actions
+			running--
+			if a.kind == actDone {
+				k.ranks[a.rank].done = true
+				alive--
+				continue
+			}
+			pending[a.rank] = a
+		}
+		if alive == 0 {
+			break
+		}
+		if len(pending) == 0 {
+			// Every live rank is parked in Wait on a receive that can
+			// never complete: deadlock. Release them all with an error.
+			k.deadlocked = true
+			released := 0
+			for _, rs := range k.ranks {
+				released += k.releaseParked(rs)
+			}
+			running += released
+			if released == 0 {
+				// No parked waiters either: nothing can make progress.
+				return comm.ErrDeadlock
+			}
+			continue
+		}
+		a := k.pickMin(pending)
+		delete(pending, a.rank)
+		running += k.process(a)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// releaseParked errors out any Wait parked on rank's posted receives and
+// returns how many ranks it resumed.
+func (k *kernel) releaseParked(rs *rankState) int {
+	resumed := 0
+	for key, prs := range rs.posted {
+		for _, pr := range prs {
+			if pr.req.waiter != nil {
+				pr.req.err = comm.ErrDeadlock
+				pr.req.resolved = true
+				pr.req.consumed = true
+				pr.req.waitReply <- pr.req.err
+				pr.req.waiter = nil
+				resumed++
+			}
+		}
+		delete(rs.posted, key)
+	}
+	return resumed
+}
+
+// pickMin selects the pending action with the smallest (clock, rank).
+func (k *kernel) pickMin(pending map[int]*action) *action {
+	var best *action
+	for _, a := range pending {
+		if best == nil {
+			best = a
+			continue
+		}
+		cb, ca := k.ranks[best.rank].clock, k.ranks[a.rank].clock
+		if ca < cb || (ca == cb && a.rank < best.rank) {
+			best = a
+		}
+	}
+	return best
+}
+
+// process executes one action and returns how many ranks it resumed.
+func (k *kernel) process(a *action) int {
+	if k.deadlocked {
+		a.reply <- comm.ErrDeadlock
+		return 1
+	}
+	switch a.kind {
+	case actCharge:
+		k.ranks[a.rank].clock += k.spec.Gamma * float64(a.bytes)
+		a.reply <- nil
+		return 1
+
+	case actIsend:
+		resumed := k.doIsend(a)
+		return resumed
+
+	case actIrecv:
+		k.doIrecv(a)
+		return 1
+
+	case actWait:
+		return k.doWait(a)
+	}
+	a.reply <- fmt.Errorf("simnet: unknown action %d", a.kind)
+	return 1
+}
+
+// doIsend injects a message, routing it through the machine model, and
+// delivers it to the destination's matching engine. Returns ranks resumed
+// (the sender plus possibly a parked receiver).
+func (k *kernel) doIsend(a *action) int {
+	if err := comm.CheckPeer(a.rank, a.peer, k.p); err != nil {
+		a.req.err = err
+		a.req.resolved = true
+		a.reply <- err
+		return 1
+	}
+	payload := make([]byte, len(a.buf))
+	copy(payload, a.buf)
+	arrival := k.route(a.rank, a.peer, len(payload))
+
+	k.stats.Messages++
+	k.stats.Bytes += int64(len(payload))
+
+	a.req.resolved = true
+	a.req.n = len(payload)
+
+	resumed := 1
+	a.reply <- nil
+
+	dst := k.ranks[a.peer]
+	key := matchKey{src: a.rank, tag: a.tag}
+	if prs := dst.posted[key]; len(prs) > 0 {
+		pr := prs[0]
+		if len(prs) == 1 {
+			delete(dst.posted, key)
+		} else {
+			dst.posted[key] = prs[1:]
+		}
+		k.bind(pr, payload, arrival)
+		if pr.req.waiter != nil {
+			// The receiver is parked in Wait: resume it at the message's
+			// arrival (or its own park time, whichever is later).
+			w := pr.req.waiter
+			pr.req.waiter = nil
+			pr.req.consumed = true
+			if !k.chargeRecvCompletion(w, pr.req) {
+				pr.req.waitReply <- pr.req.err
+				resumed++
+			} else {
+				pr.req.waitReply <- pr.req.err
+				resumed++
+			}
+		}
+	} else {
+		dst.unexpected[key] = append(dst.unexpected[key], &simMessage{payload: payload, arrival: arrival})
+	}
+	return resumed
+}
+
+// bind matches a posted receive with a payload.
+func (k *kernel) bind(pr *postedRecv, payload []byte, arrival float64) {
+	if len(payload) > len(pr.buf) {
+		pr.req.err = fmt.Errorf("%w: have %d bytes, message is %d",
+			comm.ErrTruncated, len(pr.buf), len(payload))
+	} else {
+		copy(pr.buf, payload)
+		pr.req.n = len(payload)
+	}
+	pr.req.arrival = arrival
+	pr.req.resolved = true
+}
+
+// chargeRecvCompletion advances the waiter's clock to the receive
+// completion time. Returns true always (signature symmetry).
+func (k *kernel) chargeRecvCompletion(w *rankState, req *simReq) bool {
+	t := req.parkClock
+	if req.arrival > t {
+		t = req.arrival
+	}
+	w.clock = t + k.spec.RecvOverhead
+	return true
+}
+
+// doIrecv posts a receive, matching an already-arrived message if present.
+func (k *kernel) doIrecv(a *action) {
+	if err := comm.CheckPeer(a.rank, a.peer, k.p); err != nil {
+		a.req.err = err
+		a.req.resolved = true
+		a.req.consumed = true
+		a.reply <- err
+		return
+	}
+	rs := k.ranks[a.rank]
+	key := matchKey{src: a.peer, tag: a.tag}
+	pr := &postedRecv{req: a.req, buf: a.buf}
+	if msgs := rs.unexpected[key]; len(msgs) > 0 {
+		m := msgs[0]
+		if len(msgs) == 1 {
+			delete(rs.unexpected, key)
+		} else {
+			rs.unexpected[key] = msgs[1:]
+		}
+		k.bind(pr, m.payload, m.arrival)
+	} else {
+		rs.posted[key] = append(rs.posted[key], pr)
+	}
+	a.reply <- nil
+}
+
+// doWait completes a request or parks the caller. Returns ranks resumed
+// now (1 if the wait completed immediately, 0 if parked).
+func (k *kernel) doWait(a *action) int {
+	req := a.req
+	rs := k.ranks[a.rank]
+	if req.isSend || req.consumed {
+		a.reply <- req.err
+		return 1
+	}
+	if req.resolved {
+		req.consumed = true
+		t := rs.clock
+		if req.arrival > t {
+			t = req.arrival
+		}
+		rs.clock = t + k.spec.RecvOverhead
+		a.reply <- req.err
+		return 1
+	}
+	// Park until a matching send arrives.
+	req.waiter = rs
+	req.parkClock = rs.clock
+	req.waitReply = a.reply
+	return 0
+}
+
+// route advances the sender's clock by the injection overhead and threads
+// the message through the machine's resources, returning its arrival time
+// at the receiver.
+func (k *kernel) route(s, d, n int) float64 {
+	spec := k.spec
+	sr := k.ranks[s]
+	sr.clock += spec.SendOverhead
+	inject := sr.clock
+
+	sn := spec.NodeOf(s, k.p)
+	dn := spec.NodeOf(d, k.p)
+	if sn == dn {
+		// Dedicated intranode link per ordered rank pair.
+		k.stats.IntraNodeMessages++
+		key := [2]int{s, d}
+		start := inject
+		if f := k.intra[key]; f > start {
+			start = f
+		}
+		done := start + float64(n)*spec.BetaIntra
+		k.intra[key] = done
+		return done + spec.AlphaIntra*k.jitterFactor()
+	}
+
+	// Sender-side NIC port serialization.
+	sp, spi := k.pickPort(sn, s, inject)
+	start := inject
+	if sp > start {
+		start = sp
+	}
+	sdone := start + float64(n)*spec.BetaPort
+	k.node(sn).ports[spi] = sdone
+
+	alpha := spec.AlphaInter
+	if spec.GroupOf(sn) != spec.GroupOf(dn) {
+		alpha += spec.AlphaGlobal
+		k.stats.InterGroupMessages++
+	}
+	alpha *= k.jitterFactor()
+
+	// Receiver-side NIC port serialization.
+	earliest := sdone + alpha
+	rp, rpi := k.pickPort(dn, d, earliest)
+	rstart := earliest
+	if rp > rstart {
+		rstart = rp
+	}
+	arrival := rstart + float64(n)*spec.BetaPort
+	k.node(dn).ports[rpi] = arrival
+	return arrival
+}
+
+// pickPort returns the (next-free time, index) of the NIC port rank r uses
+// on node n for a message ready at time ready.
+func (k *kernel) pickPort(n, r int, ready float64) (float64, int) {
+	ns := k.node(n)
+	spec := k.spec
+	pinned := false
+	switch spec.PortMapping {
+	case machine.PortPinned:
+		pinned = true
+	case machine.PortAuto:
+		pinned = spec.PPN >= spec.Ports
+	}
+	if pinned {
+		idx := spec.LocalRank(r, k.p) * spec.Ports / spec.PPN
+		if idx >= spec.Ports {
+			idx = spec.Ports - 1
+		}
+		return ns.ports[idx], idx
+	}
+	// Striped: least-loaded port (ties to the lowest index).
+	best := 0
+	for i := 1; i < len(ns.ports); i++ {
+		if ns.ports[i] < ns.ports[best] {
+			best = i
+		}
+	}
+	return ns.ports[best], best
+}
+
+// simComm is one rank's comm.Comm view of the kernel.
+type simComm struct {
+	k    *kernel
+	rank int
+}
+
+func (c *simComm) Rank() int { return c.rank }
+func (c *simComm) Size() int { return c.k.p }
+
+// Now implements comm.Clock: the rank's current virtual time. Safe to read
+// from the owning rank's goroutine (the kernel only mutates it while the
+// rank is blocked on a reply).
+func (c *simComm) Now() float64 { return c.k.ranks[c.rank].clock }
+
+func (c *simComm) ChargeCompute(n int) {
+	rep := make(chan error, 1)
+	c.k.actions <- &action{kind: actCharge, rank: c.rank, bytes: n, reply: rep}
+	<-rep
+}
+
+func (c *simComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	req := &simReq{k: c.k, rank: c.rank, isSend: true}
+	rep := make(chan error, 1)
+	c.k.actions <- &action{kind: actIsend, rank: c.rank, peer: to, tag: tag, buf: buf, req: req, reply: rep}
+	if err := <-rep; err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func (c *simComm) Send(to int, tag comm.Tag, buf []byte) error {
+	_, err := c.Isend(to, tag, buf)
+	return err
+}
+
+func (c *simComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	req := &simReq{k: c.k, rank: c.rank}
+	rep := make(chan error, 1)
+	c.k.actions <- &action{kind: actIrecv, rank: c.rank, peer: from, tag: tag, buf: buf, req: req, reply: rep}
+	if err := <-rep; err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func (c *simComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	req, err := c.Irecv(from, tag, buf)
+	if err != nil {
+		return 0, err
+	}
+	if err := req.Wait(); err != nil {
+		return 0, err
+	}
+	return req.Len(), nil
+}

@@ -1,0 +1,116 @@
+// Package simnet is a deterministic discrete-event simulator of an
+// exascale machine that implements comm.Comm. Rank bodies are ordinary Go
+// functions — the same collective algorithm code that runs on the real
+// transports — but every communication call is sequenced through a
+// conservative simulation kernel that advances per-rank virtual clocks
+// against a resource model of the machine:
+//
+//   - per-message sender/receiver CPU overhead (o) — the cost of message
+//     injection, which bounds useful message buffering (§II-B2);
+//   - NIC ports as shared per-node resources with per-byte serialization
+//     (β_port): concurrent messages on one port queue, so overlap is
+//     capped by the physical port count;
+//   - dedicated intranode links (Infinity Fabric / NVLink) with their own
+//     α and β (§II-B3);
+//   - wire latency α, with an extra hop penalty across dragonfly groups;
+//   - per-byte reduction cost γ charged via ChargeCompute.
+//
+// Payload bytes move for real, so the simulator doubles as a correctness
+// substrate. Execution is deterministic: the kernel admits exactly one
+// pending operation at a time, chosen by minimum (virtual clock, rank).
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/machine"
+)
+
+// Sim hosts p simulated ranks on a machine spec.
+type Sim struct {
+	spec machine.Spec
+	p    int
+
+	mu     sync.Mutex // guards kernel state while Run is active
+	kern   *kernel
+	closed bool
+}
+
+// New creates a simulation of p ranks on the given machine. It fails if
+// the machine cannot host p ranks.
+func New(spec machine.Spec, p int) (*Sim, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if p < 1 || p > spec.MaxRanks() {
+		return nil, fmt.Errorf("simnet: p=%d outside [1, %d] for %s", p, spec.MaxRanks(), spec.Name)
+	}
+	return &Sim{spec: spec, p: p}, nil
+}
+
+// Size returns the number of simulated ranks.
+func (s *Sim) Size() int { return s.p }
+
+// Spec returns the machine model.
+func (s *Sim) Spec() machine.Spec { return s.spec }
+
+// Run executes fn once per rank under the simulation kernel and returns
+// the first error. Virtual clocks start at 0 on every Run.
+func (s *Sim) Run(fn func(c comm.Comm) error) error {
+	k := newKernel(s.spec, s.p)
+	s.mu.Lock()
+	s.kern = k
+	s.mu.Unlock()
+	return k.run(fn)
+}
+
+// MaxTime returns the maximum virtual completion time across ranks from
+// the most recent Run — the latency of the simulated program.
+func (s *Sim) MaxTime() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kern == nil {
+		return 0
+	}
+	max := 0.0
+	for _, rs := range s.kern.ranks {
+		if rs.clock > max {
+			max = rs.clock
+		}
+	}
+	return max
+}
+
+// RankTime returns rank r's final virtual clock from the most recent Run.
+func (s *Sim) RankTime(r int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kern == nil || r < 0 || r >= s.p {
+		return 0
+	}
+	return s.kern.ranks[r].clock
+}
+
+// Stats returns aggregate transfer statistics from the most recent Run.
+func (s *Sim) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kern == nil {
+		return Stats{}
+	}
+	return s.kern.stats
+}
+
+// Stats aggregates what the simulation moved.
+type Stats struct {
+	// Messages is the total point-to-point message count.
+	Messages int
+	// Bytes is the total payload bytes sent.
+	Bytes int64
+	// IntraNodeMessages counts messages between ranks on the same node.
+	IntraNodeMessages int
+	// InterGroupMessages counts messages crossing dragonfly groups.
+	InterGroupMessages int
+}

@@ -1,0 +1,343 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/machine"
+)
+
+func tiny() machine.Spec {
+	s := machine.Testbox()
+	s.Nodes = 8
+	return s
+}
+
+// TestPingPong checks basic data movement and that virtual time advances by
+// the modelled costs.
+func TestPingPong(t *testing.T) {
+	s, err := New(tiny(), 8) // 2 nodes x 4 ppn
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, virtual world")
+	err = s.Run(func(c comm.Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(5, 7, msg) // internode (node 0 -> node 1)
+		case 5:
+			buf := make([]byte, len(msg))
+			n, err := c.Recv(0, 7, buf)
+			if err != nil {
+				return err
+			}
+			if n != len(msg) || !bytes.Equal(buf, msg) {
+				return fmt.Errorf("payload mismatch: %q", buf[:n])
+			}
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tiny()
+	want := spec.SendOverhead + float64(len(msg))*spec.BetaPort*2 + spec.AlphaInter + spec.RecvOverhead
+	got := s.RankTime(5)
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("receiver time = %g, want %g", got, want)
+	}
+	if s.RankTime(0) != spec.SendOverhead {
+		t.Errorf("sender time = %g, want o_send %g", s.RankTime(0), spec.SendOverhead)
+	}
+	st := s.Stats()
+	if st.Messages != 1 || st.Bytes != int64(len(msg)) || st.IntraNodeMessages != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestIntranodeFaster verifies the link heterogeneity k-ring exploits:
+// the same transfer is cheaper between ranks on one node.
+func TestIntranodeFaster(t *testing.T) {
+	spec := tiny()
+	n := 1 << 20
+	run := func(dst int) float64 {
+		s, err := New(spec, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(func(c comm.Comm) error {
+			switch c.Rank() {
+			case 0:
+				return c.Send(dst, 1, make([]byte, n))
+			case dst:
+				buf := make([]byte, n)
+				_, err := c.Recv(0, 1, buf)
+				return err
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s.RankTime(dst)
+	}
+	intra := run(1) // same node
+	inter := run(4) // next node
+	if intra >= inter {
+		t.Errorf("intranode %g should be faster than internode %g", intra, inter)
+	}
+}
+
+// TestPortContention verifies that more simultaneous messages than NIC
+// ports serialize: with 2 ports, 4 concurrent internode sends from one
+// node take about twice as long as 2.
+func TestPortContention(t *testing.T) {
+	spec := tiny() // 2 ports, 4 ppn
+	spec.PortMapping = machine.PortStriped
+	n := 1 << 20
+	elapsed := func(senders int) float64 {
+		s, err := New(spec, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(func(c comm.Comm) error {
+			r := c.Rank()
+			if r == 0 {
+				reqs := make([]comm.Request, 0, senders)
+				for i := 0; i < senders; i++ {
+					req, err := c.Isend(4+i, comm.Tag(i), make([]byte, n))
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, req)
+				}
+				return comm.WaitAll(reqs...)
+			}
+			if r >= 4 && r < 4+senders {
+				buf := make([]byte, n)
+				_, err := c.Recv(0, comm.Tag(r-4), buf)
+				return err
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s.MaxTime()
+	}
+	t2 := elapsed(2)
+	t4 := elapsed(4)
+	// With 2 ports, 2 messages pipeline through sender and receiver ports
+	// in ~2nβ; 4 messages finish in ~3nβ (sender ports busy 2nβ, last
+	// message's receiver-side serialization adds one more nβ).
+	if t4 < 1.4*t2 {
+		t.Errorf("4 sends over 2 ports took %g, want >=1.4x the 2-send time %g", t4, t2)
+	}
+	if t4 > 1.9*t2 {
+		t.Errorf("4 sends over 2 ports took %g, want <1.9x the 2-send time %g (pipelining)", t4, t2)
+	}
+}
+
+// TestDeterminism runs an irregular communication pattern twice and demands
+// bit-identical timings.
+func TestDeterminism(t *testing.T) {
+	pattern := func() []float64 {
+		s, err := New(tiny(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(func(c comm.Comm) error {
+			r := c.Rank()
+			p := c.Size()
+			// Everyone exchanges with several pseudo-random peers.
+			for i := 1; i <= 3; i++ {
+				peer := (r*7 + i*5) % p
+				if peer == r {
+					continue
+				}
+				n := 100*i + r
+				sreq, err := c.Isend(peer, comm.Tag(i), make([]byte, n))
+				if err != nil {
+					return err
+				}
+				// Receive from whoever targets us with this i.
+				var from int
+				for q := 0; q < p; q++ {
+					if q != r && (q*7+i*5)%p == r {
+						from = q
+						buf := make([]byte, 100*i+q)
+						if _, err := c.Recv(from, comm.Tag(i), buf); err != nil {
+							return err
+						}
+					}
+				}
+				if err := sreq.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 16)
+		for r := range out {
+			out[r] = s.RankTime(r)
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	for r := range a {
+		if a[r] != b[r] {
+			t.Fatalf("nondeterministic: rank %d time %g vs %g", r, a[r], b[r])
+		}
+	}
+}
+
+// TestDeadlockDetection ensures a never-matched receive is diagnosed
+// rather than hanging.
+func TestDeadlockDetection(t *testing.T) {
+	s, err := New(tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]byte, 4)
+			_, err := c.Recv(1, 9, buf) // rank 1 never sends
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, comm.ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+}
+
+// TestChargeCompute verifies the γ term.
+func TestChargeCompute(t *testing.T) {
+	spec := tiny()
+	s, err := New(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(func(c comm.Comm) error {
+		c.ChargeCompute(1 << 20)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := spec.Gamma * float64(1<<20)
+	if got := s.RankTime(0); got != want {
+		t.Errorf("compute time %g, want %g", got, want)
+	}
+}
+
+// TestTruncation checks the error path for short receive buffers.
+func TestTruncation(t *testing.T) {
+	s, err := New(tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 3, make([]byte, 100))
+		}
+		buf := make([]byte, 10)
+		_, err := c.Recv(0, 3, buf)
+		if !errors.Is(err, comm.ErrTruncated) {
+			return fmt.Errorf("want ErrTruncated, got %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMessageOrdering checks per-(source, tag) FIFO delivery in virtual
+// time: two same-tag messages must arrive in send order.
+func TestMessageOrdering(t *testing.T) {
+	s, err := New(tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 3, []byte{1}); err != nil {
+				return err
+			}
+			return c.Send(1, 3, []byte{2})
+		}
+		var a, b [1]byte
+		if _, err := c.Recv(0, 3, a[:]); err != nil {
+			return err
+		}
+		if _, err := c.Recv(0, 3, b[:]); err != nil {
+			return err
+		}
+		if a[0] != 1 || b[0] != 2 {
+			return fmt.Errorf("out of order: %d, %d", a[0], b[0])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispersedPlacement verifies the placement model: under dispersed
+// placement, neighbor ranks land on different nodes.
+func TestDispersedPlacement(t *testing.T) {
+	spec := tiny().WithPlacement(machine.PlaceDispersed)
+	p := 16 // 4 nodes x 4 ppn
+	nodesSeen := map[int]bool{}
+	for r := 0; r < 4; r++ {
+		nodesSeen[spec.NodeOf(r, p)] = true
+	}
+	if len(nodesSeen) != 4 {
+		t.Errorf("dispersed placement put first 4 ranks on %d nodes, want 4", len(nodesSeen))
+	}
+	cont := tiny()
+	if cont.NodeOf(0, p) != cont.NodeOf(3, p) {
+		t.Error("contiguous placement should co-locate ranks 0..3")
+	}
+}
+
+// TestBadPeer checks peer validation through the simulator.
+func TestBadPeer(t *testing.T) {
+	s, err := New(tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(5, 0, nil); !errors.Is(err, comm.ErrRankOutOfRange) {
+				return fmt.Errorf("want ErrRankOutOfRange, got %v", err)
+			}
+			if err := c.Send(0, 0, nil); !errors.Is(err, comm.ErrSelfMessage) {
+				return fmt.Errorf("want ErrSelfMessage, got %v", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewValidation checks Sim construction errors.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(tiny(), 0); err == nil {
+		t.Error("want error for p=0")
+	}
+	spec := tiny()
+	if _, err := New(spec, spec.MaxRanks()+1); err == nil {
+		t.Error("want error for oversubscription")
+	}
+	bad := spec
+	bad.Ports = 0
+	if _, err := New(bad, 1); err == nil {
+		t.Error("want error for invalid spec")
+	}
+}

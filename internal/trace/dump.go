@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"exacoll/internal/core"
+)
+
+// DumpKnomialTree renders a k-nomial tree as indented ASCII — the textual
+// equivalent of the paper's Figs. 1 (binomial) and 2 (trinomial).
+func DumpKnomialTree(p, k int) string {
+	t := core.KnomialTree{P: p, K: k}
+	var b strings.Builder
+	fmt.Fprintf(&b, "k-nomial tree, p=%d, k=%d, depth=%d\n", p, k, t.Depth())
+	var walk func(v, indent int)
+	walk = func(v, indent int) {
+		fmt.Fprintf(&b, "%s%d\n", strings.Repeat("  ", indent), v)
+		for _, ch := range t.Children(v) {
+			walk(ch.VRank, indent+1)
+		}
+	}
+	walk(0, 0)
+	return b.String()
+}
+
+// DumpRecMulRounds renders the recursive-multiplying group structure per
+// round — the textual equivalent of Figs. 3 (recursive doubling) and 4
+// (p=9, k=3).
+func DumpRecMulRounds(p, k int) string {
+	q, factors := core.RecMulPlan(p, k)
+	var b strings.Builder
+	fmt.Fprintf(&b, "recursive multiplying, p=%d, k=%d", p, k)
+	if q != p {
+		fmt.Fprintf(&b, " (fold to p'=%d, %d ranks proxied)", q, p-q)
+	}
+	fmt.Fprintf(&b, ", %d rounds\n", len(factors))
+	w := 1
+	for i, f := range factors {
+		fmt.Fprintf(&b, "round %d (groups of %d, spacing %d):", i+1, f, w)
+		seen := make([]bool, q)
+		for s := 0; s < q; s++ {
+			if seen[s] {
+				continue
+			}
+			d := (s / w) % f
+			base := s - d*w
+			var members []string
+			for j := 0; j < f; j++ {
+				members = append(members, fmt.Sprintf("%d", base+j*w))
+				seen[base+j*w] = true
+			}
+			fmt.Fprintf(&b, " {%s}", strings.Join(members, ","))
+		}
+		fmt.Fprintln(&b)
+		w *= f
+	}
+	return b.String()
+}
+
+// DumpSchedule renders an explicit round schedule — the textual equivalent
+// of Figs. 5 (ring) and 6 (k-ring, p=6, k=3).
+func DumpSchedule(s *core.Schedule, groupSize int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule over p=%d, %d rounds, %d transfers\n",
+		s.P, s.NumRounds(), s.TotalEdges())
+	group := func(r int) int {
+		if groupSize < 1 {
+			return 0
+		}
+		return r / groupSize
+	}
+	for t, round := range s.Rounds {
+		kind := "intra"
+		if groupSize >= 1 && len(round) > 0 && group(round[0].From) != group(round[0].To) {
+			kind = "INTER"
+		}
+		fmt.Fprintf(&b, "round %2d (%s):", t+1, kind)
+		for _, e := range round {
+			fmt.Fprintf(&b, " %d->%d[b%d]", e.From, e.To, e.Block)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

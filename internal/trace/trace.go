@@ -1,0 +1,231 @@
+// Package trace records the point-to-point operations a collective issues
+// — per-rank event logs with virtual timestamps when the underlying
+// substrate tracks a clock — and renders them for inspection: Chrome
+// trace-viewer JSON, per-rank summaries, and ASCII dumps of tree and ring
+// schedules (the paper's Figs. 1–6 as text).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"exacoll/internal/comm"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds.
+const (
+	KindSend    Kind = "send"
+	KindRecv    Kind = "recv"
+	KindCompute Kind = "compute"
+)
+
+// Event is one recorded operation.
+type Event struct {
+	Rank  int
+	Kind  Kind
+	Peer  int
+	Tag   comm.Tag
+	Bytes int
+	// Time is the rank's virtual clock after the operation (0 on real
+	// transports).
+	Time float64
+	// Seq is the global record order (not meaningful across ranks on real
+	// transports; deterministic on the simulator).
+	Seq int
+}
+
+// Sink collects events from all ranks of one run.
+type Sink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{} }
+
+// record appends one event.
+func (s *Sink) record(e Event) {
+	s.mu.Lock()
+	e.Seq = len(s.events)
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in record order.
+func (s *Sink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Wrap returns a comm.Comm that records every operation of c into the
+// sink. The wrapper preserves the Clock interface if c implements it.
+func (s *Sink) Wrap(c comm.Comm) comm.Comm {
+	t := &tracedComm{inner: c, sink: s}
+	if _, ok := c.(comm.Clock); ok {
+		return &tracedClockComm{tracedComm: t}
+	}
+	return t
+}
+
+type tracedComm struct {
+	inner comm.Comm
+	sink  *Sink
+}
+
+func (t *tracedComm) now() float64 {
+	if cl, ok := t.inner.(comm.Clock); ok {
+		return cl.Now()
+	}
+	return 0
+}
+
+func (t *tracedComm) Rank() int { return t.inner.Rank() }
+func (t *tracedComm) Size() int { return t.inner.Size() }
+
+func (t *tracedComm) ChargeCompute(n int) {
+	t.inner.ChargeCompute(n)
+	t.sink.record(Event{Rank: t.Rank(), Kind: KindCompute, Peer: -1, Bytes: n, Time: t.now()})
+}
+
+func (t *tracedComm) Send(to int, tag comm.Tag, buf []byte) error {
+	err := t.inner.Send(to, tag, buf)
+	if err == nil {
+		t.sink.record(Event{Rank: t.Rank(), Kind: KindSend, Peer: to, Tag: tag, Bytes: len(buf), Time: t.now()})
+	}
+	return err
+}
+
+func (t *tracedComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	n, err := t.inner.Recv(from, tag, buf)
+	if err == nil {
+		t.sink.record(Event{Rank: t.Rank(), Kind: KindRecv, Peer: from, Tag: tag, Bytes: n, Time: t.now()})
+	}
+	return n, err
+}
+
+func (t *tracedComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	req, err := t.inner.Isend(to, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	t.sink.record(Event{Rank: t.Rank(), Kind: KindSend, Peer: to, Tag: tag, Bytes: len(buf), Time: t.now()})
+	return req, nil
+}
+
+func (t *tracedComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	req, err := t.inner.Irecv(from, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	return &tracedRecvReq{Request: req, t: t, from: from, tag: tag}, nil
+}
+
+// tracedRecvReq records the receive when it completes.
+type tracedRecvReq struct {
+	comm.Request
+	t    *tracedComm
+	from int
+	tag  comm.Tag
+	once sync.Once
+}
+
+func (r *tracedRecvReq) Wait() error {
+	err := r.Request.Wait()
+	if err == nil {
+		r.once.Do(func() {
+			r.t.sink.record(Event{Rank: r.t.Rank(), Kind: KindRecv, Peer: r.from,
+				Tag: r.tag, Bytes: r.Request.Len(), Time: r.t.now()})
+		})
+	}
+	return err
+}
+
+// tracedClockComm re-exposes the Clock interface.
+type tracedClockComm struct {
+	*tracedComm
+}
+
+// Now implements comm.Clock.
+func (t *tracedClockComm) Now() float64 { return t.now() }
+
+// Summary aggregates a sink per rank.
+type Summary struct {
+	Rank      int
+	Sends     int
+	Recvs     int
+	BytesSent int
+}
+
+// Summarize returns per-rank totals sorted by rank.
+func (s *Sink) Summarize() []Summary {
+	byRank := map[int]*Summary{}
+	for _, e := range s.Events() {
+		sum, ok := byRank[e.Rank]
+		if !ok {
+			sum = &Summary{Rank: e.Rank}
+			byRank[e.Rank] = sum
+		}
+		switch e.Kind {
+		case KindSend:
+			sum.Sends++
+			sum.BytesSent += e.Bytes
+		case KindRecv:
+			sum.Recvs++
+		}
+	}
+	out := make([]Summary, 0, len(byRank))
+	for _, sum := range byRank {
+		out = append(out, *sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// WriteChromeTrace emits the events as Chrome trace-viewer JSON (open in
+// chrome://tracing or Perfetto): instant events on one "thread" per rank,
+// timestamped with the virtual clock in microseconds.
+func (s *Sink) WriteChromeTrace(w io.Writer) error {
+	events := s.Events()
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		comma := ","
+		if i == len(events)-1 {
+			comma = ""
+		}
+		name := string(e.Kind)
+		if e.Peer >= 0 {
+			name = fmt.Sprintf("%s peer=%d tag=%d", e.Kind, e.Peer, e.Tag)
+		}
+		if _, err := fmt.Fprintf(w,
+			"  {\"name\": %q, \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f, \"args\": {\"bytes\": %d}}%s\n",
+			name, e.Rank, e.Time*1e6, e.Bytes, comma); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// FormatEvents renders events as an aligned text log.
+func FormatEvents(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		if e.Peer >= 0 {
+			fmt.Fprintf(&b, "%4d %10.3fus rank %3d %-7s peer %3d tag %6d %8dB\n",
+				e.Seq, e.Time*1e6, e.Rank, e.Kind, e.Peer, e.Tag, e.Bytes)
+		} else {
+			fmt.Fprintf(&b, "%4d %10.3fus rank %3d %-7s %26s %8dB\n",
+				e.Seq, e.Time*1e6, e.Rank, e.Kind, "", e.Bytes)
+		}
+	}
+	return b.String()
+}

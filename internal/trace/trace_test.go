@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+	"exacoll/internal/transport/mem"
+)
+
+// TestRecordBcast traces a binomial bcast on the mem transport: p-1
+// receives must be recorded and byte counts must match.
+func TestRecordBcast(t *testing.T) {
+	const p, n = 8, 256
+	sink := NewSink()
+	w := mem.NewWorld(p)
+	err := w.Run(func(c comm.Comm) error {
+		buf := make([]byte, n)
+		return core.BcastBinomial(sink.Wrap(c), buf, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends, recvs := 0, 0
+	for _, e := range sink.Events() {
+		switch e.Kind {
+		case KindSend:
+			sends++
+		case KindRecv:
+			recvs++
+		}
+		if e.Bytes != n {
+			t.Errorf("event with %d bytes, want %d", e.Bytes, n)
+		}
+	}
+	if sends != p-1 || recvs != p-1 {
+		t.Errorf("sends=%d recvs=%d, want %d each", sends, recvs, p-1)
+	}
+	sums := sink.Summarize()
+	if len(sums) == 0 || sums[0].Rank != 0 || sums[0].Sends == 0 {
+		t.Errorf("summaries = %+v", sums)
+	}
+}
+
+// TestVirtualTimestamps traces on the simulator: recv events must carry
+// increasing virtual times and the Chrome trace must be valid JSON.
+func TestVirtualTimestamps(t *testing.T) {
+	sink := NewSink()
+	sim, err := simnet.New(machine.Testbox(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sim.Run(func(c comm.Comm) error {
+		tc := sink.Wrap(c)
+		if _, ok := tc.(comm.Clock); !ok {
+			t.Error("wrapped sim comm lost the Clock interface")
+		}
+		sendbuf := datatype.EncodeFloat64([]float64{1, 2, 3})
+		recvbuf := make([]byte, len(sendbuf))
+		return core.AllreduceRecDbl(tc, sendbuf, recvbuf, datatype.Sum, datatype.Float64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTime := false
+	for _, e := range sink.Events() {
+		if e.Time > 0 {
+			sawTime = true
+		}
+	}
+	if !sawTime {
+		t.Error("no virtual timestamps recorded")
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != len(sink.Events()) {
+		t.Errorf("trace has %d events, want %d", len(parsed), len(sink.Events()))
+	}
+	if out := FormatEvents(sink.Events()); !strings.Contains(out, "rank") {
+		t.Error("FormatEvents produced no output")
+	}
+}
+
+// TestDumpTreeFigures checks the ASCII dumps reproduce the structures of
+// Figs. 1–6.
+func TestDumpTreeFigures(t *testing.T) {
+	fig2 := DumpKnomialTree(6, 3)
+	if !strings.Contains(fig2, "depth=2") {
+		t.Errorf("trinomial p=6 dump:\n%s", fig2)
+	}
+	fig4 := DumpRecMulRounds(9, 3)
+	for _, want := range []string{"2 rounds", "{0,1,2}", "{0,3,6}"} {
+		if !strings.Contains(fig4, want) {
+			t.Errorf("recmul p=9 k=3 dump missing %q:\n%s", want, fig4)
+		}
+	}
+	s, err := core.KRingSchedule(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6 := DumpSchedule(s, 3)
+	if !strings.Contains(fig6, "5 rounds") || strings.Count(fig6, "INTER") != 1 {
+		t.Errorf("k-ring p=6 k=3 dump:\n%s", fig6)
+	}
+}

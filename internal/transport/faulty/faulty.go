@@ -1,0 +1,77 @@
+// Package faulty wraps a comm.Comm with deterministic fault injection for
+// testing error propagation: after a configured number of operations, the
+// wrapped communicator starts failing every call. Collective algorithms
+// must surface the error (never hang, never return corrupted success) —
+// the property the error-path tests in internal/core assert across every
+// algorithm in the registry.
+package faulty
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"exacoll/internal/comm"
+)
+
+// ErrInjected is the failure surfaced once the budget is exhausted.
+var ErrInjected = errors.New("faulty: injected failure")
+
+// Budget is the shared countdown across all ranks of one world: each
+// counted operation decrements it, and operations after it hits zero fail.
+type Budget struct {
+	remaining atomic.Int64
+}
+
+// NewBudget allows n successful operations world-wide.
+func NewBudget(n int) *Budget {
+	b := &Budget{}
+	b.remaining.Store(int64(n))
+	return b
+}
+
+// spend returns ErrInjected when the budget is exhausted.
+func (b *Budget) spend() error {
+	if b.remaining.Add(-1) < 0 {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Wrap returns a communicator whose sends fail once the budget runs out.
+// Receives are not failed directly (a real NIC fault manifests at the
+// sender or as a missing message); the mem transport's failure handling
+// releases any receives left orphaned by failed sends.
+func Wrap(c comm.Comm, b *Budget) comm.Comm {
+	return &faultyComm{inner: c, budget: b}
+}
+
+type faultyComm struct {
+	inner  comm.Comm
+	budget *Budget
+}
+
+func (f *faultyComm) Rank() int           { return f.inner.Rank() }
+func (f *faultyComm) Size() int           { return f.inner.Size() }
+func (f *faultyComm) ChargeCompute(n int) { f.inner.ChargeCompute(n) }
+
+func (f *faultyComm) Send(to int, tag comm.Tag, buf []byte) error {
+	if err := f.budget.spend(); err != nil {
+		return err
+	}
+	return f.inner.Send(to, tag, buf)
+}
+
+func (f *faultyComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	if err := f.budget.spend(); err != nil {
+		return nil, err
+	}
+	return f.inner.Isend(to, tag, buf)
+}
+
+func (f *faultyComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	return f.inner.Recv(from, tag, buf)
+}
+
+func (f *faultyComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	return f.inner.Irecv(from, tag, buf)
+}

@@ -1,0 +1,251 @@
+// Package mem provides an in-process implementation of comm.Comm: every
+// rank is a goroutine inside one OS process, and messages travel through a
+// matching engine with MPI point-to-point semantics — exact (source, tag)
+// matching, FIFO ordering per (source, tag) pair, eager buffering, and an
+// unexpected-message queue.
+//
+// This substrate provides real parallelism and real data movement, so it is
+// the primary vehicle for correctness tests, property tests, and wall-clock
+// testing.B benchmarks.
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"exacoll/internal/comm"
+)
+
+// matchKey identifies a message stream: exact source rank and tag.
+type matchKey struct {
+	src int
+	tag comm.Tag
+}
+
+// message is an eagerly-buffered in-flight message.
+type message struct {
+	payload []byte // owned copy
+}
+
+// postedRecv is a receive waiting for its match.
+type postedRecv struct {
+	buf  []byte
+	done chan struct{}
+	n    int
+	err  error
+}
+
+// endpoint holds one rank's incoming-message state.
+type endpoint struct {
+	mu         sync.Mutex
+	unexpected map[matchKey][]*message
+	posted     map[matchKey][]*postedRecv
+	closed     bool
+}
+
+func newEndpoint() *endpoint {
+	return &endpoint{
+		unexpected: make(map[matchKey][]*message),
+		posted:     make(map[matchKey][]*postedRecv),
+	}
+}
+
+// deliver hands a message to this endpoint: completes the oldest posted
+// receive for the key if one exists, otherwise queues the message.
+func (e *endpoint) deliver(key matchKey, payload []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return comm.ErrClosed
+	}
+	if prs := e.posted[key]; len(prs) > 0 {
+		pr := prs[0]
+		if len(prs) == 1 {
+			delete(e.posted, key)
+		} else {
+			e.posted[key] = prs[1:]
+		}
+		pr.complete(payload)
+		return nil
+	}
+	e.unexpected[key] = append(e.unexpected[key], &message{payload: payload})
+	return nil
+}
+
+// complete finishes a posted receive with the given payload.
+func (pr *postedRecv) complete(payload []byte) {
+	if len(payload) > len(pr.buf) {
+		pr.err = fmt.Errorf("%w: have %d bytes, message is %d",
+			comm.ErrTruncated, len(pr.buf), len(payload))
+	} else {
+		copy(pr.buf, payload)
+		pr.n = len(payload)
+	}
+	close(pr.done)
+}
+
+// post registers a receive, matching an already-queued message if present.
+func (e *endpoint) post(key matchKey, buf []byte) (*postedRecv, error) {
+	pr := &postedRecv{buf: buf, done: make(chan struct{})}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, comm.ErrClosed
+	}
+	if msgs := e.unexpected[key]; len(msgs) > 0 {
+		m := msgs[0]
+		if len(msgs) == 1 {
+			delete(e.unexpected, key)
+		} else {
+			e.unexpected[key] = msgs[1:]
+		}
+		pr.complete(m.payload)
+		return pr, nil
+	}
+	e.posted[key] = append(e.posted[key], pr)
+	return pr, nil
+}
+
+// World is a set of p endpoints sharing an address space.
+type World struct {
+	endpoints []*endpoint
+}
+
+// NewWorld creates a world with p ranks. p must be >= 1.
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic("mem: world size must be >= 1")
+	}
+	w := &World{endpoints: make([]*endpoint, p)}
+	for i := range w.endpoints {
+		w.endpoints[i] = newEndpoint()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return len(w.endpoints) }
+
+// Comm returns rank r's communicator handle. Each rank must drive its own
+// handle from a single goroutine (MPI semantics); distinct ranks may run
+// concurrently.
+func (w *World) Comm(rank int) comm.Comm {
+	if rank < 0 || rank >= len(w.endpoints) {
+		panic(fmt.Sprintf("mem: rank %d out of range [0,%d)", rank, len(w.endpoints)))
+	}
+	return &memComm{world: w, rank: rank}
+}
+
+// Close shuts the world down; subsequent operations return ErrClosed and
+// blocked receives are released with ErrClosed.
+func (w *World) Close() {
+	for _, e := range w.endpoints {
+		e.mu.Lock()
+		e.closed = true
+		for key, prs := range e.posted {
+			for _, pr := range prs {
+				pr.err = comm.ErrClosed
+				close(pr.done)
+			}
+			delete(e.posted, key)
+		}
+		e.mu.Unlock()
+	}
+}
+
+// Run executes fn once per rank, each on its own goroutine, and returns the
+// first non-nil error (all goroutines are joined first). If any rank fails,
+// the world is closed so peers blocked on receives from the failed rank are
+// released with ErrClosed instead of hanging (the moral equivalent of
+// MPI_Abort).
+func (w *World) Run(fn func(c comm.Comm) error) error {
+	errs := make([]error, w.Size())
+	var wg sync.WaitGroup
+	for r := 0; r < w.Size(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(w.Comm(r))
+			if errs[r] != nil {
+				w.Close()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// memComm is one rank's view of a World.
+type memComm struct {
+	world *World
+	rank  int
+}
+
+func (c *memComm) Rank() int         { return c.rank }
+func (c *memComm) Size() int         { return c.world.Size() }
+func (c *memComm) ChargeCompute(int) {}
+
+func (c *memComm) Send(to int, tag comm.Tag, buf []byte) error {
+	if err := comm.CheckPeer(c.rank, to, c.Size()); err != nil {
+		return err
+	}
+	payload := make([]byte, len(buf))
+	copy(payload, buf)
+	return c.world.endpoints[to].deliver(matchKey{src: c.rank, tag: tag}, payload)
+}
+
+func (c *memComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	req, err := c.Irecv(from, tag, buf)
+	if err != nil {
+		return 0, err
+	}
+	if err := req.Wait(); err != nil {
+		return 0, err
+	}
+	return req.Len(), nil
+}
+
+// sentRequest is an immediately-complete send request (eager semantics).
+type sentRequest struct {
+	n   int
+	err error
+}
+
+func (r *sentRequest) Wait() error { return r.err }
+func (r *sentRequest) Len() int    { return r.n }
+
+func (c *memComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	err := c.Send(to, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	return &sentRequest{n: len(buf)}, nil
+}
+
+// recvRequest wraps a postedRecv as a comm.Request.
+type recvRequest struct {
+	pr *postedRecv
+}
+
+func (r *recvRequest) Wait() error {
+	<-r.pr.done
+	return r.pr.err
+}
+
+func (r *recvRequest) Len() int { return r.pr.n }
+
+func (c *memComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	if err := comm.CheckPeer(c.rank, from, c.Size()); err != nil {
+		return nil, err
+	}
+	pr, err := c.world.endpoints[c.rank].post(matchKey{src: from, tag: tag}, buf)
+	if err != nil {
+		return nil, err
+	}
+	return &recvRequest{pr: pr}, nil
+}

@@ -1,0 +1,152 @@
+package tcp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+// TestRegistrySoakOverTCP runs one of every registered collective
+// back-to-back across real sockets — the full registry exercised on the
+// third substrate. p=5 covers the non-power-of-two fold paths.
+func TestRegistrySoakOverTCP(t *testing.T) {
+	const p = 5
+	const n = 128
+	world(t, p, func(c comm.Comm) error {
+		for _, alg := range core.Algorithms(-1) {
+			if alg.Pow2Only {
+				continue
+			}
+			k := 3
+			if !alg.Generalized {
+				k = 0
+			}
+			if err := runVerified(c, alg, n, 1, k); err != nil {
+				return fmt.Errorf("%s: %w", alg.Name, err)
+			}
+		}
+		return nil
+	})
+}
+
+// runVerified executes and checks one collective on a live communicator.
+func runVerified(c comm.Comm, alg *core.Algorithm, n, root, k int) error {
+	p := c.Size()
+	me := c.Rank()
+	pattern := func(seed int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte((seed*89 + i*17 + 7) % 251)
+		}
+		return b
+	}
+	vector := func(r int) []float64 {
+		v := make([]float64, n/8)
+		for i := range v {
+			v[i] = float64((r + 2) * (i + 1))
+		}
+		return v
+	}
+	sum := make([]float64, n/8)
+	for r := 0; r < p; r++ {
+		for i, x := range vector(r) {
+			sum[i] += x
+		}
+	}
+
+	a := core.Args{Op: datatype.Sum, Type: datatype.Float64, Root: root, K: k}
+	switch alg.Op {
+	case core.OpBcast:
+		a.SendBuf = make([]byte, n)
+		if me == root {
+			copy(a.SendBuf, pattern(root))
+		}
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		if !bytes.Equal(a.SendBuf, pattern(root)) {
+			return fmt.Errorf("bcast mismatch")
+		}
+	case core.OpReduce, core.OpAllreduce:
+		a.SendBuf = datatype.EncodeFloat64(vector(me))
+		a.RecvBuf = make([]byte, n)
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		if alg.Op == core.OpAllreduce || me == root {
+			if !bytes.Equal(a.RecvBuf, datatype.EncodeFloat64(sum)) {
+				return fmt.Errorf("reduction mismatch")
+			}
+		}
+	case core.OpGather, core.OpAllgather:
+		a.SendBuf = pattern(me)
+		a.RecvBuf = make([]byte, n*p)
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		if alg.Op == core.OpAllgather || me == root {
+			for r := 0; r < p; r++ {
+				if !bytes.Equal(a.RecvBuf[r*n:(r+1)*n], pattern(r)) {
+					return fmt.Errorf("block %d mismatch", r)
+				}
+			}
+		}
+	case core.OpScatter:
+		if me == root {
+			for r := 0; r < p; r++ {
+				a.SendBuf = append(a.SendBuf, pattern(r)...)
+			}
+		}
+		a.RecvBuf = make([]byte, n)
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		if !bytes.Equal(a.RecvBuf, pattern(me)) {
+			return fmt.Errorf("scatter mismatch")
+		}
+	case core.OpReduceScatter:
+		a.SendBuf = datatype.EncodeFloat64(vector(me))
+		off, sz := core.FairLayoutAligned(n, p, 8)(me)
+		a.RecvBuf = make([]byte, sz)
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		want := datatype.EncodeFloat64(sum)[off : off+sz]
+		if !bytes.Equal(a.RecvBuf, want) {
+			return fmt.Errorf("reduce-scatter mismatch")
+		}
+	case core.OpScan:
+		a.SendBuf = datatype.EncodeFloat64(vector(me))
+		a.RecvBuf = make([]byte, n)
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		pref := make([]float64, n/8)
+		for r := 0; r <= me; r++ {
+			for i, x := range vector(r) {
+				pref[i] += x
+			}
+		}
+		if !bytes.Equal(a.RecvBuf, datatype.EncodeFloat64(pref)) {
+			return fmt.Errorf("scan mismatch")
+		}
+	case core.OpAlltoall:
+		for dst := 0; dst < p; dst++ {
+			a.SendBuf = append(a.SendBuf, pattern(me*100+dst)...)
+		}
+		a.RecvBuf = make([]byte, n*p)
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		for src := 0; src < p; src++ {
+			if !bytes.Equal(a.RecvBuf[src*n:(src+1)*n], pattern(src*100+me)) {
+				return fmt.Errorf("alltoall block %d mismatch", src)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,504 @@
+// Package tcp implements comm.Comm across OS processes connected by TCP —
+// the multi-process substrate behind cmd/gcarun. Rank 0 listens; every
+// other rank dials it, learns the full address list, then the ranks build
+// a full mesh (rank i dials rank j for i > j). Messages are framed as
+// (src, tag, length, payload) and demultiplexed into the same
+// (source, tag) FIFO matching engine semantics as the in-memory transport.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"exacoll/internal/comm"
+)
+
+// frame header: src(4) tag(4) len(4).
+const headerSize = 12
+
+// wire protocol version for the rendezvous handshake.
+const protoVersion = 1
+
+// Options configures Dial/Listen.
+type Options struct {
+	// Timeout bounds the whole rendezvous (default 30s).
+	Timeout time.Duration
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout == 0 {
+		return 30 * time.Second
+	}
+	return o.Timeout
+}
+
+// Proc is one rank's endpoint in a TCP world. It implements comm.Comm.
+type Proc struct {
+	rank  int
+	size  int
+	conns []net.Conn // conns[peer], nil at self
+
+	engine *engine
+
+	sendMu []sync.Mutex // per-peer write locks
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Rendezvous establishes the world. Rank 0 must call with listenAddr
+// (e.g. "127.0.0.1:7777"); other ranks pass the same address they dial.
+// Every rank must know p and its own rank (as mpirun would provide).
+func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
+	if p < 1 || rank < 0 || rank >= p {
+		return nil, fmt.Errorf("tcp: bad rank/size %d/%d", rank, p)
+	}
+	proc := &Proc{
+		rank:   rank,
+		size:   p,
+		conns:  make([]net.Conn, p),
+		engine: newEngine(p),
+		sendMu: make([]sync.Mutex, p),
+	}
+	if p == 1 {
+		return proc, nil
+	}
+	deadline := time.Now().Add(opts.timeout())
+	if rank == 0 {
+		if err := proc.coordinate(addr, deadline); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := proc.join(addr, deadline); err != nil {
+			return nil, err
+		}
+	}
+	for peer, conn := range proc.conns {
+		if conn != nil {
+			go proc.readLoop(peer, conn)
+		}
+	}
+	return proc, nil
+}
+
+// coordinate is rank 0's rendezvous: accept p-1 joiners, collect each
+// rank's own mesh listener address, broadcast the address list.
+func (p *Proc) coordinate(addr string, deadline time.Time) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("tcp: listen: %w", err)
+	}
+	defer ln.Close()
+	type joiner struct {
+		conn net.Conn
+		addr string
+	}
+	joiners := make(map[int]joiner)
+	for len(joiners) < p.size-1 {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: accept: %w", err)
+		}
+		var hello [12]byte
+		conn.SetDeadline(deadline)
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			conn.Close()
+			return fmt.Errorf("tcp: hello: %w", err)
+		}
+		ver := int(binary.LittleEndian.Uint32(hello[0:]))
+		r := int(binary.LittleEndian.Uint32(hello[4:]))
+		alen := int(binary.LittleEndian.Uint32(hello[8:]))
+		if ver != protoVersion || r < 1 || r >= p.size || alen > 256 {
+			conn.Close()
+			return fmt.Errorf("tcp: bad hello from rank %d (ver %d)", r, ver)
+		}
+		ab := make([]byte, alen)
+		if _, err := io.ReadFull(conn, ab); err != nil {
+			conn.Close()
+			return fmt.Errorf("tcp: hello addr: %w", err)
+		}
+		if _, dup := joiners[r]; dup {
+			conn.Close()
+			return fmt.Errorf("tcp: duplicate rank %d", r)
+		}
+		joiners[r] = joiner{conn: conn, addr: string(ab)}
+	}
+	// Broadcast the mesh address list (ranks 1..p-1).
+	var list []byte
+	for r := 1; r < p.size; r++ {
+		a := joiners[r].addr
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(a)))
+		list = append(list, l[:]...)
+		list = append(list, a...)
+	}
+	for r := 1; r < p.size; r++ {
+		conn := joiners[r].conn
+		if _, err := conn.Write(list); err != nil {
+			return fmt.Errorf("tcp: address list to %d: %w", r, err)
+		}
+		conn.SetDeadline(time.Time{})
+		p.conns[r] = conn
+	}
+	return nil
+}
+
+// join is a non-zero rank's rendezvous: open a mesh listener, dial rank 0,
+// send (version, rank, mesh address), receive the address list, then dial
+// every lower-ranked peer and accept every higher-ranked one.
+func (p *Proc) join(addr string, deadline time.Time) error {
+	mesh, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("tcp: mesh listen: %w", err)
+	}
+	defer mesh.Close()
+
+	var conn0 net.Conn
+	for {
+		conn0, err = net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tcp: dial rank 0: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	conn0.SetDeadline(deadline)
+	meshAddr := mesh.Addr().String()
+	hello := make([]byte, 12+len(meshAddr))
+	binary.LittleEndian.PutUint32(hello[0:], protoVersion)
+	binary.LittleEndian.PutUint32(hello[4:], uint32(p.rank))
+	binary.LittleEndian.PutUint32(hello[8:], uint32(len(meshAddr)))
+	copy(hello[12:], meshAddr)
+	if _, err := conn0.Write(hello); err != nil {
+		return fmt.Errorf("tcp: hello: %w", err)
+	}
+	addrs := make([]string, p.size) // addrs[0] unused
+	for r := 1; r < p.size; r++ {
+		var l [4]byte
+		if _, err := io.ReadFull(conn0, l[:]); err != nil {
+			return fmt.Errorf("tcp: address list: %w", err)
+		}
+		ab := make([]byte, binary.LittleEndian.Uint32(l[:]))
+		if _, err := io.ReadFull(conn0, ab); err != nil {
+			return fmt.Errorf("tcp: address list: %w", err)
+		}
+		addrs[r] = string(ab)
+	}
+	conn0.SetDeadline(time.Time{})
+	p.conns[0] = conn0
+
+	// Mesh: dial lower ranks (1..rank-1), accept higher ranks. Each mesh
+	// connection starts with the dialer's rank (4 bytes).
+	var wg sync.WaitGroup
+	var acceptErr error
+	higher := p.size - 1 - p.rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < higher; i++ {
+			if tl, ok := mesh.(*net.TCPListener); ok {
+				tl.SetDeadline(deadline)
+			}
+			conn, err := mesh.Accept()
+			if err != nil {
+				acceptErr = err
+				return
+			}
+			var rb [4]byte
+			conn.SetDeadline(deadline)
+			if _, err := io.ReadFull(conn, rb[:]); err != nil {
+				acceptErr = err
+				conn.Close()
+				return
+			}
+			r := int(binary.LittleEndian.Uint32(rb[:]))
+			if r <= p.rank || r >= p.size || p.conns[r] != nil {
+				acceptErr = fmt.Errorf("tcp: bad mesh dialer rank %d", r)
+				conn.Close()
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			p.conns[r] = conn
+		}
+	}()
+	for r := 1; r < p.rank; r++ {
+		conn, err := net.DialTimeout("tcp", addrs[r], time.Until(deadline))
+		if err != nil {
+			return fmt.Errorf("tcp: mesh dial %d: %w", r, err)
+		}
+		var rb [4]byte
+		binary.LittleEndian.PutUint32(rb[:], uint32(p.rank))
+		if _, err := conn.Write(rb[:]); err != nil {
+			return fmt.Errorf("tcp: mesh hello to %d: %w", r, err)
+		}
+		p.conns[r] = conn
+	}
+	wg.Wait()
+	if acceptErr != nil {
+		return fmt.Errorf("tcp: mesh accept: %w", acceptErr)
+	}
+	return nil
+}
+
+// readLoop demultiplexes inbound frames from one peer into the matching
+// engine.
+func (p *Proc) readLoop(peer int, conn net.Conn) {
+	for {
+		var hdr [headerSize]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			p.engine.failPeer(peer, err)
+			return
+		}
+		src := int(binary.LittleEndian.Uint32(hdr[0:]))
+		tag := comm.Tag(binary.LittleEndian.Uint32(hdr[4:]))
+		n := int(binary.LittleEndian.Uint32(hdr[8:]))
+		if src != peer || n < 0 || n > 1<<30 {
+			p.engine.failPeer(peer, fmt.Errorf("tcp: bad frame from %d (src %d, len %d)", peer, src, n))
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			p.engine.failPeer(peer, fmt.Errorf("tcp: read payload from %d: %w", peer, err))
+			return
+		}
+		p.engine.deliver(src, tag, payload)
+	}
+}
+
+// Rank implements comm.Comm.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size implements comm.Comm.
+func (p *Proc) Size() int { return p.size }
+
+// ChargeCompute implements comm.Comm (no-op on a real transport).
+func (p *Proc) ChargeCompute(int) {}
+
+// Send implements comm.Comm.
+func (p *Proc) Send(to int, tag comm.Tag, buf []byte) error {
+	if err := comm.CheckPeer(p.rank, to, p.size); err != nil {
+		return err
+	}
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(p.rank))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(buf)))
+	p.sendMu[to].Lock()
+	defer p.sendMu[to].Unlock()
+	conn := p.conns[to]
+	if conn == nil {
+		return comm.ErrClosed
+	}
+	if _, err := conn.Write(hdr); err != nil {
+		return fmt.Errorf("tcp: send header to %d: %w", to, err)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("tcp: send payload to %d: %w", to, err)
+	}
+	return nil
+}
+
+// sendReq is an eagerly-completed send request: Send returns once the
+// frame is written to the socket (the kernel buffers it), matching the
+// eager-send semantics of the other transports.
+type sendReq struct {
+	n   int
+	err error
+}
+
+func (r *sendReq) Wait() error { return r.err }
+func (r *sendReq) Len() int    { return r.n }
+
+// Isend implements comm.Comm. The write happens synchronously (kernel
+// socket buffers provide the eager behaviour), so the returned request is
+// already complete.
+func (p *Proc) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	if err := p.Send(to, tag, buf); err != nil {
+		return nil, err
+	}
+	return &sendReq{n: len(buf)}, nil
+}
+
+// Irecv implements comm.Comm.
+func (p *Proc) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	if err := comm.CheckPeer(p.rank, from, p.size); err != nil {
+		return nil, err
+	}
+	return p.engine.post(from, tag, buf)
+}
+
+// Recv implements comm.Comm.
+func (p *Proc) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	req, err := p.Irecv(from, tag, buf)
+	if err != nil {
+		return 0, err
+	}
+	if err := req.Wait(); err != nil {
+		return 0, err
+	}
+	return req.Len(), nil
+}
+
+// Close tears down all connections.
+func (p *Proc) Close() error {
+	p.closeOnce.Do(func() {
+		for _, c := range p.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		p.engine.fail(comm.ErrClosed)
+	})
+	return p.closeErr
+}
+
+// engine is the (source, tag) FIFO matching engine shared with the mem
+// transport's semantics. Failures are tracked per peer so one peer's
+// orderly shutdown does not poison receives still pending from others.
+type engine struct {
+	mu         sync.Mutex
+	unexpected map[engineKey][][]byte
+	posted     map[engineKey][]*tcpRecv
+	peerErr    map[int]error
+	closed     error
+}
+
+type engineKey struct {
+	src int
+	tag comm.Tag
+}
+
+type tcpRecv struct {
+	buf  []byte
+	done chan struct{}
+	n    int
+	err  error
+}
+
+func (r *tcpRecv) Wait() error {
+	<-r.done
+	return r.err
+}
+
+func (r *tcpRecv) Len() int { return r.n }
+
+func newEngine(p int) *engine {
+	return &engine{
+		unexpected: make(map[engineKey][][]byte),
+		posted:     make(map[engineKey][]*tcpRecv),
+		peerErr:    make(map[int]error),
+	}
+}
+
+func (e *engine) deliver(src int, tag comm.Tag, payload []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil || e.peerErr[src] != nil {
+		return
+	}
+	key := engineKey{src, tag}
+	if prs := e.posted[key]; len(prs) > 0 {
+		pr := prs[0]
+		if len(prs) == 1 {
+			delete(e.posted, key)
+		} else {
+			e.posted[key] = prs[1:]
+		}
+		pr.complete(payload)
+		return
+	}
+	e.unexpected[key] = append(e.unexpected[key], payload)
+}
+
+func (pr *tcpRecv) complete(payload []byte) {
+	if len(payload) > len(pr.buf) {
+		pr.err = fmt.Errorf("%w: have %d bytes, message is %d",
+			comm.ErrTruncated, len(pr.buf), len(payload))
+	} else {
+		copy(pr.buf, payload)
+		pr.n = len(payload)
+	}
+	close(pr.done)
+}
+
+func (e *engine) post(src int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil {
+		return nil, e.closed
+	}
+	pr := &tcpRecv{buf: buf, done: make(chan struct{})}
+	key := engineKey{src, tag}
+	// Already-buffered messages are deliverable even if the peer has since
+	// disconnected (TCP flushed them before the close).
+	if msgs := e.unexpected[key]; len(msgs) > 0 {
+		m := msgs[0]
+		if len(msgs) == 1 {
+			delete(e.unexpected, key)
+		} else {
+			e.unexpected[key] = msgs[1:]
+		}
+		pr.complete(m)
+		return pr, nil
+	}
+	if err := e.peerErr[src]; err != nil {
+		return nil, err
+	}
+	e.posted[key] = append(e.posted[key], pr)
+	return pr, nil
+}
+
+// failPeer marks one peer dead: receives pending on that peer error out,
+// and future posts for it fail, but traffic with other peers continues.
+func (e *engine) failPeer(peer int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil || e.peerErr[peer] != nil {
+		return
+	}
+	if errors.Is(err, io.EOF) {
+		err = comm.ErrClosed
+	}
+	e.peerErr[peer] = err
+	for key, prs := range e.posted {
+		if key.src != peer {
+			continue
+		}
+		for _, pr := range prs {
+			pr.err = err
+			close(pr.done)
+		}
+		delete(e.posted, key)
+	}
+}
+
+// fail poisons the whole engine (local Close): all pending and future
+// receives error.
+func (e *engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil {
+		return
+	}
+	if errors.Is(err, io.EOF) {
+		err = comm.ErrClosed
+	}
+	e.closed = err
+	for key, prs := range e.posted {
+		for _, pr := range prs {
+			pr.err = err
+			close(pr.done)
+		}
+		delete(e.posted, key)
+	}
+}

@@ -1,0 +1,304 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+// freeAddr reserves a loopback port for rank 0's rendezvous listener.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// world spins up p ranks (goroutines in this process, each with its own
+// Proc over real sockets) and runs fn on each.
+func world(t *testing.T, p int, fn func(c comm.Comm) error) {
+	t.Helper()
+	addr := freeAddr(t)
+	errs := make([]error, p)
+	procs := make([]*Proc, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			proc, err := Rendezvous(r, p, addr, Options{Timeout: 10 * time.Second})
+			if err != nil {
+				errs[r] = fmt.Errorf("rendezvous: %w", err)
+				return
+			}
+			procs[r] = proc
+			errs[r] = fn(proc)
+		}(r)
+	}
+	wg.Wait()
+	for _, proc := range procs {
+		if proc != nil {
+			proc.Close()
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestPingPong checks framing and matching over real sockets.
+func TestPingPong(t *testing.T) {
+	msg := []byte("over the wire")
+	world(t, 2, func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 42, msg); err != nil {
+				return err
+			}
+			buf := make([]byte, 64)
+			n, err := c.Recv(1, 43, buf)
+			if err != nil {
+				return err
+			}
+			if string(buf[:n]) != "pong" {
+				return fmt.Errorf("got %q", buf[:n])
+			}
+			return nil
+		}
+		buf := make([]byte, len(msg))
+		if _, err := c.Recv(0, 42, buf); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, msg) {
+			return fmt.Errorf("got %q", buf)
+		}
+		return c.Send(0, 43, []byte("pong"))
+	})
+}
+
+// TestMeshAllToAll exercises every connection in a 5-rank mesh.
+func TestMeshAllToAll(t *testing.T) {
+	const p = 5
+	world(t, p, func(c comm.Comm) error {
+		r := c.Rank()
+		reqs := make([]comm.Request, 0, 2*(p-1))
+		inbox := make([][]byte, p)
+		for q := 0; q < p; q++ {
+			if q == r {
+				continue
+			}
+			inbox[q] = make([]byte, 8)
+			req, err := c.Irecv(q, 7, inbox[q])
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for q := 0; q < p; q++ {
+			if q == r {
+				continue
+			}
+			msg := []byte(fmt.Sprintf("from %03d", r))
+			req, err := c.Isend(q, 7, msg)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := comm.WaitAll(reqs...); err != nil {
+			return err
+		}
+		for q := 0; q < p; q++ {
+			if q == r {
+				continue
+			}
+			if want := fmt.Sprintf("from %03d", q); string(inbox[q]) != want {
+				return fmt.Errorf("from %d: got %q want %q", q, inbox[q], want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestFIFOOrdering checks per-(source, tag) ordering over TCP.
+func TestFIFOOrdering(t *testing.T) {
+	world(t, 2, func(c comm.Comm) error {
+		const k = 50
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				if err := c.Send(1, 9, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			var b [1]byte
+			if _, err := c.Recv(0, 9, b[:]); err != nil {
+				return err
+			}
+			if int(b[0]) != i {
+				return fmt.Errorf("message %d arrived out of order (got %d)", i, b[0])
+			}
+		}
+		return nil
+	})
+}
+
+// TestCollectivesOverTCP runs real collective algorithms across the TCP
+// substrate — allreduce, bcast and allgather with generalized radices.
+func TestCollectivesOverTCP(t *testing.T) {
+	const p = 6
+	world(t, p, func(c comm.Comm) error {
+		// Allreduce (recursive multiplying, k=3).
+		vals := []float64{float64(c.Rank() + 1), 10}
+		sendbuf := datatype.EncodeFloat64(vals)
+		recvbuf := make([]byte, len(sendbuf))
+		if err := core.AllreduceRecMul(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, 3); err != nil {
+			return fmt.Errorf("allreduce: %w", err)
+		}
+		got := datatype.DecodeFloat64(recvbuf)
+		if got[0] != 21 || got[1] != 60 {
+			return fmt.Errorf("allreduce = %v", got)
+		}
+		// Bcast (k-nomial, k=3, root 2).
+		buf := make([]byte, 100)
+		if c.Rank() == 2 {
+			for i := range buf {
+				buf[i] = byte(i * 3)
+			}
+		}
+		if err := core.BcastKnomial(c, buf, 2, 3); err != nil {
+			return fmt.Errorf("bcast: %w", err)
+		}
+		for i := range buf {
+			if buf[i] != byte(i*3) {
+				return fmt.Errorf("bcast byte %d = %d", i, buf[i])
+			}
+		}
+		// Allgather (k-ring, k=2).
+		mine := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+		all := make([]byte, 2*p)
+		if err := core.AllgatherKRing(c, mine, all, 2); err != nil {
+			return fmt.Errorf("allgather: %w", err)
+		}
+		for r := 0; r < p; r++ {
+			if all[2*r] != byte(r) || all[2*r+1] != byte(r*2) {
+				return fmt.Errorf("allgather block %d = %v", r, all[2*r:2*r+2])
+			}
+		}
+		return nil
+	})
+}
+
+// TestLargePayload pushes a multi-megabyte frame through.
+func TestLargePayload(t *testing.T) {
+	n := 4 << 20
+	world(t, 2, func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte(i * 31)
+			}
+			return c.Send(1, 1, buf)
+		}
+		buf := make([]byte, n)
+		got, err := c.Recv(0, 1, buf)
+		if err != nil {
+			return err
+		}
+		if got != n {
+			return fmt.Errorf("len %d", got)
+		}
+		for i := 0; i < n; i += 9973 {
+			if buf[i] != byte(i*31) {
+				return fmt.Errorf("byte %d corrupt", i)
+			}
+		}
+		return nil
+	})
+}
+
+// TestTruncationTCP checks the short-buffer error path.
+func TestTruncationTCP(t *testing.T) {
+	world(t, 2, func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, make([]byte, 100))
+		}
+		_, err := c.Recv(0, 5, make([]byte, 10))
+		if !errors.Is(err, comm.ErrTruncated) {
+			return fmt.Errorf("want ErrTruncated, got %v", err)
+		}
+		return nil
+	})
+}
+
+// TestClosePoisonsReceives checks that Close releases blocked receivers.
+func TestClosePoisonsReceives(t *testing.T) {
+	addr := freeAddr(t)
+	var procs [2]*Proc
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			proc, err := Rendezvous(r, 2, addr, Options{Timeout: 5 * time.Second})
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			procs[r] = proc
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := procs[0].Recv(1, 77, buf)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	procs[0].Close()
+	procs[1].Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("blocked recv returned nil after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked recv not released by Close")
+	}
+}
+
+// TestRendezvousValidation covers bad geometry.
+func TestRendezvousValidation(t *testing.T) {
+	if _, err := Rendezvous(-1, 2, "127.0.0.1:1", Options{}); err == nil {
+		t.Error("want error for negative rank")
+	}
+	if _, err := Rendezvous(2, 2, "127.0.0.1:1", Options{}); err == nil {
+		t.Error("want error for rank >= p")
+	}
+	p, err := Rendezvous(0, 1, "", Options{})
+	if err != nil {
+		t.Fatalf("singleton world: %v", err)
+	}
+	if p.Size() != 1 || p.Rank() != 0 {
+		t.Errorf("singleton geometry %d/%d", p.Rank(), p.Size())
+	}
+}

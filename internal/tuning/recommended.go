@@ -1,0 +1,101 @@
+package tuning
+
+import (
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+)
+
+// Recommended builds the selection configuration encoding the paper's
+// empirical guidelines (§VI-F/G) for a machine, without running the
+// autotuner:
+//
+//   - k-nomial for rooted, latency-bound collectives, with a large radix
+//     for tiny messages (message buffering dominates) shrinking as the
+//     message grows, upper-bounded well below p at scale (Fig. 10a);
+//   - recursive multiplying with k = the NIC port count (or a small
+//     multiple) for allreduce/allgather across sizes (Fig. 8b);
+//   - k-ring with k = PPN for large-message bcast/allgather when several
+//     ranks share a node with fast intranode links (Fig. 8c);
+//   - classic bandwidth algorithms (ring, reduce-scatter-allgather) where
+//     the paper found generalization does not pay.
+//
+// cmd/gcatune generates the measured equivalent with the autotuner; this
+// function is the "turnkey" default a user gets without tuning.
+func Recommended(spec machine.Spec, p int) *Table {
+	ports := spec.Ports
+	if ports < 2 {
+		ports = 2
+	}
+	ppn := spec.PPN
+
+	kSmall := p // tiny messages: radix at or near p...
+	if kSmall > 128 {
+		kSmall = 128 // ...but bounded at scale (Fig. 10a)
+	}
+	if kSmall < 2 {
+		kSmall = 2
+	}
+	kMid := 4 * ports
+	if kMid > p {
+		kMid = maxIntT(2, p)
+	}
+
+	t := &Table{Machine: spec.Name, P: p, PPN: ppn, Ops: map[string][]Entry{}}
+
+	t.Ops[core.OpReduce.String()] = []Entry{
+		{MaxBytes: 4 << 10, Alg: "reduce_knomial", K: kSmall},
+		{MaxBytes: 256 << 10, Alg: "reduce_knomial", K: kMid},
+		{Alg: "reduce_knomial", K: 2},
+	}
+	t.Ops[core.OpGather.String()] = []Entry{
+		{MaxBytes: 4 << 10, Alg: "gather_knomial", K: kMid},
+		{Alg: "gather_binomial"},
+	}
+	t.Ops[core.OpScatter.String()] = []Entry{
+		{MaxBytes: 4 << 10, Alg: "scatter_knomial", K: kMid},
+		{Alg: "scatter_binomial"},
+	}
+
+	bcast := []Entry{
+		{MaxBytes: 16 << 10, Alg: "bcast_knomial", K: kSmall},
+		{MaxBytes: 256 << 10, Alg: "bcast_recmul", K: ports},
+	}
+	if ppn > 1 {
+		bcast = append(bcast, Entry{Alg: "bcast_kring", K: ppn})
+	} else {
+		bcast = append(bcast, Entry{Alg: "bcast_recmul", K: 4 * ports})
+	}
+	t.Ops[core.OpBcast.String()] = bcast
+
+	t.Ops[core.OpAllgather.String()] = []Entry{
+		{MaxBytes: 512 << 10, Alg: "allgather_recmul", K: ports},
+		{Alg: "allgather_ring"},
+	}
+	t.Ops[core.OpAllreduce.String()] = []Entry{
+		{MaxBytes: 1 << 20, Alg: "allreduce_recmul", K: ports},
+		{Alg: "allreduce_rabenseifner"},
+	}
+	rs := []Entry{{Alg: "reducescatter_ring"}}
+	if ppn > 1 {
+		rs = []Entry{
+			{MaxBytes: 64 << 10, Alg: "reducescatter_ring"},
+			{Alg: "reducescatter_kring", K: ppn},
+		}
+	}
+	t.Ops[core.OpReduceScatter.String()] = rs
+	t.Ops[core.OpAlltoall.String()] = []Entry{
+		{MaxBytes: 1 << 10, Alg: "alltoall_bruck"},
+		{Alg: "alltoall_pairwise"},
+	}
+	t.Ops[core.OpScan.String()] = []Entry{
+		{Alg: "scan_hillissteele"},
+	}
+	return t
+}
+
+func maxIntT(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+package tuning
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/transport/mem"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tab := &Table{
+		Machine: "testbox", P: 8, PPN: 4,
+		Ops: map[string][]Entry{
+			"MPI_Allreduce": {
+				{MaxBytes: 1024, Alg: "allreduce_recmul", K: 4},
+				{MaxBytes: 65536, Alg: "allreduce_recdbl"},
+				{Alg: "allreduce_ring"},
+			},
+			"MPI_Bcast": {
+				{MaxBytes: 4096, Alg: "bcast_knomial", K: 8},
+				{Alg: "bcast_ring"},
+			},
+		},
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestRoundTrip saves and reloads a table.
+func TestRoundTrip(t *testing.T) {
+	tab := sampleTable(t)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != tab.Machine || len(got.Ops) != len(tab.Ops) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	e, err := got.Select(core.OpAllreduce, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Alg != "allreduce_recmul" || e.K != 4 {
+		t.Errorf("Select(512) = %+v", e)
+	}
+}
+
+// TestSelectLadder walks the rungs.
+func TestSelectLadder(t *testing.T) {
+	tab := sampleTable(t)
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{8, "allreduce_recmul"},
+		{1024, "allreduce_recmul"},
+		{1025, "allreduce_recdbl"},
+		{65536, "allreduce_recdbl"},
+		{1 << 24, "allreduce_ring"},
+	}
+	for _, tc := range cases {
+		e, err := tab.Select(core.OpAllreduce, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Alg != tc.want {
+			t.Errorf("Select(%d) = %s, want %s", tc.n, e.Alg, tc.want)
+		}
+	}
+	if _, err := tab.Select(core.OpGather, 8); err == nil {
+		t.Error("want error for missing ladder")
+	}
+}
+
+// TestValidateRejects covers the malformed-table paths.
+func TestValidateRejects(t *testing.T) {
+	bad := []*Table{
+		{Ops: map[string][]Entry{"MPI_Bcast": {}}},
+		{Ops: map[string][]Entry{"MPI_Bcast": {{Alg: "no_such_alg"}}}},
+		{Ops: map[string][]Entry{"MPI_Bcast": {{Alg: "allreduce_ring"}}}},          // wrong op
+		{Ops: map[string][]Entry{"MPI_Bcast": {{Alg: "bcast_knomial"}}}},           // k missing
+		{Ops: map[string][]Entry{"MPI_Bcast": {{MaxBytes: 8, Alg: "bcast_ring"}}}}, // bounded final rung
+		{Ops: map[string][]Entry{"MPI_Bcast": { // non-increasing
+			{MaxBytes: 64, Alg: "bcast_ring"}, {MaxBytes: 32, Alg: "bcast_binomial"}, {Alg: "bcast_ring"},
+		}}},
+	}
+	for i, tab := range bad {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+	if _, err := Load(strings.NewReader(`{"ops": {"MPI_Bcast": [{"alg": "bcast_ring"}]}, "bogus": 1}`)); err == nil {
+		t.Error("want error for unknown fields")
+	}
+}
+
+// TestRunHonorsConfig runs a tuned collective on the mem transport and
+// verifies both the selection and the result.
+func TestRunHonorsConfig(t *testing.T) {
+	tab := sampleTable(t)
+	const p = 8
+	w := mem.NewWorld(p)
+	err := w.Run(func(c comm.Comm) error {
+		vals := []float64{float64(c.Rank()), 2}
+		sendbuf := datatype.EncodeFloat64(vals)
+		recvbuf := make([]byte, len(sendbuf))
+		a := core.Args{SendBuf: sendbuf, RecvBuf: recvbuf, Op: datatype.Sum, Type: datatype.Float64}
+		if err := tab.Run(c, core.OpAllreduce, a); err != nil {
+			return err
+		}
+		got := datatype.DecodeFloat64(recvbuf)
+		if got[0] != 28 || got[1] != 16 { // 0+..+7, 2*8
+			t.Errorf("rank %d: allreduce = %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutotuneUnderJitter runs the autotuner against the simulator with
+// the §VI-H run-to-run variance model enabled: the ladder must still
+// validate, and the chosen small-message allreduce must be a
+// latency-optimized algorithm rather than the ring.
+func TestAutotuneUnderJitter(t *testing.T) {
+	spec := machine.Frontier().WithJitter(0.3, 99)
+	const p = 16
+	ops := map[core.CollOp][]Candidate{
+		core.OpAllreduce: {
+			{Alg: "allreduce_ring"},
+			{Alg: "allreduce_recmul", K: 4},
+			{Alg: "allreduce_recmul", K: 8},
+		},
+	}
+	measure := func(cand Candidate, n int) (float64, error) {
+		alg, err := core.Lookup(cand.Alg)
+		if err != nil {
+			return 0, err
+		}
+		return bench.SimLatency(spec, p, alg.Op, alg.Run, n, 0, cand.K)
+	}
+	tab, err := Autotune(ops, []int{8, 1 << 10, 64 << 10}, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tab.Select(core.OpAllreduce, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Alg == "allreduce_ring" {
+		t.Errorf("jittered autotune picked the ring for 8-byte allreduce: %+v", e)
+	}
+}
+
+// TestAutotune builds a ladder from synthetic costs: candidate A wins
+// below the crossover, B above, and the ladder must merge into two rungs.
+func TestAutotune(t *testing.T) {
+	ops := map[core.CollOp][]Candidate{
+		core.OpAllreduce: {
+			{Alg: "allreduce_recmul", K: 4},
+			{Alg: "allreduce_ring"},
+		},
+	}
+	sizes := []int{8, 64, 512, 4096, 32768, 262144}
+	measure := func(cand Candidate, n int) (float64, error) {
+		if cand.Alg == "allreduce_recmul" {
+			return 1 + float64(n)*0.01, nil // latency-cheap, bandwidth-poor
+		}
+		return 50 + float64(n)*0.001, nil // ring: bandwidth-optimal
+	}
+	tab, err := Autotune(ops, sizes, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := tab.Ops["MPI_Allreduce"]
+	if len(ladder) != 2 {
+		t.Fatalf("ladder = %+v, want 2 rungs", ladder)
+	}
+	if ladder[0].Alg != "allreduce_recmul" || ladder[0].K != 4 {
+		t.Errorf("small rung = %+v", ladder[0])
+	}
+	if ladder[1].Alg != "allreduce_ring" || ladder[1].MaxBytes != 0 {
+		t.Errorf("large rung = %+v", ladder[1])
+	}
+	// Crossover: 1+0.01n < 50+0.001n up to n≈5444 → rung boundary at 4096.
+	if ladder[0].MaxBytes != 4096 {
+		t.Errorf("crossover at %d, want 4096", ladder[0].MaxBytes)
+	}
+}

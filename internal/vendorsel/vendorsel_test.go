@@ -1,0 +1,132 @@
+package vendorsel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/transport/mem"
+)
+
+// TestLadderShape pins the calibrated selection behaviour the figure
+// reproductions rely on (see the package comment for why each rung is what
+// it is).
+func TestLadderShape(t *testing.T) {
+	p := 128
+	cases := []struct {
+		op   core.CollOp
+		n    int
+		want string
+	}{
+		{core.OpReduce, 8, "reduce_binomial"},
+		{core.OpReduce, 64 << 10, "reduce_binomial"},
+		{core.OpReduce, 1 << 20, "reduce_linear"}, // the paper's >4.5x mis-switch
+		{core.OpBcast, 8, "bcast_binomial"},
+		{core.OpBcast, 64 << 10, "bcast_recdbl"},
+		{core.OpBcast, 4 << 20, "bcast_ring"},
+		{core.OpAllgather, 8, "allgather_bruck"},
+		{core.OpAllgather, 4 << 10, "allgather_recdbl"},
+		{core.OpAllgather, 1 << 20, "allgather_ring"},
+		{core.OpAllreduce, 8, "allreduce_recdbl"},
+		{core.OpAllreduce, 1 << 20, "allreduce_rabenseifner"},
+		{core.OpGather, 8, "gather_binomial"},
+		{core.OpScatter, 8, "scatter_binomial"},
+		{core.OpReduceScatter, 8, "reducescatter_rechalving"},
+		{core.OpAlltoall, 8, "alltoall_bruck"},
+		{core.OpAlltoall, 1 << 20, "alltoall_pairwise"},
+		{core.OpScan, 8, "scan_hillissteele"},
+	}
+	for _, tc := range cases {
+		got := Select(tc.op, tc.n, p)
+		if got.Name != tc.want {
+			t.Errorf("Select(%v, %d, %d) = %s, want %s", tc.op, tc.n, p, got.Name, tc.want)
+		}
+	}
+}
+
+// TestNonPow2FallsBack: recursive-doubling choices must not be selected
+// for non-power-of-two sizes.
+func TestNonPow2FallsBack(t *testing.T) {
+	if got := Select(core.OpBcast, 64<<10, 100); got.Name == "bcast_recdbl" {
+		t.Error("selected pow2-only bcast_recdbl for p=100")
+	}
+	if got := Select(core.OpAllgather, 4<<10, 100); got.Name == "allgather_recdbl" {
+		t.Error("selected pow2-only allgather_recdbl for p=100")
+	}
+}
+
+// TestSelectionsResolve: every reachable selection must name a registered
+// algorithm of the right operation.
+func TestSelectionsResolve(t *testing.T) {
+	for _, op := range []core.CollOp{core.OpBcast, core.OpReduce, core.OpGather,
+		core.OpScatter, core.OpAllgather, core.OpAllreduce,
+		core.OpReduceScatter, core.OpAlltoall, core.OpScan} {
+		for _, p := range []int{2, 7, 128, 1000} {
+			for _, n := range []int{1, 1 << 10, 1 << 18, 1 << 24} {
+				choice := Select(op, n, p)
+				alg, err := core.Lookup(choice.Name)
+				if err != nil {
+					t.Fatalf("Select(%v,%d,%d): %v", op, n, p, err)
+				}
+				if alg.Op != op {
+					t.Errorf("Select(%v,%d,%d) = %s implements %v", op, n, p, alg.Name, alg.Op)
+				}
+			}
+		}
+	}
+}
+
+// TestRunEndToEnd runs the vendor selection on the mem transport for a
+// full sweep of sizes, verifying correct results.
+func TestRunEndToEnd(t *testing.T) {
+	const p = 8
+	for _, n := range []int{8, 4096, 128 << 10} {
+		n := n
+		w := mem.NewWorld(p)
+		err := w.Run(func(c comm.Comm) error {
+			elems := n / 8
+			vals := make([]float64, elems)
+			for i := range vals {
+				vals[i] = float64(c.Rank() + i)
+			}
+			sendbuf := datatype.EncodeFloat64(vals)
+			recvbuf := make([]byte, len(sendbuf))
+			a := core.Args{SendBuf: sendbuf, RecvBuf: recvbuf, Op: datatype.Sum, Type: datatype.Float64}
+			if err := Run(c, core.OpAllreduce, a); err != nil {
+				return err
+			}
+			got := datatype.DecodeFloat64(recvbuf)
+			for i := 0; i < elems; i += elems/4 + 1 {
+				want := float64(28 + 8*i) // sum over ranks of (r + i)
+				if got[i] != want {
+					return fmt.Errorf("n=%d elem %d = %g, want %g", n, i, got[i], want)
+				}
+			}
+			// Bcast through the vendor path too.
+			buf := make([]byte, n)
+			if c.Rank() == 2 {
+				for i := range buf {
+					buf[i] = byte(i % 251)
+				}
+			}
+			ba := core.Args{SendBuf: buf, Root: 2}
+			if err := Run(c, core.OpBcast, ba); err != nil {
+				return err
+			}
+			want := make([]byte, n)
+			for i := range want {
+				want[i] = byte(i % 251)
+			}
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("n=%d bcast mismatch at rank %d", n, c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
