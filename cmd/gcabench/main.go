@@ -17,11 +17,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"exacoll/internal/bench"
 	"exacoll/internal/machine"
@@ -73,7 +75,7 @@ func main() {
 			emitTable1(*out)
 			emitModel(*out, cfg, *ascii)
 			for _, id := range order {
-				runFigure(targets[id], *out, *ascii)
+				runFigure(targets[id], *out, *ascii, cfg)
 			}
 		case "table1":
 			emitTable1(*out)
@@ -84,16 +86,71 @@ func main() {
 			if !ok {
 				fatal(fmt.Errorf("unknown target %q", arg))
 			}
-			runFigure(f, *out, *ascii)
+			runFigure(f, *out, *ascii, cfg)
 		}
 	}
 }
 
-func runFigure(f func() (*bench.Figure, error), out string, ascii bool) {
+// benchRecord is the machine-readable result of one figure run
+// (BENCH_<id>.json): the full grid data plus the sweep configuration and
+// wall time, so per-PR perf trajectories can be diffed by tooling instead
+// of eyeballing TSVs.
+type benchRecord struct {
+	ID             string       `json:"id"`
+	Caption        string       `json:"caption"`
+	Notes          []string     `json:"notes,omitempty"`
+	Quick          bool         `json:"quick"`
+	Nodes          int          `json:"nodes"`
+	LargeNodes     int          `json:"large_nodes"`
+	PPNNodes       int          `json:"ppn_nodes"`
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	Grids          []gridRecord `json:"grids"`
+}
+
+type gridRecord struct {
+	Title  string         `json:"title"`
+	XName  string         `json:"x_name"`
+	YName  string         `json:"y_name"`
+	Xs     []int          `json:"xs"`
+	Series []seriesRecord `json:"series"`
+}
+
+type seriesRecord struct {
+	Name string    `json:"name"`
+	Ys   []float64 `json:"ys"`
+}
+
+func writeBenchJSON(out string, fig *bench.Figure, cfg bench.Config, elapsed time.Duration) {
+	rec := benchRecord{
+		ID: fig.ID, Caption: fig.Caption, Notes: fig.Notes,
+		Quick: cfg.Quick, Nodes: cfg.Nodes, LargeNodes: cfg.LargeNodes, PPNNodes: cfg.PPNNodes,
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	for _, g := range fig.Grids {
+		gr := gridRecord{Title: g.Title, XName: g.XName, YName: g.YName, Xs: g.Xs}
+		for _, s := range g.Series {
+			gr.Series = append(gr.Series, seriesRecord{Name: s.Name, Ys: s.Ys})
+		}
+		rec.Grids = append(rec.Grids, gr)
+	}
+	path := filepath.Join(out, "BENCH_"+fig.ID+".json")
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("   wrote %s\n", path)
+}
+
+func runFigure(f func() (*bench.Figure, error), out string, ascii bool, cfg bench.Config) {
+	t0 := time.Now()
 	fig, err := f()
 	if err != nil {
 		fatal(err)
 	}
+	elapsed := time.Since(t0)
 	fmt.Printf("== %s: %s\n", fig.ID, fig.Caption)
 	for _, note := range fig.Notes {
 		fmt.Printf("   note: %s\n", note)
@@ -119,6 +176,7 @@ func runFigure(f func() (*bench.Figure, error), out string, ascii bool) {
 			}
 		}
 	}
+	writeBenchJSON(out, fig, cfg, elapsed)
 }
 
 func emitTable1(out string) {

@@ -17,16 +17,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strconv"
 	"time"
 
 	"exacoll/internal/bench"
+	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/datatype"
+	"exacoll/internal/metrics"
 	"exacoll/internal/osu"
 	"exacoll/internal/transport/tcp"
+	"exacoll/internal/tuning"
 )
 
 func main() {
@@ -40,10 +45,12 @@ func main() {
 	root := flag.Int("root", 0, "root rank for rooted collectives")
 	iters := flag.Int("iters", 10, "timed iterations")
 	spawn := flag.Int("spawn", 0, "spawn N local ranks and act as launcher")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve HTTP observability endpoints (/metrics Prometheus, /debug/collectives JSON) on this address while running; with -spawn, rank r gets port+r")
 	flag.Parse()
 
 	if *spawn > 0 {
-		launch(*spawn)
+		launch(*spawn, *metricsAddr)
 		return
 	}
 	if *rank < 0 || *size < 1 {
@@ -66,11 +73,25 @@ func main() {
 		fatal(fmt.Errorf("%s implements %v, not %v", name, alg.Op, op))
 	}
 
-	c, err := tcp.Rendezvous(*rank, *size, *addr, tcp.Options{Timeout: 30 * time.Second})
+	tc, err := tcp.Rendezvous(*rank, *size, *addr, tcp.Options{Timeout: 30 * time.Second})
 	if err != nil {
 		fatal(err)
 	}
-	defer c.Close()
+	defer tc.Close()
+
+	var c comm.Comm = tc
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		c = reg.Instrument(c)
+		go serveMetrics(*metricsAddr, reg)
+	}
+	// A one-rung table routes runs through tuning.Table.Run, so the
+	// explicit algorithm choice still produces selection-decision records
+	// when metrics are on.
+	tab := &tuning.Table{Machine: "gcarun", P: *size, Ops: map[string][]tuning.Entry{
+		op.String(): {{Alg: name, K: *k}},
+	}}
 
 	n := bench.RoundSize(*nbytes)
 	// OSU protocol: warmup, barrier, timed loop, cross-rank statistics.
@@ -86,7 +107,7 @@ func main() {
 	// patterns is deterministic, so verify one element on every rank.
 	if op == core.OpAllreduce {
 		a := bench.MakeArgs(op, *rank, *size, n, *root, *k)
-		if err := alg.Run(c, a); err != nil {
+		if err := tab.Run(c, op, a); err != nil {
 			fatal(err)
 		}
 		var want float64
@@ -99,6 +120,18 @@ func main() {
 			fatal(fmt.Errorf("verification failed: element 0 = %g, want %g", got, want))
 		}
 		fmt.Printf("rank %d: verified\n", *rank)
+	} else if reg != nil {
+		// Other collectives: one tuned run so the decision telemetry has a
+		// record to show for this invocation.
+		a := bench.MakeArgs(op, *rank, *size, n, *root, *k)
+		if err := tab.Run(c, op, a); err != nil {
+			fatal(err)
+		}
+	}
+	if reg != nil {
+		t := reg.Snapshot().Totals()
+		fmt.Printf("rank %d metrics: sends=%d recvs=%d send_bytes=%d recv_bytes=%d decisions=%d\n",
+			*rank, t.Sends, t.Recvs, t.SendBytes, t.RecvBytes, reg.Snapshot().DecisionsTotal)
 	}
 	// Final barrier so no rank tears its connections down while a peer is
 	// still inside the last collective.
@@ -107,15 +140,51 @@ func main() {
 	}
 }
 
+// serveMetrics exposes the registry over HTTP for the lifetime of the
+// run: /metrics in Prometheus text format, /debug/collectives as JSON
+// (counters, histograms, and recent selection decisions).
+func serveMetrics(addr string, reg *metrics.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := metrics.WritePrometheus(w, reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/collectives", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := metrics.WriteJSON(w, reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "gcarun: metrics server: %v\n", err)
+	}
+}
+
+// metricsAddrForRank offsets the port by rank so every spawned process
+// gets its own endpoint (each OS process has its own registry).
+func metricsAddrForRank(addr string, rank int) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return addr
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+rank))
+}
+
 // launch re-executes this binary once per rank with the original flags.
-func launch(n int) {
+func launch(n int, metricsAddr string) {
 	self, err := os.Executable()
 	if err != nil {
 		fatal(err)
 	}
 	args := []string{}
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "spawn" {
+		if f.Name == "spawn" || f.Name == "metrics-addr" {
 			return
 		}
 		args = append(args, "-"+f.Name, f.Value.String())
@@ -125,7 +194,11 @@ func launch(n int) {
 	}
 	procs := make([]*exec.Cmd, n)
 	for r := 0; r < n; r++ {
-		cmd := exec.Command(self, append(append([]string{}, args...), "-rank", strconv.Itoa(r))...)
+		rargs := append(append([]string{}, args...), "-rank", strconv.Itoa(r))
+		if metricsAddr != "" {
+			rargs = append(rargs, "-metrics-addr", metricsAddrForRank(metricsAddr, r))
+		}
+		cmd := exec.Command(self, rargs...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

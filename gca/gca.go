@@ -19,12 +19,14 @@
 package gca
 
 import (
+	"io"
 	"time"
 
 	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/datatype"
 	"exacoll/internal/machine"
+	"exacoll/internal/metrics"
 	"exacoll/internal/simnet"
 	"exacoll/internal/transport/mem"
 	"exacoll/internal/transport/tcp"
@@ -120,10 +122,37 @@ func ConnectTCP(rank, size int, addr string, timeout time.Duration) (Comm, error
 	return tcp.Rendezvous(rank, size, addr, tcp.Options{Timeout: timeout})
 }
 
+// Observability types (see internal/metrics). One Metrics registry is
+// shared by every rank's Session; Snapshot/export it from any goroutine.
+type (
+	// Metrics collects per-rank counters, wait-time histograms, and
+	// selection-decision records for every Session created WithMetrics.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is a deterministic copy of a Metrics registry.
+	MetricsSnapshot = metrics.Snapshot
+	// Decision is one selection-decision record: what the tuning table
+	// chose for one collective call, and what it cost.
+	Decision = metrics.Decision
+)
+
+// NewMetrics returns an empty metrics registry to share across ranks.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// WriteMetricsPrometheus exports a snapshot in the Prometheus text format.
+func WriteMetricsPrometheus(w io.Writer, s *MetricsSnapshot) error {
+	return metrics.WritePrometheus(w, s)
+}
+
+// WriteMetricsJSON exports a snapshot as JSON.
+func WriteMetricsJSON(w io.Writer, s *MetricsSnapshot) error {
+	return metrics.WriteJSON(w, s)
+}
+
 // Session binds a communicator to an algorithm-selection policy.
 type Session struct {
-	c   Comm
-	tab *tuning.Table
+	c       Comm
+	tab     *tuning.Table
+	metrics *metrics.Registry
 }
 
 // SessionOption configures NewSession.
@@ -141,6 +170,18 @@ func WithTable(t *tuning.Table) SessionOption {
 	return func(s *Session) { s.tab = t }
 }
 
+// WithMetrics instruments the session's communicator so every send,
+// receive, and collective call is recorded in m (share one registry
+// across all ranks). Every collective issued through the session also
+// records a selection-decision record naming the algorithm and radix
+// actually run.
+func WithMetrics(m *Metrics) SessionOption {
+	return func(s *Session) {
+		s.metrics = m
+		s.c = m.Instrument(s.c)
+	}
+}
+
 // NewSession creates a session. Without options, the recommended
 // configuration for a generic multi-port machine is used.
 func NewSession(c Comm, opts ...SessionOption) *Session {
@@ -154,8 +195,23 @@ func NewSession(c Comm, opts ...SessionOption) *Session {
 	return s
 }
 
-// Comm returns the underlying communicator for point-to-point use.
+// Comm returns the underlying communicator for point-to-point use (the
+// instrumented wrapper when the session was created WithMetrics, so
+// point-to-point traffic is counted too).
 func (s *Session) Comm() Comm { return s.c }
+
+// Metrics returns the session's registry (nil without WithMetrics).
+func (s *Session) Metrics() *Metrics { return s.metrics }
+
+// Snapshot returns current telemetry for the whole world (the shared
+// registry covers every rank). Without WithMetrics it returns an empty
+// snapshot.
+func (s *Session) Snapshot() *MetricsSnapshot {
+	if s.metrics == nil {
+		return metrics.NewRegistry().Snapshot()
+	}
+	return s.metrics.Snapshot()
+}
 
 // Rank returns the caller's rank.
 func (s *Session) Rank() int { return s.c.Rank() }

@@ -1,0 +1,116 @@
+package gca
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"exacoll/internal/metrics"
+)
+
+// TestSessionMetrics is the observability acceptance test: an
+// instrumented 8-rank local-world Allreduce must expose, via
+// Session.Snapshot, nonzero send/recv/byte counters, a selection-decision
+// record naming the algorithm and radix actually run, and Prometheus +
+// JSON exports that round-trip those values.
+func TestSessionMetrics(t *testing.T) {
+	const p = 8
+	const nbytes = 1 << 10
+	w := NewLocalWorld(p)
+	defer w.Close()
+	reg := NewMetrics()
+	sessions := make([]*Session, p)
+	err := w.Run(func(c Comm) error {
+		s := NewSession(c, OnMachine(Frontier()), WithMetrics(reg))
+		sessions[s.Rank()] = s
+		sendbuf := make([]byte, nbytes)
+		recvbuf := make([]byte, nbytes)
+		return s.Allreduce(sendbuf, recvbuf, Sum, Float64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := sessions[0].Snapshot()
+	tot := snap.Totals()
+	if tot.Sends == 0 || tot.Recvs == 0 || tot.SendBytes == 0 || tot.RecvBytes == 0 {
+		t.Fatalf("expected nonzero counters, got %+v", tot)
+	}
+	if len(snap.Ranks) != p {
+		t.Fatalf("snapshot covers %d ranks, want %d", len(snap.Ranks), p)
+	}
+
+	// At least one decision record naming the algorithm and k actually
+	// run (every rank records one; the choice must be an allreduce
+	// algorithm from the session's table).
+	if len(snap.Decisions) != p {
+		t.Fatalf("got %d decisions, want %d", len(snap.Decisions), p)
+	}
+	d := snap.Decisions[0]
+	if d.Op != "MPI_Allreduce" || d.Alg == "" {
+		t.Fatalf("decision does not name the collective/algorithm: %+v", d)
+	}
+	if !strings.HasPrefix(d.Alg, "allreduce_") {
+		t.Errorf("decision algorithm %q is not an allreduce algorithm", d.Alg)
+	}
+	if d.Bytes != nbytes {
+		t.Errorf("decision selection size %d, want %d", d.Bytes, nbytes)
+	}
+	for _, other := range snap.Decisions {
+		if other.Alg != d.Alg || other.K != d.K {
+			t.Errorf("ranks disagree on selection: %+v vs %+v", d, other)
+		}
+	}
+
+	// Prometheus export round-trips the counter values.
+	var prom bytes.Buffer
+	if err := WriteMetricsPrometheus(&prom, snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("gca_sends_total{rank=\"0\"} %d", snap.Ranks[0].Sends),
+		fmt.Sprintf("gca_recv_bytes_total{rank=\"%d\"} %d", p-1, snap.Ranks[p-1].RecvBytes),
+		fmt.Sprintf("gca_collective_runs_total{op=\"MPI_Allreduce\",alg=%q,k=\"%d\"} %d", d.Alg, d.K, p),
+		fmt.Sprintf("gca_decisions_total %d", p),
+	} {
+		if !strings.Contains(prom.String(), want+"\n") {
+			t.Errorf("prometheus export missing %q\n%s", want, prom.String())
+		}
+	}
+
+	// JSON export round-trips the whole snapshot.
+	var js bytes.Buffer
+	if err := WriteMetricsJSON(&js, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := metrics.ReadJSON(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := back.Totals()
+	if bt.Sends != tot.Sends || bt.Recvs != tot.Recvs ||
+		bt.SendBytes != tot.SendBytes || bt.RecvBytes != tot.RecvBytes {
+		t.Errorf("JSON round trip changed totals: %+v vs %+v", bt, tot)
+	}
+	if back.DecisionsTotal != snap.DecisionsTotal || len(back.Decisions) != len(snap.Decisions) {
+		t.Errorf("JSON round trip changed decisions: %d/%d vs %d/%d",
+			back.DecisionsTotal, len(back.Decisions), snap.DecisionsTotal, len(snap.Decisions))
+	}
+
+	// A session without WithMetrics yields an empty snapshot, not a nil
+	// dereference.
+	err = w.Run(func(c Comm) error {
+		s := NewSession(c)
+		if s.Metrics() != nil {
+			return fmt.Errorf("expected nil registry without WithMetrics")
+		}
+		if got := s.Snapshot().Totals(); got.Sends != 0 {
+			return fmt.Errorf("expected empty snapshot, got %+v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

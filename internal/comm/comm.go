@@ -121,19 +121,21 @@ func CheckPeer(self, peer, size int) error {
 	return nil
 }
 
-// WaitAll waits on every request and returns the first error encountered
-// (after waiting on all of them, so no request is leaked mid-flight).
+// WaitAll waits on every request (so no request is leaked mid-flight) and
+// returns all errors encountered, combined with errors.Join — nil if every
+// wait succeeded. Joining instead of dropping all but the first keeps
+// instrumented failure counts consistent with the errors callers observe.
 func WaitAll(reqs ...Request) error {
-	var first error
+	var errs []error
 	for _, r := range reqs {
 		if r == nil {
 			continue
 		}
-		if err := r.Wait(); err != nil && first == nil {
-			first = err
+		if err := r.Wait(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // SendRecv performs a simultaneous exchange: a nonblocking send of sendBuf

@@ -37,18 +37,23 @@ func TestCheckPeer(t *testing.T) {
 	}
 }
 
-// TestWaitAll checks that every request is waited and the first error is
-// returned.
+// TestWaitAll checks that every request is waited and that every error —
+// not just the first — is reported through the joined result.
 func TestWaitAll(t *testing.T) {
 	counts := make([]int, 3)
 	boom := errors.New("boom")
+	bang := errors.New("bang")
 	reqs := []Request{
 		&fakeReq{waited: &counts[0]},
 		&fakeReq{err: boom, waited: &counts[1]},
-		&fakeReq{waited: &counts[2]},
+		&fakeReq{err: bang, waited: &counts[2]},
 	}
-	if err := WaitAll(reqs...); !errors.Is(err, boom) {
-		t.Errorf("want boom, got %v", err)
+	err := WaitAll(reqs...)
+	if !errors.Is(err, boom) {
+		t.Errorf("joined error lost boom: %v", err)
+	}
+	if !errors.Is(err, bang) {
+		t.Errorf("joined error lost bang: %v", err)
 	}
 	for i, c := range counts {
 		if c != 1 {

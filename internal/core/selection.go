@@ -1,0 +1,20 @@
+package core
+
+// SelectionSize returns the message size on which algorithm selection for
+// (op, a) must be based. The invariant that matters is agreement: every
+// rank of one collective call must compute the same size, or different
+// ranks walk different rungs of a tuning ladder and run incompatible
+// algorithms (a hang or corruption, not just a slow pick).
+//
+// len(SendBuf) is agreement-safe for most operations — bcast's payload,
+// a reduction's contribution, and a gather/allgather/alltoall per-rank
+// block are the same length everywhere. Scatter is the exception: only
+// the root holds the p·block send buffer (non-roots may pass nil), so
+// its per-rank block — len(RecvBuf), identical on every rank including
+// the root — is the selection size.
+func SelectionSize(op CollOp, a Args) int {
+	if op == OpScatter {
+		return len(a.RecvBuf)
+	}
+	return len(a.SendBuf)
+}

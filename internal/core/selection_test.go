@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+// TestSelectionSize pins the per-op selection size: len(SendBuf)
+// everywhere except scatter, whose agreement-safe size is the per-rank
+// block in RecvBuf (only the root holds the p·block send buffer).
+func TestSelectionSize(t *testing.T) {
+	send := make([]byte, 1024)
+	recv := make([]byte, 256)
+	rootScatter := Args{SendBuf: make([]byte, 4*256), RecvBuf: recv}
+	leafScatter := Args{RecvBuf: recv} // non-roots may pass no sendbuf
+
+	cases := []struct {
+		op   CollOp
+		a    Args
+		want int
+	}{
+		{OpBcast, Args{SendBuf: send}, 1024},
+		{OpReduce, Args{SendBuf: send, RecvBuf: send}, 1024},
+		{OpAllreduce, Args{SendBuf: send, RecvBuf: send}, 1024},
+		{OpGather, Args{SendBuf: recv, RecvBuf: send}, 256},
+		{OpAllgather, Args{SendBuf: recv, RecvBuf: send}, 256},
+		{OpAlltoall, Args{SendBuf: send, RecvBuf: send}, 1024},
+		{OpReduceScatter, Args{SendBuf: send, RecvBuf: recv}, 1024},
+		{OpScan, Args{SendBuf: send, RecvBuf: send}, 1024},
+		{OpScatter, rootScatter, 256},
+		{OpScatter, leafScatter, 256},
+	}
+	for _, c := range cases {
+		if got := SelectionSize(c.op, c.a); got != c.want {
+			t.Errorf("SelectionSize(%v) = %d, want %d", c.op, got, c.want)
+		}
+	}
+	// The property that matters: root and non-root scatter args agree.
+	if SelectionSize(OpScatter, rootScatter) != SelectionSize(OpScatter, leafScatter) {
+		t.Error("scatter selection size differs between root and non-root")
+	}
+}

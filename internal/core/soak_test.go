@@ -19,7 +19,10 @@ import (
 // barrier separates them and fast ranks race ahead.
 func TestCollectiveSoak(t *testing.T) {
 	const p = 8
-	const steps = 120
+	steps := 120
+	if testing.Short() {
+		steps = 30 // CI's -short knob: same coverage shape, bounded time
+	}
 	rng := rand.New(rand.NewSource(20230704))
 
 	type step struct {

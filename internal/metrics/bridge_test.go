@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+	"exacoll/internal/trace"
+)
+
+// TestTraceMetricsBridge stacks the metrics wrapper over the trace
+// wrapper on the Frontier simulator and proves the two observability
+// paths agree: for one Allreduce, the simulator's virtual-clock event log
+// and the instrumented counters must report identical per-rank send/recv/
+// byte totals.
+func TestTraceMetricsBridge(t *testing.T) {
+	const p = 8
+	const nbytes = 2048
+	sim, err := simnet.New(machine.Frontier(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	sink := trace.NewSink()
+	alg, err := core.Lookup("allreduce_recmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sim.Run(func(c comm.Comm) error {
+		mc := reg.Instrument(sink.Wrap(c))
+		return alg.Run(mc, core.Args{
+			SendBuf: make([]byte, nbytes),
+			RecvBuf: make([]byte, nbytes),
+			K:       4,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if len(snap.Ranks) != p {
+		t.Fatalf("metrics saw %d ranks, want %d", len(snap.Ranks), p)
+	}
+	sums := sink.Summarize()
+	if len(sums) != p {
+		t.Fatalf("trace saw %d ranks, want %d", len(sums), p)
+	}
+	for _, ts := range sums {
+		ms := snap.Rank(ts.Rank)
+		if ms == nil {
+			t.Fatalf("rank %d missing from metrics snapshot", ts.Rank)
+		}
+		if uint64(ts.Sends) != ms.Sends {
+			t.Errorf("rank %d: trace sends %d, metrics sends %d", ts.Rank, ts.Sends, ms.Sends)
+		}
+		if uint64(ts.Recvs) != ms.Recvs {
+			t.Errorf("rank %d: trace recvs %d, metrics recvs %d", ts.Rank, ts.Recvs, ms.Recvs)
+		}
+		if uint64(ts.BytesSent) != ms.SendBytes {
+			t.Errorf("rank %d: trace bytes %d, metrics bytes %d", ts.Rank, ts.BytesSent, ms.SendBytes)
+		}
+		if ms.Sends == 0 || ms.Recvs == 0 {
+			t.Errorf("rank %d: expected nonzero traffic, got %+v", ts.Rank, ms)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"exacoll/internal/comm"
+)
+
+// Instrument wraps c so every operation updates the registry's counters
+// for c's rank. The wrapper preserves the comm.Clock interface when the
+// substrate tracks virtual time, and measures wait durations with that
+// clock when available (making simulator snapshots deterministic).
+//
+// Overhead: the blocking Send/Recv paths add only atomic adds and one
+// time read — no allocations. Irecv allocates one small request wrapper
+// (matching what the substrate itself allocates per posted receive).
+func (r *Registry) Instrument(c comm.Comm) comm.Comm {
+	mc := &Comm{inner: c, reg: r, rc: r.rank(c.Rank())}
+	if clk, ok := c.(comm.Clock); ok {
+		mc.clk = clk
+		return &clockComm{mc}
+	}
+	return mc
+}
+
+// Comm is an instrumented communicator. It implements comm.Comm and
+// Instrumented; use Registry.Instrument to construct it.
+type Comm struct {
+	inner comm.Comm
+	clk   comm.Clock // non-nil iff the substrate tracks virtual time
+	reg   *Registry
+	rc    *rankCounters
+}
+
+// Metrics implements Instrumented.
+func (m *Comm) Metrics() *Registry { return m.reg }
+
+// Rank implements comm.Comm.
+func (m *Comm) Rank() int { return m.inner.Rank() }
+
+// Size implements comm.Comm.
+func (m *Comm) Size() int { return m.inner.Size() }
+
+// ChargeCompute implements comm.Comm, counting the γ-term bytes.
+func (m *Comm) ChargeCompute(n int) {
+	m.inner.ChargeCompute(n)
+	m.rc.computeBytes.Add(uint64(n))
+}
+
+// waitStart captures the wait-time origin: virtual seconds on clocked
+// substrates, a wall-clock instant otherwise.
+func (m *Comm) waitStart() (float64, time.Time) {
+	if m.clk != nil {
+		return m.clk.Now(), time.Time{}
+	}
+	return 0, time.Now()
+}
+
+// waitNanos converts a waitStart origin into elapsed nanoseconds.
+func (m *Comm) waitNanos(v0 float64, t0 time.Time) uint64 {
+	if m.clk != nil {
+		d := m.clk.Now() - v0
+		if d < 0 {
+			d = 0
+		}
+		return uint64(d * 1e9)
+	}
+	return uint64(time.Since(t0))
+}
+
+// Send implements comm.Comm.
+func (m *Comm) Send(to int, tag comm.Tag, buf []byte) error {
+	if err := m.inner.Send(to, tag, buf); err != nil {
+		m.rc.sendErrors.Add(1)
+		return err
+	}
+	m.rc.sends.Add(1)
+	m.rc.sendBytes.Add(uint64(len(buf)))
+	return nil
+}
+
+// Recv implements comm.Comm; the full blocking duration is recorded in
+// the rank's wait histogram.
+func (m *Comm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	v0, t0 := m.waitStart()
+	n, err := m.inner.Recv(from, tag, buf)
+	if err != nil {
+		m.rc.recvErrors.Add(1)
+		return n, err
+	}
+	m.rc.wait.Observe(m.waitNanos(v0, t0))
+	m.rc.recvs.Add(1)
+	m.rc.recvBytes.Add(uint64(n))
+	return n, nil
+}
+
+// Isend implements comm.Comm. Sends are counted at post time (the layer
+// below buffers eagerly), so the substrate's request is returned as-is.
+func (m *Comm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	req, err := m.inner.Isend(to, tag, buf)
+	if err != nil {
+		m.rc.sendErrors.Add(1)
+		return nil, err
+	}
+	m.rc.sends.Add(1)
+	m.rc.sendBytes.Add(uint64(len(buf)))
+	return req, nil
+}
+
+// Irecv implements comm.Comm. The receive is counted when Wait observes
+// completion (only then is the matched length known).
+func (m *Comm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	req, err := m.inner.Irecv(from, tag, buf)
+	if err != nil {
+		m.rc.recvErrors.Add(1)
+		return nil, err
+	}
+	return &recvRequest{Request: req, m: m}, nil
+}
+
+// recvRequest counts a nonblocking receive on completion; the wait
+// histogram records the time blocked inside Wait (not since the post,
+// which would charge compute overlap as waiting).
+type recvRequest struct {
+	comm.Request
+	m    *Comm
+	once sync.Once
+}
+
+// Wait implements comm.Request.
+func (r *recvRequest) Wait() error {
+	v0, t0 := r.m.waitStart()
+	err := r.Request.Wait()
+	r.once.Do(func() {
+		if err != nil {
+			r.m.rc.recvErrors.Add(1)
+			return
+		}
+		r.m.rc.wait.Observe(r.m.waitNanos(v0, t0))
+		r.m.rc.recvs.Add(1)
+		r.m.rc.recvBytes.Add(uint64(r.Request.Len()))
+	})
+	return err
+}
+
+// clockComm re-exposes comm.Clock for clocked substrates.
+type clockComm struct {
+	*Comm
+}
+
+// Now implements comm.Clock.
+func (c *clockComm) Now() float64 { return c.clk.Now() }

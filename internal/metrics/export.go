@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits the snapshot as indented JSON (the /debug/collectives
+// payload). ReadJSON inverts it exactly.
+func WriteJSON(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses a snapshot written by WriteJSON.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return &s, nil
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format (the /metrics payload). Counter families are labeled by rank;
+// collective families by {op, alg, k}; histograms use the standard
+// cumulative-bucket encoding with log2 `le` bounds in nanoseconds.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	counter := func(name, help string) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	counter("gca_sends_total", "Messages sent (Send and Isend posts) per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_sends_total{rank=\"%d\"} %d\n", r.Rank, r.Sends)
+	}
+	counter("gca_recvs_total", "Messages received per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_recvs_total{rank=\"%d\"} %d\n", r.Rank, r.Recvs)
+	}
+	counter("gca_send_bytes_total", "Bytes sent per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_send_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.SendBytes)
+	}
+	counter("gca_recv_bytes_total", "Bytes received per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_recv_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.RecvBytes)
+	}
+	counter("gca_compute_bytes_total", "Reduction-operator bytes (the γ term) per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_compute_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.ComputeBytes)
+	}
+	counter("gca_send_errors_total", "Failed sends per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_send_errors_total{rank=\"%d\"} %d\n", r.Rank, r.SendErrors)
+	}
+	counter("gca_recv_errors_total", "Failed receives per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_recv_errors_total{rank=\"%d\"} %d\n", r.Rank, r.RecvErrors)
+	}
+
+	fmt.Fprintf(bw, "# HELP gca_recv_wait_ns Time blocked in Recv/Wait per rank, nanoseconds.\n# TYPE gca_recv_wait_ns histogram\n")
+	for _, r := range s.Ranks {
+		writeHist(bw, "gca_recv_wait_ns", fmt.Sprintf("rank=\"%d\"", r.Rank), r.WaitNs)
+	}
+
+	counter("gca_collective_runs_total", "Collective calls by (op, algorithm, radix).")
+	for _, c := range s.Collectives {
+		fmt.Fprintf(bw, "gca_collective_runs_total{%s} %d\n", collLabels(c), c.Count)
+	}
+	counter("gca_collective_bytes_total", "Selection-size bytes by (op, algorithm, radix).")
+	for _, c := range s.Collectives {
+		fmt.Fprintf(bw, "gca_collective_bytes_total{%s} %d\n", collLabels(c), c.Bytes)
+	}
+	counter("gca_collective_seconds_total", "Time in collective calls by (op, algorithm, radix).")
+	for _, c := range s.Collectives {
+		fmt.Fprintf(bw, "gca_collective_seconds_total{%s} %g\n", collLabels(c), c.Seconds)
+	}
+	counter("gca_collective_errors_total", "Failed collective calls by (op, algorithm, radix).")
+	for _, c := range s.Collectives {
+		fmt.Fprintf(bw, "gca_collective_errors_total{%s} %d\n", collLabels(c), c.Errors)
+	}
+
+	fmt.Fprintf(bw, "# HELP gca_collective_latency_ns Per-call collective latency, nanoseconds.\n# TYPE gca_collective_latency_ns histogram\n")
+	for _, c := range s.Collectives {
+		writeHist(bw, "gca_collective_latency_ns", collLabels(c), c.LatencyNs)
+	}
+
+	counter("gca_decisions_total", "Selection decisions recorded.")
+	fmt.Fprintf(bw, "gca_decisions_total %d\n", s.DecisionsTotal)
+
+	return bw.Flush()
+}
+
+// collLabels renders the {op, alg, k} label set of one collective family.
+func collLabels(c CollectiveSnapshot) string {
+	return fmt.Sprintf("op=%q,alg=%q,k=\"%d\"", c.Op, c.Alg, c.K)
+}
+
+// writeHist emits one histogram series with cumulative buckets. Buckets
+// past the last non-zero one are collapsed into +Inf to bound the output.
+func writeHist(w io.Writer, name, labels string, h HistogramSnapshot) {
+	last := -1
+	for i, c := range h.Counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%d\"} %d\n", name, labels, BucketUpper(i), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.Count())
+	fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, h.Sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// handSnapshot builds a fully-populated snapshot by hand so exporter
+// output is deterministic (no timing involved).
+func handSnapshot() *Snapshot {
+	reg := NewRegistry()
+	rc0 := reg.rank(0)
+	rc0.sends.Store(7)
+	rc0.recvs.Store(5)
+	rc0.sendBytes.Store(7168)
+	rc0.recvBytes.Store(5120)
+	rc0.computeBytes.Store(2048)
+	rc0.wait.Observe(3)    // bucket 2
+	rc0.wait.Observe(1000) // bucket 10
+	rc1 := reg.rank(1)
+	rc1.sends.Store(2)
+	rc1.recvErrors.Store(1)
+	reg.RecordDecision(Decision{
+		Rank: 0, Op: "MPI_Allreduce", Bytes: 1024, Alg: "allreduce_recmul",
+		K: 4, Start: 0.5, Seconds: 0.001,
+	})
+	return reg.Snapshot()
+}
+
+// TestPrometheusGolden pins the exposition format for a hand-built
+// snapshot: exact counter lines, cumulative histogram buckets, and the
+// collective family labels.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, handSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`gca_sends_total{rank="0"} 7`,
+		`gca_sends_total{rank="1"} 2`,
+		`gca_recvs_total{rank="0"} 5`,
+		`gca_send_bytes_total{rank="0"} 7168`,
+		`gca_recv_bytes_total{rank="0"} 5120`,
+		`gca_compute_bytes_total{rank="0"} 2048`,
+		`gca_recv_errors_total{rank="1"} 1`,
+		// Cumulative buckets: value 3 lands in bucket 2 (le="3"), value
+		// 1000 in bucket 10 (le="1023").
+		`gca_recv_wait_ns_bucket{rank="0",le="3"} 1`,
+		`gca_recv_wait_ns_bucket{rank="0",le="1023"} 2`,
+		`gca_recv_wait_ns_bucket{rank="0",le="+Inf"} 2`,
+		`gca_recv_wait_ns_sum{rank="0"} 1003`,
+		`gca_recv_wait_ns_count{rank="0"} 2`,
+		`gca_collective_runs_total{op="MPI_Allreduce",alg="allreduce_recmul",k="4"} 1`,
+		`gca_collective_bytes_total{op="MPI_Allreduce",alg="allreduce_recmul",k="4"} 1024`,
+		`gca_collective_seconds_total{op="MPI_Allreduce",alg="allreduce_recmul",k="4"} 0.001`,
+		`gca_collective_latency_ns_count{op="MPI_Allreduce",alg="allreduce_recmul",k="4"} 1`,
+		`gca_decisions_total 1`,
+		`# TYPE gca_sends_total counter`,
+		`# TYPE gca_recv_wait_ns histogram`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("prometheus output missing line %q\n--- got:\n%s", want, out)
+		}
+	}
+	// Cumulative-bucket invariant: counts along each series never decrease
+	// and close with +Inf == _count (spot-checked above); also no family
+	// without a TYPE line.
+	if strings.Count(out, "# TYPE") < 10 {
+		t.Errorf("expected every family to carry a TYPE line:\n%s", out)
+	}
+}
+
+// TestJSONRoundTrip proves WriteJSON/ReadJSON invert each other exactly,
+// including histograms and recent decisions.
+func TestJSONRoundTrip(t *testing.T) {
+	s := handSnapshot()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", s, got)
+	}
+}
+
+// TestJSONRoundTripEmpty covers the zero-value snapshot.
+func TestJSONRoundTripEmpty(t *testing.T) {
+	s := NewRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch: wrote %+v read %+v", s, got)
+	}
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket i holds
+// values whose bit length is i — i.e. bucket 0 holds the value 0 and
+// bucket i (i >= 1) holds [2^(i-1), 2^i - 1]. With 40 buckets the top
+// finite bound is 2^38 - 1 nanoseconds (~4.6 minutes); anything larger
+// lands in the overflow bucket.
+const NumBuckets = 40
+
+// Histogram is a fixed-size, log2-bucketed histogram safe for concurrent
+// use. Observe is allocation-free: one atomic add for the bucket and one
+// for the running sum, making it suitable for per-message hot paths.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Observe records one value (typically nanoseconds).
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// snapshot copies the histogram into its plain, serializable form.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Counts: make([]uint64, NumBuckets)}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i. The final
+// bucket is unbounded (MaxUint64).
+func BucketUpper(i int) uint64 {
+	if i >= NumBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// HistogramSnapshot is the plain copy of a Histogram (always NumBuckets
+// counts, so snapshots compare and round-trip deterministically).
+type HistogramSnapshot struct {
+	// Counts[i] is the number of observations in bucket i (see NumBuckets
+	// for the bucket scheme).
+	Counts []uint64 `json:"counts"`
+	// Sum is the total of all observed values.
+	Sum uint64 `json:"sum"`
+}
+
+// Count returns the total number of observations.
+func (s HistogramSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,287 @@
+// Package metrics is the runtime observability subsystem: per-rank,
+// per-collective telemetry for any comm.Comm substrate (mem, tcp, simnet,
+// faulty), recorded with near-zero overhead and exported as Prometheus
+// text or JSON.
+//
+// The paper's argument rests on measuring collectives — its (α, β, γ)
+// models only mean something because every send, receive, and round is
+// accounted for. This package brings that accounting to the real
+// transports, not just the simulator:
+//
+//   - Registry.Instrument wraps a communicator and counts every
+//     send/recv/byte/compute-byte with atomic counters and log-bucketed
+//     wait-time histograms (allocation-free on the blocking hot path);
+//   - tuning.Table.Run records a Decision for every collective call — op,
+//     selection size, chosen algorithm and radix, duration — so the
+//     selection path stops being a black box;
+//   - Snapshot produces a deterministic, serializable copy that
+//     WritePrometheus and WriteJSON export.
+//
+// On substrates that implement comm.Clock (the simulator), durations are
+// measured in virtual time, so snapshots are bit-for-bit reproducible for
+// a given seed; on real transports they are wall-clock.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// recentDecisions bounds the ring buffer of recent Decision records kept
+// verbatim (aggregates are unbounded and never dropped).
+const recentDecisions = 256
+
+// rankCounters is one rank's hot-path state. All fields are atomics so
+// Instrumented communicators never take a lock per message.
+type rankCounters struct {
+	sends        atomic.Uint64
+	recvs        atomic.Uint64
+	sendBytes    atomic.Uint64
+	recvBytes    atomic.Uint64
+	computeBytes atomic.Uint64
+	sendErrors   atomic.Uint64
+	recvErrors   atomic.Uint64
+	wait         Histogram // nanoseconds blocked in Recv / Request.Wait
+}
+
+// opKey aggregates decisions by what actually ran.
+type opKey struct {
+	op  string
+	alg string
+	k   int
+}
+
+// opAgg accumulates per-(op, alg, k) totals. Guarded by Registry.mu —
+// decisions are per collective call, not per message, so a lock is fine.
+type opAgg struct {
+	count   uint64
+	errors  uint64
+	bytes   uint64
+	seconds float64
+	lat     Histogram // nanoseconds per collective call
+}
+
+// Decision is one selection-decision record: what tuning.Table.Run chose
+// for one collective call on one rank, and what it cost. Bytes is the
+// per-op selection size (core.SelectionSize), identical on every rank of
+// the same collective.
+type Decision struct {
+	Rank  int    `json:"rank"`
+	Op    string `json:"op"`
+	Bytes int    `json:"bytes"`
+	Alg   string `json:"alg"`
+	K     int    `json:"k,omitempty"`
+	// Start is the call's start time in seconds: virtual time on clocked
+	// substrates, seconds since the registry's creation otherwise.
+	Start   float64 `json:"start_s"`
+	Seconds float64 `json:"seconds"`
+	Err     bool    `json:"err,omitempty"`
+}
+
+// SpanSink receives one span per recorded decision. trace.Sink implements
+// it, so decision spans feed the existing Chrome-trace renderer.
+type SpanSink interface {
+	RecordSpan(rank int, label string, start, dur float64)
+}
+
+// Registry collects telemetry for one world: per-rank counters plus
+// selection-decision records. One Registry is shared by all ranks (pass
+// it to every rank's Session / Instrument call).
+type Registry struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	ranks  map[int]*rankCounters
+	ops    map[opKey]*opAgg
+	recent []Decision // ring buffer, chronological once unrolled
+	next   int        // next write position in recent
+	total  uint64     // decisions ever recorded
+	spans  SpanSink
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		epoch: time.Now(),
+		ranks: map[int]*rankCounters{},
+		ops:   map[opKey]*opAgg{},
+	}
+}
+
+// Elapsed returns seconds since the registry was created — the wall-clock
+// time base for Decision.Start on substrates without a virtual clock.
+func (r *Registry) Elapsed() float64 { return time.Since(r.epoch).Seconds() }
+
+// SetSpanSink forwards every future decision as a span (e.g. to a
+// trace.Sink for Chrome-trace rendering). Pass nil to detach.
+func (r *Registry) SetSpanSink(s SpanSink) {
+	r.mu.Lock()
+	r.spans = s
+	r.mu.Unlock()
+}
+
+// rank returns (creating on first use) rank's counter block.
+func (r *Registry) rank(rank int) *rankCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc, ok := r.ranks[rank]
+	if !ok {
+		rc = &rankCounters{}
+		r.ranks[rank] = rc
+	}
+	return rc
+}
+
+// Instrumented is implemented by communicators wrapped by
+// Registry.Instrument; tuning.Table.Run uses it to discover where to
+// record selection decisions. Instrument the communicator outermost (wrap
+// trace inside, not outside) so the assertion sees it.
+type Instrumented interface {
+	Metrics() *Registry
+}
+
+// RecordDecision records one selection decision: the verbatim record goes
+// into the recent-decisions ring, the (op, alg, k) aggregate and its
+// latency histogram are updated, and the span sink (if any) is fed.
+func (r *Registry) RecordDecision(d Decision) {
+	r.mu.Lock()
+	r.total++
+	if len(r.recent) < recentDecisions {
+		r.recent = append(r.recent, d)
+	} else {
+		r.recent[r.next] = d
+	}
+	r.next = (r.next + 1) % recentDecisions
+	key := opKey{op: d.Op, alg: d.Alg, k: d.K}
+	agg, ok := r.ops[key]
+	if !ok {
+		agg = &opAgg{}
+		r.ops[key] = agg
+	}
+	agg.count++
+	if d.Err {
+		agg.errors++
+	}
+	agg.bytes += uint64(d.Bytes)
+	agg.seconds += d.Seconds
+	agg.lat.Observe(uint64(d.Seconds * 1e9))
+	spans := r.spans
+	r.mu.Unlock()
+
+	if spans != nil {
+		label := d.Op + " " + d.Alg
+		spans.RecordSpan(d.Rank, label, d.Start, d.Seconds)
+	}
+}
+
+// RankSnapshot is one rank's counter totals at snapshot time.
+type RankSnapshot struct {
+	Rank         int               `json:"rank"`
+	Sends        uint64            `json:"sends"`
+	Recvs        uint64            `json:"recvs"`
+	SendBytes    uint64            `json:"send_bytes"`
+	RecvBytes    uint64            `json:"recv_bytes"`
+	ComputeBytes uint64            `json:"compute_bytes"`
+	SendErrors   uint64            `json:"send_errors,omitempty"`
+	RecvErrors   uint64            `json:"recv_errors,omitempty"`
+	WaitNs       HistogramSnapshot `json:"wait_ns"`
+}
+
+// CollectiveSnapshot is one (op, alg, k) aggregate at snapshot time.
+type CollectiveSnapshot struct {
+	Op        string            `json:"op"`
+	Alg       string            `json:"alg"`
+	K         int               `json:"k,omitempty"`
+	Count     uint64            `json:"count"`
+	Errors    uint64            `json:"errors,omitempty"`
+	Bytes     uint64            `json:"bytes"`
+	Seconds   float64           `json:"seconds"`
+	LatencyNs HistogramSnapshot `json:"latency_ns"`
+}
+
+// Snapshot is a deterministic copy of a Registry: ranks sorted by rank,
+// collectives sorted by (op, alg, k), recent decisions in record order.
+type Snapshot struct {
+	Ranks          []RankSnapshot       `json:"ranks"`
+	Collectives    []CollectiveSnapshot `json:"collectives"`
+	DecisionsTotal uint64               `json:"decisions_total"`
+	Decisions      []Decision           `json:"recent_decisions"`
+}
+
+// Snapshot copies the registry. Concurrent recording may continue; the
+// copy is internally consistent per counter but not a global atomic cut.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{DecisionsTotal: r.total}
+
+	for rank, rc := range r.ranks {
+		s.Ranks = append(s.Ranks, RankSnapshot{
+			Rank:         rank,
+			Sends:        rc.sends.Load(),
+			Recvs:        rc.recvs.Load(),
+			SendBytes:    rc.sendBytes.Load(),
+			RecvBytes:    rc.recvBytes.Load(),
+			ComputeBytes: rc.computeBytes.Load(),
+			SendErrors:   rc.sendErrors.Load(),
+			RecvErrors:   rc.recvErrors.Load(),
+			WaitNs:       rc.wait.snapshot(),
+		})
+	}
+	sort.Slice(s.Ranks, func(i, j int) bool { return s.Ranks[i].Rank < s.Ranks[j].Rank })
+
+	for key, agg := range r.ops {
+		s.Collectives = append(s.Collectives, CollectiveSnapshot{
+			Op: key.op, Alg: key.alg, K: key.k,
+			Count: agg.count, Errors: agg.errors,
+			Bytes: agg.bytes, Seconds: agg.seconds,
+			LatencyNs: agg.lat.snapshot(),
+		})
+	}
+	sort.Slice(s.Collectives, func(i, j int) bool {
+		a, b := s.Collectives[i], s.Collectives[j]
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Alg != b.Alg {
+			return a.Alg < b.Alg
+		}
+		return a.K < b.K
+	})
+
+	// Unroll the ring into chronological order.
+	if len(r.recent) < recentDecisions {
+		s.Decisions = append(s.Decisions, r.recent...)
+	} else {
+		s.Decisions = append(s.Decisions, r.recent[r.next:]...)
+		s.Decisions = append(s.Decisions, r.recent[:r.next]...)
+	}
+	return s
+}
+
+// Rank returns the snapshot entry for one rank (nil if absent).
+func (s *Snapshot) Rank(rank int) *RankSnapshot {
+	for i := range s.Ranks {
+		if s.Ranks[i].Rank == rank {
+			return &s.Ranks[i]
+		}
+	}
+	return nil
+}
+
+// Totals sums counters across all ranks.
+func (s *Snapshot) Totals() RankSnapshot {
+	t := RankSnapshot{Rank: -1}
+	for _, r := range s.Ranks {
+		t.Sends += r.Sends
+		t.Recvs += r.Recvs
+		t.SendBytes += r.SendBytes
+		t.RecvBytes += r.RecvBytes
+		t.ComputeBytes += r.ComputeBytes
+		t.SendErrors += r.SendErrors
+		t.RecvErrors += r.RecvErrors
+	}
+	return t
+}

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+	"exacoll/internal/transport/mem"
+)
+
+// TestHistogramBuckets pins the log2 bucket scheme: bucket 0 holds the
+// value 0, bucket i holds [2^(i-1), 2^i - 1], and the final bucket is
+// unbounded.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{1023, 10}, {1024, 11},
+		{math.MaxUint64, NumBuckets - 1},
+	}
+	var sum uint64
+	for _, c := range cases {
+		h.Observe(c.v)
+		sum += c.v
+	}
+	s := h.snapshot()
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 10: 1, 11: 1, NumBuckets - 1: 1}
+	for i, n := range s.Counts {
+		if n != want[i] {
+			t.Errorf("bucket %d: count %d, want %d", i, n, want[i])
+		}
+	}
+	if s.Sum != sum {
+		t.Errorf("sum %d, want %d", s.Sum, sum)
+	}
+	if got := s.Count(); got != uint64(len(cases)) {
+		t.Errorf("count %d, want %d", got, len(cases))
+	}
+
+	// Bounds: bucket i's inclusive upper bound is 2^i - 1; every observed
+	// value must satisfy lower <= v <= upper for its bucket.
+	if BucketUpper(0) != 0 {
+		t.Errorf("BucketUpper(0) = %d, want 0", BucketUpper(0))
+	}
+	if BucketUpper(10) != 1023 {
+		t.Errorf("BucketUpper(10) = %d, want 1023", BucketUpper(10))
+	}
+	if BucketUpper(NumBuckets-1) != math.MaxUint64 {
+		t.Errorf("final bucket must be unbounded")
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines —
+// counters via instrumented communicators, decisions directly — and
+// checks totals. Run with -race in CI.
+func TestConcurrentUpdates(t *testing.T) {
+	const p = 8
+	const msgs = 50
+	const nbytes = 64
+	reg := NewRegistry()
+	w := mem.NewWorld(p)
+	defer w.Close()
+
+	err := w.Run(func(c comm.Comm) error {
+		mc := reg.Instrument(c)
+		// Every rank sends `msgs` messages to every other rank and
+		// receives the same, half blocking and half nonblocking.
+		for i := 0; i < msgs; i++ {
+			tag := comm.TagUser + comm.Tag(i)
+			for peer := 0; peer < p; peer++ {
+				if peer == mc.Rank() {
+					continue
+				}
+				if err := mc.Send(peer, tag, make([]byte, nbytes)); err != nil {
+					return err
+				}
+			}
+			buf := make([]byte, nbytes)
+			for peer := 0; peer < p; peer++ {
+				if peer == mc.Rank() {
+					continue
+				}
+				if i%2 == 0 {
+					if _, err := mc.Recv(peer, tag, buf); err != nil {
+						return err
+					}
+				} else {
+					req, err := mc.Irecv(peer, tag, buf)
+					if err != nil {
+						return err
+					}
+					if err := req.Wait(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				reg.RecordDecision(Decision{Rank: r, Op: "MPI_Allreduce", Alg: "allreduce_recmul", K: 4, Bytes: nbytes})
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	s := reg.Snapshot()
+	wantMsgs := uint64(p * (p - 1) * msgs)
+	tot := s.Totals()
+	if tot.Sends != wantMsgs || tot.Recvs != wantMsgs {
+		t.Errorf("sends=%d recvs=%d, want %d each", tot.Sends, tot.Recvs, wantMsgs)
+	}
+	if tot.SendBytes != wantMsgs*nbytes || tot.RecvBytes != wantMsgs*nbytes {
+		t.Errorf("send_bytes=%d recv_bytes=%d, want %d each", tot.SendBytes, tot.RecvBytes, wantMsgs*nbytes)
+	}
+	if s.DecisionsTotal != p*msgs {
+		t.Errorf("decisions_total=%d, want %d", s.DecisionsTotal, p*msgs)
+	}
+	if len(s.Collectives) != 1 || s.Collectives[0].Count != p*msgs {
+		t.Errorf("collective aggregate %+v, want one entry with count %d", s.Collectives, p*msgs)
+	}
+	for _, r := range s.Ranks {
+		if got := r.WaitNs.Count(); got != uint64((p-1)*msgs) {
+			t.Errorf("rank %d wait histogram count %d, want %d", r.Rank, got, (p-1)*msgs)
+		}
+	}
+}
+
+// simAllreduce runs one instrumented Allreduce on a fresh Frontier
+// simulation and returns the snapshot.
+func simAllreduce(t *testing.T, p, nbytes int) *Snapshot {
+	t.Helper()
+	sim, err := simnet.New(machine.Frontier(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	err = sim.Run(func(c comm.Comm) error {
+		mc := reg.Instrument(c)
+		if _, ok := mc.(comm.Clock); !ok {
+			return fmt.Errorf("instrumented simnet comm lost the Clock interface")
+		}
+		a := core.Args{
+			SendBuf: make([]byte, nbytes),
+			RecvBuf: make([]byte, nbytes),
+			K:       4,
+		}
+		alg, err := core.Lookup("allreduce_recmul")
+		if err != nil {
+			return err
+		}
+		return alg.Run(mc, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg.Snapshot()
+}
+
+// TestSnapshotDeterministicOnSimnet runs the identical simulation twice:
+// because the instrumented wrapper measures waits with the virtual clock,
+// the two snapshots must be byte-for-byte identical (same seed → same
+// byte and round counts, same histograms).
+func TestSnapshotDeterministicOnSimnet(t *testing.T) {
+	a := simAllreduce(t, 8, 4096)
+	b := simAllreduce(t, 8, 4096)
+	var ab, bb bytes.Buffer
+	if err := WriteJSON(&ab, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatalf("snapshots differ across identical simulations:\n--- run 1:\n%s\n--- run 2:\n%s", ab.String(), bb.String())
+	}
+	tot := a.Totals()
+	if tot.Sends == 0 || tot.RecvBytes == 0 {
+		t.Fatalf("expected nonzero traffic, got %+v", tot)
+	}
+}

@@ -23,6 +23,10 @@ const (
 	KindSend    Kind = "send"
 	KindRecv    Kind = "recv"
 	KindCompute Kind = "compute"
+	// KindSpan is a labeled interval (e.g. one collective call recorded by
+	// the metrics subsystem's selection telemetry) rather than a single
+	// point-to-point operation.
+	KindSpan Kind = "span"
 )
 
 // Event is one recorded operation.
@@ -33,8 +37,12 @@ type Event struct {
 	Tag   comm.Tag
 	Bytes int
 	// Time is the rank's virtual clock after the operation (0 on real
-	// transports).
+	// transports). For spans it is the start time.
 	Time float64
+	// Dur is the span duration in seconds (0 for point events).
+	Dur float64
+	// Label names a span (empty for point events).
+	Label string
 	// Seq is the global record order (not meaningful across ranks on real
 	// transports; deterministic on the simulator).
 	Seq int
@@ -55,6 +63,14 @@ func (s *Sink) record(e Event) {
 	e.Seq = len(s.events)
 	s.events = append(s.events, e)
 	s.mu.Unlock()
+}
+
+// RecordSpan records a labeled interval on one rank's timeline: start and
+// dur in seconds (virtual or wall, matching the rest of the sink). It
+// satisfies the metrics package's SpanSink, so a metrics.Registry wired
+// to a Sink renders every selection decision as a Chrome-trace slice.
+func (s *Sink) RecordSpan(rank int, label string, start, dur float64) {
+	s.record(Event{Rank: rank, Kind: KindSpan, Peer: -1, Label: label, Time: start, Dur: dur})
 }
 
 // Events returns a copy of the recorded events in record order.
@@ -201,6 +217,16 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 		if i == len(events)-1 {
 			comma = ""
 		}
+		if e.Kind == KindSpan {
+			// Spans render as complete events ("X"): a slice with a
+			// duration on the rank's timeline.
+			if _, err := fmt.Fprintf(w,
+				"  {\"name\": %q, \"ph\": \"X\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}%s\n",
+				e.Label, e.Rank, e.Time*1e6, e.Dur*1e6, comma); err != nil {
+				return err
+			}
+			continue
+		}
 		name := string(e.Kind)
 		if e.Peer >= 0 {
 			name = fmt.Sprintf("%s peer=%d tag=%d", e.Kind, e.Peer, e.Tag)
@@ -219,6 +245,11 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 func FormatEvents(events []Event) string {
 	var b strings.Builder
 	for _, e := range events {
+		if e.Kind == KindSpan {
+			fmt.Fprintf(&b, "%4d %10.3fus rank %3d %-7s %-26s %7.3fus\n",
+				e.Seq, e.Time*1e6, e.Rank, e.Kind, e.Label, e.Dur*1e6)
+			continue
+		}
 		if e.Peer >= 0 {
 			fmt.Fprintf(&b, "%4d %10.3fus rank %3d %-7s peer %3d tag %6d %8dB\n",
 				e.Seq, e.Time*1e6, e.Rank, e.Kind, e.Peer, e.Tag, e.Bytes)

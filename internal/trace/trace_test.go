@@ -93,6 +93,46 @@ func TestVirtualTimestamps(t *testing.T) {
 	}
 }
 
+// TestChromeTraceSpans checks that spans recorded via RecordSpan (the
+// metrics subsystem's selection telemetry feed) render as Chrome
+// complete events with durations, alongside point events.
+func TestChromeTraceSpans(t *testing.T) {
+	sink := NewSink()
+	sink.RecordSpan(2, "MPI_Allreduce allreduce_recmul", 0.001, 0.0005)
+	sink.record(Event{Rank: 2, Kind: KindSend, Peer: 3, Bytes: 64, Time: 0.0012})
+
+	var buf bytes.Buffer
+	if err := sink.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("trace has %d events, want 2", len(parsed))
+	}
+	span := parsed[0]
+	if span["ph"] != "X" {
+		t.Errorf("span phase = %v, want X", span["ph"])
+	}
+	if span["name"] != "MPI_Allreduce allreduce_recmul" {
+		t.Errorf("span name = %v", span["name"])
+	}
+	if dur, ok := span["dur"].(float64); !ok || dur != 500 {
+		t.Errorf("span dur = %v us, want 500", span["dur"])
+	}
+	if out := FormatEvents(sink.Events()); !strings.Contains(out, "allreduce_recmul") {
+		t.Errorf("FormatEvents dropped the span label:\n%s", out)
+	}
+	// Spans must not perturb per-rank send/recv summaries.
+	for _, s := range sink.Summarize() {
+		if s.Rank == 2 && s.Sends != 1 {
+			t.Errorf("summary sends = %d, want 1", s.Sends)
+		}
+	}
+}
+
 // TestDumpTreeFigures checks the ASCII dumps reproduce the structures of
 // Figs. 1–6.
 func TestDumpTreeFigures(t *testing.T) {

@@ -1,0 +1,170 @@
+package tuning
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/metrics"
+	"exacoll/internal/transport/mem"
+)
+
+// TestRunRecordsDecisions proves Table.Run emits one selection-decision
+// record per rank per collective when the communicator is instrumented,
+// naming the algorithm and radix actually run — and that all ranks record
+// the same choice.
+func TestRunRecordsDecisions(t *testing.T) {
+	const p = 8
+	const nbytes = 1 << 10
+	tab := Recommended(machine.Frontier(), p)
+	want, err := tab.Select(core.OpAllreduce, nbytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	w := mem.NewWorld(p)
+	defer w.Close()
+	err = w.Run(func(c comm.Comm) error {
+		mc := reg.Instrument(c)
+		a := core.Args{
+			SendBuf: datatype.EncodeFloat64(make([]float64, nbytes/8)),
+			RecvBuf: make([]byte, nbytes),
+			Op:      datatype.Sum, Type: datatype.Float64,
+		}
+		return tab.Run(mc, core.OpAllreduce, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if s.DecisionsTotal != p {
+		t.Fatalf("decisions_total = %d, want %d", s.DecisionsTotal, p)
+	}
+	if len(s.Decisions) != p {
+		t.Fatalf("recent decisions = %d, want %d", len(s.Decisions), p)
+	}
+	seen := map[int]bool{}
+	for _, d := range s.Decisions {
+		if d.Op != core.OpAllreduce.String() || d.Alg != want.Alg || d.K != want.K || d.Bytes != nbytes {
+			t.Errorf("decision %+v, want op=%s alg=%s k=%d bytes=%d",
+				d, core.OpAllreduce, want.Alg, want.K, nbytes)
+		}
+		if d.Err {
+			t.Errorf("decision %+v marked failed", d)
+		}
+		seen[d.Rank] = true
+	}
+	if len(seen) != p {
+		t.Errorf("decisions cover %d ranks, want %d", len(seen), p)
+	}
+	if len(s.Collectives) != 1 || s.Collectives[0].Count != p {
+		t.Errorf("aggregate %+v, want one (op, alg, k) entry with count %d", s.Collectives, p)
+	}
+	tot := s.Totals()
+	if tot.Sends == 0 || tot.RecvBytes == 0 {
+		t.Errorf("instrumented counters empty: %+v", tot)
+	}
+}
+
+// TestScatterSelectionAgreement exercises the bug Run used to have: it
+// selected on len(SendBuf) for every op, but only scatter's root holds
+// the p·block send buffer, so root and non-roots walked different rungs
+// of the ladder and ran incompatible algorithms. Selection must use the
+// per-op size (core.SelectionSize) so every rank picks the same rung and
+// the scatter delivers correct blocks.
+func TestScatterSelectionAgreement(t *testing.T) {
+	const p = 4
+	const block = 2048 // p·block = 8 KiB: above the 4 KiB rung, block below
+	tab := Recommended(machine.Testbox(), p)
+
+	// The ladder must actually be size-dependent for this to be a test.
+	small, err := tab.Select(core.OpScatter, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := tab.Select(core.OpScatter, p*block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small == large {
+		t.Fatalf("ladder not size-dependent across %d/%d bytes; test is vacuous", block, p*block)
+	}
+
+	reg := metrics.NewRegistry()
+	w := mem.NewWorld(p)
+	defer w.Close()
+	results := make([][]byte, p)
+	err = w.Run(func(c comm.Comm) error {
+		mc := reg.Instrument(c)
+		a := core.Args{RecvBuf: make([]byte, block), Root: 0}
+		if c.Rank() == 0 {
+			a.SendBuf = make([]byte, p*block)
+			for i := range a.SendBuf {
+				a.SendBuf[i] = byte(i / block) // block j filled with j
+			}
+		}
+		if err := tab.Run(mc, core.OpScatter, a); err != nil {
+			return err
+		}
+		results[c.Rank()] = a.RecvBuf
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, buf := range results {
+		for i, b := range buf {
+			if b != byte(r) {
+				t.Fatalf("rank %d byte %d = %d, want %d", r, i, b, r)
+			}
+		}
+	}
+
+	// Every rank must have recorded the same (alg, k, bytes) — and the
+	// size must be the per-rank block, not the root's full buffer.
+	s := reg.Snapshot()
+	if len(s.Collectives) != 1 {
+		t.Fatalf("ranks disagreed on the selected algorithm: %+v", s.Collectives)
+	}
+	got := s.Collectives[0]
+	if got.Alg != small.Alg || got.K != small.K {
+		t.Errorf("selected %s k=%d, want %s k=%d (the block-size rung)", got.Alg, got.K, small.Alg, small.K)
+	}
+	for _, d := range s.Decisions {
+		if d.Bytes != block {
+			t.Errorf("rank %d selected on %d bytes, want block size %d", d.Rank, d.Bytes, block)
+		}
+	}
+}
+
+// TestRunUninstrumented pins that Run on a bare communicator stays
+// telemetry-free and correct (the zero-cost default path).
+func TestRunUninstrumented(t *testing.T) {
+	const p = 4
+	tab := Recommended(machine.Testbox(), p)
+	w := mem.NewWorld(p)
+	defer w.Close()
+	err := w.Run(func(c comm.Comm) error {
+		buf := []byte("payload-")
+		if c.Rank() == 2 {
+			buf = []byte("broadcast")
+		}
+		b := make([]byte, 9)
+		copy(b, buf)
+		if err := tab.Run(c, core.OpBcast, core.Args{SendBuf: b, Root: 2}); err != nil {
+			return err
+		}
+		if !bytes.Equal(b, []byte("broadcast")) {
+			return fmt.Errorf("rank %d got %q", c.Rank(), b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
