@@ -1,0 +1,157 @@
+// Pipelined training: the workload nonblocking collectives exist for.
+// Data-parallel SGD where the gradient allreduce of step s is in flight
+// WHILE step s+1's forward/backward pass computes — the lag-1 gradient
+// pipeline used by large-scale training frameworks. Each worker starts an
+// IAllreduce on its fresh gradient, immediately computes the next batch's
+// gradient (polling the request between examples, the MPI_Test progress
+// idiom), and only then waits and applies the now-averaged stale gradient.
+// With a modest learning rate the one-step staleness costs accuracy
+// nothing, and the communication time hides under compute.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"exacoll/gca"
+	"exacoll/internal/datatype"
+)
+
+const (
+	workers  = 4
+	features = 16
+	perShard = 64
+	steps    = 400
+	lr       = 0.08
+)
+
+// trueWeights is the model the synthetic data is generated from.
+func trueWeights() []float64 {
+	w := make([]float64, features)
+	for i := range w {
+		w[i] = float64(i%5) - 2
+	}
+	return w
+}
+
+// shard generates worker r's deterministic examples.
+func shard(r int) (xs [][]float64, ys []float64) {
+	w := trueWeights()
+	seed := uint64(r*2654435761 + 12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53) // [0, 1)
+	}
+	for i := 0; i < perShard; i++ {
+		x := make([]float64, features)
+		dot := 0.0
+		for j := range x {
+			x[j] = 2*next() - 1
+			dot += w[j] * x[j]
+		}
+		xs = append(xs, x)
+		ys = append(ys, dot)
+	}
+	return xs, ys
+}
+
+func main() {
+	world := gca.NewLocalWorld(workers)
+	defer world.Close()
+
+	finals := make([][]float64, workers)
+	err := world.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c, gca.OnMachine(gca.Frontier()))
+		xs, ys := shard(s.Rank())
+		w := make([]float64, features) // model replica, starts at zero
+
+		// localGrad computes the MSE gradient over the shard at the current
+		// weights, calling poll between examples so an in-flight collective
+		// keeps progressing under the compute.
+		localGrad := func(poll func()) []float64 {
+			grad := make([]float64, features)
+			for i, x := range xs {
+				pred := 0.0
+				for j := range w {
+					pred += w[j] * x[j]
+				}
+				diff := pred - ys[i]
+				for j := range x {
+					grad[j] += 2 * diff * x[j] / perShard
+				}
+				if poll != nil {
+					poll()
+				}
+			}
+			return grad
+		}
+
+		// Lag-1 pipeline: the allreduce of step s's gradient completes
+		// under step s+1's backward pass. Double-buffered so the library
+		// owns one (send, recv) pair while we fill the other.
+		var bufs [2]struct{ send, recv []byte }
+		for i := range bufs {
+			bufs[i].send = make([]byte, 8*features)
+			bufs[i].recv = make([]byte, 8*features)
+		}
+		var req gca.CollRequest
+		apply := func(avg []byte) {
+			sum := datatype.DecodeFloat64(avg)
+			for j := range w {
+				w[j] -= lr * sum[j] / workers
+			}
+		}
+		for step := 0; step < steps; step++ {
+			grad := localGrad(func() {
+				if req != nil {
+					req.Test() // drive the previous step's allreduce
+				}
+			})
+			if req != nil { // finish step-1's averaging, apply its gradient
+				if err := req.Wait(); err != nil {
+					return err
+				}
+				apply(bufs[(step+1)%2].recv)
+			}
+			b := &bufs[step%2]
+			copy(b.send, datatype.EncodeFloat64(grad))
+			var err error
+			if req, err = s.IAllreduce(b.send, b.recv, gca.Sum, gca.Float64); err != nil {
+				return err
+			}
+		}
+		if err := req.Wait(); err != nil { // drain the last in-flight step
+			return err
+		}
+		apply(bufs[(steps+1)%2].recv)
+
+		maxErr := 0.0
+		for j, tw := range trueWeights() {
+			maxErr = math.Max(maxErr, math.Abs(w[j]-tw))
+		}
+		if maxErr > 0.05 {
+			return fmt.Errorf("rank %d: model error %.4f after %d steps", s.Rank(), maxErr, steps)
+		}
+		if s.Rank() == 0 {
+			fmt.Printf("converged with lag-1 gradients: max |w - w*| = %.5f\n", maxErr)
+		}
+		finals[s.Rank()] = append([]float64(nil), w...)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Every rank applies the same averaged-gradient stream, so replicas
+	// must agree to rounding (the single-round recursive-multiplying
+	// combine order is rank-local, so the last ulp may differ).
+	for r := 1; r < workers; r++ {
+		for j := range finals[0] {
+			if math.Abs(finals[r][j]-finals[0][j]) > 1e-9 {
+				log.Fatalf("replica divergence at rank %d feature %d: %g vs %g",
+					r, j, finals[r][j], finals[0][j])
+			}
+		}
+	}
+	fmt.Println("pipelined training: gradient IAllreduce overlapped with the next step: ok")
+}

@@ -19,6 +19,7 @@ func TestExamplesRun(t *testing.T) {
 	}{
 		{"./examples/quickstart", "allreduce sum = 28"},
 		{"./examples/training", "data-parallel training with recursive-multiplying allreduce: ok"},
+		{"./examples/pipelinedtraining", "pipelined training: gradient IAllreduce overlapped with the next step: ok"},
 		{"./examples/stencil", "stencil with halo exchange + generalized collectives: ok"},
 		{"./examples/machinesweep", "k-ring bcast on Frontier"},
 		{"./examples/tunedselection", "tuned session ran allreduce + bcast: ok"},

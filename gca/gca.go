@@ -27,6 +27,7 @@ import (
 	"exacoll/internal/datatype"
 	"exacoll/internal/machine"
 	"exacoll/internal/metrics"
+	"exacoll/internal/nbc"
 	"exacoll/internal/simnet"
 	"exacoll/internal/transport/mem"
 	"exacoll/internal/transport/tcp"
@@ -153,6 +154,7 @@ type Session struct {
 	c       Comm
 	tab     *tuning.Table
 	metrics *metrics.Registry
+	eng     *nbc.Engine // lazily created by the first I<op> call
 }
 
 // SessionOption configures NewSession.

@@ -1,0 +1,87 @@
+package gca
+
+// Nonblocking collectives — the MPI-3 I<op> family. Each I<op> call
+// compiles the collective into a per-rank schedule (internal/nbc), using
+// the same tuning-table selection as its blocking counterpart, and starts
+// it on the session's progress engine. The returned CollRequest completes
+// through Wait or Test; while blocked in Wait, the engine drives every
+// outstanding collective of the session, so several can be in flight at
+// once and overlap with compute between Start and Wait.
+//
+// Two rules carry over from MPI-3:
+//
+//   - every rank of the communicator must issue nonblocking collectives
+//     in the same order (that shared order assigns the disjoint tag
+//     sub-ranges that keep concurrent collectives from cross-matching);
+//   - a collective's buffers belong to the library until its request
+//     completes: don't write send buffers or read receive buffers before
+//     Wait/Test reports done.
+//
+// Results are bit-identical to the blocking counterpart when the selected
+// algorithm is one of the generalized families (k-nomial, recursive
+// multiplying, k-ring); see internal/nbc for the exactness caveats of the
+// remaining fallback lowerings.
+
+import (
+	"exacoll/internal/core"
+	"exacoll/internal/nbc"
+)
+
+// CollRequest is the handle of one in-flight nonblocking collective.
+// Wait blocks until completion (MPI_Wait); Test polls without blocking
+// (MPI_Test). Both drive every outstanding collective of the session.
+type CollRequest = *nbc.Request
+
+// WaitAllColl waits on every collective request and returns the joined
+// errors — the MPI_Waitall of nonblocking collectives.
+func WaitAllColl(reqs ...CollRequest) error { return nbc.WaitAll(reqs...) }
+
+// engine returns the session's progress engine, creating it on first use.
+// Like the session's communicator, it is driven from the owning rank's
+// goroutine only.
+func (s *Session) engine() *nbc.Engine {
+	if s.eng == nil {
+		s.eng = nbc.NewEngine(s.c)
+	}
+	return s.eng
+}
+
+// istart compiles and launches one nonblocking collective.
+func (s *Session) istart(op core.CollOp, a core.Args) (CollRequest, error) {
+	prog, err := nbc.Compile(s.c, s.tab, op, a)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine().Start(prog)
+}
+
+// IBcast starts a nonblocking broadcast of buf from root.
+func (s *Session) IBcast(buf []byte, root int) (CollRequest, error) {
+	return s.istart(core.OpBcast, core.Args{SendBuf: buf, Root: root})
+}
+
+// IReduce starts a nonblocking reduction of every rank's sendbuf into
+// recvbuf at root.
+func (s *Session) IReduce(sendbuf, recvbuf []byte, op Op, t Type, root int) (CollRequest, error) {
+	return s.istart(core.OpReduce, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t, Root: root})
+}
+
+// IAllreduce starts a nonblocking allreduce of sendbuf into recvbuf.
+func (s *Session) IAllreduce(sendbuf, recvbuf []byte, op Op, t Type) (CollRequest, error) {
+	return s.istart(core.OpAllreduce, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+}
+
+// IAllgather starts a nonblocking allgather of every rank's sendbuf into
+// recvbuf (len(sendbuf)·p).
+func (s *Session) IAllgather(sendbuf, recvbuf []byte) (CollRequest, error) {
+	return s.istart(core.OpAllgather, core.Args{SendBuf: sendbuf, RecvBuf: recvbuf})
+}
+
+// IReduceScatter starts a nonblocking reduce-scatter: recvbuf receives the
+// caller's element-aligned fair block (size it with ReduceScatterBlockSize).
+func (s *Session) IReduceScatter(sendbuf, recvbuf []byte, op Op, t Type) (CollRequest, error) {
+	return s.istart(core.OpReduceScatter, core.Args{
+		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+}

@@ -1,0 +1,165 @@
+package gca
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestNonblockingMatchesBlocking checks each public I<op> against its
+// blocking counterpart through the facade, bit for bit.
+func TestNonblockingMatchesBlocking(t *testing.T) {
+	const p, elems = 6, 32
+	n := 8 * elems
+
+	payload := func(rank int) []byte {
+		buf := make([]byte, n)
+		for i := 0; i < elems; i++ {
+			copy(buf[8*i:], encodeF64(0.1*float64(rank+1)+0.7*float64(i)))
+		}
+		return buf
+	}
+
+	type result struct {
+		bcast, reduce, allreduce, allgather, rs []byte
+	}
+	run := func(nonblocking bool) []result {
+		out := make([]result, p)
+		w := NewLocalWorld(p)
+		defer w.Close()
+		err := w.Run(func(c Comm) error {
+			s := NewSession(c, OnMachine(Frontier()))
+			r := result{
+				bcast:     make([]byte, n),
+				allreduce: make([]byte, n),
+				allgather: make([]byte, n*p),
+				rs:        make([]byte, s.ReduceScatterBlockSize(n, Float64)),
+			}
+			if s.Rank() == 2 {
+				copy(r.bcast, payload(2))
+			}
+			if s.Rank() == 0 {
+				r.reduce = make([]byte, n)
+			}
+			mine := payload(s.Rank())
+			if nonblocking {
+				var reqs []CollRequest
+				for _, start := range []func() (CollRequest, error){
+					func() (CollRequest, error) { return s.IBcast(r.bcast, 2) },
+					func() (CollRequest, error) { return s.IReduce(mine, r.reduce, Sum, Float64, 0) },
+					func() (CollRequest, error) { return s.IAllreduce(mine, r.allreduce, Sum, Float64) },
+					func() (CollRequest, error) { return s.IAllgather(mine, r.allgather) },
+					func() (CollRequest, error) { return s.IReduceScatter(mine, r.rs, Sum, Float64) },
+				} {
+					req, err := start()
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, req)
+				}
+				// All five collectives are now outstanding on one
+				// communicator; drain them together.
+				if err := WaitAllColl(reqs...); err != nil {
+					return err
+				}
+			} else {
+				if err := s.Bcast(r.bcast, 2); err != nil {
+					return err
+				}
+				if err := s.Reduce(mine, r.reduce, Sum, Float64, 0); err != nil {
+					return err
+				}
+				if err := s.Allreduce(mine, r.allreduce, Sum, Float64); err != nil {
+					return err
+				}
+				if err := s.Allgather(mine, r.allgather); err != nil {
+					return err
+				}
+				if err := s.ReduceScatter(mine, r.rs, Sum, Float64); err != nil {
+					return err
+				}
+			}
+			out[s.Rank()] = r
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	want := run(false)
+	got := run(true)
+	for r := 0; r < p; r++ {
+		for _, cmp := range []struct {
+			name       string
+			want, have []byte
+		}{
+			{"bcast", want[r].bcast, got[r].bcast},
+			{"reduce", want[r].reduce, got[r].reduce},
+			{"allreduce", want[r].allreduce, got[r].allreduce},
+			{"allgather", want[r].allgather, got[r].allgather},
+			{"reduce-scatter", want[r].rs, got[r].rs},
+		} {
+			if !bytes.Equal(cmp.want, cmp.have) {
+				t.Errorf("rank %d %s: nonblocking differs from blocking", r, cmp.name)
+			}
+		}
+	}
+}
+
+// TestNonblockingOverlapAndTest drives a collective to completion with
+// Test polling while doing "compute", and checks the metrics registry saw
+// the nonblocking calls.
+func TestNonblockingOverlapAndTest(t *testing.T) {
+	const p = 4
+	reg := NewMetrics()
+	w := NewLocalWorld(p)
+	defer w.Close()
+	err := w.Run(func(c Comm) error {
+		s := NewSession(c, OnMachine(Frontier()), WithMetrics(reg))
+		sendbuf := encodeF64(float64(s.Rank() + 1))
+		recvbuf := make([]byte, 8)
+		req, err := s.IAllreduce(sendbuf, recvbuf, Sum, Float64)
+		if err != nil {
+			return err
+		}
+		// Overlapped "compute": poll between useful work.
+		acc := 0.0
+		for {
+			acc += 1.0
+			done, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+		if got := decodeF64(recvbuf); got != 10 {
+			return fmt.Errorf("rank %d: iallreduce = %v, want 10", s.Rank(), got)
+		}
+		_ = acc
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := reg.Snapshot().Totals()
+	if tot.NBCStarted != p {
+		t.Errorf("NBCStarted = %d, want %d", tot.NBCStarted, p)
+	}
+	if tot.NBCInflight != 0 {
+		t.Errorf("NBCInflight = %d, want 0", tot.NBCInflight)
+	}
+	found := false
+	for _, d := range reg.Snapshot().Decisions {
+		if d.Op == "MPI_Iallreduce" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no MPI_Iallreduce decision recorded")
+	}
+}

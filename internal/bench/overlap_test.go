@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestOverlapFigure runs the quick overlap benchmark and checks the
+// pipelined (IAllreduce under next-step compute) loop beats the blocking
+// loop on wall clock — the headline property of the nbc engine.
+func TestOverlapFigure(t *testing.T) {
+	fig, err := QuickConfig().Overlap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Grids) != 1 || len(fig.Grids[0].Series) != 2 {
+		t.Fatalf("unexpected figure shape: %+v", fig)
+	}
+	g := fig.Grids[0]
+	if g.Series[0].Name != "blocking_ms" || g.Series[1].Name != "pipelined_ms" {
+		t.Fatalf("unexpected series: %s, %s", g.Series[0].Name, g.Series[1].Name)
+	}
+	for i := range g.Xs {
+		b, p := g.Series[0].Ys[i], g.Series[1].Ys[i]
+		if !(p < b) {
+			t.Errorf("%d bytes: pipelined %.2fms not below blocking %.2fms", g.Xs[i], p, b)
+		}
+	}
+}

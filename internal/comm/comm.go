@@ -32,11 +32,47 @@ type Tag int32
 // Reserved tag ranges. Collective algorithms use tags derived from these
 // bases so that point-to-point traffic issued by user code (tags >= TagUser)
 // can never match collective-internal messages.
+//
+// Tag-space layout (the epoch convention):
+//
+//	[TagUser, TagCollBase)      application point-to-point traffic
+//	[TagCollBase, TagNBCBase)   blocking collectives (internal/core): each
+//	                            algorithm family owns a fixed base
+//	                            (TagCollBase + 0x000, +0x100, ... +0xb00)
+//	                            and all rounds of one call share it —
+//	                            per-(source, tag) FIFO ordering makes that
+//	                            safe because a rank runs at most one
+//	                            blocking collective at a time.
+//	[TagNBCBase, ...)           nonblocking collectives (internal/nbc).
+//
+// Nonblocking collectives can be outstanding concurrently, so sharing one
+// family base would cross-match their traffic. Instead every started
+// collective is assigned an issue epoch e — a per-communicator counter
+// that is identical on all ranks because MPI-3 requires nonblocking
+// collectives to be issued in the same order everywhere — and its
+// messages use the sub-range
+//
+//	[TagNBCBase + (e mod NBCTagEpochs)·NBCTagStride, ... + NBCTagStride)
+//
+// Epochs therefore never collide while fewer than NBCTagEpochs collectives
+// are in flight, and the nbc engine force-completes its oldest request
+// before reusing a wrapped epoch. User traffic at TagUser and blocking
+// collectives at their family bases can never match NBC-internal messages.
 const (
 	// TagCollBase is the first tag reserved for collective-internal
-	// messages. Each algorithm round derives its tag as
-	// TagCollBase + round offset.
+	// messages. Each blocking algorithm family derives its tag as
+	// TagCollBase + family offset.
 	TagCollBase Tag = 1 << 20
+	// TagNBCBase is the first tag reserved for nonblocking collectives.
+	// It lies above every blocking family base (TagCollBase + 0xb00 is the
+	// highest in use).
+	TagNBCBase Tag = TagCollBase + 0x10000
+	// NBCTagStride is the number of tags each nonblocking-collective epoch
+	// owns (one per schedule phase; no compiled schedule uses more).
+	NBCTagStride = 16
+	// NBCTagEpochs is the number of disjoint epoch sub-ranges before the
+	// tag window wraps.
+	NBCTagEpochs = 4096
 	// TagUser is the start of the range available to applications.
 	TagUser Tag = 0
 )
@@ -68,6 +104,33 @@ type Request interface {
 	// called only after Wait has returned nil. For sends it returns the
 	// number of bytes sent.
 	Len() int
+}
+
+// Tester is optionally implemented by Requests that support nonblocking
+// completion polling (the MPI_Test idiom). Test never blocks: it reports
+// whether the operation has completed, and — once done is true — the
+// operation's terminal status. Like Wait, Test is idempotent after
+// completion, and a completed Test consumes the operation exactly as Wait
+// would (calling Wait afterwards returns the same result immediately).
+//
+// All three built-in substrates implement Tester. The nbc progress engine
+// uses it opportunistically via TryTest and degrades to blocking Wait in a
+// canonical order when a Request does not support it, so third-party
+// transports remain usable.
+type Tester interface {
+	Test() (done bool, err error)
+}
+
+// TryTest polls req for completion if it supports Tester. ok reports
+// whether the request supported polling at all; when ok is false, done and
+// err are meaningless and the caller must fall back to Wait.
+func TryTest(req Request) (done bool, err error, ok bool) {
+	t, ok := req.(Tester)
+	if !ok {
+		return false, nil, false
+	}
+	done, err = t.Test()
+	return done, err, true
 }
 
 // Comm is a group of p ranks that can exchange messages. Implementations

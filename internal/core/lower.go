@@ -1,0 +1,106 @@
+package core
+
+// Exported lowering helpers for the nonblocking schedule compiler
+// (internal/nbc). The compiler reuses the exact round/partner/combine
+// structure of the blocking algorithms in this package — the same trees,
+// schedules, and recursive-multiplying plans — so a compiled nonblocking
+// collective produces bit-identical buffers to its blocking counterpart.
+// Nothing here introduces new communication structure; it only re-exposes
+// what the blocking bodies compute internally.
+
+// VRank maps an absolute rank to its rank relative to root (the MPI idiom
+// for rooted trees): VRank(root) = 0.
+func VRank(rank, root, p int) int { return vrank(rank, root, p) }
+
+// AbsRank inverts VRank.
+func AbsRank(vr, root, p int) int { return absRank(vr, root, p) }
+
+// FairBlock returns (offset, size) of fair block i when n bytes are split
+// across p blocks: block i spans [i*n/p, (i+1)*n/p).
+func FairBlock(n, p, i int) (off, size int) { return fairBlock(n, p, i) }
+
+// Span returns the number of vranks in the subtree rooted at v (all of P
+// for the root) — the contiguous vrank range [v, v+Span(v)) that gather,
+// scatter, and the fair-scatter bcast phase rely on.
+func (t KnomialTree) Span(v int) int {
+	if v == 0 {
+		return t.P
+	}
+	return t.SubtreeSize(v, t.lowestWeight(v))
+}
+
+// RoundXfer is one coalesced per-round transfer with a single peer: the
+// blocks move packed in ascending block-id order and Size is their total
+// byte size under the layout used to build it.
+type RoundXfer struct {
+	Peer   int
+	Blocks []int
+	Size   int
+}
+
+// XfersFor extracts rank me's coalesced sends and receives for one
+// schedule round — the same coalescing RunAllgather/RunReduceScatter use
+// internally (peers ascending, blocks ascending within a peer).
+func XfersFor(round Round, me int, layout BlockLayout) (sends, recvs []RoundXfer) {
+	s, r := roundXfers(round, me, layout)
+	conv := func(xs []xfer) []RoundXfer {
+		out := make([]RoundXfer, len(xs))
+		for i, x := range xs {
+			out[i] = RoundXfer{Peer: x.peer, Blocks: x.blocks, Size: x.size}
+		}
+		return out
+	}
+	return conv(s), conv(r)
+}
+
+// RecMulStructure exposes the recursive-multiplying round structure
+// (RecMulPlan plus the fold mapping) that AllreduceRecMul and the
+// recursive-multiplying allgather execute.
+type RecMulStructure struct {
+	P       int
+	PPrime  int
+	Factors []int
+	weights []int
+}
+
+// NewRecMulStructure plans recursive multiplying with radix k on p ranks.
+func NewRecMulStructure(p, k int) *RecMulStructure {
+	pPrime, factors := RecMulPlan(p, k)
+	return &RecMulStructure{P: p, PPrime: pPrime, Factors: factors, weights: roundWeights(factors)}
+}
+
+// Rem returns the number of folded-out ranks (p − p′).
+func (s *RecMulStructure) Rem() int { return s.P - s.PPrime }
+
+// Rounds returns the number of multiplying rounds.
+func (s *RecMulStructure) Rounds() int { return len(s.Factors) }
+
+// Slot returns rank r's slot in the multiplying rounds, or −1 when r is a
+// folded-out even rank that only participates in the fold pre/post phases.
+func (s *RecMulStructure) Slot(r int) int {
+	rem := s.Rem()
+	switch {
+	case r < 2*rem && r%2 == 0:
+		return -1
+	case r < 2*rem:
+		return r / 2
+	default:
+		return r - rem
+	}
+}
+
+// Real maps a slot back to its absolute rank.
+func (s *RecMulStructure) Real(slot int) int { return foldReal(slot, s.P, s.PPrime) }
+
+// GroupMembers returns the slots of slot's exchange group in the given
+// round, in ascending order (slot itself included).
+func (s *RecMulStructure) GroupMembers(slot, round int) []int {
+	return groupMembers(slot, s.Factors, s.weights, round)
+}
+
+// OwnedBlocks returns, ascending, the block ids (absolute ranks) slot
+// holds after `rounds` completed multiplying rounds, accounting for the
+// fold (slots below Rem carry two initial blocks).
+func (s *RecMulStructure) OwnedBlocks(slot, rounds int) []int {
+	return slotOwnedBlocks(slot, s.Factors, s.weights, rounds, s.P, s.PPrime)
+}

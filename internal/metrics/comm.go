@@ -144,6 +144,27 @@ func (r *recvRequest) Wait() error {
 	return err
 }
 
+// Test implements comm.Tester when the wrapped request does. A completed
+// test performs the same one-shot completion accounting as Wait, minus the
+// wait-histogram sample (a successful poll never blocked). When the inner
+// request does not support polling, Test reports not-done so callers fall
+// back to Wait.
+func (r *recvRequest) Test() (bool, error) {
+	done, err, ok := comm.TryTest(r.Request)
+	if !ok || !done {
+		return false, nil
+	}
+	r.once.Do(func() {
+		if err != nil {
+			r.m.rc.recvErrors.Add(1)
+			return
+		}
+		r.m.rc.recvs.Add(1)
+		r.m.rc.recvBytes.Add(uint64(r.Request.Len()))
+	})
+	return true, err
+}
+
 // clockComm re-exposes comm.Clock for clocked substrates.
 type clockComm struct {
 	*Comm

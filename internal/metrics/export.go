@@ -70,6 +70,19 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		writeHist(bw, "gca_recv_wait_ns", fmt.Sprintf("rank=\"%d\"", r.Rank), r.WaitNs)
 	}
 
+	counter("gca_nbc_started_total", "Nonblocking collectives started per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_nbc_started_total{rank=\"%d\"} %d\n", r.Rank, r.NBCStarted)
+	}
+	fmt.Fprintf(bw, "# HELP gca_nbc_inflight Nonblocking collectives currently in flight per rank.\n# TYPE gca_nbc_inflight gauge\n")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_nbc_inflight{rank=\"%d\"} %d\n", r.Rank, r.NBCInflight)
+	}
+	fmt.Fprintf(bw, "# HELP gca_nbc_overlap_ns Window between an I<op> call and its first Wait per rank, nanoseconds.\n# TYPE gca_nbc_overlap_ns histogram\n")
+	for _, r := range s.Ranks {
+		writeHist(bw, "gca_nbc_overlap_ns", fmt.Sprintf("rank=\"%d\"", r.Rank), r.OverlapNs)
+	}
+
 	counter("gca_collective_runs_total", "Collective calls by (op, algorithm, radix).")
 	for _, c := range s.Collectives {
 		fmt.Fprintf(bw, "gca_collective_runs_total{%s} %d\n", collLabels(c), c.Count)

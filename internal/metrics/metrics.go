@@ -44,6 +44,10 @@ type rankCounters struct {
 	sendErrors   atomic.Uint64
 	recvErrors   atomic.Uint64
 	wait         Histogram // nanoseconds blocked in Recv / Request.Wait
+
+	nbcStarted  atomic.Uint64
+	nbcInflight atomic.Int64
+	overlap     Histogram // nanoseconds between I<op> start and first Wait
 }
 
 // opKey aggregates decisions by what actually ran.
@@ -134,6 +138,26 @@ func (r *Registry) rank(rank int) *rankCounters {
 	return rc
 }
 
+// NBCStart counts a nonblocking collective starting on rank and raises the
+// rank's in-flight gauge.
+func (r *Registry) NBCStart(rank int) {
+	rc := r.rank(rank)
+	rc.nbcStarted.Add(1)
+	rc.nbcInflight.Add(1)
+}
+
+// NBCFinish lowers rank's in-flight nonblocking-collective gauge.
+func (r *Registry) NBCFinish(rank int) {
+	r.rank(rank).nbcInflight.Add(-1)
+}
+
+// ObserveOverlap records the overlap window of one nonblocking collective
+// on rank: nanoseconds between the I<op> call and the first Wait — the
+// time the caller had available to compute while communication progressed.
+func (r *Registry) ObserveOverlap(rank int, ns uint64) {
+	r.rank(rank).overlap.Observe(ns)
+}
+
 // Instrumented is implemented by communicators wrapped by
 // Registry.Instrument; tuning.Table.Run uses it to discover where to
 // record selection decisions. Instrument the communicator outermost (wrap
@@ -187,6 +211,12 @@ type RankSnapshot struct {
 	SendErrors   uint64            `json:"send_errors,omitempty"`
 	RecvErrors   uint64            `json:"recv_errors,omitempty"`
 	WaitNs       HistogramSnapshot `json:"wait_ns"`
+	// NBCStarted counts nonblocking collectives started on this rank;
+	// NBCInflight is the in-flight gauge at snapshot time; OverlapNs is the
+	// histogram of I<op>-to-first-Wait windows.
+	NBCStarted  uint64            `json:"nbc_started,omitempty"`
+	NBCInflight int64             `json:"nbc_inflight,omitempty"`
+	OverlapNs   HistogramSnapshot `json:"nbc_overlap_ns"`
 }
 
 // CollectiveSnapshot is one (op, alg, k) aggregate at snapshot time.
@@ -228,6 +258,9 @@ func (r *Registry) Snapshot() *Snapshot {
 			SendErrors:   rc.sendErrors.Load(),
 			RecvErrors:   rc.recvErrors.Load(),
 			WaitNs:       rc.wait.snapshot(),
+			NBCStarted:   rc.nbcStarted.Load(),
+			NBCInflight:  rc.nbcInflight.Load(),
+			OverlapNs:    rc.overlap.snapshot(),
 		})
 	}
 	sort.Slice(s.Ranks, func(i, j int) bool { return s.Ranks[i].Rank < s.Ranks[j].Rank })
@@ -282,6 +315,8 @@ func (s *Snapshot) Totals() RankSnapshot {
 		t.ComputeBytes += r.ComputeBytes
 		t.SendErrors += r.SendErrors
 		t.RecvErrors += r.RecvErrors
+		t.NBCStarted += r.NBCStarted
+		t.NBCInflight += r.NBCInflight
 	}
 	return t
 }

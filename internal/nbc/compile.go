@@ -1,0 +1,229 @@
+package nbc
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/tuning"
+)
+
+// The compiler: Compile picks the algorithm and radix for (op, size) from
+// the tuning table — the same selection the blocking path makes — and
+// lowers it into a per-rank Program.
+//
+// Three lowering families cover every registered algorithm:
+//
+//	knomial — k-nomial trees (bcast, reduce, gather+bcast, reduce+bcast)
+//	recmul  — recursive multiplying with folding (k=2 is recursive doubling)
+//	kring   — explicit k-ring schedules (k=1 is the plain ring)
+//
+// Algorithms outside the three generalized families (linear, bruck,
+// rabenseifner, hierarchical, ...) map to the nearest family at an
+// equivalent fixed radix. For bcast and allgather any correct lowering is
+// byte-identical, so the substitution is exact. For the reduction ops the
+// generalized families reproduce the blocking combine order bit for bit
+// (and recursive doubling is recursive multiplying at k=2, fold included);
+// the remaining fallbacks (allreduce_rabenseifner, *_linear, *_ring
+// reductions, reducescatter_rechalving, allreduce_hier) are numerically
+// equivalent only up to floating-point reassociation — exact for integer
+// types and commutative-associative ops.
+
+// family selects a lowering family at a fixed radix.
+type family struct {
+	kind lowerKind
+	k    int // 0: use the table's k (clamped to the family minimum)
+}
+
+type lowerKind uint8
+
+const (
+	lowKnomial lowerKind = iota
+	lowRecMul
+	lowKRing
+)
+
+// families maps every registered algorithm of the five nonblocking ops to
+// its lowering family.
+var families = map[string]family{
+	// Bcast.
+	"bcast_knomial":           {lowKnomial, 0},
+	"bcast_knomial_pipelined": {lowKnomial, 0}, // unsegmented: one tree pass
+	"bcast_binomial":          {lowKnomial, 2},
+	"bcast_linear":            {lowKnomial, 2},
+	"bcast_recmul":            {lowRecMul, 0},
+	"bcast_recdbl":            {lowRecMul, 2},
+	"bcast_kring":             {lowKRing, 0},
+	"bcast_ring":              {lowKRing, 1},
+	"bcast_chain":             {lowKRing, 1},
+
+	// Reduce.
+	"reduce_knomial":  {lowKnomial, 0},
+	"reduce_binomial": {lowKnomial, 2},
+	"reduce_linear":   {lowKnomial, 2},
+
+	// Allgather.
+	"allgather_knomial": {lowKnomial, 0},
+	"allgather_recmul":  {lowRecMul, 0},
+	"allgather_recdbl":  {lowRecMul, 2},
+	"allgather_kring":   {lowKRing, 0},
+	"allgather_ring":    {lowKRing, 1},
+	"allgather_bruck":   {lowKRing, 1},
+	"allgather_linear":  {lowKRing, 1},
+
+	// Allreduce.
+	"allreduce_knomial":      {lowKnomial, 0},
+	"allreduce_recmul":       {lowRecMul, 0},
+	"allreduce_recdbl":       {lowRecMul, 2},
+	"allreduce_kring":        {lowKRing, 0},
+	"allreduce_ring":         {lowKRing, 1},
+	"allreduce_rabenseifner": {lowKRing, 1},
+	"allreduce_linear":       {lowKnomial, 2},
+	"allreduce_hier":         {lowKnomial, 2},
+
+	// Reduce-scatter.
+	"reducescatter_kring":      {lowKRing, 0},
+	"reducescatter_ring":       {lowKRing, 1},
+	"reducescatter_rechalving": {lowKRing, 2},
+}
+
+// iname renames the blocking op name to its nonblocking form:
+// "MPI_Bcast" → "MPI_Ibcast".
+func iname(op core.CollOp) string {
+	s := op.String()
+	const pfx = "MPI_"
+	if len(s) > len(pfx) && s[:len(pfx)] == pfx {
+		head := s[len(pfx):]
+		return pfx + "I" + string(head[0]|0x20) + head[1:]
+	}
+	return "I" + s
+}
+
+// Compile lowers one collective call into rank c.Rank()'s program,
+// choosing (algorithm, radix) from tab at a's selection size. The returned
+// program references a's buffers directly; they must stay untouched (sends)
+// and unread (receives) until the request completes, like any MPI
+// nonblocking buffer.
+func Compile(c comm.Comm, tab *tuning.Table, op core.CollOp, a core.Args) (*Program, error) {
+	nbytes := core.SelectionSize(op, a)
+	alg, k, err := tab.Choose(op, nbytes)
+	if err != nil {
+		return nil, err
+	}
+	fam, ok := families[alg.Name]
+	if !ok {
+		return nil, fmt.Errorf("nbc: no nonblocking lowering for %s", alg.Name)
+	}
+	if fam.k != 0 {
+		k = fam.k
+	}
+	// Clamp to the family's minimum radix (tree and recmul families need
+	// k ≥ 2; the k-ring degenerates to the plain ring at k = 1).
+	min := 2
+	if fam.kind == lowKRing {
+		min = 1
+	}
+	if k < min {
+		k = min
+	}
+
+	p, me := c.Size(), c.Rank()
+	b := &progBuilder{}
+	switch op {
+	case core.OpBcast:
+		if err := checkRoot(p, a.Root); err != nil {
+			return nil, err
+		}
+		switch fam.kind {
+		case lowKnomial:
+			lowerBcastKnomial(b, p, me, a.SendBuf, a.Root, k, 0, -1)
+		case lowRecMul:
+			lowerBcastRecMul(b, p, me, a.SendBuf, a.Root, k)
+		case lowKRing:
+			if err := lowerBcastKRing(b, p, me, a.SendBuf, a.Root, k); err != nil {
+				return nil, err
+			}
+		}
+	case core.OpReduce:
+		if err := checkRoot(p, a.Root); err != nil {
+			return nil, err
+		}
+		if err := checkReduceBufs(me == a.Root, a.SendBuf, a.RecvBuf, a.Type); err != nil {
+			return nil, err
+		}
+		lowerReduceKnomial(b, p, me, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.Root, k, 0)
+	case core.OpAllgather:
+		if len(a.RecvBuf) != len(a.SendBuf)*p {
+			return nil, fmt.Errorf("nbc: allgather recvbuf %d bytes, want %d", len(a.RecvBuf), len(a.SendBuf)*p)
+		}
+		switch fam.kind {
+		case lowKnomial:
+			lowerAllgatherKnomial(b, p, me, a.SendBuf, a.RecvBuf, k)
+		case lowRecMul:
+			lowerAllgatherRecMul(b, p, me, a.SendBuf, a.RecvBuf, k)
+		case lowKRing:
+			if err := lowerAllgatherKRing(b, p, me, a.SendBuf, a.RecvBuf, k); err != nil {
+				return nil, err
+			}
+		}
+	case core.OpAllreduce:
+		if err := checkReduceBufs(true, a.SendBuf, a.RecvBuf, a.Type); err != nil {
+			return nil, err
+		}
+		switch fam.kind {
+		case lowKnomial:
+			lowerAllreduceKnomial(b, p, me, a.SendBuf, a.RecvBuf, a.Op, a.Type, k)
+		case lowRecMul:
+			lowerAllreduceRecMul(b, p, me, a.SendBuf, a.RecvBuf, a.Op, a.Type, k, 0, 1)
+		case lowKRing:
+			if err := lowerAllreduceKRing(b, p, me, a.SendBuf, a.RecvBuf, a.Op, a.Type, k); err != nil {
+				return nil, err
+			}
+		}
+	case core.OpReduceScatter:
+		layout := core.FairLayoutAligned(len(a.SendBuf), p, a.Type.Size())
+		_, sz := layout(me)
+		if len(a.RecvBuf) != sz {
+			return nil, fmt.Errorf("nbc: reduce-scatter recvbuf %d bytes, want %d", len(a.RecvBuf), sz)
+		}
+		if err := lowerReduceScatterKRing(b, p, me, a.SendBuf, a.RecvBuf, a.Op, a.Type, k); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("nbc: %s has no nonblocking form", op)
+	}
+
+	prog := &Program{
+		Ops:    b.ops,
+		OpName: iname(op),
+		Alg:    "nbc:" + alg.Name,
+		K:      k,
+		Bytes:  nbytes,
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// checkRoot mirrors core's root validation.
+func checkRoot(p, root int) error {
+	if root < 0 || root >= p {
+		return fmt.Errorf("nbc: root %d out of range (p=%d)", root, p)
+	}
+	return nil
+}
+
+// checkReduceBufs mirrors core's reduction buffer validation. recvMatters
+// is false when recvbuf is only significant at the root and the caller is
+// not the root (MPI_Reduce at non-roots).
+func checkReduceBufs(recvMatters bool, sendbuf, recvbuf []byte, t datatype.Type) error {
+	if len(sendbuf)%t.Size() != 0 {
+		return fmt.Errorf("nbc: sendbuf %d bytes not a multiple of %s (%d bytes)", len(sendbuf), t, t.Size())
+	}
+	if recvMatters && len(recvbuf) != len(sendbuf) {
+		return fmt.Errorf("nbc: recvbuf %d bytes, want %d", len(recvbuf), len(sendbuf))
+	}
+	return nil
+}

@@ -1,0 +1,617 @@
+package nbc_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/nbc"
+	"exacoll/internal/simnet"
+	"exacoll/internal/transport/mem"
+	"exacoll/internal/transport/tcp"
+	"exacoll/internal/tuning"
+)
+
+// pinnedTable returns a one-rung table that always selects (alg, k), so a
+// blocking tab.Run and a nonblocking Compile make the identical choice.
+func pinnedTable(op core.CollOp, alg string, k int) *tuning.Table {
+	return &tuning.Table{Machine: "test", Ops: map[string][]tuning.Entry{
+		op.String(): {{Alg: alg, K: k}},
+	}}
+}
+
+// messyVector is rank r's float64 contribution with rounding-sensitive
+// values: summing in a different order produces different bits, so the
+// bit-identity comparison below really checks the combine order.
+func messyVector(r, elems int) []byte {
+	v := make([]float64, elems)
+	for i := range v {
+		v[i] = 0.1*float64(r+1) + 0.3*float64(i) + float64(i%7)/3.0
+	}
+	return datatype.EncodeFloat64(v)
+}
+
+// intVector is rank r's int64 contribution for lowerings that are only
+// order-equivalent (integer sums are exact under any association).
+func intVector(r, elems int) []byte {
+	v := make([]int64, elems)
+	for i := range v {
+		v[i] = int64(r+1)*1000 + int64(i) - 37
+	}
+	return datatype.EncodeInt64(v)
+}
+
+// collCase describes one (op, algorithm) conformance case.
+type collCase struct {
+	op       core.CollOp
+	alg      string
+	k        int
+	pow2Only bool
+	// ints selects int64 payloads: the lowering maps this algorithm to a
+	// different communication structure, so floating-point results are
+	// only reassociation-equivalent, not bit-identical.
+	ints bool
+}
+
+var collCases = []collCase{
+	// Bcast (any correct lowering is byte-identical).
+	{op: core.OpBcast, alg: "bcast_knomial", k: 2},
+	{op: core.OpBcast, alg: "bcast_knomial", k: 3},
+	{op: core.OpBcast, alg: "bcast_knomial", k: 4},
+	{op: core.OpBcast, alg: "bcast_binomial"},
+	{op: core.OpBcast, alg: "bcast_linear"},
+	{op: core.OpBcast, alg: "bcast_recmul", k: 2},
+	{op: core.OpBcast, alg: "bcast_recmul", k: 3},
+	{op: core.OpBcast, alg: "bcast_recdbl", pow2Only: true},
+	{op: core.OpBcast, alg: "bcast_kring", k: 1},
+	{op: core.OpBcast, alg: "bcast_kring", k: 2},
+	{op: core.OpBcast, alg: "bcast_kring", k: 3},
+	{op: core.OpBcast, alg: "bcast_ring"},
+
+	// Reduce.
+	{op: core.OpReduce, alg: "reduce_knomial", k: 2},
+	{op: core.OpReduce, alg: "reduce_knomial", k: 3},
+	{op: core.OpReduce, alg: "reduce_binomial"},
+	{op: core.OpReduce, alg: "reduce_linear", ints: true},
+
+	// Allgather (byte-identical regardless of lowering).
+	{op: core.OpAllgather, alg: "allgather_knomial", k: 3},
+	{op: core.OpAllgather, alg: "allgather_recmul", k: 2},
+	{op: core.OpAllgather, alg: "allgather_recmul", k: 3},
+	{op: core.OpAllgather, alg: "allgather_recdbl", pow2Only: true},
+	{op: core.OpAllgather, alg: "allgather_kring", k: 2},
+	{op: core.OpAllgather, alg: "allgather_ring"},
+	{op: core.OpAllgather, alg: "allgather_bruck"},
+
+	// Allreduce.
+	{op: core.OpAllreduce, alg: "allreduce_knomial", k: 2},
+	{op: core.OpAllreduce, alg: "allreduce_knomial", k: 3},
+	{op: core.OpAllreduce, alg: "allreduce_recmul", k: 2},
+	{op: core.OpAllreduce, alg: "allreduce_recmul", k: 3},
+	// recursive doubling lowers to recursive multiplying at k=2, which is
+	// the same exchange/fold/combine order — bit-identical even off pow2.
+	{op: core.OpAllreduce, alg: "allreduce_recdbl"},
+	{op: core.OpAllreduce, alg: "allreduce_kring", k: 2},
+	{op: core.OpAllreduce, alg: "allreduce_kring", k: 3},
+	{op: core.OpAllreduce, alg: "allreduce_ring", ints: true},
+	{op: core.OpAllreduce, alg: "allreduce_rabenseifner", ints: true},
+	{op: core.OpAllreduce, alg: "allreduce_linear", ints: true},
+
+	// Reduce-scatter.
+	{op: core.OpReduceScatter, alg: "reducescatter_kring", k: 2},
+	{op: core.OpReduceScatter, alg: "reducescatter_kring", k: 3},
+	{op: core.OpReduceScatter, alg: "reducescatter_ring", ints: true},
+	{op: core.OpReduceScatter, alg: "reducescatter_rechalving", pow2Only: true, ints: true},
+}
+
+// buildCollArgs returns rank's Args for (op, elems·8 bytes) plus the
+// output buffer the collective's result lands in.
+func buildCollArgs(op core.CollOp, rank, p, elems, root int, ints bool) (core.Args, []byte) {
+	payload := messyVector
+	dt := datatype.Float64
+	if ints {
+		payload = intVector
+		dt = datatype.Int64
+	}
+	a := core.Args{Op: datatype.Sum, Type: dt, Root: root}
+	n := elems * 8
+	switch op {
+	case core.OpBcast:
+		a.SendBuf = make([]byte, n)
+		if rank == root {
+			copy(a.SendBuf, payload(root, elems))
+		}
+		return a, a.SendBuf
+	case core.OpReduce:
+		a.SendBuf = payload(rank, elems)
+		if rank == root {
+			a.RecvBuf = make([]byte, n)
+		}
+		return a, a.RecvBuf
+	case core.OpAllgather:
+		a.SendBuf = payload(rank, elems)
+		a.RecvBuf = make([]byte, n*p)
+		return a, a.RecvBuf
+	case core.OpAllreduce:
+		a.SendBuf = payload(rank, elems)
+		a.RecvBuf = make([]byte, n)
+		return a, a.RecvBuf
+	case core.OpReduceScatter:
+		a.SendBuf = payload(rank, elems)
+		_, sz := core.FairLayoutAligned(n, p, dt.Size())(rank)
+		a.RecvBuf = make([]byte, sz)
+		return a, a.RecvBuf
+	}
+	panic("unhandled op")
+}
+
+func isPow2(p int) bool { return p > 0 && p&(p-1) == 0 }
+
+// runBlocking runs the pinned blocking collective on a fresh mem world
+// and returns every rank's output buffer.
+func runBlocking(t *testing.T, tab *tuning.Table, op core.CollOp, p, elems, root int, ints bool) [][]byte {
+	t.Helper()
+	out := make([][]byte, p)
+	w := mem.NewWorld(p)
+	defer w.Close()
+	err := w.Run(func(c comm.Comm) error {
+		a, res := buildCollArgs(op, c.Rank(), p, elems, root, ints)
+		if err := tab.Run(c, op, a); err != nil {
+			return err
+		}
+		out[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("blocking %s p=%d: %v", op, p, err)
+	}
+	return out
+}
+
+// runNonblocking compiles and runs the same collective through the nbc
+// engine on a fresh mem world. useTest drives completion with Test polls
+// instead of Wait.
+func runNonblocking(t *testing.T, tab *tuning.Table, op core.CollOp, p, elems, root int, ints, useTest bool) [][]byte {
+	t.Helper()
+	out := make([][]byte, p)
+	w := mem.NewWorld(p)
+	defer w.Close()
+	err := w.Run(func(c comm.Comm) error {
+		a, res := buildCollArgs(op, c.Rank(), p, elems, root, ints)
+		prog, err := nbc.Compile(c, tab, op, a)
+		if err != nil {
+			return err
+		}
+		req, err := nbc.NewEngine(c).Start(prog)
+		if err != nil {
+			return err
+		}
+		if useTest {
+			for {
+				done, err := req.Test()
+				if err != nil {
+					return err
+				}
+				if done {
+					break
+				}
+			}
+		} else if err := req.Wait(); err != nil {
+			return err
+		}
+		out[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("nonblocking %s p=%d: %v", op, p, err)
+	}
+	return out
+}
+
+// TestConformanceMem checks that I<op>+Wait produces bit-identical
+// buffers to the blocking counterpart for every lowering, across odd,
+// prime, and power-of-two communicator sizes and awkward payload sizes.
+func TestConformanceMem(t *testing.T) {
+	ps := []int{1, 2, 3, 5, 8}
+	if testing.Short() {
+		ps = []int{1, 3, 8}
+	}
+	for _, tc := range collCases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s_k%d", tc.alg, tc.k), func(t *testing.T) {
+			t.Parallel()
+			tab := pinnedTable(tc.op, tc.alg, tc.k)
+			for _, p := range ps {
+				if tc.pow2Only && !isPow2(p) {
+					continue
+				}
+				for _, elems := range []int{1, 33} {
+					roots := []int{0}
+					if (tc.op == core.OpBcast || tc.op == core.OpReduce) && p > 1 {
+						roots = []int{0, p - 1}
+					}
+					for _, root := range roots {
+						want := runBlocking(t, tab, tc.op, p, elems, root, tc.ints)
+						got := runNonblocking(t, tab, tc.op, p, elems, root, tc.ints, false)
+						for r := 0; r < p; r++ {
+							if !bytes.Equal(want[r], got[r]) {
+								t.Fatalf("p=%d elems=%d root=%d rank %d: nonblocking differs from blocking", p, elems, root, r)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceTestDriven drives completion with Test polls (MPI_Test
+// spinning) instead of Wait on a representative subset.
+func TestConformanceTestDriven(t *testing.T) {
+	for _, tc := range []collCase{
+		{op: core.OpAllreduce, alg: "allreduce_kring", k: 2},
+		{op: core.OpBcast, alg: "bcast_recmul", k: 3},
+		{op: core.OpAllgather, alg: "allgather_knomial", k: 3},
+	} {
+		tab := pinnedTable(tc.op, tc.alg, tc.k)
+		for _, p := range []int{3, 6} {
+			want := runBlocking(t, tab, tc.op, p, 17, 0, tc.ints)
+			got := runNonblocking(t, tab, tc.op, p, 17, 0, tc.ints, true)
+			for r := 0; r < p; r++ {
+				if !bytes.Equal(want[r], got[r]) {
+					t.Fatalf("%s p=%d rank %d: Test-driven result differs", tc.alg, p, r)
+				}
+			}
+		}
+	}
+}
+
+// concurrentSpec is the fixed four-collective batch used by the
+// concurrency tests: four different operations outstanding on one
+// communicator at once (the acceptance bar is ≥ 3).
+type concurrentSpec struct {
+	tabs  map[core.CollOp]*tuning.Table
+	elems int
+	root  int
+}
+
+func newConcurrentSpec() concurrentSpec {
+	return concurrentSpec{
+		tabs: map[core.CollOp]*tuning.Table{
+			core.OpAllreduce:     pinnedTable(core.OpAllreduce, "allreduce_kring", 2),
+			core.OpBcast:         pinnedTable(core.OpBcast, "bcast_knomial", 3),
+			core.OpAllgather:     pinnedTable(core.OpAllgather, "allgather_recmul", 3),
+			core.OpReduceScatter: pinnedTable(core.OpReduceScatter, "reducescatter_kring", 3),
+		},
+		elems: 24,
+		root:  1,
+	}
+}
+
+// order fixes the issue order (identical on every rank, per MPI-3).
+var concurrentOrder = []core.CollOp{core.OpAllreduce, core.OpBcast, core.OpAllgather, core.OpReduceScatter}
+
+// runConcurrent runs the four collectives on c — blocking sequentially
+// when eng is nil, otherwise all outstanding simultaneously with waits in
+// reverse issue order — and returns the four result buffers.
+func (s concurrentSpec) run(c comm.Comm, eng *nbc.Engine) (map[core.CollOp][]byte, error) {
+	p := c.Size()
+	root := s.root % p
+	args := map[core.CollOp]core.Args{}
+	res := map[core.CollOp][]byte{}
+	for _, op := range concurrentOrder {
+		a, out := buildCollArgs(op, c.Rank(), p, s.elems, root, false)
+		args[op], res[op] = a, out
+	}
+	if eng == nil {
+		for _, op := range concurrentOrder {
+			if err := s.tabs[op].Run(c, op, args[op]); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+	reqs := make([]*nbc.Request, 0, len(concurrentOrder))
+	for _, op := range concurrentOrder {
+		prog, err := nbc.Compile(c, s.tabs[op], op, args[op])
+		if err != nil {
+			return nil, err
+		}
+		req, err := eng.Start(prog)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, req)
+	}
+	// Wait in reverse issue order: completing the youngest first forces
+	// the engine to drive all four schedules interleaved.
+	for i := len(reqs) - 1; i >= 0; i-- {
+		if err := reqs[i].Wait(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// TestConcurrentCollectives checks four collectives outstanding at once
+// on one communicator against their blocking counterparts, bit for bit.
+func TestConcurrentCollectives(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		spec := newConcurrentSpec()
+		want := make([]map[core.CollOp][]byte, p)
+		w := mem.NewWorld(p)
+		if err := w.Run(func(c comm.Comm) error {
+			out, err := spec.run(c, nil)
+			want[c.Rank()] = out
+			return err
+		}); err != nil {
+			t.Fatalf("blocking batch p=%d: %v", p, err)
+		}
+		w.Close()
+
+		got := make([]map[core.CollOp][]byte, p)
+		w2 := mem.NewWorld(p)
+		if err := w2.Run(func(c comm.Comm) error {
+			out, err := spec.run(c, nbc.NewEngine(c))
+			got[c.Rank()] = out
+			return err
+		}); err != nil {
+			t.Fatalf("concurrent batch p=%d: %v", p, err)
+		}
+		w2.Close()
+
+		for r := 0; r < p; r++ {
+			for _, op := range concurrentOrder {
+				if !bytes.Equal(want[r][op], got[r][op]) {
+					t.Fatalf("p=%d rank %d %s: concurrent result differs from blocking", p, r, op)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSameOp keeps three allreduces with different payloads
+// outstanding simultaneously, waited out of issue order, and checks each
+// against its own blocking run — the tag-epoch separation test.
+func TestConcurrentSameOp(t *testing.T) {
+	const p, elems = 4, 19
+	tab := pinnedTable(core.OpAllreduce, "allreduce_recmul", 2)
+	const rounds = 3
+
+	want := make([][][]byte, rounds)
+	for i := range want {
+		want[i] = make([][]byte, p)
+	}
+	w := mem.NewWorld(p)
+	if err := w.Run(func(c comm.Comm) error {
+		for i := 0; i < rounds; i++ {
+			a, out := buildCollArgs(core.OpAllreduce, c.Rank()+i*p, p, elems, 0, false)
+			if err := tab.Run(c, core.OpAllreduce, a); err != nil {
+				return err
+			}
+			want[i][c.Rank()] = out
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("blocking: %v", err)
+	}
+	w.Close()
+
+	got := make([][][]byte, rounds)
+	for i := range got {
+		got[i] = make([][]byte, p)
+	}
+	w2 := mem.NewWorld(p)
+	if err := w2.Run(func(c comm.Comm) error {
+		eng := nbc.NewEngine(c)
+		reqs := make([]*nbc.Request, rounds)
+		for i := 0; i < rounds; i++ {
+			a, out := buildCollArgs(core.OpAllreduce, c.Rank()+i*p, p, elems, 0, false)
+			prog, err := nbc.Compile(c, tab, core.OpAllreduce, a)
+			if err != nil {
+				return err
+			}
+			if reqs[i], err = eng.Start(prog); err != nil {
+				return err
+			}
+			got[i][c.Rank()] = out
+		}
+		// Wait out of order: middle, first, last.
+		for _, i := range []int{1, 0, 2} {
+			if err := reqs[i].Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("concurrent: %v", err)
+	}
+	w2.Close()
+
+	for i := 0; i < rounds; i++ {
+		for r := 0; r < p; r++ {
+			if !bytes.Equal(want[i][r], got[i][r]) {
+				t.Fatalf("allreduce #%d rank %d: result differs", i, r)
+			}
+		}
+	}
+}
+
+// TestConformanceSimnet repeats the conformance check on the simulator:
+// virtual time, one kernel action per rank, cooperative progress only.
+func TestConformanceSimnet(t *testing.T) {
+	cases := []collCase{
+		{op: core.OpAllreduce, alg: "allreduce_kring", k: 2},
+		{op: core.OpAllreduce, alg: "allreduce_recmul", k: 3},
+		{op: core.OpBcast, alg: "bcast_kring", k: 2},
+		{op: core.OpAllgather, alg: "allgather_recmul", k: 2},
+		{op: core.OpReduceScatter, alg: "reducescatter_kring", k: 2},
+	}
+	for _, p := range []int{3, 8} {
+		for _, tc := range cases {
+			tab := pinnedTable(tc.op, tc.alg, tc.k)
+
+			want := make([][]byte, p)
+			sim, err := simnet.New(machine.Testbox(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Run(func(c comm.Comm) error {
+				a, out := buildCollArgs(tc.op, c.Rank(), p, 16, 0, false)
+				if err := tab.Run(c, tc.op, a); err != nil {
+					return err
+				}
+				want[c.Rank()] = out
+				return nil
+			}); err != nil {
+				t.Fatalf("%s p=%d blocking on simnet: %v", tc.alg, p, err)
+			}
+
+			got := make([][]byte, p)
+			sim2, err := simnet.New(machine.Testbox(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim2.Run(func(c comm.Comm) error {
+				a, out := buildCollArgs(tc.op, c.Rank(), p, 16, 0, false)
+				prog, err := nbc.Compile(c, tab, tc.op, a)
+				if err != nil {
+					return err
+				}
+				req, err := nbc.NewEngine(c).Start(prog)
+				if err != nil {
+					return err
+				}
+				if err := req.Wait(); err != nil {
+					return err
+				}
+				got[c.Rank()] = out
+				return nil
+			}); err != nil {
+				t.Fatalf("%s p=%d nonblocking on simnet: %v", tc.alg, p, err)
+			}
+			for r := 0; r < p; r++ {
+				if !bytes.Equal(want[r], got[r]) {
+					t.Fatalf("%s p=%d rank %d: simnet nonblocking differs", tc.alg, p, r)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentCollectivesSimnet keeps the four-op batch outstanding on
+// the simulator, where any engine that breaks the cooperative-progress
+// discipline (issuing from a helper goroutine) or the canonical blocking
+// order would deadlock the kernel deterministically.
+func TestConcurrentCollectivesSimnet(t *testing.T) {
+	const p = 6
+	spec := newConcurrentSpec()
+
+	want := make([]map[core.CollOp][]byte, p)
+	sim, err := simnet.New(machine.Testbox(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(func(c comm.Comm) error {
+		out, err := spec.run(c, nil)
+		want[c.Rank()] = out
+		return err
+	}); err != nil {
+		t.Fatalf("blocking batch: %v", err)
+	}
+
+	got := make([]map[core.CollOp][]byte, p)
+	sim2, err := simnet.New(machine.Testbox(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim2.Run(func(c comm.Comm) error {
+		out, err := spec.run(c, nbc.NewEngine(c))
+		got[c.Rank()] = out
+		return err
+	}); err != nil {
+		t.Fatalf("concurrent batch: %v", err)
+	}
+	for r := 0; r < p; r++ {
+		for _, op := range concurrentOrder {
+			if !bytes.Equal(want[r][op], got[r][op]) {
+				t.Fatalf("rank %d %s: simnet concurrent differs from blocking", r, op)
+			}
+		}
+	}
+}
+
+// tcpWorld spins up p ranks over loopback sockets.
+func tcpWorld(t *testing.T, p int, fn func(c comm.Comm) error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	errs := make([]error, p)
+	procs := make([]*tcp.Proc, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			proc, err := tcp.Rendezvous(r, p, addr, tcp.Options{Timeout: 10 * time.Second})
+			if err != nil {
+				errs[r] = fmt.Errorf("rendezvous: %w", err)
+				return
+			}
+			procs[r] = proc
+			errs[r] = fn(proc)
+		}(r)
+	}
+	wg.Wait()
+	for _, proc := range procs {
+		if proc != nil {
+			proc.Close()
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestConcurrentCollectivesTCP runs the four-op concurrent batch over
+// real sockets and checks it against the blocking batch.
+func TestConcurrentCollectivesTCP(t *testing.T) {
+	const p = 4
+	spec := newConcurrentSpec()
+
+	want := make([]map[core.CollOp][]byte, p)
+	tcpWorld(t, p, func(c comm.Comm) error {
+		out, err := spec.run(c, nil)
+		want[c.Rank()] = out
+		return err
+	})
+
+	got := make([]map[core.CollOp][]byte, p)
+	tcpWorld(t, p, func(c comm.Comm) error {
+		out, err := spec.run(c, nbc.NewEngine(c))
+		got[c.Rank()] = out
+		return err
+	})
+
+	for r := 0; r < p; r++ {
+		for _, op := range concurrentOrder {
+			if !bytes.Equal(want[r][op], got[r][op]) {
+				t.Fatalf("rank %d %s: tcp concurrent differs from blocking", r, op)
+			}
+		}
+	}
+}

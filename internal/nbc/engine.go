@@ -1,0 +1,388 @@
+package nbc
+
+import (
+	"errors"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/metrics"
+)
+
+// errStalled is the backstop against a miscompiled schedule: a progress
+// pass made no headway and no communication is in flight anywhere, so the
+// remaining ops' dependencies can never resolve. Program.Validate rules
+// out cycles, so reaching this indicates an engine or compiler bug — it is
+// reported as an error instead of hanging the caller.
+var errStalled = errors.New("nbc: schedule stalled with no communication in flight")
+
+// opState tracks one op through the engine.
+type opState uint8
+
+const (
+	opPending opState = iota
+	opIssued
+	opDone
+)
+
+// issueKey identifies a point-to-point matching stream: messages between
+// this rank and peer in one direction on one absolute tag. The engine
+// never posts a later op of a key while an earlier op of the same key is
+// still unissued, which preserves the per-(source, tag) FIFO matching the
+// lowerings rely on across schedule rounds. The absolute tag includes the
+// request's epoch base, so concurrent collectives never block each other.
+type issueKey struct {
+	send bool
+	peer int
+	tag  comm.Tag
+}
+
+// Engine drives any number of compiled programs over one communicator for
+// one rank. All progress happens cooperatively on the caller's goroutine
+// inside Start, Wait, and Test — the engine never spawns goroutines and
+// never touches the communicator from anywhere else, which makes it safe
+// on the simulator's one-kernel-action-per-rank discipline and adds no
+// per-collective thread cost (the MPI no-progress-thread model).
+//
+// An Engine belongs to a single rank and, like a comm.Comm rank, must be
+// driven from one goroutine at a time.
+type Engine struct {
+	c   comm.Comm
+	reg *metrics.Registry // nil when c is not instrumented
+	clk comm.Clock        // nil on wall-clock substrates
+
+	// nextEpoch numbers collectives in issue order. MPI-3 requires every
+	// rank to issue nonblocking collectives on a communicator in the same
+	// order, so this counter is identical across ranks and selects the
+	// tag epoch.
+	nextEpoch uint64
+	// inflight holds unfinished requests in ascending epoch order.
+	inflight []*Request
+}
+
+// NewEngine returns an engine for rank c.Rank(). When c is instrumented
+// (metrics.Registry.Instrument), nonblocking starts, in-flight gauges,
+// overlap windows, and per-call decision records are reported to its
+// registry.
+func NewEngine(c comm.Comm) *Engine {
+	e := &Engine{c: c}
+	if ic, ok := c.(metrics.Instrumented); ok {
+		e.reg = ic.Metrics()
+	}
+	if clk, ok := c.(comm.Clock); ok {
+		e.clk = clk
+	}
+	return e
+}
+
+// now returns the engine's time base in seconds: virtual time on clocked
+// substrates, registry-relative wall time otherwise.
+func (e *Engine) now() float64 {
+	if e.clk != nil {
+		return e.clk.Now()
+	}
+	if e.reg != nil {
+		return e.reg.Elapsed()
+	}
+	return 0
+}
+
+// Request is the handle of one in-flight nonblocking collective — the
+// MPI_Request of an I<op> call. Exactly one of Wait or repeated Test
+// drives it to completion; both make progress on every outstanding
+// collective of the engine, not just this one.
+type Request struct {
+	eng   *Engine
+	prog  *Program
+	epoch uint64
+	base  comm.Tag
+
+	state     []opState
+	reqs      []comm.Request
+	remaining int
+
+	done        bool
+	err         error
+	start       float64
+	overlapSeen bool
+}
+
+// Start begins executing prog. The returned request completes through
+// Wait or Test; any execution error (including transport failures)
+// surfaces there, never as a panic or a hang.
+//
+// Start must be called in the same order on every rank of the
+// communicator (the MPI-3 issue-order rule); the shared issue counter is
+// what keeps concurrent collectives' tag epochs aligned across ranks.
+func (e *Engine) Start(prog *Program) (*Request, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	// Tag wraparound guard: an epoch's tag window repeats every
+	// NBCTagEpochs issues. Force-complete the oldest request before its
+	// window is reused; its own Wait later returns the recorded result.
+	for len(e.inflight) > 0 && e.nextEpoch-e.inflight[0].epoch >= comm.NBCTagEpochs {
+		e.inflight[0].waitDone()
+	}
+
+	epoch := e.nextEpoch
+	e.nextEpoch++
+	r := &Request{
+		eng:       e,
+		prog:      prog,
+		epoch:     epoch,
+		base:      comm.TagNBCBase + comm.Tag((epoch%comm.NBCTagEpochs)*comm.NBCTagStride),
+		state:     make([]opState, len(prog.Ops)),
+		reqs:      make([]comm.Request, len(prog.Ops)),
+		remaining: len(prog.Ops),
+	}
+	if e.reg != nil {
+		e.reg.NBCStart(e.c.Rank())
+		r.start = e.now()
+	}
+	e.inflight = append(e.inflight, r)
+	if r.remaining == 0 {
+		r.finish(nil)
+		return r, nil
+	}
+	// Launch: drain ready work so the schedule's first sends and receives
+	// are posted before control returns to the caller's compute.
+	for e.progress() {
+	}
+	return r, nil
+}
+
+// progress runs one nonblocking pass over every in-flight request, oldest
+// epoch first: completed operations are retired, and every op whose
+// dependencies are met is issued or executed. It reports whether anything
+// advanced. blocked carries the per-key issue ordering across the whole
+// pass: once a key's earliest unissued op is seen, no later op of that key
+// may issue, even from a younger request — posting order per matching
+// stream is program order.
+func (e *Engine) progress() bool {
+	advanced := false
+	blocked := map[issueKey]bool{}
+	snapshot := append([]*Request(nil), e.inflight...)
+	for _, r := range snapshot {
+		if r.done {
+			continue
+		}
+		for i := range r.prog.Ops {
+			if r.done {
+				break
+			}
+			op := &r.prog.Ops[i]
+			switch r.state[i] {
+			case opDone:
+			case opIssued:
+				if done, err, ok := comm.TryTest(r.reqs[i]); ok && done {
+					r.completeOp(i, err)
+					advanced = true
+				}
+			case opPending:
+				ready := true
+				for _, d := range op.Deps {
+					if r.state[d] != opDone {
+						ready = false
+						break
+					}
+				}
+				if op.Kind == OpReduce || op.Kind == OpCopy {
+					if ready {
+						r.execLocal(i)
+						advanced = true
+					}
+					continue
+				}
+				key := issueKey{send: op.Kind == OpSend, peer: op.Peer, tag: r.base + comm.Tag(op.TagSlot)}
+				if !ready || blocked[key] {
+					blocked[key] = true
+					continue
+				}
+				var req comm.Request
+				var err error
+				if op.Kind == OpSend {
+					req, err = e.c.Isend(op.Peer, key.tag, op.Buf)
+				} else {
+					req, err = e.c.Irecv(op.Peer, key.tag, op.Buf)
+				}
+				advanced = true
+				if err != nil {
+					r.fail(err)
+					continue
+				}
+				r.reqs[i] = req
+				r.state[i] = opIssued
+				// Eager substrates complete sends at post time; retire
+				// immediately so dependents unlock within this pass.
+				if done, terr, ok := comm.TryTest(req); ok && done {
+					r.completeOp(i, terr)
+				}
+			}
+		}
+	}
+	return advanced
+}
+
+// blockOldest blocks on the globally oldest issued-but-incomplete
+// operation — lexicographically first by (epoch, op index) — and retires
+// it. This is the canonical blocking order: every rank that runs out of
+// pollable progress blocks on the same frontier, which (with eager sends
+// and MPI-3 issue order) cannot deadlock. Called only when a progress
+// pass advanced nothing; if nothing is in flight either, the schedule is
+// stalled (a compiler bug, surfaced as errStalled rather than a hang).
+func (e *Engine) blockOldest() error {
+	for _, r := range e.inflight {
+		if r.done {
+			continue
+		}
+		for i := range r.prog.Ops {
+			if r.state[i] == opIssued {
+				err := r.reqs[i].Wait()
+				r.completeOp(i, err)
+				return nil
+			}
+		}
+	}
+	return errStalled
+}
+
+// execLocal runs a reduce or copy op, charging compute for reductions
+// exactly like the blocking reduceInto.
+func (r *Request) execLocal(i int) {
+	op := &r.prog.Ops[i]
+	if op.Kind == OpCopy {
+		for _, m := range op.Moves {
+			copy(m.Dst, m.Src)
+		}
+		r.completeOp(i, nil)
+		return
+	}
+	for _, m := range op.Moves {
+		if err := datatype.Apply(op.RedOp, op.RedType, m.Dst, m.Src); err != nil {
+			r.fail(err)
+			return
+		}
+		r.eng.c.ChargeCompute(len(m.Dst))
+	}
+	r.completeOp(i, nil)
+}
+
+// completeOp retires op i with its terminal status.
+func (r *Request) completeOp(i int, err error) {
+	if r.done || r.state[i] == opDone {
+		return
+	}
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	r.state[i] = opDone
+	r.remaining--
+	if r.remaining == 0 {
+		r.finish(nil)
+	}
+}
+
+// fail terminates the request with err. Operations still in flight are
+// abandoned — their buffers may still be written by the substrate, but
+// the caller has been told the collective failed, so the result buffer
+// carries no guarantee anyway (matching the blocking algorithms, which
+// return on first error with requests outstanding).
+func (r *Request) fail(err error) {
+	if r.done {
+		return
+	}
+	r.finish(err)
+}
+
+// finish retires the request: records telemetry and removes it from the
+// engine's in-flight list.
+func (r *Request) finish(err error) {
+	r.err = err
+	r.done = true
+	e := r.eng
+	for i, q := range e.inflight {
+		if q == r {
+			e.inflight = append(e.inflight[:i], e.inflight[i+1:]...)
+			break
+		}
+	}
+	if e.reg != nil {
+		e.reg.NBCFinish(e.c.Rank())
+		end := e.now()
+		e.reg.RecordDecision(metrics.Decision{
+			Rank: e.c.Rank(), Op: r.prog.OpName, Bytes: r.prog.Bytes,
+			Alg: r.prog.Alg, K: r.prog.K,
+			Start: r.start, Seconds: end - r.start, Err: err != nil,
+		})
+	}
+}
+
+// waitDone drives the engine until this request completes, without
+// recording an overlap sample (used by the wraparound guard; the owner's
+// Wait still observes its own overlap window and result).
+func (r *Request) waitDone() {
+	e := r.eng
+	for !r.done {
+		if e.progress() {
+			continue
+		}
+		if r.done {
+			break
+		}
+		if err := e.blockOldest(); err != nil {
+			r.fail(err)
+		}
+	}
+}
+
+// Wait blocks until the collective completes and returns its terminal
+// status — MPI_Wait. While blocked it drives every outstanding collective
+// of the engine. Wait is idempotent: further calls return the same result.
+func (r *Request) Wait() error {
+	r.observeOverlap()
+	r.waitDone()
+	return r.err
+}
+
+// Test polls for completion without blocking — MPI_Test. It runs one
+// nonblocking progress pass over the engine and reports whether this
+// collective has completed, with its terminal status once done.
+func (r *Request) Test() (bool, error) {
+	if !r.done {
+		r.eng.progress()
+	}
+	if r.done {
+		r.observeOverlap()
+	}
+	return r.done, r.err
+}
+
+// observeOverlap records the overlap window — time between Start and the
+// first Wait (or completing Test) — once per request.
+func (r *Request) observeOverlap() {
+	if r.overlapSeen || r.eng.reg == nil {
+		return
+	}
+	r.overlapSeen = true
+	ns := (r.eng.now() - r.start) * 1e9
+	if ns < 0 {
+		ns = 0
+	}
+	r.eng.reg.ObserveOverlap(r.eng.c.Rank(), uint64(ns))
+}
+
+// WaitAll waits on every request and returns the joined errors — the
+// MPI_Waitall of nonblocking collectives, mirroring comm.WaitAll.
+func WaitAll(reqs ...*Request) error {
+	var errs []error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if err := r.Wait(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,438 @@
+package nbc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+)
+
+// fakeComm is a scripted single-rank communicator for white-box engine
+// tests: the engine drives rank 0, and the test plays every peer by
+// injecting messages. Sends complete eagerly and are logged in posting
+// order; receives match injected messages in FIFO order per (peer, tag).
+type fakeComm struct {
+	size int
+	// inbox holds injected not-yet-matched messages per matching stream.
+	inbox map[fakeKey][]fakeMsg
+	// sent logs posted sends in issue order — the engine's per-key
+	// ordering assertions read this.
+	sent []fakeSent
+	// tested requests that don't implement comm.Tester force the engine
+	// onto its canonical blocking fallback.
+	noTester bool
+}
+
+type fakeKey struct {
+	peer int
+	tag  comm.Tag
+}
+
+type fakeMsg struct {
+	data []byte
+	err  error
+}
+
+type fakeSent struct {
+	peer int
+	tag  comm.Tag
+	data []byte
+}
+
+func newFakeComm() *fakeComm {
+	return &fakeComm{size: 2, inbox: map[fakeKey][]fakeMsg{}}
+}
+
+// inject queues a message from peer on tag for a future receive.
+func (f *fakeComm) inject(peer int, tag comm.Tag, data []byte) {
+	k := fakeKey{peer, tag}
+	f.inbox[k] = append(f.inbox[k], fakeMsg{data: data})
+}
+
+// injectErr queues a failed delivery: the matching receive completes with err.
+func (f *fakeComm) injectErr(peer int, tag comm.Tag, err error) {
+	k := fakeKey{peer, tag}
+	f.inbox[k] = append(f.inbox[k], fakeMsg{err: err})
+}
+
+func (f *fakeComm) Rank() int { return 0 }
+func (f *fakeComm) Size() int { return f.size }
+
+func (f *fakeComm) Send(to int, tag comm.Tag, buf []byte) error {
+	f.sent = append(f.sent, fakeSent{to, tag, append([]byte(nil), buf...)})
+	return nil
+}
+
+func (f *fakeComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	req, err := f.Irecv(from, tag, buf)
+	if err != nil {
+		return 0, err
+	}
+	if err := req.Wait(); err != nil {
+		return 0, err
+	}
+	return req.Len(), nil
+}
+
+func (f *fakeComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	if err := f.Send(to, tag, buf); err != nil {
+		return nil, err
+	}
+	r := &fakeReq{done: true, n: len(buf)}
+	if f.noTester {
+		return noTesterReq{r}, nil
+	}
+	return r, nil
+}
+
+func (f *fakeComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	r := &fakeReq{c: f, key: fakeKey{from, tag}, buf: buf}
+	if f.noTester {
+		return noTesterReq{r}, nil
+	}
+	return r, nil
+}
+
+func (f *fakeComm) ChargeCompute(int) {}
+
+// fakeReq resolves lazily: a receive completes when a matching message
+// has been injected by the time Test or Wait runs.
+type fakeReq struct {
+	c    *fakeComm
+	key  fakeKey
+	buf  []byte
+	done bool
+	err  error
+	n    int
+}
+
+func (r *fakeReq) resolve() {
+	if r.done {
+		return
+	}
+	q := r.c.inbox[r.key]
+	if len(q) == 0 {
+		return
+	}
+	m := q[0]
+	r.c.inbox[r.key] = q[1:]
+	r.done = true
+	if m.err != nil {
+		r.err = m.err
+		return
+	}
+	r.n = copy(r.buf, m.data)
+}
+
+func (r *fakeReq) Test() (bool, error) {
+	r.resolve()
+	return r.done, r.err
+}
+
+func (r *fakeReq) Wait() error {
+	r.resolve()
+	if !r.done {
+		// A Wait with no injected message would block forever; surface it
+		// as an error so a mis-scheduled test fails instead of hanging.
+		r.done = true
+		r.err = errors.New("fakeComm: Wait would block (no message injected)")
+	}
+	return r.err
+}
+
+func (r *fakeReq) Len() int { return r.n }
+
+// noTesterReq strips the Tester interface, modeling a third-party
+// transport that only supports blocking Wait.
+type noTesterReq struct{ r *fakeReq }
+
+func (n noTesterReq) Wait() error { return n.r.Wait() }
+func (n noTesterReq) Len() int    { return n.r.Len() }
+
+// absTag computes the tag the engine should use for (epoch, slot).
+func absTag(epoch uint64, slot int) comm.Tag {
+	return comm.TagNBCBase + comm.Tag((epoch%comm.NBCTagEpochs)*comm.NBCTagStride) + comm.Tag(slot)
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+	}{
+		{"forward dep", Program{Ops: []Op{
+			{Kind: OpCopy, Deps: []int{1}},
+			{Kind: OpCopy},
+		}}},
+		{"self dep", Program{Ops: []Op{{Kind: OpCopy, Deps: []int{0}}}}},
+		{"negative dep", Program{Ops: []Op{{Kind: OpCopy, Deps: []int{-1}}}}},
+		{"tag slot too large", Program{Ops: []Op{
+			{Kind: OpSend, Peer: 1, TagSlot: comm.NBCTagStride},
+		}}},
+		{"negative tag slot", Program{Ops: []Op{
+			{Kind: OpRecv, Peer: 1, TagSlot: -1},
+		}}},
+		{"moves on comm op", Program{Ops: []Op{
+			{Kind: OpSend, Peer: 1, Moves: []Move{{Dst: make([]byte, 1), Src: make([]byte, 1)}}},
+		}}},
+		{"move length mismatch", Program{Ops: []Op{
+			{Kind: OpCopy, Moves: []Move{{Dst: make([]byte, 2), Src: make([]byte, 3)}}},
+		}}},
+		{"unknown kind", Program{Ops: []Op{{Kind: OpKind(9)}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.prog.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid program", tc.name)
+		}
+	}
+}
+
+// TestPerKeyIssueOrder checks the FIFO-preservation rule: a later send on
+// the same (peer, tag) stream must not be posted while an earlier one is
+// still held back by an unmet dependency, even though the later one has
+// no dependencies of its own.
+func TestPerKeyIssueOrder(t *testing.T) {
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+
+	first := []byte{1}
+	second := []byte{2}
+	prog := &Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: make([]byte, 1)},
+		{Kind: OpSend, Peer: 1, TagSlot: 0, Buf: first, Deps: []int{0}},
+		{Kind: OpSend, Peer: 1, TagSlot: 0, Buf: second},
+	}}
+	req, err := eng.Start(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recv has no message yet: send #1 is dep-blocked, so send #2
+	// (same key) must be held back too.
+	if len(fc.sent) != 0 {
+		t.Fatalf("posted %d sends while the earlier same-key send was blocked", len(fc.sent))
+	}
+	fc.inject(1, absTag(0, 0), []byte{9})
+	if err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.sent) != 2 || fc.sent[0].data[0] != 1 || fc.sent[1].data[0] != 2 {
+		t.Fatalf("sends posted out of program order: %+v", fc.sent)
+	}
+}
+
+// TestIndependentKeysNotBlocked is the counterpart: a send on a different
+// tag slot is not held back by another key's blocked op.
+func TestIndependentKeysNotBlocked(t *testing.T) {
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+	prog := &Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: make([]byte, 1)},
+		{Kind: OpSend, Peer: 1, TagSlot: 0, Buf: []byte{1}, Deps: []int{0}},
+		{Kind: OpSend, Peer: 1, TagSlot: 1, Buf: []byte{2}},
+	}}
+	req, err := eng.Start(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.sent) != 1 || fc.sent[0].tag != absTag(0, 1) {
+		t.Fatalf("independent-key send not posted immediately: %+v", fc.sent)
+	}
+	fc.inject(1, absTag(0, 0), []byte{9})
+	if err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTagEpochAssignment checks that consecutive Starts get consecutive
+// disjoint tag windows and the absolute tags offset by slot.
+func TestTagEpochAssignment(t *testing.T) {
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+
+	mkProg := func(slot int) *Program {
+		return &Program{OpName: "test", Alg: "test", Ops: []Op{
+			{Kind: OpSend, Peer: 1, TagSlot: slot, Buf: []byte{0}},
+		}}
+	}
+	for epoch, slot := range []int{0, 3, 15} {
+		req, err := eng.Start(mkProg(slot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		want := absTag(uint64(epoch), slot)
+		if got := fc.sent[epoch].tag; got != want {
+			t.Fatalf("epoch %d slot %d: posted tag %d, want %d", epoch, slot, got, want)
+		}
+	}
+}
+
+// TestEpochWraparound floods the epoch counter: once nextEpoch laps the
+// oldest in-flight request by NBCTagEpochs, Start must force-complete it
+// before its tag window is reused.
+func TestEpochWraparound(t *testing.T) {
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+
+	old, err := eng.Start(&Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: make([]byte, 1)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty programs complete at Start but still consume an epoch each.
+	for i := uint64(1); i < comm.NBCTagEpochs; i++ {
+		if _, err := eng.Start(&Program{OpName: "test", Alg: "test"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if old.done {
+		t.Fatal("old request completed with no message injected")
+	}
+	// The next Start reuses epoch 0's window; the injected message lets
+	// the guard's forced wait drain the old request instead of hanging.
+	fc.inject(1, absTag(0, 0), []byte{7})
+	req, err := eng.Start(&Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpSend, Peer: 1, TagSlot: 0, Buf: []byte{1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !old.done {
+		t.Fatal("wraparound Start did not force-complete the oldest request")
+	}
+	if err := old.Wait(); err != nil {
+		t.Fatalf("old request: %v", err)
+	}
+	if err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if req.epoch != comm.NBCTagEpochs || req.base != absTag(comm.NBCTagEpochs, 0) {
+		t.Fatalf("wrapped request epoch %d base %d", req.epoch, req.base)
+	}
+}
+
+// TestTransportErrorSurfacesInWait checks that an injected delivery error
+// terminates the request and comes back from Wait (and from later Waits,
+// idempotently), never as a panic or a hang.
+func TestTransportErrorSurfacesInWait(t *testing.T) {
+	boom := fmt.Errorf("link down")
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+	prog := &Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: make([]byte, 1)},
+		{Kind: OpSend, Peer: 1, TagSlot: 1, Buf: []byte{1}, Deps: []int{0}},
+	}}
+	req, err := eng.Start(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.injectErr(1, absTag(0, 0), boom)
+	if err := req.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait returned %v, want %v", err, boom)
+	}
+	if err := req.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("second Wait returned %v, want %v", err, boom)
+	}
+	if len(eng.inflight) != 0 {
+		t.Fatal("failed request still in flight")
+	}
+}
+
+// TestWaitFallbackWithoutTester drives a request whose transport does not
+// implement comm.Tester: the engine must degrade to blocking on the
+// oldest issued op instead of spinning or crashing.
+func TestWaitFallbackWithoutTester(t *testing.T) {
+	fc := newFakeComm()
+	fc.noTester = true
+	eng := NewEngine(fc)
+
+	buf := make([]byte, 1)
+	prog := &Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: buf},
+		{Kind: OpSend, Peer: 1, TagSlot: 0, Buf: buf, Deps: []int{0}},
+	}}
+	fc.inject(1, absTag(0, 0), []byte{42})
+	req, err := eng.Start(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 || len(fc.sent) != 1 || fc.sent[0].data[0] != 42 {
+		t.Fatalf("echo through blocking fallback failed: buf=%v sent=%+v", buf, fc.sent)
+	}
+}
+
+// TestTestDoesNotBlock: Test on an unsatisfiable request reports not-done
+// without blocking or erroring.
+func TestTestDoesNotBlock(t *testing.T) {
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+	req, err := eng.Start(&Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: make([]byte, 1)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		done, err := req.Test()
+		if done || err != nil {
+			t.Fatalf("Test on pending request: done=%v err=%v", done, err)
+		}
+	}
+	fc.inject(1, absTag(0, 0), []byte{1})
+	done, err := req.Test()
+	if !done || err != nil {
+		t.Fatalf("Test after injection: done=%v err=%v", done, err)
+	}
+}
+
+// TestStalledScheduleSurfaces: a request with an op whose dependency can
+// never run (its peer op is missing) must fail with errStalled rather
+// than hang. The only way to build one past Validate is a comm op that
+// depends on an issued-but-never-completable op while nothing else is in
+// flight — here, a lone recv driven by a Wait after the engine's blocking
+// fallback consumed it with an error.
+func TestStalledScheduleSurfaces(t *testing.T) {
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+	// A recv with no message and no Tester fallback: Wait resolves it as a
+	// would-block error, which must surface, not stall.
+	fc.noTester = true
+	req, err := eng.Start(&Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: make([]byte, 1)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Wait(); err == nil {
+		t.Fatal("Wait succeeded on an unsatisfiable receive")
+	}
+}
+
+// TestWaitAll joins errors across requests.
+func TestWaitAll(t *testing.T) {
+	boom := fmt.Errorf("injected")
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+	ok, err := eng.Start(&Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpSend, Peer: 1, TagSlot: 0, Buf: []byte{1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := eng.Start(&Program{OpName: "test", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 1, Buf: make([]byte, 1)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.injectErr(1, absTag(1, 1), boom)
+	if err := WaitAll(ok, nil, bad); !errors.Is(err, boom) {
+		t.Fatalf("WaitAll returned %v, want %v", err, boom)
+	}
+}

@@ -1,0 +1,225 @@
+package nbc
+
+import (
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+// Recursive-multiplying lowerings, mirroring internal/core/recmul.go: in
+// round i every slot exchanges with the other f_i−1 members of its group;
+// non-k-smooth sizes fold the remainder ranks in a pre/post phase.
+//
+// Tag slots: the fold pre/post phases use slotFold; every multiplying
+// round shares slotRounds. One slot suffices for all rounds because group
+// partners never repeat across rounds: round i partners differ by
+// j·w_i < w_{i+1} ≤ any later round's spacing, so each (peer, direction)
+// pair occurs in exactly one round and FIFO order is trivially per-round.
+// The fold traffic is directionally distinct from the rounds (even↔odd
+// neighbor pairs only) and keeps its own slot anyway.
+
+// lowerAllreduceRecMul mirrors AllreduceRecMul: full-vector group
+// exchanges with the combine chain in ascending-member order each round.
+// The accumulator ops form a linear chain (last), exactly like the
+// blocking body's sequential statements.
+func lowerAllreduceRecMul(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, k, slotFold, slotRounds int) {
+	last := b.copyOp([]Move{{Dst: recvbuf, Src: sendbuf}})
+	if p == 1 {
+		return
+	}
+	st := core.NewRecMulStructure(p, k)
+	rem := st.Rem()
+
+	// Fold pre-phase.
+	newrank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		last = b.send(me+1, slotFold, recvbuf, last)
+	case me < 2*rem:
+		tmp := make([]byte, len(sendbuf))
+		got := b.recv(me-1, slotFold, tmp)
+		last = b.reduce(op, dt, recvbuf, tmp, got, last)
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+
+	if newrank >= 0 {
+		for round := 0; round < st.Rounds(); round++ {
+			members := st.GroupMembers(newrank, round)
+			// Snapshot the accumulator so the sends read a stable buffer
+			// while this round's reduces run.
+			outgoing := make([]byte, len(recvbuf))
+			snap := b.copyOp([]Move{{Dst: outgoing, Src: recvbuf}}, last)
+			recvs := make([]int, 0, len(members)-1)
+			incoming := make([][]byte, 0, len(members)-1)
+			for _, m := range members {
+				if m == newrank {
+					continue
+				}
+				buf := make([]byte, len(recvbuf))
+				incoming = append(incoming, buf)
+				recvs = append(recvs, b.recv(st.Real(m), slotRounds, buf))
+			}
+			for _, m := range members {
+				if m == newrank {
+					continue
+				}
+				b.send(st.Real(m), slotRounds, outgoing, snap)
+			}
+			last = snap
+			for i, got := range recvs {
+				last = b.reduce(op, dt, recvbuf, incoming[i], got, last)
+			}
+		}
+	}
+
+	// Fold post-phase: proxies return the final result.
+	switch {
+	case me < 2*rem && me%2 == 0:
+		b.recv(me+1, slotFold, recvbuf, last)
+	case me < 2*rem:
+		b.send(me-1, slotFold, recvbuf, last)
+	}
+}
+
+// lowerRecMulAllgather mirrors recmulAllgatherLayout over blocks keyed by
+// absolute rank: fold, log_k rounds of packed group exchanges, unfold.
+// tr carries buf's block hazards from any preceding phase (the fair
+// scatter of bcast).
+func lowerRecMulAllgather(b *progBuilder, tr *blockTracker, p, me int, buf []byte, layout core.BlockLayout, k, slotFold, slotRounds int) {
+	if p == 1 {
+		return
+	}
+	st := core.NewRecMulStructure(p, k)
+	rem := st.Rem()
+
+	// Fold pre-phase: even ranks below 2·rem hand their block to the next
+	// (odd) rank, which acts as their proxy slot.
+	newrank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		off, sz := layout(me)
+		idx := b.send(me+1, slotFold, buf[off:off+sz], tr.readDeps(me)...)
+		tr.noteRead(me, idx)
+	case me < 2*rem:
+		off, sz := layout(me - 1)
+		idx := b.recv(me-1, slotFold, buf[off:off+sz], tr.writeDeps(me-1)...)
+		tr.noteWrite(me-1, idx)
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+
+	if newrank >= 0 {
+		for round := 0; round < st.Rounds(); round++ {
+			members := st.GroupMembers(newrank, round)
+			myBlocks := st.OwnedBlocks(newrank, round)
+			// Pack owned blocks into a per-round outgoing message.
+			size := 0
+			for _, blk := range myBlocks {
+				_, sz := layout(blk)
+				size += sz
+			}
+			outgoing := make([]byte, size)
+			moves := make([]Move, 0, len(myBlocks))
+			var packDeps []int
+			pos := 0
+			for _, blk := range myBlocks {
+				off, sz := layout(blk)
+				moves = append(moves, Move{Dst: outgoing[pos : pos+sz], Src: buf[off : off+sz]})
+				packDeps = append(packDeps, tr.readDeps(blk)...)
+				pos += sz
+			}
+			packed := b.copyOp(moves, packDeps...)
+			for _, blk := range myBlocks {
+				tr.noteRead(blk, packed)
+			}
+
+			type rx struct {
+				blocks []int
+				got    int
+				buf    []byte
+			}
+			rxs := make([]rx, 0, len(members)-1)
+			for _, m := range members {
+				if m == newrank {
+					continue
+				}
+				blocks := st.OwnedBlocks(m, round)
+				sz := 0
+				for _, blk := range blocks {
+					_, s := layout(blk)
+					sz += s
+				}
+				staging := make([]byte, sz)
+				got := b.recv(st.Real(m), slotRounds, staging)
+				rxs = append(rxs, rx{blocks: blocks, got: got, buf: staging})
+			}
+			for _, m := range members {
+				if m == newrank {
+					continue
+				}
+				b.send(st.Real(m), slotRounds, outgoing, packed)
+			}
+			for _, x := range rxs {
+				unpack := make([]Move, 0, len(x.blocks))
+				deps := []int{x.got}
+				pos := 0
+				for _, blk := range x.blocks {
+					off, sz := layout(blk)
+					unpack = append(unpack, Move{Dst: buf[off : off+sz], Src: x.buf[pos : pos+sz]})
+					deps = append(deps, tr.writeDeps(blk)...)
+					pos += sz
+				}
+				idx := b.copyOp(unpack, deps...)
+				for _, blk := range x.blocks {
+					tr.noteWrite(blk, idx)
+				}
+			}
+		}
+	}
+
+	// Fold post-phase: proxies return the complete result (whole buffer).
+	switch {
+	case me < 2*rem && me%2 == 0:
+		var deps []int
+		for blk := 0; blk < p; blk++ {
+			deps = append(deps, tr.writeDeps(blk)...)
+		}
+		idx := b.recv(me+1, slotFold, buf, deps...)
+		for blk := 0; blk < p; blk++ {
+			tr.noteWrite(blk, idx)
+		}
+	case me < 2*rem:
+		var deps []int
+		for blk := 0; blk < p; blk++ {
+			deps = append(deps, tr.readDeps(blk)...)
+		}
+		idx := b.send(me-1, slotFold, buf, deps...)
+		for blk := 0; blk < p; blk++ {
+			tr.noteRead(blk, idx)
+		}
+	}
+}
+
+// lowerAllgatherRecMul mirrors AllgatherRecMul: own block into place, then
+// the recursive-multiplying allgather (fold slot 0, rounds slot 1).
+func lowerAllgatherRecMul(b *progBuilder, p, me int, sendbuf, recvbuf []byte, k int) {
+	n := len(sendbuf)
+	tr := newBlockTracker()
+	own := b.copyOp([]Move{{Dst: recvbuf[me*n : (me+1)*n], Src: sendbuf}})
+	tr.noteWrite(me, own)
+	lowerRecMulAllgather(b, tr, p, me, recvbuf, core.UniformLayout(n), k, 0, 1)
+}
+
+// lowerBcastRecMul mirrors BcastRecMul: radix-k tree scatter of fair
+// blocks (slot 0), then the recursive-multiplying allgather over them
+// (fold slot 1, rounds slot 2).
+func lowerBcastRecMul(b *progBuilder, p, me int, buf []byte, root, k int) {
+	if p == 1 {
+		return
+	}
+	tr := newBlockTracker()
+	lowerScatterFairForBcast(b, tr, p, me, buf, root, k, 0)
+	lowerRecMulAllgather(b, tr, p, me, buf, core.FairLayout(len(buf), p), k, 1, 2)
+}

@@ -1,0 +1,218 @@
+package nbc
+
+import (
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+// Schedule-family lowerings: core.Schedule executions (the k-ring
+// algorithms and anything else expressed as an explicit allgather plan)
+// translated into program DAGs.
+//
+// The blocking executors barrier between rounds with WaitAll; the
+// lowerings replace that barrier with per-block hazard edges from a
+// blockTracker, so independent blocks flow without synchronization while
+// every reduce chain still runs in the blocking order. FIFO safety for
+// the single shared tag slot comes from the engine's per-(peer, tag)
+// issue ordering: ops appear in round order in the program, and the
+// engine never posts a later same-key op before an earlier one.
+
+// lowerSchedAllgather lowers Schedule.RunAllgather over buf: after all
+// ops complete, buf holds every block. tr carries buf's block hazards
+// (block ids are schedule block ids) across composed phases.
+func lowerSchedAllgather(b *progBuilder, tr *blockTracker, s *core.Schedule, me int, buf []byte, layout core.BlockLayout, slot int) {
+	for _, round := range s.Rounds {
+		sends, recvs := core.XfersFor(round, me, layout)
+		for _, rx := range recvs {
+			if len(rx.Blocks) == 1 {
+				blk := rx.Blocks[0]
+				off, sz := layout(blk)
+				idx := b.recv(rx.Peer, slot, buf[off:off+sz], tr.writeDeps(blk)...)
+				tr.noteWrite(blk, idx)
+				continue
+			}
+			staging := make([]byte, rx.Size)
+			got := b.recv(rx.Peer, slot, staging)
+			moves := make([]Move, 0, len(rx.Blocks))
+			deps := []int{got}
+			pos := 0
+			for _, blk := range rx.Blocks {
+				off, sz := layout(blk)
+				moves = append(moves, Move{Dst: buf[off : off+sz], Src: staging[pos : pos+sz]})
+				deps = append(deps, tr.writeDeps(blk)...)
+				pos += sz
+			}
+			idx := b.copyOp(moves, deps...)
+			for _, blk := range rx.Blocks {
+				tr.noteWrite(blk, idx)
+			}
+		}
+		for _, tx := range sends {
+			if len(tx.Blocks) == 1 {
+				blk := tx.Blocks[0]
+				off, sz := layout(blk)
+				idx := b.send(tx.Peer, slot, buf[off:off+sz], tr.readDeps(blk)...)
+				tr.noteRead(blk, idx)
+				continue
+			}
+			// Pack into staging, then send the packed message.
+			staging := make([]byte, tx.Size)
+			moves := make([]Move, 0, len(tx.Blocks))
+			var deps []int
+			pos := 0
+			for _, blk := range tx.Blocks {
+				off, sz := layout(blk)
+				moves = append(moves, Move{Dst: staging[pos : pos+sz], Src: buf[off : off+sz]})
+				deps = append(deps, tr.readDeps(blk)...)
+				pos += sz
+			}
+			packed := b.copyOp(moves, deps...)
+			for _, blk := range tx.Blocks {
+				tr.noteRead(blk, packed)
+			}
+			b.send(tx.Peer, slot, staging, packed)
+		}
+	}
+}
+
+// lowerSchedReduceScatter lowers Schedule.RunReduceScatter over work (the
+// caller's full vector): the schedule runs in reverse with every edge
+// reversed, accumulating partials toward each block's owner. Receives are
+// always staged; each staged message's reduce chains behind the block's
+// previous accumulation, preserving the blocking combine order
+// (rounds reversed, receives in ascending-peer order, blocks ascending
+// within a message) bit for bit.
+func lowerSchedReduceScatter(b *progBuilder, tr *blockTracker, s *core.Schedule, me int, work []byte, layout core.BlockLayout, op datatype.Op, dt datatype.Type, slot int) {
+	for ri := len(s.Rounds) - 1; ri >= 0; ri-- {
+		round := s.Rounds[ri]
+		rev := make(core.Round, len(round))
+		for i, e := range round {
+			rev[i] = core.Edge{From: e.To, To: e.From, Block: e.Block}
+		}
+		sends, recvs := core.XfersFor(rev, me, layout)
+		for _, rx := range recvs {
+			staging := make([]byte, rx.Size)
+			got := b.recv(rx.Peer, slot, staging)
+			pos := 0
+			for _, blk := range rx.Blocks {
+				off, sz := layout(blk)
+				deps := append([]int{got}, tr.writeDeps(blk)...)
+				idx := b.reduce(op, dt, work[off:off+sz], staging[pos:pos+sz], deps...)
+				tr.noteWrite(blk, idx)
+				pos += sz
+			}
+		}
+		for _, tx := range sends {
+			if len(tx.Blocks) == 1 {
+				blk := tx.Blocks[0]
+				off, sz := layout(blk)
+				idx := b.send(tx.Peer, slot, work[off:off+sz], tr.readDeps(blk)...)
+				tr.noteRead(blk, idx)
+				continue
+			}
+			staging := make([]byte, tx.Size)
+			moves := make([]Move, 0, len(tx.Blocks))
+			var deps []int
+			pos := 0
+			for _, blk := range tx.Blocks {
+				off, sz := layout(blk)
+				moves = append(moves, Move{Dst: staging[pos : pos+sz], Src: work[off : off+sz]})
+				deps = append(deps, tr.readDeps(blk)...)
+				pos += sz
+			}
+			packed := b.copyOp(moves, deps...)
+			for _, blk := range tx.Blocks {
+				tr.noteRead(blk, packed)
+			}
+			b.send(tx.Peer, slot, staging, packed)
+		}
+	}
+}
+
+// lowerAllgatherKRing mirrors AllgatherKRing: copy the own block into
+// place, then run the k-ring schedule as an allgather on slot 0.
+func lowerAllgatherKRing(b *progBuilder, p, me int, sendbuf, recvbuf []byte, k int) error {
+	n := len(sendbuf)
+	tr := newBlockTracker()
+	own := b.copyOp([]Move{{Dst: recvbuf[me*n : (me+1)*n], Src: sendbuf}})
+	tr.noteWrite(me, own)
+	if p == 1 {
+		return nil
+	}
+	s, err := core.KRingSchedule(p, k)
+	if err != nil {
+		return err
+	}
+	lowerSchedAllgather(b, tr, s, me, recvbuf, core.UniformLayout(n), 0)
+	return nil
+}
+
+// lowerBcastKRing mirrors BcastKRing: radix-max(k,2) tree scatter of fair
+// blocks (slot 0) followed by the k-ring allgather over them (slot 1).
+func lowerBcastKRing(b *progBuilder, p, me int, buf []byte, root, k int) error {
+	if p == 1 {
+		return nil
+	}
+	tr := newBlockTracker()
+	lowerScatterFairForBcast(b, tr, p, me, buf, root, maxInt(k, 2), 0)
+	s, err := core.KRingSchedule(p, k)
+	if err != nil {
+		return err
+	}
+	lowerSchedAllgather(b, tr, s, me, buf, core.FairLayout(len(buf), p), 1)
+	return nil
+}
+
+// lowerAllreduceKRing mirrors AllreduceKRing: copy sendbuf into recvbuf,
+// reduce-scatter over the reversed k-ring schedule (slot 0), then
+// allgather the reduced blocks (slot 1). The shared blockTracker makes
+// every allgather access of a block wait for the straggling
+// reduce-scatter ops still touching it.
+func lowerAllreduceKRing(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, k int) error {
+	tr := newBlockTracker()
+	init := b.copyOp([]Move{{Dst: recvbuf, Src: sendbuf}})
+	for blk := 0; blk < p; blk++ {
+		tr.noteWrite(blk, init)
+	}
+	if p == 1 {
+		return nil
+	}
+	s, err := core.KRingSchedule(p, k)
+	if err != nil {
+		return err
+	}
+	layout := core.FairLayoutAligned(len(sendbuf), p, dt.Size())
+	lowerSchedReduceScatter(b, tr, s, me, recvbuf, layout, op, dt, 0)
+	lowerSchedAllgather(b, tr, s, me, recvbuf, layout, 1)
+	return nil
+}
+
+// lowerReduceScatterKRing mirrors ReduceScatterKRing: reduce-scatter over
+// scratch (slot 0), then copy the caller's aligned fair block out.
+func lowerReduceScatterKRing(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, k int) error {
+	n := len(sendbuf)
+	layout := core.FairLayoutAligned(n, p, dt.Size())
+	off, sz := layout(me)
+	tr := newBlockTracker()
+	work := make([]byte, n)
+	init := b.copyOp([]Move{{Dst: work, Src: sendbuf}})
+	for blk := 0; blk < p; blk++ {
+		tr.noteWrite(blk, init)
+	}
+	if p > 1 {
+		s, err := core.KRingSchedule(p, k)
+		if err != nil {
+			return err
+		}
+		lowerSchedReduceScatter(b, tr, s, me, work, layout, op, dt, 0)
+	}
+	b.copyOp([]Move{{Dst: recvbuf, Src: work[off : off+sz]}}, tr.readDeps(me)...)
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

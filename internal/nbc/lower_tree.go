@@ -1,0 +1,183 @@
+package nbc
+
+import (
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+// Tree-family lowerings: the k-nomial bcast/reduce/gather bodies of
+// internal/core/knomial.go translated op for op into program DAGs. Combine
+// chains mirror the blocking loops exactly (same order, same accumulator)
+// so reductions are bit-identical.
+//
+// Tag slots within one composed program: slot 0 carries the first phase
+// (reduce/gather/scatter), slot 1 the bcast phase of allgather/allreduce
+// compositions. A rooted bcast or reduce alone uses slot 0.
+
+// lowerBcastKnomial lowers BcastKnomial: recv once from the parent, then
+// send to every child. after gates the parent recv (and, for the root, the
+// child sends) on a previous phase's final op (-1 for none).
+func lowerBcastKnomial(b *progBuilder, p, me int, buf []byte, root, k, slot, after int) {
+	if p == 1 {
+		return
+	}
+	t := core.KnomialTree{P: p, K: k}
+	v := core.VRank(me, root, p)
+
+	got := after
+	if par := t.Parent(v); par >= 0 {
+		got = b.recv(core.AbsRank(par, root, p), slot, buf, after)
+	}
+	for _, ch := range t.Children(v) {
+		b.send(core.AbsRank(ch.VRank, root, p), slot, buf, got)
+	}
+}
+
+// lowerReduceKnomial lowers ReduceKnomial into b and returns the index of
+// the final op touching the accumulator (-1 when the program is empty so
+// far and p == 1 leaves nothing to do). acc is recvbuf at the root and
+// fresh scratch elsewhere, exactly as in the blocking body; the combine
+// chain runs in the blocking order (descending child index) regardless of
+// message arrival order.
+func lowerReduceKnomial(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, root, k, slot int) (acc []byte, last int) {
+	if me == root {
+		acc = recvbuf
+	} else {
+		acc = make([]byte, len(sendbuf))
+	}
+	last = b.copyOp([]Move{{Dst: acc, Src: sendbuf}})
+	if p == 1 {
+		return acc, last
+	}
+	t := core.KnomialTree{P: p, K: k}
+	v := core.VRank(me, root, p)
+	children := t.Children(v)
+
+	recvs := make([]int, len(children))
+	bufs := make([][]byte, len(children))
+	for i, ch := range children {
+		bufs[i] = make([]byte, len(sendbuf))
+		recvs[i] = b.recv(core.AbsRank(ch.VRank, root, p), slot, bufs[i])
+	}
+	for i := len(children) - 1; i >= 0; i-- {
+		last = b.reduce(op, dt, acc, bufs[i], recvs[i], last)
+	}
+	if par := t.Parent(v); par >= 0 {
+		last = b.send(core.AbsRank(par, root, p), slot, acc, last)
+	}
+	return acc, last
+}
+
+// lowerGatherKnomial lowers GatherKnomial to root and returns the index of
+// the op that completes this rank's part (-1 if none). At the root that op
+// is the rotate copy into recvbuf, and rotated gates any following phase.
+func lowerGatherKnomial(b *progBuilder, p, me int, sendbuf, recvbuf []byte, root, k, slot int) (last int) {
+	n := len(sendbuf)
+	t := core.KnomialTree{P: p, K: k}
+	v := core.VRank(me, root, p)
+	children := t.Children(v)
+
+	span := t.Span(v)
+	tmp := make([]byte, n*span)
+	own := b.copyOp([]Move{{Dst: tmp[:n], Src: sendbuf}})
+
+	deps := []int{own}
+	for _, ch := range children {
+		sz := t.SubtreeSize(ch.VRank, ch.Weight)
+		off := (ch.VRank - v) * n
+		deps = append(deps, b.recv(core.AbsRank(ch.VRank, root, p), slot, tmp[off:off+sz*n]))
+	}
+	if par := t.Parent(v); par >= 0 {
+		return b.send(core.AbsRank(par, root, p), slot, tmp, deps...)
+	}
+	// Root: rotate from vrank order back to absolute rank order.
+	moves := make([]Move, p)
+	for vr := 0; vr < p; vr++ {
+		r := core.AbsRank(vr, root, p)
+		moves[vr] = Move{Dst: recvbuf[r*n : (r+1)*n], Src: tmp[vr*n : (vr+1)*n]}
+	}
+	return b.copyOp(moves, deps...)
+}
+
+// lowerScatterFairForBcast lowers scatterFairForBcast: distribute root's
+// buf across all ranks in fair blocks keyed by absolute rank down a
+// radix-k tree. It returns ownReady, the op after which this rank's own
+// fair block of buf is valid (the pack at the root, the block copy
+// elsewhere), and notes the phase's buf accesses in tr (block ids are
+// absolute ranks): the root's pack reads every block, a non-root writes
+// its own block.
+func lowerScatterFairForBcast(b *progBuilder, tr *blockTracker, p, me int, buf []byte, root, k, slot int) (ownReady int) {
+	n := len(buf)
+	t := core.KnomialTree{P: p, K: k}
+	v := core.VRank(me, root, p)
+
+	packedOff := make([]int, p+1)
+	for vr := 0; vr < p; vr++ {
+		_, sz := core.FairBlock(n, p, core.AbsRank(vr, root, p))
+		packedOff[vr+1] = packedOff[vr] + sz
+	}
+
+	var packed []byte
+	var got int
+	if v == 0 {
+		packed = make([]byte, n)
+		moves := make([]Move, 0, p)
+		for vr := 0; vr < p; vr++ {
+			off, sz := core.FairBlock(n, p, core.AbsRank(vr, root, p))
+			moves = append(moves, Move{Dst: packed[packedOff[vr] : packedOff[vr]+sz], Src: buf[off : off+sz]})
+		}
+		got = b.copyOp(moves)
+		// The pack reads the whole buffer: the allgather phase must not
+		// overwrite any block before it runs.
+		for blk := 0; blk < p; blk++ {
+			tr.noteRead(blk, got)
+		}
+	} else {
+		span := t.Span(v)
+		packed = make([]byte, packedOff[v+span]-packedOff[v])
+		got = b.recv(core.AbsRank(t.Parent(v), root, p), slot, packed)
+	}
+	base := packedOff[v]
+	for _, ch := range t.Children(v) {
+		sz := t.SubtreeSize(ch.VRank, ch.Weight)
+		lo := packedOff[ch.VRank] - base
+		hi := packedOff[ch.VRank+sz] - base
+		b.send(core.AbsRank(ch.VRank, root, p), slot, packed[lo:hi], got)
+	}
+	ownReady = got
+	if v != 0 {
+		off, sz := core.FairBlock(n, p, me)
+		ownReady = b.copyOp([]Move{{Dst: buf[off : off+sz], Src: packed[:sz]}}, got)
+		tr.noteWrite(me, ownReady)
+	}
+	return ownReady
+}
+
+// lowerAllgatherKnomial composes gather to rank 0 (slot 0) with a k-nomial
+// bcast of the gathered buffer (slot 1), matching AllgatherKnomial.
+func lowerAllgatherKnomial(b *progBuilder, p, me int, sendbuf, recvbuf []byte, k int) {
+	gathered := lowerGatherKnomial(b, p, me, sendbuf, recvbuf, 0, k, 0)
+	after := -1
+	if me == 0 {
+		after = gathered
+	}
+	// Non-roots gate nothing on the gather phase: their bcast recv writes
+	// recvbuf, which the gather phase never touches on a non-root, and the
+	// distinct tag slot prevents cross-matching.
+	lowerBcastKnomial(b, p, me, recvbuf, 0, k, 1, after)
+}
+
+// lowerAllreduceKnomial composes reduce to rank 0 (slot 0) with a k-nomial
+// bcast of the result (slot 1), matching AllreduceKnomial.
+func lowerAllreduceKnomial(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, k int) {
+	_, last := lowerReduceKnomial(b, p, me, sendbuf, recvbuf, op, dt, 0, k, 0)
+	if me != 0 {
+		// The reduce phase left the result in rank 0's recvbuf only; other
+		// ranks receive it fresh. Their bcast recv overwrites recvbuf, which
+		// the reduce phase never wrote on a non-root — but the reduce
+		// phase's copy/send ops read the scratch accumulator, not recvbuf,
+		// so no hazard edge is needed; ordering comes from rank 0's sends.
+		last = -1
+	}
+	lowerBcastKnomial(b, p, me, recvbuf, 0, k, 1, last)
+}

@@ -1,0 +1,227 @@
+// Package nbc implements nonblocking collectives (the MPI-3 I<op> family)
+// as a schedule compiler plus a cooperative progress engine.
+//
+// Rather than parking a goroutine per call on the blocking algorithms, a
+// nonblocking collective is compiled once into a per-rank program: a DAG
+// of primitive operations (send, recv, reduce, copy) over concrete buffer
+// slices, with dependency edges that encode both the data flow and the
+// buffer hazards of the corresponding blocking algorithm. The compiler
+// (Compile) reuses the exact round/partner/combine structure of
+// internal/core — the same k-nomial trees, k-ring schedules, and
+// recursive-multiplying plans — so a compiled collective produces
+// bit-identical buffers to its blocking counterpart when the same
+// generalized algorithm is selected.
+//
+// Programs are driven by a per-rank Engine that keeps any number of
+// schedules in flight simultaneously. Progress is made cooperatively
+// inside Start/Wait/Test on the caller's own goroutine (the MPI
+// no-progress-thread model): the engine polls issued operations via
+// comm.Tester where the substrate supports it, and falls back to blocking
+// on the globally oldest issued operation in a canonical order when a
+// pass makes no progress. No background goroutine ever touches the
+// communicator, which keeps the engine compatible with the simulator's
+// one-kernel-action-per-rank discipline.
+//
+// Concurrent collectives get disjoint tag sub-ranges via issue epochs
+// (see the tag-space layout in internal/comm): MPI-3 requires every rank
+// to issue nonblocking collectives on a communicator in the same order,
+// so a per-engine issue counter is identical on all ranks and selects the
+// epoch's tag window above comm.TagNBCBase.
+package nbc
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// OpKind classifies a primitive operation.
+type OpKind uint8
+
+// The four primitive operations a program is lowered to.
+const (
+	// OpSend posts a nonblocking send of Buf to Peer on TagSlot.
+	OpSend OpKind = iota
+	// OpRecv posts a nonblocking receive into Buf from Peer on TagSlot.
+	OpRecv
+	// OpReduce folds each Move's Src into its Dst with (RedOp, RedType),
+	// charging compute like the blocking reduceInto.
+	OpReduce
+	// OpCopy copies each Move's Src into its Dst.
+	OpCopy
+)
+
+// String names the kind for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpReduce:
+		return "reduce"
+	case OpCopy:
+		return "copy"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Move is one local data movement: Src flows into Dst (copied for OpCopy,
+// reduced element-wise for OpReduce). Dst and Src are equal-length views
+// into the program's buffers.
+type Move struct {
+	Dst, Src []byte
+}
+
+// Op is one node of a compiled program. Deps lists the indices of ops that
+// must complete before this op may start — data dependencies and buffer
+// hazards alike. Comm ops (OpSend/OpRecv) use Peer and TagSlot, a relative
+// tag in [0, comm.NBCTagStride) that the engine offsets by the request's
+// epoch base at issue time.
+type Op struct {
+	Kind    OpKind
+	Peer    int
+	TagSlot int
+	Buf     []byte
+	Moves   []Move
+	RedOp   datatype.Op
+	RedType datatype.Type
+	Deps    []int
+}
+
+// Program is one rank's compiled schedule for one collective call. Ops are
+// topologically ordered (every dependency precedes its dependent), and the
+// engine issues ready ops in index order, which reproduces the posting
+// order of the blocking algorithm the program was lowered from.
+type Program struct {
+	Ops []Op
+	// OpName is the MPI-style operation name ("MPI_Iallreduce", ...).
+	OpName string
+	// Alg names the lowering ("nbc:" + the blocking algorithm compiled from).
+	Alg string
+	// K is the radix the lowering was compiled with (0 if not generalized).
+	K int
+	// Bytes is the selection size the algorithm was chosen at.
+	Bytes int
+}
+
+// Validate checks the structural invariants the engine relies on:
+// backward-pointing dependencies (topological index order) and tag slots
+// inside the epoch stride. Compile validates every program it returns;
+// exported so tests can check hand-built programs.
+func (p *Program) Validate() error {
+	for i, op := range p.Ops {
+		for _, d := range op.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("nbc: op %d (%s) depends on %d (must be in [0,%d))", i, op.Kind, d, i)
+			}
+		}
+		switch op.Kind {
+		case OpSend, OpRecv:
+			if op.TagSlot < 0 || op.TagSlot >= comm.NBCTagStride {
+				return fmt.Errorf("nbc: op %d (%s) tag slot %d outside [0,%d)", i, op.Kind, op.TagSlot, comm.NBCTagStride)
+			}
+			if len(op.Moves) != 0 {
+				return fmt.Errorf("nbc: op %d (%s) has local moves", i, op.Kind)
+			}
+		case OpReduce, OpCopy:
+			for _, m := range op.Moves {
+				if len(m.Dst) != len(m.Src) {
+					return fmt.Errorf("nbc: op %d (%s) move length mismatch (%d vs %d)", i, op.Kind, len(m.Dst), len(m.Src))
+				}
+			}
+		default:
+			return fmt.Errorf("nbc: op %d has unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// progBuilder accumulates a program's ops during lowering. The helpers
+// return the new op's index so lowerings can wire dependencies.
+type progBuilder struct {
+	ops []Op
+}
+
+// add appends op with deduplicated, valid deps.
+func (b *progBuilder) add(op Op, deps []int) int {
+	idx := len(b.ops)
+	seen := map[int]bool{}
+	var clean []int
+	for _, d := range deps {
+		if d < 0 || seen[d] {
+			continue
+		}
+		seen[d] = true
+		clean = append(clean, d)
+	}
+	op.Deps = clean
+	b.ops = append(b.ops, op)
+	return idx
+}
+
+func (b *progBuilder) send(peer, slot int, buf []byte, deps ...int) int {
+	return b.add(Op{Kind: OpSend, Peer: peer, TagSlot: slot, Buf: buf}, deps)
+}
+
+func (b *progBuilder) recv(peer, slot int, buf []byte, deps ...int) int {
+	return b.add(Op{Kind: OpRecv, Peer: peer, TagSlot: slot, Buf: buf}, deps)
+}
+
+// reduce folds src into dst (dst ← dst ⊕ src).
+func (b *progBuilder) reduce(op datatype.Op, t datatype.Type, dst, src []byte, deps ...int) int {
+	return b.add(Op{Kind: OpReduce, RedOp: op, RedType: t, Moves: []Move{{Dst: dst, Src: src}}}, deps)
+}
+
+// copyOp performs the given moves (dst ← src each).
+func (b *progBuilder) copyOp(moves []Move, deps ...int) int {
+	return b.add(Op{Kind: OpCopy, Moves: moves}, deps)
+}
+
+// blockTracker tracks read/write hazards over abstract block ids during
+// lowering, turning the implicit ordering of a blocking algorithm's
+// program text into explicit dependency edges:
+//
+//   - an op that reads block b must run after b's last writer (RAW);
+//   - an op that writes block b must run after b's last writer (WAW) and
+//     after every reader since that writer (WAR).
+//
+// Block ids are whatever granularity the lowering chooses (schedule block
+// ids for the k-ring/recursive-multiplying families).
+type blockTracker struct {
+	lastWrite map[int]int
+	readers   map[int][]int
+}
+
+func newBlockTracker() *blockTracker {
+	return &blockTracker{lastWrite: map[int]int{}, readers: map[int][]int{}}
+}
+
+// readDeps returns the deps an op reading block b needs.
+func (t *blockTracker) readDeps(b int) []int {
+	if w, ok := t.lastWrite[b]; ok {
+		return []int{w}
+	}
+	return nil
+}
+
+// writeDeps returns the deps an op writing block b needs.
+func (t *blockTracker) writeDeps(b int) []int {
+	var deps []int
+	if w, ok := t.lastWrite[b]; ok {
+		deps = append(deps, w)
+	}
+	return append(deps, t.readers[b]...)
+}
+
+// noteRead records op idx as a reader of block b.
+func (t *blockTracker) noteRead(b, idx int) {
+	t.readers[b] = append(t.readers[b], idx)
+}
+
+// noteWrite records op idx as block b's last writer, clearing readers.
+func (t *blockTracker) noteWrite(b, idx int) {
+	t.lastWrite[b] = idx
+	t.readers[b] = nil
+}

@@ -1,0 +1,100 @@
+package nbc_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/nbc"
+	"exacoll/internal/transport/mem"
+)
+
+// TestUserTrafficNeverCrossMatches is the tag-space audit regression: a
+// user point-to-point message at TagUser posted BEFORE a collective and
+// received AFTER it must come through byte-exact, and the collectives run
+// across it must still be correct — i.e. application traffic, blocking
+// collectives (TagCollBase range), and nonblocking collectives (TagNBCBase
+// epoch windows) never cross-match even while all three are in flight.
+func TestUserTrafficNeverCrossMatches(t *testing.T) {
+	const p, elems = 4, 16
+	tab := pinnedTable(core.OpAllreduce, "allreduce_kring", 2)
+
+	want := runBlocking(t, tab, core.OpAllreduce, p, elems, 0, false)
+	want2 := make([][]byte, p)
+	{
+		w := mem.NewWorld(p)
+		if err := w.Run(func(c comm.Comm) error {
+			a, res := buildCollArgs(core.OpAllreduce, c.Rank()+p, p, elems, 0, false)
+			if err := tab.Run(c, core.OpAllreduce, a); err != nil {
+				return err
+			}
+			want2[c.Rank()] = res
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+	}
+
+	got := make([][]byte, p)
+	got2 := make([][]byte, p)
+	w := mem.NewWorld(p)
+	defer w.Close()
+	err := w.Run(func(c comm.Comm) error {
+		me := c.Rank()
+		next, prev := (me+1)%p, (me+p-1)%p
+
+		// User message in flight across everything below.
+		userOut := []byte{0xA0, byte(me), 0xC0, 0xD0}
+		sreq, err := c.Isend(next, comm.TagUser, userOut)
+		if err != nil {
+			return err
+		}
+
+		// A nonblocking collective outstanding...
+		a, res := buildCollArgs(core.OpAllreduce, me, p, elems, 0, false)
+		prog, err := nbc.Compile(c, tab, core.OpAllreduce, a)
+		if err != nil {
+			return err
+		}
+		req, err := nbc.NewEngine(c).Start(prog)
+		if err != nil {
+			return err
+		}
+		// ... a blocking collective running to completion across it ...
+		a2, res2 := buildCollArgs(core.OpAllreduce, me+p, p, elems, 0, false)
+		if err := tab.Run(c, core.OpAllreduce, a2); err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		if err := sreq.Wait(); err != nil {
+			return err
+		}
+
+		// ... and the user message arrives intact afterwards.
+		userIn := make([]byte, len(userOut))
+		if _, err := c.Recv(prev, comm.TagUser, userIn); err != nil {
+			return err
+		}
+		if want := []byte{0xA0, byte(prev), 0xC0, 0xD0}; !bytes.Equal(userIn, want) {
+			return fmt.Errorf("rank %d: user message %x, want %x (cross-matched with collective traffic)", me, userIn, want)
+		}
+		got[me], got2[me] = res, res2
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if !bytes.Equal(got[r], want[r]) {
+			t.Errorf("rank %d: nonblocking allreduce corrupted by concurrent user/blocking traffic", r)
+		}
+		if !bytes.Equal(got2[r], want2[r]) {
+			t.Errorf("rank %d: blocking allreduce corrupted by concurrent user/nonblocking traffic", r)
+		}
+	}
+}

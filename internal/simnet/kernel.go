@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -21,6 +22,7 @@ const (
 	actIsend actionKind = iota
 	actIrecv
 	actWait
+	actTest
 	actCharge
 	actDone
 )
@@ -62,6 +64,24 @@ func (r *simReq) Wait() error {
 
 // Len implements comm.Request.
 func (r *simReq) Len() int { return r.n }
+
+// errSimTestPending is the sentinel reply doTest sends when the request is
+// not yet resolved; simReq.Test translates it to (done=false, nil).
+var errSimTestPending = errors.New("simnet: test pending")
+
+// Test implements comm.Tester. The poll is a kernel action so it respects
+// the one-action-per-rank invariant and is charged virtual time
+// (RecvOverhead) when the request is unresolved — a polling rank advances
+// its clock instead of livelocking virtual time.
+func (r *simReq) Test() (bool, error) {
+	rep := make(chan error, 1)
+	r.k.actions <- &action{kind: actTest, rank: r.rank, req: r, reply: rep}
+	err := <-rep
+	if errors.Is(err, errSimTestPending) {
+		return false, nil
+	}
+	return true, err
+}
 
 type matchKey struct {
 	src int
@@ -265,6 +285,10 @@ func (k *kernel) process(a *action) int {
 
 	case actWait:
 		return k.doWait(a)
+
+	case actTest:
+		k.doTest(a)
+		return 1
 	}
 	a.reply <- fmt.Errorf("simnet: unknown action %d", a.kind)
 	return 1
@@ -397,6 +421,31 @@ func (k *kernel) doWait(a *action) int {
 	req.parkClock = rs.clock
 	req.waitReply = a.reply
 	return 0
+}
+
+// doTest polls a request without ever parking the caller. A completed test
+// consumes the operation exactly as Wait would (same completion-time
+// charge); an unresolved test still charges RecvOverhead so a rank that
+// keeps polling moves its virtual clock forward.
+func (k *kernel) doTest(a *action) {
+	req := a.req
+	rs := k.ranks[a.rank]
+	if req.isSend || req.consumed {
+		a.reply <- req.err
+		return
+	}
+	if req.resolved {
+		req.consumed = true
+		t := rs.clock
+		if req.arrival > t {
+			t = req.arrival
+		}
+		rs.clock = t + k.spec.RecvOverhead
+		a.reply <- req.err
+		return
+	}
+	rs.clock += k.spec.RecvOverhead
+	a.reply <- errSimTestPending
 }
 
 // route advances the sender's clock by the injection overhead and threads

@@ -163,6 +163,22 @@ func (r *tracedRecvReq) Wait() error {
 	return err
 }
 
+// Test implements comm.Tester when the wrapped request does, recording the
+// receive event once on successful completion (same one-shot as Wait).
+func (r *tracedRecvReq) Test() (bool, error) {
+	done, err, ok := comm.TryTest(r.Request)
+	if !ok || !done {
+		return false, nil
+	}
+	if err == nil {
+		r.once.Do(func() {
+			r.t.sink.record(Event{Rank: r.t.Rank(), Kind: KindRecv, Peer: r.from,
+				Tag: r.tag, Bytes: r.Request.Len(), Time: r.t.now()})
+		})
+	}
+	return true, err
+}
+
 // tracedClockComm re-exposes the Clock interface.
 type tracedClockComm struct {
 	*tracedComm

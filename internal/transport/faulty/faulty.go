@@ -4,11 +4,21 @@
 // must surface the error (never hang, never return corrupted success) —
 // the property the error-path tests in internal/core assert across every
 // algorithm in the registry.
+//
+// Faults are deterministic budgets rather than random drops: a Budget
+// allows n successful operations world-wide and fails every one after it,
+// so a shrinking budget sweeps the failure point across every send (or
+// receive) of a collective. Send faults surface at post time (Send/Isend
+// return ErrInjected); receive faults surface at completion (Recv returns
+// ErrInjected, and a wrapped Irecv request delivers it through Wait/Test)
+// — the two places a real transport reports link failures. An optional
+// Delay stretches every operation to widen race windows in overlap tests.
 package faulty
 
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"exacoll/internal/comm"
 )
@@ -37,41 +47,127 @@ func (b *Budget) spend() error {
 	return nil
 }
 
+// Options configures the injected faults. Zero values inject nothing.
+type Options struct {
+	// Send makes sends fail at post time once exhausted.
+	Send *Budget
+	// Recv makes receives fail at completion once exhausted: blocking
+	// Recv returns ErrInjected, and Irecv requests surface it through
+	// Wait/Test after the underlying receive completes.
+	Recv *Budget
+	// Delay is added to every operation before it is forwarded,
+	// simulating a slow link (wall-clock substrates only).
+	Delay time.Duration
+}
+
+// New returns a communicator injecting the configured faults around c.
+func New(c comm.Comm, o Options) comm.Comm {
+	return &faultyComm{inner: c, opts: o}
+}
+
 // Wrap returns a communicator whose sends fail once the budget runs out.
 // Receives are not failed directly (a real NIC fault manifests at the
 // sender or as a missing message); the mem transport's failure handling
 // releases any receives left orphaned by failed sends.
 func Wrap(c comm.Comm, b *Budget) comm.Comm {
-	return &faultyComm{inner: c, budget: b}
+	return New(c, Options{Send: b})
 }
 
 type faultyComm struct {
-	inner  comm.Comm
-	budget *Budget
+	inner comm.Comm
+	opts  Options
 }
 
 func (f *faultyComm) Rank() int           { return f.inner.Rank() }
 func (f *faultyComm) Size() int           { return f.inner.Size() }
 func (f *faultyComm) ChargeCompute(n int) { f.inner.ChargeCompute(n) }
 
+func (f *faultyComm) delay() {
+	if f.opts.Delay > 0 {
+		time.Sleep(f.opts.Delay)
+	}
+}
+
 func (f *faultyComm) Send(to int, tag comm.Tag, buf []byte) error {
-	if err := f.budget.spend(); err != nil {
-		return err
+	f.delay()
+	if f.opts.Send != nil {
+		if err := f.opts.Send.spend(); err != nil {
+			return err
+		}
 	}
 	return f.inner.Send(to, tag, buf)
 }
 
 func (f *faultyComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
-	if err := f.budget.spend(); err != nil {
-		return nil, err
+	f.delay()
+	if f.opts.Send != nil {
+		if err := f.opts.Send.spend(); err != nil {
+			return nil, err
+		}
 	}
 	return f.inner.Isend(to, tag, buf)
 }
 
 func (f *faultyComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
-	return f.inner.Recv(from, tag, buf)
+	f.delay()
+	n, err := f.inner.Recv(from, tag, buf)
+	if err == nil && f.opts.Recv != nil {
+		err = f.opts.Recv.spend()
+	}
+	return n, err
 }
 
 func (f *faultyComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
-	return f.inner.Irecv(from, tag, buf)
+	f.delay()
+	req, err := f.inner.Irecv(from, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	if f.opts.Recv == nil {
+		return req, nil
+	}
+	return &faultyRecvReq{inner: req, budget: f.opts.Recv}, nil
 }
+
+// faultyRecvReq spends the receive budget when the underlying receive
+// completes; an exhausted budget surfaces as ErrInjected from Wait and
+// Test. The resolution is memoized so repeated Wait/Test calls observe
+// the same terminal status (the comm.Request idempotency contract).
+type faultyRecvReq struct {
+	inner    comm.Request
+	budget   *Budget
+	resolved bool
+	err      error
+}
+
+func (r *faultyRecvReq) resolve(err error) error {
+	if !r.resolved {
+		if err == nil {
+			err = r.budget.spend()
+		}
+		r.resolved, r.err = true, err
+	}
+	return r.err
+}
+
+func (r *faultyRecvReq) Wait() error {
+	if r.resolved {
+		return r.err
+	}
+	return r.resolve(r.inner.Wait())
+}
+
+// Test polls the underlying request when it supports polling; transports
+// without comm.Tester report not-done, leaving completion to Wait.
+func (r *faultyRecvReq) Test() (bool, error) {
+	if r.resolved {
+		return true, r.err
+	}
+	done, err, ok := comm.TryTest(r.inner)
+	if !ok || !done {
+		return false, nil
+	}
+	return true, r.resolve(err)
+}
+
+func (r *faultyRecvReq) Len() int { return r.inner.Len() }

@@ -1,0 +1,253 @@
+package faulty_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/nbc"
+	"exacoll/internal/transport/faulty"
+	"exacoll/internal/transport/mem"
+	"exacoll/internal/tuning"
+)
+
+// TestSendBudgetBlocking: sends succeed until the budget runs out, then
+// every further Send fails at post time.
+func TestSendBudgetBlocking(t *testing.T) {
+	w := mem.NewWorld(2)
+	defer w.Close()
+	b := faulty.NewBudget(1)
+	err := w.Run(func(c comm.Comm) error {
+		fc := faulty.Wrap(c, b)
+		if fc.Rank() != 0 {
+			buf := make([]byte, 1)
+			if _, err := fc.Recv(0, comm.TagUser, buf); err != nil {
+				return err
+			}
+			return nil
+		}
+		if err := fc.Send(1, comm.TagUser, []byte{1}); err != nil {
+			return err
+		}
+		if err := fc.Send(1, comm.TagUser, []byte{2}); !errors.Is(err, faulty.ErrInjected) {
+			t.Errorf("second Send: %v, want ErrInjected", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendBudgetIsend: an exhausted budget fails Isend at post time.
+func TestSendBudgetIsend(t *testing.T) {
+	w := mem.NewWorld(2)
+	defer w.Close()
+	fc := faulty.New(w.Comm(0), faulty.Options{Send: faulty.NewBudget(0)})
+	if _, err := fc.Isend(1, comm.TagUser, []byte{1}); !errors.Is(err, faulty.ErrInjected) {
+		t.Fatalf("Isend: %v, want ErrInjected", err)
+	}
+}
+
+// TestRecvBudgetSurfacesThroughWait: the receive-side budget fails a
+// completed Irecv through Request.Wait (and idempotently thereafter),
+// while blocking Recv returns the error directly.
+func TestRecvBudgetSurfacesThroughWait(t *testing.T) {
+	w := mem.NewWorld(2)
+	defer w.Close()
+	b := faulty.NewBudget(1)
+	err := w.Run(func(c comm.Comm) error {
+		fc := faulty.New(c, faulty.Options{Recv: b})
+		if fc.Rank() == 1 {
+			for i := 0; i < 3; i++ {
+				if err := fc.Send(0, comm.TagUser, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := make([]byte, 1)
+		// First receive: inside budget, succeeds.
+		if _, err := fc.Recv(1, comm.TagUser, buf); err != nil {
+			return err
+		}
+		// Second: budget exhausted — nonblocking, error from Wait.
+		req, err := fc.Irecv(1, comm.TagUser, buf)
+		if err != nil {
+			return err
+		}
+		if err := req.Wait(); !errors.Is(err, faulty.ErrInjected) {
+			t.Errorf("Irecv Wait: %v, want ErrInjected", err)
+		}
+		if err := req.Wait(); !errors.Is(err, faulty.ErrInjected) {
+			t.Errorf("repeated Wait: %v, want ErrInjected", err)
+		}
+		// Third: blocking receive reports it directly.
+		if _, err := fc.Recv(1, comm.TagUser, buf); !errors.Is(err, faulty.ErrInjected) {
+			t.Errorf("blocking Recv: %v, want ErrInjected", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvBudgetSurfacesThroughTest: the injected receive failure also
+// comes back through polling (comm.Tester), which is the path the nbc
+// progress engine uses.
+func TestRecvBudgetSurfacesThroughTest(t *testing.T) {
+	w := mem.NewWorld(2)
+	defer w.Close()
+	err := w.Run(func(c comm.Comm) error {
+		fc := faulty.New(c, faulty.Options{Recv: faulty.NewBudget(0)})
+		if fc.Rank() == 1 {
+			return fc.Send(0, comm.TagUser, []byte{7})
+		}
+		req, err := fc.Irecv(1, comm.TagUser, make([]byte, 1))
+		if err != nil {
+			return err
+		}
+		for {
+			done, err, ok := comm.TryTest(req)
+			if !ok {
+				t.Error("faulty request does not support Test")
+				return nil
+			}
+			if done {
+				if !errors.Is(err, faulty.ErrInjected) {
+					t.Errorf("Test: %v, want ErrInjected", err)
+				}
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDelay checks the injected latency is actually applied.
+func TestDelay(t *testing.T) {
+	const d = 20 * time.Millisecond
+	w := mem.NewWorld(2)
+	defer w.Close()
+	start := time.Now()
+	err := w.Run(func(c comm.Comm) error {
+		fc := faulty.New(c, faulty.Options{Delay: d})
+		if fc.Rank() == 0 {
+			return fc.Send(1, comm.TagUser, []byte{1})
+		}
+		_, err := fc.Recv(0, comm.TagUser, make([]byte, 1))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("world finished in %v despite %v injected delay", elapsed, d)
+	}
+}
+
+// TestBlockingCollectiveUnwinds sweeps the failure point through a
+// blocking allreduce: every budget either completes or surfaces an
+// injected (or orphaned-receive) error — never a hang.
+func TestBlockingCollectiveUnwinds(t *testing.T) {
+	const p = 4
+	tab := &tuning.Table{Machine: "test", Ops: map[string][]tuning.Entry{
+		core.OpAllreduce.String(): {{Alg: "allreduce_kring", K: 2}},
+	}}
+	for _, budget := range []int{0, 1, 3, 7, 1 << 20} {
+		w := mem.NewWorld(p)
+		b := faulty.NewBudget(budget)
+		err := w.Run(func(c comm.Comm) error {
+			fc := faulty.Wrap(c, b)
+			a := core.Args{
+				SendBuf: make([]byte, 64), RecvBuf: make([]byte, 64),
+				Op: datatype.Sum, Type: datatype.Float64,
+			}
+			return tab.Run(fc, core.OpAllreduce, a)
+		})
+		if budget >= 1<<20 && err != nil {
+			t.Fatalf("budget %d: unexpected failure: %v", budget, err)
+		}
+		if err != nil && !errors.Is(err, faulty.ErrInjected) && !errors.Is(err, comm.ErrClosed) {
+			t.Fatalf("budget %d: unexpected error type: %v", budget, err)
+		}
+		w.Close()
+	}
+}
+
+// TestNonblockingCollectiveUnwinds does the same sweep through the nbc
+// engine: the injected failure must surface from the collective request's
+// Wait on some rank, and no rank may hang.
+func TestNonblockingCollectiveUnwinds(t *testing.T) {
+	const p = 4
+	tab := &tuning.Table{Machine: "test", Ops: map[string][]tuning.Entry{
+		core.OpAllreduce.String(): {{Alg: "allreduce_recmul", K: 2}},
+	}}
+	for _, budget := range []int{0, 1, 3, 7, 1 << 20} {
+		w := mem.NewWorld(p)
+		b := faulty.NewBudget(budget)
+		err := w.Run(func(c comm.Comm) error {
+			fc := faulty.Wrap(c, b)
+			a := core.Args{
+				SendBuf: make([]byte, 64), RecvBuf: make([]byte, 64),
+				Op: datatype.Sum, Type: datatype.Float64,
+			}
+			prog, err := nbc.Compile(fc, tab, core.OpAllreduce, a)
+			if err != nil {
+				return err
+			}
+			req, err := nbc.NewEngine(fc).Start(prog)
+			if err != nil {
+				return err
+			}
+			return req.Wait()
+		})
+		if budget >= 1<<20 && err != nil {
+			t.Fatalf("budget %d: unexpected failure: %v", budget, err)
+		}
+		if err != nil && !errors.Is(err, faulty.ErrInjected) && !errors.Is(err, comm.ErrClosed) {
+			t.Fatalf("budget %d: unexpected error type: %v", budget, err)
+		}
+		w.Close()
+	}
+}
+
+// TestNonblockingRecvFaultThroughCollectiveWait injects a receive-side
+// fault under a nonblocking collective and checks it surfaces from the
+// collective's Wait.
+func TestNonblockingRecvFaultThroughCollectiveWait(t *testing.T) {
+	const p = 4
+	tab := &tuning.Table{Machine: "test", Ops: map[string][]tuning.Entry{
+		core.OpAllgather.String(): {{Alg: "allgather_kring", K: 2}},
+	}}
+	w := mem.NewWorld(p)
+	defer w.Close()
+	b := faulty.NewBudget(0)
+	// The failing rank must propagate the error out of fn so the world
+	// aborts (releasing peers with ErrClosed) instead of hanging them.
+	err := w.Run(func(c comm.Comm) error {
+		fc := faulty.New(c, faulty.Options{Recv: b})
+		a := core.Args{SendBuf: make([]byte, 16), RecvBuf: make([]byte, 16*p)}
+		prog, err := nbc.Compile(fc, tab, core.OpAllgather, a)
+		if err != nil {
+			return err
+		}
+		req, err := nbc.NewEngine(fc).Start(prog)
+		if err != nil {
+			return err
+		}
+		return req.Wait()
+	})
+	if err == nil {
+		t.Fatal("collective succeeded despite exhausted receive budget")
+	}
+	if !errors.Is(err, faulty.ErrInjected) && !errors.Is(err, comm.ErrClosed) {
+		t.Fatalf("collective Wait = %v, want ErrInjected or ErrClosed", err)
+	}
+}

@@ -219,6 +219,9 @@ type sentRequest struct {
 func (r *sentRequest) Wait() error { return r.err }
 func (r *sentRequest) Len() int    { return r.n }
 
+// Test implements comm.Tester: eager sends complete at post time.
+func (r *sentRequest) Test() (bool, error) { return true, r.err }
+
 func (c *memComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
 	err := c.Send(to, tag, buf)
 	if err != nil {
@@ -238,6 +241,16 @@ func (r *recvRequest) Wait() error {
 }
 
 func (r *recvRequest) Len() int { return r.pr.n }
+
+// Test implements comm.Tester: a nonblocking completion poll.
+func (r *recvRequest) Test() (bool, error) {
+	select {
+	case <-r.pr.done:
+		return true, r.pr.err
+	default:
+		return false, nil
+	}
+}
 
 func (c *memComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
 	if err := comm.CheckPeer(c.rank, from, c.Size()); err != nil {

@@ -319,6 +319,9 @@ type sendReq struct {
 func (r *sendReq) Wait() error { return r.err }
 func (r *sendReq) Len() int    { return r.n }
 
+// Test implements comm.Tester: the frame was written at post time.
+func (r *sendReq) Test() (bool, error) { return true, r.err }
+
 // Isend implements comm.Comm. The write happens synchronously (kernel
 // socket buffers provide the eager behaviour), so the returned request is
 // already complete.
@@ -391,6 +394,16 @@ func (r *tcpRecv) Wait() error {
 }
 
 func (r *tcpRecv) Len() int { return r.n }
+
+// Test implements comm.Tester: a nonblocking completion poll.
+func (r *tcpRecv) Test() (bool, error) {
+	select {
+	case <-r.done:
+		return true, r.err
+	default:
+		return false, nil
+	}
+}
 
 func newEngine(p int) *engine {
 	return &engine{

@@ -1,0 +1,48 @@
+// External test package: this test drives the autotuner with simulator
+// measurements from internal/bench, which itself imports internal/tuning
+// (the overlap benchmark runs through a Table) — an in-package test here
+// would be an import cycle.
+package tuning_test
+
+import (
+	"testing"
+
+	"exacoll/internal/bench"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/tuning"
+)
+
+// TestAutotuneUnderJitter runs the autotuner against the simulator with
+// the §VI-H run-to-run variance model enabled: the ladder must still
+// validate, and the chosen small-message allreduce must be a
+// latency-optimized algorithm rather than the ring.
+func TestAutotuneUnderJitter(t *testing.T) {
+	spec := machine.Frontier().WithJitter(0.3, 99)
+	const p = 16
+	ops := map[core.CollOp][]tuning.Candidate{
+		core.OpAllreduce: {
+			{Alg: "allreduce_ring"},
+			{Alg: "allreduce_recmul", K: 4},
+			{Alg: "allreduce_recmul", K: 8},
+		},
+	}
+	measure := func(cand tuning.Candidate, n int) (float64, error) {
+		alg, err := core.Lookup(cand.Alg)
+		if err != nil {
+			return 0, err
+		}
+		return bench.SimLatency(spec, p, alg.Op, alg.Run, n, 0, cand.K)
+	}
+	tab, err := tuning.Autotune(ops, []int{8, 1 << 10, 64 << 10}, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tab.Select(core.OpAllreduce, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Alg == "allreduce_ring" {
+		t.Errorf("jittered autotune picked the ring for 8-byte allreduce: %+v", e)
+	}
+}

@@ -5,11 +5,9 @@ import (
 	"strings"
 	"testing"
 
-	"exacoll/internal/bench"
 	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/datatype"
-	"exacoll/internal/machine"
 	"exacoll/internal/transport/mem"
 )
 
@@ -129,40 +127,6 @@ func TestRunHonorsConfig(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
-	}
-}
-
-// TestAutotuneUnderJitter runs the autotuner against the simulator with
-// the §VI-H run-to-run variance model enabled: the ladder must still
-// validate, and the chosen small-message allreduce must be a
-// latency-optimized algorithm rather than the ring.
-func TestAutotuneUnderJitter(t *testing.T) {
-	spec := machine.Frontier().WithJitter(0.3, 99)
-	const p = 16
-	ops := map[core.CollOp][]Candidate{
-		core.OpAllreduce: {
-			{Alg: "allreduce_ring"},
-			{Alg: "allreduce_recmul", K: 4},
-			{Alg: "allreduce_recmul", K: 8},
-		},
-	}
-	measure := func(cand Candidate, n int) (float64, error) {
-		alg, err := core.Lookup(cand.Alg)
-		if err != nil {
-			return 0, err
-		}
-		return bench.SimLatency(spec, p, alg.Op, alg.Run, n, 0, cand.K)
-	}
-	tab, err := Autotune(ops, []int{8, 1 << 10, 64 << 10}, measure)
-	if err != nil {
-		t.Fatal(err)
-	}
-	e, err := tab.Select(core.OpAllreduce, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if e.Alg == "allreduce_ring" {
-		t.Errorf("jittered autotune picked the ring for 8-byte allreduce: %+v", e)
 	}
 }
 
