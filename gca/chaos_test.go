@@ -1,0 +1,471 @@
+package gca_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"exacoll/gca"
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/tuning"
+)
+
+// The chaos conformance suite: kill one rank at every operation boundary of
+// every Table I generalized algorithm and assert the ULFM contract — every
+// surviving rank returns the same outcome within the deadline (no hang, no
+// split-brain), and when the outcome is an abort, Shrink yields a working
+// sub-communicator on which the survivors complete a correct Allreduce.
+
+const (
+	chaosP      = 4
+	chaosVictim = 2
+	chaosBytes  = 96
+)
+
+// killerComm wraps the victim rank's communicator and fires the configured
+// kill switch immediately before the Nth counted operation (sends and
+// receive posts, agreement traffic included), so a sweep over N places the
+// failure at every point of the collective and of the agreement that
+// follows it.
+type killerComm struct {
+	inner     comm.Comm
+	kill      func()
+	remaining atomic.Int64 // ops allowed before the kill fires
+	counted   atomic.Int64 // total ops observed (for sizing the sweep)
+}
+
+func newKiller(inner comm.Comm, killpoint int, kill func()) *killerComm {
+	k := &killerComm{inner: inner, kill: kill}
+	if killpoint < 0 {
+		k.remaining.Store(1 << 40) // never fires; counts ops
+	} else {
+		k.remaining.Store(int64(killpoint))
+	}
+	return k
+}
+
+func (k *killerComm) tick() {
+	k.counted.Add(1)
+	if k.remaining.Add(-1) == -1 {
+		k.kill()
+	}
+}
+
+func (k *killerComm) Rank() int           { return k.inner.Rank() }
+func (k *killerComm) Size() int           { return k.inner.Size() }
+func (k *killerComm) ChargeCompute(n int) { k.inner.ChargeCompute(n) }
+
+func (k *killerComm) Send(to int, tag comm.Tag, buf []byte) error {
+	k.tick()
+	return k.inner.Send(to, tag, buf)
+}
+
+func (k *killerComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	k.tick()
+	return k.inner.Isend(to, tag, buf)
+}
+
+func (k *killerComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	k.tick()
+	return k.inner.Recv(from, tag, buf)
+}
+
+func (k *killerComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	k.tick()
+	return k.inner.Irecv(from, tag, buf)
+}
+
+func (k *killerComm) SetOpTimeout(d time.Duration) {
+	if dl, ok := k.inner.(comm.Deadliner); ok {
+		dl.SetOpTimeout(d)
+	}
+}
+
+func (k *killerComm) Failed() []int {
+	if fd, ok := k.inner.(comm.FailureDetector); ok {
+		return fd.Failed()
+	}
+	return nil
+}
+
+func (k *killerComm) PurgeTags(lo, hi comm.Tag) {
+	if pg, ok := k.inner.(comm.Purger); ok {
+		pg.PurgeTags(lo, hi)
+	}
+}
+
+// forcingTable pins the session's selection to exactly one algorithm at its
+// default radix, so the sweep drives every Table I entry rather than the
+// tuned pick.
+func forcingTable(alg *core.Algorithm) *tuning.Table {
+	k := 0
+	if alg.Generalized {
+		k = alg.DefaultK
+	}
+	ops := map[string][]tuning.Entry{
+		alg.Op.String(): {{Alg: alg.Name, K: k}},
+	}
+	// The post-shrink recovery check needs an Allreduce ladder even when
+	// the algorithm under test is a different op.
+	if alg.Op != core.OpAllreduce {
+		ops[core.OpAllreduce.String()] = []tuning.Entry{{Alg: "allreduce_ring"}}
+	}
+	return &tuning.Table{Machine: "chaos", P: chaosP, Ops: ops}
+}
+
+// chaosCollective returns a runner invoking the session call for op with
+// verifiable payloads. Contents are only checked when verify is true (the
+// fault-free run); in killed runs the buffers carry no guarantee.
+func chaosCollective(op core.CollOp) func(s *gca.Session, rank int, verify bool) error {
+	// BOr over Uint8 keeps reduction results checkable bytewise: rank r
+	// contributes 1<<r everywhere, so the full reduction is 0x0F at p=4.
+	full := byte(1<<chaosP - 1)
+	switch op {
+	case core.OpBcast:
+		return func(s *gca.Session, rank int, verify bool) error {
+			buf := make([]byte, chaosBytes)
+			if rank == 0 {
+				for i := range buf {
+					buf[i] = byte(i%251) + 1
+				}
+			}
+			if err := s.Bcast(buf, 0); err != nil {
+				return err
+			}
+			if verify {
+				for i := range buf {
+					if buf[i] != byte(i%251)+1 {
+						return fmt.Errorf("bcast buf[%d] = %d", i, buf[i])
+					}
+				}
+			}
+			return nil
+		}
+	case core.OpReduce:
+		return func(s *gca.Session, rank int, verify bool) error {
+			send := make([]byte, chaosBytes)
+			recv := make([]byte, chaosBytes)
+			for i := range send {
+				send[i] = 1 << rank
+			}
+			if err := s.Reduce(send, recv, gca.BOr, gca.Uint8, 0); err != nil {
+				return err
+			}
+			if verify && rank == 0 {
+				for i := range recv {
+					if recv[i] != full {
+						return fmt.Errorf("reduce recv[%d] = %#x, want %#x", i, recv[i], full)
+					}
+				}
+			}
+			return nil
+		}
+	case core.OpAllreduce:
+		return func(s *gca.Session, rank int, verify bool) error {
+			send := make([]byte, chaosBytes)
+			recv := make([]byte, chaosBytes)
+			for i := range send {
+				send[i] = 1 << rank
+			}
+			if err := s.Allreduce(send, recv, gca.BOr, gca.Uint8); err != nil {
+				return err
+			}
+			if verify {
+				for i := range recv {
+					if recv[i] != full {
+						return fmt.Errorf("allreduce recv[%d] = %#x, want %#x", i, recv[i], full)
+					}
+				}
+			}
+			return nil
+		}
+	case core.OpAllgather:
+		return func(s *gca.Session, rank int, verify bool) error {
+			send := make([]byte, chaosBytes)
+			recv := make([]byte, chaosBytes*chaosP)
+			for i := range send {
+				send[i] = byte(rank + 1)
+			}
+			if err := s.Allgather(send, recv); err != nil {
+				return err
+			}
+			if verify {
+				for i := range recv {
+					if want := byte(i/chaosBytes + 1); recv[i] != want {
+						return fmt.Errorf("allgather recv[%d] = %d, want %d", i, recv[i], want)
+					}
+				}
+			}
+			return nil
+		}
+	default:
+		return nil
+	}
+}
+
+// survivorSum is the expected post-shrink Allreduce result: each surviving
+// rank contributes 1<<oldRank.
+func survivorSum() float64 {
+	s := 0
+	for r := 0; r < chaosP; r++ {
+		if r != chaosVictim {
+			s += 1 << r
+		}
+	}
+	return float64(s)
+}
+
+// chaosRank is the per-rank body shared by the mem and tcp sweeps: run the
+// collective, and on an agreed abort recover via Shrink + Allreduce. The
+// collective's outcome is recorded in outcomes for the split-brain check.
+func chaosRank(s *gca.Session, rank, killpoint int,
+	run func(*gca.Session, int, bool) error, outcomes []error) error {
+	err := run(s, rank, killpoint < 0)
+	outcomes[rank] = err
+	if rank == chaosVictim {
+		return nil // the dead rank's own error is not part of the contract
+	}
+	if err == nil {
+		return nil // kill landed after the agreement; detected next call
+	}
+	if !errors.Is(err, gca.ErrAborted) {
+		return fmt.Errorf("collective error = %v, want ErrAborted", err)
+	}
+	sub, serr := s.Shrink()
+	if serr != nil {
+		return fmt.Errorf("shrink: %w", serr)
+	}
+	if sub.Size() != chaosP-1 {
+		return fmt.Errorf("shrunk size = %d, want %d", sub.Size(), chaosP-1)
+	}
+	got, aerr := sub.AllreduceFloat64([]float64{float64(int(1) << rank)}, gca.Sum)
+	if aerr != nil {
+		return fmt.Errorf("post-shrink allreduce: %w", aerr)
+	}
+	if want := survivorSum(); got[0] != want {
+		return fmt.Errorf("post-shrink sum = %v, want %v", got[0], want)
+	}
+	return nil
+}
+
+// checkOutcomes asserts the agreement contract on one killed run: every
+// surviving rank saw the same verdict.
+func checkOutcomes(t *testing.T, killpoint int, outcomes []error) {
+	t.Helper()
+	var ok, aborted int
+	for r, err := range outcomes {
+		if r == chaosVictim {
+			continue
+		}
+		if err == nil {
+			ok++
+		} else {
+			aborted++
+		}
+	}
+	if ok != 0 && aborted != 0 {
+		t.Fatalf("killpoint %d: split-brain among survivors: %d succeeded, %d aborted (%v)",
+			killpoint, ok, aborted, outcomes)
+	}
+}
+
+// sweepPoints chooses the kill points for a victim that issues total ops:
+// every boundary normally, a five-point sample under -short.
+func sweepPoints(total int, short bool) []int {
+	if total <= 0 {
+		return nil
+	}
+	if !short {
+		pts := make([]int, total)
+		for i := range pts {
+			pts[i] = i
+		}
+		return pts
+	}
+	seen := map[int]bool{}
+	var pts []int
+	for _, p := range []int{0, 1, total / 4, total / 2, total - 1} {
+		if p >= 0 && p < total && !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// chaosRunMem executes one run on a fresh mem world, returning the victim's
+// op count. killpoint < 0 means fault-free (contents verified).
+func chaosRunMem(t *testing.T, tab *tuning.Table,
+	run func(*gca.Session, int, bool) error, killpoint int) int {
+	t.Helper()
+	w := gca.NewLocalWorld(chaosP)
+	defer w.Close()
+
+	var killer *killerComm
+	outcomes := make([]error, chaosP)
+	done := make(chan []error, 1)
+	go func() {
+		done <- w.RunAll(func(c gca.Comm) error {
+			rank := c.Rank()
+			if rank == chaosVictim {
+				killer = newKiller(c, killpoint, func() { w.Kill(chaosVictim) })
+				c = killer
+			}
+			s := gca.NewSession(c, gca.WithTable(tab), gca.WithFaultTolerance(),
+				gca.WithTimeout(250*time.Millisecond))
+			return chaosRank(s, rank, killpoint, run, outcomes)
+		})
+	}()
+	var errs []error
+	select {
+	case errs = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("killpoint %d: world hung past the deadline", killpoint)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("killpoint %d rank %d: %v", killpoint, r, err)
+		}
+	}
+	if killpoint < 0 {
+		if outcomes[chaosVictim] != nil {
+			t.Fatalf("fault-free run failed on victim rank: %v", outcomes[chaosVictim])
+		}
+	} else {
+		checkOutcomes(t, killpoint, outcomes)
+	}
+	return int(killer.counted.Load())
+}
+
+// TestChaosKillSweepMem kills the victim before every operation of every
+// Table I algorithm on the in-process transport.
+func TestChaosKillSweepMem(t *testing.T) {
+	for _, alg := range core.TableIAlgorithms() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			run := chaosCollective(alg.Op)
+			if run == nil {
+				t.Fatalf("no chaos runner for op %v", alg.Op)
+			}
+			tab := forcingTable(alg)
+			total := chaosRunMem(t, tab, run, -1)
+			if total == 0 {
+				t.Fatal("victim issued no operations; sweep is vacuous")
+			}
+			for _, kp := range sweepPoints(total, testing.Short()) {
+				chaosRunMem(t, tab, run, kp)
+			}
+		})
+	}
+}
+
+// tcpChaosWorld rendezvouses p ranks over loopback and returns their comms.
+func tcpChaosWorld(t *testing.T, p int) []gca.Comm {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	comms := make([]gca.Comm, p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = gca.ConnectTCP(r, p, addr, 5*time.Second)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rendezvous rank %d: %v", r, err)
+		}
+	}
+	return comms
+}
+
+// chaosRunTCP is chaosRunMem over real sockets: the kill is an abrupt close
+// of the victim's transport, detected by the peers as ErrPeerDead.
+func chaosRunTCP(t *testing.T, tab *tuning.Table,
+	run func(*gca.Session, int, bool) error, killpoint int) {
+	t.Helper()
+	comms := tcpChaosWorld(t, chaosP)
+	defer func() {
+		for _, c := range comms {
+			if cl, ok := c.(io.Closer); ok {
+				cl.Close()
+			}
+		}
+	}()
+
+	outcomes := make([]error, chaosP)
+	errs := make([]error, chaosP)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for r := 0; r < chaosP; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				c := comms[r]
+				if r == chaosVictim {
+					cl := c.(io.Closer)
+					c = newKiller(c, killpoint, func() { cl.Close() })
+				}
+				s := gca.NewSession(c, gca.WithTable(tab), gca.WithFaultTolerance(),
+					gca.WithTimeout(time.Second))
+				errs[r] = chaosRank(s, r, killpoint, run, outcomes)
+			}(r)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("killpoint %d: tcp world hung past the deadline", killpoint)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("killpoint %d rank %d: %v", killpoint, r, err)
+		}
+	}
+	if killpoint >= 0 {
+		checkOutcomes(t, killpoint, outcomes)
+	}
+}
+
+// TestChaosKillTCP drives every Table I algorithm over loopback TCP with
+// the victim dying at two representative points (first operation and
+// mid-collective), plus a fault-free verification run.
+func TestChaosKillTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp chaos sweep skipped in -short mode")
+	}
+	for _, alg := range core.TableIAlgorithms() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			run := chaosCollective(alg.Op)
+			if run == nil {
+				t.Fatalf("no chaos runner for op %v", alg.Op)
+			}
+			tab := forcingTable(alg)
+			chaosRunTCP(t, tab, run, -1)
+			for _, kp := range []int{0, 3} {
+				chaosRunTCP(t, tab, run, kp)
+			}
+		})
+	}
+}

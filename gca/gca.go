@@ -19,12 +19,15 @@
 package gca
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"time"
 
 	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/datatype"
+	"exacoll/internal/ft"
 	"exacoll/internal/machine"
 	"exacoll/internal/metrics"
 	"exacoll/internal/nbc"
@@ -95,6 +98,17 @@ func (l *LocalWorld) Run(fn func(c Comm) error) error { return l.w.Run(fn) }
 // Comm returns rank r's communicator (drive it from one goroutine).
 func (l *LocalWorld) Comm(r int) Comm { return l.w.Comm(r) }
 
+// RunAll executes fn once per rank concurrently and returns every rank's
+// error. Unlike Run, one rank's failure does not tear the world down —
+// the harness for fault-tolerance tests where survivors must continue.
+func (l *LocalWorld) RunAll(fn func(c Comm) error) []error { return l.w.RunAll(fn) }
+
+// Kill marks a rank as crashed: its pending receives abort, and every
+// operation addressed to it fails with ErrPeerDead. Messages it had
+// already sent remain deliverable. The chaos switch for fault-tolerance
+// testing.
+func (l *LocalWorld) Kill(rank int) { l.w.Kill(rank) }
+
 // Close shuts the world down.
 func (l *LocalWorld) Close() { l.w.Close() }
 
@@ -149,27 +163,61 @@ func WriteMetricsJSON(w io.Writer, s *MetricsSnapshot) error {
 	return metrics.WriteJSON(w, s)
 }
 
+// Fault-tolerance errors (see internal/ft). After an agreed collective
+// failure every surviving rank's call returns an error wrapping
+// ErrAborted; a rank the group declared dead gets ErrFenced and must stop
+// using the session. ErrTimeout and ErrPeerDead are the transport-level
+// causes they wrap.
+var (
+	ErrAborted  = ft.ErrAborted
+	ErrFenced   = ft.ErrFenced
+	ErrTimeout  = comm.ErrTimeout
+	ErrPeerDead = comm.ErrPeerDead
+)
+
+// defaultFTTimeout bounds operations of a fault-tolerant session whose
+// creator did not choose a deadline: without one, the error-agreement
+// protocol could hang on a dead peer that the transport cannot detect.
+const defaultFTTimeout = 10 * time.Second
+
+// sessionConfig is the collected option set — kept on the session so
+// Shrink can replay it onto the survivor communicator.
+type sessionConfig struct {
+	machine *Machine
+	table   *tuning.Table
+	metrics *metrics.Registry
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	ft      bool
+	epoch   int64 // inherited tag-space position across a Shrink
+	seqBase int64
+}
+
 // Session binds a communicator to an algorithm-selection policy.
 type Session struct {
-	c       Comm
+	base    Comm // the transport handed to NewSession (capability-bearing)
+	c       Comm // fully wrapped: metrics(ft-epoch(base))
 	tab     *tuning.Table
 	metrics *metrics.Registry
+	ft      *ft.State
+	cfg     sessionConfig
 	eng     *nbc.Engine // lazily created by the first I<op> call
 }
 
 // SessionOption configures NewSession.
-type SessionOption func(*Session)
+type SessionOption func(*sessionConfig)
 
 // OnMachine selects algorithms using the paper's recommended configuration
 // for the given machine (§VI-G guidelines).
 func OnMachine(m Machine) SessionOption {
-	return func(s *Session) { s.tab = tuning.Recommended(m, s.c.Size()) }
+	return func(c *sessionConfig) { c.machine = &m }
 }
 
 // WithTable selects algorithms using a tuned table (e.g. produced by
 // cmd/gcatune).
 func WithTable(t *tuning.Table) SessionOption {
-	return func(s *Session) { s.tab = t }
+	return func(c *sessionConfig) { c.table = t }
 }
 
 // WithMetrics instruments the session's communicator so every send,
@@ -178,23 +226,151 @@ func WithTable(t *tuning.Table) SessionOption {
 // records a selection-decision record naming the algorithm and radix
 // actually run.
 func WithMetrics(m *Metrics) SessionOption {
-	return func(s *Session) {
-		s.metrics = m
-		s.c = m.Instrument(s.c)
+	return func(c *sessionConfig) { c.metrics = m }
+}
+
+// WithTimeout bounds every blocking operation of the session by d on
+// transports that support deadlines (mem, tcp): a collective whose peer
+// died or wedged fails with an error wrapping ErrTimeout instead of
+// hanging. Use the *Ctx collective variants for per-call deadlines.
+func WithTimeout(d time.Duration) SessionOption {
+	return func(c *sessionConfig) { c.timeout = d }
+}
+
+// WithFaultTolerance enables the ULFM-style protocol around every
+// collective: after each call all ranks agree on the outcome, an agreed
+// failure aborts the collective on every rank with ErrAborted (no
+// split-brain), the collective tag epoch is retired and purged, and
+// Shrink can rebuild a session over the survivors. Costs one small
+// all-to-all exchange per collective; sessions without this option pay
+// nothing.
+func WithFaultTolerance() SessionOption {
+	return func(c *sessionConfig) { c.ft = true }
+}
+
+// WithRetry makes fault-tolerant sessions transparently re-run idempotent
+// collectives (Bcast, Gather, Scatter, Allgather, Alltoall, Barrier) up
+// to n times after transient agreed failures — failures with no rank
+// deaths, e.g. injected faults — sleeping backoff between attempts. The
+// retry decision is made from the agreement verdict, so all ranks retry
+// in lockstep. Implies WithFaultTolerance.
+func WithRetry(n int, backoff time.Duration) SessionOption {
+	return func(c *sessionConfig) {
+		c.ft = true
+		c.retries = n
+		c.backoff = backoff
 	}
 }
 
 // NewSession creates a session. Without options, the recommended
 // configuration for a generic multi-port machine is used.
 func NewSession(c Comm, opts ...SessionOption) *Session {
-	s := &Session{c: c}
+	var cfg sessionConfig
 	for _, o := range opts {
-		o(s)
+		o(&cfg)
 	}
-	if s.tab == nil {
+	return newSession(c, cfg)
+}
+
+func newSession(c Comm, cfg sessionConfig) *Session {
+	s := &Session{base: c, cfg: cfg}
+	cur := c
+	if cfg.ft {
+		timeout := cfg.timeout
+		if timeout == 0 {
+			timeout = defaultFTTimeout
+		}
+		s.ft = ft.New(c, ft.Config{
+			Timeout: timeout, Retries: cfg.retries, Backoff: cfg.backoff,
+			Epoch: cfg.epoch, SeqBase: cfg.seqBase, Metrics: cfg.metrics,
+		})
+		cur = s.ft.Comm()
+	} else if cfg.timeout > 0 {
+		if dl, ok := c.(comm.Deadliner); ok {
+			dl.SetOpTimeout(cfg.timeout)
+		}
+	}
+	if cfg.metrics != nil {
+		s.metrics = cfg.metrics
+		cur = cfg.metrics.Instrument(cur)
+	}
+	s.c = cur
+	if s.ft != nil {
+		// Agreement traffic flows through the instrumented comm too.
+		s.ft.SetOuter(s.c)
+	}
+	switch {
+	case cfg.table != nil:
+		s.tab = cfg.table
+	case cfg.machine != nil:
+		s.tab = tuning.Recommended(*cfg.machine, c.Size())
+	default:
 		s.tab = tuning.Recommended(machine.Testbox(), c.Size())
 	}
 	return s
+}
+
+// opTimeout is the session's effective per-op deadline (0 = unbounded).
+func (s *Session) opTimeout() time.Duration {
+	if s.cfg.ft && s.cfg.timeout == 0 {
+		return defaultFTTimeout
+	}
+	return s.cfg.timeout
+}
+
+// run routes one blocking collective through the fault-tolerance protocol
+// when enabled; without WithFaultTolerance it is a direct call.
+func (s *Session) run(idempotent bool, fn func() error) error {
+	if s.ft == nil {
+		return fn()
+	}
+	return s.ft.RunCollective(idempotent, fn)
+}
+
+// withCtx applies ctx's deadline as the per-op timeout for one collective
+// call, restoring the session-wide setting afterwards. Cancellation
+// without a deadline is only observed at the call boundary (transports
+// block on their own deadlines, not on ctx).
+func (s *Session) withCtx(ctx context.Context, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return context.DeadlineExceeded
+		}
+		if dl, okDL := s.base.(comm.Deadliner); okDL {
+			dl.SetOpTimeout(remaining)
+			defer dl.SetOpTimeout(s.opTimeout())
+		}
+	}
+	return fn()
+}
+
+// Shrink agrees on the survivor set with every other living rank and
+// returns a new session over a dense sub-communicator of the survivors,
+// carrying over the session's options (table, metrics, timeout, retry)
+// and its collective tag-space position, so stragglers addressed to the
+// old world can never corrupt the new one. Every surviving rank must call
+// Shrink collectively. A rank the group declared dead gets ErrFenced. The
+// parent session must not be used afterwards.
+func (s *Session) Shrink() (*Session, error) {
+	if s.ft == nil {
+		return nil, fmt.Errorf("gca: Shrink requires WithFaultTolerance")
+	}
+	survivors, err := s.ft.Survivors()
+	if err != nil {
+		return nil, err
+	}
+	sub, err := comm.NewSub(s.base, survivors)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cfg.epoch = s.ft.Epoch()
+	cfg.seqBase = s.ft.Seq()
+	return newSession(sub, cfg), nil
 }
 
 // Comm returns the underlying communicator for point-to-point use (the
@@ -223,48 +399,97 @@ func (s *Session) Size() int { return s.c.Size() }
 
 // Bcast broadcasts buf from root to every rank.
 func (s *Session) Bcast(buf []byte, root int) error {
-	return s.tab.Run(s.c, core.OpBcast, core.Args{SendBuf: buf, Root: root})
+	return s.run(true, func() error {
+		return s.tab.Run(s.c, core.OpBcast, core.Args{SendBuf: buf, Root: root})
+	})
+}
+
+// BcastCtx is Bcast bounded by ctx's deadline.
+func (s *Session) BcastCtx(ctx context.Context, buf []byte, root int) error {
+	return s.withCtx(ctx, func() error { return s.Bcast(buf, root) })
 }
 
 // Reduce combines every rank's sendbuf into recvbuf at root.
 func (s *Session) Reduce(sendbuf, recvbuf []byte, op Op, t Type, root int) error {
-	return s.tab.Run(s.c, core.OpReduce, core.Args{
-		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t, Root: root})
+	return s.run(false, func() error {
+		return s.tab.Run(s.c, core.OpReduce, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t, Root: root})
+	})
+}
+
+// ReduceCtx is Reduce bounded by ctx's deadline.
+func (s *Session) ReduceCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op, t Type, root int) error {
+	return s.withCtx(ctx, func() error { return s.Reduce(sendbuf, recvbuf, op, t, root) })
 }
 
 // Allreduce combines every rank's sendbuf into every rank's recvbuf.
 func (s *Session) Allreduce(sendbuf, recvbuf []byte, op Op, t Type) error {
-	return s.tab.Run(s.c, core.OpAllreduce, core.Args{
-		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+	return s.run(false, func() error {
+		return s.tab.Run(s.c, core.OpAllreduce, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+	})
+}
+
+// AllreduceCtx is Allreduce bounded by ctx's deadline.
+func (s *Session) AllreduceCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op, t Type) error {
+	return s.withCtx(ctx, func() error { return s.Allreduce(sendbuf, recvbuf, op, t) })
 }
 
 // Gather collects every rank's sendbuf into recvbuf (len(sendbuf)·p) at
 // root.
 func (s *Session) Gather(sendbuf, recvbuf []byte, root int) error {
-	return s.tab.Run(s.c, core.OpGather, core.Args{
-		SendBuf: sendbuf, RecvBuf: recvbuf, Root: root})
+	return s.run(true, func() error {
+		return s.tab.Run(s.c, core.OpGather, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf, Root: root})
+	})
+}
+
+// GatherCtx is Gather bounded by ctx's deadline.
+func (s *Session) GatherCtx(ctx context.Context, sendbuf, recvbuf []byte, root int) error {
+	return s.withCtx(ctx, func() error { return s.Gather(sendbuf, recvbuf, root) })
 }
 
 // Scatter distributes root's sendbuf (len(recvbuf)·p) so each rank gets
 // its block in recvbuf.
 func (s *Session) Scatter(sendbuf, recvbuf []byte, root int) error {
-	return s.tab.Run(s.c, core.OpScatter, core.Args{
-		SendBuf: sendbuf, RecvBuf: recvbuf, Root: root})
+	return s.run(true, func() error {
+		return s.tab.Run(s.c, core.OpScatter, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf, Root: root})
+	})
+}
+
+// ScatterCtx is Scatter bounded by ctx's deadline.
+func (s *Session) ScatterCtx(ctx context.Context, sendbuf, recvbuf []byte, root int) error {
+	return s.withCtx(ctx, func() error { return s.Scatter(sendbuf, recvbuf, root) })
 }
 
 // Allgather collects every rank's sendbuf into every rank's recvbuf
 // (len(sendbuf)·p).
 func (s *Session) Allgather(sendbuf, recvbuf []byte) error {
-	return s.tab.Run(s.c, core.OpAllgather, core.Args{
-		SendBuf: sendbuf, RecvBuf: recvbuf})
+	return s.run(true, func() error {
+		return s.tab.Run(s.c, core.OpAllgather, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf})
+	})
+}
+
+// AllgatherCtx is Allgather bounded by ctx's deadline.
+func (s *Session) AllgatherCtx(ctx context.Context, sendbuf, recvbuf []byte) error {
+	return s.withCtx(ctx, func() error { return s.Allgather(sendbuf, recvbuf) })
 }
 
 // ReduceScatter reduces every rank's full sendbuf and scatters the result:
 // each rank receives its element-aligned fair block in recvbuf (use
 // ReduceScatterBlockSize to size it).
 func (s *Session) ReduceScatter(sendbuf, recvbuf []byte, op Op, t Type) error {
-	return s.tab.Run(s.c, core.OpReduceScatter, core.Args{
-		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+	return s.run(false, func() error {
+		return s.tab.Run(s.c, core.OpReduceScatter, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+	})
+}
+
+// ReduceScatterCtx is ReduceScatter bounded by ctx's deadline.
+func (s *Session) ReduceScatterCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op, t Type) error {
+	return s.withCtx(ctx, func() error { return s.ReduceScatter(sendbuf, recvbuf, op, t) })
 }
 
 // ReduceScatterBlockSize returns the size in bytes of rank's result block
@@ -278,25 +503,53 @@ func (s *Session) ReduceScatterBlockSize(n int, t Type) int {
 // blocks of len(sendbuf)/p bytes; block j of sendbuf goes to rank j and
 // block j of recvbuf comes from rank j.
 func (s *Session) Alltoall(sendbuf, recvbuf []byte) error {
-	return s.tab.Run(s.c, core.OpAlltoall, core.Args{
-		SendBuf: sendbuf, RecvBuf: recvbuf})
+	return s.run(true, func() error {
+		return s.tab.Run(s.c, core.OpAlltoall, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf})
+	})
+}
+
+// AlltoallCtx is Alltoall bounded by ctx's deadline.
+func (s *Session) AlltoallCtx(ctx context.Context, sendbuf, recvbuf []byte) error {
+	return s.withCtx(ctx, func() error { return s.Alltoall(sendbuf, recvbuf) })
 }
 
 // Scan computes the inclusive prefix reduction: rank r receives the
 // combination of ranks 0..r.
 func (s *Session) Scan(sendbuf, recvbuf []byte, op Op, t Type) error {
-	return s.tab.Run(s.c, core.OpScan, core.Args{
-		SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+	return s.run(false, func() error {
+		return s.tab.Run(s.c, core.OpScan, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
+	})
+}
+
+// ScanCtx is Scan bounded by ctx's deadline.
+func (s *Session) ScanCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op, t Type) error {
+	return s.withCtx(ctx, func() error { return s.Scan(sendbuf, recvbuf, op, t) })
 }
 
 // Exscan computes the exclusive prefix reduction: rank r receives the
 // combination of ranks 0..r−1 (rank 0's recvbuf is untouched, as in MPI).
 func (s *Session) Exscan(sendbuf, recvbuf []byte, op Op, t Type) error {
-	return core.Exscan(s.c, sendbuf, recvbuf, op, t)
+	return s.run(false, func() error {
+		return core.Exscan(s.c, sendbuf, recvbuf, op, t)
+	})
+}
+
+// ExscanCtx is Exscan bounded by ctx's deadline.
+func (s *Session) ExscanCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op, t Type) error {
+	return s.withCtx(ctx, func() error { return s.Exscan(sendbuf, recvbuf, op, t) })
 }
 
 // Barrier synchronizes all ranks.
-func (s *Session) Barrier() error { return core.BarrierDissemination(s.c) }
+func (s *Session) Barrier() error {
+	return s.run(true, func() error { return core.BarrierDissemination(s.c) })
+}
+
+// BarrierCtx is Barrier bounded by ctx's deadline.
+func (s *Session) BarrierCtx(ctx context.Context) error {
+	return s.withCtx(ctx, s.Barrier)
+}
 
 // AllreduceFloat64 is a convenience wrapper over Allreduce for float64
 // vectors (the dominant use in data-parallel training).

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"exacoll/gca"
+	"exacoll/internal/core"
+	"exacoll/internal/tuning"
+)
+
+// Chaos measures the two costs of the fault-tolerance layer on the
+// wall-clock mem transport: what it charges when nothing fails, and what
+// recovery costs when something does.
+//
+// Grid 1 (fault-free overhead): the same pinned allreduce loop through a
+// bare session and a fault-tolerant one. The FT layer adds one O(p)
+// 1-byte two-round agreement per collective, so at the benchmarked sizes
+// (≥ 256 KiB) the overhead must stay in the low single digits — the
+// overhead_pct series is the number CI watches across PRs.
+//
+// Grid 2 (recovery latency): one rank is dead before the collective
+// starts; the series times the survivors' full recovery arc — aborted
+// allreduce (detection + error agreement), Shrink (agreement on the
+// survivor set + sub-communicator rebuild), and a completed allreduce on
+// the shrunken session.
+func (cfg Config) Chaos() (*Figure, error) {
+	p, iters := 6, 16
+	sizes := []int{256 << 10, 1 << 20}
+	if cfg.Quick {
+		p, iters = 4, 8
+		sizes = []int{256 << 10}
+	}
+	tab := &tuning.Table{Machine: "bench", Ops: map[string][]tuning.Entry{
+		core.OpAllreduce.String(): {{Alg: "allreduce_kring", K: 2}},
+	}}
+
+	overhead := &Grid{
+		Title: fmt.Sprintf("fault-free FT overhead on mem, p=%d, %d allreduce_kring k=2 iterations", p, iters),
+		XName: "bytes", YName: "wall_ms", Xs: sizes,
+	}
+	bare := make([]float64, len(sizes))
+	ft := make([]float64, len(sizes))
+	pct := make([]float64, len(sizes))
+	for i, n := range sizes {
+		// Warm-up run keeps scheduler/allocator jitter out of the numbers.
+		if _, err := chaosLoop(tab, p, iters, n, false); err != nil {
+			return nil, err
+		}
+		tb, err := chaosLoop(tab, p, iters, n, false)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := chaosLoop(tab, p, iters, n, true)
+		if err != nil {
+			return nil, err
+		}
+		bare[i] = tb * 1e3
+		ft[i] = tf * 1e3
+		pct[i] = (tf - tb) / tb * 100
+	}
+	if err := overhead.AddSeries("bare_ms", bare); err != nil {
+		return nil, err
+	}
+	if err := overhead.AddSeries("ft_ms", ft); err != nil {
+		return nil, err
+	}
+	if err := overhead.AddSeries("overhead_pct", pct); err != nil {
+		return nil, err
+	}
+
+	recovery := &Grid{
+		Title: fmt.Sprintf("recovery latency on mem, p=%d: abort + Shrink + allreduce over survivors", p),
+		XName: "bytes", YName: "wall_ms", Xs: sizes,
+	}
+	rec := make([]float64, len(sizes))
+	for i, n := range sizes {
+		tr, err := chaosRecover(tab, p, n)
+		if err != nil {
+			return nil, err
+		}
+		rec[i] = tr * 1e3
+	}
+	if err := recovery.AddSeries("recover_ms", rec); err != nil {
+		return nil, err
+	}
+
+	return &Figure{
+		ID:      "chaos",
+		Caption: "fault-tolerance cost: fault-free session overhead and dead-rank recovery latency",
+		Grids:   []*Grid{overhead, recovery},
+		Notes: []string{
+			"fault-free FT adds one O(p) 1-byte two-round agreement per collective; at >=256KiB payloads overhead_pct should stay under 5",
+			"recovery arc: allreduce aborts via error agreement, Shrink agrees on survivors and rebuilds the communicator, survivors complete a correct allreduce",
+		},
+	}, nil
+}
+
+// chaosLoop times iters fault-free allreduces through a gca.Session —
+// bare, or wrapped in the fault-tolerance layer.
+func chaosLoop(tab *tuning.Table, p, iters, n int, ft bool) (float64, error) {
+	w := gca.NewLocalWorld(p)
+	defer w.Close()
+	start := time.Now()
+	err := w.Run(func(c gca.Comm) error {
+		opts := []gca.SessionOption{gca.WithTable(tab)}
+		if ft {
+			opts = append(opts, gca.WithFaultTolerance(), gca.WithTimeout(10*time.Second))
+		}
+		s := gca.NewSession(c, opts...)
+		send := make([]byte, n)
+		recv := make([]byte, n)
+		for it := 0; it < iters; it++ {
+			if err := s.Allreduce(send, recv, gca.Sum, gca.Float64); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return time.Since(start).Seconds(), err
+}
+
+// chaosRecover times the survivors' recovery arc with one rank dead from
+// the start: aborted allreduce, Shrink, completed allreduce at p-1.
+func chaosRecover(tab *tuning.Table, p, n int) (float64, error) {
+	w := gca.NewLocalWorld(p)
+	defer w.Close()
+	victim := p - 1
+	start := time.Now()
+	errs := w.RunAll(func(c gca.Comm) error {
+		if c.Rank() == victim {
+			w.Kill(victim)
+			return nil
+		}
+		// Recovery latency is dominated by the op deadline: a survivor whose
+		// first exchange partner is another (already aborted) survivor only
+		// unblocks when its receive times out. 500ms keeps the arc honest
+		// without padding the benchmark.
+		s := gca.NewSession(c, gca.WithTable(tab),
+			gca.WithFaultTolerance(), gca.WithTimeout(500*time.Millisecond))
+		send := make([]byte, n)
+		recv := make([]byte, n)
+		if err := s.Allreduce(send, recv, gca.Sum, gca.Float64); !errors.Is(err, gca.ErrAborted) {
+			return fmt.Errorf("allreduce with dead rank: %v, want ErrAborted", err)
+		}
+		sub, err := s.Shrink()
+		if err != nil {
+			return fmt.Errorf("shrink: %w", err)
+		}
+		if sub.Size() != p-1 {
+			return fmt.Errorf("shrunk size = %d, want %d", sub.Size(), p-1)
+		}
+		if err := sub.Allreduce(send, recv, gca.Sum, gca.Float64); err != nil {
+			return fmt.Errorf("post-shrink allreduce: %w", err)
+		}
+		return nil
+	})
+	elapsed := time.Since(start).Seconds()
+	for r, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return elapsed, nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestChaosFigure runs the quick chaos benchmark and checks its shape:
+// both loops (fault-free FT and bare) and the full recovery arc complete
+// and report positive wall times. The overhead_pct value itself is NOT
+// asserted — the ~ms quick loops are meaningless under the test suite's
+// own CPU contention; the <5% target is watched on the full-size
+// `gcabench chaos` run in CI's chaos job.
+func TestChaosFigure(t *testing.T) {
+	fig, err := QuickConfig().Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Grids) != 2 {
+		t.Fatalf("unexpected figure shape: %+v", fig)
+	}
+	overhead, recovery := fig.Grids[0], fig.Grids[1]
+	if len(overhead.Series) != 3 || overhead.Series[2].Name != "overhead_pct" {
+		t.Fatalf("unexpected overhead series: %+v", overhead.Series)
+	}
+	for _, s := range overhead.Series[:2] {
+		for i, ms := range s.Ys {
+			if ms <= 0 {
+				t.Errorf("%d bytes: %s = %.2fms", overhead.Xs[i], s.Name, ms)
+			}
+		}
+	}
+	if len(recovery.Series) != 1 || recovery.Series[0].Name != "recover_ms" {
+		t.Fatalf("unexpected recovery series: %+v", recovery.Series)
+	}
+	for i, ms := range recovery.Series[0].Ys {
+		if ms <= 0 {
+			t.Errorf("%d bytes: recovery latency %.2fms", recovery.Xs[i], ms)
+		}
+	}
+}

@@ -22,6 +22,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Tag identifies a message stream between two ranks. Matching is on the
@@ -43,7 +44,16 @@ type Tag int32
 //	                            per-(source, tag) FIFO ordering makes that
 //	                            safe because a rank runs at most one
 //	                            blocking collective at a time.
-//	[TagNBCBase, ...)           nonblocking collectives (internal/nbc).
+//	[TagNBCBase, TagFTBase)     nonblocking collectives (internal/nbc).
+//	[TagFTBase, TagFTEpochBase) fault-tolerance control traffic: the
+//	                            error-agreement rounds of internal/ft.
+//	[TagFTEpochBase, ...)       re-homed blocking-collective windows for
+//	                            fault-tolerant sessions: after an agreed
+//	                            failure the communicator's collective
+//	                            epoch is retired, and the next collective
+//	                            runs its family tags inside a fresh
+//	                            FTEpochStride-sized window so stragglers
+//	                            from the aborted epoch can never match.
 //
 // Nonblocking collectives can be outstanding concurrently, so sharing one
 // family base would cross-match their traffic. Instead every started
@@ -73,6 +83,28 @@ const (
 	// NBCTagEpochs is the number of disjoint epoch sub-ranges before the
 	// tag window wraps.
 	NBCTagEpochs = 4096
+	// TagFTBase is the first tag reserved for fault-tolerance control
+	// traffic (the agreement rounds of internal/ft). It lies just above
+	// the nonblocking-collective range, which ends at
+	// TagNBCBase + NBCTagEpochs·NBCTagStride.
+	TagFTBase Tag = TagNBCBase + NBCTagEpochs*NBCTagStride
+	// FTTagSeqs is the number of disjoint agreement-sequence tags before
+	// the fault-tolerance control window wraps. Successive agreements on
+	// one communicator use successive tags so a late agreement message
+	// can never match a newer round.
+	FTTagSeqs = 4096
+	// TagFTEpochBase is the first tag of the re-homed blocking-collective
+	// windows used by fault-tolerant sessions after a quiesce: collective
+	// epoch e >= 1 maps family tag t to
+	// TagFTEpochBase + ((e-1) mod FTEpochs)·FTEpochStride + (t - TagCollBase).
+	TagFTEpochBase Tag = TagFTBase + FTTagSeqs
+	// FTEpochStride is the tag width of one retired-epoch window; it
+	// covers every blocking family base (the highest in use is
+	// TagCollBase + 0xb00).
+	FTEpochStride = 0x1000
+	// FTEpochs is the number of disjoint collective-epoch windows before
+	// the fault-tolerance tag space wraps.
+	FTEpochs = 1024
 	// TagUser is the start of the range available to applications.
 	TagUser Tag = 0
 )
@@ -91,6 +123,15 @@ var (
 	// ErrSelfMessage reports a send or receive addressed to the caller
 	// itself; algorithms must special-case local data movement.
 	ErrSelfMessage = errors.New("comm: send/recv to self not supported")
+	// ErrTimeout reports a blocking operation that exceeded the per-op
+	// deadline configured through Deadliner.SetOpTimeout (or a context
+	// deadline plumbed down to it). The operation is cancelled: a timed-out
+	// receive's buffer will not be written afterwards.
+	ErrTimeout = errors.New("comm: operation timed out")
+	// ErrPeerDead reports an operation addressed to (or waiting on) a rank
+	// the transport knows has failed — its process exited, its connection
+	// dropped, or its heartbeats stopped.
+	ErrPeerDead = errors.New("comm: peer process failed")
 )
 
 // Request is the handle for a nonblocking operation. Wait blocks until the
@@ -170,6 +211,67 @@ type Comm interface {
 type Clock interface {
 	// Now returns the calling rank's current virtual time in seconds.
 	Now() float64
+}
+
+// ClockProber is implemented by wrappers (SubComm, the FT epoch comm, the
+// faulty chaos wrapper) that expose a Now method unconditionally but only
+// forward to a virtual clock when one actually exists underneath. Code
+// that changes behaviour based on virtual time must use VirtualClock, not
+// a bare Clock type assertion, or a wrapper over a wall-clock transport
+// would be mistaken for the simulator.
+type ClockProber interface {
+	// HasClock reports whether a virtual clock genuinely backs Now.
+	HasClock() bool
+}
+
+// VirtualClock returns c's virtual clock when one genuinely exists:
+// either c implements Clock natively, or it is a probing wrapper whose
+// chain bottoms out at a real clock.
+func VirtualClock(c Comm) (Clock, bool) {
+	cl, ok := c.(Clock)
+	if !ok {
+		return nil, false
+	}
+	if p, ok := c.(ClockProber); ok && !p.HasClock() {
+		return nil, false
+	}
+	return cl, true
+}
+
+// Deadliner is optionally implemented by communicators whose blocking
+// operations can be bounded. After SetOpTimeout(d) with d > 0, any single
+// blocking operation — a Send that cannot drain, a Recv or Request.Wait
+// with no matching message — fails with an error wrapping ErrTimeout
+// instead of hanging when a peer is dead or wedged. d <= 0 restores
+// unbounded blocking. The setting applies to operations issued by the
+// calling rank's handle only and may be changed between operations.
+//
+// The mem and tcp transports implement Deadliner (with full cancellation:
+// a timed-out receive is deregistered, so its buffer is never written
+// later). The simulator does not — its discrete-event kernel already turns
+// any global hang into ErrDeadlock deterministically.
+type Deadliner interface {
+	SetOpTimeout(d time.Duration)
+}
+
+// FailureDetector is optionally implemented by communicators that track
+// per-peer liveness (TCP heartbeats, the mem world's rank-kill switch).
+// Failed returns the ranks this rank currently knows to be dead, in
+// ascending order. Knowledge is local and monotone: a rank reported
+// failed stays failed. Use the internal/ft agreement protocol to turn
+// these local views into a consistent global one.
+type FailureDetector interface {
+	Failed() []int
+}
+
+// Purger is optionally implemented by communicators that can quiesce a
+// retired tag window: PurgeTags discards every buffered (unexpected)
+// inbound message whose tag lies in [lo, hi) and cancels any receive
+// still posted in that range with ErrTimeout. The fault-tolerance layer
+// calls it after an agreed collective failure so stragglers of the
+// aborted epoch can never match a later collective.
+type Purger interface {
+	PurgeTags(lo, hi Tag)
 }
 
 // CheckPeer validates a peer rank for a p-rank communicator and rejects

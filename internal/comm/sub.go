@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // SubComm presents a subset of a communicator's ranks as a dense
@@ -105,4 +106,47 @@ func (s *SubComm) Now() float64 {
 		return cl.Now()
 	}
 	return 0
+}
+
+// HasClock implements ClockProber.
+func (s *SubComm) HasClock() bool {
+	_, ok := VirtualClock(s.inner)
+	return ok
+}
+
+// SetOpTimeout forwards Deadliner to the parent when it supports per-op
+// deadlines (no-op otherwise), so fault-tolerant sessions keep their
+// timeout guarantees after a Shrink onto a SubComm.
+func (s *SubComm) SetOpTimeout(d time.Duration) {
+	if dl, ok := s.inner.(Deadliner); ok {
+		dl.SetOpTimeout(d)
+	}
+}
+
+// Failed forwards FailureDetector to the parent, translating parent ranks
+// into sub-communicator indices; parent failures outside the subset are
+// dropped (they are no longer members).
+func (s *SubComm) Failed() []int {
+	fd, ok := s.inner.(FailureDetector)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for _, parent := range fd.Failed() {
+		for idx, r := range s.ranks {
+			if r == parent {
+				out = append(out, idx)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PurgeTags forwards Purger to the parent (no-op otherwise). Tag windows
+// are shared with the parent, so the purge range needs no translation.
+func (s *SubComm) PurgeTags(lo, hi Tag) {
+	if p, ok := s.inner.(Purger); ok {
+		p.PurgeTags(lo, hi)
+	}
 }

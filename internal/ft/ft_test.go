@@ -1,0 +1,243 @@
+package ft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/metrics"
+	"exacoll/internal/transport/mem"
+)
+
+// ringOnce is a stand-in collective: every rank sends one byte to its
+// right neighbour on a family tag and receives from its left.
+func ringOnce(c comm.Comm) error {
+	p, me := c.Size(), c.Rank()
+	right, left := (me+1)%p, (me+p-1)%p
+	req, err := c.Irecv(left, comm.TagCollBase, make([]byte, 1))
+	if err != nil {
+		return err
+	}
+	if err := c.Send(right, comm.TagCollBase, []byte{byte(me)}); err != nil {
+		return err
+	}
+	return req.Wait()
+}
+
+// TestFaultFree: with no faults, RunCollective returns nil everywhere, the
+// epoch never moves, and exactly one agreement per collective is counted.
+func TestFaultFree(t *testing.T) {
+	const p = 4
+	w := mem.NewWorld(p)
+	defer w.Close()
+	reg := metrics.NewRegistry()
+	errs := w.RunAll(func(c comm.Comm) error {
+		st := New(c, Config{Timeout: 2 * time.Second, Metrics: reg})
+		for i := 0; i < 3; i++ {
+			if err := st.RunCollective(true, func() error { return ringOnce(st.Comm()) }); err != nil {
+				return err
+			}
+		}
+		if st.Epoch() != 0 {
+			return fmt.Errorf("epoch moved to %d with no faults", st.Epoch())
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	tot := reg.Snapshot().Totals()
+	if tot.FTAgreements != 3*p {
+		t.Fatalf("agreements = %d, want %d", tot.FTAgreements, 3*p)
+	}
+	if tot.FTAborted != 0 || tot.FTRetries != 0 || tot.FTFailures != 0 {
+		t.Fatalf("unexpected FT activity: %+v", tot)
+	}
+}
+
+// TestLocalErrorAbortsEverywhere: one rank's local failure makes every
+// rank abort with ErrAborted and advance the epoch in lockstep.
+func TestLocalErrorAbortsEverywhere(t *testing.T) {
+	const p = 4
+	w := mem.NewWorld(p)
+	defer w.Close()
+	injected := errors.New("synthetic transport fault")
+	errs := w.RunAll(func(c comm.Comm) error {
+		st := New(c, Config{Timeout: 2 * time.Second})
+		err := st.RunCollective(false, func() error {
+			if c.Rank() == 2 {
+				return injected
+			}
+			return nil
+		})
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("want ErrAborted, got %v", err)
+		}
+		if c.Rank() == 2 && !errors.Is(err, injected) {
+			return fmt.Errorf("local cause not wrapped: %v", err)
+		}
+		if st.Epoch() != 1 {
+			return fmt.Errorf("epoch = %d, want 1", st.Epoch())
+		}
+		// The world recovers: the next collective runs in the new epoch.
+		return st.RunCollective(false, func() error { return ringOnce(st.Comm()) })
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestTransparentRetry: a transient failure (one rank, first attempt only)
+// is retried in lockstep on every rank and the collective succeeds.
+func TestTransparentRetry(t *testing.T) {
+	const p = 4
+	w := mem.NewWorld(p)
+	defer w.Close()
+	reg := metrics.NewRegistry()
+	errs := w.RunAll(func(c comm.Comm) error {
+		st := New(c, Config{Timeout: 500 * time.Millisecond, Retries: 2, Metrics: reg})
+		attempt := 0
+		err := st.RunCollective(true, func() error {
+			attempt++
+			if c.Rank() == 1 && attempt == 1 {
+				return errors.New("transient hiccup")
+			}
+			return ringOnce(st.Comm())
+		})
+		if err != nil {
+			return fmt.Errorf("retry did not recover: %v", err)
+		}
+		if attempt != 2 {
+			return fmt.Errorf("attempts = %d, want 2 (lockstep retry)", attempt)
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if tot := reg.Snapshot().Totals(); tot.FTRetries != p {
+		t.Fatalf("retries = %d, want %d", tot.FTRetries, p)
+	}
+}
+
+// TestKillAgreesAndShrinks: killing a rank mid-collective aborts the
+// collective on every survivor with ErrAborted, all survivors agree on
+// the same survivor set, and a sub-communicator over it completes a
+// collective correctly.
+func TestKillAgreesAndShrinks(t *testing.T) {
+	const p, victim = 4, 2
+	w := mem.NewWorld(p)
+	defer w.Close()
+	reg := metrics.NewRegistry()
+	errs := w.RunAll(func(c comm.Comm) error {
+		me := c.Rank()
+		if me == victim {
+			w.Kill(victim) // crash before participating
+			return nil
+		}
+		st := New(c, Config{Timeout: 2 * time.Second, Retries: 3, Metrics: reg})
+		err := st.RunCollective(true, func() error { return ringOnce(st.Comm()) })
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("want ErrAborted, got %v", err)
+		}
+		survivors, err := st.Survivors()
+		if err != nil {
+			return err
+		}
+		want := []int{0, 1, 3}
+		if len(survivors) != len(want) {
+			return fmt.Errorf("survivors = %v, want %v", survivors, want)
+		}
+		for i := range want {
+			if survivors[i] != want[i] {
+				return fmt.Errorf("survivors = %v, want %v", survivors, want)
+			}
+		}
+		sub, err := comm.NewSub(c, survivors)
+		if err != nil {
+			return err
+		}
+		// The shrunken world inherits the tag-space position and runs a
+		// clean collective.
+		st2 := New(sub, Config{Timeout: 2 * time.Second, Epoch: st.Epoch(), SeqBase: st.Seq()})
+		return st2.RunCollective(false, func() error { return ringOnce(st2.Comm()) })
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if tot := reg.Snapshot().Totals(); tot.FTRetries != 0 {
+		t.Fatalf("retried despite a death: %d retries", tot.FTRetries)
+	}
+}
+
+// TestEpochQuiesce: a straggler sent in the aborted epoch's window never
+// matches a receive posted by the next epoch's collective.
+func TestEpochQuiesce(t *testing.T) {
+	w := mem.NewWorld(2)
+	defer w.Close()
+	errs := w.RunAll(func(c comm.Comm) error {
+		st := New(c, Config{Timeout: time.Second})
+		me := c.Rank()
+		err := st.RunCollective(false, func() error {
+			if me == 1 {
+				// Rank 1's half of the collective completed: its message
+				// is already "on the wire" when the abort is agreed.
+				return st.Comm().Send(0, comm.TagCollBase, []byte{0xEE})
+			}
+			return errors.New("rank 0 failed before receiving")
+		})
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("want ErrAborted, got %v", err)
+		}
+		// Next collective, same family tag, new epoch: rank 0's receive
+		// must match rank 1's NEW message, not the purged straggler.
+		return st.RunCollective(false, func() error {
+			if me == 1 {
+				return st.Comm().Send(0, comm.TagCollBase, []byte{0x11})
+			}
+			buf := make([]byte, 1)
+			if _, err := st.Comm().Recv(1, comm.TagCollBase, buf); err != nil {
+				return err
+			}
+			if buf[0] != 0x11 {
+				return fmt.Errorf("epoch leak: received %#x from aborted epoch", buf[0])
+			}
+			return nil
+		})
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestEpochWindowDisjoint: windows of successive epochs never overlap the
+// family range or each other until the FTEpochs ring wraps.
+func TestEpochWindowDisjoint(t *testing.T) {
+	lo0, hi0 := EpochWindow(0)
+	if lo0 != comm.TagCollBase || hi0 <= lo0 {
+		t.Fatalf("epoch 0 window [%d, %d)", lo0, hi0)
+	}
+	seen := map[comm.Tag]int64{}
+	for e := int64(1); e <= int64(comm.FTEpochs); e++ {
+		lo, hi := EpochWindow(e)
+		if lo < comm.TagFTEpochBase || hi-lo != comm.FTEpochStride {
+			t.Fatalf("epoch %d window [%d, %d)", e, lo, hi)
+		}
+		if prev, dup := seen[lo]; dup && e-prev < comm.FTEpochs {
+			t.Fatalf("epochs %d and %d share window base %d", prev, e, lo)
+		}
+		seen[lo] = e
+	}
+}

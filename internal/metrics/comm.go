@@ -17,7 +17,7 @@ import (
 // (matching what the substrate itself allocates per posted receive).
 func (r *Registry) Instrument(c comm.Comm) comm.Comm {
 	mc := &Comm{inner: c, reg: r, rc: r.rank(c.Rank())}
-	if clk, ok := c.(comm.Clock); ok {
+	if clk, ok := comm.VirtualClock(c); ok {
 		mc.clk = clk
 		return &clockComm{mc}
 	}

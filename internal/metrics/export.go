@@ -83,6 +83,27 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		writeHist(bw, "gca_nbc_overlap_ns", fmt.Sprintf("rank=\"%d\"", r.Rank), r.OverlapNs)
 	}
 
+	counter("gca_ft_agreements_total", "Post-collective error-agreement rounds per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_ft_agreements_total{rank=\"%d\"} %d\n", r.Rank, r.FTAgreements)
+	}
+	counter("gca_ft_aborted_total", "Collectives agreed failed world-wide per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_ft_aborted_total{rank=\"%d\"} %d\n", r.Rank, r.FTAborted)
+	}
+	counter("gca_ft_retries_total", "Transparent idempotent-collective retries per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_ft_retries_total{rank=\"%d\"} %d\n", r.Rank, r.FTRetries)
+	}
+	counter("gca_ft_failures_detected_total", "Peer process failures detected per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_ft_failures_detected_total{rank=\"%d\"} %d\n", r.Rank, r.FTFailures)
+	}
+	counter("gca_ft_timeouts_total", "Operations abandoned at their deadline per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_ft_timeouts_total{rank=\"%d\"} %d\n", r.Rank, r.FTTimeouts)
+	}
+
 	counter("gca_collective_runs_total", "Collective calls by (op, algorithm, radix).")
 	for _, c := range s.Collectives {
 		fmt.Fprintf(bw, "gca_collective_runs_total{%s} %d\n", collLabels(c), c.Count)

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFTCounters: the fault-tolerance counters land in snapshots, sum in
+// Totals, and export to Prometheus.
+func TestFTCounters(t *testing.T) {
+	r := NewRegistry()
+	r.FTAgreement(0, false)
+	r.FTAgreement(0, true)
+	r.FTAgreement(1, true)
+	r.FTRetry(0)
+	r.FTFailuresDetected(1, 2)
+	r.FTFailuresDetected(1, 0) // no-op
+	r.FTTimeout(0)
+
+	s := r.Snapshot()
+	r0 := s.Rank(0)
+	if r0.FTAgreements != 2 || r0.FTAborted != 1 || r0.FTRetries != 1 || r0.FTTimeouts != 1 {
+		t.Fatalf("rank 0 FT counters: %+v", *r0)
+	}
+	r1 := s.Rank(1)
+	if r1.FTAgreements != 1 || r1.FTAborted != 1 || r1.FTFailures != 2 {
+		t.Fatalf("rank 1 FT counters: %+v", *r1)
+	}
+	tot := s.Totals()
+	if tot.FTAgreements != 3 || tot.FTAborted != 2 || tot.FTRetries != 1 || tot.FTFailures != 2 || tot.FTTimeouts != 1 {
+		t.Fatalf("totals: %+v", tot)
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`gca_ft_agreements_total{rank="0"} 2`,
+		`gca_ft_aborted_total{rank="1"} 1`,
+		`gca_ft_retries_total{rank="0"} 1`,
+		`gca_ft_failures_detected_total{rank="1"} 2`,
+		`gca_ft_timeouts_total{rank="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+}

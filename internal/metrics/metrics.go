@@ -48,6 +48,13 @@ type rankCounters struct {
 	nbcStarted  atomic.Uint64
 	nbcInflight atomic.Int64
 	overlap     Histogram // nanoseconds between I<op> start and first Wait
+
+	// Fault-tolerance counters (the gca FT layer feeds these).
+	ftAgreements atomic.Uint64 // error-agreement rounds run after collectives
+	ftAborted    atomic.Uint64 // collectives agreed failed world-wide
+	ftRetries    atomic.Uint64 // transparent re-runs of idempotent collectives
+	ftFailures   atomic.Uint64 // peer deaths first observed by this rank
+	ftTimeouts   atomic.Uint64 // operations abandoned at their deadline
 }
 
 // opKey aggregates decisions by what actually ran.
@@ -158,6 +165,29 @@ func (r *Registry) ObserveOverlap(rank int, ns uint64) {
 	r.rank(rank).overlap.Observe(ns)
 }
 
+// FTAgreement counts one post-collective error-agreement round on rank,
+// recording whether the world agreed the collective failed.
+func (r *Registry) FTAgreement(rank int, aborted bool) {
+	rc := r.rank(rank)
+	rc.ftAgreements.Add(1)
+	if aborted {
+		rc.ftAborted.Add(1)
+	}
+}
+
+// FTRetry counts one transparent retry of an idempotent collective on rank.
+func (r *Registry) FTRetry(rank int) { r.rank(rank).ftRetries.Add(1) }
+
+// FTFailuresDetected counts n peer deaths newly observed by rank.
+func (r *Registry) FTFailuresDetected(rank, n int) {
+	if n > 0 {
+		r.rank(rank).ftFailures.Add(uint64(n))
+	}
+}
+
+// FTTimeout counts one operation abandoned at its deadline on rank.
+func (r *Registry) FTTimeout(rank int) { r.rank(rank).ftTimeouts.Add(1) }
+
 // Instrumented is implemented by communicators wrapped by
 // Registry.Instrument; tuning.Table.Run uses it to discover where to
 // record selection decisions. Instrument the communicator outermost (wrap
@@ -217,6 +247,13 @@ type RankSnapshot struct {
 	NBCStarted  uint64            `json:"nbc_started,omitempty"`
 	NBCInflight int64             `json:"nbc_inflight,omitempty"`
 	OverlapNs   HistogramSnapshot `json:"nbc_overlap_ns"`
+	// Fault-tolerance totals: agreement rounds run, collectives agreed
+	// failed, transparent retries, peer failures detected, deadline hits.
+	FTAgreements uint64 `json:"ft_agreements,omitempty"`
+	FTAborted    uint64 `json:"ft_aborted,omitempty"`
+	FTRetries    uint64 `json:"ft_retries,omitempty"`
+	FTFailures   uint64 `json:"ft_failures_detected,omitempty"`
+	FTTimeouts   uint64 `json:"ft_timeouts,omitempty"`
 }
 
 // CollectiveSnapshot is one (op, alg, k) aggregate at snapshot time.
@@ -261,6 +298,11 @@ func (r *Registry) Snapshot() *Snapshot {
 			NBCStarted:   rc.nbcStarted.Load(),
 			NBCInflight:  rc.nbcInflight.Load(),
 			OverlapNs:    rc.overlap.snapshot(),
+			FTAgreements: rc.ftAgreements.Load(),
+			FTAborted:    rc.ftAborted.Load(),
+			FTRetries:    rc.ftRetries.Load(),
+			FTFailures:   rc.ftFailures.Load(),
+			FTTimeouts:   rc.ftTimeouts.Load(),
 		})
 	}
 	sort.Slice(s.Ranks, func(i, j int) bool { return s.Ranks[i].Rank < s.Ranks[j].Rank })
@@ -317,6 +359,11 @@ func (s *Snapshot) Totals() RankSnapshot {
 		t.RecvErrors += r.RecvErrors
 		t.NBCStarted += r.NBCStarted
 		t.NBCInflight += r.NBCInflight
+		t.FTAgreements += r.FTAgreements
+		t.FTAborted += r.FTAborted
+		t.FTRetries += r.FTRetries
+		t.FTFailures += r.FTFailures
+		t.FTTimeouts += r.FTTimeouts
 	}
 	return t
 }

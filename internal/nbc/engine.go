@@ -68,7 +68,7 @@ func NewEngine(c comm.Comm) *Engine {
 	if ic, ok := c.(metrics.Instrumented); ok {
 		e.reg = ic.Metrics()
 	}
-	if clk, ok := c.(comm.Clock); ok {
+	if clk, ok := comm.VirtualClock(c); ok {
 		e.clk = clk
 	}
 	return e

@@ -341,6 +341,58 @@ func TestTransportErrorSurfacesInWait(t *testing.T) {
 	}
 }
 
+// TestMidDAGFailureIsolated: an op failure mid-DAG terminates its request
+// without issuing the failed op's dependents, repeated Wait and Test
+// return the same terminal status, and a concurrent request on the same
+// engine completes untouched.
+func TestMidDAGFailureIsolated(t *testing.T) {
+	boom := fmt.Errorf("link down mid-DAG")
+	fc := newFakeComm()
+	eng := NewEngine(fc)
+
+	bad, err := eng.Start(&Program{OpName: "bad", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: make([]byte, 1)},
+		{Kind: OpSend, Peer: 1, TagSlot: 1, Buf: []byte{1}, Deps: []int{0}},
+		{Kind: OpSend, Peer: 1, TagSlot: 2, Buf: []byte{2}, Deps: []int{1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	good, err := eng.Start(&Program{OpName: "good", Alg: "test", Ops: []Op{
+		{Kind: OpRecv, Peer: 1, TagSlot: 0, Buf: buf},
+		{Kind: OpSend, Peer: 1, TagSlot: 1, Buf: buf, Deps: []int{0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.injectErr(1, absTag(0, 0), boom)
+	fc.inject(1, absTag(1, 0), []byte{42})
+
+	// Driving the healthy request also retires the poisoned one; the
+	// failure must not leak across requests.
+	if err := good.Wait(); err != nil {
+		t.Fatalf("concurrent request failed: %v", err)
+	}
+	// Exactly one send posted: the healthy echo. The failed op's dependent
+	// chain (slots 1 and 2 of epoch 0) must never have issued.
+	if len(fc.sent) != 1 || fc.sent[0].tag != absTag(1, 1) || fc.sent[0].data[0] != 42 {
+		t.Fatalf("sends after mid-DAG failure: %+v, want only the healthy echo", fc.sent)
+	}
+	for i := 0; i < 3; i++ {
+		if err := bad.Wait(); !errors.Is(err, boom) {
+			t.Fatalf("Wait #%d returned %v, want %v", i, err, boom)
+		}
+		fin, terr := bad.Test()
+		if !fin || !errors.Is(terr, boom) {
+			t.Fatalf("Test #%d = (%v, %v), want (true, %v)", i, fin, terr, boom)
+		}
+	}
+	if len(eng.inflight) != 0 {
+		t.Fatalf("%d requests still in flight after failure", len(eng.inflight))
+	}
+}
+
 // TestWaitFallbackWithoutTester drives a request whose transport does not
 // implement comm.Tester: the engine must degrade to blocking on the
 // oldest issued op instead of spinning or crashing.

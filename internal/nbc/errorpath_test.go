@@ -1,0 +1,242 @@
+package nbc_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/nbc"
+	"exacoll/internal/transport/mem"
+	"exacoll/internal/tuning"
+)
+
+// errPoison is the injected transport failure for the black-box error-path
+// test below.
+var errPoison = errors.New("errorpath: injected receive failure")
+
+// recvFaultComm fails every completed receive whose tag falls in [lo, hi)
+// — after the message has been consumed, the way a real transport reports
+// a link error at completion time. Sends and out-of-window receives pass
+// through untouched, so peers of the poisoned schedule are perturbed only
+// by the ops the failed request never issues.
+type recvFaultComm struct {
+	comm.Comm
+	lo, hi comm.Tag
+}
+
+func (f *recvFaultComm) hit(tag comm.Tag) bool { return tag >= f.lo && tag < f.hi }
+
+func (f *recvFaultComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	n, err := f.Comm.Recv(from, tag, buf)
+	if err == nil && f.hit(tag) {
+		return n, errPoison
+	}
+	return n, err
+}
+
+func (f *recvFaultComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	req, err := f.Comm.Irecv(from, tag, buf)
+	if err != nil || !f.hit(tag) {
+		return req, err
+	}
+	return &poisonReq{Request: req}, nil
+}
+
+// poisonReq resolves the inner receive and then reports errPoison,
+// memoizing the terminal status so Wait and Test stay idempotent.
+type poisonReq struct {
+	comm.Request
+	done bool
+	err  error
+}
+
+func (r *poisonReq) settle(err error) error {
+	if err == nil {
+		err = errPoison
+	}
+	r.done, r.err = true, err
+	return err
+}
+
+func (r *poisonReq) Wait() error {
+	if r.done {
+		return r.err
+	}
+	return r.settle(r.Request.Wait())
+}
+
+func (r *poisonReq) Test() (bool, error) {
+	if r.done {
+		return true, r.err
+	}
+	done, err, ok := comm.TryTest(r.Request)
+	if !ok || !done {
+		return false, nil
+	}
+	return true, r.settle(err)
+}
+
+// TestFailedRequestDoesNotPoisonEngine is the black-box error-path check
+// over a real substrate: on a 4-rank mem world, rank 1's receives fail for
+// the first collective's tag epoch only. Three allreduces are issued on
+// one engine per rank (MPI-3 issue order): the poisoned one, a concurrent
+// healthy one, and — after the failure has surfaced — a third on the same
+// engine. The concurrent collective must complete bit-identical to its
+// blocking reference on every rank while the poisoned request fails on
+// rank 1 with the injected error (idempotently across Wait and Test), and
+// the third collective must prove the engine outlives the failure.
+func TestFailedRequestDoesNotPoisonEngine(t *testing.T) {
+	const p, elems, victim = 4, 17, 1
+	tab := pinnedTable(core.OpAllreduce, "allreduce_recmul", 2)
+
+	// Blocking references for the two healthy payload sets (seeds r+p and
+	// r+2p; the poisoned collective's seed r is never checked).
+	want1 := runBlockingSeeded(t, tab, p, elems, p)
+	want2 := runBlockingSeeded(t, tab, p, elems, 2*p)
+
+	got1 := make([][]byte, p)
+	got2 := make([][]byte, p)
+	req0Errs := make([]error, p)
+
+	w := mem.NewWorld(p)
+	defer w.Close()
+	done := make(chan []error, 1)
+	go func() {
+		done <- w.RunAll(func(c comm.Comm) error {
+			// The deadline exists only to resolve the poisoned request's
+			// dangling receives; it is lifted again before the healthy
+			// post-failure collective, whose ranks reach it with up to one
+			// deadline of mutual skew (the outer watchdog still bounds a
+			// genuine hang there).
+			c.(comm.Deadliner).SetOpTimeout(time.Second)
+			ec := c
+			if c.Rank() == victim {
+				ec = &recvFaultComm{
+					Comm: c,
+					lo:   comm.TagNBCBase,
+					hi:   comm.TagNBCBase + comm.NBCTagStride,
+				}
+			}
+			eng := nbc.NewEngine(ec)
+
+			start := func(seed int) (*nbc.Request, []byte, error) {
+				a, out := buildCollArgs(core.OpAllreduce, c.Rank()+seed, p, elems, 0, false)
+				prog, err := nbc.Compile(ec, tab, core.OpAllreduce, a)
+				if err != nil {
+					return nil, nil, err
+				}
+				req, err := eng.Start(prog)
+				return req, out, err
+			}
+
+			req0, _, err := start(0)
+			if err != nil {
+				return fmt.Errorf("start poisoned: %w", err)
+			}
+			req1, out1, err := start(p)
+			if err != nil {
+				return fmt.Errorf("start concurrent: %w", err)
+			}
+
+			// Drive the healthy collective with Test polls: progress passes
+			// never block, so the poisoned request's dangling receives
+			// cannot stall it.
+			for {
+				fin, err := req1.Test()
+				if err != nil {
+					return fmt.Errorf("concurrent collective: %w", err)
+				}
+				if fin {
+					break
+				}
+			}
+			got1[c.Rank()] = out1
+
+			// Now resolve the poisoned request. On the victim it already
+			// failed with the injection; elsewhere it either completed
+			// before the victim aborted or times out on a receive the
+			// victim never served.
+			err0 := req0.Wait()
+			req0Errs[c.Rank()] = err0
+			if again := req0.Wait(); !errors.Is(again, err0) && again != err0 {
+				return fmt.Errorf("Wait not idempotent: %v then %v", err0, again)
+			}
+			fin, terr := req0.Test()
+			if !fin {
+				return fmt.Errorf("Test reports not-done after Wait returned")
+			}
+			if !errors.Is(terr, err0) && terr != err0 {
+				return fmt.Errorf("Test status %v differs from Wait status %v", terr, err0)
+			}
+
+			// The engine must outlive the failure: a third collective on
+			// the same engine completes correctly. Receives posted from
+			// here on are unbounded — the poisoned request is fully
+			// resolved, so nothing left can stall.
+			c.(comm.Deadliner).SetOpTimeout(0)
+			req2, out2, err := start(2 * p)
+			if err != nil {
+				return fmt.Errorf("start post-failure: %w", err)
+			}
+			if err := req2.Wait(); err != nil {
+				return fmt.Errorf("post-failure collective: %w", err)
+			}
+			got2[c.Rank()] = out2
+			return nil
+		})
+	}()
+	select {
+	case errs := <-done:
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("error-path run hung")
+	}
+
+	if err := req0Errs[victim]; !errors.Is(err, errPoison) {
+		t.Errorf("victim's poisoned request returned %v, want errPoison", err)
+	}
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		if err := req0Errs[r]; err != nil && !errors.Is(err, comm.ErrTimeout) {
+			t.Errorf("rank %d poisoned request: %v, want nil or ErrTimeout", r, err)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if !bytes.Equal(got1[r], want1[r]) {
+			t.Errorf("rank %d: concurrent collective differs from blocking reference", r)
+		}
+		if !bytes.Equal(got2[r], want2[r]) {
+			t.Errorf("rank %d: post-failure collective differs from blocking reference", r)
+		}
+	}
+}
+
+// runBlockingSeeded runs the pinned blocking allreduce with payload seed
+// rank+seed on a fresh mem world and returns every rank's result.
+func runBlockingSeeded(t *testing.T, tab *tuning.Table, p, elems, seed int) [][]byte {
+	t.Helper()
+	out := make([][]byte, p)
+	w := mem.NewWorld(p)
+	defer w.Close()
+	if err := w.Run(func(c comm.Comm) error {
+		a, res := buildCollArgs(core.OpAllreduce, c.Rank()+seed, p, elems, 0, false)
+		if err := tab.Run(c, core.OpAllreduce, a); err != nil {
+			return err
+		}
+		out[c.Rank()] = res
+		return nil
+	}); err != nil {
+		t.Fatalf("blocking reference (seed %d): %v", seed, err)
+	}
+	return out
+}

@@ -84,7 +84,7 @@ func (s *Sink) Events() []Event {
 // sink. The wrapper preserves the Clock interface if c implements it.
 func (s *Sink) Wrap(c comm.Comm) comm.Comm {
 	t := &tracedComm{inner: c, sink: s}
-	if _, ok := c.(comm.Clock); ok {
+	if _, ok := comm.VirtualClock(c); ok {
 		return &tracedClockComm{tracedComm: t}
 	}
 	return t

@@ -13,10 +13,22 @@
 // ErrInjected, and a wrapped Irecv request delivers it through Wait/Test)
 // — the two places a real transport reports link failures. An optional
 // Delay stretches every operation to widen race windows in overlap tests.
+//
+// Alongside the deterministic budgets, seeded probabilistic faults
+// (SendProb/RecvProb) fail each operation independently with a fixed
+// probability, and Jitter adds a random extra delay per operation — the
+// chaos-style load for soak tests. The random stream is derived from
+// Options.Seed and the wrapped communicator's rank, so a failing run
+// replays exactly from its seed. Every injected error wraps ErrInjected,
+// so errors.Is(err, ErrInjected) holds through comm.WaitAll and the
+// nonblocking engine's WaitAllColl.
 package faulty
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,10 +51,11 @@ func NewBudget(n int) *Budget {
 	return b
 }
 
-// spend returns ErrInjected when the budget is exhausted.
+// spend returns an error wrapping ErrInjected when the budget is
+// exhausted.
 func (b *Budget) spend() error {
 	if b.remaining.Add(-1) < 0 {
-		return ErrInjected
+		return fmt.Errorf("%w: operation budget exhausted", ErrInjected)
 	}
 	return nil
 }
@@ -58,11 +71,36 @@ type Options struct {
 	// Delay is added to every operation before it is forwarded,
 	// simulating a slow link (wall-clock substrates only).
 	Delay time.Duration
+
+	// Seed fixes the per-rank random stream behind SendProb, RecvProb,
+	// and Jitter, so chaos runs replay deterministically. Two wrapped
+	// communicators with the same seed and rank draw identical streams.
+	Seed int64
+	// SendProb fails each send independently with this probability at
+	// post time (0 disables, 1 fails everything).
+	SendProb float64
+	// RecvProb fails each receive independently with this probability at
+	// completion, like the Recv budget.
+	RecvProb float64
+	// Jitter adds a uniformly random extra delay in [0, Jitter) to every
+	// operation, on top of the fixed Delay.
+	Jitter time.Duration
+}
+
+func (o Options) needRNG() bool {
+	return o.SendProb > 0 || o.RecvProb > 0 || o.Jitter > 0
 }
 
 // New returns a communicator injecting the configured faults around c.
 func New(c comm.Comm, o Options) comm.Comm {
-	return &faultyComm{inner: c, opts: o}
+	f := &faultyComm{inner: c, opts: o}
+	if o.needRNG() {
+		// Mix the rank into the seed (splitmix-style odd constant) so
+		// ranks draw distinct but individually reproducible streams.
+		mixed := uint64(o.Seed) ^ (uint64(c.Rank()+1) * 0x9e3779b97f4a7c15)
+		f.rng = rand.New(rand.NewSource(int64(mixed)))
+	}
+	return f
 }
 
 // Wrap returns a communicator whose sends fail once the budget runs out.
@@ -76,34 +114,76 @@ func Wrap(c comm.Comm, b *Budget) comm.Comm {
 type faultyComm struct {
 	inner comm.Comm
 	opts  Options
+
+	rngMu sync.Mutex // rand.Rand is not goroutine-safe; ops may be concurrent
+	rng   *rand.Rand
 }
 
 func (f *faultyComm) Rank() int           { return f.inner.Rank() }
 func (f *faultyComm) Size() int           { return f.inner.Size() }
 func (f *faultyComm) ChargeCompute(n int) { f.inner.ChargeCompute(n) }
 
+// draw samples one uniform variate from the per-rank stream.
+func (f *faultyComm) draw() float64 {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return f.rng.Float64()
+}
+
 func (f *faultyComm) delay() {
-	if f.opts.Delay > 0 {
-		time.Sleep(f.opts.Delay)
+	d := f.opts.Delay
+	if f.opts.Jitter > 0 {
+		d += time.Duration(f.draw() * float64(f.opts.Jitter))
 	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// sendFault decides whether this send fails at post time: first the
+// deterministic budget, then the probabilistic drop.
+func (f *faultyComm) sendFault(to int, tag comm.Tag) error {
+	if f.opts.Send != nil {
+		if err := f.opts.Send.spend(); err != nil {
+			return fmt.Errorf("%w (send to rank %d tag %d)", err, to, tag)
+		}
+	}
+	if f.opts.SendProb > 0 && f.draw() < f.opts.SendProb {
+		return fmt.Errorf("%w: probabilistic send fault to rank %d tag %d", ErrInjected, to, tag)
+	}
+	return nil
+}
+
+// recvFault decides whether a completed receive is failed retroactively.
+func (f *faultyComm) recvFault(from int, tag comm.Tag) error {
+	if f.opts.Recv != nil {
+		if err := f.opts.Recv.spend(); err != nil {
+			return fmt.Errorf("%w (recv from rank %d tag %d)", err, from, tag)
+		}
+	}
+	if f.opts.RecvProb > 0 && f.draw() < f.opts.RecvProb {
+		return fmt.Errorf("%w: probabilistic recv fault from rank %d tag %d", ErrInjected, from, tag)
+	}
+	return nil
+}
+
+// faultsRecvs reports whether receive-side injection is configured at all.
+func (f *faultyComm) faultsRecvs() bool {
+	return f.opts.Recv != nil || f.opts.RecvProb > 0
 }
 
 func (f *faultyComm) Send(to int, tag comm.Tag, buf []byte) error {
 	f.delay()
-	if f.opts.Send != nil {
-		if err := f.opts.Send.spend(); err != nil {
-			return err
-		}
+	if err := f.sendFault(to, tag); err != nil {
+		return err
 	}
 	return f.inner.Send(to, tag, buf)
 }
 
 func (f *faultyComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
 	f.delay()
-	if f.opts.Send != nil {
-		if err := f.opts.Send.spend(); err != nil {
-			return nil, err
-		}
+	if err := f.sendFault(to, tag); err != nil {
+		return nil, err
 	}
 	return f.inner.Isend(to, tag, buf)
 }
@@ -111,8 +191,8 @@ func (f *faultyComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, erro
 func (f *faultyComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
 	f.delay()
 	n, err := f.inner.Recv(from, tag, buf)
-	if err == nil && f.opts.Recv != nil {
-		err = f.opts.Recv.spend()
+	if err == nil {
+		err = f.recvFault(from, tag)
 	}
 	return n, err
 }
@@ -123,19 +203,21 @@ func (f *faultyComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, er
 	if err != nil {
 		return nil, err
 	}
-	if f.opts.Recv == nil {
+	if !f.faultsRecvs() {
 		return req, nil
 	}
-	return &faultyRecvReq{inner: req, budget: f.opts.Recv}, nil
+	return &faultyRecvReq{inner: req, owner: f, from: from, tag: tag}, nil
 }
 
-// faultyRecvReq spends the receive budget when the underlying receive
-// completes; an exhausted budget surfaces as ErrInjected from Wait and
-// Test. The resolution is memoized so repeated Wait/Test calls observe
+// faultyRecvReq applies receive-side injection when the underlying receive
+// completes; the injected error (wrapping ErrInjected) surfaces from Wait
+// and Test. The resolution is memoized so repeated Wait/Test calls observe
 // the same terminal status (the comm.Request idempotency contract).
 type faultyRecvReq struct {
 	inner    comm.Request
-	budget   *Budget
+	owner    *faultyComm
+	from     int
+	tag      comm.Tag
 	resolved bool
 	err      error
 }
@@ -143,7 +225,7 @@ type faultyRecvReq struct {
 func (r *faultyRecvReq) resolve(err error) error {
 	if !r.resolved {
 		if err == nil {
-			err = r.budget.spend()
+			err = r.owner.recvFault(r.from, r.tag)
 		}
 		r.resolved, r.err = true, err
 	}
@@ -171,3 +253,40 @@ func (r *faultyRecvReq) Test() (bool, error) {
 }
 
 func (r *faultyRecvReq) Len() int { return r.inner.Len() }
+
+// Now forwards Clock when the wrapped communicator tracks virtual time.
+func (f *faultyComm) Now() float64 {
+	if cl, ok := f.inner.(comm.Clock); ok {
+		return cl.Now()
+	}
+	return 0
+}
+
+// HasClock implements comm.ClockProber.
+func (f *faultyComm) HasClock() bool {
+	_, ok := comm.VirtualClock(f.inner)
+	return ok
+}
+
+// SetOpTimeout forwards Deadliner (no-op otherwise), so fault-tolerant
+// sessions keep their deadline guarantees under injected chaos.
+func (f *faultyComm) SetOpTimeout(d time.Duration) {
+	if dl, ok := f.inner.(comm.Deadliner); ok {
+		dl.SetOpTimeout(d)
+	}
+}
+
+// Failed forwards FailureDetector (nil otherwise).
+func (f *faultyComm) Failed() []int {
+	if fd, ok := f.inner.(comm.FailureDetector); ok {
+		return fd.Failed()
+	}
+	return nil
+}
+
+// PurgeTags forwards Purger (no-op otherwise).
+func (f *faultyComm) PurgeTags(lo, hi comm.Tag) {
+	if p, ok := f.inner.(comm.Purger); ok {
+		p.PurgeTags(lo, hi)
+	}
+}

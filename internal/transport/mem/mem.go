@@ -6,12 +6,17 @@
 //
 // This substrate provides real parallelism and real data movement, so it is
 // the primary vehicle for correctness tests, property tests, and wall-clock
-// testing.B benchmarks.
+// testing.B benchmarks. For fault-tolerance testing it also implements the
+// comm capability interfaces: Deadliner (per-op timeouts with full
+// cancellation), FailureDetector (driven by World.Kill, the test harness's
+// rank-kill switch), and Purger (tag-window quiesce).
 package mem
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"exacoll/internal/comm"
 )
@@ -40,6 +45,7 @@ type endpoint struct {
 	mu         sync.Mutex
 	unexpected map[matchKey][]*message
 	posted     map[matchKey][]*postedRecv
+	peerErr    map[int]error // per-peer failure (World.Kill), sticky
 	closed     bool
 }
 
@@ -47,6 +53,7 @@ func newEndpoint() *endpoint {
 	return &endpoint{
 		unexpected: make(map[matchKey][]*message),
 		posted:     make(map[matchKey][]*postedRecv),
+		peerErr:    make(map[int]error),
 	}
 }
 
@@ -85,6 +92,9 @@ func (pr *postedRecv) complete(payload []byte) {
 }
 
 // post registers a receive, matching an already-queued message if present.
+// A message buffered before the sender died is still deliverable (it was
+// "on the wire"); only once the queue is empty does the peer's death fail
+// the receive.
 func (e *endpoint) post(key matchKey, buf []byte) (*postedRecv, error) {
 	pr := &postedRecv{buf: buf, done: make(chan struct{})}
 	e.mu.Lock()
@@ -102,13 +112,85 @@ func (e *endpoint) post(key matchKey, buf []byte) (*postedRecv, error) {
 		pr.complete(m.payload)
 		return pr, nil
 	}
+	if err := e.peerErr[key.src]; err != nil {
+		return nil, err
+	}
 	e.posted[key] = append(e.posted[key], pr)
 	return pr, nil
+}
+
+// cancel removes a still-pending posted receive and fails it with err. It
+// reports false when the receive already completed (or was removed)
+// concurrently, in which case its recorded result stands.
+func (e *endpoint) cancel(key matchKey, pr *postedRecv, err error) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prs := e.posted[key]
+	for i, q := range prs {
+		if q != pr {
+			continue
+		}
+		if len(prs) == 1 {
+			delete(e.posted, key)
+		} else {
+			e.posted[key] = append(prs[:i:i], prs[i+1:]...)
+		}
+		pr.err = err
+		close(pr.done)
+		return true
+	}
+	return false
+}
+
+// failPeer marks one peer dead for this endpoint: receives pending on that
+// peer error out and future posts for it fail fast, but already-buffered
+// messages remain matchable and traffic with other peers continues.
+func (e *endpoint) failPeer(peer int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.peerErr[peer] != nil {
+		return
+	}
+	e.peerErr[peer] = err
+	for key, prs := range e.posted {
+		if key.src != peer {
+			continue
+		}
+		for _, pr := range prs {
+			pr.err = err
+			close(pr.done)
+		}
+		delete(e.posted, key)
+	}
+}
+
+// purgeTags implements the quiesce: buffered messages with tags in [lo, hi)
+// are dropped and receives still posted there are cancelled with
+// ErrTimeout (they belong to an aborted collective no one will complete).
+func (e *endpoint) purgeTags(lo, hi comm.Tag) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key := range e.unexpected {
+		if key.tag >= lo && key.tag < hi {
+			delete(e.unexpected, key)
+		}
+	}
+	for key, prs := range e.posted {
+		if key.tag < lo || key.tag >= hi {
+			continue
+		}
+		for _, pr := range prs {
+			pr.err = fmt.Errorf("%w: receive purged with its tag window", comm.ErrTimeout)
+			close(pr.done)
+		}
+		delete(e.posted, key)
+	}
 }
 
 // World is a set of p endpoints sharing an address space.
 type World struct {
 	endpoints []*endpoint
+	dead      []atomic.Bool // set by Kill; read by every handle
 }
 
 // NewWorld creates a world with p ranks. p must be >= 1.
@@ -116,7 +198,7 @@ func NewWorld(p int) *World {
 	if p < 1 {
 		panic("mem: world size must be >= 1")
 	}
-	w := &World{endpoints: make([]*endpoint, p)}
+	w := &World{endpoints: make([]*endpoint, p), dead: make([]atomic.Bool, p)}
 	for i := range w.endpoints {
 		w.endpoints[i] = newEndpoint()
 	}
@@ -134,6 +216,40 @@ func (w *World) Comm(rank int) comm.Comm {
 		panic(fmt.Sprintf("mem: rank %d out of range [0,%d)", rank, len(w.endpoints)))
 	}
 	return &memComm{world: w, rank: rank}
+}
+
+// Kill simulates the fail-stop death of one rank: its own subsequent
+// operations fail with ErrClosed (the process is gone), every other rank's
+// receives pending on it fail with ErrPeerDead, and future receives from it
+// fail fast once its already-buffered messages are drained. Sends addressed
+// to it fail with ErrPeerDead. Kill is the mem world's failure-injection
+// switch for the chaos tests; it is safe to call from any goroutine and is
+// idempotent.
+func (w *World) Kill(rank int) {
+	if rank < 0 || rank >= len(w.endpoints) {
+		panic(fmt.Sprintf("mem: kill rank %d out of range [0,%d)", rank, len(w.endpoints)))
+	}
+	if w.dead[rank].Swap(true) {
+		return
+	}
+	// The dying rank's own pending receives release with ErrClosed.
+	ep := w.endpoints[rank]
+	ep.mu.Lock()
+	ep.closed = true
+	for key, prs := range ep.posted {
+		for _, pr := range prs {
+			pr.err = comm.ErrClosed
+			close(pr.done)
+		}
+		delete(ep.posted, key)
+	}
+	ep.mu.Unlock()
+	err := fmt.Errorf("%w: rank %d killed", comm.ErrPeerDead, rank)
+	for r, e := range w.endpoints {
+		if r != rank {
+			e.failPeer(rank, err)
+		}
+	}
 }
 
 // Close shuts the world down; subsequent operations return ErrClosed and
@@ -180,19 +296,65 @@ func (w *World) Run(fn func(c comm.Comm) error) error {
 	return nil
 }
 
+// RunAll executes fn once per rank like Run, but never closes the world on
+// a rank's error and returns every rank's terminal error. Fault-tolerance
+// tests use it: a failing collective must not take the world down, because
+// the surviving ranks go on to agree, shrink, and continue.
+func (w *World) RunAll(fn func(c comm.Comm) error) []error {
+	errs := make([]error, w.Size())
+	var wg sync.WaitGroup
+	for r := 0; r < w.Size(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
 // memComm is one rank's view of a World.
 type memComm struct {
-	world *World
-	rank  int
+	world     *World
+	rank      int
+	opTimeout time.Duration // per-op deadline; 0 = unbounded
 }
 
 func (c *memComm) Rank() int         { return c.rank }
 func (c *memComm) Size() int         { return c.world.Size() }
 func (c *memComm) ChargeCompute(int) {}
 
+// SetOpTimeout implements comm.Deadliner for this handle.
+func (c *memComm) SetOpTimeout(d time.Duration) { c.opTimeout = d }
+
+// Failed implements comm.FailureDetector: the ranks killed so far. The mem
+// world's detector is a perfect oracle (kills are instantly visible), the
+// strongest detector the agreement layer can be tested against.
+func (c *memComm) Failed() []int {
+	var out []int
+	for r := range c.world.dead {
+		if r != c.rank && c.world.dead[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PurgeTags implements comm.Purger for this rank's endpoint.
+func (c *memComm) PurgeTags(lo, hi comm.Tag) {
+	c.world.endpoints[c.rank].purgeTags(lo, hi)
+}
+
 func (c *memComm) Send(to int, tag comm.Tag, buf []byte) error {
 	if err := comm.CheckPeer(c.rank, to, c.Size()); err != nil {
 		return err
+	}
+	if c.world.dead[c.rank].Load() {
+		return comm.ErrClosed
+	}
+	if c.world.dead[to].Load() {
+		return fmt.Errorf("%w: send to killed rank %d", comm.ErrPeerDead, to)
 	}
 	payload := make([]byte, len(buf))
 	copy(payload, buf)
@@ -230,14 +392,35 @@ func (c *memComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) 
 	return &sentRequest{n: len(buf)}, nil
 }
 
-// recvRequest wraps a postedRecv as a comm.Request.
+// recvRequest wraps a postedRecv as a comm.Request, carrying the handle's
+// per-op timeout captured at post time.
 type recvRequest struct {
-	pr *postedRecv
+	pr      *postedRecv
+	ep      *endpoint
+	key     matchKey
+	timeout time.Duration
 }
 
 func (r *recvRequest) Wait() error {
-	<-r.pr.done
-	return r.pr.err
+	if r.timeout <= 0 {
+		<-r.pr.done
+		return r.pr.err
+	}
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	select {
+	case <-r.pr.done:
+		return r.pr.err
+	case <-timer.C:
+		terr := fmt.Errorf("%w: no message from rank %d tag %d within %v",
+			comm.ErrTimeout, r.key.src, r.key.tag, r.timeout)
+		if r.ep.cancel(r.key, r.pr, terr) {
+			return terr
+		}
+		// Completed concurrently with the timer; the result stands.
+		<-r.pr.done
+		return r.pr.err
+	}
 }
 
 func (r *recvRequest) Len() int { return r.pr.n }
@@ -256,9 +439,12 @@ func (c *memComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error
 	if err := comm.CheckPeer(c.rank, from, c.Size()); err != nil {
 		return nil, err
 	}
+	if c.world.dead[c.rank].Load() {
+		return nil, comm.ErrClosed
+	}
 	pr, err := c.world.endpoints[c.rank].post(matchKey{src: from, tag: tag}, buf)
 	if err != nil {
 		return nil, err
 	}
-	return &recvRequest{pr: pr}, nil
+	return &recvRequest{pr: pr, ep: c.world.endpoints[c.rank], key: matchKey{src: from, tag: tag}, timeout: c.opTimeout}, nil
 }

@@ -1,0 +1,132 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+)
+
+// TestOpTimeout: a receive with no matching sender fails with ErrTimeout
+// within the configured deadline instead of hanging, and the cancelled
+// receive's buffer is never written afterwards.
+func TestOpTimeout(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c := w.Comm(0)
+	c.(comm.Deadliner).SetOpTimeout(30 * time.Millisecond)
+
+	buf := make([]byte, 8)
+	start := time.Now()
+	_, err := c.Recv(1, 7, buf)
+	if !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~30ms", elapsed)
+	}
+	// A message sent after the timeout must not land in the cancelled
+	// receive's buffer.
+	if err := w.Comm(1).Send(0, 7, []byte{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatalf("late send: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("cancelled receive buffer written at %d: %v", i, buf)
+		}
+	}
+	// The late message is buffered and matches a fresh receive.
+	n, err := c.Recv(1, 7, buf)
+	if err != nil || n != 8 || buf[0] != 9 {
+		t.Fatalf("fresh recv after timeout: n=%d err=%v buf=%v", n, err, buf)
+	}
+}
+
+// TestKill: killing a rank releases pending receives on it with
+// ErrPeerDead, fails future sends/receives addressed to it, reports it
+// through the failure detector — and still delivers messages it had
+// already buffered ("on the wire") before dying.
+func TestKill(t *testing.T) {
+	w := NewWorld(3)
+	defer w.Close()
+	c0 := w.Comm(0)
+
+	// Rank 2 buffers one message, then dies.
+	if err := w.Comm(2).Send(0, 5, []byte{42}); err != nil {
+		t.Fatalf("pre-kill send: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c0.Recv(1, 3, make([]byte, 4))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Kill(1)
+	select {
+	case err := <-done:
+		if !errors.Is(err, comm.ErrPeerDead) {
+			t.Fatalf("pending recv on killed rank: want ErrPeerDead, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending recv not released by Kill")
+	}
+
+	if err := c0.Send(1, 3, []byte{1}); !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("send to killed rank: want ErrPeerDead, got %v", err)
+	}
+	if _, err := c0.Recv(1, 3, make([]byte, 4)); !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("recv from killed rank: want ErrPeerDead, got %v", err)
+	}
+	fd := c0.(comm.FailureDetector)
+	if failed := fd.Failed(); len(failed) != 1 || failed[0] != 1 {
+		t.Fatalf("Failed() = %v, want [1]", failed)
+	}
+
+	// Rank 2's pre-kill message is still deliverable after rank 2 dies too.
+	w.Kill(2)
+	buf := make([]byte, 1)
+	if n, err := c0.Recv(2, 5, buf); err != nil || n != 1 || buf[0] != 42 {
+		t.Fatalf("buffered message from dead rank: n=%d err=%v buf=%v", n, err, buf)
+	}
+	// Once drained, the peer's death surfaces.
+	if _, err := c0.Recv(2, 5, buf); !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("drained recv from dead rank: want ErrPeerDead, got %v", err)
+	}
+}
+
+// TestPurgeTags: buffered messages inside the purged window vanish; those
+// outside survive; posted receives in the window cancel with ErrTimeout.
+func TestPurgeTags(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+
+	if err := c1.Send(0, 100, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Send(0, 200, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := c0.Irecv(1, 150, make([]byte, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c0.(comm.Purger).PurgeTags(100, 151) // drops tag 100, cancels tag 150, keeps tag 200
+
+	if err := req.Wait(); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("purged posted recv: want ErrTimeout, got %v", err)
+	}
+	buf := make([]byte, 1)
+	if n, err := c0.Recv(1, 200, buf); err != nil || n != 1 || buf[0] != 2 {
+		t.Fatalf("tag outside window: n=%d err=%v buf=%v", n, err, buf)
+	}
+	// Tag 100 was dropped: a fresh receive for it must time out, not match.
+	c0.(comm.Deadliner).SetOpTimeout(20 * time.Millisecond)
+	if _, err := c0.Recv(1, 100, buf); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("purged tag still matched: err=%v", err)
+	}
+}

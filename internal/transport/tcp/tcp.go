@@ -4,6 +4,15 @@
 // a full mesh (rank i dials rank j for i > j). Messages are framed as
 // (src, tag, length, payload) and demultiplexed into the same
 // (source, tag) FIFO matching engine semantics as the in-memory transport.
+//
+// Fault tolerance: after rendezvous every connection carries periodic
+// heartbeat frames, and a per-peer liveness monitor marks a silent peer
+// dead (comm.ErrPeerDead) — so a crashed rank is detected even when no
+// data traffic touches it. Per-operation deadlines (comm.Deadliner) bound
+// every blocking Send and Recv, surfacing comm.ErrTimeout instead of
+// hanging on a dead or wedged peer; before this, connections cleared
+// their deadlines after rendezvous and a crashed peer could block
+// Send/Recv forever.
 package tcp
 
 import (
@@ -12,7 +21,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exacoll/internal/comm"
@@ -22,12 +33,25 @@ import (
 const headerSize = 12
 
 // wire protocol version for the rendezvous handshake.
-const protoVersion = 1
+const protoVersion = 2
+
+// hbTag is the reserved tag value of a heartbeat frame (never a valid
+// comm.Tag, which is non-negative in practice: collective and user tags
+// are all >= 0).
+const hbTag = ^uint32(0)
 
 // Options configures Dial/Listen.
 type Options struct {
 	// Timeout bounds the whole rendezvous (default 30s).
 	Timeout time.Duration
+	// Heartbeat is the interval between liveness frames on every
+	// connection. 0 selects the default (500ms); a negative value
+	// disables heartbeats and the liveness monitor entirely.
+	Heartbeat time.Duration
+	// SuspectAfter is how long a peer may stay silent (no data frames, no
+	// heartbeats) before the monitor declares it dead. 0 selects the
+	// default (4 × Heartbeat). Ignored when heartbeats are disabled.
+	SuspectAfter time.Duration
 }
 
 func (o Options) timeout() time.Duration {
@@ -37,7 +61,29 @@ func (o Options) timeout() time.Duration {
 	return o.Timeout
 }
 
-// Proc is one rank's endpoint in a TCP world. It implements comm.Comm.
+func (o Options) heartbeat() time.Duration {
+	if o.Heartbeat == 0 {
+		return 500 * time.Millisecond
+	}
+	if o.Heartbeat < 0 {
+		return 0
+	}
+	return o.Heartbeat
+}
+
+func (o Options) suspectAfter() time.Duration {
+	hb := o.heartbeat()
+	if hb == 0 {
+		return 0
+	}
+	if o.SuspectAfter > 0 {
+		return o.SuspectAfter
+	}
+	return 4 * hb
+}
+
+// Proc is one rank's endpoint in a TCP world. It implements comm.Comm,
+// comm.Deadliner, comm.FailureDetector, and comm.Purger.
 type Proc struct {
 	rank  int
 	size  int
@@ -46,6 +92,11 @@ type Proc struct {
 	engine *engine
 
 	sendMu []sync.Mutex // per-peer write locks
+
+	opTimeout atomic.Int64   // per-op deadline in nanoseconds; 0 = unbounded
+	lastSeen  []atomic.Int64 // unix nanos of the last frame from each peer
+	hbStop    chan struct{}
+	hbWG      sync.WaitGroup
 
 	closeOnce sync.Once
 	closeErr  error
@@ -59,11 +110,13 @@ func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
 		return nil, fmt.Errorf("tcp: bad rank/size %d/%d", rank, p)
 	}
 	proc := &Proc{
-		rank:   rank,
-		size:   p,
-		conns:  make([]net.Conn, p),
-		engine: newEngine(p),
-		sendMu: make([]sync.Mutex, p),
+		rank:     rank,
+		size:     p,
+		conns:    make([]net.Conn, p),
+		engine:   newEngine(),
+		sendMu:   make([]sync.Mutex, p),
+		lastSeen: make([]atomic.Int64, p),
+		hbStop:   make(chan struct{}),
 	}
 	if p == 1 {
 		return proc, nil
@@ -78,10 +131,17 @@ func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
 			return nil, err
 		}
 	}
+	now := time.Now().UnixNano()
 	for peer, conn := range proc.conns {
 		if conn != nil {
+			proc.lastSeen[peer].Store(now)
 			go proc.readLoop(peer, conn)
 		}
+	}
+	if hb := opts.heartbeat(); hb > 0 {
+		proc.hbWG.Add(2)
+		go proc.heartbeatLoop(hb)
+		go proc.monitorLoop(hb, opts.suspectAfter())
 	}
 	return proc, nil
 }
@@ -250,29 +310,109 @@ func (p *Proc) join(addr string, deadline time.Time) error {
 	return nil
 }
 
+// heartbeatLoop sends one liveness frame per interval on every connection
+// until Close. Heartbeats share each connection's write lock with data
+// frames, so they also double as a probe: a send-side failure surfaces as
+// failPeer long before the peer's silence would.
+func (p *Proc) heartbeatLoop(interval time.Duration) {
+	defer p.hbWG.Done()
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(p.rank))
+	binary.LittleEndian.PutUint32(hdr[4:], hbTag)
+	binary.LittleEndian.PutUint32(hdr[8:], 0)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.hbStop:
+			return
+		case <-ticker.C:
+		}
+		for peer := range p.conns {
+			if peer == p.rank || p.engine.peerFailed(peer) {
+				continue
+			}
+			p.sendMu[peer].Lock()
+			conn := p.conns[peer]
+			if conn != nil {
+				conn.SetWriteDeadline(time.Now().Add(interval * 2))
+				if _, err := conn.Write(hdr); err != nil {
+					p.failPeerConn(peer, fmt.Errorf("%w: rank %d heartbeat write: %v", comm.ErrPeerDead, peer, err))
+				}
+			}
+			p.sendMu[peer].Unlock()
+		}
+	}
+}
+
+// monitorLoop declares a peer dead when nothing (data or heartbeat) has
+// arrived from it for suspectAfter.
+func (p *Proc) monitorLoop(interval, suspectAfter time.Duration) {
+	defer p.hbWG.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.hbStop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		for peer := range p.conns {
+			if peer == p.rank || p.conns[peer] == nil || p.engine.peerFailed(peer) {
+				continue
+			}
+			if now-p.lastSeen[peer].Load() > int64(suspectAfter) {
+				p.failPeerConn(peer, fmt.Errorf("%w: rank %d silent for %v", comm.ErrPeerDead, peer, suspectAfter))
+			}
+		}
+	}
+}
+
+// failPeerConn records a peer failure and closes its connection so any
+// reader or writer blocked on it wakes immediately.
+func (p *Proc) failPeerConn(peer int, err error) {
+	p.engine.failPeer(peer, err)
+	if conn := p.conns[peer]; conn != nil {
+		conn.Close()
+	}
+}
+
 // readLoop demultiplexes inbound frames from one peer into the matching
 // engine.
 func (p *Proc) readLoop(peer int, conn net.Conn) {
 	for {
 		var hdr [headerSize]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			p.engine.failPeer(peer, err)
+			p.engine.failPeer(peer, peerDeadErr(peer, err))
 			return
 		}
+		p.lastSeen[peer].Store(time.Now().UnixNano())
 		src := int(binary.LittleEndian.Uint32(hdr[0:]))
-		tag := comm.Tag(binary.LittleEndian.Uint32(hdr[4:]))
+		rawTag := binary.LittleEndian.Uint32(hdr[4:])
 		n := int(binary.LittleEndian.Uint32(hdr[8:]))
+		if rawTag == hbTag && src == peer && n == 0 {
+			continue // liveness frame; lastSeen already updated
+		}
+		tag := comm.Tag(rawTag)
 		if src != peer || n < 0 || n > 1<<30 {
 			p.engine.failPeer(peer, fmt.Errorf("tcp: bad frame from %d (src %d, len %d)", peer, src, n))
 			return
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(conn, payload); err != nil {
-			p.engine.failPeer(peer, fmt.Errorf("tcp: read payload from %d: %w", peer, err))
+			p.engine.failPeer(peer, peerDeadErr(peer, err))
 			return
 		}
 		p.engine.deliver(src, tag, payload)
 	}
+}
+
+// peerDeadErr classifies a connection-level read/write failure: the remote
+// end of this link is gone (process exit, reset, or our monitor closed the
+// socket after silence), so it reports comm.ErrPeerDead.
+func peerDeadErr(peer int, err error) error {
+	return fmt.Errorf("%w: rank %d connection: %v", comm.ErrPeerDead, peer, err)
 }
 
 // Rank implements comm.Comm.
@@ -284,7 +424,30 @@ func (p *Proc) Size() int { return p.size }
 // ChargeCompute implements comm.Comm (no-op on a real transport).
 func (p *Proc) ChargeCompute(int) {}
 
-// Send implements comm.Comm.
+// SetOpTimeout implements comm.Deadliner: each subsequent blocking Send,
+// Recv, or receive Wait is bounded by d (0 restores unbounded blocking).
+func (p *Proc) SetOpTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.opTimeout.Store(int64(d))
+}
+
+// Failed implements comm.FailureDetector: peers whose connection dropped,
+// whose heartbeats stopped, or that sent garbage, in ascending order.
+func (p *Proc) Failed() []int {
+	failed := p.engine.failedPeers()
+	sort.Ints(failed)
+	return failed
+}
+
+// PurgeTags implements comm.Purger.
+func (p *Proc) PurgeTags(lo, hi comm.Tag) { p.engine.purgeTags(lo, hi) }
+
+// Send implements comm.Comm. With a per-op timeout configured the socket
+// write is bounded: a peer that stopped draining (dead but connection
+// half-open, kernel buffer full) surfaces comm.ErrTimeout instead of
+// blocking forever.
 func (p *Proc) Send(to int, tag comm.Tag, buf []byte) error {
 	if err := comm.CheckPeer(p.rank, to, p.size); err != nil {
 		return err
@@ -295,17 +458,42 @@ func (p *Proc) Send(to int, tag comm.Tag, buf []byte) error {
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(buf)))
 	p.sendMu[to].Lock()
 	defer p.sendMu[to].Unlock()
+	if err := p.engine.peerError(to); err != nil {
+		return err
+	}
 	conn := p.conns[to]
 	if conn == nil {
 		return comm.ErrClosed
 	}
+	if d := time.Duration(p.opTimeout.Load()); d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	} else {
+		conn.SetWriteDeadline(time.Time{})
+	}
 	if _, err := conn.Write(hdr); err != nil {
-		return fmt.Errorf("tcp: send header to %d: %w", to, err)
+		return p.sendError(to, err)
 	}
 	if _, err := conn.Write(buf); err != nil {
-		return fmt.Errorf("tcp: send payload to %d: %w", to, err)
+		return p.sendError(to, err)
 	}
 	return nil
+}
+
+// sendError classifies a failed frame write. The frame may be partially
+// written, so the connection's stream is corrupt either way: the peer is
+// marked failed and the connection closed.
+func (p *Proc) sendError(to int, err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		err = fmt.Errorf("%w: send to rank %d: %v", comm.ErrTimeout, to, err)
+	} else {
+		err = fmt.Errorf("%w: send to rank %d: %v", comm.ErrPeerDead, to, err)
+	}
+	p.engine.failPeer(to, err)
+	if conn := p.conns[to]; conn != nil {
+		conn.Close()
+	}
+	return err
 }
 
 // sendReq is an eagerly-completed send request: Send returns once the
@@ -337,7 +525,11 @@ func (p *Proc) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
 	if err := comm.CheckPeer(p.rank, from, p.size); err != nil {
 		return nil, err
 	}
-	return p.engine.post(from, tag, buf)
+	pr, err := p.engine.post(from, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpRecvReq{pr: pr, e: p.engine, key: engineKey{from, tag}, timeout: time.Duration(p.opTimeout.Load())}, nil
 }
 
 // Recv implements comm.Comm.
@@ -355,6 +547,8 @@ func (p *Proc) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
 // Close tears down all connections.
 func (p *Proc) Close() error {
 	p.closeOnce.Do(func() {
+		close(p.hbStop)
+		p.hbWG.Wait()
 		for _, c := range p.conns {
 			if c != nil {
 				c.Close()
@@ -388,24 +582,52 @@ type tcpRecv struct {
 	err  error
 }
 
-func (r *tcpRecv) Wait() error {
+func (r *tcpRecv) wait() error {
 	<-r.done
 	return r.err
 }
 
-func (r *tcpRecv) Len() int { return r.n }
+// tcpRecvReq is the comm.Request handle of a posted receive, carrying the
+// per-op timeout captured at post time.
+type tcpRecvReq struct {
+	pr      *tcpRecv
+	e       *engine
+	key     engineKey
+	timeout time.Duration
+}
+
+func (r *tcpRecvReq) Wait() error {
+	if r.timeout <= 0 {
+		return r.pr.wait()
+	}
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	select {
+	case <-r.pr.done:
+		return r.pr.err
+	case <-timer.C:
+		terr := fmt.Errorf("%w: no message from rank %d tag %d within %v",
+			comm.ErrTimeout, r.key.src, r.key.tag, r.timeout)
+		if r.e.cancel(r.key, r.pr, terr) {
+			return terr
+		}
+		return r.pr.wait()
+	}
+}
+
+func (r *tcpRecvReq) Len() int { return r.pr.n }
 
 // Test implements comm.Tester: a nonblocking completion poll.
-func (r *tcpRecv) Test() (bool, error) {
+func (r *tcpRecvReq) Test() (bool, error) {
 	select {
-	case <-r.done:
-		return true, r.err
+	case <-r.pr.done:
+		return true, r.pr.err
 	default:
 		return false, nil
 	}
 }
 
-func newEngine(p int) *engine {
+func newEngine() *engine {
 	return &engine{
 		unexpected: make(map[engineKey][][]byte),
 		posted:     make(map[engineKey][]*tcpRecv),
@@ -444,7 +666,7 @@ func (pr *tcpRecv) complete(payload []byte) {
 	close(pr.done)
 }
 
-func (e *engine) post(src int, tag comm.Tag, buf []byte) (comm.Request, error) {
+func (e *engine) post(src int, tag comm.Tag, buf []byte) (*tcpRecv, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed != nil {
@@ -471,6 +693,79 @@ func (e *engine) post(src int, tag comm.Tag, buf []byte) (comm.Request, error) {
 	return pr, nil
 }
 
+// cancel removes a still-pending posted receive and fails it with err,
+// reporting false when it already completed concurrently.
+func (e *engine) cancel(key engineKey, pr *tcpRecv, err error) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prs := e.posted[key]
+	for i, q := range prs {
+		if q != pr {
+			continue
+		}
+		if len(prs) == 1 {
+			delete(e.posted, key)
+		} else {
+			e.posted[key] = append(prs[:i:i], prs[i+1:]...)
+		}
+		pr.err = err
+		close(pr.done)
+		return true
+	}
+	return false
+}
+
+// peerError returns the recorded failure of a peer (nil while healthy).
+func (e *engine) peerError(peer int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil {
+		return e.closed
+	}
+	return e.peerErr[peer]
+}
+
+// peerFailed reports whether a peer has a recorded failure.
+func (e *engine) peerFailed(peer int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.peerErr[peer] != nil
+}
+
+// failedPeers lists peers with recorded failures.
+func (e *engine) failedPeers() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []int
+	for peer := range e.peerErr {
+		out = append(out, peer)
+	}
+	return out
+}
+
+// purgeTags drops buffered messages with tags in [lo, hi) and cancels
+// receives still posted there with ErrTimeout (the quiesce of a retired
+// collective epoch).
+func (e *engine) purgeTags(lo, hi comm.Tag) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key := range e.unexpected {
+		if key.tag >= lo && key.tag < hi {
+			delete(e.unexpected, key)
+		}
+	}
+	for key, prs := range e.posted {
+		if key.tag < lo || key.tag >= hi {
+			continue
+		}
+		for _, pr := range prs {
+			pr.err = fmt.Errorf("%w: receive purged with its tag window", comm.ErrTimeout)
+			close(pr.done)
+		}
+		delete(e.posted, key)
+	}
+}
+
 // failPeer marks one peer dead: receives pending on that peer error out,
 // and future posts for it fail, but traffic with other peers continues.
 func (e *engine) failPeer(peer int, err error) {
@@ -478,9 +773,6 @@ func (e *engine) failPeer(peer int, err error) {
 	defer e.mu.Unlock()
 	if e.closed != nil || e.peerErr[peer] != nil {
 		return
-	}
-	if errors.Is(err, io.EOF) {
-		err = comm.ErrClosed
 	}
 	e.peerErr[peer] = err
 	for key, prs := range e.posted {

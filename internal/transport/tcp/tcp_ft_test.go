@@ -1,0 +1,234 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+)
+
+// ftWorld spins up p ranks with the given options and hands the caller the
+// live Procs; it does NOT close them (tests exercising failures manage
+// lifetimes themselves).
+func ftWorld(t *testing.T, p int, opts Options) []*Proc {
+	t.Helper()
+	addr := freeAddr(t)
+	procs := make([]*Proc, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int, o Options) {
+			defer wg.Done()
+			procs[r], errs[r] = Rendezvous(r, p, addr, o)
+		}(r, opts)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d rendezvous: %v", r, err)
+		}
+	}
+	return procs
+}
+
+// TestRecvOpTimeout: with a per-op deadline, a receive with no sender
+// returns ErrTimeout promptly instead of hanging forever — the
+// post-rendezvous hang fix.
+func TestRecvOpTimeout(t *testing.T) {
+	procs := ftWorld(t, 2, Options{Timeout: 10 * time.Second})
+	defer procs[0].Close()
+	defer procs[1].Close()
+
+	procs[0].SetOpTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err := procs[0].Recv(1, 7, make([]byte, 8))
+	if !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+	// The cancelled receive's buffer must not swallow a late message: a
+	// fresh receive still matches it.
+	if err := procs[1].Send(0, 7, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("late send: %v", err)
+	}
+	procs[0].SetOpTimeout(5 * time.Second)
+	buf := make([]byte, 8)
+	n, err := procs[0].Recv(1, 7, buf)
+	if err != nil || n != 3 || buf[0] != 1 {
+		t.Fatalf("fresh recv: n=%d err=%v buf=%v", n, err, buf)
+	}
+}
+
+// TestRemoteCloseIsPeerDead: when a peer's process goes away (its Proc is
+// closed), survivors see ErrPeerDead — on receives already pending, on new
+// receives, and through the failure detector. Local Close keeps ErrClosed.
+func TestRemoteCloseIsPeerDead(t *testing.T) {
+	procs := ftWorld(t, 3, Options{Timeout: 10 * time.Second})
+	defer procs[0].Close()
+	defer procs[2].Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := procs[0].Recv(1, 3, make([]byte, 4))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	procs[1].Close() // "crash" of rank 1
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, comm.ErrPeerDead) {
+			t.Fatalf("pending recv on dead peer: want ErrPeerDead, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending recv not released by peer death")
+	}
+
+	// The failure is sticky and reported by the detector.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		failed := procs[0].Failed()
+		if len(failed) == 1 && failed[0] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Failed() = %v, want [1]", failed)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := procs[0].Recv(1, 3, make([]byte, 4)); !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("new recv from dead peer: want ErrPeerDead, got %v", err)
+	}
+
+	// Ranks 0 and 2 can still talk.
+	if err := procs[2].Send(0, 9, []byte{42}); err != nil {
+		t.Fatalf("survivor send: %v", err)
+	}
+	buf := make([]byte, 1)
+	if n, err := procs[0].Recv(2, 9, buf); err != nil || n != 1 || buf[0] != 42 {
+		t.Fatalf("survivor recv: n=%d err=%v", n, err)
+	}
+}
+
+// TestHeartbeatDetectsSilentPeer: a peer that stays connected but falls
+// silent (no heartbeats — e.g. a wedged process) is declared dead by the
+// liveness monitor without any data traffic.
+func TestHeartbeatDetectsSilentPeer(t *testing.T) {
+	addr := freeAddr(t)
+	procs := make([]*Proc, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			opts := Options{Timeout: 10 * time.Second, Heartbeat: 20 * time.Millisecond, SuspectAfter: 150 * time.Millisecond}
+			if r == 1 {
+				opts.Heartbeat = -1 // rank 1 never heartbeats: it looks wedged
+			}
+			procs[r], errs[r] = Rendezvous(r, 2, addr, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d rendezvous: %v", r, err)
+		}
+	}
+	defer procs[0].Close()
+	defer procs[1].Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if failed := procs[0].Failed(); len(failed) == 1 && failed[0] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("silent peer never suspected; Failed() = %v", procs[0].Failed())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := procs[0].Recv(1, 3, make([]byte, 4)); !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("recv from suspected peer: want ErrPeerDead, got %v", err)
+	}
+}
+
+// TestPurgeTagsTCP: buffered messages in the purged window vanish, posted
+// receives there cancel with ErrTimeout, traffic outside survives.
+func TestPurgeTagsTCP(t *testing.T) {
+	procs := ftWorld(t, 2, Options{Timeout: 10 * time.Second})
+	defer procs[0].Close()
+	defer procs[1].Close()
+
+	if err := procs[1].Send(0, 100, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := procs[1].Send(0, 200, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until both frames are buffered at rank 0 before purging.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		procs[0].engine.mu.Lock()
+		n := len(procs[0].engine.unexpected)
+		procs[0].engine.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("frames never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	req, err := procs[0].Irecv(1, 150, make([]byte, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	procs[0].PurgeTags(100, 151)
+
+	if err := req.Wait(); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("purged posted recv: want ErrTimeout, got %v", err)
+	}
+	buf := make([]byte, 1)
+	if n, err := procs[0].Recv(1, 200, buf); err != nil || n != 1 || buf[0] != 2 {
+		t.Fatalf("tag outside window: n=%d err=%v buf=%v", n, err, buf)
+	}
+	procs[0].SetOpTimeout(30 * time.Millisecond)
+	if _, err := procs[0].Recv(1, 100, buf); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("purged tag still matched: err=%v", err)
+	}
+}
+
+// TestSendAfterPeerDeath: sends to a failed peer return the sticky peer
+// error instead of writing into a dead socket.
+func TestSendAfterPeerDeath(t *testing.T) {
+	procs := ftWorld(t, 2, Options{Timeout: 10 * time.Second})
+	defer procs[0].Close()
+
+	procs[1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if failed := procs[0].Failed(); len(failed) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("peer death never detected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	err := procs[0].Send(1, 3, []byte{1})
+	if !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("send to dead peer: want ErrPeerDead, got %v", err)
+	}
+	if err2 := procs[0].Send(1, 3, []byte{1}); !errors.Is(err2, comm.ErrPeerDead) {
+		t.Fatalf("second send: want sticky ErrPeerDead, got %v", err2)
+	}
+	_ = fmt.Sprintf("%v", err) // error strings must format cleanly
+}
