@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|model|table1|all
+//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|all
 //
 // Flags:
 //
@@ -36,11 +36,12 @@ func main() {
 	nodes := flag.Int("nodes", 128, "main evaluation node count")
 	large := flag.Int("large", 1024, "scale-study node count")
 	ppnNodes := flag.Int("ppnnodes", 32, "node count for 8-PPN runs")
+	placement := flag.String("placement", "contiguous", "rank-to-node placement for multi-PPN grids: contiguous|dispersed")
 	ascii := flag.Bool("ascii", false, "render ASCII plots to stdout")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|model|table1|all")
+		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -54,6 +55,14 @@ func main() {
 		q := bench.QuickConfig()
 		q.Quick = true
 		cfg = q
+	}
+	switch *placement {
+	case "contiguous":
+		cfg.Place = machine.PlaceContiguous
+	case "dispersed":
+		cfg.Place = machine.PlaceDispersed
+	default:
+		fatal(fmt.Errorf("unknown placement %q (want contiguous or dispersed)", *placement))
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -74,8 +83,11 @@ func main() {
 		// layer's fault-free overhead (<5% at >=256KiB) and dead-rank
 		// recovery latency on the wall-clock mem transport.
 		"chaos": cfg.Chaos,
+		// hier compares the flat tuned selection against the topology
+		// composition engine (internal/topo) at 8 PPN.
+		"hier": cfg.Hier,
 	}
-	order := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "overlap", "chaos"}
+	order := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "overlap", "chaos", "hier"}
 
 	for _, arg := range flag.Args() {
 		switch arg {

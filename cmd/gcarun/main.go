@@ -30,6 +30,7 @@ import (
 	"exacoll/internal/datatype"
 	"exacoll/internal/metrics"
 	"exacoll/internal/osu"
+	"exacoll/internal/topo"
 	"exacoll/internal/transport/tcp"
 	"exacoll/internal/tuning"
 )
@@ -44,6 +45,8 @@ func main() {
 	nbytes := flag.Int("bytes", 1024, "message size in bytes")
 	root := flag.Int("root", 0, "root rank for rooted collectives")
 	iters := flag.Int("iters", 10, "timed iterations")
+	ppn := flag.Int("ppn", 0,
+		"ranks per node (synthetic locality): discover a topology map and route bcast/reduce/allgather/allreduce through the hierarchical engine")
 	spawn := flag.Int("spawn", 0, "spawn N local ranks and act as launcher")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve HTTP observability endpoints (/metrics Prometheus, /debug/collectives JSON) on this address while running; with -spawn, rank r gets port+r")
@@ -78,6 +81,9 @@ func main() {
 		fatal(err)
 	}
 	defer tc.Close()
+	if *ppn > 0 {
+		tc.SetLocality(*ppn, 0)
+	}
 
 	var c comm.Comm = tc
 	var reg *metrics.Registry
@@ -85,6 +91,25 @@ func main() {
 		reg = metrics.NewRegistry()
 		c = reg.Instrument(c)
 		go serveMetrics(*metricsAddr, reg)
+	}
+
+	// -ppn routes the supported collectives through the multi-level
+	// composition engine; discovery goes through the instrumented wrapper so
+	// the engine also picks up the registry for per-level accounting.
+	var eng *topo.Engine
+	var tmap *topo.Map
+	if *ppn > 0 && hierSupported(op) {
+		m, ok := topo.Discover(c)
+		if !ok {
+			fatal(fmt.Errorf("topology discovery failed at ppn=%d", *ppn))
+		}
+		e, err := topo.NewEngine(c, m, topo.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		eng, tmap = e, m
+	} else if *ppn > 0 {
+		fmt.Fprintf(os.Stderr, "gcarun: -ppn ignored: no hierarchical lowering for %v\n", op)
 	}
 	// A one-rung table routes runs through tuning.Table.Run, so the
 	// explicit algorithm choice still produces selection-decision records
@@ -95,19 +120,37 @@ func main() {
 
 	n := bench.RoundSize(*nbytes)
 	// OSU protocol: warmup, barrier, timed loop, cross-rank statistics.
-	stats, err := osu.Algorithm(c, name, n, *root, *k, osu.Options{Warmup: 3, Iters: *iters})
-	if err != nil {
-		fatal(err)
-	}
-	if *rank == 0 {
-		fmt.Printf("%s %s n=%dB k=%d p=%d: %s\n", op, name, n, *k, *size, stats)
+	if eng != nil {
+		a := bench.MakeArgs(op, *rank, *size, n, *root, *k)
+		stats, err := osu.Collective(c, func() error { return runHier(eng, op, a) },
+			osu.Options{Warmup: 3, Iters: *iters})
+		if err != nil {
+			fatal(err)
+		}
+		if *rank == 0 {
+			fmt.Printf("%s hierarchical n=%dB p=%d (%d nodes x %d ppn): %s\n",
+				op, n, *size, tmap.NumNodes(), tmap.PPN, stats)
+		}
+	} else {
+		stats, err := osu.Algorithm(c, name, n, *root, *k, osu.Options{Warmup: 3, Iters: *iters})
+		if err != nil {
+			fatal(err)
+		}
+		if *rank == 0 {
+			fmt.Printf("%s %s n=%dB k=%d p=%d: %s\n", op, name, n, *k, *size, stats)
+		}
 	}
 
 	// Correctness spot check for reductions: sum of MakeArgs float64
 	// patterns is deterministic, so verify one element on every rank.
 	if op == core.OpAllreduce {
 		a := bench.MakeArgs(op, *rank, *size, n, *root, *k)
-		if err := tab.Run(c, op, a); err != nil {
+		if eng != nil {
+			err = eng.Allreduce(a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		} else {
+			err = tab.Run(c, op, a)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		var want float64
@@ -120,9 +163,10 @@ func main() {
 			fatal(fmt.Errorf("verification failed: element 0 = %g, want %g", got, want))
 		}
 		fmt.Printf("rank %d: verified\n", *rank)
-	} else if reg != nil {
+	} else if reg != nil && eng == nil {
 		// Other collectives: one tuned run so the decision telemetry has a
-		// record to show for this invocation.
+		// record to show for this invocation (the hierarchical path already
+		// records per-level decisions during the timed loop).
 		a := bench.MakeArgs(op, *rank, *size, n, *root, *k)
 		if err := tab.Run(c, op, a); err != nil {
 			fatal(err)
@@ -132,6 +176,10 @@ func main() {
 		t := reg.Snapshot().Totals()
 		fmt.Printf("rank %d metrics: sends=%d recvs=%d send_bytes=%d recv_bytes=%d decisions=%d\n",
 			*rank, t.Sends, t.Recvs, t.SendBytes, t.RecvBytes, reg.Snapshot().DecisionsTotal)
+		if t.HierIntraSends+t.HierInterSends > 0 {
+			fmt.Printf("rank %d topology: intra sends=%d bytes=%d, inter sends=%d bytes=%d\n",
+				*rank, t.HierIntraSends, t.HierIntraBytes, t.HierInterSends, t.HierInterBytes)
+		}
 	}
 	// Final barrier so no rank tears its connections down while a peer is
 	// still inside the last collective.
@@ -246,6 +294,30 @@ func parseOp(s string) (core.CollOp, error) {
 		return core.OpAlltoall, nil
 	}
 	return 0, fmt.Errorf("unknown collective %q", s)
+}
+
+// hierSupported reports whether the topology engine lowers this operation.
+func hierSupported(op core.CollOp) bool {
+	switch op {
+	case core.OpBcast, core.OpReduce, core.OpAllgather, core.OpAllreduce:
+		return true
+	}
+	return false
+}
+
+// runHier dispatches one collective through the composition engine.
+func runHier(e *topo.Engine, op core.CollOp, a core.Args) error {
+	switch op {
+	case core.OpBcast:
+		return e.Bcast(a.SendBuf, a.Root)
+	case core.OpReduce:
+		return e.Reduce(a.SendBuf, a.RecvBuf, a.Op, a.Type, a.Root)
+	case core.OpAllgather:
+		return e.Allgather(a.SendBuf, a.RecvBuf)
+	case core.OpAllreduce:
+		return e.Allreduce(a.SendBuf, a.RecvBuf, a.Op, a.Type)
+	}
+	return fmt.Errorf("no hierarchical lowering for %v", op)
 }
 
 func defaultAlg(op core.CollOp) string {

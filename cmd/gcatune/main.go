@@ -15,8 +15,10 @@ import (
 	"os"
 
 	"exacoll/internal/bench"
+	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/machine"
+	"exacoll/internal/model"
 	"exacoll/internal/tuning"
 )
 
@@ -27,6 +29,8 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	maxBytes := flag.Int("maxbytes", 1<<20, "largest message size to tune")
 	quick := flag.Bool("quick", false, "coarser sweeps")
+	hier := flag.Bool("hier", false,
+		"after tuning, rank the hierarchical composition engine against the flat tuned selection per op/size (requires -ppn > 1); report goes to stderr")
 	flag.Parse()
 
 	var spec machine.Spec
@@ -116,6 +120,69 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "gcatune: wrote %s\n", *out)
+	}
+
+	if *hier {
+		if *ppn < 2 {
+			fatal(fmt.Errorf("-hier requires -ppn > 1 (got %d)", *ppn))
+		}
+		reportHier(spec, *p, *ppn, tab, sizes, agCap)
+	}
+}
+
+// reportHier compares the flat tuned ladder against the hierarchical
+// composition engine (simulator-measured on both sides) and against the
+// two-level analytical prediction, then prints the crossover size per
+// operation — the point a topology-aware session should switch from flat
+// to multi-level lowering.
+func reportHier(spec machine.Spec, p, ppn int, tab *tuning.Table, sizes []int, agCap int) {
+	inter, intra := model.FromSpec(spec)
+	pred := model.Hier{Inter: inter, Intra: intra}
+	nodes := (p + ppn - 1) / ppn
+	kIntra := ppn
+	if kIntra < 2 {
+		kIntra = 2
+	}
+	fmt.Fprintf(os.Stderr, "gcatune: hierarchical vs flat (%d nodes x %d ppn, p=%d)\n", nodes, ppn, p)
+	hops := map[core.CollOp]string{
+		core.OpBcast: "bcast", core.OpReduce: "reduce",
+		core.OpAllgather: "allgather", core.OpAllreduce: "allreduce",
+	}
+	for _, op := range []core.CollOp{core.OpBcast, core.OpReduce, core.OpAllgather, core.OpAllreduce} {
+		cross := -1
+		for _, n := range sizes {
+			n = bench.RoundSize(n)
+			if op == core.OpAllgather && n > agCap {
+				continue // same single-host budget bound as the tuning sweep
+			}
+			flat, err := bench.SimLatency(spec, p, op,
+				func(c comm.Comm, a core.Args) error { return tab.Run(c, op, a) }, n, 0, 0)
+			if err != nil {
+				fatal(err)
+			}
+			hl, err := bench.HierLatency(spec, p, op, n)
+			if err != nil {
+				fatal(err)
+			}
+			pm, err := pred.Predict(hops[op], n, nodes, ppn, kIntra, 4)
+			if err != nil {
+				fatal(err)
+			}
+			mark := ""
+			if hl < flat {
+				mark = " *"
+				if cross < 0 {
+					cross = n
+				}
+			}
+			fmt.Fprintf(os.Stderr, "  %-18v %9dB  flat %11.3fus  hier %11.3fus  model %11.3fus%s\n",
+				op, n, flat*1e6, hl*1e6, pm*1e6, mark)
+		}
+		if cross >= 0 {
+			fmt.Fprintf(os.Stderr, "  -> %v: prefer hierarchical from %dB (*)\n", op, cross)
+		} else {
+			fmt.Fprintf(os.Stderr, "  -> %v: flat tuned selection wins across the sweep\n", op)
+		}
 	}
 }
 

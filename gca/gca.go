@@ -32,6 +32,7 @@ import (
 	"exacoll/internal/metrics"
 	"exacoll/internal/nbc"
 	"exacoll/internal/simnet"
+	"exacoll/internal/topo"
 	"exacoll/internal/transport/mem"
 	"exacoll/internal/transport/tcp"
 	"exacoll/internal/tuning"
@@ -97,6 +98,13 @@ func (l *LocalWorld) Run(fn func(c Comm) error) error { return l.w.Run(fn) }
 
 // Comm returns rank r's communicator (drive it from one goroutine).
 func (l *LocalWorld) Comm(r int) Comm { return l.w.Comm(r) }
+
+// SetLocality declares a synthetic node layout for the in-process world —
+// contiguous blocks of ppn ranks per "node" with the given NIC port count
+// — so sessions created WithTopology can exercise hierarchical
+// collectives without a multi-node machine. Call before creating
+// sessions; ppn < 1 withdraws the layout.
+func (l *LocalWorld) SetLocality(ppn, ports int) { l.w.SetLocality(ppn, ports) }
 
 // RunAll executes fn once per rank concurrently and returns every rank's
 // error. Unlike Run, one rank's failure does not tear the world down —
@@ -183,15 +191,17 @@ const defaultFTTimeout = 10 * time.Second
 // sessionConfig is the collected option set — kept on the session so
 // Shrink can replay it onto the survivor communicator.
 type sessionConfig struct {
-	machine *Machine
-	table   *tuning.Table
-	metrics *metrics.Registry
-	timeout time.Duration
-	retries int
-	backoff time.Duration
-	ft      bool
-	epoch   int64 // inherited tag-space position across a Shrink
-	seqBase int64
+	machine  *Machine
+	table    *tuning.Table
+	metrics  *metrics.Registry
+	timeout  time.Duration
+	retries  int
+	backoff  time.Duration
+	ft       bool
+	topology bool
+	topoPPN  int   // force a synthetic contiguous layout instead of discovery
+	epoch    int64 // inherited tag-space position across a Shrink
+	seqBase  int64
 }
 
 // Session binds a communicator to an algorithm-selection policy.
@@ -202,7 +212,9 @@ type Session struct {
 	metrics *metrics.Registry
 	ft      *ft.State
 	cfg     sessionConfig
-	eng     *nbc.Engine // lazily created by the first I<op> call
+	eng     *nbc.Engine  // lazily created by the first I<op> call
+	topo    *topo.Engine // non-nil when WithTopology found a hierarchy
+	topoMap *topo.Map
 }
 
 // SessionOption configures NewSession.
@@ -235,6 +247,29 @@ func WithMetrics(m *Metrics) SessionOption {
 // hanging. Use the *Ctx collective variants for per-call deadlines.
 func WithTimeout(d time.Duration) SessionOption {
 	return func(c *sessionConfig) { c.timeout = d }
+}
+
+// WithTopology makes the session topology-aware: node locality is
+// discovered from the transport (comm.Locator — simnet knows its machine,
+// tcp keys ranks by rendezvous host, LocalWorld.SetLocality declares a
+// synthetic layout), the communicator is factored into node and leader
+// levels, and Bcast, Reduce, Allgather, and Allreduce are lowered into
+// per-level phases, each independently selecting its (algorithm, radix).
+// Best effort: when the transport cannot report locality, or the layout
+// is flat (one node, or one rank per node), the session transparently
+// runs the flat tuned selection and Topology() returns nil.
+func WithTopology() SessionOption {
+	return func(c *sessionConfig) { c.topology = true }
+}
+
+// WithTopologyPPN is WithTopology with a declared layout instead of
+// discovery: ranks are grouped into contiguous nodes of ppn. Use it when
+// the transport has no locality source of its own.
+func WithTopologyPPN(ppn int) SessionOption {
+	return func(c *sessionConfig) {
+		c.topology = true
+		c.topoPPN = ppn
+	}
 }
 
 // WithFaultTolerance enables the ULFM-style protocol around every
@@ -307,8 +342,49 @@ func newSession(c Comm, cfg sessionConfig) *Session {
 	default:
 		s.tab = tuning.Recommended(machine.Testbox(), c.Size())
 	}
+	if cfg.topology {
+		s.buildTopology()
+	}
 	return s
 }
+
+// buildTopology factors the session communicator into its level tree and
+// prepares the composition engine. Falls back to flat selection (engine
+// nil) when no usable hierarchy exists; every rank reaches the same
+// verdict because discovery is a pure function of shared transport state.
+func (s *Session) buildTopology() {
+	var m *topo.Map
+	if s.cfg.topoPPN > 0 {
+		um, err := topo.Uniform(s.c.Size(), s.cfg.topoPPN, 0)
+		if err != nil {
+			return
+		}
+		m = um
+	} else {
+		dm, ok := topo.Discover(s.c)
+		if !ok {
+			return
+		}
+		m = dm
+	}
+	if m.Flat() {
+		return
+	}
+	eng, err := topo.NewEngine(s.c, m, topo.Config{Spec: s.cfg.machine, Metrics: s.metrics})
+	if err != nil {
+		return
+	}
+	s.topo = eng
+	s.topoMap = m
+}
+
+// Topology describes which node hosts each rank of a topology-aware
+// session (see internal/topo).
+type Topology = topo.Map
+
+// Topology returns the locality map of a session created WithTopology,
+// or nil when topology awareness is off or no hierarchy was found.
+func (s *Session) Topology() *Topology { return s.topoMap }
 
 // opTimeout is the session's effective per-op deadline (0 = unbounded).
 func (s *Session) opTimeout() time.Duration {
@@ -400,6 +476,9 @@ func (s *Session) Size() int { return s.c.Size() }
 // Bcast broadcasts buf from root to every rank.
 func (s *Session) Bcast(buf []byte, root int) error {
 	return s.run(true, func() error {
+		if s.topo != nil {
+			return s.topo.Bcast(buf, root)
+		}
 		return s.tab.Run(s.c, core.OpBcast, core.Args{SendBuf: buf, Root: root})
 	})
 }
@@ -412,6 +491,9 @@ func (s *Session) BcastCtx(ctx context.Context, buf []byte, root int) error {
 // Reduce combines every rank's sendbuf into recvbuf at root.
 func (s *Session) Reduce(sendbuf, recvbuf []byte, op Op, t Type, root int) error {
 	return s.run(false, func() error {
+		if s.topo != nil {
+			return s.topo.Reduce(sendbuf, recvbuf, op, t, root)
+		}
 		return s.tab.Run(s.c, core.OpReduce, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t, Root: root})
 	})
@@ -425,6 +507,9 @@ func (s *Session) ReduceCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op,
 // Allreduce combines every rank's sendbuf into every rank's recvbuf.
 func (s *Session) Allreduce(sendbuf, recvbuf []byte, op Op, t Type) error {
 	return s.run(false, func() error {
+		if s.topo != nil {
+			return s.topo.Allreduce(sendbuf, recvbuf, op, t)
+		}
 		return s.tab.Run(s.c, core.OpAllreduce, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
 	})
@@ -467,6 +552,9 @@ func (s *Session) ScatterCtx(ctx context.Context, sendbuf, recvbuf []byte, root 
 // (len(sendbuf)·p).
 func (s *Session) Allgather(sendbuf, recvbuf []byte) error {
 	return s.run(true, func() error {
+		if s.topo != nil {
+			return s.topo.Allgather(sendbuf, recvbuf)
+		}
 		return s.tab.Run(s.c, core.OpAllgather, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf})
 	})

@@ -27,6 +27,9 @@ type Config struct {
 	// schedules cost O(p²) simulated messages, so this defaults to the
 	// paper's 32-node configuration.
 	PPNNodes int
+	// Place is the rank-to-node placement applied to multi-PPN grids
+	// (contiguous by default; dispersed models fragmented allocations).
+	Place machine.Placement
 	// Quick shrinks every sweep for smoke tests.
 	Quick bool
 }

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/machine"
+	"exacoll/internal/model"
+	"exacoll/internal/simnet"
+	"exacoll/internal/topo"
+	"exacoll/internal/tuning"
+)
+
+// HierLatency runs one collective through the topology composition engine
+// on a fresh simulator and returns its latency (maximum virtual completion
+// time across ranks). The locality map is discovered from the simulator's
+// machine spec on every rank, exactly as a gca.WithTopology session would.
+func HierLatency(spec machine.Spec, p int, op core.CollOp, n int) (float64, error) {
+	sim, err := simnet.New(spec, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := sim.Run(func(c comm.Comm) error {
+		m, ok := topo.Discover(c)
+		if !ok {
+			return fmt.Errorf("simnet rank %d exposes no locality", c.Rank())
+		}
+		e, err := topo.NewEngine(c, m, topo.Config{Spec: &spec})
+		if err != nil {
+			return err
+		}
+		a := MakeArgs(op, c.Rank(), p, n, 0, 0)
+		switch op {
+		case core.OpBcast:
+			return e.Bcast(a.SendBuf, a.Root)
+		case core.OpReduce:
+			return e.Reduce(a.SendBuf, a.RecvBuf, a.Op, a.Type, a.Root)
+		case core.OpAllgather:
+			return e.Allgather(a.SendBuf, a.RecvBuf)
+		case core.OpAllreduce:
+			return e.Allreduce(a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		}
+		return fmt.Errorf("no hierarchical lowering for %v", op)
+	}); err != nil {
+		return 0, err
+	}
+	return sim.MaxTime(), nil
+}
+
+// hierOpName maps a CollOp to the flat-collective name model.Hier keys
+// its predictions by.
+func hierOpName(op core.CollOp) string {
+	switch op {
+	case core.OpBcast:
+		return "bcast"
+	case core.OpReduce:
+		return "reduce"
+	case core.OpAllgather:
+		return "allgather"
+	case core.OpAllreduce:
+		return "allreduce"
+	}
+	return op.String()
+}
+
+// Hier compares the flat tuned selection against the hierarchical
+// composition engine on Frontier at 8 PPN: one grid per collective
+// (allreduce, bcast) over the OSU size sweep, with the analytical
+// two-level prediction (model.Hier) as a third series. The paper's
+// hierarchy argument (§V) is that above the eager threshold the
+// reduce→leader-allreduce→bcast shape moves 1/ppn of the bytes over the
+// NIC tier; the crossover this figure shows is the point the tuner should
+// switch a topology-aware session from flat to multi-level lowering.
+func (cfg Config) Hier() (*Figure, error) {
+	const ppn = 8
+	spec := cfg.Frontier.WithPPN(ppn).WithPlacement(cfg.Place)
+	nodes := cfg.Nodes
+	p := nodes * ppn
+	sizes := cfg.sizes(8, 1<<20)
+	flatTab := tuning.Recommended(spec, p)
+	inter, intra := model.FromSpec(spec)
+	pred := model.Hier{Inter: inter, Intra: intra}
+
+	fig := &Figure{
+		ID: "hier",
+		Caption: fmt.Sprintf("flat tuned selection vs hierarchical composition, %s %d nodes x %d PPN (p=%d)",
+			spec.Name, nodes, ppn, p),
+		Notes: []string{
+			"hierarchical = per-level (algorithm,k) selection: intranode phases + internode leader phase (internal/topo)",
+			fmt.Sprintf("placement=%v", cfg.Place),
+		},
+	}
+	for _, op := range []core.CollOp{core.OpAllreduce, core.OpBcast} {
+		g := &Grid{
+			Title: fmt.Sprintf("%v on %s, %d nodes x %d PPN", op, spec.Name, nodes, ppn),
+			XName: "bytes", YName: "latency_us",
+		}
+		for _, n := range sizes {
+			g.Xs = append(g.Xs, RoundSize(n))
+		}
+		flat := make([]float64, len(g.Xs))
+		hier := make([]float64, len(g.Xs))
+		modelYs := make([]float64, len(g.Xs))
+		for i, n := range g.Xs {
+			tf, err := SimLatency(spec, p, op,
+				func(c comm.Comm, a core.Args) error { return flatTab.Run(c, op, a) },
+				n, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("flat %v n=%d: %w", op, n, err)
+			}
+			flat[i] = tf * 1e6
+			th, err := HierLatency(spec, p, op, n)
+			if err != nil {
+				return nil, fmt.Errorf("hier %v n=%d: %w", op, n, err)
+			}
+			hier[i] = th * 1e6
+			// Model series at the engine's default shape: full-fan intranode
+			// trees, the recommended internode radix ladder collapsed to 4.
+			tm, err := pred.Predict(hierOpName(op), n, nodes, ppn, ppn, 4)
+			if err != nil {
+				return nil, err
+			}
+			modelYs[i] = tm * 1e6
+		}
+		if err := g.AddSeries("flat tuned", flat); err != nil {
+			return nil, err
+		}
+		if err := g.AddSeries("hierarchical", hier); err != nil {
+			return nil, err
+		}
+		if err := g.AddSeries("model hier", modelYs); err != nil {
+			return nil, err
+		}
+		fig.Grids = append(fig.Grids, g)
+	}
+	return fig, nil
+}

@@ -39,7 +39,7 @@ type Tag int32
 //	[TagUser, TagCollBase)      application point-to-point traffic
 //	[TagCollBase, TagNBCBase)   blocking collectives (internal/core): each
 //	                            algorithm family owns a fixed base
-//	                            (TagCollBase + 0x000, +0x100, ... +0xb00)
+//	                            (TagCollBase + 0x000, +0x100, ... +0xc00)
 //	                            and all rounds of one call share it —
 //	                            per-(source, tag) FIFO ordering makes that
 //	                            safe because a rank runs at most one
@@ -74,8 +74,9 @@ const (
 	// TagCollBase + family offset.
 	TagCollBase Tag = 1 << 20
 	// TagNBCBase is the first tag reserved for nonblocking collectives.
-	// It lies above every blocking family base (TagCollBase + 0xb00 is the
-	// highest in use).
+	// It lies above every blocking family base (TagCollBase + 0xc00 — the
+	// hierarchical composition engine's inter-level hops, internal/topo —
+	// is the highest in use).
 	TagNBCBase Tag = TagCollBase + 0x10000
 	// NBCTagStride is the number of tags each nonblocking-collective epoch
 	// owns (one per schedule phase; no compiled schedule uses more).
@@ -100,7 +101,7 @@ const (
 	TagFTEpochBase Tag = TagFTBase + FTTagSeqs
 	// FTEpochStride is the tag width of one retired-epoch window; it
 	// covers every blocking family base (the highest in use is
-	// TagCollBase + 0xb00).
+	// TagCollBase + 0xc00, the internal/topo inter-level hop family).
 	FTEpochStride = 0x1000
 	// FTEpochs is the number of disjoint collective-epoch windows before
 	// the fault-tolerance tag space wraps.
@@ -262,6 +263,46 @@ type Deadliner interface {
 // these local views into a consistent global one.
 type FailureDetector interface {
 	Failed() []int
+}
+
+// Locality describes one rank's position in the machine: the node hosting
+// it, its index among the ranks sharing that node, and the node-level
+// resources the paper's selection guidelines key on (PPN, NIC ports).
+type Locality struct {
+	// Node identifies the rank's node. Substrates report a stable id that
+	// is equal for co-located ranks and distinct across nodes; ids need
+	// not be dense — internal/topo re-densifies them when it builds a map.
+	Node int
+	// LocalRank is the rank's index among the ranks on its node, counted
+	// in ascending world-rank order.
+	LocalRank int
+	// PPN is the number of ranks sharing a node (the maximum over nodes
+	// when the world size is not divisible).
+	PPN int
+	// Ports is the number of NIC ports per node (0 when unknown).
+	Ports int
+}
+
+// Locator is optionally implemented by communicators that know the
+// rank → node mapping of their world: the simulator (from its machine
+// spec and placement), the TCP transport (host-keyed during rendezvous),
+// and the mem world (declared synthetically for tests). Locality reports
+// where `rank` lives; ok is false when the communicator has no locality
+// knowledge for that rank. Wrappers (SubComm, the metrics and FT comms)
+// forward the query and report their inner communicator's answer, so
+// capability probing composes like Clock and Deadliner.
+type Locator interface {
+	Locality(rank int) (Locality, bool)
+}
+
+// LocalityOf queries c's locality knowledge for one rank, reporting
+// (zero, false) when c does not implement Locator at all.
+func LocalityOf(c Comm, rank int) (Locality, bool) {
+	l, ok := c.(Locator)
+	if !ok {
+		return Locality{}, false
+	}
+	return l.Locality(rank)
 }
 
 // Purger is optionally implemented by communicators that can quiesce a

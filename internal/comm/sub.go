@@ -143,6 +143,17 @@ func (s *SubComm) Failed() []int {
 	return out
 }
 
+// Locality forwards Locator to the parent, translating the sub index into
+// the parent rank. Node and Ports are physical facts and pass through
+// unchanged; LocalRank and PPN remain parent-relative (internal/topo
+// recomputes communicator-relative values when it builds a map).
+func (s *SubComm) Locality(idx int) (Locality, bool) {
+	if idx < 0 || idx >= len(s.ranks) {
+		return Locality{}, false
+	}
+	return LocalityOf(s.inner, s.ranks[idx])
+}
+
 // PurgeTags forwards Purger to the parent (no-op otherwise). Tag windows
 // are shared with the parent, so the purge range needs no translation.
 func (s *SubComm) PurgeTags(lo, hi Tag) {

@@ -14,9 +14,25 @@ import (
 // fast intranode links, leaders run a recursive-doubling allreduce across
 // nodes, and each leader broadcasts the result back into its group. With
 // group=1 it degenerates to the flat recursive-doubling allreduce.
+//
+// Both tiers run at radix 2, the paper's baseline shape; use
+// AllreduceHierarchicalRadix to tune the tiers independently, or
+// internal/topo for full per-level algorithm selection.
 func AllreduceHierarchical(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, group int) error {
+	return AllreduceHierarchicalRadix(c, sendbuf, recvbuf, op, dt, group, 2, 2)
+}
+
+// AllreduceHierarchicalRadix is AllreduceHierarchical with per-phase
+// radices: intraK is the k-nomial radix of the intra-group reduce and
+// broadcast phases, and interK the recursive-multiplying radix of the
+// leader phase (interK=2 selects the recursive-doubling baseline, which
+// also handles non-power-of-two leader counts).
+func AllreduceHierarchicalRadix(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, group, intraK, interK int) error {
 	if group < 1 {
 		return fmt.Errorf("%w: hierarchical group %d", ErrBadRadix, group)
+	}
+	if intraK < 2 || interK < 2 {
+		return fmt.Errorf("%w: hierarchical radices intra=%d inter=%d", ErrBadRadix, intraK, interK)
 	}
 	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
 		return err
@@ -42,7 +58,7 @@ func AllreduceHierarchical(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op,
 			return err
 		}
 		// Phase 1: intra-group reduce to the leader (sub-rank 0).
-		if err := ReduceKnomial(sub, sendbuf, recvbuf, op, dt, 0, 2); err != nil {
+		if err := ReduceKnomial(sub, sendbuf, recvbuf, op, dt, 0, intraK); err != nil {
 			return err
 		}
 	}
@@ -61,7 +77,13 @@ func AllreduceHierarchical(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op,
 		if g > 1 {
 			tmp := make([]byte, len(recvbuf))
 			copy(tmp, recvbuf)
-			if err := AllreduceRecDbl(lsub, tmp, recvbuf, op, dt); err != nil {
+			if interK == 2 {
+				// Radix 2 keeps the recursive-doubling baseline (which
+				// folds non-power-of-two leader counts itself).
+				if err := AllreduceRecDbl(lsub, tmp, recvbuf, op, dt); err != nil {
+					return err
+				}
+			} else if err := AllreduceRecMul(lsub, tmp, recvbuf, op, dt, interK); err != nil {
 				return err
 			}
 		}
@@ -77,7 +99,7 @@ func AllreduceHierarchical(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op,
 		if err != nil {
 			return err
 		}
-		return BcastKnomial(sub, recvbuf, 0, 2)
+		return BcastKnomial(sub, recvbuf, 0, intraK)
 	}
 	return nil
 }

@@ -116,6 +116,12 @@ func (ec *EpochComm) Failed() []int {
 	return nil
 }
 
+// Locality forwards comm.Locator (false otherwise): tag re-homing does
+// not move ranks between nodes.
+func (ec *EpochComm) Locality(rank int) (comm.Locality, bool) {
+	return comm.LocalityOf(ec.inner, rank)
+}
+
 // PurgeTags forwards Purger (no-op otherwise). The range is not
 // translated: callers purge concrete windows from EpochWindow.
 func (ec *EpochComm) PurgeTags(lo, hi comm.Tag) {

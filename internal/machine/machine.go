@@ -39,6 +39,13 @@ const (
 	PlaceDispersed
 )
 
+func (p Placement) String() string {
+	if p == PlaceDispersed {
+		return "dispersed"
+	}
+	return "contiguous"
+}
+
 // Spec describes one simulated machine. Times are seconds, rates are
 // seconds per byte.
 type Spec struct {

@@ -42,6 +42,12 @@ func (m *Comm) Rank() int { return m.inner.Rank() }
 // Size implements comm.Comm.
 func (m *Comm) Size() int { return m.inner.Size() }
 
+// Locality forwards comm.Locator to the substrate (instrumentation does
+// not change where ranks live), reporting false when it cannot answer.
+func (m *Comm) Locality(rank int) (comm.Locality, bool) {
+	return comm.LocalityOf(m.inner, rank)
+}
+
 // ChargeCompute implements comm.Comm, counting the γ-term bytes.
 func (m *Comm) ChargeCompute(n int) {
 	m.inner.ChargeCompute(n)

@@ -104,6 +104,23 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		fmt.Fprintf(bw, "gca_ft_timeouts_total{rank=\"%d\"} %d\n", r.Rank, r.FTTimeouts)
 	}
 
+	counter("gca_hier_intra_sends_total", "Hierarchical-collective sends kept intranode per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_hier_intra_sends_total{rank=\"%d\"} %d\n", r.Rank, r.HierIntraSends)
+	}
+	counter("gca_hier_intra_bytes_total", "Hierarchical-collective bytes kept intranode per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_hier_intra_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.HierIntraBytes)
+	}
+	counter("gca_hier_inter_sends_total", "Hierarchical-collective sends crossing nodes per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_hier_inter_sends_total{rank=\"%d\"} %d\n", r.Rank, r.HierInterSends)
+	}
+	counter("gca_hier_inter_bytes_total", "Hierarchical-collective bytes crossing nodes per rank.")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(bw, "gca_hier_inter_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.HierInterBytes)
+	}
+
 	counter("gca_collective_runs_total", "Collective calls by (op, algorithm, radix).")
 	for _, c := range s.Collectives {
 		fmt.Fprintf(bw, "gca_collective_runs_total{%s} %d\n", collLabels(c), c.Count)

@@ -55,6 +55,14 @@ type rankCounters struct {
 	ftRetries    atomic.Uint64 // transparent re-runs of idempotent collectives
 	ftFailures   atomic.Uint64 // peer deaths first observed by this rank
 	ftTimeouts   atomic.Uint64 // operations abandoned at their deadline
+
+	// Hierarchical-collective counters (internal/topo feeds these): sends
+	// and bytes split by level — intranode (node phases plus root<->leader
+	// hops) versus internode (leader phases).
+	hierIntraSends atomic.Uint64
+	hierIntraBytes atomic.Uint64
+	hierInterSends atomic.Uint64
+	hierInterBytes atomic.Uint64
 }
 
 // opKey aggregates decisions by what actually ran.
@@ -188,6 +196,22 @@ func (r *Registry) FTFailuresDetected(rank, n int) {
 // FTTimeout counts one operation abandoned at its deadline on rank.
 func (r *Registry) FTTimeout(rank int) { r.rank(rank).ftTimeouts.Add(1) }
 
+// HierSend attributes one hierarchical-collective send on rank to its
+// level: intra (node phase or root<->leader hop) or inter (leader phase).
+// The topology engine calls this in addition to the base send counters,
+// so intra+inter bytes here measure how much of the instrumented traffic
+// the hierarchy kept on fast links.
+func (r *Registry) HierSend(rank int, intra bool, nbytes int) {
+	rc := r.rank(rank)
+	if intra {
+		rc.hierIntraSends.Add(1)
+		rc.hierIntraBytes.Add(uint64(nbytes))
+	} else {
+		rc.hierInterSends.Add(1)
+		rc.hierInterBytes.Add(uint64(nbytes))
+	}
+}
+
 // Instrumented is implemented by communicators wrapped by
 // Registry.Instrument; tuning.Table.Run uses it to discover where to
 // record selection decisions. Instrument the communicator outermost (wrap
@@ -254,6 +278,11 @@ type RankSnapshot struct {
 	FTRetries    uint64 `json:"ft_retries,omitempty"`
 	FTFailures   uint64 `json:"ft_failures_detected,omitempty"`
 	FTTimeouts   uint64 `json:"ft_timeouts,omitempty"`
+	// Hierarchical-collective totals, split by level.
+	HierIntraSends uint64 `json:"hier_intra_sends,omitempty"`
+	HierIntraBytes uint64 `json:"hier_intra_bytes,omitempty"`
+	HierInterSends uint64 `json:"hier_inter_sends,omitempty"`
+	HierInterBytes uint64 `json:"hier_inter_bytes,omitempty"`
 }
 
 // CollectiveSnapshot is one (op, alg, k) aggregate at snapshot time.
@@ -303,6 +332,10 @@ func (r *Registry) Snapshot() *Snapshot {
 			FTRetries:    rc.ftRetries.Load(),
 			FTFailures:   rc.ftFailures.Load(),
 			FTTimeouts:   rc.ftTimeouts.Load(),
+			HierIntraSends: rc.hierIntraSends.Load(),
+			HierIntraBytes: rc.hierIntraBytes.Load(),
+			HierInterSends: rc.hierInterSends.Load(),
+			HierInterBytes: rc.hierInterBytes.Load(),
 		})
 	}
 	sort.Slice(s.Ranks, func(i, j int) bool { return s.Ranks[i].Rank < s.Ranks[j].Rank })
@@ -364,6 +397,10 @@ func (s *Snapshot) Totals() RankSnapshot {
 		t.FTRetries += r.FTRetries
 		t.FTFailures += r.FTFailures
 		t.FTTimeouts += r.FTTimeouts
+		t.HierIntraSends += r.HierIntraSends
+		t.HierIntraBytes += r.HierIntraBytes
+		t.HierInterSends += r.HierInterSends
+		t.HierInterBytes += r.HierInterBytes
 	}
 	return t
 }

@@ -1,0 +1,66 @@
+package model
+
+import "fmt"
+
+// Hier composes the flat models into two-level hierarchical predictions:
+// an intranode phase over ppn ranks with the intranode (α, β, γ), an
+// internode phase over the node count with the NIC-tier parameters, and
+// (for rooted or personalized collectives) the reassembly broadcast. It
+// is what lets the tuner rank "go hierarchical" against the flat tuned
+// selection analytically, the same way eqs. (1)–(12) rank flat
+// algorithms against each other.
+type Hier struct {
+	// Inter is the internode (leader-tier) cost model.
+	Inter Params
+	// Intra is the intranode cost model.
+	Intra Params
+}
+
+// Bcast predicts the hierarchical broadcast of n bytes across nodes×ppn
+// ranks: a k-nomial bcast over the leaders (radix kInter) followed by a
+// k-nomial bcast within each node (radix kIntra, all nodes concurrent).
+func (h Hier) Bcast(n, nodes, ppn, kIntra, kInter int) float64 {
+	return h.Inter.BcastKnomial(n, nodes, kInter) + h.Intra.BcastKnomial(n, ppn, kIntra)
+}
+
+// Reduce predicts the mirror of Bcast: intranode k-nomial reduce to the
+// leaders, then a k-nomial reduce across them.
+func (h Hier) Reduce(n, nodes, ppn, kIntra, kInter int) float64 {
+	return h.Intra.ReduceKnomial(n, ppn, kIntra) + h.Inter.ReduceKnomial(n, nodes, kInter)
+}
+
+// Allreduce predicts reduce-to-leader + leader recursive-multiplying
+// allreduce + leader-to-node bcast — the shape internal/topo lowers
+// allreduce into.
+func (h Hier) Allreduce(n, nodes, ppn, kIntra, kInter int) float64 {
+	return h.Intra.ReduceKnomial(n, ppn, kIntra) +
+		h.Inter.AllreduceRecMul(n, nodes, kInter) +
+		h.Intra.BcastKnomial(n, ppn, kIntra)
+}
+
+// Allgather predicts node gather (leader ends with ppn·n bytes), leader
+// recursive-multiplying allgather of the node blocks (total nodes·ppn·n),
+// and the broadcast of the assembled nodes·ppn·n result into each node.
+func (h Hier) Allgather(n, nodes, ppn, kIntra, kInter int) float64 {
+	total := nodes * ppn * n
+	return h.Intra.GatherBinomial(ppn*n, ppn) +
+		h.Inter.AllgatherRecMul(total, nodes, kInter) +
+		h.Intra.BcastKnomial(total, ppn, kIntra)
+}
+
+// Predict returns the hierarchical prediction for a flat-collective name
+// ("bcast", "reduce", "allgather", "allreduce"), so harnesses can rank
+// hierarchical lowering against Params.Predict of flat algorithms.
+func (h Hier) Predict(op string, n, nodes, ppn, kIntra, kInter int) (float64, error) {
+	switch op {
+	case "bcast":
+		return h.Bcast(n, nodes, ppn, kIntra, kInter), nil
+	case "reduce":
+		return h.Reduce(n, nodes, ppn, kIntra, kInter), nil
+	case "allgather":
+		return h.Allgather(n, nodes, ppn, kIntra, kInter), nil
+	case "allreduce":
+		return h.Allreduce(n, nodes, ppn, kIntra, kInter), nil
+	}
+	return 0, fmt.Errorf("model: no hierarchical prediction for %q", op)
+}

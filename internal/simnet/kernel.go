@@ -543,6 +543,26 @@ func (c *simComm) Size() int { return c.k.p }
 // rank is blocked on a reply).
 func (c *simComm) Now() float64 { return c.k.ranks[c.rank].clock }
 
+// Locality implements comm.Locator from the machine spec and its placement
+// policy — the same NodeOf/LocalRank mapping the kernel's resource model
+// routes messages by, so topology-aware composition sees exactly the
+// machine it is simulated on.
+func (c *simComm) Locality(rank int) (comm.Locality, bool) {
+	if rank < 0 || rank >= c.k.p {
+		return comm.Locality{}, false
+	}
+	ppn := c.k.spec.PPN
+	if ppn > c.k.p {
+		ppn = c.k.p
+	}
+	return comm.Locality{
+		Node:      c.k.spec.NodeOf(rank, c.k.p),
+		LocalRank: c.k.spec.LocalRank(rank, c.k.p),
+		PPN:       ppn,
+		Ports:     c.k.spec.Ports,
+	}, true
+}
+
 func (c *simComm) ChargeCompute(n int) {
 	rep := make(chan error, 1)
 	c.k.actions <- &action{kind: actCharge, rank: c.rank, bytes: n, reply: rep}

@@ -1,0 +1,54 @@
+package topo
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+)
+
+// Hierarchy is a communicator factored into its level tree: the world, a
+// dense per-node sub-communicator, and (on leaders) a dense
+// sub-communicator of all node leaders. Construction is purely local —
+// comm.NewSub exchanges no messages — so every rank can factor
+// independently from the same Map and agree.
+type Hierarchy struct {
+	// World is the communicator the hierarchy factors.
+	World comm.Comm
+	// Map is the locality map the factoring used.
+	Map *Map
+	// Node spans the caller's node (size 1 when the caller is alone).
+	// The node leader is always sub-index 0 (lowest world rank).
+	Node *comm.SubComm
+	// Leaders spans every node's leader; nil on non-leader ranks. By the
+	// Map invariant, a node's index in Leaders equals its node id.
+	Leaders *comm.SubComm
+	// IsLeader reports whether the caller leads its node.
+	IsLeader bool
+}
+
+// Factor builds the caller's view of the level tree. Leader election
+// picks each node's lowest rank, which tolerates any placement the Map
+// encodes (contiguous blocks, dispersed round-robin, ragged last node).
+func Factor(c comm.Comm, m *Map) (*Hierarchy, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.NodeOf) != c.Size() {
+		return nil, fmt.Errorf("topo: map covers %d ranks, communicator has %d", len(m.NodeOf), c.Size())
+	}
+	me := c.Rank()
+	members := m.Nodes[m.NodeOf[me]]
+	node, err := comm.NewSub(c, members)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{World: c, Map: m, Node: node, IsLeader: me == members[0]}
+	if h.IsLeader {
+		leaders, err := comm.NewSub(c, m.Leaders())
+		if err != nil {
+			return nil, err
+		}
+		h.Leaders = leaders
+	}
+	return h, nil
+}

@@ -1,0 +1,96 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+	"exacoll/internal/tuning"
+)
+
+// simFlat measures the flat tuned selection for one collective on the
+// simulator (virtual seconds).
+func simFlat(t *testing.T, spec machine.Spec, p int, op core.CollOp, n int) float64 {
+	t.Helper()
+	sim, err := simnet.New(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tuning.Recommended(spec, p)
+	if err := sim.Run(func(c comm.Comm) error {
+		return tab.Run(c, op, perfArgs(c, op, n))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sim.MaxTime()
+}
+
+// simHier measures the topology engine's lowering of the same collective.
+func simHier(t *testing.T, spec machine.Spec, p int, op core.CollOp, n int) float64 {
+	t.Helper()
+	sim, err := simnet.New(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(func(c comm.Comm) error {
+		m, ok := Discover(c)
+		if !ok {
+			return fmt.Errorf("no locality on simnet")
+		}
+		e, err := NewEngine(c, m, Config{Spec: &spec})
+		if err != nil {
+			return err
+		}
+		a := perfArgs(c, op, n)
+		switch op {
+		case core.OpAllreduce:
+			return e.Allreduce(a.SendBuf, a.RecvBuf, a.Op, a.Type)
+		case core.OpBcast:
+			return e.Bcast(a.SendBuf, a.Root)
+		default:
+			return fmt.Errorf("unsupported perf op %v", op)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sim.MaxTime()
+}
+
+func perfArgs(c comm.Comm, op core.CollOp, n int) core.Args {
+	switch op {
+	case core.OpAllreduce:
+		return core.Args{
+			SendBuf: make([]byte, n), RecvBuf: make([]byte, n),
+			Op: datatype.Sum, Type: datatype.Float64,
+		}
+	case core.OpBcast:
+		return core.Args{SendBuf: make([]byte, n), Root: 0}
+	}
+	panic("unsupported perf op")
+}
+
+// TestHierBeatsFlatLargeAllreduce pins the acceptance criterion: on
+// simulated Frontier at 8 PPN, hierarchical allreduce outperforms the
+// flat tuned selection for messages >= 256 KiB. The full 128-node world
+// runs unless -short trims it to 16 nodes.
+func TestHierBeatsFlatLargeAllreduce(t *testing.T) {
+	nodes := 128
+	if testing.Short() {
+		nodes = 16
+	}
+	spec := machine.Frontier().WithPPN(8)
+	p := nodes * 8
+	for _, n := range []int{256 << 10, 1 << 20} {
+		flat := simFlat(t, spec, p, core.OpAllreduce, n)
+		hier := simHier(t, spec, p, core.OpAllreduce, n)
+		t.Logf("allreduce n=%d KiB p=%d: flat %.3e s, hier %.3e s (%.2fx)",
+			n>>10, p, flat, hier, flat/hier)
+		if hier >= flat {
+			t.Errorf("hierarchical allreduce (%.3e s) not faster than flat (%.3e s) at n=%d", hier, flat, n)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package topo is the locality subsystem behind topology-aware
+// hierarchical collectives: it discovers which ranks share a node
+// (comm.Locator), factors a communicator into a level tree (node groups +
+// a leader group), and lowers collectives into per-level phases where each
+// level independently selects its (algorithm, radix) from a tuning table.
+//
+// The paper's cost model (§III) splits every machine into a fast intranode
+// fabric and a slower multi-port NIC tier; its hierarchical baseline
+// ([17], core.AllreduceHierarchical) hardcodes radix-2 trees at both
+// tiers. This package generalizes that: the node tier and the leader tier
+// each get the full Table I algorithm menu and their own tuned radices, so
+// e.g. a 8-PPN Frontier node reduces over a flat k=8 tree while 128
+// leaders run recursive multiplying with k = the port count.
+package topo
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/machine"
+)
+
+// Map records which node hosts each rank of one communicator. Node ids
+// are dense and assigned in first-appearance order by ascending rank, so
+// the leader (lowest rank) of node v is also the v-th leader in ascending
+// rank order — leader sub-communicator index == node id.
+type Map struct {
+	// NodeOf maps rank -> dense node id.
+	NodeOf []int
+	// Local maps rank -> its index among the ranks of its node, in
+	// ascending rank order.
+	Local []int
+	// Nodes maps node id -> member ranks in ascending order.
+	Nodes [][]int
+	// PPN is the maximum number of ranks on any node.
+	PPN int
+	// Ports is the NIC port count per node (0 when unknown).
+	Ports int
+}
+
+// New builds a Map from a rank -> node assignment. The input ids need not
+// be dense or ordered; they are re-keyed by first appearance so the Map
+// invariants hold for any comm.Locator's raw output.
+func New(nodeOf []int, ports int) (*Map, error) {
+	if len(nodeOf) == 0 {
+		return nil, fmt.Errorf("topo: empty node assignment")
+	}
+	dense := make(map[int]int)
+	m := &Map{
+		NodeOf: make([]int, len(nodeOf)),
+		Local:  make([]int, len(nodeOf)),
+		Ports:  ports,
+	}
+	for r, raw := range nodeOf {
+		id, ok := dense[raw]
+		if !ok {
+			id = len(dense)
+			dense[raw] = id
+			m.Nodes = append(m.Nodes, nil)
+		}
+		m.NodeOf[r] = id
+		m.Local[r] = len(m.Nodes[id])
+		m.Nodes[id] = append(m.Nodes[id], r)
+		if len(m.Nodes[id]) > m.PPN {
+			m.PPN = len(m.Nodes[id])
+		}
+	}
+	return m, nil
+}
+
+// Uniform builds the contiguous-blocks map: ranks [i*ppn, (i+1)*ppn)
+// share node i. The last node may be short when p % ppn != 0.
+func Uniform(p, ppn, ports int) (*Map, error) {
+	if p < 1 || ppn < 1 {
+		return nil, fmt.Errorf("topo: bad uniform geometry p=%d ppn=%d", p, ppn)
+	}
+	nodeOf := make([]int, p)
+	for r := range nodeOf {
+		nodeOf[r] = r / ppn
+	}
+	return New(nodeOf, ports)
+}
+
+// FromSpec builds the map a machine spec induces for a p-rank job,
+// honouring its placement policy (contiguous or dispersed).
+func FromSpec(spec machine.Spec, p int) (*Map, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("topo: bad rank count %d", p)
+	}
+	nodeOf := make([]int, p)
+	for r := range nodeOf {
+		nodeOf[r] = spec.NodeOf(r, p)
+	}
+	return New(nodeOf, spec.Ports)
+}
+
+// Discover queries the communicator's comm.Locator for every rank and
+// builds the map, reporting false when the substrate (or any wrapper in
+// between) cannot answer for some rank. Only the Node and Ports fields of
+// each answer are used; Local and PPN are recomputed so the map is
+// consistent even when a wrapper reports parent-relative values.
+func Discover(c comm.Comm) (*Map, bool) {
+	p := c.Size()
+	nodeOf := make([]int, p)
+	ports := 0
+	for r := 0; r < p; r++ {
+		loc, ok := comm.LocalityOf(c, r)
+		if !ok {
+			return nil, false
+		}
+		nodeOf[r] = loc.Node
+		if r == 0 {
+			ports = loc.Ports
+		}
+	}
+	m, err := New(nodeOf, ports)
+	if err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// NumNodes returns the number of distinct nodes.
+func (m *Map) NumNodes() int { return len(m.Nodes) }
+
+// Leaders returns the leader (lowest rank) of every node, ascending —
+// by the first-appearance invariant, Leaders()[v] == Nodes[v][0] and the
+// list is already sorted.
+func (m *Map) Leaders() []int {
+	out := make([]int, len(m.Nodes))
+	for v, members := range m.Nodes {
+		out[v] = members[0]
+	}
+	return out
+}
+
+// LeaderOf returns the leader rank of the node hosting rank r.
+func (m *Map) LeaderOf(r int) int { return m.Nodes[m.NodeOf[r]][0] }
+
+// Flat reports whether the map offers no hierarchy to exploit: every rank
+// on one node, or every node holding one rank.
+func (m *Map) Flat() bool { return m.NumNodes() < 2 || m.PPN < 2 }
+
+// Validate checks internal consistency (useful after JSON round-trips or
+// hand-built maps).
+func (m *Map) Validate() error {
+	p := len(m.NodeOf)
+	if p == 0 || len(m.Local) != p {
+		return fmt.Errorf("topo: map tables sized %d/%d", len(m.NodeOf), len(m.Local))
+	}
+	seen := 0
+	for v, members := range m.Nodes {
+		if len(members) == 0 {
+			return fmt.Errorf("topo: node %d empty", v)
+		}
+		prev := -1
+		for i, r := range members {
+			if r < 0 || r >= p || r <= prev {
+				return fmt.Errorf("topo: node %d members not ascending ranks", v)
+			}
+			prev = r
+			if m.NodeOf[r] != v || m.Local[r] != i {
+				return fmt.Errorf("topo: rank %d tables disagree with node %d membership", r, v)
+			}
+			seen++
+		}
+	}
+	if seen != p {
+		return fmt.Errorf("topo: %d ranks assigned, world is %d", seen, p)
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package topo
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/metrics"
+	"exacoll/internal/simnet"
+	"exacoll/internal/transport/mem"
+)
+
+func TestMapNormalization(t *testing.T) {
+	// Non-dense, out-of-order node ids: first appearance re-keys them.
+	m, err := New([]int{7, 3, 7, 3, 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNode := []int{0, 1, 0, 1, 2}
+	wantLocal := []int{0, 0, 1, 1, 0}
+	for r := range wantNode {
+		if m.NodeOf[r] != wantNode[r] || m.Local[r] != wantLocal[r] {
+			t.Errorf("rank %d: got node %d local %d, want %d %d",
+				r, m.NodeOf[r], m.Local[r], wantNode[r], wantLocal[r])
+		}
+	}
+	if m.PPN != 2 || m.Ports != 4 || m.NumNodes() != 3 {
+		t.Errorf("PPN=%d Ports=%d nodes=%d, want 2 4 3", m.PPN, m.Ports, m.NumNodes())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaderIndexInvariant pins the property the engine's rooted phases
+// rely on: a node's id equals its leader's index in the sorted leader
+// list, for dispersed placements too.
+func TestLeaderIndexInvariant(t *testing.T) {
+	for _, place := range []machine.Placement{machine.PlaceContiguous, machine.PlaceDispersed} {
+		for _, geom := range []struct{ p, ppn int }{{16, 4}, {17, 8}, {5, 2}, {9, 4}} {
+			spec := machine.Testbox().WithPPN(geom.ppn).WithPlacement(place)
+			m, err := FromSpec(spec, geom.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaders := m.Leaders()
+			for v, members := range m.Nodes {
+				if leaders[v] != members[0] {
+					t.Fatalf("place=%v p=%d ppn=%d: node %d leader %d != first member %d",
+						place, geom.p, geom.ppn, v, leaders[v], members[0])
+				}
+				if v > 0 && leaders[v] <= leaders[v-1] {
+					t.Fatalf("place=%v p=%d ppn=%d: leaders not ascending: %v",
+						place, geom.p, geom.ppn, leaders)
+				}
+			}
+		}
+	}
+}
+
+func TestDiscoverMem(t *testing.T) {
+	w := mem.NewWorld(6)
+	defer w.Close()
+	if _, ok := Discover(w.Comm(0)); ok {
+		t.Fatal("Discover succeeded before SetLocality")
+	}
+	w.SetLocality(4, 2)
+	m, ok := Discover(w.Comm(0))
+	if !ok {
+		t.Fatal("Discover failed after SetLocality")
+	}
+	if m.NumNodes() != 2 || m.PPN != 4 || m.Ports != 2 {
+		t.Fatalf("nodes=%d ppn=%d ports=%d, want 2 4 2", m.NumNodes(), m.PPN, m.Ports)
+	}
+	// Discovery through a wrapper: instrumentation forwards Locator.
+	reg := metrics.NewRegistry()
+	if _, ok := Discover(reg.Instrument(w.Comm(1))); !ok {
+		t.Fatal("Discover failed through metrics wrapper")
+	}
+}
+
+func TestDiscoverSimnet(t *testing.T) {
+	spec := machine.Testbox().WithPPN(4).WithPlacement(machine.PlaceDispersed)
+	sim, err := simnet.New(spec, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sim.Run(func(c comm.Comm) error {
+		m, ok := Discover(c)
+		if !ok {
+			return fmt.Errorf("rank %d: no locality", c.Rank())
+		}
+		want, err := FromSpec(spec, 10)
+		if err != nil {
+			return err
+		}
+		for r := range want.NodeOf {
+			if m.NodeOf[r] != want.NodeOf[r] {
+				return fmt.Errorf("rank %d maps to node %d, spec says %d", r, m.NodeOf[r], want.NodeOf[r])
+			}
+		}
+		if m.Ports != spec.Ports {
+			return fmt.Errorf("ports %d, want %d", m.Ports, spec.Ports)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// intsF64 encodes rank-distinct small integers: any reduction order sums
+// them exactly in float64, so hierarchical results bit-match flat ones.
+func intsF64(rank, nElems int) []byte {
+	vals := make([]float64, nElems)
+	for i := range vals {
+		vals[i] = float64(rank*nElems + i + 1)
+	}
+	return datatype.EncodeFloat64(vals)
+}
+
+// checkConformance runs all four lowered collectives through an engine on
+// every rank and verifies them against locally computed references.
+func checkConformance(c comm.Comm, m *Map, nElems int) error {
+	e, err := NewEngine(c, m, Config{})
+	if err != nil {
+		return err
+	}
+	p, me := c.Size(), c.Rank()
+	b := nElems * 8
+	root := p - 1 // worst case: root is rarely a leader
+
+	// Bcast: every rank ends with the root's payload.
+	buf := make([]byte, b)
+	if me == root {
+		copy(buf, intsF64(root, nElems))
+	}
+	if err := e.Bcast(buf, root); err != nil {
+		return fmt.Errorf("bcast: %w", err)
+	}
+	if !bytes.Equal(buf, intsF64(root, nElems)) {
+		return fmt.Errorf("rank %d: bcast payload mismatch", me)
+	}
+
+	// Expected sum of every rank's contribution, element-wise.
+	sum := make([]float64, nElems)
+	for r := 0; r < p; r++ {
+		for i := range sum {
+			sum[i] += float64(r*nElems + i + 1)
+		}
+	}
+	wantSum := datatype.EncodeFloat64(sum)
+
+	// Reduce: bit-exact at the root (integer-valued float64 sums are exact
+	// in any association, so this matches the flat references bitwise).
+	send := intsF64(me, nElems)
+	recv := make([]byte, b)
+	if err := e.Reduce(send, recv, datatype.Sum, datatype.Float64, root); err != nil {
+		return fmt.Errorf("reduce: %w", err)
+	}
+	if me == root && !bytes.Equal(recv, wantSum) {
+		return fmt.Errorf("rank %d: reduce result mismatch", me)
+	}
+
+	// Allreduce: bit-exact everywhere.
+	recv2 := make([]byte, b)
+	if err := e.Allreduce(send, recv2, datatype.Sum, datatype.Float64); err != nil {
+		return fmt.Errorf("allreduce: %w", err)
+	}
+	if !bytes.Equal(recv2, wantSum) {
+		return fmt.Errorf("rank %d: allreduce result mismatch", me)
+	}
+
+	// Allgather: world-rank order even under dispersed placement.
+	all := make([]byte, p*b)
+	if err := e.Allgather(send, all); err != nil {
+		return fmt.Errorf("allgather: %w", err)
+	}
+	for r := 0; r < p; r++ {
+		if !bytes.Equal(all[r*b:(r+1)*b], intsF64(r, nElems)) {
+			return fmt.Errorf("rank %d: allgather block %d mismatch", me, r)
+		}
+	}
+	return nil
+}
+
+// TestEngineConformance sweeps substrate × PPN × placement × world size,
+// including flat layouts (PPN 1), singleton worlds, non-divisible worlds
+// (p % ppn != 0), and worlds smaller than one node.
+func TestEngineConformance(t *testing.T) {
+	ppns := []int{1, 2, 8}
+	sizes := []int{1, 5, 8, 16, 17}
+	places := []machine.Placement{machine.PlaceContiguous, machine.PlaceDispersed}
+	for _, ppn := range ppns {
+		for _, p := range sizes {
+			for _, place := range places {
+				spec := machine.Testbox().WithPPN(ppn).WithPlacement(place)
+				m, err := FromSpec(spec, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := fmt.Sprintf("ppn%d_p%d_place%d", ppn, p, place)
+				t.Run("mem_"+name, func(t *testing.T) {
+					t.Parallel()
+					w := mem.NewWorld(p)
+					defer w.Close()
+					if err := w.Run(func(c comm.Comm) error {
+						return checkConformance(c, m, 3)
+					}); err != nil {
+						t.Fatal(err)
+					}
+				})
+				t.Run("sim_"+name, func(t *testing.T) {
+					t.Parallel()
+					sim, err := simnet.New(spec, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sim.Run(func(c comm.Comm) error {
+						m2, ok := Discover(c)
+						if !ok {
+							return fmt.Errorf("no locality on simnet")
+						}
+						return checkConformance(c, m2, 3)
+					}); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineConformanceLarge exercises multi-rung table selection: large
+// payloads flip the node tables onto their bandwidth algorithms.
+func TestEngineConformanceLarge(t *testing.T) {
+	spec := machine.Testbox().WithPPN(4)
+	const p = 12
+	m, err := FromSpec(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mem.NewWorld(p)
+	defer w.Close()
+	if err := w.Run(func(c comm.Comm) error {
+		return checkConformance(c, m, 16<<10) // 128 KiB payloads
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDiscoveredOnMem runs the full Locator path end to end: the
+// synthetic mem layout is discovered (not handed over), then lowered.
+func TestEngineDiscoveredOnMem(t *testing.T) {
+	const p, ppn = 10, 4
+	w := mem.NewWorld(p)
+	defer w.Close()
+	w.SetLocality(ppn, 2)
+	if err := w.Run(func(c comm.Comm) error {
+		m, ok := Discover(c)
+		if !ok {
+			return fmt.Errorf("no locality on mem")
+		}
+		return checkConformance(c, m, 5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerLevelMetrics verifies the intra/inter split: node phases and
+// hops count as intranode, leader phases as internode.
+func TestPerLevelMetrics(t *testing.T) {
+	const p, ppn = 8, 4
+	reg := metrics.NewRegistry()
+	w := mem.NewWorld(p)
+	defer w.Close()
+	m, err := Uniform(p, ppn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c comm.Comm) error {
+		// Instrumented world comm: the engine discovers the registry via
+		// metrics.Instrumented and meters each level on top of it.
+		e, err := NewEngine(reg.Instrument(c), m, Config{})
+		if err != nil {
+			return err
+		}
+		send := intsF64(c.Rank(), 4)
+		recv := make([]byte, len(send))
+		if err := e.Allreduce(send, recv, datatype.Sum, datatype.Float64); err != nil {
+			return err
+		}
+		return e.Bcast(recv, p-1) // root p-1 exercises the hop path
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tot := reg.Snapshot().Totals()
+	if tot.HierIntraSends == 0 || tot.HierIntraBytes == 0 {
+		t.Errorf("no intranode traffic recorded: %+v", tot)
+	}
+	if tot.HierInterSends == 0 || tot.HierInterBytes == 0 {
+		t.Errorf("no internode traffic recorded: %+v", tot)
+	}
+	if tot.HierIntraSends <= tot.HierInterSends {
+		t.Errorf("expected intranode sends (%d) to dominate internode (%d) at ppn=%d",
+			tot.HierIntraSends, tot.HierInterSends, ppn)
+	}
+	// Per-level selection decisions were recorded through the levelComm.
+	if tot.Sends == 0 {
+		t.Errorf("base send counters empty — engine bypassed instrumentation")
+	}
+}

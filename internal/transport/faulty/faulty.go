@@ -290,3 +290,9 @@ func (f *faultyComm) PurgeTags(lo, hi comm.Tag) {
 		p.PurgeTags(lo, hi)
 	}
 }
+
+// Locality forwards comm.Locator (false otherwise): injected chaos does
+// not move ranks between nodes.
+func (f *faultyComm) Locality(rank int) (comm.Locality, bool) {
+	return comm.LocalityOf(f.inner, rank)
+}

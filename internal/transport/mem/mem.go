@@ -191,6 +191,9 @@ func (e *endpoint) purgeTags(lo, hi comm.Tag) {
 type World struct {
 	endpoints []*endpoint
 	dead      []atomic.Bool // set by Kill; read by every handle
+
+	ppn   atomic.Int64 // synthetic ranks-per-node; 0 = no locality declared
+	ports atomic.Int64 // synthetic NIC ports per node
 }
 
 // NewWorld creates a world with p ranks. p must be >= 1.
@@ -216,6 +219,21 @@ func (w *World) Comm(rank int) comm.Comm {
 		panic(fmt.Sprintf("mem: rank %d out of range [0,%d)", rank, len(w.endpoints)))
 	}
 	return &memComm{world: w, rank: rank}
+}
+
+// SetLocality declares a synthetic node layout for the world: contiguous
+// blocks of ppn ranks per "node", with the given NIC port count (0 =
+// unknown). All ranks of a mem world share one process, so locality here
+// is a test/benchmark fiction — but it makes every handle implement
+// comm.Locator exactly like the distributed transports, so the
+// topology-aware composition path is exercisable in-process. ppn < 1
+// withdraws the declaration.
+func (w *World) SetLocality(ppn, ports int) {
+	if ppn < 1 {
+		ppn = 0
+	}
+	w.ppn.Store(int64(ppn))
+	w.ports.Store(int64(ports))
 }
 
 // Kill simulates the fail-stop death of one rank: its own subsequent
@@ -344,6 +362,21 @@ func (c *memComm) Failed() []int {
 // PurgeTags implements comm.Purger for this rank's endpoint.
 func (c *memComm) PurgeTags(lo, hi comm.Tag) {
 	c.world.endpoints[c.rank].purgeTags(lo, hi)
+}
+
+// Locality implements comm.Locator once SetLocality has declared a
+// synthetic layout: rank r lives on node r/ppn at local rank r%ppn.
+func (c *memComm) Locality(rank int) (comm.Locality, bool) {
+	ppn := int(c.world.ppn.Load())
+	if ppn < 1 || rank < 0 || rank >= c.Size() {
+		return comm.Locality{}, false
+	}
+	return comm.Locality{
+		Node:      rank / ppn,
+		LocalRank: rank % ppn,
+		PPN:       ppn,
+		Ports:     int(c.world.ports.Load()),
+	}, true
 }
 
 func (c *memComm) Send(to int, tag comm.Tag, buf []byte) error {

@@ -98,6 +98,15 @@ type Proc struct {
 	hbStop    chan struct{}
 	hbWG      sync.WaitGroup
 
+	// Host-keyed locality, derived once during rendezvous from the same
+	// address list every rank already receives (no extra wire traffic):
+	// ranks whose mesh listeners share a host string share a node.
+	nodeOf  []int // rank -> node id (first-appearance order), nil if unknown
+	localOf []int // rank -> index among its host's ranks
+	ppn     int   // max ranks per host
+	synPPN  atomic.Int64 // SetLocality override: contiguous blocks of ppn
+	synPort atomic.Int64
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -119,6 +128,7 @@ func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
 		hbStop:   make(chan struct{}),
 	}
 	if p == 1 {
+		proc.keyHosts([]string{hostOf(addr)})
 		return proc, nil
 	}
 	deadline := time.Now().Add(opts.timeout())
@@ -208,6 +218,15 @@ func (p *Proc) coordinate(addr string, deadline time.Time) error {
 		conn.SetDeadline(time.Time{})
 		p.conns[r] = conn
 	}
+	// Key locality off the same addresses the joiners see: rank 0's host
+	// comes from the shared rendezvous address (identical on every rank),
+	// the rest from the mesh listeners.
+	hosts := make([]string, p.size)
+	hosts[0] = hostOf(addr)
+	for r := 1; r < p.size; r++ {
+		hosts[r] = hostOf(joiners[r].addr)
+	}
+	p.keyHosts(hosts)
 	return nil
 }
 
@@ -215,13 +234,8 @@ func (p *Proc) coordinate(addr string, deadline time.Time) error {
 // send (version, rank, mesh address), receive the address list, then dial
 // every lower-ranked peer and accept every higher-ranked one.
 func (p *Proc) join(addr string, deadline time.Time) error {
-	mesh, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return fmt.Errorf("tcp: mesh listen: %w", err)
-	}
-	defer mesh.Close()
-
 	var conn0 net.Conn
+	var err error
 	for {
 		conn0, err = net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
@@ -232,6 +246,16 @@ func (p *Proc) join(addr string, deadline time.Time) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+	// Bind the mesh listener on the interface that reaches rank 0, so the
+	// advertised address works across hosts and carries the host string
+	// that locality keying groups ranks by (on one host this is the
+	// loopback address, exactly as before).
+	mesh, err := net.Listen("tcp", net.JoinHostPort(hostOf(conn0.LocalAddr().String()), "0"))
+	if err != nil {
+		conn0.Close()
+		return fmt.Errorf("tcp: mesh listen: %w", err)
+	}
+	defer mesh.Close()
 	conn0.SetDeadline(deadline)
 	meshAddr := mesh.Addr().String()
 	hello := make([]byte, 12+len(meshAddr))
@@ -443,6 +467,84 @@ func (p *Proc) Failed() []int {
 
 // PurgeTags implements comm.Purger.
 func (p *Proc) PurgeTags(lo, hi comm.Tag) { p.engine.purgeTags(lo, hi) }
+
+// hostOf extracts the host part of a listen address, falling back to the
+// whole string when it has no port (so equal strings still key together).
+func hostOf(s string) string {
+	host, _, err := net.SplitHostPort(s)
+	if err != nil {
+		return s
+	}
+	return host
+}
+
+// keyHosts derives the locality tables from the per-rank host strings that
+// rendezvous already circulates: node ids in first-appearance order, local
+// ranks by ascending world rank within a host, and PPN as the maximum
+// ranks on any host. Every rank computes the same tables from the same
+// list, so no extra agreement round is needed.
+func (p *Proc) keyHosts(hosts []string) {
+	nodeID := make(map[string]int)
+	count := make(map[string]int)
+	p.nodeOf = make([]int, len(hosts))
+	p.localOf = make([]int, len(hosts))
+	p.ppn = 0
+	for r, h := range hosts {
+		id, ok := nodeID[h]
+		if !ok {
+			id = len(nodeID)
+			nodeID[h] = id
+		}
+		p.nodeOf[r] = id
+		p.localOf[r] = count[h]
+		count[h]++
+		if count[h] > p.ppn {
+			p.ppn = count[h]
+		}
+	}
+}
+
+// SetLocality overrides host-keyed locality with a synthetic contiguous
+// layout (ranks [i*ppn, (i+1)*ppn) share node i) — the single-host analogue
+// of launching one rank block per node, for exercising hierarchical
+// collectives when every process really lives on one machine. ppn < 1
+// withdraws the override and restores host-keyed data.
+func (p *Proc) SetLocality(ppn, ports int) {
+	if ppn < 1 {
+		ppn = 0
+	}
+	p.synPPN.Store(int64(ppn))
+	p.synPort.Store(int64(ports))
+}
+
+// Locality implements comm.Locator. A synthetic SetLocality override wins;
+// otherwise the host-keyed tables derived during rendezvous answer. Ports
+// is unknown to this transport unless the override supplies it.
+func (p *Proc) Locality(rank int) (comm.Locality, bool) {
+	if rank < 0 || rank >= p.size {
+		return comm.Locality{}, false
+	}
+	if ppn := int(p.synPPN.Load()); ppn >= 1 {
+		if ppn > p.size {
+			ppn = p.size
+		}
+		return comm.Locality{
+			Node:      rank / ppn,
+			LocalRank: rank % ppn,
+			PPN:       ppn,
+			Ports:     int(p.synPort.Load()),
+		}, true
+	}
+	if p.nodeOf == nil {
+		return comm.Locality{}, false
+	}
+	return comm.Locality{
+		Node:      p.nodeOf[rank],
+		LocalRank: p.localOf[rank],
+		PPN:       p.ppn,
+		Ports:     int(p.synPort.Load()),
+	}, true
+}
 
 // Send implements comm.Comm. With a per-op timeout configured the socket
 // write is bounded: a peer that stopped draining (dead but connection

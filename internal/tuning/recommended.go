@@ -93,6 +93,39 @@ func Recommended(spec machine.Spec, p int) *Table {
 	return t
 }
 
+// RecommendedIntra builds the node-level selection ladders the topology
+// engine (internal/topo) uses for the intranode phases of hierarchical
+// collectives. Intranode fabrics give every ordered rank pair a dedicated
+// link (machine.Spec.BetaIntra), so the tradeoff differs from the NIC
+// tier: flat high-radix trees (k = PPN, one round) win while latency
+// dominates, and ring-style bandwidth algorithms take over for large
+// payloads. Only the operations the engine lowers to the node level are
+// present: reduce, bcast, gather, allgather.
+func RecommendedIntra(spec machine.Spec, ppn int) *Table {
+	kFull := ppn // one-round flat tree across the node...
+	if kFull < 2 {
+		kFull = 2 // ...but k-nomial requires k >= 2
+	}
+	t := &Table{Machine: spec.Name + "-intra", P: ppn, PPN: ppn, Ops: map[string][]Entry{}}
+	t.Ops[core.OpReduce.String()] = []Entry{
+		{MaxBytes: 64 << 10, Alg: "reduce_knomial", K: kFull},
+		{Alg: "reduce_knomial", K: 2},
+	}
+	t.Ops[core.OpBcast.String()] = []Entry{
+		{MaxBytes: 64 << 10, Alg: "bcast_knomial", K: kFull},
+		{Alg: "bcast_ring"},
+	}
+	t.Ops[core.OpGather.String()] = []Entry{
+		{MaxBytes: 64 << 10, Alg: "gather_knomial", K: kFull},
+		{Alg: "gather_binomial"},
+	}
+	t.Ops[core.OpAllgather.String()] = []Entry{
+		{MaxBytes: 64 << 10, Alg: "allgather_knomial", K: kFull},
+		{Alg: "allgather_ring"},
+	}
+	return t
+}
+
 func maxIntT(a, b int) int {
 	if a > b {
 		return a
