@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|all
+//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|hotpath|all
 //
 // Flags:
 //
@@ -41,7 +41,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|all")
+		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|hotpath|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -101,6 +101,8 @@ func main() {
 			emitTable1(*out)
 		case "model":
 			emitModel(*out, cfg, *ascii)
+		case "hotpath":
+			runHotpath(*out, cfg)
 		default:
 			f, ok := targets[arg]
 			if !ok {
@@ -162,6 +164,39 @@ func writeBenchJSON(out string, fig *bench.Figure, cfg bench.Config, elapsed tim
 		fatal(err)
 	}
 	fmt.Printf("   wrote %s\n", path)
+}
+
+// runHotpath runs the hot-path microbenchmarks, writes BENCH_hotpath.json,
+// and exits nonzero when the regression gate fails — the CI hook that keeps
+// the specialized reducers and scratch pooling from quietly regressing.
+func runHotpath(out string, cfg bench.Config) {
+	rep, err := cfg.Hotpath(filepath.Join(out, "BENCH_hotpath_baseline.json"))
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(out, "BENCH_hotpath.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== hotpath: %s\n", rep.Caption)
+	fmt.Printf("   reducer sum f64: %.0f MB/s (%.2fx generic %.0f MB/s), sum i32: %.0f MB/s\n",
+		rep.Metrics.ReducerSumF64MBps, rep.SpeedupVsGeneric,
+		rep.Metrics.ReducerGenericF64MBps, rep.Metrics.ReducerSumI32MBps)
+	fmt.Printf("   allreduce 4KiB p=%d: %.0f ns/op, %.0f allocs/op; bcast: %.0f ns/op, %.0f allocs/op\n",
+		rep.P, rep.Metrics.AllreduceSmallNsOp, rep.Metrics.AllreduceSmallAllocs,
+		rep.Metrics.BcastSmallNsOp, rep.Metrics.BcastSmallAllocs)
+	fmt.Printf("   wrote %s\n", path)
+	if !rep.Pass {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "hotpath gate FAILED: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("   gate: PASS")
 }
 
 func runFigure(f func() (*bench.Figure, error), out string, ascii bool, cfg bench.Config) {

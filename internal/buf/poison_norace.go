@@ -1,0 +1,9 @@
+//go:build !race
+
+package buf
+
+// Poisoning is disabled in regular builds: the memset would tax the hot
+// path the pool exists to slim down.
+const Poisoning = false
+
+func poison([]byte) {}

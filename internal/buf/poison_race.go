@@ -1,0 +1,19 @@
+//go:build race
+
+package buf
+
+// Poisoning is enabled under the race detector so tier-1's -race runs
+// surface use-after-Put bugs as wrong data.
+const Poisoning = true
+
+// poisonByte is the fill pattern written over recycled buffers. 0xDB reads
+// as garbage for every element type, so a consumer that touches a buffer
+// after Put fails loudly instead of silently seeing stale-but-plausible
+// data.
+const poisonByte = 0xDB
+
+func poison(b []byte) {
+	for i := range b {
+		b[i] = poisonByte
+	}
+}

@@ -39,7 +39,7 @@ type Tag int32
 //	[TagUser, TagCollBase)      application point-to-point traffic
 //	[TagCollBase, TagNBCBase)   blocking collectives (internal/core): each
 //	                            algorithm family owns a fixed base
-//	                            (TagCollBase + 0x000, +0x100, ... +0xc00)
+//	                            (TagCollBase + 0x000, +0x100, ... +0xd00)
 //	                            and all rounds of one call share it —
 //	                            per-(source, tag) FIFO ordering makes that
 //	                            safe because a rank runs at most one
@@ -74,9 +74,10 @@ const (
 	// TagCollBase + family offset.
 	TagCollBase Tag = 1 << 20
 	// TagNBCBase is the first tag reserved for nonblocking collectives.
-	// It lies above every blocking family base (TagCollBase + 0xc00 — the
-	// hierarchical composition engine's inter-level hops, internal/topo —
-	// is the highest in use).
+	// It lies above every blocking family base (TagCollBase + 0xd00 — the
+	// segmented-pipeline family of internal/core — is the highest in use;
+	// +0xc00 is the hierarchical composition engine's inter-level hops,
+	// internal/topo).
 	TagNBCBase Tag = TagCollBase + 0x10000
 	// NBCTagStride is the number of tags each nonblocking-collective epoch
 	// owns (one per schedule phase; no compiled schedule uses more).
@@ -101,7 +102,7 @@ const (
 	TagFTEpochBase Tag = TagFTBase + FTTagSeqs
 	// FTEpochStride is the tag width of one retired-epoch window; it
 	// covers every blocking family base (the highest in use is
-	// TagCollBase + 0xc00, the internal/topo inter-level hop family).
+	// TagCollBase + 0xd00, internal/core's segmented-pipeline family).
 	FTEpochStride = 0x1000
 	// FTEpochs is the number of disjoint collective-epoch windows before
 	// the fault-tolerance tag space wraps.
@@ -143,8 +144,10 @@ type Request interface {
 	// Wait blocks until the operation completes.
 	Wait() error
 	// Len returns the size in bytes of the completed message. It must be
-	// called only after Wait has returned nil. For sends it returns the
-	// number of bytes sent.
+	// called only after Wait has returned nil. Only receives are required
+	// to report a byte count; a transport may return 0 for sends (eager
+	// transports share one completed request across all sends rather than
+	// allocating per-send state).
 	Len() int
 }
 

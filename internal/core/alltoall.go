@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 )
 
@@ -100,8 +101,11 @@ func AlltoallBruck(c comm.Comm, sendbuf, recvbuf []byte) error {
 	}
 
 	// Phase 1: local rotation — tmp block i is the block destined for
-	// rank (me + i) mod p.
-	tmp := make([]byte, n*p)
+	// rank (me + i) mod p. All scratch here is only ever touched by
+	// SendRecv, which settles both sides before returning, so recycling on
+	// any exit is safe.
+	tmp := scratch.Get(n * p)
+	defer scratch.Put(tmp)
 	for i := 0; i < p; i++ {
 		dst := (me + i) % p
 		copy(tmp[i*n:(i+1)*n], sendbuf[dst*n:(dst+1)*n])
@@ -116,19 +120,25 @@ func AlltoallBruck(c comm.Comm, sendbuf, recvbuf []byte) error {
 				idxs = append(idxs, i)
 			}
 		}
-		out := make([]byte, 0, len(idxs)*n)
+		out := scratch.Get(len(idxs) * n)
+		pos := 0
 		for _, i := range idxs {
-			out = append(out, tmp[i*n:(i+1)*n]...)
+			copy(out[pos:pos+n], tmp[i*n:(i+1)*n])
+			pos += n
 		}
-		in := make([]byte, len(out))
+		in := scratch.Get(len(out))
 		to := (me + dist) % p
 		from := ((me-dist)%p + p) % p
-		if _, err := comm.SendRecv(c, to, out, from, in, tagBruck); err != nil {
+		_, err := comm.SendRecv(c, to, out, from, in, tagBruck)
+		scratch.Put(out)
+		if err != nil {
+			scratch.Put(in)
 			return err
 		}
 		for bi, i := range idxs {
 			copy(tmp[i*n:(i+1)*n], in[bi*n:(bi+1)*n])
 		}
+		scratch.Put(in)
 	}
 
 	// Phase 3: inverse rotation — after forwarding, tmp block i holds the

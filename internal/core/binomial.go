@@ -1,6 +1,7 @@
 package core
 
 import (
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -66,7 +67,10 @@ func ReduceBinomial(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt dat
 		}
 		acc = recvbuf
 	} else {
-		acc = make([]byte, len(sendbuf))
+		// acc and tmp are only ever synchronous Recv/Send targets: safe to
+		// recycle on any exit.
+		acc = scratch.Get(len(sendbuf))
+		defer scratch.Put(acc)
 	}
 	copy(acc, sendbuf)
 	if p == 1 {
@@ -74,7 +78,8 @@ func ReduceBinomial(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt dat
 	}
 
 	v := vrank(me, root, p)
-	tmp := make([]byte, len(sendbuf))
+	tmp := scratch.Get(len(sendbuf))
+	defer scratch.Put(tmp)
 	mask := 1
 	for mask < p {
 		if v&mask == 0 {
@@ -117,7 +122,10 @@ func GatherBinomial(c comm.Comm, sendbuf, recvbuf []byte, root int) error {
 		low := v & (-v)
 		span = minInt(low, p-v)
 	}
-	tmp := make([]byte, n*span)
+	// tmp is only ever a synchronous Recv target / Send source: safe to
+	// recycle on any exit.
+	tmp := scratch.Get(n * span)
+	defer scratch.Put(tmp)
 	copy(tmp[:n], sendbuf)
 
 	mask := 1

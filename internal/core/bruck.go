@@ -1,6 +1,7 @@
 package core
 
 import (
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 )
 
@@ -24,8 +25,10 @@ func AllgatherBruck(c comm.Comm, sendbuf, recvbuf []byte) error {
 	}
 
 	// tmp holds blocks in rotated order: tmp[i] is the block of rank
-	// (me + i) mod p once received.
-	tmp := make([]byte, n*p)
+	// (me + i) mod p once received. SendRecv settles both sides before
+	// returning, so recycling tmp on any exit is safe.
+	tmp := scratch.Get(n * p)
+	defer scratch.Put(tmp)
 	copy(tmp[:n], sendbuf)
 	have := 1
 	for dist := 1; dist < p; dist *= 2 {

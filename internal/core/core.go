@@ -33,6 +33,7 @@ const (
 	tagRabens   comm.Tag = comm.TagCollBase + 0x900
 	tagBarrier  comm.Tag = comm.TagCollBase + 0xa00
 	tagAlltoall comm.Tag = comm.TagCollBase + 0xb00
+	tagPipe     comm.Tag = comm.TagCollBase + 0xd00
 )
 
 // Validation errors shared by all algorithms.

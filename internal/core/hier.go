@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -75,7 +76,10 @@ func AllreduceHierarchicalRadix(c comm.Comm, sendbuf, recvbuf []byte, op datatyp
 			return err
 		}
 		if g > 1 {
-			tmp := make([]byte, len(recvbuf))
+			// tmp is only the allreduce's sendbuf (read once at entry,
+			// never a communication target): safe to recycle on any exit.
+			tmp := scratch.Get(len(recvbuf))
+			defer scratch.Put(tmp)
 			copy(tmp, recvbuf)
 			if interK == 2 {
 				// Radix 2 keeps the recursive-doubling baseline (which

@@ -1,6 +1,7 @@
 package core
 
 import (
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -64,7 +65,10 @@ func ReduceKnomial(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt data
 		}
 		acc = recvbuf
 	} else {
-		acc = make([]byte, len(sendbuf))
+		acc = scratch.Get(len(sendbuf))
+		// acc is never the target of an in-flight receive, so recycling it
+		// on any exit is safe.
+		defer scratch.Put(acc)
 	}
 	copy(acc, sendbuf)
 	if p == 1 {
@@ -84,18 +88,23 @@ func ReduceKnomial(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt data
 	bufs := make([][]byte, len(children))
 	reqs := make([]comm.Request, len(children))
 	for i, ch := range children {
-		bufs[i] = make([]byte, len(sendbuf))
+		bufs[i] = scratch.Get(len(sendbuf))
 		req, err := c.Irecv(absRank(ch.VRank, root, p), tagKnomial, bufs[i])
 		if err != nil {
+			// Earlier receives may still be in flight into their staging
+			// buffers; leak those to the GC rather than recycle them.
 			return err
 		}
 		reqs[i] = req
 	}
 	for i := len(children) - 1; i >= 0; i-- {
 		if err := reqs[i].Wait(); err != nil {
+			scratch.Put(bufs[i]) // settled by Wait; the rest stay in flight
 			return err
 		}
-		if err := reduceInto(c, op, dt, acc, bufs[i]); err != nil {
+		err := reduceInto(c, op, dt, acc, bufs[i])
+		scratch.Put(bufs[i])
+		if err != nil {
 			return err
 		}
 	}
@@ -131,7 +140,7 @@ func GatherKnomial(c comm.Comm, sendbuf, recvbuf []byte, root, k int) error {
 	if par := t.Parent(v); par >= 0 {
 		span = t.SubtreeSize(v, t.lowestWeight(v))
 	}
-	tmp := make([]byte, n*span)
+	tmp := scratch.Get(n * span)
 	copy(tmp[:n], sendbuf)
 
 	reqs := make([]comm.Request, len(children))
@@ -140,21 +149,27 @@ func GatherKnomial(c comm.Comm, sendbuf, recvbuf []byte, root, k int) error {
 		off := (ch.VRank - v) * n
 		req, err := c.Irecv(absRank(ch.VRank, root, p), tagKnomial, tmp[off:off+sz*n])
 		if err != nil {
-			return err
+			return err // earlier receives still target tmp: leak it
 		}
 		reqs[i] = req
 	}
+	// WaitAll settles every request even on error, so tmp is quiescent
+	// from here on.
 	if err := comm.WaitAll(reqs...); err != nil {
+		scratch.Put(tmp)
 		return err
 	}
 	if par := t.Parent(v); par >= 0 {
-		return c.Send(absRank(par, root, p), tagKnomial, tmp)
+		err := c.Send(absRank(par, root, p), tagKnomial, tmp)
+		scratch.Put(tmp)
+		return err
 	}
 	// Root: rotate from vrank order back to absolute rank order.
 	for vr := 0; vr < p; vr++ {
 		r := absRank(vr, root, p)
 		copy(recvbuf[r*n:(r+1)*n], tmp[vr*n:(vr+1)*n])
 	}
+	scratch.Put(tmp)
 	return nil
 }
 
@@ -180,15 +195,16 @@ func ScatterKnomial(c comm.Comm, sendbuf, recvbuf []byte, root, k int) error {
 			return checkAllgatherBufs(c, recvbuf, sendbuf)
 		}
 		// Rotate into vrank order.
-		tmp = make([]byte, n*p)
+		tmp = scratch.Get(n * p)
 		for vr := 0; vr < p; vr++ {
 			r := absRank(vr, root, p)
 			copy(tmp[vr*n:(vr+1)*n], sendbuf[r*n:(r+1)*n])
 		}
 	} else {
 		span := t.SubtreeSize(v, t.lowestWeight(v))
-		tmp = make([]byte, n*span)
+		tmp = scratch.Get(n * span)
 		if _, err := c.Recv(absRank(t.Parent(v), root, p), tagScatter, tmp); err != nil {
+			scratch.Put(tmp)
 			return err
 		}
 	}
@@ -199,12 +215,14 @@ func ScatterKnomial(c comm.Comm, sendbuf, recvbuf []byte, root, k int) error {
 		off := (ch.VRank - v) * n
 		req, err := c.Isend(absRank(ch.VRank, root, p), tagScatter, tmp[off:off+sz*n])
 		if err != nil {
-			return err
+			return err // earlier sends may still read tmp: leak it
 		}
 		reqs = append(reqs, req)
 	}
 	copy(recvbuf, tmp[:n])
-	return comm.WaitAll(reqs...)
+	err := comm.WaitAll(reqs...)
+	scratch.Put(tmp)
+	return err
 }
 
 // AllgatherKnomial implements allgather as a k-nomial gather to rank 0
@@ -255,15 +273,16 @@ func scatterFairForBcast(c comm.Comm, buf []byte, root, k int) error {
 
 	var packed []byte
 	if v == 0 {
-		packed = make([]byte, n)
+		packed = scratch.Get(n)
 		for vr := 0; vr < p; vr++ {
 			off, sz := fairBlock(n, p, absRank(vr, root, p))
 			copy(packed[packedOff[vr]:packedOff[vr]+sz], buf[off:off+sz])
 		}
 	} else {
 		span := t.SubtreeSize(v, t.lowestWeight(v))
-		packed = make([]byte, packedOff[v+span]-packedOff[v])
+		packed = scratch.Get(packedOff[v+span] - packedOff[v])
 		if _, err := c.Recv(absRank(t.Parent(v), root, p), tagScatter, packed); err != nil {
+			scratch.Put(packed)
 			return err
 		}
 	}
@@ -276,7 +295,7 @@ func scatterFairForBcast(c comm.Comm, buf []byte, root, k int) error {
 		hi := packedOff[ch.VRank+sz] - base
 		req, err := c.Isend(absRank(ch.VRank, root, p), tagScatter, packed[lo:hi])
 		if err != nil {
-			return err
+			return err // earlier sends may still read packed: leak it
 		}
 		reqs = append(reqs, req)
 	}
@@ -284,5 +303,7 @@ func scatterFairForBcast(c comm.Comm, buf []byte, root, k int) error {
 		off, sz := fairBlock(n, p, me)
 		copy(buf[off:off+sz], packed[:sz])
 	}
-	return comm.WaitAll(reqs...)
+	err := comm.WaitAll(reqs...)
+	scratch.Put(packed)
+	return err
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -230,17 +231,19 @@ func ReduceScatterKRing(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt
 	if len(recvbuf) != sz {
 		return ErrBadBuffer
 	}
-	work := make([]byte, n)
+	work := scratch.Get(n)
 	copy(work, sendbuf)
 	if p > 1 {
 		s, err := KRingSchedule(p, k)
 		if err != nil {
+			scratch.Put(work)
 			return err
 		}
 		if err := s.RunReduceScatter(c, work, layout, op, dt, tagSched); err != nil {
-			return err
+			return err // posting-error paths may leave sends reading work: leak
 		}
 	}
 	copy(recvbuf, work[off:off+sz])
+	scratch.Put(work)
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -53,9 +54,11 @@ func ReduceLinear(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datat
 		if r == root {
 			continue
 		}
-		bufs[r] = make([]byte, len(sendbuf))
+		bufs[r] = scratch.Get(len(sendbuf))
 		req, err := c.Irecv(r, tagLinear, bufs[r])
 		if err != nil {
+			// Earlier receives may still target their staging buffers:
+			// leak them to the GC rather than recycle.
 			return err
 		}
 		reqs[r] = req
@@ -65,9 +68,12 @@ func ReduceLinear(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datat
 			continue
 		}
 		if err := reqs[r].Wait(); err != nil {
+			scratch.Put(bufs[r]) // settled by Wait; the rest stay in flight
 			return err
 		}
-		if err := reduceInto(c, op, dt, recvbuf, bufs[r]); err != nil {
+		err := reduceInto(c, op, dt, recvbuf, bufs[r])
+		scratch.Put(bufs[r])
+		if err != nil {
 			return err
 		}
 	}

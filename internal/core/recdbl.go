@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -96,7 +97,8 @@ func foldPre(c comm.Comm, acc []byte, op datatype.Op, dt datatype.Type, p2 int) 
 		}
 		return -1, nil
 	case r < 2*rem:
-		tmp := make([]byte, len(acc))
+		tmp := scratch.Get(len(acc))
+		defer scratch.Put(tmp)
 		if _, err := c.Recv(r-1, tagFold, tmp); err != nil {
 			return 0, err
 		}
@@ -154,7 +156,8 @@ func AllreduceRecDbl(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt da
 		return err
 	}
 	if newrank >= 0 {
-		tmp := make([]byte, len(sendbuf))
+		tmp := scratch.Get(len(sendbuf))
+		defer scratch.Put(tmp)
 		for mask := 1; mask < p2; mask <<= 1 {
 			partner := foldReal(newrank^mask, p, p2)
 			if _, err := comm.SendRecv(c, partner, recvbuf, partner, tmp, tagRecDbl); err != nil {
@@ -198,7 +201,8 @@ func AllreduceRabenseifner(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op,
 		// the active block range containing our own block and sends the
 		// other half to the partner.
 		lo, hi := 0, p2
-		tmp := make([]byte, n)
+		tmp := scratch.Get(n)
+		defer scratch.Put(tmp)
 		for mask := p2 / 2; mask >= 1; mask >>= 1 {
 			partner := foldReal(newrank^mask, p, p2)
 			mid := (lo + hi) / 2
@@ -250,7 +254,8 @@ func ReduceScatterRecHalving(c comm.Comm, sendbuf, recvbuf []byte, op datatype.O
 	if len(recvbuf) != sz {
 		return fmt.Errorf("%w: reduce-scatter recvbuf=%d want %d", ErrBadBuffer, len(recvbuf), sz)
 	}
-	work := make([]byte, n)
+	work := scratch.Get(n)
+	defer scratch.Put(work)
 	copy(work, sendbuf)
 	if p == 1 {
 		copy(recvbuf, work)
@@ -261,7 +266,8 @@ func ReduceScatterRecHalving(c comm.Comm, sendbuf, recvbuf []byte, op datatype.O
 		boff, bsz := layout(base + count - 1)
 		return lo, boff + bsz
 	}
-	tmp := make([]byte, n)
+	tmp := scratch.Get(n)
+	defer scratch.Put(tmp)
 	lo, hi := 0, p
 	for mask := p / 2; mask >= 1; mask >>= 1 {
 		partner := r ^ mask

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -174,18 +175,19 @@ func AllreduceRecMul(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt da
 			members := groupMembers(newrank, factors, weights, round)
 			// Snapshot the accumulator: Isend buffers must stay unmodified
 			// until the sends complete, and we reduce into recvbuf below.
-			outgoing := append([]byte(nil), recvbuf...)
+			outgoing := scratch.Get(len(recvbuf))
+			copy(outgoing, recvbuf)
 			incoming := make([][]byte, 0, len(members)-1)
 			reqs := make([]comm.Request, 0, 2*(len(members)-1))
 			for _, m := range members {
 				if m == newrank {
 					continue
 				}
-				buf := make([]byte, len(recvbuf))
+				buf := scratch.Get(len(recvbuf))
 				incoming = append(incoming, buf)
 				req, err := c.Irecv(foldReal(m, p, pPrime), tagRecMul, buf)
 				if err != nil {
-					return err
+					return err // earlier ops still target scratch: leak
 				}
 				reqs = append(reqs, req)
 			}
@@ -195,17 +197,26 @@ func AllreduceRecMul(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt da
 				}
 				req, err := c.Isend(foldReal(m, p, pPrime), tagRecMul, outgoing)
 				if err != nil {
-					return err
+					return err // earlier ops still target scratch: leak
 				}
 				reqs = append(reqs, req)
 			}
-			if err := comm.WaitAll(reqs...); err != nil {
-				return err
-			}
-			for _, buf := range incoming {
-				if err := reduceInto(c, op, dt, recvbuf, buf); err != nil {
-					return err
+			// WaitAll settles every request even on error, so all scratch
+			// is quiescent from here on.
+			err := comm.WaitAll(reqs...)
+			if err == nil {
+				for _, buf := range incoming {
+					if err = reduceInto(c, op, dt, recvbuf, buf); err != nil {
+						break
+					}
 				}
+			}
+			scratch.Put(outgoing)
+			for _, buf := range incoming {
+				scratch.Put(buf)
+			}
+			if err != nil {
+				return err
 			}
 		}
 	}
@@ -289,11 +300,11 @@ func recmulAllgatherLayout(c comm.Comm, buf []byte, layout BlockLayout, k int, t
 					_, sz := layout(b)
 					size += sz
 				}
-				staging := make([]byte, size)
+				staging := scratch.Get(size)
 				rxs = append(rxs, rx{blocks: blocks, staging: staging})
 				req, err := c.Irecv(foldReal(m, p, pPrime), tag, staging)
 				if err != nil {
-					return err
+					return err // earlier ops still target scratch: leak
 				}
 				reqs = append(reqs, req)
 			}
@@ -303,17 +314,26 @@ func recmulAllgatherLayout(c comm.Comm, buf []byte, layout BlockLayout, k int, t
 				}
 				req, err := c.Isend(foldReal(m, p, pPrime), tag, outgoing)
 				if err != nil {
-					return err
+					return err // earlier ops still target scratch: leak
 				}
 				reqs = append(reqs, req)
 			}
-			if err := comm.WaitAll(reqs...); err != nil {
-				return err
-			}
-			for _, x := range rxs {
-				if err := unpackBlocks(x.staging, buf, x.blocks, layout, nil); err != nil {
-					return err
+			// WaitAll settles every request even on error, so all scratch
+			// is quiescent from here on.
+			err := comm.WaitAll(reqs...)
+			if err == nil {
+				for _, x := range rxs {
+					if err = unpackBlocks(x.staging, buf, x.blocks, layout, nil); err != nil {
+						break
+					}
 				}
+			}
+			scratch.Put(outgoing)
+			for _, x := range rxs {
+				scratch.Put(x.staging)
+			}
+			if err != nil {
+				return err
 			}
 		}
 	}

@@ -111,6 +111,12 @@ type Args struct {
 	Root int
 	// K is the radix/group-size parameter of generalized algorithms.
 	K int
+	// SegSize is the pipeline segment size in bytes for segmented
+	// algorithms: > 0 uses the given size, 0 derives one (from the
+	// substrate's cost model when it exposes model.MachineLike,
+	// DefaultSegSize otherwise), < 0 is an error. Non-segmented
+	// algorithms ignore it.
+	SegSize int
 }
 
 // Algorithm is one registry entry: a named collective implementation with
@@ -362,12 +368,44 @@ func init() {
 		},
 	})
 	register(&Algorithm{
-		// Pipelined k-nomial bcast with a production-typical 64 KiB
-		// segment (the MPICH/Open MPI segmenting refinement).
+		// Pipelined k-nomial bcast (the MPICH/Open MPI segmenting
+		// refinement); segment size from Args.SegSize or the cost model.
 		Name: "bcast_knomial_pipelined", Op: OpBcast, Kernel: KernelKnomial,
 		Generalized: true, Baseline: "bcast_binomial", DefaultK: 2,
 		Run: func(c comm.Comm, a Args) error {
-			return BcastKnomialSegmented(c, a.SendBuf, a.Root, a.K, 64<<10)
+			depth := KnomialDepth(c.Size(), a.K)
+			seg, err := SegSizeFor(c, len(a.SendBuf), depth, a.SegSize)
+			if err != nil {
+				return err
+			}
+			return BcastKnomialSegmented(c, a.SendBuf, a.Root, a.K, seg)
+		},
+	})
+	register(&Algorithm{
+		// Pipelined k-nomial reduce: the segmented bcast's mirror image,
+		// combining child segments in ReduceKnomial's order.
+		Name: "reduce_knomial_segmented", Op: OpReduce, Kernel: KernelKnomial,
+		Generalized: true, Baseline: "reduce_binomial", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			depth := KnomialDepth(c.Size(), a.K)
+			seg, err := SegSizeFor(c, len(a.SendBuf), depth, a.SegSize)
+			if err != nil {
+				return err
+			}
+			return ReduceKnomialSegmented(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.Root, a.K, seg)
+		},
+	})
+	register(&Algorithm{
+		// Segmented ring allreduce: reduce-scatter + allgather rounds
+		// software-pipelined across segments.
+		Name: "allreduce_ring_pipelined", Op: OpAllreduce, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error {
+			depth := 2 * (c.Size() - 1)
+			seg, err := SegSizeFor(c, len(a.SendBuf), depth, a.SegSize)
+			if err != nil {
+				return err
+			}
+			return AllreduceRingPipelined(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, seg)
 		},
 	})
 	register(&Algorithm{
@@ -429,10 +467,15 @@ func init() {
 		},
 	})
 	register(&Algorithm{
-		// Pipelined chain bcast with a production-typical 64 KiB segment.
+		// Pipelined chain bcast; segment size from Args.SegSize or the
+		// cost model (chain depth is p − 1).
 		Name: "bcast_chain", Op: OpBcast, Kernel: KernelRing,
 		Run: func(c comm.Comm, a Args) error {
-			return BcastChain(c, a.SendBuf, a.Root, 64<<10)
+			seg, err := SegSizeFor(c, len(a.SendBuf), c.Size()-1, a.SegSize)
+			if err != nil {
+				return err
+			}
+			return BcastChain(c, a.SendBuf, a.Root, seg)
 		},
 	})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -49,14 +50,15 @@ func ReduceScatterRing(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt 
 	if len(recvbuf) != sz {
 		return ErrBadBuffer
 	}
-	work := make([]byte, n)
+	work := scratch.Get(n)
 	copy(work, sendbuf)
 	if p > 1 {
 		if err := RingSchedule(p).RunReduceScatter(c, work, layout, op, dt, tagSched); err != nil {
-			return err
+			return err // posting-error paths may leave sends reading work: leak
 		}
 	}
 	copy(recvbuf, work[off:off+sz])
+	scratch.Put(work)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -22,7 +23,10 @@ func ScanLinear(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatyp
 	me := c.Rank()
 	copy(recvbuf, sendbuf)
 	if me > 0 {
-		prev := make([]byte, len(sendbuf))
+		// prev is only ever a synchronous Recv target: safe to recycle on
+		// any exit.
+		prev := scratch.Get(len(sendbuf))
+		defer scratch.Put(prev)
 		if _, err := c.Recv(me-1, tagLinear+1, prev); err != nil {
 			return err
 		}
@@ -49,31 +53,39 @@ func ScanHillisSteele(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt d
 	p := c.Size()
 	me := c.Rank()
 	copy(recvbuf, sendbuf)
-	incoming := make([]byte, len(sendbuf))
+	// incoming is only ever a synchronous Recv target: safe to recycle on
+	// any exit.
+	incoming := scratch.Get(len(sendbuf))
+	defer scratch.Put(incoming)
 	for dist := 1; dist < p; dist <<= 1 {
 		var sreq comm.Request
+		var out []byte
 		if me+dist < p {
 			// Snapshot: the buffer must stay stable until the send
 			// completes while we overwrite recvbuf below.
-			out := append([]byte(nil), recvbuf...)
+			out = scratch.Get(len(recvbuf))
+			copy(out, recvbuf)
 			req, err := c.Isend(me+dist, tagRecDbl+1, out)
 			if err != nil {
+				scratch.Put(out) // posting failed: never in flight
 				return err
 			}
 			sreq = req
 		}
 		if me-dist >= 0 {
 			if _, err := c.Recv(me-dist, tagRecDbl+1, incoming); err != nil {
-				return err
+				return err // sreq may still be reading out: leak it
 			}
 			// incoming covers ranks left of ours: combine left-to-right.
 			if err := reduceInto(c, op, dt, incoming, recvbuf); err != nil {
-				return err
+				return err // sreq may still be reading out: leak it
 			}
 			copy(recvbuf, incoming)
 		}
 		if sreq != nil {
-			if err := sreq.Wait(); err != nil {
+			err := sreq.Wait()
+			scratch.Put(out) // settled by Wait
+			if err != nil {
 				return err
 			}
 		}
@@ -93,26 +105,31 @@ func Exscan(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Ty
 	if p == 1 {
 		return nil
 	}
-	inclusive := make([]byte, len(sendbuf))
+	inclusive := scratch.Get(len(sendbuf))
 	if err := ScanHillisSteele(c, sendbuf, inclusive, op, dt); err != nil {
+		scratch.Put(inclusive)
 		return err
 	}
 	var sreq comm.Request
 	if me < p-1 {
 		req, err := c.Isend(me+1, tagRecDbl+2, inclusive)
 		if err != nil {
+			scratch.Put(inclusive) // posting failed: never in flight
 			return err
 		}
 		sreq = req
 	}
 	if me > 0 {
 		if _, err := c.Recv(me-1, tagRecDbl+2, recvbuf); err != nil {
-			return err
+			return err // sreq may still be reading inclusive: leak it
 		}
 	}
 	if sreq != nil {
-		return sreq.Wait()
+		err := sreq.Wait()
+		scratch.Put(inclusive) // settled by Wait
+		return err
 	}
+	scratch.Put(inclusive)
 	return nil
 }
 

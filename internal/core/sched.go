@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -170,13 +171,15 @@ func roundXfers(round Round, me int, layout BlockLayout) (sends, recvs []xfer) {
 }
 
 // packBlocks copies blocks (ascending id) from buf into a packed message.
+// The message comes from the scratch pool: the caller owns it and must
+// scratch.Put it once no send can still be reading it.
 func packBlocks(buf []byte, blocks []int, layout BlockLayout) []byte {
 	size := 0
 	for _, b := range blocks {
 		_, s := layout(b)
 		size += s
 	}
-	msg := make([]byte, size)
+	msg := scratch.Get(size)
 	pos := 0
 	for _, b := range blocks {
 		off, s := layout(b)
@@ -217,6 +220,7 @@ func (s *Schedule) RunAllgather(c comm.Comm, buf []byte, layout BlockLayout, tag
 		sends, recvs := roundXfers(round, me, layout)
 		reqs := make([]comm.Request, 0, len(sends)+len(recvs))
 		staging := make([][]byte, len(recvs))
+		var packed [][]byte
 		// Post receives first so the eager path can complete in place.
 		for i, rx := range recvs {
 			var dst []byte
@@ -224,12 +228,12 @@ func (s *Schedule) RunAllgather(c comm.Comm, buf []byte, layout BlockLayout, tag
 				off, sz := layout(rx.blocks[0])
 				dst = buf[off : off+sz]
 			} else {
-				staging[i] = make([]byte, rx.size)
+				staging[i] = scratch.Get(rx.size)
 				dst = staging[i]
 			}
 			req, err := c.Irecv(rx.peer, tag, dst)
 			if err != nil {
-				return err
+				return err // earlier ops may still target staging/buf: leak
 			}
 			reqs = append(reqs, req)
 		}
@@ -240,22 +244,36 @@ func (s *Schedule) RunAllgather(c comm.Comm, buf []byte, layout BlockLayout, tag
 				src = buf[off : off+sz]
 			} else {
 				src = packBlocks(buf, tx.blocks, layout)
+				packed = append(packed, src)
 			}
 			req, err := c.Isend(tx.peer, tag, src)
 			if err != nil {
-				return err
+				return err // earlier sends may still read packed: leak
 			}
 			reqs = append(reqs, req)
 		}
-		if err := comm.WaitAll(reqs...); err != nil {
+		// WaitAll settles every request even on error, so staging and packed
+		// buffers are quiescent from here on.
+		err := comm.WaitAll(reqs...)
+		for _, b := range packed {
+			scratch.Put(b)
+		}
+		if err != nil {
+			for _, b := range staging {
+				scratch.Put(b)
+			}
 			return err
 		}
 		for i, rx := range recvs {
 			if len(rx.blocks) > 1 {
-				if err := unpackBlocks(staging[i], buf, rx.blocks, layout, nil); err != nil {
-					return err
+				if err == nil {
+					err = unpackBlocks(staging[i], buf, rx.blocks, layout, nil)
 				}
+				scratch.Put(staging[i])
 			}
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -283,11 +301,12 @@ func (s *Schedule) RunReduceScatter(c comm.Comm, work []byte, layout BlockLayout
 		sends, recvs := roundXfers(rev, me, layout)
 		reqs := make([]comm.Request, 0, len(sends)+len(recvs))
 		staging := make([][]byte, len(recvs))
+		var packed [][]byte
 		for i, rx := range recvs {
-			staging[i] = make([]byte, rx.size)
+			staging[i] = scratch.Get(rx.size)
 			req, err := c.Irecv(rx.peer, tag, staging[i])
 			if err != nil {
-				return err
+				return err // earlier receives may still target staging: leak
 			}
 			reqs = append(reqs, req)
 		}
@@ -298,20 +317,28 @@ func (s *Schedule) RunReduceScatter(c comm.Comm, work []byte, layout BlockLayout
 				src = work[off : off+sz]
 			} else {
 				src = packBlocks(work, tx.blocks, layout)
+				packed = append(packed, src)
 			}
 			req, err := c.Isend(tx.peer, tag, src)
 			if err != nil {
-				return err
+				return err // earlier sends may still read packed: leak
 			}
 			reqs = append(reqs, req)
 		}
-		if err := comm.WaitAll(reqs...); err != nil {
-			return err
+		// WaitAll settles every request even on error, so staging and packed
+		// buffers are quiescent from here on.
+		err := comm.WaitAll(reqs...)
+		for _, b := range packed {
+			scratch.Put(b)
 		}
 		for i, rx := range recvs {
-			if err := unpackBlocks(staging[i], work, rx.blocks, layout, combine); err != nil {
-				return err
+			if err == nil {
+				err = unpackBlocks(staging[i], work, rx.blocks, layout, combine)
 			}
+			scratch.Put(staging[i])
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil

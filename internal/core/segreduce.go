@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	scratch "exacoll/internal/buf"
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/model"
+)
+
+// Segmented (pipelined) reductions: the large-message refinement the
+// segmented bcasts already apply, extended to reduce and allreduce. The
+// payload is split into segments so every stage of the communication
+// structure works on segment s while segment s+1 is still in flight,
+// turning the depth-d full-message latency into d + m − 1 segment steps.
+// Segment sizes come from model.PipelineSegSize when the substrate exposes
+// its cost parameters, so the tuning table and the analytical model agree
+// on where pipelining pays.
+
+// DefaultSegSize is the segment size used when the substrate exposes no
+// cost model to derive one from — the production-typical 64 KiB of MPICH
+// and Open MPI tree segmentation.
+const DefaultSegSize = 64 << 10
+
+// KnomialDepth returns the depth of the radix-k k-nomial tree over p ranks
+// (ceil(log_k p)) — the pipeline depth of the segmented tree algorithms.
+func KnomialDepth(p, k int) int {
+	if k < 2 {
+		k = 2
+	}
+	d := 0
+	for v := 1; v < p; v *= k {
+		d++
+	}
+	return d
+}
+
+// SegSizeFor resolves a caller's requested segment size for pipelining n
+// bytes through a depth-stage structure: positive values are used as
+// given, 0 derives the size — from the substrate's cost model when c
+// exposes one (model.MachineLike), DefaultSegSize otherwise — and
+// negative values are rejected, matching the Args.SegSize contract.
+func SegSizeFor(c comm.Comm, n, depth, req int) (int, error) {
+	if req < 0 {
+		return 0, fmt.Errorf("%w: segment size %d", ErrBadBuffer, req)
+	}
+	if req > 0 {
+		return req, nil
+	}
+	seg := DefaultSegSize
+	if m, ok := c.(model.MachineLike); ok {
+		seg = m.ModelParams().PipelineSegSize(n, depth)
+	}
+	if seg < 1 {
+		seg = 1
+	}
+	return seg, nil
+}
+
+// alignSeg floors segSize to a multiple of the element size so no segment
+// splits an element, keeping at least one element per segment.
+func alignSeg(segSize, elemSize int) int {
+	segSize -= segSize % elemSize
+	if segSize < elemSize {
+		segSize = elemSize
+	}
+	return segSize
+}
+
+// ReduceKnomialSegmented is the pipelined k-nomial reduce: the reverse of
+// BcastKnomialSegmented. Each internal node receives segment s from all of
+// its children, combines them into its accumulator in the same descending
+// child order as ReduceKnomial, and forwards the combined segment to its
+// parent while the children's segment s+1 receives are already posted —
+// so for a tree of depth d and m segments the reduction completes in
+// d + m − 1 segment steps instead of d full-message steps.
+func ReduceKnomialSegmented(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, root, k, segSize int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	if segSize < 1 {
+		return fmt.Errorf("%w: segment size %d", ErrBadBuffer, segSize)
+	}
+	if len(sendbuf)%dt.Size() != 0 {
+		return fmt.Errorf("%w: buffer length %d not a multiple of %v size %d",
+			ErrBadBuffer, len(sendbuf), dt, dt.Size())
+	}
+	segSize = alignSeg(segSize, dt.Size())
+	if len(sendbuf) <= segSize {
+		return ReduceKnomial(c, sendbuf, recvbuf, op, dt, root, k)
+	}
+	p := c.Size()
+	me := c.Rank()
+
+	var acc []byte
+	if me == root {
+		if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+			return err
+		}
+		acc = recvbuf
+	} else {
+		acc = scratch.Get(len(sendbuf))
+	}
+	copy(acc, sendbuf)
+	if p == 1 {
+		return nil
+	}
+
+	t := KnomialTree{P: p, K: k}
+	v := vrank(me, root, p)
+	children := t.Children(v)
+	nseg := (len(sendbuf) + segSize - 1) / segSize
+	seg := func(s int) (int, int) {
+		lo := s * segSize
+		return lo, minInt(lo+segSize, len(sendbuf))
+	}
+
+	// Pre-post every (child, segment) receive; per-(source, tag) FIFO keeps
+	// each child's segments in order. Staging is one full-length pool buffer
+	// per child, exactly as in the unsegmented reduce.
+	bufs := make([][]byte, len(children))
+	recvReqs := make([][]comm.Request, len(children))
+	for i, ch := range children {
+		bufs[i] = scratch.Get(len(sendbuf))
+		recvReqs[i] = make([]comm.Request, nseg)
+		src := absRank(ch.VRank, root, p)
+		for s := 0; s < nseg; s++ {
+			lo, hi := seg(s)
+			req, err := c.Irecv(src, tagPipe, bufs[i][lo:hi])
+			if err != nil {
+				return err // earlier receives still target scratch: leak
+			}
+			recvReqs[i][s] = req
+		}
+	}
+
+	parent := t.Parent(v)
+	sendReqs := make([]comm.Request, 0, nseg)
+	for s := 0; s < nseg; s++ {
+		lo, hi := seg(s)
+		// Combine in descending child index, matching ReduceKnomial's
+		// order so the segmented result is bit-identical.
+		for i := len(children) - 1; i >= 0; i-- {
+			if err := recvReqs[i][s].Wait(); err != nil {
+				return err // later receives and sends still in flight: leak
+			}
+			if err := reduceInto(c, op, dt, acc[lo:hi], bufs[i][lo:hi]); err != nil {
+				return err
+			}
+		}
+		if parent >= 0 {
+			req, err := c.Isend(absRank(parent, root, p), tagPipe, acc[lo:hi])
+			if err != nil {
+				return err // earlier sends may still read acc: leak
+			}
+			sendReqs = append(sendReqs, req)
+		}
+	}
+	// WaitAll settles every request even on error, so acc and all staging
+	// are quiescent from here on.
+	err := comm.WaitAll(sendReqs...)
+	for _, b := range bufs {
+		scratch.Put(b)
+	}
+	if me != root {
+		scratch.Put(acc)
+	}
+	return err
+}
+
+// AllreduceRingPipelined is the segmented ring allreduce: the
+// reduce-scatter and allgather phases of the ring run per segment, and the
+// segments are software-pipelined — while segment s runs ring round j,
+// segment s+1 runs round j−1 — so the 2(p−1)-round ring latency is paid
+// once instead of once per segment. All traffic flows rank → rank+1 in
+// both phases, and every rank enumerates the active (segment, round) pairs
+// of a step in the same order, so the per-(source, tag) FIFO matching
+// lines up without per-segment tags. Each block's combine chain is
+// deterministic and identical on every rank, but runs in the opposite ring
+// direction from AllreduceRing's time-reversed schedule — exact for
+// integer types, reassociated (not bit-identical) for floating point.
+func AllreduceRingPipelined(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Type, segSize int) error {
+	if err := checkReduceBufs(sendbuf, recvbuf, dt); err != nil {
+		return err
+	}
+	if segSize < 1 {
+		return fmt.Errorf("%w: segment size %d", ErrBadBuffer, segSize)
+	}
+	p := c.Size()
+	me := c.Rank()
+	copy(recvbuf, sendbuf)
+	n := len(recvbuf)
+	if p == 1 || n == 0 {
+		return nil
+	}
+	segSize = alignSeg(segSize, dt.Size())
+	nseg := (n + segSize - 1) / segSize
+	next := (me + 1) % p
+	prev := (me - 1 + p) % p
+	rounds := 2 * (p - 1)
+	mod := func(x int) int { return ((x % p) + p) % p }
+
+	// Every segment but the last has the same length, so two layouts cover
+	// all of them (hoisted out of the step loop to keep it allocation-free).
+	layoutFull := FairLayoutAligned(segSize, p, dt.Size())
+	layoutTail := FairLayoutAligned(n-(nseg-1)*segSize, p, dt.Size())
+	layoutOf := func(s int) BlockLayout {
+		if s == nseg-1 {
+			return layoutTail
+		}
+		return layoutFull
+	}
+
+	// One step per pipeline slot: segment s is at ring round j = t − s.
+	// Rounds j < p−1 are reduce-scatter (receive into staging, combine);
+	// the rest are allgather (receive in place).
+	type rx struct {
+		dst   []byte
+		stage []byte
+	}
+	width := minInt(rounds, nseg)
+	pend := make([]rx, 0, width)
+	reqs := make([]comm.Request, 0, 2*width)
+	for t := 0; t < rounds+nseg-1; t++ {
+		sLo := maxInt(0, t-rounds+1)
+		sHi := minInt(t, nseg-1)
+		pend = pend[:0]
+		reqs = reqs[:0]
+		var err error
+		for s := sLo; s <= sHi && err == nil; s++ {
+			j := t - s
+			segment := recvbuf[s*segSize : minInt(s*segSize+segSize, n)]
+			layout := layoutOf(s)
+			var req comm.Request
+			if j < p-1 {
+				roff, rsz := layout(mod(me - j - 1))
+				stage := scratch.Get(rsz)
+				req, err = c.Irecv(prev, tagPipe, stage)
+				if err != nil {
+					scratch.Put(stage) // never posted; earlier ones leak
+					break
+				}
+				pend = append(pend, rx{dst: segment[roff : roff+rsz], stage: stage})
+			} else {
+				roff, rsz := layout(mod(me - (j - (p - 1))))
+				req, err = c.Irecv(prev, tagPipe, segment[roff:roff+rsz])
+				if err != nil {
+					break
+				}
+			}
+			reqs = append(reqs, req)
+		}
+		for s := sLo; s <= sHi && err == nil; s++ {
+			j := t - s
+			segment := recvbuf[s*segSize : minInt(s*segSize+segSize, n)]
+			layout := layoutOf(s)
+			var soff, ssz int
+			if j < p-1 {
+				soff, ssz = layout(mod(me - j))
+			} else {
+				soff, ssz = layout(mod(me + 1 - (j - (p - 1))))
+			}
+			var req comm.Request
+			req, err = c.Isend(next, tagPipe, segment[soff:soff+ssz])
+			if err != nil {
+				break
+			}
+			reqs = append(reqs, req)
+		}
+		if err != nil {
+			return err // posted ops may still target staging: leak
+		}
+		// WaitAll settles every request even on error, so staging and the
+		// in-place blocks are quiescent from here on.
+		err = comm.WaitAll(reqs...)
+		if err == nil {
+			for _, x := range pend {
+				if err = reduceInto(c, op, dt, x.dst, x.stage); err != nil {
+					break
+				}
+			}
+		}
+		for _, x := range pend {
+			scratch.Put(x.stage)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// roughVector is a rounding-prone float64 contribution: sums of its values
+// depend on association order, so bit-comparing two reductions of it
+// verifies they combine in the same order.
+func roughVector(r, elems int) []byte {
+	v := make([]float64, elems)
+	for i := range v {
+		v[i] = 1.0/float64(r+1) + float64(i%13)/7.0
+	}
+	return datatype.EncodeFloat64(v)
+}
+
+// TestReduceKnomialSegmentedBitIdentical checks that the segmented reduce
+// produces bit-identical results to the unsegmented ReduceKnomial — the
+// per-segment combine runs in the same descending-child order — including
+// segment sizes that force many segments and ragged final segments.
+func TestReduceKnomialSegmentedBitIdentical(t *testing.T) {
+	t.Parallel()
+	elems := 500 // 4000 bytes
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		for _, k := range []int{2, 3, 5} {
+			for _, seg := range []int{8, 64, 1000, 4096} {
+				roots := []int{0}
+				if p > 1 {
+					roots = append(roots, p-1)
+				}
+				for _, root := range roots {
+					p, k, seg, root := p, k, seg, root
+					name := fmt.Sprintf("p%d_k%d_seg%d_root%d", p, k, seg, root)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						var mu sync.Mutex
+						want := make(map[int][]byte)
+						runOnWorld(t, p, func(c comm.Comm) error {
+							sendbuf := roughVector(c.Rank(), elems)
+							ref := make([]byte, len(sendbuf))
+							if err := ReduceKnomial(c, sendbuf, ref, datatype.Sum, datatype.Float64, root, k); err != nil {
+								return err
+							}
+							mu.Lock()
+							want[c.Rank()] = ref
+							mu.Unlock()
+							return nil
+						})
+						runOnWorld(t, p, func(c comm.Comm) error {
+							sendbuf := roughVector(c.Rank(), elems)
+							recvbuf := make([]byte, len(sendbuf))
+							if err := ReduceKnomialSegmented(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, root, k, seg); err != nil {
+								return err
+							}
+							if c.Rank() == root && !bytes.Equal(recvbuf, want[root]) {
+								return fmt.Errorf("segmented reduce differs from ReduceKnomial at root %d", root)
+							}
+							return nil
+						})
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestAllreduceRingPipelinedCorrect checks the pipelined ring allreduce
+// against the locally computed exact sum over communicator sizes, payload
+// sizes and segment sizes that exercise deep pipelines (many segments in
+// flight), single-segment delegates, and ragged final segments.
+func TestAllreduceRingPipelinedCorrect(t *testing.T) {
+	t.Parallel()
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		for _, elems := range []int{1, 7, 100, 500} {
+			for _, seg := range []int{8, 64, 1000, 1 << 20} {
+				p, elems, seg := p, elems, seg
+				t.Run(fmt.Sprintf("p%d_e%d_seg%d", p, elems, seg), func(t *testing.T) {
+					t.Parallel()
+					want := datatype.EncodeFloat64(expectedSum(p, elems))
+					runOnWorld(t, p, func(c comm.Comm) error {
+						sendbuf := datatype.EncodeFloat64(rankVector(c.Rank(), elems))
+						recvbuf := make([]byte, len(sendbuf))
+						if err := AllreduceRingPipelined(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, seg); err != nil {
+							return err
+						}
+						if !bytes.Equal(recvbuf, want) {
+							return fmt.Errorf("pipelined allreduce mismatch at rank %d", c.Rank())
+						}
+						return nil
+					})
+				})
+			}
+		}
+	}
+}
+
+// TestAllreduceRingPipelinedDeterministic checks that all ranks agree bit
+// for bit on rounding-prone input (the combine chain of each block is the
+// same no matter which rank observes it).
+func TestAllreduceRingPipelinedDeterministic(t *testing.T) {
+	t.Parallel()
+	const p, elems, seg = 7, 300, 128
+	var mu sync.Mutex
+	results := make(map[int][]byte)
+	runOnWorld(t, p, func(c comm.Comm) error {
+		sendbuf := roughVector(c.Rank(), elems)
+		recvbuf := make([]byte, len(sendbuf))
+		if err := AllreduceRingPipelined(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, seg); err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = recvbuf
+		mu.Unlock()
+		return nil
+	})
+	for r := 1; r < p; r++ {
+		if !bytes.Equal(results[r], results[0]) {
+			t.Fatalf("rank %d result differs from rank 0", r)
+		}
+	}
+}
+
+// TestSegmentedBadArgs checks segment-size validation: direct calls reject
+// segSize < 1, and the registry adapters reject Args.SegSize < 0 for every
+// segmented algorithm while deriving a sane default for SegSize = 0.
+func TestSegmentedBadArgs(t *testing.T) {
+	t.Parallel()
+	runOnWorld(t, 2, func(c comm.Comm) error {
+		buf := make([]byte, 64)
+		out := make([]byte, 64)
+		if err := ReduceKnomialSegmented(c, buf, out, datatype.Sum, datatype.Float64, 0, 2, 0); !errors.Is(err, ErrBadBuffer) {
+			return fmt.Errorf("reduce segSize=0: want ErrBadBuffer, got %v", err)
+		}
+		if err := AllreduceRingPipelined(c, buf, out, datatype.Sum, datatype.Float64, -1); !errors.Is(err, ErrBadBuffer) {
+			return fmt.Errorf("allreduce segSize=-1: want ErrBadBuffer, got %v", err)
+		}
+		return nil
+	})
+	for _, name := range []string{
+		"bcast_knomial_pipelined", "bcast_chain",
+		"reduce_knomial_segmented", "allreduce_ring_pipelined",
+	} {
+		alg, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Negative SegSize must be rejected before any communication, so a
+		// single-rank world is enough.
+		runOnWorld(t, 1, func(c comm.Comm) error {
+			buf := make([]byte, 64)
+			a := Args{SendBuf: buf, RecvBuf: make([]byte, 64),
+				Op: datatype.Sum, Type: datatype.Float64, K: 2, SegSize: -1}
+			if err := alg.Run(c, a); !errors.Is(err, ErrBadBuffer) {
+				return fmt.Errorf("%s SegSize=-1: want ErrBadBuffer, got %v", name, err)
+			}
+			a.SegSize = 0
+			if err := alg.Run(c, a); err != nil {
+				return fmt.Errorf("%s SegSize=0: %v", name, err)
+			}
+			return nil
+		})
+	}
+}
+
+// TestSegSizeFor checks the segment-size derivation contract.
+func TestSegSizeFor(t *testing.T) {
+	t.Parallel()
+	runOnWorld(t, 1, func(c comm.Comm) error {
+		if _, err := SegSizeFor(c, 1<<20, 4, -7); !errors.Is(err, ErrBadBuffer) {
+			return fmt.Errorf("negative request: want ErrBadBuffer, got %v", err)
+		}
+		if seg, err := SegSizeFor(c, 1<<20, 4, 4096); err != nil || seg != 4096 {
+			return fmt.Errorf("explicit request: got (%d, %v)", seg, err)
+		}
+		// The mem transport exposes no cost model: derive the default.
+		if seg, err := SegSizeFor(c, 1<<20, 4, 0); err != nil || seg != DefaultSegSize {
+			return fmt.Errorf("derived: got (%d, %v), want %d", seg, err, DefaultSegSize)
+		}
+		return nil
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 )
 
@@ -63,7 +64,7 @@ func GathervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, r
 	if par := t.Parent(v); par >= 0 {
 		span = t.SubtreeSize(v, t.lowestWeight(v))
 	}
-	packed := make([]byte, packedOff[v+span]-packedOff[v])
+	packed := scratch.Get(packedOff[v+span] - packedOff[v])
 	copy(packed, sendbuf)
 
 	children := t.Children(v)
@@ -75,15 +76,20 @@ func GathervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, r
 		hi := packedOff[ch.VRank+sz] - base
 		req, err := c.Irecv(absRank(ch.VRank, root, p), tagKnomial+2, packed[lo:hi])
 		if err != nil {
-			return err
+			return err // earlier receives still target packed: leak it
 		}
 		reqs[i] = req
 	}
+	// WaitAll settles every request even on error, so packed is quiescent
+	// from here on.
 	if err := comm.WaitAll(reqs...); err != nil {
+		scratch.Put(packed)
 		return err
 	}
 	if par := t.Parent(v); par >= 0 {
-		return c.Send(absRank(par, root, p), tagKnomial+2, packed)
+		err := c.Send(absRank(par, root, p), tagKnomial+2, packed)
+		scratch.Put(packed)
+		return err
 	}
 	// Root: un-rotate from vrank order to rank order.
 	rankOff := make([]int, p+1)
@@ -94,6 +100,7 @@ func GathervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, r
 		r := absRank(vr, root, p)
 		copy(recvbuf[rankOff[r]:rankOff[r+1]], packed[packedOff[vr]:packedOff[vr+1]])
 	}
+	scratch.Put(packed)
 	return nil
 }
 
@@ -129,7 +136,7 @@ func ScattervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, 
 
 	var packed []byte
 	if v == 0 {
-		packed = make([]byte, total)
+		packed = scratch.Get(total)
 		rankOff := make([]int, p+1)
 		for r := 0; r < p; r++ {
 			rankOff[r+1] = rankOff[r] + counts[r]
@@ -140,8 +147,9 @@ func ScattervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, 
 		}
 	} else {
 		span := t.SubtreeSize(v, t.lowestWeight(v))
-		packed = make([]byte, packedOff[v+span]-packedOff[v])
+		packed = scratch.Get(packedOff[v+span] - packedOff[v])
 		if _, err := c.Recv(absRank(t.Parent(v), root, p), tagScatter+2, packed); err != nil {
+			scratch.Put(packed)
 			return err
 		}
 	}
@@ -154,12 +162,15 @@ func ScattervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, 
 		hi := packedOff[ch.VRank+sz] - base
 		req, err := c.Isend(absRank(ch.VRank, root, p), tagScatter+2, packed[lo:hi])
 		if err != nil {
-			return err
+			return err // earlier sends may still read packed: leak it
 		}
 		reqs = append(reqs, req)
 	}
 	copy(recvbuf, packed[:counts[me]])
-	return comm.WaitAll(reqs...)
+	// WaitAll settles every request even on error.
+	err = comm.WaitAll(reqs...)
+	scratch.Put(packed)
+	return err
 }
 
 // AllgathervRing gathers counts[r] bytes from every rank into every rank's

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+	"exacoll/internal/transport/mem"
+)
+
+// TestZeroCountTableI runs every Table I algorithm with zero-length
+// buffers — the MPI count=0 conformance case — on both the in-memory
+// transport and the machine simulator. A zero-count collective must
+// complete successfully (and trivially) on every rank; it must not hang,
+// error, or index out of range on empty fair blocks.
+func TestZeroCountTableI(t *testing.T) {
+	t.Parallel()
+	substrates := []struct {
+		name string
+		run  func(t *testing.T, p int, fn func(c comm.Comm) error)
+	}{
+		{"mem", func(t *testing.T, p int, fn func(c comm.Comm) error) {
+			t.Helper()
+			if err := mem.NewWorld(p).Run(fn); err != nil {
+				t.Fatalf("mem: %v", err)
+			}
+		}},
+		{"simnet", func(t *testing.T, p int, fn func(c comm.Comm) error) {
+			t.Helper()
+			sim, err := simnet.New(machine.Testbox(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Run(fn); err != nil {
+				t.Fatalf("simnet: %v", err)
+			}
+		}},
+	}
+	for _, alg := range TableIAlgorithms() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, sub := range substrates {
+				for _, p := range []int{1, 2, 3, 5, 8} {
+					if alg.Pow2Only && !isPow2(p) {
+						continue
+					}
+					for _, k := range []int{alg.DefaultK, 3} {
+						sub.run(t, p, func(c comm.Comm) error {
+							a := zeroArgs(alg, k)
+							if err := alg.Run(c, a); err != nil {
+								return fmt.Errorf("%s p=%d k=%d on %s: %w", alg.Name, p, k, sub.name, err)
+							}
+							return nil
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// zeroArgs builds a zero-count argument bundle for the algorithm's op.
+func zeroArgs(alg *Algorithm, k int) Args {
+	return Args{SendBuf: []byte{}, RecvBuf: []byte{},
+		Op: datatype.Sum, Type: datatype.Float64, Root: 0, K: k}
+}
+
+// TestZeroCountSegmented covers the segmented algorithms' zero-count path
+// (segment derivation must not divide by zero or reject n=0).
+func TestZeroCountSegmented(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{
+		"bcast_knomial_pipelined", "bcast_chain",
+		"reduce_knomial_segmented", "allreduce_ring_pipelined",
+	} {
+		alg, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 5} {
+			runOnWorld(t, p, func(c comm.Comm) error {
+				return alg.Run(c, zeroArgs(alg, 2))
+			})
+		}
+	}
+}

@@ -95,120 +95,51 @@ func (o Op) String() string {
 type Reducer func(dst, src []byte) error
 
 // MakeReducer returns the Reducer for (op, t), or an error for unsupported
-// combinations (bitwise ops on floating-point types).
+// combinations (bitwise ops on floating-point types, unknown ops or types).
+// The returned Reducer is a single monomorphic loop specialized to the
+// (op, t) pair — there is no per-element operator or type dispatch.
 func MakeReducer(op Op, t Type) (Reducer, error) {
-	if (op == BAnd || op == BOr) && (t == Float32 || t == Float64) {
-		return nil, fmt.Errorf("datatype: %v not defined for %v", op, t)
+	k := kernelFor(op, t)
+	if k == nil {
+		return nil, opTypeError(op, t)
 	}
+	es := t.Size()
 	return func(dst, src []byte) error {
-		return Apply(op, t, dst, src)
+		if err := checkBufs(dst, src, es); err != nil {
+			return err
+		}
+		k(dst, src)
+		return nil
 	}, nil
 }
 
 // Apply combines src into dst element-wise: dst[i] = dst[i] OP src[i].
+// Undefined (op, t) combinations return the same error MakeReducer gives
+// rather than panicking mid-collective.
 func Apply(op Op, t Type, dst, src []byte) error {
+	k := kernelFor(op, t)
+	if k == nil {
+		return opTypeError(op, t)
+	}
+	if err := checkBufs(dst, src, t.Size()); err != nil {
+		return err
+	}
+	k(dst, src)
+	return nil
+}
+
+func checkBufs(dst, src []byte, es int) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("datatype: length mismatch dst=%d src=%d", len(dst), len(src))
 	}
-	es := t.Size()
 	if len(dst)%es != 0 {
 		return fmt.Errorf("datatype: buffer length %d not a multiple of element size %d", len(dst), es)
-	}
-	switch t {
-	case Uint8:
-		for i := range dst {
-			dst[i] = reduceU8(op, dst[i], src[i])
-		}
-	case Int32:
-		for i := 0; i+4 <= len(dst); i += 4 {
-			a := int32(binary.LittleEndian.Uint32(dst[i:]))
-			b := int32(binary.LittleEndian.Uint32(src[i:]))
-			binary.LittleEndian.PutUint32(dst[i:], uint32(reduceI64(op, int64(a), int64(b))))
-		}
-	case Int64:
-		for i := 0; i+8 <= len(dst); i += 8 {
-			a := int64(binary.LittleEndian.Uint64(dst[i:]))
-			b := int64(binary.LittleEndian.Uint64(src[i:]))
-			binary.LittleEndian.PutUint64(dst[i:], uint64(reduceI64(op, a, b)))
-		}
-	case Float32:
-		for i := 0; i+4 <= len(dst); i += 4 {
-			a := math.Float32frombits(binary.LittleEndian.Uint32(dst[i:]))
-			b := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
-			binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(float32(reduceF64(op, float64(a), float64(b)))))
-		}
-	case Float64:
-		for i := 0; i+8 <= len(dst); i += 8 {
-			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
-			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
-			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(reduceF64(op, a, b)))
-		}
-	default:
-		return fmt.Errorf("datatype: unknown type %v", t)
 	}
 	return nil
 }
 
-func reduceU8(op Op, a, b uint8) uint8 {
-	switch op {
-	case Sum:
-		return a + b
-	case Prod:
-		return a * b
-	case Max:
-		if a > b {
-			return a
-		}
-		return b
-	case Min:
-		if a < b {
-			return a
-		}
-		return b
-	case BAnd:
-		return a & b
-	case BOr:
-		return a | b
-	}
-	panic("datatype: unknown op")
-}
-
-func reduceI64(op Op, a, b int64) int64 {
-	switch op {
-	case Sum:
-		return a + b
-	case Prod:
-		return a * b
-	case Max:
-		if a > b {
-			return a
-		}
-		return b
-	case Min:
-		if a < b {
-			return a
-		}
-		return b
-	case BAnd:
-		return a & b
-	case BOr:
-		return a | b
-	}
-	panic("datatype: unknown op")
-}
-
-func reduceF64(op Op, a, b float64) float64 {
-	switch op {
-	case Sum:
-		return a + b
-	case Prod:
-		return a * b
-	case Max:
-		return math.Max(a, b)
-	case Min:
-		return math.Min(a, b)
-	}
-	panic("datatype: op not defined for float")
+func opTypeError(op Op, t Type) error {
+	return fmt.Errorf("datatype: %v not defined for %v", op, t)
 }
 
 // EncodeFloat64 serializes vals into a fresh byte buffer.

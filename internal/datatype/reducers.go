@@ -1,0 +1,386 @@
+package datatype
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// kernel combines src into dst element-wise with lengths already validated
+// (equal, multiple of the element size). One monomorphic loop per (op, type)
+// pair: the operator is inlined into the loop body, so there is no
+// per-element dispatch and no widening through int64/float64. Loads and
+// stores go through encoding/binary's little-endian views, which the
+// compiler lowers to single moves on little-endian targets — the fast path
+// needs no unsafe. Loops advance the slices instead of indexing so the
+// compiler can prove bounds, and the sum/prod kernels unroll 4x to expose
+// independent element chains.
+type kernel func(dst, src []byte)
+
+// kernels is indexed [op][type]. A nil entry means the combination is
+// undefined (bitwise ops on floating-point types).
+var kernels = [...][5]kernel{
+	Sum:  {Uint8: sumU8, Int32: sumI32, Int64: sumI64, Float32: sumF32, Float64: sumF64},
+	Prod: {Uint8: prodU8, Int32: prodI32, Int64: prodI64, Float32: prodF32, Float64: prodF64},
+	Max:  {Uint8: maxU8, Int32: maxI32, Int64: maxI64, Float32: maxF32, Float64: maxF64},
+	Min:  {Uint8: minU8, Int32: minI32, Int64: minI64, Float32: minF32, Float64: minF64},
+	BAnd: {Uint8: bandU8, Int32: bandI32, Int64: bandI64},
+	BOr:  {Uint8: borU8, Int32: borI32, Int64: borI64},
+}
+
+// kernelFor returns the monomorphic kernel for (op, t), or nil if the
+// combination is undefined or out of range.
+func kernelFor(op Op, t Type) kernel {
+	if op < 0 || int(op) >= len(kernels) || t < 0 || int(t) >= len(kernels[op]) {
+		return nil
+	}
+	return kernels[op][t]
+}
+
+func sumU8(dst, src []byte) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+func prodU8(dst, src []byte) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] *= src[i]
+	}
+}
+
+func maxU8(dst, src []byte) {
+	src = src[:len(dst)]
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+func minU8(dst, src []byte) {
+	src = src[:len(dst)]
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+func bandU8(dst, src []byte) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+func borU8(dst, src []byte) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+func sumI32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 16 && len(src) >= 16 {
+		a0 := int32(binary.LittleEndian.Uint32(dst[0:4]))
+		b0 := int32(binary.LittleEndian.Uint32(src[0:4]))
+		a1 := int32(binary.LittleEndian.Uint32(dst[4:8]))
+		b1 := int32(binary.LittleEndian.Uint32(src[4:8]))
+		a2 := int32(binary.LittleEndian.Uint32(dst[8:12]))
+		b2 := int32(binary.LittleEndian.Uint32(src[8:12]))
+		a3 := int32(binary.LittleEndian.Uint32(dst[12:16]))
+		b3 := int32(binary.LittleEndian.Uint32(src[12:16]))
+		binary.LittleEndian.PutUint32(dst[0:4], uint32(a0+b0))
+		binary.LittleEndian.PutUint32(dst[4:8], uint32(a1+b1))
+		binary.LittleEndian.PutUint32(dst[8:12], uint32(a2+b2))
+		binary.LittleEndian.PutUint32(dst[12:16], uint32(a3+b3))
+		dst, src = dst[16:], src[16:]
+	}
+	for len(dst) >= 4 && len(src) >= 4 {
+		a := int32(binary.LittleEndian.Uint32(dst))
+		b := int32(binary.LittleEndian.Uint32(src))
+		binary.LittleEndian.PutUint32(dst, uint32(a+b))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func prodI32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		a := int32(binary.LittleEndian.Uint32(dst))
+		b := int32(binary.LittleEndian.Uint32(src))
+		binary.LittleEndian.PutUint32(dst, uint32(a*b))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func maxI32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		a := int32(binary.LittleEndian.Uint32(dst))
+		b := int32(binary.LittleEndian.Uint32(src))
+		if b > a {
+			a = b
+		}
+		binary.LittleEndian.PutUint32(dst, uint32(a))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func minI32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		a := int32(binary.LittleEndian.Uint32(dst))
+		b := int32(binary.LittleEndian.Uint32(src))
+		if b < a {
+			a = b
+		}
+		binary.LittleEndian.PutUint32(dst, uint32(a))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func bandI32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		binary.LittleEndian.PutUint32(dst, binary.LittleEndian.Uint32(dst)&binary.LittleEndian.Uint32(src))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func borI32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		binary.LittleEndian.PutUint32(dst, binary.LittleEndian.Uint32(dst)|binary.LittleEndian.Uint32(src))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func sumI64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 32 && len(src) >= 32 {
+		a0 := binary.LittleEndian.Uint64(dst[0:8])
+		b0 := binary.LittleEndian.Uint64(src[0:8])
+		a1 := binary.LittleEndian.Uint64(dst[8:16])
+		b1 := binary.LittleEndian.Uint64(src[8:16])
+		a2 := binary.LittleEndian.Uint64(dst[16:24])
+		b2 := binary.LittleEndian.Uint64(src[16:24])
+		a3 := binary.LittleEndian.Uint64(dst[24:32])
+		b3 := binary.LittleEndian.Uint64(src[24:32])
+		binary.LittleEndian.PutUint64(dst[0:8], a0+b0)
+		binary.LittleEndian.PutUint64(dst[8:16], a1+b1)
+		binary.LittleEndian.PutUint64(dst[16:24], a2+b2)
+		binary.LittleEndian.PutUint64(dst[24:32], a3+b3)
+		dst, src = dst[32:], src[32:]
+	}
+	for len(dst) >= 8 && len(src) >= 8 {
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)+binary.LittleEndian.Uint64(src))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+func prodI64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 && len(src) >= 8 {
+		a := int64(binary.LittleEndian.Uint64(dst))
+		b := int64(binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst, uint64(a*b))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+func maxI64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 && len(src) >= 8 {
+		a := int64(binary.LittleEndian.Uint64(dst))
+		b := int64(binary.LittleEndian.Uint64(src))
+		if b > a {
+			a = b
+		}
+		binary.LittleEndian.PutUint64(dst, uint64(a))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+func minI64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 && len(src) >= 8 {
+		a := int64(binary.LittleEndian.Uint64(dst))
+		b := int64(binary.LittleEndian.Uint64(src))
+		if b < a {
+			a = b
+		}
+		binary.LittleEndian.PutUint64(dst, uint64(a))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+func bandI64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 && len(src) >= 8 {
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)&binary.LittleEndian.Uint64(src))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+func borI64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 && len(src) >= 8 {
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)|binary.LittleEndian.Uint64(src))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+// Float32 sum/prod operate directly in float32. This is bit-identical to
+// the previous widen-to-float64-then-narrow path: with float64's 53-bit
+// mantissa (>= 2*24+2), the double rounding of one add or mul of float32
+// operands is innocuous.
+func sumF32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 16 && len(src) >= 16 {
+		a0 := math.Float32frombits(binary.LittleEndian.Uint32(dst[0:4]))
+		b0 := math.Float32frombits(binary.LittleEndian.Uint32(src[0:4]))
+		a1 := math.Float32frombits(binary.LittleEndian.Uint32(dst[4:8]))
+		b1 := math.Float32frombits(binary.LittleEndian.Uint32(src[4:8]))
+		a2 := math.Float32frombits(binary.LittleEndian.Uint32(dst[8:12]))
+		b2 := math.Float32frombits(binary.LittleEndian.Uint32(src[8:12]))
+		a3 := math.Float32frombits(binary.LittleEndian.Uint32(dst[12:16]))
+		b3 := math.Float32frombits(binary.LittleEndian.Uint32(src[12:16]))
+		binary.LittleEndian.PutUint32(dst[0:4], math.Float32bits(a0+b0))
+		binary.LittleEndian.PutUint32(dst[4:8], math.Float32bits(a1+b1))
+		binary.LittleEndian.PutUint32(dst[8:12], math.Float32bits(a2+b2))
+		binary.LittleEndian.PutUint32(dst[12:16], math.Float32bits(a3+b3))
+		dst, src = dst[16:], src[16:]
+	}
+	for len(dst) >= 4 && len(src) >= 4 {
+		a := math.Float32frombits(binary.LittleEndian.Uint32(dst))
+		b := math.Float32frombits(binary.LittleEndian.Uint32(src))
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(a+b))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func prodF32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		a := math.Float32frombits(binary.LittleEndian.Uint32(dst))
+		b := math.Float32frombits(binary.LittleEndian.Uint32(src))
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(a*b))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+// Float min/max keep math.Max/math.Min semantics (NaN and signed-zero
+// handling) so results match the pre-specialization implementation.
+func maxF32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		a := math.Float32frombits(binary.LittleEndian.Uint32(dst))
+		b := math.Float32frombits(binary.LittleEndian.Uint32(src))
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(float32(math.Max(float64(a), float64(b)))))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func minF32(dst, src []byte) {
+	n := len(dst) &^ 3
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		a := math.Float32frombits(binary.LittleEndian.Uint32(dst))
+		b := math.Float32frombits(binary.LittleEndian.Uint32(src))
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(float32(math.Min(float64(a), float64(b)))))
+		dst, src = dst[4:], src[4:]
+	}
+}
+
+func sumF64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 32 && len(src) >= 32 {
+		a0 := math.Float64frombits(binary.LittleEndian.Uint64(dst[0:8]))
+		b0 := math.Float64frombits(binary.LittleEndian.Uint64(src[0:8]))
+		a1 := math.Float64frombits(binary.LittleEndian.Uint64(dst[8:16]))
+		b1 := math.Float64frombits(binary.LittleEndian.Uint64(src[8:16]))
+		a2 := math.Float64frombits(binary.LittleEndian.Uint64(dst[16:24]))
+		b2 := math.Float64frombits(binary.LittleEndian.Uint64(src[16:24]))
+		a3 := math.Float64frombits(binary.LittleEndian.Uint64(dst[24:32]))
+		b3 := math.Float64frombits(binary.LittleEndian.Uint64(src[24:32]))
+		binary.LittleEndian.PutUint64(dst[0:8], math.Float64bits(a0+b0))
+		binary.LittleEndian.PutUint64(dst[8:16], math.Float64bits(a1+b1))
+		binary.LittleEndian.PutUint64(dst[16:24], math.Float64bits(a2+b2))
+		binary.LittleEndian.PutUint64(dst[24:32], math.Float64bits(a3+b3))
+		dst, src = dst[32:], src[32:]
+	}
+	for len(dst) >= 8 && len(src) >= 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(a+b))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+func prodF64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 32 && len(src) >= 32 {
+		a0 := math.Float64frombits(binary.LittleEndian.Uint64(dst[0:8]))
+		b0 := math.Float64frombits(binary.LittleEndian.Uint64(src[0:8]))
+		a1 := math.Float64frombits(binary.LittleEndian.Uint64(dst[8:16]))
+		b1 := math.Float64frombits(binary.LittleEndian.Uint64(src[8:16]))
+		a2 := math.Float64frombits(binary.LittleEndian.Uint64(dst[16:24]))
+		b2 := math.Float64frombits(binary.LittleEndian.Uint64(src[16:24]))
+		a3 := math.Float64frombits(binary.LittleEndian.Uint64(dst[24:32]))
+		b3 := math.Float64frombits(binary.LittleEndian.Uint64(src[24:32]))
+		binary.LittleEndian.PutUint64(dst[0:8], math.Float64bits(a0*b0))
+		binary.LittleEndian.PutUint64(dst[8:16], math.Float64bits(a1*b1))
+		binary.LittleEndian.PutUint64(dst[16:24], math.Float64bits(a2*b2))
+		binary.LittleEndian.PutUint64(dst[24:32], math.Float64bits(a3*b3))
+		dst, src = dst[32:], src[32:]
+	}
+	for len(dst) >= 8 && len(src) >= 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(a*b))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+func maxF64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 && len(src) >= 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(math.Max(a, b)))
+		dst, src = dst[8:], src[8:]
+	}
+}
+
+func minF64(dst, src []byte) {
+	n := len(dst) &^ 7
+	dst, src = dst[:n], src[:n]
+	for len(dst) >= 8 && len(src) >= 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(math.Min(a, b)))
+		dst, src = dst[8:], src[8:]
+	}
+}

@@ -1,0 +1,214 @@
+package datatype
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refElem is the reference scalar semantics the specialized kernels must
+// match: per-element dispatch with widening, i.e. the pre-specialization
+// Apply implementation.
+func refElem(op Op, t Type, dst, src []byte, i int) {
+	switch t {
+	case Uint8:
+		a, b := int64(dst[i]), int64(src[i])
+		dst[i] = uint8(refI64(op, a, b))
+	case Int32:
+		a := int64(int32(binary.LittleEndian.Uint32(dst[i:])))
+		b := int64(int32(binary.LittleEndian.Uint32(src[i:])))
+		binary.LittleEndian.PutUint32(dst[i:], uint32(refI64(op, a, b)))
+	case Int64:
+		a := int64(binary.LittleEndian.Uint64(dst[i:]))
+		b := int64(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], uint64(refI64(op, a, b)))
+	case Float32:
+		a := float64(math.Float32frombits(binary.LittleEndian.Uint32(dst[i:])))
+		b := float64(math.Float32frombits(binary.LittleEndian.Uint32(src[i:])))
+		binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(float32(refF64(op, a, b))))
+	case Float64:
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(refF64(op, a, b)))
+	}
+}
+
+func refI64(op Op, a, b int64) int64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	case BAnd:
+		return a & b
+	case BOr:
+		return a | b
+	}
+	panic("unreachable")
+}
+
+func refF64(op Op, a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		return math.Max(a, b)
+	case Min:
+		return math.Min(a, b)
+	}
+	panic("unreachable")
+}
+
+// TestKernelsMatchReference cross-checks every defined (op, type) kernel,
+// via both Apply and MakeReducer, against the reference per-element
+// semantics on random data (bit-exact, including odd lengths per type).
+func TestKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	types := []Type{Uint8, Int32, Int64, Float32, Float64}
+	ops := []Op{Sum, Prod, Max, Min, BAnd, BOr}
+	for _, ty := range types {
+		for _, op := range ops {
+			if (op == BAnd || op == BOr) && (ty == Float32 || ty == Float64) {
+				continue
+			}
+			es := ty.Size()
+			for _, elems := range []int{0, 1, 3, 17, 257} {
+				n := elems * es
+				dst := make([]byte, n)
+				src := make([]byte, n)
+				rng.Read(dst)
+				rng.Read(src)
+				// Keep float bit patterns finite so reference and kernel
+				// only diverge on real bugs, not NaN payload propagation
+				// (NaN handling is covered separately below).
+				if ty == Float32 || ty == Float64 {
+					sanitizeFloats(ty, dst)
+					sanitizeFloats(ty, src)
+				}
+				want := append([]byte(nil), dst...)
+				for i := 0; i < n; i += es {
+					refElem(op, ty, want, src, i)
+				}
+
+				got := append([]byte(nil), dst...)
+				if err := Apply(op, ty, got, src); err != nil {
+					t.Fatalf("Apply(%v,%v): %v", op, ty, err)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("Apply(%v,%v) n=%d diverges from reference", op, ty, elems)
+				}
+
+				r, err := MakeReducer(op, ty)
+				if err != nil {
+					t.Fatalf("MakeReducer(%v,%v): %v", op, ty, err)
+				}
+				got2 := append([]byte(nil), dst...)
+				if err := r(got2, src); err != nil {
+					t.Fatalf("reducer(%v,%v): %v", op, ty, err)
+				}
+				if string(got2) != string(want) {
+					t.Fatalf("MakeReducer(%v,%v) n=%d diverges from reference", op, ty, elems)
+				}
+			}
+		}
+	}
+}
+
+func sanitizeFloats(ty Type, buf []byte) {
+	switch ty {
+	case Float32:
+		for i := 0; i+4 <= len(buf); i += 4 {
+			if f := math.Float32frombits(binary.LittleEndian.Uint32(buf[i:])); math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+				binary.LittleEndian.PutUint32(buf[i:], math.Float32bits(1.5))
+			}
+		}
+	case Float64:
+		for i := 0; i+8 <= len(buf); i += 8 {
+			if f := math.Float64frombits(binary.LittleEndian.Uint64(buf[i:])); math.IsNaN(f) || math.IsInf(f, 0) {
+				binary.LittleEndian.PutUint64(buf[i:], math.Float64bits(2.5))
+			}
+		}
+	}
+}
+
+// TestFloatMinMaxNaN pins math.Max/math.Min NaN semantics in the
+// specialized float kernels.
+func TestFloatMinMaxNaN(t *testing.T) {
+	dst := EncodeFloat64([]float64{math.NaN(), 1})
+	src := EncodeFloat64([]float64{2, math.NaN()})
+	if err := Apply(Max, Float64, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeFloat64(dst)
+	if !math.IsNaN(got[0]) || !math.IsNaN(got[1]) {
+		t.Errorf("Max with NaN = %v, want NaN propagation (math.Max semantics)", got)
+	}
+}
+
+// TestApplyBitwiseFloatError is the regression test for the panic path:
+// a bitwise op reaching a float buffer through the exported Apply must
+// return the same error MakeReducer gives, not crash the rank.
+func TestApplyBitwiseFloatError(t *testing.T) {
+	for _, op := range []Op{BAnd, BOr} {
+		for _, ty := range []Type{Float32, Float64} {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Apply(%v,%v) panicked: %v", op, ty, r)
+				}
+			}()
+			err := Apply(op, ty, make([]byte, 8), make([]byte, 8))
+			if err == nil {
+				t.Fatalf("Apply(%v,%v) = nil, want error", op, ty)
+			}
+			_, werr := MakeReducer(op, ty)
+			if werr == nil || err.Error() != werr.Error() {
+				t.Errorf("Apply(%v,%v) error %q does not match MakeReducer error %q", op, ty, err, werr)
+			}
+		}
+	}
+}
+
+// TestApplyUnknownOpType: out-of-range ops and types error instead of
+// panicking.
+func TestApplyUnknownOpType(t *testing.T) {
+	if err := Apply(Op(99), Float64, make([]byte, 8), make([]byte, 8)); err == nil {
+		t.Error("unknown op: want error")
+	}
+	if err := Apply(Sum, Type(99), make([]byte, 8), make([]byte, 8)); err == nil {
+		t.Error("unknown type: want error")
+	}
+	if _, err := MakeReducer(Op(-1), Uint8); err == nil {
+		t.Error("negative op: want error")
+	}
+}
+
+// TestReducerZeroAlloc: the specialized reducer itself must not allocate.
+func TestReducerZeroAlloc(t *testing.T) {
+	r, err := MakeReducer(Sum, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := r(dst, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("reducer allocs/op = %g, want 0", allocs)
+	}
+}

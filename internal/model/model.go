@@ -218,6 +218,38 @@ func RingDataInterGroup(n, p int) float64 {
 
 func frac(p int) float64 { return float64(p-1) / float64(p) }
 
+// MinPipelineSeg floors the derived pipeline segment size: below ~1 KiB the
+// per-segment α dominates any overlap win on every machine we model.
+const MinPipelineSeg = 1 << 10
+
+// PipelineSegSize returns the model-optimal segment size for pipelining n
+// bytes through a depth-d communication chain (tree depth for the segmented
+// k-nomial algorithms, p−1 hops for the chain, 2(p−1) rounds for the
+// pipelined ring allreduce). With m = n/S segments the pipeline completes
+// in (d + m − 1) segment steps of cost α + βS each; minimizing over S gives
+//
+//	S* = sqrt(α·n / (β·(d−1)))
+//
+// — the standard segmentation rule production MPIs apply to large-message
+// trees. The result is clamped to [MinPipelineSeg, n]; depth ≤ 1 or a
+// degenerate β means nothing overlaps, so the whole message is one segment.
+func (m Params) PipelineSegSize(n, depth int) int {
+	if n <= 0 {
+		return 0
+	}
+	if depth <= 1 || m.Beta <= 0 || m.Alpha <= 0 {
+		return n
+	}
+	s := int(math.Sqrt(m.Alpha * float64(n) / (m.Beta * float64(depth-1))))
+	if s < MinPipelineSeg {
+		s = MinPipelineSeg
+	}
+	if s > n {
+		s = n
+	}
+	return s
+}
+
 // OptimalK sweeps k in [2, kMax] and returns the radix minimizing cost(k).
 func OptimalK(kMax int, cost func(k int) float64) (bestK int, bestT float64) {
 	bestK, bestT = 2, math.Inf(1)

@@ -3,6 +3,7 @@ package nbc
 import (
 	"fmt"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/datatype"
@@ -59,9 +60,10 @@ var families = map[string]family{
 	"bcast_chain":             {lowKRing, 1},
 
 	// Reduce.
-	"reduce_knomial":  {lowKnomial, 0},
-	"reduce_binomial": {lowKnomial, 2},
-	"reduce_linear":   {lowKnomial, 2},
+	"reduce_knomial":           {lowKnomial, 0},
+	"reduce_knomial_segmented": {lowKnomial, 0}, // unsegmented: one tree pass
+	"reduce_binomial":          {lowKnomial, 2},
+	"reduce_linear":            {lowKnomial, 2},
 
 	// Allgather.
 	"allgather_knomial": {lowKnomial, 0},
@@ -73,14 +75,15 @@ var families = map[string]family{
 	"allgather_linear":  {lowKRing, 1},
 
 	// Allreduce.
-	"allreduce_knomial":      {lowKnomial, 0},
-	"allreduce_recmul":       {lowRecMul, 0},
-	"allreduce_recdbl":       {lowRecMul, 2},
-	"allreduce_kring":        {lowKRing, 0},
-	"allreduce_ring":         {lowKRing, 1},
-	"allreduce_rabenseifner": {lowKRing, 1},
-	"allreduce_linear":       {lowKnomial, 2},
-	"allreduce_hier":         {lowKnomial, 2},
+	"allreduce_knomial":        {lowKnomial, 0},
+	"allreduce_recmul":         {lowRecMul, 0},
+	"allreduce_recdbl":         {lowRecMul, 2},
+	"allreduce_kring":          {lowKRing, 0},
+	"allreduce_ring":           {lowKRing, 1},
+	"allreduce_ring_pipelined": {lowKRing, 1}, // unsegmented: one ring pass
+	"allreduce_rabenseifner":   {lowKRing, 1},
+	"allreduce_linear":         {lowKnomial, 2},
+	"allreduce_hier":           {lowKnomial, 2},
 
 	// Reduce-scatter.
 	"reducescatter_kring":      {lowKRing, 0},
@@ -130,6 +133,16 @@ func Compile(c comm.Comm, tab *tuning.Table, op core.CollOp, a core.Args) (*Prog
 
 	p, me := c.Size(), c.Rank()
 	b := &progBuilder{}
+	// Until the program is handed off, its staging buffers are private to
+	// the compiler: any error return recycles them (nothing is in flight).
+	compiled := false
+	defer func() {
+		if !compiled {
+			for _, s := range b.scratch {
+				scratch.Put(s)
+			}
+		}
+	}()
 	switch op {
 	case core.OpBcast:
 		if err := checkRoot(p, a.Root); err != nil {
@@ -195,15 +208,17 @@ func Compile(c comm.Comm, tab *tuning.Table, op core.CollOp, a core.Args) (*Prog
 	}
 
 	prog := &Program{
-		Ops:    b.ops,
-		OpName: iname(op),
-		Alg:    "nbc:" + alg.Name,
-		K:      k,
-		Bytes:  nbytes,
+		Ops:     b.ops,
+		OpName:  iname(op),
+		Alg:     "nbc:" + alg.Name,
+		K:       k,
+		Bytes:   nbytes,
+		Scratch: b.scratch,
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
+	compiled = true
 	return prog, nil
 }
 

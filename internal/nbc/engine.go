@@ -3,6 +3,7 @@ package nbc
 import (
 	"errors"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 	"exacoll/internal/metrics"
@@ -296,10 +297,19 @@ func (r *Request) fail(err error) {
 }
 
 // finish retires the request: records telemetry and removes it from the
-// engine's in-flight list.
+// engine's in-flight list. On success every op completed, so all
+// communication targeting the program's scratch has settled and the
+// buffers can be recycled; on error abandoned operations may still
+// target them (see fail), so they are left to the GC.
 func (r *Request) finish(err error) {
 	r.err = err
 	r.done = true
+	if err == nil {
+		for _, s := range r.prog.Scratch {
+			scratch.Put(s)
+		}
+		r.prog.Scratch = nil
+	}
 	e := r.eng
 	for i, q := range e.inflight {
 		if q == r {

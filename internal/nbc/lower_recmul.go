@@ -35,7 +35,7 @@ func lowerAllreduceRecMul(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op
 	case me < 2*rem && me%2 == 0:
 		last = b.send(me+1, slotFold, recvbuf, last)
 	case me < 2*rem:
-		tmp := make([]byte, len(sendbuf))
+		tmp := b.scratchBuf(len(sendbuf))
 		got := b.recv(me-1, slotFold, tmp)
 		last = b.reduce(op, dt, recvbuf, tmp, got, last)
 		newrank = me / 2
@@ -48,7 +48,7 @@ func lowerAllreduceRecMul(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op
 			members := st.GroupMembers(newrank, round)
 			// Snapshot the accumulator so the sends read a stable buffer
 			// while this round's reduces run.
-			outgoing := make([]byte, len(recvbuf))
+			outgoing := b.scratchBuf(len(recvbuf))
 			snap := b.copyOp([]Move{{Dst: outgoing, Src: recvbuf}}, last)
 			recvs := make([]int, 0, len(members)-1)
 			incoming := make([][]byte, 0, len(members)-1)
@@ -56,7 +56,7 @@ func lowerAllreduceRecMul(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op
 				if m == newrank {
 					continue
 				}
-				buf := make([]byte, len(recvbuf))
+				buf := b.scratchBuf(len(recvbuf))
 				incoming = append(incoming, buf)
 				recvs = append(recvs, b.recv(st.Real(m), slotRounds, buf))
 			}
@@ -120,7 +120,7 @@ func lowerRecMulAllgather(b *progBuilder, tr *blockTracker, p, me int, buf []byt
 				_, sz := layout(blk)
 				size += sz
 			}
-			outgoing := make([]byte, size)
+			outgoing := b.scratchBuf(size)
 			moves := make([]Move, 0, len(myBlocks))
 			var packDeps []int
 			pos := 0
@@ -151,7 +151,7 @@ func lowerRecMulAllgather(b *progBuilder, tr *blockTracker, p, me int, buf []byt
 					_, s := layout(blk)
 					sz += s
 				}
-				staging := make([]byte, sz)
+				staging := b.scratchBuf(sz)
 				got := b.recv(st.Real(m), slotRounds, staging)
 				rxs = append(rxs, rx{blocks: blocks, got: got, buf: staging})
 			}

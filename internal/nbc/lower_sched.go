@@ -31,7 +31,7 @@ func lowerSchedAllgather(b *progBuilder, tr *blockTracker, s *core.Schedule, me 
 				tr.noteWrite(blk, idx)
 				continue
 			}
-			staging := make([]byte, rx.Size)
+			staging := b.scratchBuf(rx.Size)
 			got := b.recv(rx.Peer, slot, staging)
 			moves := make([]Move, 0, len(rx.Blocks))
 			deps := []int{got}
@@ -56,7 +56,7 @@ func lowerSchedAllgather(b *progBuilder, tr *blockTracker, s *core.Schedule, me 
 				continue
 			}
 			// Pack into staging, then send the packed message.
-			staging := make([]byte, tx.Size)
+			staging := b.scratchBuf(tx.Size)
 			moves := make([]Move, 0, len(tx.Blocks))
 			var deps []int
 			pos := 0
@@ -91,7 +91,7 @@ func lowerSchedReduceScatter(b *progBuilder, tr *blockTracker, s *core.Schedule,
 		}
 		sends, recvs := core.XfersFor(rev, me, layout)
 		for _, rx := range recvs {
-			staging := make([]byte, rx.Size)
+			staging := b.scratchBuf(rx.Size)
 			got := b.recv(rx.Peer, slot, staging)
 			pos := 0
 			for _, blk := range rx.Blocks {
@@ -110,7 +110,7 @@ func lowerSchedReduceScatter(b *progBuilder, tr *blockTracker, s *core.Schedule,
 				tr.noteRead(blk, idx)
 				continue
 			}
-			staging := make([]byte, tx.Size)
+			staging := b.scratchBuf(tx.Size)
 			moves := make([]Move, 0, len(tx.Blocks))
 			var deps []int
 			pos := 0
@@ -194,7 +194,7 @@ func lowerReduceScatterKRing(b *progBuilder, p, me int, sendbuf, recvbuf []byte,
 	layout := core.FairLayoutAligned(n, p, dt.Size())
 	off, sz := layout(me)
 	tr := newBlockTracker()
-	work := make([]byte, n)
+	work := b.scratchBuf(n)
 	init := b.copyOp([]Move{{Dst: work, Src: sendbuf}})
 	for blk := 0; blk < p; blk++ {
 		tr.noteWrite(blk, init)

@@ -43,7 +43,7 @@ func lowerReduceKnomial(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op d
 	if me == root {
 		acc = recvbuf
 	} else {
-		acc = make([]byte, len(sendbuf))
+		acc = b.scratchBuf(len(sendbuf))
 	}
 	last = b.copyOp([]Move{{Dst: acc, Src: sendbuf}})
 	if p == 1 {
@@ -56,7 +56,7 @@ func lowerReduceKnomial(b *progBuilder, p, me int, sendbuf, recvbuf []byte, op d
 	recvs := make([]int, len(children))
 	bufs := make([][]byte, len(children))
 	for i, ch := range children {
-		bufs[i] = make([]byte, len(sendbuf))
+		bufs[i] = b.scratchBuf(len(sendbuf))
 		recvs[i] = b.recv(core.AbsRank(ch.VRank, root, p), slot, bufs[i])
 	}
 	for i := len(children) - 1; i >= 0; i-- {
@@ -78,7 +78,7 @@ func lowerGatherKnomial(b *progBuilder, p, me int, sendbuf, recvbuf []byte, root
 	children := t.Children(v)
 
 	span := t.Span(v)
-	tmp := make([]byte, n*span)
+	tmp := b.scratchBuf(n * span)
 	own := b.copyOp([]Move{{Dst: tmp[:n], Src: sendbuf}})
 
 	deps := []int{own}
@@ -120,7 +120,7 @@ func lowerScatterFairForBcast(b *progBuilder, tr *blockTracker, p, me int, buf [
 	var packed []byte
 	var got int
 	if v == 0 {
-		packed = make([]byte, n)
+		packed = b.scratchBuf(n)
 		moves := make([]Move, 0, p)
 		for vr := 0; vr < p; vr++ {
 			off, sz := core.FairBlock(n, p, core.AbsRank(vr, root, p))
@@ -134,7 +134,7 @@ func lowerScatterFairForBcast(b *progBuilder, tr *blockTracker, p, me int, buf [
 		}
 	} else {
 		span := t.Span(v)
-		packed = make([]byte, packedOff[v+span]-packedOff[v])
+		packed = b.scratchBuf(packedOff[v+span] - packedOff[v])
 		got = b.recv(core.AbsRank(t.Parent(v), root, p), slot, packed)
 	}
 	base := packedOff[v]

@@ -32,6 +32,7 @@ package nbc
 import (
 	"fmt"
 
+	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
 )
@@ -104,6 +105,12 @@ type Program struct {
 	K int
 	// Bytes is the selection size the algorithm was chosen at.
 	Bytes int
+	// Scratch lists pool-owned staging buffers private to this program's
+	// ops. The engine recycles them when the program completes successfully;
+	// on error, abandoned operations may still target them, so they are
+	// left to the GC instead. A program is single-use once its scratch has
+	// been released.
+	Scratch [][]byte
 }
 
 // Validate checks the structural invariants the engine relies on:
@@ -141,7 +148,17 @@ func (p *Program) Validate() error {
 // progBuilder accumulates a program's ops during lowering. The helpers
 // return the new op's index so lowerings can wire dependencies.
 type progBuilder struct {
-	ops []Op
+	ops     []Op
+	scratch [][]byte
+}
+
+// scratchBuf allocates an n-byte staging buffer from the scratch pool and
+// records it as program-owned, so the engine can recycle it when the
+// program completes.
+func (b *progBuilder) scratchBuf(n int) []byte {
+	s := scratch.Get(n)
+	b.scratch = append(b.scratch, s)
+	return s
 }
 
 // add appends op with deduplicated, valid deps.

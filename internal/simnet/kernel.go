@@ -7,6 +7,7 @@ import (
 
 	"exacoll/internal/comm"
 	"exacoll/internal/machine"
+	"exacoll/internal/model"
 )
 
 // The kernel is a conservative sequential discrete-event engine. Each rank
@@ -561,6 +562,14 @@ func (c *simComm) Locality(rank int) (comm.Locality, bool) {
 		PPN:       ppn,
 		Ports:     c.k.spec.Ports,
 	}, true
+}
+
+// ModelParams implements model.MachineLike with the internode (α, β, γ)
+// derived from the simulated machine's spec, so segmented algorithms size
+// their pipeline segments from the same parameters the simulator charges.
+func (c *simComm) ModelParams() model.Params {
+	inter, _ := model.FromSpec(c.k.spec)
+	return inter
 }
 
 func (c *simComm) ChargeCompute(n int) {

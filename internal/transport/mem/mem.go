@@ -10,6 +10,13 @@
 // comm capability interfaces: Deadliner (per-op timeouts with full
 // cancellation), FailureDetector (driven by World.Kill, the test harness's
 // rank-kill switch), and Purger (tag-window quiesce).
+//
+// The hot path is allocation-slim: eager payload copies come from the
+// internal/buf pool and return to it once consumed (matched into a posted
+// buffer, purged, or dropped at teardown); successful sends share one
+// immutable request; and a receive is a single allocation whose completion
+// is signalled through the endpoint's condition variable — a channel and
+// timer exist only when a per-op deadline is armed.
 package mem
 
 import (
@@ -18,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"exacoll/internal/buf"
 	"exacoll/internal/comm"
 )
 
@@ -27,89 +35,88 @@ type matchKey struct {
 	tag comm.Tag
 }
 
-// message is an eagerly-buffered in-flight message.
-type message struct {
-	payload []byte // owned copy
-}
-
-// postedRecv is a receive waiting for its match.
-type postedRecv struct {
-	buf  []byte
-	done chan struct{}
-	n    int
-	err  error
-}
-
-// endpoint holds one rank's incoming-message state.
+// endpoint holds one rank's incoming-message state. All fields are guarded
+// by mu; cond (with L = &mu) is broadcast whenever any receive posted on
+// this endpoint completes.
 type endpoint struct {
 	mu         sync.Mutex
-	unexpected map[matchKey][]*message
-	posted     map[matchKey][]*postedRecv
+	cond       sync.Cond
+	unexpected map[matchKey][][]byte // eager payload copies, pool-owned
+	posted     map[matchKey][]*recvReq
 	peerErr    map[int]error // per-peer failure (World.Kill), sticky
+	freeReqs   []*recvReq    // settled receives recycled by the Recv path
 	closed     bool
 }
 
+// maxFreeReqs bounds the per-endpoint receive-request free list.
+const maxFreeReqs = 64
+
 func newEndpoint() *endpoint {
-	return &endpoint{
-		unexpected: make(map[matchKey][]*message),
-		posted:     make(map[matchKey][]*postedRecv),
+	e := &endpoint{
+		unexpected: make(map[matchKey][][]byte),
+		posted:     make(map[matchKey][]*recvReq),
 		peerErr:    make(map[int]error),
 	}
+	e.cond.L = &e.mu
+	return e
 }
 
-// deliver hands a message to this endpoint: completes the oldest posted
-// receive for the key if one exists, otherwise queues the message.
+// deliver hands a message to this endpoint, taking ownership of payload
+// (a pool buffer): it completes the oldest posted receive for the key if
+// one exists, otherwise queues the payload on the unexpected queue.
 func (e *endpoint) deliver(key matchKey, payload []byte) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
+		buf.Put(payload)
 		return comm.ErrClosed
 	}
 	if prs := e.posted[key]; len(prs) > 0 {
 		pr := prs[0]
-		if len(prs) == 1 {
-			delete(e.posted, key)
-		} else {
-			e.posted[key] = prs[1:]
-		}
+		// Pop by shifting down so the map entry keeps its backing array:
+		// steady-state traffic on a key then appends without allocating.
+		copy(prs, prs[1:])
+		prs[len(prs)-1] = nil
+		e.posted[key] = prs[:len(prs)-1]
 		pr.complete(payload)
 		return nil
 	}
-	e.unexpected[key] = append(e.unexpected[key], &message{payload: payload})
+	e.unexpected[key] = append(e.unexpected[key], payload)
 	return nil
-}
-
-// complete finishes a posted receive with the given payload.
-func (pr *postedRecv) complete(payload []byte) {
-	if len(payload) > len(pr.buf) {
-		pr.err = fmt.Errorf("%w: have %d bytes, message is %d",
-			comm.ErrTruncated, len(pr.buf), len(payload))
-	} else {
-		copy(pr.buf, payload)
-		pr.n = len(payload)
-	}
-	close(pr.done)
 }
 
 // post registers a receive, matching an already-queued message if present.
 // A message buffered before the sender died is still deliverable (it was
 // "on the wire"); only once the queue is empty does the peer's death fail
 // the receive.
-func (e *endpoint) post(key matchKey, buf []byte) (*postedRecv, error) {
-	pr := &postedRecv{buf: buf, done: make(chan struct{})}
+func (e *endpoint) post(key matchKey, recvBuf []byte, timeout time.Duration) (*recvReq, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, comm.ErrClosed
 	}
+	var pr *recvReq
+	if n := len(e.freeReqs); n > 0 && timeout <= 0 {
+		pr = e.freeReqs[n-1]
+		e.freeReqs[n-1] = nil
+		e.freeReqs = e.freeReqs[:n-1]
+		*pr = recvReq{ep: e, key: key, buf: recvBuf}
+	} else {
+		pr = &recvReq{ep: e, key: key, buf: recvBuf, timeout: timeout}
+		if timeout > 0 {
+			// Only deadline-armed receives need a channel: Wait must be
+			// able to select against a timer. The common path completes
+			// through the endpoint's condition variable instead.
+			pr.done = make(chan struct{})
+		}
+	}
 	if msgs := e.unexpected[key]; len(msgs) > 0 {
 		m := msgs[0]
-		if len(msgs) == 1 {
-			delete(e.unexpected, key)
-		} else {
-			e.unexpected[key] = msgs[1:]
-		}
-		pr.complete(m.payload)
+		// Shift-down pop, retaining the entry's backing array (see deliver).
+		copy(msgs, msgs[1:])
+		msgs[len(msgs)-1] = nil
+		e.unexpected[key] = msgs[:len(msgs)-1]
+		pr.complete(m)
 		return pr, nil
 	}
 	if err := e.peerErr[key.src]; err != nil {
@@ -119,10 +126,26 @@ func (e *endpoint) post(key matchKey, buf []byte) (*postedRecv, error) {
 	return pr, nil
 }
 
+// release returns a settled receive to the endpoint's free list. Only the
+// synchronous Recv path may call it: Irecv hands the request to the caller,
+// who may retain it indefinitely. Deadline-armed receives carry a closed
+// channel that cannot be reused, so they go to the GC instead.
+func (e *endpoint) release(r *recvReq) {
+	if r.done != nil {
+		return
+	}
+	e.mu.Lock()
+	if len(e.freeReqs) < maxFreeReqs {
+		*r = recvReq{}
+		e.freeReqs = append(e.freeReqs, r)
+	}
+	e.mu.Unlock()
+}
+
 // cancel removes a still-pending posted receive and fails it with err. It
 // reports false when the receive already completed (or was removed)
 // concurrently, in which case its recorded result stands.
-func (e *endpoint) cancel(key matchKey, pr *postedRecv, err error) bool {
+func (e *endpoint) cancel(key matchKey, pr *recvReq, err error) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	prs := e.posted[key]
@@ -130,13 +153,10 @@ func (e *endpoint) cancel(key matchKey, pr *postedRecv, err error) bool {
 		if q != pr {
 			continue
 		}
-		if len(prs) == 1 {
-			delete(e.posted, key)
-		} else {
-			e.posted[key] = append(prs[:i:i], prs[i+1:]...)
-		}
-		pr.err = err
-		close(pr.done)
+		copy(prs[i:], prs[i+1:])
+		prs[len(prs)-1] = nil
+		e.posted[key] = prs[:len(prs)-1]
+		pr.fail(err)
 		return true
 	}
 	return false
@@ -157,21 +177,24 @@ func (e *endpoint) failPeer(peer int, err error) {
 			continue
 		}
 		for _, pr := range prs {
-			pr.err = err
-			close(pr.done)
+			pr.fail(err)
 		}
 		delete(e.posted, key)
 	}
 }
 
 // purgeTags implements the quiesce: buffered messages with tags in [lo, hi)
-// are dropped and receives still posted there are cancelled with
-// ErrTimeout (they belong to an aborted collective no one will complete).
+// are dropped (their pool buffers recycled) and receives still posted there
+// are cancelled with ErrTimeout (they belong to an aborted collective no
+// one will complete).
 func (e *endpoint) purgeTags(lo, hi comm.Tag) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for key := range e.unexpected {
+	for key, msgs := range e.unexpected {
 		if key.tag >= lo && key.tag < hi {
+			for _, m := range msgs {
+				buf.Put(m)
+			}
 			delete(e.unexpected, key)
 		}
 	}
@@ -180,10 +203,30 @@ func (e *endpoint) purgeTags(lo, hi comm.Tag) {
 			continue
 		}
 		for _, pr := range prs {
-			pr.err = fmt.Errorf("%w: receive purged with its tag window", comm.ErrTimeout)
-			close(pr.done)
+			pr.fail(fmt.Errorf("%w: receive purged with its tag window", comm.ErrTimeout))
 		}
 		delete(e.posted, key)
+	}
+}
+
+// shutdown marks the endpoint closed, failing every pending receive with
+// ErrClosed and recycling the unexpected queue (nothing can match it once
+// closed). Caller must not hold e.mu.
+func (e *endpoint) shutdown() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	for key, prs := range e.posted {
+		for _, pr := range prs {
+			pr.fail(comm.ErrClosed)
+		}
+		delete(e.posted, key)
+	}
+	for key, msgs := range e.unexpected {
+		for _, m := range msgs {
+			buf.Put(m)
+		}
+		delete(e.unexpected, key)
 	}
 }
 
@@ -251,17 +294,7 @@ func (w *World) Kill(rank int) {
 		return
 	}
 	// The dying rank's own pending receives release with ErrClosed.
-	ep := w.endpoints[rank]
-	ep.mu.Lock()
-	ep.closed = true
-	for key, prs := range ep.posted {
-		for _, pr := range prs {
-			pr.err = comm.ErrClosed
-			close(pr.done)
-		}
-		delete(ep.posted, key)
-	}
-	ep.mu.Unlock()
+	w.endpoints[rank].shutdown()
 	err := fmt.Errorf("%w: rank %d killed", comm.ErrPeerDead, rank)
 	for r, e := range w.endpoints {
 		if r != rank {
@@ -274,16 +307,7 @@ func (w *World) Kill(rank int) {
 // blocked receives are released with ErrClosed.
 func (w *World) Close() {
 	for _, e := range w.endpoints {
-		e.mu.Lock()
-		e.closed = true
-		for key, prs := range e.posted {
-			for _, pr := range prs {
-				pr.err = comm.ErrClosed
-				close(pr.done)
-			}
-			delete(e.posted, key)
-		}
-		e.mu.Unlock()
+		e.shutdown()
 	}
 }
 
@@ -379,7 +403,7 @@ func (c *memComm) Locality(rank int) (comm.Locality, bool) {
 	}, true
 }
 
-func (c *memComm) Send(to int, tag comm.Tag, buf []byte) error {
+func (c *memComm) Send(to int, tag comm.Tag, b []byte) error {
 	if err := comm.CheckPeer(c.rank, to, c.Size()); err != nil {
 		return err
 	}
@@ -389,8 +413,8 @@ func (c *memComm) Send(to int, tag comm.Tag, buf []byte) error {
 	if c.world.dead[to].Load() {
 		return fmt.Errorf("%w: send to killed rank %d", comm.ErrPeerDead, to)
 	}
-	payload := make([]byte, len(buf))
-	copy(payload, buf)
+	payload := buf.Get(len(b))
+	copy(payload, b)
 	return c.world.endpoints[to].deliver(matchKey{src: c.rank, tag: tag}, payload)
 }
 
@@ -399,73 +423,133 @@ func (c *memComm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := req.Wait(); err != nil {
-		return 0, err
+	// The request never escapes this frame, so after Wait settles it the
+	// endpoint can recycle it.
+	pr := req.(*recvReq)
+	werr := pr.Wait()
+	n := pr.n // stable once settled; Wait's lock ordered this read
+	c.world.endpoints[c.rank].release(pr)
+	if werr != nil {
+		return 0, werr
 	}
-	return req.Len(), nil
+	return n, nil
 }
 
 // sentRequest is an immediately-complete send request (eager semantics).
-type sentRequest struct {
-	n   int
-	err error
-}
+// Every successful Isend returns the same shared instance: the operation
+// finished at post time and carries no per-send state. Len reports 0,
+// which the comm.Request contract permits for sends.
+type sentRequest struct{}
 
-func (r *sentRequest) Wait() error { return r.err }
-func (r *sentRequest) Len() int    { return r.n }
+func (*sentRequest) Wait() error { return nil }
+func (*sentRequest) Len() int    { return 0 }
 
 // Test implements comm.Tester: eager sends complete at post time.
-func (r *sentRequest) Test() (bool, error) { return true, r.err }
+func (*sentRequest) Test() (bool, error) { return true, nil }
+
+var eagerSent = &sentRequest{}
 
 func (c *memComm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
 	err := c.Send(to, tag, buf)
 	if err != nil {
 		return nil, err
 	}
-	return &sentRequest{n: len(buf)}, nil
+	return eagerSent, nil
 }
 
-// recvRequest wraps a postedRecv as a comm.Request, carrying the handle's
-// per-op timeout captured at post time.
-type recvRequest struct {
-	pr      *postedRecv
+// recvReq is a posted receive and its comm.Request handle in one object.
+// Mutable state (n, err, completed) is guarded by ep.mu; completion is
+// announced on ep.cond, plus the done channel when a deadline armed it.
+type recvReq struct {
 	ep      *endpoint
 	key     matchKey
+	buf     []byte
+	n       int
+	err     error
+	settled bool
+	done    chan struct{} // non-nil only when timeout > 0
 	timeout time.Duration
 }
 
-func (r *recvRequest) Wait() error {
-	if r.timeout <= 0 {
-		<-r.pr.done
-		return r.pr.err
+// complete finishes the receive with the given payload, taking ownership
+// of it (a pool buffer). Caller holds ep.mu.
+func (r *recvReq) complete(payload []byte) {
+	if len(payload) > len(r.buf) {
+		r.err = fmt.Errorf("%w: have %d bytes, message is %d",
+			comm.ErrTruncated, len(r.buf), len(payload))
+	} else {
+		copy(r.buf, payload)
+		r.n = len(payload)
+	}
+	buf.Put(payload)
+	r.finish()
+}
+
+// fail finishes the receive with err. Caller holds ep.mu.
+func (r *recvReq) fail(err error) {
+	r.err = err
+	r.finish()
+}
+
+func (r *recvReq) finish() {
+	r.settled = true
+	if r.done != nil {
+		close(r.done)
+	}
+	r.ep.cond.Broadcast()
+}
+
+func (r *recvReq) Wait() error {
+	if r.done == nil {
+		r.ep.mu.Lock()
+		for !r.settled {
+			r.ep.cond.Wait()
+		}
+		r.ep.mu.Unlock()
+		return r.err
 	}
 	timer := time.NewTimer(r.timeout)
 	defer timer.Stop()
 	select {
-	case <-r.pr.done:
-		return r.pr.err
+	case <-r.done:
+		return r.err
 	case <-timer.C:
 		terr := fmt.Errorf("%w: no message from rank %d tag %d within %v",
 			comm.ErrTimeout, r.key.src, r.key.tag, r.timeout)
-		if r.ep.cancel(r.key, r.pr, terr) {
+		if r.ep.cancel(r.key, r, terr) {
 			return terr
 		}
 		// Completed concurrently with the timer; the result stands.
-		<-r.pr.done
-		return r.pr.err
+		<-r.done
+		return r.err
 	}
 }
 
-func (r *recvRequest) Len() int { return r.pr.n }
+func (r *recvReq) Len() int {
+	if r.done != nil {
+		<-r.done
+		return r.n
+	}
+	r.ep.mu.Lock()
+	n := r.n
+	r.ep.mu.Unlock()
+	return n
+}
 
 // Test implements comm.Tester: a nonblocking completion poll.
-func (r *recvRequest) Test() (bool, error) {
-	select {
-	case <-r.pr.done:
-		return true, r.pr.err
-	default:
-		return false, nil
+func (r *recvReq) Test() (bool, error) {
+	if r.done != nil {
+		select {
+		case <-r.done:
+			return true, r.err
+		default:
+			return false, nil
+		}
 	}
+	r.ep.mu.Lock()
+	settled, err := r.settled, r.err
+	r.ep.mu.Unlock()
+	return settled, err
 }
 
 func (c *memComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
@@ -475,9 +559,9 @@ func (c *memComm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error
 	if c.world.dead[c.rank].Load() {
 		return nil, comm.ErrClosed
 	}
-	pr, err := c.world.endpoints[c.rank].post(matchKey{src: from, tag: tag}, buf)
+	pr, err := c.world.endpoints[c.rank].post(matchKey{src: from, tag: tag}, buf, c.opTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &recvRequest{pr: pr, ep: c.world.endpoints[c.rank], key: matchKey{src: from, tag: tag}, timeout: c.opTimeout}, nil
+	return pr, nil
 }
