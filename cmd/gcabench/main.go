@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|hotpath|all
+//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|hotpath|flight|all
 //
 // Flags:
 //
@@ -14,6 +14,8 @@
 //	-large N     scale-study node count (default 1024)
 //	-ppnnodes N  node count for 8-PPN runs (default 32)
 //	-ascii       also render ASCII plots to stdout
+//	-cpuprofile F  write a CPU profile (pprof-labeled by collective/alg/k)
+//	-memprofile F  write a heap profile at exit
 package main
 
 import (
@@ -22,12 +24,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"exacoll/internal/bench"
 	"exacoll/internal/machine"
 	"exacoll/internal/model"
+	"exacoll/internal/tuning"
 )
 
 func main() {
@@ -38,10 +43,39 @@ func main() {
 	ppnNodes := flag.Int("ppnnodes", 32, "node count for 8-PPN runs")
 	placement := flag.String("placement", "contiguous", "rank-to-node placement for multi-PPN grids: contiguous|dispersed")
 	ascii := flag.Bool("ascii", false, "render ASCII plots to stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file; pprof labels segment samples by (collective, alg, k)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		tuning.EnableProfLabels(true)
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		tuning.EnableProfLabels(true)
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gcabench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gcabench: memprofile:", err)
+			}
+		}()
+	}
+
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|hotpath|all")
+		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|hotpath|flight|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -103,6 +137,8 @@ func main() {
 			emitModel(*out, cfg, *ascii)
 		case "hotpath":
 			runHotpath(*out, cfg)
+		case "flight":
+			runFlight(*out, cfg)
 		default:
 			f, ok := targets[arg]
 			if !ok {
@@ -193,6 +229,41 @@ func runHotpath(out string, cfg bench.Config) {
 	if !rep.Pass {
 		for _, f := range rep.Failures {
 			fmt.Fprintf(os.Stderr, "hotpath gate FAILED: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("   gate: PASS")
+}
+
+// runFlight runs the flight-recorder overhead gate, writes
+// BENCH_flight.json plus the sample dump artifact (flight_sample.json),
+// and exits nonzero on gate failure — the CI hook that keeps the
+// always-on recorder cheap enough to actually leave always on.
+func runFlight(out string, cfg bench.Config) {
+	dumpPath := filepath.Join(out, "flight_sample.json")
+	rep, err := cfg.FlightOverhead(dumpPath)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(out, "BENCH_flight.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== flight: %s\n", rep.Caption)
+	fmt.Printf("   allreduce 4KiB p=%d: bare %.0f ns/op, recorded %.0f ns/op (serialized on 1 proc)\n",
+		rep.P, rep.Metrics.BareNsOp, rep.Metrics.RecordedNsOp)
+	fmt.Printf("   per-rank overhead %.0f ns/op -> %.3fx latency, alloc delta %+.0f/op\n",
+		rep.Metrics.PerRankOverheadNs, rep.Metrics.OverheadRatio, rep.Metrics.AllocDeltaOp)
+	fmt.Printf("   sample dump: %d events across %d ranks -> %s\n",
+		rep.Metrics.DumpEvents, rep.P, dumpPath)
+	fmt.Printf("   wrote %s\n", path)
+	if !rep.Pass {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "flight gate FAILED: %s\n", f)
 		}
 		os.Exit(1)
 	}

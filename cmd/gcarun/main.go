@@ -21,6 +21,8 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/datatype"
+	"exacoll/internal/flight"
 	"exacoll/internal/metrics"
 	"exacoll/internal/osu"
 	"exacoll/internal/topo"
@@ -50,14 +53,48 @@ func main() {
 	spawn := flag.Int("spawn", 0, "spawn N local ranks and act as launcher")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve HTTP observability endpoints (/metrics Prometheus, /debug/collectives JSON) on this address while running; with -spawn, rank r gets port+r")
+	flightPath := flag.String("flight", "",
+		"record a flight trace of the run and write the merged cross-rank dump (JSON, for `gcaviz flight`) to this file from rank 0")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (with -spawn, rank r gets a .rank<r> suffix); pprof labels segment samples by (collective, alg, k)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (with -spawn, rank r gets a .rank<r> suffix)")
 	flag.Parse()
 
 	if *spawn > 0 {
-		launch(*spawn, *metricsAddr)
+		launch(*spawn, *metricsAddr, *cpuprofile, *memprofile)
 		return
 	}
 	if *rank < 0 || *size < 1 {
 		fatal(fmt.Errorf("need -rank and -size (or -spawn N)"))
+	}
+
+	if *cpuprofile != "" {
+		// Label collective execution so `go tool pprof -tagfocus` can slice
+		// samples by (collective, alg, k). Labels are off by default because
+		// pprof.Do allocates per wrapped call.
+		tuning.EnableProfLabels(true)
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		tuning.EnableProfLabels(true)
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gcarun: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gcarun: memprofile:", err)
+			}
+		}()
 	}
 
 	op, err := parseOp(*coll)
@@ -91,6 +128,13 @@ func main() {
 		reg = metrics.NewRegistry()
 		c = reg.Instrument(c)
 		go serveMetrics(*metricsAddr, reg)
+	}
+	var frec *flight.RankRecorder
+	if *flightPath != "" {
+		// Outermost wrapper so the ring sees everything, including the
+		// metrics-counted traffic and per-level hierarchical phases.
+		c = flight.NewRecorder(flight.Options{}).Wrap(c)
+		frec = flight.RecorderOf(c)
 	}
 
 	// -ppn routes the supported collectives through the multi-level
@@ -181,6 +225,29 @@ func main() {
 				*rank, t.HierIntraSends, t.HierIntraBytes, t.HierInterSends, t.HierInterBytes)
 		}
 	}
+	// Flight collection is itself collective (clock probes + ring gather),
+	// so it doubles as a sync point before the final barrier.
+	if frec != nil {
+		d, err := flight.Collect(c, frec, flight.CollectOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		if *rank == 0 {
+			f, err := os.Create(*flightPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := d.WriteJSON(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("rank 0: wrote flight dump %s (analyze with `gcaviz flight %s`)\n",
+				*flightPath, *flightPath)
+		}
+	}
 	// Final barrier so no rank tears its connections down while a peer is
 	// still inside the last collective.
 	if err := core.BarrierDissemination(c); err != nil {
@@ -225,14 +292,18 @@ func metricsAddrForRank(addr string, rank int) string {
 }
 
 // launch re-executes this binary once per rank with the original flags.
-func launch(n int, metricsAddr string) {
+// Per-rank outputs (metrics endpoint, profiles) get a rank-distinct
+// variant so spawned processes do not clobber each other; the flight dump
+// path is forwarded as-is (only rank 0 writes it).
+func launch(n int, metricsAddr, cpuprofile, memprofile string) {
 	self, err := os.Executable()
 	if err != nil {
 		fatal(err)
 	}
 	args := []string{}
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "spawn" || f.Name == "metrics-addr" {
+		switch f.Name {
+		case "spawn", "metrics-addr", "cpuprofile", "memprofile":
 			return
 		}
 		args = append(args, "-"+f.Name, f.Value.String())
@@ -245,6 +316,12 @@ func launch(n int, metricsAddr string) {
 		rargs := append(append([]string{}, args...), "-rank", strconv.Itoa(r))
 		if metricsAddr != "" {
 			rargs = append(rargs, "-metrics-addr", metricsAddrForRank(metricsAddr, r))
+		}
+		if cpuprofile != "" {
+			rargs = append(rargs, "-cpuprofile", cpuprofile+".rank"+strconv.Itoa(r))
+		}
+		if memprofile != "" {
+			rargs = append(rargs, "-memprofile", memprofile+".rank"+strconv.Itoa(r))
 		}
 		cmd := exec.Command(self, rargs...)
 		cmd.Stdout = os.Stdout

@@ -1,8 +1,9 @@
 // Command gcaviz inspects the algorithms' communication structures:
 // ASCII dumps of the k-nomial tree, recursive-multiplying rounds and
-// (k-)ring schedules (the paper's Figs. 1–6 as text), and full event
-// traces of a collective executed on the machine simulator, exportable as
-// Chrome trace-viewer JSON.
+// (k-)ring schedules (the paper's Figs. 1–6 as text), full event traces
+// of a collective executed on the machine simulator, and flight-recorder
+// dumps collected from live runs — both exportable as Chrome trace-viewer
+// JSON.
 //
 // Usage:
 //
@@ -10,64 +11,115 @@
 //	gcaviz recmul -p 9 -k 3
 //	gcaviz kring -p 6 -k 3
 //	gcaviz trace -alg allreduce_recmul -p 8 -k 4 -bytes 4096 -chrome trace.json
+//	gcaviz flight dump.json                 # critical-path report
+//	gcaviz flight -chrome merged.json dump.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"exacoll/internal/bench"
 	"exacoll/internal/comm"
 	"exacoll/internal/core"
+	"exacoll/internal/flight"
 	"exacoll/internal/machine"
 	"exacoll/internal/simnet"
 	"exacoll/internal/trace"
 )
 
 func main() {
-	p := flag.Int("p", 6, "number of ranks")
-	k := flag.Int("k", 3, "radix / group size")
-	algName := flag.String("alg", "allreduce_recmul", "algorithm for the trace subcommand")
-	nbytes := flag.Int("bytes", 1024, "message size for the trace subcommand")
-	mach := flag.String("machine", "frontier", "machine model for the trace subcommand")
-	chrome := flag.String("chrome", "", "write Chrome trace JSON to this file (trace subcommand)")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: gcaviz tree|recmul|ring|kring|trace [flags]")
-		flag.PrintDefaults()
-		os.Exit(2)
+// usage writes the subcommand summary and flag defaults.
+func usage(w io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintln(w, `usage: gcaviz <subcommand> [flags] [args]
+
+subcommands:
+  tree     ASCII dump of the k-nomial tree (-p, -k)
+  recmul   recursive-multiplying round structure (-p, -k)
+  ring     ring schedule (-p)
+  kring    k-ring schedule (-p, -k)
+  trace    run one collective on the simulator and print its event trace
+           (-alg, -p, -k, -bytes, -machine, -chrome out.json)
+  flight   analyze a flight-recorder dump (from gcarun -flight or
+           Session.FlightDump): per-collective critical-path report, and
+           with -chrome the merged cross-rank Chrome trace
+
+flags:`)
+	fs.SetOutput(w)
+	fs.PrintDefaults()
+}
+
+// run is main minus the process boundary, so tests can drive every
+// subcommand. It returns the exit code: 0 ok, 1 runtime error, 2 usage.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcaviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	p := fs.Int("p", 6, "number of ranks")
+	k := fs.Int("k", 3, "radix / group size")
+	algName := fs.String("alg", "allreduce_recmul", "algorithm for the trace subcommand")
+	nbytes := fs.Int("bytes", 1024, "message size for the trace subcommand")
+	mach := fs.String("machine", "frontier", "machine model for the trace subcommand")
+	chrome := fs.String("chrome", "", "write Chrome trace JSON to this file (trace and flight subcommands)")
+
+	if len(argv) < 1 {
+		usage(stderr, fs)
+		return 2
 	}
-	sub := os.Args[1]
-	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	sub := argv[0]
+	switch sub {
+	case "help", "-h", "-help", "--help":
+		usage(stdout, fs)
+		return 0
+	}
+	if err := fs.Parse(argv[1:]); err != nil {
+		return 2
 	}
 
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "gcaviz:", err)
+		return 1
+	}
 	switch sub {
 	case "tree":
-		fmt.Print(trace.DumpKnomialTree(*p, *k))
+		fmt.Fprint(stdout, trace.DumpKnomialTree(*p, *k))
 	case "recmul":
-		fmt.Print(trace.DumpRecMulRounds(*p, *k))
+		fmt.Fprint(stdout, trace.DumpRecMulRounds(*p, *k))
 	case "ring":
-		fmt.Print(trace.DumpSchedule(core.RingSchedule(*p), 0))
+		fmt.Fprint(stdout, trace.DumpSchedule(core.RingSchedule(*p), 0))
 	case "kring":
 		s, err := core.KRingSchedule(*p, *k)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(trace.DumpSchedule(s, *k))
+		fmt.Fprint(stdout, trace.DumpSchedule(s, *k))
 	case "trace":
-		if err := runTrace(*mach, *algName, *p, *nbytes, *k, *chrome); err != nil {
-			fatal(err)
+		if err := runTrace(stdout, *mach, *algName, *p, *nbytes, *k, *chrome); err != nil {
+			return fail(err)
+		}
+	case "flight":
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "gcaviz: flight needs exactly one dump file argument")
+			return 2
+		}
+		if err := runFlight(stdout, fs.Arg(0), *chrome); err != nil {
+			return fail(err)
 		}
 	default:
-		fatal(fmt.Errorf("unknown subcommand %q", sub))
+		fmt.Fprintf(stderr, "gcaviz: unknown subcommand %q\n\n", sub)
+		usage(stderr, fs)
+		return 2
 	}
+	return 0
 }
 
 // runTrace executes one collective on the simulator with tracing and
 // prints the event log, per-rank summary and total latency.
-func runTrace(mach, algName string, p, nbytes, k int, chromePath string) error {
+func runTrace(stdout io.Writer, mach, algName string, p, nbytes, k int, chromePath string) error {
 	var spec machine.Spec
 	switch mach {
 	case "frontier":
@@ -97,12 +149,12 @@ func runTrace(mach, algName string, p, nbytes, k int, chromePath string) error {
 		return err
 	}
 
-	fmt.Printf("%s on %s, p=%d, n=%dB, k=%d — latency %.3f us\n\n",
+	fmt.Fprintf(stdout, "%s on %s, p=%d, n=%dB, k=%d — latency %.3f us\n\n",
 		algName, spec.Name, p, n, k, sim.MaxTime()*1e6)
-	fmt.Print(trace.FormatEvents(sink.Events()))
-	fmt.Println("\nper-rank summary:")
+	fmt.Fprint(stdout, trace.FormatEvents(sink.Events()))
+	fmt.Fprintln(stdout, "\nper-rank summary:")
 	for _, s := range sink.Summarize() {
-		fmt.Printf("  rank %3d: %3d sends (%8d B), %3d recvs\n",
+		fmt.Fprintf(stdout, "  rank %3d: %3d sends (%8d B), %3d recvs\n",
 			s.Rank, s.Sends, s.BytesSent, s.Recvs)
 	}
 
@@ -115,12 +167,37 @@ func runTrace(mach, algName string, p, nbytes, k int, chromePath string) error {
 		if err := sink.WriteChromeTrace(f); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
+		fmt.Fprintf(stdout, "\nwrote %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
 	}
 	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gcaviz:", err)
-	os.Exit(1)
+// runFlight loads a flight dump and prints the per-collective
+// critical-path report; with -chrome it also renders the merged global
+// timeline as Chrome trace JSON.
+func runFlight(stdout io.Writer, path, chromePath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := flight.ReadDump(f)
+	if err != nil {
+		return err
+	}
+	if err := d.Analyze().WriteReport(stdout); err != nil {
+		return err
+	}
+	if chromePath != "" {
+		out, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := trace.WriteFlightTrace(out, d); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nwrote %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
+	}
+	return nil
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"exacoll/gca"
+)
+
+// drive runs one gcaviz invocation through run and returns exit code,
+// stdout and stderr.
+func drive(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestSubcommandSmoke exercises every structure-dump subcommand: each
+// must exit 0 and produce output.
+func TestSubcommandSmoke(t *testing.T) {
+	cases := [][]string{
+		{"tree", "-p", "6", "-k", "3"},
+		{"recmul", "-p", "9", "-k", "3"},
+		{"ring", "-p", "5"},
+		{"kring", "-p", "6", "-k", "3"},
+	}
+	for _, args := range cases {
+		t.Run(args[0], func(t *testing.T) {
+			code, out, errOut := drive(args...)
+			if code != 0 {
+				t.Fatalf("gcaviz %v: exit %d, stderr %q", args, code, errOut)
+			}
+			if out == "" {
+				t.Fatalf("gcaviz %v: empty stdout", args)
+			}
+		})
+	}
+}
+
+// TestTraceSmoke runs a small collective on the simulator and checks the
+// event trace and the optional Chrome export.
+func TestTraceSmoke(t *testing.T) {
+	chrome := filepath.Join(t.TempDir(), "trace.json")
+	code, out, errOut := drive("trace", "-alg", "allreduce_recmul",
+		"-p", "4", "-k", "2", "-bytes", "512", "-chrome", chrome)
+	if code != 0 {
+		t.Fatalf("trace: exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "per-rank summary") {
+		t.Fatalf("trace output missing sections:\n%s", out)
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome export is not a JSON event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+}
+
+// TestUsageAndErrors pins the exit-code contract: help exits 0 with the
+// usage text, while no subcommand, unknown subcommands, bad flags and a
+// flight call without a dump all exit 2.
+func TestUsageAndErrors(t *testing.T) {
+	code, out, _ := drive("help")
+	if code != 0 || !strings.Contains(out, "subcommands:") {
+		t.Fatalf("help: exit %d, stdout %q", code, out)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"no-args", nil, "usage:"},
+		{"unknown", []string{"frobnicate"}, "unknown subcommand"},
+		{"bad-flag", []string{"tree", "-nope"}, "flag provided"},
+		{"flight-no-dump", []string{"flight"}, "dump file"},
+		{"flight-extra-args", []string{"flight", "a.json", "b.json"}, "dump file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := drive(tc.args...)
+			if code != 2 {
+				t.Fatalf("gcaviz %v: exit %d, want 2 (stderr %q)", tc.args, code, errOut)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("gcaviz %v: stderr %q missing %q", tc.args, errOut, tc.want)
+			}
+		})
+	}
+
+	if code, _, _ := drive("flight", filepath.Join(t.TempDir(), "missing.json")); code != 1 {
+		t.Fatalf("flight on missing file: exit %d, want 1", code)
+	}
+}
+
+// writeFlightFixture runs recorded collectives on an in-process world and
+// writes rank 0's collected dump to a temp file.
+func writeFlightFixture(t *testing.T, p int) string {
+	t.Helper()
+	w := gca.NewLocalWorld(p)
+	defer w.Close()
+	path := filepath.Join(t.TempDir(), "dump.json")
+	err := w.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c, gca.WithFlightRecorder(gca.FlightOptions{}))
+		buf := make([]byte, 1024)
+		rb := make([]byte, 1024)
+		for i := 0; i < 3; i++ {
+			if err := s.Allreduce(buf, rb, gca.Sum, gca.Float64); err != nil {
+				return err
+			}
+		}
+		d, err := s.FlightDump()
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return d.WriteJSON(f)
+	})
+	if err != nil {
+		t.Fatalf("building flight fixture: %v", err)
+	}
+	return path
+}
+
+// TestFlightSmoke analyzes a real collected dump: the report must name
+// the collective and the Chrome export must be a valid event array.
+func TestFlightSmoke(t *testing.T) {
+	dump := writeFlightFixture(t, 4)
+	chrome := filepath.Join(t.TempDir(), "merged.json")
+
+	code, out, errOut := drive("flight", "-chrome", chrome, dump)
+	if code != 0 {
+		t.Fatalf("flight: exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "flight: 4 ranks") {
+		t.Fatalf("report missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "allreduce") {
+		t.Fatalf("report does not name the collective:\n%s", out)
+	}
+	if !strings.Contains(out, "attributed") {
+		t.Fatalf("report missing critical-path attribution:\n%s", out)
+	}
+
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome export is not a JSON event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+}

@@ -1,0 +1,175 @@
+package gca_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"exacoll/gca"
+)
+
+// TestFlightDumpSession runs recorded collectives through the public API
+// and checks the collected dump names every session call, in order, and
+// that the critical-path analysis attributes the wall time it claims to.
+func TestFlightDumpSession(t *testing.T) {
+	const p = 4
+	w := gca.NewLocalWorld(p)
+	defer w.Close()
+	var (
+		mu   sync.Mutex
+		dump *gca.FlightDump
+	)
+	err := w.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c,
+			gca.WithFlightRecorder(gca.FlightOptions{}),
+			gca.WithMetrics(gca.NewMetrics()))
+		buf := make([]byte, 2048)
+		rb := make([]byte, 2048)
+		if err := s.Bcast(buf, 0); err != nil {
+			return err
+		}
+		if err := s.Allreduce(buf, rb, gca.Sum, gca.Float64); err != nil {
+			return err
+		}
+		if err := s.Barrier(); err != nil {
+			return err
+		}
+		d, err := s.FlightDump()
+		if err != nil {
+			return err
+		}
+		if d != nil {
+			mu.Lock()
+			dump = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump == nil {
+		t.Fatal("rank 0 received no dump")
+	}
+	if dump.P != p {
+		t.Fatalf("dump.P = %d, want %d", dump.P, p)
+	}
+
+	a := dump.Analyze()
+	if len(a.Instances) != 3 {
+		t.Fatalf("analyzed %d instances, want 3 (bcast, allreduce, barrier)", len(a.Instances))
+	}
+	for i, want := range []string{"bcast", "allreduce", "barrier"} {
+		in := a.Instances[i]
+		if in.Label != want {
+			t.Errorf("instance %d label %q, want %q", i, in.Label, want)
+		}
+		if in.WallNs() <= 0 {
+			t.Errorf("instance %d has non-positive wall time %d", i, in.WallNs())
+		}
+		if got, wall := in.AttributedNs(), in.WallNs(); 10*got < 9*wall {
+			t.Errorf("instance %d attributes %d of %d ns (<90%%)", i, got, wall)
+		}
+	}
+	// The dispatch layer's nested bracket names the chosen algorithm.
+	if a.Instances[1].Alg == "" {
+		t.Errorf("allreduce instance has no algorithm label")
+	}
+
+	var rep bytes.Buffer
+	if err := gca.WriteFlightReport(&rep, dump); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flight: 4 ranks", "allreduce", "attributed"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, rep.String())
+		}
+	}
+	var chrome bytes.Buffer
+	if err := gca.WriteFlightTrace(&chrome, dump); err != nil {
+		t.Fatal(err)
+	}
+	if chrome.Len() == 0 {
+		t.Error("Chrome trace export is empty")
+	}
+
+	// The JSON interchange reloads through the public reader.
+	var js bytes.Buffer
+	if err := dump.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gca.ReadFlightDump(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P != p {
+		t.Fatalf("reloaded dump has P=%d, want %d", got.P, p)
+	}
+}
+
+// TestFlightDumpFaultTolerant checks the recorder coexists with the
+// fault-tolerance wrapper: RecorderOf must see through the epoch comm and
+// agreement traffic must not corrupt collective matching.
+func TestFlightDumpFaultTolerant(t *testing.T) {
+	const p = 4
+	w := gca.NewLocalWorld(p)
+	defer w.Close()
+	var (
+		mu   sync.Mutex
+		dump *gca.FlightDump
+	)
+	err := w.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c,
+			gca.WithFlightRecorder(gca.FlightOptions{RingSize: 1 << 12}),
+			gca.WithFaultTolerance())
+		buf := make([]byte, 1024)
+		rb := make([]byte, 1024)
+		for i := 0; i < 2; i++ {
+			if err := s.Allreduce(buf, rb, gca.Sum, gca.Float64); err != nil {
+				return err
+			}
+		}
+		d, err := s.FlightDump()
+		if err != nil {
+			return err
+		}
+		if d != nil {
+			mu.Lock()
+			dump = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump == nil {
+		t.Fatal("rank 0 received no dump")
+	}
+	a := dump.Analyze()
+	if len(a.Instances) != 2 {
+		t.Fatalf("analyzed %d instances, want 2", len(a.Instances))
+	}
+	for _, in := range a.Instances {
+		if in.Label != "allreduce" {
+			t.Fatalf("instance label %q, want allreduce", in.Label)
+		}
+	}
+}
+
+// TestFlightDumpWithoutRecorder pins the error contract.
+func TestFlightDumpWithoutRecorder(t *testing.T) {
+	w := gca.NewLocalWorld(2)
+	defer w.Close()
+	err := w.Run(func(c gca.Comm) error {
+		_, err := gca.NewSession(c).FlightDump()
+		if err == nil {
+			t.Error("FlightDump without WithFlightRecorder returned nil error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,12 +27,14 @@ import (
 	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/datatype"
+	"exacoll/internal/flight"
 	"exacoll/internal/ft"
 	"exacoll/internal/machine"
 	"exacoll/internal/metrics"
 	"exacoll/internal/nbc"
 	"exacoll/internal/simnet"
 	"exacoll/internal/topo"
+	"exacoll/internal/trace"
 	"exacoll/internal/transport/mem"
 	"exacoll/internal/transport/tcp"
 	"exacoll/internal/tuning"
@@ -161,6 +163,45 @@ type (
 // NewMetrics returns an empty metrics registry to share across ranks.
 func NewMetrics() *Metrics { return metrics.NewRegistry() }
 
+// TraceSink collects per-rank timeline events (see internal/trace). Wire
+// one to a Metrics registry with SetSpanSink so every selection decision
+// renders as a Chrome-trace slice alongside the sink's own events.
+type TraceSink = trace.Sink
+
+// NewTraceSink returns an empty trace sink. Attach it to a session's
+// metrics registry with m.SetSpanSink(sink); export with
+// sink.WriteChromeTrace.
+func NewTraceSink() *TraceSink { return trace.NewSink() }
+
+// Flight-recorder types (see internal/flight). The recorder is always-on
+// and low-overhead: every point-to-point operation, reduction kernel,
+// segment boundary, and collective bracket of a session created
+// WithFlightRecorder lands in a fixed-size per-rank ring, ready to be
+// collected into a cross-rank Dump at any time.
+type (
+	// FlightOptions configures the per-rank flight ring.
+	FlightOptions = flight.Options
+	// FlightDump is a cross-rank collection: every rank's ring snapshot
+	// plus the clock alignment into rank 0's time base.
+	FlightDump = flight.Dump
+	// FlightAnalysis is the per-collective critical-path breakdown of a
+	// dump (FlightDump.Analyze).
+	FlightAnalysis = flight.Analysis
+)
+
+// ReadFlightDump parses a JSON flight dump (as written by
+// FlightDump.WriteJSON or `gcarun -flight`).
+func ReadFlightDump(r io.Reader) (*FlightDump, error) { return flight.ReadDump(r) }
+
+// WriteFlightTrace renders a flight dump's merged global timeline as
+// Chrome trace JSON (open in chrome://tracing or Perfetto).
+func WriteFlightTrace(w io.Writer, d *FlightDump) error { return trace.WriteFlightTrace(w, d) }
+
+// WriteFlightReport writes the plain-text per-collective report: wall
+// time, critical-path category attribution, dominant hop, and straggler
+// for every collective instance in the dump.
+func WriteFlightReport(w io.Writer, d *FlightDump) error { return d.Analyze().WriteReport(w) }
+
 // WriteMetricsPrometheus exports a snapshot in the Prometheus text format.
 func WriteMetricsPrometheus(w io.Writer, s *MetricsSnapshot) error {
 	return metrics.WritePrometheus(w, s)
@@ -199,6 +240,7 @@ type sessionConfig struct {
 	backoff  time.Duration
 	ft       bool
 	topology bool
+	flight   *flight.Options
 	topoPPN  int   // force a synthetic contiguous layout instead of discovery
 	epoch    int64 // inherited tag-space position across a Shrink
 	seqBase  int64
@@ -215,6 +257,7 @@ type Session struct {
 	eng     *nbc.Engine  // lazily created by the first I<op> call
 	topo    *topo.Engine // non-nil when WithTopology found a hierarchy
 	topoMap *topo.Map
+	flight  *flight.RankRecorder // non-nil with WithFlightRecorder
 }
 
 // SessionOption configures NewSession.
@@ -270,6 +313,18 @@ func WithTopologyPPN(ppn int) SessionOption {
 		c.topology = true
 		c.topoPPN = ppn
 	}
+}
+
+// WithFlightRecorder turns on the always-on flight recorder: every
+// point-to-point operation, reduction kernel, pipeline segment, and
+// collective call of this session's rank is stamped into a fixed-size
+// lock-free ring (overhead: one clock read and one ring store per event,
+// no allocations — old events are overwritten once the ring fills).
+// Collect the rings across ranks with Session.FlightDump, render with
+// WriteFlightTrace/WriteFlightReport or `gcaviz flight`. The zero value
+// of FlightOptions selects the default ring size.
+func WithFlightRecorder(o FlightOptions) SessionOption {
+	return func(c *sessionConfig) { c.flight = &o }
 }
 
 // WithFaultTolerance enables the ULFM-style protocol around every
@@ -329,7 +384,13 @@ func newSession(c Comm, cfg sessionConfig) *Session {
 		s.metrics = cfg.metrics
 		cur = cfg.metrics.Instrument(cur)
 	}
+	if cfg.flight != nil {
+		// Outermost wrapper: the ring sees every operation the session
+		// issues, including FT agreement and metrics-counted traffic.
+		cur = flight.NewRecorder(*cfg.flight).Wrap(cur)
+	}
 	s.c = cur
+	s.flight = flight.RecorderOf(s.c)
 	if s.ft != nil {
 		// Agreement traffic flows through the instrumented comm too.
 		s.ft.SetOuter(s.c)
@@ -403,6 +464,28 @@ func (s *Session) run(idempotent bool, fn func() error) error {
 	return s.ft.RunCollective(idempotent, fn)
 }
 
+// coll is run plus the session-level flight bracket: one
+// EvCollBegin/EvCollEnd pair per user-facing collective call, wrapping
+// every retry, agreement round, and (for topology-aware sessions) every
+// per-level phase. The analysis pairs these outermost brackets across
+// ranks; the nested tuning-level bracket underneath names the algorithm
+// actually run. The bracket closes on error too, so failed collectives
+// still appear on the timeline.
+func (s *Session) coll(name string, op core.CollOp, nbytes int, idempotent bool, fn func() error) error {
+	if s.flight == nil {
+		return s.run(idempotent, fn)
+	}
+	var epoch int64
+	if s.ft != nil {
+		epoch = s.ft.Epoch()
+	}
+	arg := flight.PackColl(s.flight.LabelID(name), int(op), 0, epoch)
+	s.flight.Record(flight.EvCollBegin, -1, 0, nbytes, arg)
+	err := s.run(idempotent, fn)
+	s.flight.Record(flight.EvCollEnd, -1, 0, nbytes, arg)
+	return err
+}
+
 // withCtx applies ctx's deadline as the per-op timeout for one collective
 // call, restoring the session-wide setting afterwards. Cancellation
 // without a deadline is only observed at the call boundary (transports
@@ -467,6 +550,18 @@ func (s *Session) Snapshot() *MetricsSnapshot {
 	return s.metrics.Snapshot()
 }
 
+// FlightDump collects every rank's flight ring over the communicator and
+// aligns the per-rank clocks into rank 0's time base (Cristian's
+// algorithm, best-of-8 probes; exact on virtual-clock substrates).
+// Collective: every rank must call it, like a Barrier. The dump returns
+// on rank 0; other ranks return (nil, nil). Requires WithFlightRecorder.
+func (s *Session) FlightDump() (*FlightDump, error) {
+	if s.flight == nil {
+		return nil, fmt.Errorf("gca: FlightDump requires WithFlightRecorder")
+	}
+	return flight.Collect(s.c, s.flight, flight.CollectOptions{})
+}
+
 // Rank returns the caller's rank.
 func (s *Session) Rank() int { return s.c.Rank() }
 
@@ -475,7 +570,7 @@ func (s *Session) Size() int { return s.c.Size() }
 
 // Bcast broadcasts buf from root to every rank.
 func (s *Session) Bcast(buf []byte, root int) error {
-	return s.run(true, func() error {
+	return s.coll("bcast", core.OpBcast, len(buf), true, func() error {
 		if s.topo != nil {
 			return s.topo.Bcast(buf, root)
 		}
@@ -490,7 +585,7 @@ func (s *Session) BcastCtx(ctx context.Context, buf []byte, root int) error {
 
 // Reduce combines every rank's sendbuf into recvbuf at root.
 func (s *Session) Reduce(sendbuf, recvbuf []byte, op Op, t Type, root int) error {
-	return s.run(false, func() error {
+	return s.coll("reduce", core.OpReduce, len(sendbuf), false, func() error {
 		if s.topo != nil {
 			return s.topo.Reduce(sendbuf, recvbuf, op, t, root)
 		}
@@ -506,7 +601,7 @@ func (s *Session) ReduceCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op,
 
 // Allreduce combines every rank's sendbuf into every rank's recvbuf.
 func (s *Session) Allreduce(sendbuf, recvbuf []byte, op Op, t Type) error {
-	return s.run(false, func() error {
+	return s.coll("allreduce", core.OpAllreduce, len(sendbuf), false, func() error {
 		if s.topo != nil {
 			return s.topo.Allreduce(sendbuf, recvbuf, op, t)
 		}
@@ -523,7 +618,7 @@ func (s *Session) AllreduceCtx(ctx context.Context, sendbuf, recvbuf []byte, op 
 // Gather collects every rank's sendbuf into recvbuf (len(sendbuf)·p) at
 // root.
 func (s *Session) Gather(sendbuf, recvbuf []byte, root int) error {
-	return s.run(true, func() error {
+	return s.coll("gather", core.OpGather, len(sendbuf), true, func() error {
 		return s.tab.Run(s.c, core.OpGather, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf, Root: root})
 	})
@@ -537,7 +632,7 @@ func (s *Session) GatherCtx(ctx context.Context, sendbuf, recvbuf []byte, root i
 // Scatter distributes root's sendbuf (len(recvbuf)·p) so each rank gets
 // its block in recvbuf.
 func (s *Session) Scatter(sendbuf, recvbuf []byte, root int) error {
-	return s.run(true, func() error {
+	return s.coll("scatter", core.OpScatter, len(recvbuf), true, func() error {
 		return s.tab.Run(s.c, core.OpScatter, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf, Root: root})
 	})
@@ -551,7 +646,7 @@ func (s *Session) ScatterCtx(ctx context.Context, sendbuf, recvbuf []byte, root 
 // Allgather collects every rank's sendbuf into every rank's recvbuf
 // (len(sendbuf)·p).
 func (s *Session) Allgather(sendbuf, recvbuf []byte) error {
-	return s.run(true, func() error {
+	return s.coll("allgather", core.OpAllgather, len(sendbuf), true, func() error {
 		if s.topo != nil {
 			return s.topo.Allgather(sendbuf, recvbuf)
 		}
@@ -569,7 +664,7 @@ func (s *Session) AllgatherCtx(ctx context.Context, sendbuf, recvbuf []byte) err
 // each rank receives its element-aligned fair block in recvbuf (use
 // ReduceScatterBlockSize to size it).
 func (s *Session) ReduceScatter(sendbuf, recvbuf []byte, op Op, t Type) error {
-	return s.run(false, func() error {
+	return s.coll("reduce_scatter", core.OpReduceScatter, len(sendbuf), false, func() error {
 		return s.tab.Run(s.c, core.OpReduceScatter, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
 	})
@@ -591,7 +686,7 @@ func (s *Session) ReduceScatterBlockSize(n int, t Type) int {
 // blocks of len(sendbuf)/p bytes; block j of sendbuf goes to rank j and
 // block j of recvbuf comes from rank j.
 func (s *Session) Alltoall(sendbuf, recvbuf []byte) error {
-	return s.run(true, func() error {
+	return s.coll("alltoall", core.OpAlltoall, len(sendbuf), true, func() error {
 		return s.tab.Run(s.c, core.OpAlltoall, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf})
 	})
@@ -605,7 +700,7 @@ func (s *Session) AlltoallCtx(ctx context.Context, sendbuf, recvbuf []byte) erro
 // Scan computes the inclusive prefix reduction: rank r receives the
 // combination of ranks 0..r.
 func (s *Session) Scan(sendbuf, recvbuf []byte, op Op, t Type) error {
-	return s.run(false, func() error {
+	return s.coll("scan", core.OpScan, len(sendbuf), false, func() error {
 		return s.tab.Run(s.c, core.OpScan, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: t})
 	})
@@ -619,7 +714,7 @@ func (s *Session) ScanCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op, t
 // Exscan computes the exclusive prefix reduction: rank r receives the
 // combination of ranks 0..r−1 (rank 0's recvbuf is untouched, as in MPI).
 func (s *Session) Exscan(sendbuf, recvbuf []byte, op Op, t Type) error {
-	return s.run(false, func() error {
+	return s.coll("exscan", core.OpScan, len(sendbuf), false, func() error {
 		return core.Exscan(s.c, sendbuf, recvbuf, op, t)
 	})
 }
@@ -631,7 +726,7 @@ func (s *Session) ExscanCtx(ctx context.Context, sendbuf, recvbuf []byte, op Op,
 
 // Barrier synchronizes all ranks.
 func (s *Session) Barrier() error {
-	return s.run(true, func() error { return core.BarrierDissemination(s.c) })
+	return s.coll("barrier", core.OpBcast, 0, true, func() error { return core.BarrierDissemination(s.c) })
 }
 
 // BarrierCtx is Barrier bounded by ctx's deadline.

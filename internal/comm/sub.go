@@ -48,6 +48,11 @@ func NewSub(c Comm, ranks []int) (*SubComm, error) {
 // Parent returns the parent rank of a sub-communicator index.
 func (s *SubComm) Parent(idx int) int { return s.ranks[idx] }
 
+// Unwrap reveals the parent communicator (the errors.Unwrap convention
+// for wrapper chains), so capability probes that cannot be forwarded
+// method-by-method — e.g. the flight recorder's — can walk the stack.
+func (s *SubComm) Unwrap() Comm { return s.inner }
+
 // Rank implements Comm.
 func (s *SubComm) Rank() int { return s.myIdx }
 

@@ -16,6 +16,7 @@ import (
 
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
+	"exacoll/internal/flight"
 )
 
 // Tag bases, one per algorithm family. Rounds within one collective share a
@@ -102,9 +103,26 @@ func vrank(rank, root, p int) int { return (rank - root + p) % p }
 func absRank(vr, root, p int) int { return (vr + root) % p }
 
 // reduceInto applies dst = dst op src and charges the γ (computation) term
-// to the communicator's clock.
+// to the communicator's clock. When a flight recorder rides on c and the
+// kernel is large enough for its duration to matter
+// (flight.MinReduceBracketBytes), the application is bracketed with
+// EvReduceBegin/EvReduceEnd so the merged timeline can attribute compute
+// time per round (recording is two ring stores — no allocations,
+// preserving the zero-alloc hot path).
 func reduceInto(c comm.Comm, op datatype.Op, t datatype.Type, dst, src []byte) error {
-	if err := datatype.Apply(op, t, dst, src); err != nil {
+	rec := flight.RecorderOf(c)
+	if rec != nil && len(dst) >= flight.MinReduceBracketBytes {
+		rec.Record(flight.EvReduceBegin, -1, 0, len(dst), 0)
+		err := datatype.Apply(op, t, dst, src)
+		rec.Record(flight.EvReduceEnd, -1, 0, len(dst), 0)
+		if err != nil {
+			return err
+		}
+		c.ChargeCompute(len(dst))
+		return nil
+	}
+	err := datatype.Apply(op, t, dst, src)
+	if err != nil {
 		return err
 	}
 	c.ChargeCompute(len(dst))

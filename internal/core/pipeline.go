@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"exacoll/internal/comm"
+	"exacoll/internal/flight"
 )
 
 // BcastKnomialSegmented is the pipelined (segmented) k-nomial broadcast —
@@ -58,8 +59,12 @@ func BcastKnomialSegmented(c comm.Comm, buf []byte, root, k, segSize int) error 
 		}
 	}
 
+	rec := flight.RecorderOf(c)
 	sendReqs := make([]comm.Request, 0, nseg*len(children))
 	for s := 0; s < nseg; s++ {
+		if rec != nil {
+			rec.Record(flight.EvSegment, -1, 0, len(segment(s)), uint64(s))
+		}
 		if recvReqs != nil {
 			if err := recvReqs[s].Wait(); err != nil {
 				return err

@@ -6,6 +6,7 @@ import (
 	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
+	"exacoll/internal/flight"
 	"exacoll/internal/model"
 )
 
@@ -139,9 +140,13 @@ func ReduceKnomialSegmented(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op
 	}
 
 	parent := t.Parent(v)
+	rec := flight.RecorderOf(c)
 	sendReqs := make([]comm.Request, 0, nseg)
 	for s := 0; s < nseg; s++ {
 		lo, hi := seg(s)
+		if rec != nil {
+			rec.Record(flight.EvSegment, -1, 0, hi-lo, uint64(s))
+		}
 		// Combine in descending child index, matching ReduceKnomial's
 		// order so the segmented result is bit-identical.
 		for i := len(children) - 1; i >= 0; i-- {
@@ -223,9 +228,15 @@ func AllreduceRingPipelined(c comm.Comm, sendbuf, recvbuf []byte, op datatype.Op
 		stage []byte
 	}
 	width := minInt(rounds, nseg)
+	rec := flight.RecorderOf(c)
 	pend := make([]rx, 0, width)
 	reqs := make([]comm.Request, 0, 2*width)
 	for t := 0; t < rounds+nseg-1; t++ {
+		if rec != nil {
+			// One boundary per pipeline step; Arg carries the step index
+			// (each step advances every in-flight segment by one round).
+			rec.Record(flight.EvSegment, -1, 0, 0, uint64(t))
+		}
 		sLo := maxInt(0, t-rounds+1)
 		sHi := minInt(t, nseg-1)
 		pend = pend[:0]

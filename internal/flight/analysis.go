@@ -1,0 +1,514 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Category classifies one critical-path segment.
+type Category uint8
+
+// Path segment categories. The walk keeps segments contiguous from the
+// instance's global start to its global end, so the per-category sums
+// attribute the full wall time of the collective.
+const (
+	// CatTransfer is wire-plus-matching time: from the matched send's
+	// post (or the receive's post, whichever is later) to the receive's
+	// completion — the α/β term of the hop.
+	CatTransfer Category = iota
+	// CatCompute is reduction-kernel time (the γ term).
+	CatCompute
+	// CatBlocked is time inside a Request.Wait not explained by a
+	// matched transfer.
+	CatBlocked
+	// CatLocal is everything else on the owning rank: copies, schedule
+	// bookkeeping, inter-event gaps (the per-message α overhead lands
+	// here when the transport is not the bottleneck).
+	CatLocal
+	// CatSkew is arrival skew: the interval between the instance's
+	// global start and the moment the path-origin rank entered the
+	// collective — a late origin rank is a straggler.
+	CatSkew
+	numCategories
+)
+
+// String names the category for reports.
+func (c Category) String() string {
+	switch c {
+	case CatTransfer:
+		return "transfer"
+	case CatCompute:
+		return "compute"
+	case CatBlocked:
+		return "blocked"
+	case CatLocal:
+		return "local"
+	case CatSkew:
+		return "skew"
+	}
+	return "?"
+}
+
+// PathSeg is one contiguous interval of an instance's critical path.
+type PathSeg struct {
+	Rank    int      `json:"rank"`
+	Cat     Category `json:"cat"`
+	StartNs int64    `json:"start_ns"`
+	EndNs   int64    `json:"end_ns"`
+	Peer    int      `json:"peer,omitempty"` // transfer: the sending rank
+}
+
+// Hop is one send→recv edge on the critical path.
+type Hop struct {
+	// Round is the hop's 1-based position along the path, counted from
+	// the collective's start.
+	Round int   `json:"round"`
+	From  int   `json:"from"`
+	To    int   `json:"to"`
+	Tag   int32 `json:"tag"`
+	Bytes int32 `json:"bytes"`
+	DurNs int64 `json:"dur_ns"`
+}
+
+// Instance is one analyzed collective call: the outermost
+// EvCollBegin/EvCollEnd bracket, matched across ranks by position.
+type Instance struct {
+	// Index numbers the instance within the analyzed tail, oldest first.
+	Index int `json:"index"`
+	// Label is the outermost bracket's label (the session-level operation
+	// name); Alg is the innermost selection's algorithm label when the
+	// dispatch layer recorded one.
+	Label string `json:"label"`
+	Alg   string `json:"alg,omitempty"`
+	K     int    `json:"k,omitempty"`
+	// Bytes is the selection size recorded on the bracket.
+	Bytes int `json:"bytes"`
+	// StartNs/EndNs bound the instance globally (earliest begin, latest
+	// end across ranks, aligned time); EndRank finished last.
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+	EndRank int   `json:"end_rank"`
+	// BeginNs[r] is rank r's aligned entry time (-1 if its bracket was
+	// dropped from the ring).
+	BeginNs []int64 `json:"begin_ns"`
+	// Segs is the critical path, latest segment first (walk order).
+	Segs []PathSeg `json:"segs"`
+	// Hops are the path's send→recv edges in collective order.
+	Hops []Hop `json:"hops,omitempty"`
+	// ByCat[c] sums path time per Category; ByRank sums per rank
+	// (transfer segments charge the receiving rank).
+	ByCat  []int64 `json:"by_cat"`
+	ByRank []int64 `json:"by_rank"`
+}
+
+// WallNs is the instance's global wall time.
+func (in *Instance) WallNs() int64 { return in.EndNs - in.StartNs }
+
+// AttributedNs sums the path segments; by construction it equals WallNs
+// unless ring drops truncated the walk.
+func (in *Instance) AttributedNs() int64 {
+	var sum int64
+	for _, s := range in.Segs {
+		sum += s.EndNs - s.StartNs
+	}
+	return sum
+}
+
+// DominantHop returns the longest transfer edge (zero Hop, false when the
+// path has no hops — e.g. p=1).
+func (in *Instance) DominantHop() (Hop, bool) {
+	best, ok := Hop{}, false
+	for _, h := range in.Hops {
+		if !ok || h.DurNs > best.DurNs {
+			best, ok = h, true
+		}
+	}
+	return best, ok
+}
+
+// Straggler returns the rank with the latest entry into the collective
+// and its lateness relative to the earliest entry.
+func (in *Instance) Straggler() (rank int, lateNs int64) {
+	rank, lateNs = -1, 0
+	for r, b := range in.BeginNs {
+		if b < 0 {
+			continue
+		}
+		if late := b - in.StartNs; rank < 0 || late > lateNs {
+			rank, lateNs = r, late
+		}
+	}
+	return rank, lateNs
+}
+
+// Analysis is the result of analyzing a dump.
+type Analysis struct {
+	Dump      *Dump       `json:"-"`
+	Instances []*Instance `json:"instances"`
+	// Skipped counts per-rank outermost brackets dropped because other
+	// ranks' rings no longer held the matching instance.
+	Skipped int `json:"skipped,omitempty"`
+}
+
+// instSpan is one outermost bracket in a rank's stream (indices into the
+// aligned event slice).
+type instSpan struct{ begin, end int }
+
+// outermostSpans extracts the outermost EvCollBegin/EvCollEnd pairs of a
+// rank stream. Nested brackets (per-level selections under a topo
+// session call) stay inside their parent; an EvCollEnd whose begin was
+// overwritten by the ring is discarded.
+func outermostSpans(events []Event) []instSpan {
+	depth, cur := 0, -1
+	var spans []instSpan
+	for i, e := range events {
+		switch e.Kind {
+		case EvCollBegin:
+			if depth == 0 {
+				cur = i
+			}
+			depth++
+		case EvCollEnd:
+			if depth == 0 {
+				continue // dropped begin
+			}
+			depth--
+			if depth == 0 && cur >= 0 {
+				spans = append(spans, instSpan{cur, i})
+				cur = -1
+			}
+		}
+	}
+	return spans
+}
+
+// ref addresses one event of one rank.
+type ref struct{ rank, idx int }
+
+// pkey identifies a matched message stream within one instance.
+type pkey struct {
+	from, to int32
+	tag      int32
+}
+
+// Analyze groups the dump into collective instances and extracts each
+// one's critical path. Instances are matched across ranks by position
+// from the end of each rank's stream (every rank runs the same session
+// collectives in the same order; matching from the end tolerates rings
+// that dropped different amounts of history).
+func (d *Dump) Analyze() *Analysis {
+	a := &Analysis{Dump: d}
+	p := len(d.Ranks)
+	if p == 0 {
+		return a
+	}
+	aligned := make([][]Event, p)
+	spans := make([][]instSpan, p)
+	n := -1
+	total := 0
+	for r := 0; r < p; r++ {
+		aligned[r] = d.AlignedRank(r)
+		spans[r] = outermostSpans(aligned[r])
+		if n < 0 || len(spans[r]) < n {
+			n = len(spans[r])
+		}
+		if len(spans[r]) > total {
+			total = len(spans[r])
+		}
+	}
+	if n <= 0 {
+		return a
+	}
+	a.Skipped = total - n
+	for i := 0; i < n; i++ {
+		per := make([]instSpan, p)
+		for r := 0; r < p; r++ {
+			per[r] = spans[r][len(spans[r])-n+i]
+		}
+		a.Instances = append(a.Instances, d.analyzeInstance(i, aligned, per))
+	}
+	return a
+}
+
+// analyzeInstance runs the per-instance passes: cross-rank send/recv
+// matching, then the backward critical-path walk from the last rank to
+// finish.
+func (d *Dump) analyzeInstance(index int, aligned [][]Event, per []instSpan) *Instance {
+	p := len(per)
+	in := &Instance{
+		Index:   index,
+		BeginNs: make([]int64, p),
+		ByCat:   make([]int64, numCategories),
+		ByRank:  make([]int64, p),
+	}
+	in.EndRank = 0
+	first := true
+	for r := 0; r < p; r++ {
+		b, e := per[r].begin, per[r].end
+		bt, et := aligned[r][b].T, aligned[r][e].T
+		in.BeginNs[r] = bt
+		if first || bt < in.StartNs {
+			in.StartNs = bt
+		}
+		if first || et > in.EndNs {
+			in.EndNs, in.EndRank = et, r
+		}
+		first = false
+	}
+	// Identity: label/size from the end rank's outermost begin; algorithm
+	// detail from the first nested bracket recorded beneath it.
+	er := in.EndRank
+	begin := aligned[er][per[er].begin]
+	label, _, k, _ := UnpackColl(begin.Arg)
+	in.Label = d.Ranks[er].Label(label)
+	in.K = k
+	in.Bytes = int(begin.Bytes)
+	for i := per[er].begin + 1; i <= per[er].end; i++ {
+		if aligned[er][i].Kind == EvCollBegin {
+			al, _, ak, _ := UnpackColl(aligned[er][i].Arg)
+			in.Alg = d.Ranks[er].Label(al)
+			if ak > 0 {
+				in.K = ak
+			}
+			if in.Bytes == 0 {
+				in.Bytes = int(aligned[er][i].Bytes)
+			}
+			break
+		}
+	}
+
+	// Cross-rank matching: per (sender, receiver, tag) stream, the j-th
+	// send post from the end pairs with the j-th receive completion from
+	// the end (FIFO per (source, tag); end-anchored so partial rings
+	// drop the oldest pairs, not the pairing).
+	sends := map[pkey][]ref{}
+	posts := map[pkey][]ref{}
+	compl := map[pkey][]ref{}
+	for r := 0; r < p; r++ {
+		for i := per[r].begin; i <= per[r].end; i++ {
+			e := aligned[r][i]
+			switch e.Kind {
+			case EvSendPost:
+				k := pkey{int32(r), e.Peer, e.Tag}
+				sends[k] = append(sends[k], ref{r, i})
+			case EvRecvPost:
+				k := pkey{e.Peer, int32(r), e.Tag}
+				posts[k] = append(posts[k], ref{r, i})
+			case EvRecvComplete:
+				k := pkey{e.Peer, int32(r), e.Tag}
+				compl[k] = append(compl[k], ref{r, i})
+			}
+		}
+	}
+	matchSend := map[ref]ref{} // recv completion -> send post
+	matchPost := map[ref]ref{} // recv completion -> recv post
+	for k, cs := range compl {
+		ss := sends[k]
+		ps := posts[k]
+		for j := 0; j < len(cs); j++ {
+			c := cs[len(cs)-1-j]
+			if j < len(ss) {
+				matchSend[c] = ss[len(ss)-1-j]
+			}
+			if j < len(ps) {
+				matchPost[c] = ps[len(ps)-1-j]
+			}
+		}
+	}
+
+	// Backward walk from the global end. Each step attributes a
+	// contiguous interval [x, t) and moves t down to x, so the segments
+	// tile [StartNs, EndNs] exactly; a matched send posted after the
+	// receive was ready jumps the walk to the sending rank.
+	seg := func(rank int, cat Category, start, end int64, peer int) {
+		if end <= start {
+			return
+		}
+		in.Segs = append(in.Segs, PathSeg{Rank: rank, Cat: cat, StartNs: start, EndNs: end, Peer: peer})
+		in.ByCat[cat] += end - start
+		in.ByRank[rank] += end - start
+	}
+	// nearestBefore finds the closest event of kind k before index i on
+	// rank r within the instance window (-1 if none).
+	nearestBefore := func(r, i int, k Kind) int {
+		for j := i - 1; j >= per[r].begin; j-- {
+			if aligned[r][j].Kind == k {
+				return j
+			}
+		}
+		return -1
+	}
+	cur := in.EndRank
+	t := in.EndNs
+	i := per[cur].end - 1
+	var hops []Hop
+	for steps := 0; ; steps++ {
+		if steps > 1<<22 { // defensive bound; cannot trigger on well-formed dumps
+			break
+		}
+		if i <= per[cur].begin {
+			bt := aligned[cur][per[cur].begin].T
+			seg(cur, CatLocal, bt, t, -1)
+			seg(cur, CatSkew, in.StartNs, bt, -1)
+			break
+		}
+		e := aligned[cur][i]
+		if e.T > t {
+			i--
+			continue
+		}
+		switch e.Kind {
+		case EvRecvComplete:
+			seg(cur, CatLocal, e.T, t, -1)
+			t = e.T
+			lower := t
+			if pr, ok := matchPost[ref{cur, i}]; ok {
+				lower = aligned[pr.rank][pr.idx].T
+			}
+			if sr, ok := matchSend[ref{cur, i}]; ok {
+				st := aligned[sr.rank][sr.idx].T
+				if st > lower {
+					// Sender-limited: the wire interval starts at the send
+					// post; follow the path onto the sending rank.
+					seg(cur, CatTransfer, st, t, sr.rank)
+					hops = append(hops, Hop{From: sr.rank, To: cur, Tag: int32(e.Tag), Bytes: e.Bytes, DurNs: t - st})
+					cur, t = sr.rank, st
+					i = sr.idx
+					continue
+				}
+			}
+			// Receiver-limited (or unmatched): the transfer window is
+			// bounded by the receive post; stay on this rank.
+			seg(cur, CatTransfer, lower, t, int(e.Peer))
+			hops = append(hops, Hop{From: int(e.Peer), To: cur, Tag: int32(e.Tag), Bytes: e.Bytes, DurNs: t - lower})
+			t = lower
+			i--
+		case EvReduceEnd:
+			seg(cur, CatLocal, e.T, t, -1)
+			t = e.T
+			if j := nearestBefore(cur, i, EvReduceBegin); j >= 0 {
+				seg(cur, CatCompute, aligned[cur][j].T, t, -1)
+				t = aligned[cur][j].T
+				i = j
+			}
+			i--
+		case EvWaitEnd:
+			seg(cur, CatLocal, e.T, t, -1)
+			t = e.T
+			if j := nearestBefore(cur, i, EvWaitBegin); j >= 0 {
+				seg(cur, CatBlocked, aligned[cur][j].T, t, -1)
+				t = aligned[cur][j].T
+				i = j
+			}
+			i--
+		default:
+			seg(cur, CatLocal, e.T, t, -1)
+			t = e.T
+			i--
+		}
+	}
+	// Hops were collected walking backward; number them in collective
+	// order.
+	for j := len(hops) - 1; j >= 0; j-- {
+		h := hops[j]
+		h.Round = len(hops) - j
+		in.Hops = append(in.Hops, h)
+	}
+	return in
+}
+
+// fmtNs renders nanoseconds as microseconds with 0.1 us resolution.
+func fmtNs(ns int64) string { return fmt.Sprintf("%.1fus", float64(ns)/1e3) }
+
+// pct renders part/whole as a percentage.
+func pct(part, whole int64) string {
+	if whole <= 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
+}
+
+// WriteReport renders the plain-text per-collective report: one block per
+// instance with wall time, critical-path attribution by category, the
+// dominant hop (rank and round), per-rank path residency and straggler.
+func (a *Analysis) WriteReport(w io.Writer) error {
+	d := a.Dump
+	var dropped uint64
+	for _, rd := range d.Ranks {
+		dropped += rd.Dropped
+	}
+	clock := "wall clocks aligned by probe"
+	if d.Clocked {
+		clock = "shared virtual clock"
+	}
+	fmt.Fprintf(w, "flight: %d ranks, %s, %d collective instance(s)", d.P, clock, len(a.Instances))
+	if dropped > 0 {
+		fmt.Fprintf(w, ", %d events dropped by ring wrap", dropped)
+	}
+	if a.Skipped > 0 {
+		fmt.Fprintf(w, ", %d older instance(s) incomplete across ranks", a.Skipped)
+	}
+	fmt.Fprintln(w)
+	if !d.Clocked {
+		worst := int64(0)
+		for _, b := range d.BoundNs {
+			if b > worst {
+				worst = b
+			}
+		}
+		fmt.Fprintf(w, "clock offsets: worst probe bound ±%s\n", fmtNs(worst))
+	}
+	for _, in := range a.Instances {
+		wall := in.WallNs()
+		name := in.Label
+		if name == "" {
+			name = "collective"
+		}
+		if in.Alg != "" && in.Alg != name {
+			name += "/" + in.Alg
+		}
+		if in.K > 0 {
+			name += fmt.Sprintf(" k=%d", in.K)
+		}
+		fmt.Fprintf(w, "\n#%d %s %dB  p=%d  wall %s  finished on rank %d\n",
+			in.Index, name, in.Bytes, d.P, fmtNs(wall), in.EndRank)
+		fmt.Fprintf(w, "  path:")
+		for c := Category(0); c < numCategories; c++ {
+			if v := in.ByCat[c]; v > 0 {
+				fmt.Fprintf(w, "  %s %s (%s)", c, fmtNs(v), pct(v, wall))
+			}
+		}
+		fmt.Fprintf(w, "\n  attributed %s of wall\n", pct(in.AttributedNs(), wall))
+		if h, ok := in.DominantHop(); ok {
+			fmt.Fprintf(w, "  dominant hop: round %d/%d  rank %d -> rank %d  tag %d  %dB  %s (%s of wall)\n",
+				h.Round, len(in.Hops), h.From, h.To, h.Tag, h.Bytes, fmtNs(h.DurNs), pct(h.DurNs, wall))
+		}
+		type rload struct {
+			rank int
+			ns   int64
+		}
+		loads := make([]rload, 0, len(in.ByRank))
+		for r, v := range in.ByRank {
+			if v > 0 {
+				loads = append(loads, rload{r, v})
+			}
+		}
+		sort.Slice(loads, func(i, j int) bool { return loads[i].ns > loads[j].ns })
+		if len(loads) > 0 {
+			fmt.Fprintf(w, "  path residency:")
+			for i, l := range loads {
+				if i == 4 {
+					fmt.Fprintf(w, "  ...")
+					break
+				}
+				fmt.Fprintf(w, "  rank %d %s (%s)", l.rank, fmtNs(l.ns), pct(l.ns, wall))
+			}
+			fmt.Fprintln(w)
+		}
+		if r, late := in.Straggler(); r >= 0 && late > 0 {
+			fmt.Fprintf(w, "  straggler: rank %d entered %s after the first rank\n", r, fmtNs(late))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+)
+
+// syntheticDump builds a two-rank dump of one allreduce-like exchange
+// with known structure, exercising clock alignment on rank 1 (its raw
+// timestamps are shifted by -100 and re-based by OffsetNs):
+//
+//	rank 0: begin t=0,  send post t=10 -> rank 1,          end t=50
+//	rank 1: begin t=5,  recv post t=8, recv done t=40,
+//	        reduce 40..48,                                  end t=60
+//
+// The critical path (backward from rank 1's end at t=60) is:
+// local 48-60, compute 40-48, transfer 10-40 (the send post is after the
+// receive post, so the hop charges the wire from the sender's post and
+// jumps to rank 0), local 0-10 — tiling the full 60 ns wall.
+func syntheticDump() *Dump {
+	arg := PackColl(0, 2, 0, 0) // label 0 = "allreduce"
+	const shift = int64(100)
+	r0 := &RankDump{
+		Rank:   0,
+		Labels: []string{"allreduce"},
+		Events: []Event{
+			{T: 0, Kind: EvCollBegin, Peer: -1, Bytes: 512, Arg: arg},
+			{T: 10, Kind: EvSendPost, Peer: 1, Tag: 5, Bytes: 512},
+			{T: 50, Kind: EvCollEnd, Peer: -1, Bytes: 512, Arg: arg},
+		},
+	}
+	r1 := &RankDump{
+		Rank:   1,
+		Labels: []string{"allreduce"},
+		Events: []Event{
+			{T: 5 - shift, Kind: EvCollBegin, Peer: -1, Bytes: 512, Arg: arg},
+			{T: 8 - shift, Kind: EvRecvPost, Peer: 0, Tag: 5, Bytes: 512},
+			{T: 40 - shift, Kind: EvRecvComplete, Peer: 0, Tag: 5, Bytes: 512},
+			{T: 40 - shift, Kind: EvReduceBegin, Peer: -1, Bytes: 512},
+			{T: 48 - shift, Kind: EvReduceEnd, Peer: -1, Bytes: 512},
+			{T: 60 - shift, Kind: EvCollEnd, Peer: -1, Bytes: 512, Arg: arg},
+		},
+	}
+	return &Dump{
+		P:        2,
+		Ranks:    []*RankDump{r0, r1},
+		OffsetNs: []int64{0, shift},
+		BoundNs:  []int64{0, 3},
+	}
+}
+
+func TestAnalyzeCriticalPath(t *testing.T) {
+	a := syntheticDump().Analyze()
+	if len(a.Instances) != 1 || a.Skipped != 0 {
+		t.Fatalf("got %d instances, %d skipped; want 1, 0", len(a.Instances), a.Skipped)
+	}
+	in := a.Instances[0]
+
+	if in.Label != "allreduce" {
+		t.Errorf("Label = %q, want allreduce", in.Label)
+	}
+	if in.Bytes != 512 {
+		t.Errorf("Bytes = %d, want 512", in.Bytes)
+	}
+	if in.StartNs != 0 || in.EndNs != 60 || in.EndRank != 1 {
+		t.Errorf("bounds start=%d end=%d endRank=%d, want 0, 60, 1", in.StartNs, in.EndNs, in.EndRank)
+	}
+	if in.WallNs() != 60 {
+		t.Errorf("WallNs = %d, want 60", in.WallNs())
+	}
+	// The contiguous walk must attribute the entire wall time.
+	if in.AttributedNs() != in.WallNs() {
+		t.Errorf("attributed %d of %d ns wall", in.AttributedNs(), in.WallNs())
+	}
+	if got := in.ByCat[CatTransfer]; got != 30 {
+		t.Errorf("transfer time %d, want 30 (send post t=10 to recv done t=40)", got)
+	}
+	if got := in.ByCat[CatCompute]; got != 8 {
+		t.Errorf("compute time %d, want 8 (reduce 40..48)", got)
+	}
+	if got := in.ByCat[CatLocal]; got != 22 {
+		t.Errorf("local time %d, want 22 (rank1 48..60 + rank0 0..10)", got)
+	}
+	// Transfer and compute land on rank 1, the path's receiving side.
+	if in.ByRank[1] != 30+8+12 || in.ByRank[0] != 10 {
+		t.Errorf("path residency rank0=%d rank1=%d, want 10, 50", in.ByRank[0], in.ByRank[1])
+	}
+
+	h, ok := in.DominantHop()
+	if !ok {
+		t.Fatal("no dominant hop on a path with a transfer")
+	}
+	if h.From != 0 || h.To != 1 || h.DurNs != 30 || h.Round != 1 || h.Tag != 5 {
+		t.Errorf("dominant hop %+v, want round 1: rank 0 -> 1, tag 5, 30 ns", h)
+	}
+
+	r, late := in.Straggler()
+	if r != 1 || late != 5 {
+		t.Errorf("straggler rank %d late %d, want rank 1 late 5", r, late)
+	}
+}
+
+// TestAnalyzeTailAlignment drops the oldest instance from one rank (a
+// ring overwrite) and checks matching anchors to the end of each stream.
+func TestAnalyzeTailAlignment(t *testing.T) {
+	arg := PackColl(0, 2, 0, 0)
+	mk := func(base int64) []Event {
+		return []Event{
+			{T: base, Kind: EvCollBegin, Peer: -1, Bytes: 64, Arg: arg},
+			{T: base + 10, Kind: EvCollEnd, Peer: -1, Bytes: 64, Arg: arg},
+		}
+	}
+	full := append(append(mk(0), mk(100)...), mk(200)...)
+	trunc := append(mk(100), mk(200)...) // ring dropped the oldest
+	d := &Dump{
+		P: 2,
+		Ranks: []*RankDump{
+			{Rank: 0, Labels: []string{"bcast"}, Events: full, Dropped: 2},
+			{Rank: 1, Labels: []string{"bcast"}, Events: trunc},
+		},
+		OffsetNs: []int64{0, 0},
+		BoundNs:  []int64{0, 0},
+	}
+	a := d.Analyze()
+	if len(a.Instances) != 2 || a.Skipped != 1 {
+		t.Fatalf("got %d instances, %d skipped; want 2 matched from the tail, 1 skipped",
+			len(a.Instances), a.Skipped)
+	}
+	if a.Instances[0].StartNs != 100 || a.Instances[1].StartNs != 200 {
+		t.Fatalf("instances start at %d, %d; want 100, 200",
+			a.Instances[0].StartNs, a.Instances[1].StartNs)
+	}
+}
+
+func TestAnalyzeEmptyDump(t *testing.T) {
+	a := (&Dump{}).Analyze()
+	if len(a.Instances) != 0 {
+		t.Fatalf("empty dump produced %d instances", len(a.Instances))
+	}
+	d := &Dump{P: 1, Ranks: []*RankDump{{Rank: 0}}, OffsetNs: []int64{0}, BoundNs: []int64{0}}
+	if a := d.Analyze(); len(a.Instances) != 0 {
+		t.Fatalf("event-free dump produced %d instances", len(a.Instances))
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var b strings.Builder
+	if err := syntheticDump().Analyze().WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"flight: 2 ranks",
+		"allreduce",
+		"attributed 100% of wall",
+		"dominant hop: round 1/1  rank 0 -> rank 1",
+		"straggler: rank 1",
+		"transfer",
+		"compute",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

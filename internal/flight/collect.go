@@ -1,0 +1,299 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"exacoll/internal/comm"
+)
+
+// Collection-window tags (see comm.TagFlightBase).
+const (
+	tagProbePing = comm.TagFlightBase + 0 // root -> rank: 8-byte nonce
+	tagProbePong = comm.TagFlightBase + 1 // rank -> root: 8-byte local time
+	tagDumpSize  = comm.TagFlightBase + 2 // rank -> root: 8-byte payload size
+	tagDumpData  = comm.TagFlightBase + 3 // rank -> root: marshalled ring
+)
+
+// DefaultProbes is the number of clock-offset probe round trips per rank
+// when CollectOptions leaves it zero. The minimum-RTT probe wins, so a
+// handful of trips suppresses scheduling-noise outliers.
+const DefaultProbes = 8
+
+// CollectOptions configures a collection.
+type CollectOptions struct {
+	// Probes is the number of offset probe round trips per rank (0 means
+	// DefaultProbes). Ignored on virtual-clock substrates, whose ranks
+	// already share one global clock.
+	Probes int
+}
+
+// Dump is the cross-rank collection result: every rank's ring snapshot
+// plus the clock alignment that maps each rank's local timestamps into
+// rank 0's time base. It serializes as JSON (WriteJSON / ReadDump) for
+// `gcaviz flight`.
+type Dump struct {
+	// P is the communicator size the dump was collected from.
+	P int `json:"p"`
+	// Clocked reports virtual-clock timestamps (globally comparable as
+	// recorded; offsets are zero).
+	Clocked bool `json:"clocked"`
+	// Ranks holds one snapshot per rank, indexed by rank.
+	Ranks []*RankDump `json:"ranks"`
+	// OffsetNs[r] added to rank r's local timestamps yields rank 0's time
+	// base (Cristian's algorithm, minimum-RTT probe).
+	OffsetNs []int64 `json:"offset_ns"`
+	// BoundNs[r] is the probe's half-RTT error bound on OffsetNs[r]: the
+	// true offset lies within OffsetNs[r] ± BoundNs[r].
+	BoundNs []int64 `json:"bound_ns"`
+}
+
+// Collect gathers every rank's flight ring over the communicator itself
+// and aligns the per-rank clocks: each rank snapshots its own ring
+// (single-writer discipline — c and rec must belong to the calling
+// goroutine's rank), the root runs offset probes against every rank, and
+// the rings stream to rank 0. Collective: every rank of c must call it.
+// The merged Dump returns on rank 0; other ranks return (nil, nil).
+//
+// Collection traffic itself is recorded when c is the flight wrapper —
+// the snapshot is taken first, so the dump never contains its own
+// collection.
+func Collect(c comm.Comm, rec *RankRecorder, opts CollectOptions) (*Dump, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("flight: collect without a recorder")
+	}
+	probes := opts.Probes
+	if probes <= 0 {
+		probes = DefaultProbes
+	}
+	snap := rec.Snapshot()
+	p := c.Size()
+	if c.Rank() != 0 {
+		return nil, serveCollect(c, rec, snap, probes)
+	}
+
+	d := &Dump{
+		P:        p,
+		Clocked:  snap.Clocked,
+		Ranks:    make([]*RankDump, p),
+		OffsetNs: make([]int64, p),
+		BoundNs:  make([]int64, p),
+	}
+	d.Ranks[0] = snap
+	var buf8 [8]byte
+	for r := 1; r < p; r++ {
+		// Clock alignment: Cristian's algorithm, best-of-N probes. On a
+		// virtual-clock substrate all ranks read one global clock, so the
+		// offset is exactly zero — but the probe exchange still runs (the
+		// remote rank always serves it) to keep the protocol uniform.
+		bestOff, bestBound := int64(0), int64(math.MaxInt64)
+		for i := 0; i < probes; i++ {
+			t0 := rec.nowNs()
+			if err := c.Send(r, tagProbePing, buf8[:]); err != nil {
+				return nil, fmt.Errorf("flight: probe ping rank %d: %w", r, err)
+			}
+			if _, err := c.Recv(r, tagProbePong, buf8[:]); err != nil {
+				return nil, fmt.Errorf("flight: probe pong rank %d: %w", r, err)
+			}
+			t1 := rec.nowNs()
+			remote := int64(binary.LittleEndian.Uint64(buf8[:]))
+			rtt := t1 - t0
+			if rtt < 0 {
+				rtt = 0
+			}
+			bound := rtt/2 + 1 // +1 ns: clock granularity floor
+			if bound < bestBound {
+				// offset maps remote time into the root base: the pong was
+				// stamped near the probe midpoint (t0+t1)/2 of root time.
+				bestOff = t0 + rtt/2 - remote
+				bestBound = bound
+			}
+		}
+		if snap.Clocked {
+			bestOff, bestBound = 0, 0
+		}
+		d.OffsetNs[r] = bestOff
+		d.BoundNs[r] = bestBound
+
+		if _, err := c.Recv(r, tagDumpSize, buf8[:]); err != nil {
+			return nil, fmt.Errorf("flight: dump size rank %d: %w", r, err)
+		}
+		payload := make([]byte, binary.LittleEndian.Uint64(buf8[:]))
+		if _, err := c.Recv(r, tagDumpData, payload); err != nil {
+			return nil, fmt.Errorf("flight: dump data rank %d: %w", r, err)
+		}
+		rd, err := unmarshalRankDump(payload)
+		if err != nil {
+			return nil, fmt.Errorf("flight: rank %d: %w", r, err)
+		}
+		if rd.Rank != r {
+			return nil, fmt.Errorf("flight: dump from rank %d claims rank %d", r, rd.Rank)
+		}
+		d.Ranks[r] = rd
+	}
+	return d, nil
+}
+
+// serveCollect is the non-root side: answer the root's probes, then
+// stream the snapshot.
+func serveCollect(c comm.Comm, rec *RankRecorder, snap *RankDump, probes int) error {
+	var buf8 [8]byte
+	for i := 0; i < probes; i++ {
+		if _, err := c.Recv(0, tagProbePing, buf8[:]); err != nil {
+			return fmt.Errorf("flight: probe ping: %w", err)
+		}
+		binary.LittleEndian.PutUint64(buf8[:], uint64(rec.nowNs()))
+		if err := c.Send(0, tagProbePong, buf8[:]); err != nil {
+			return fmt.Errorf("flight: probe pong: %w", err)
+		}
+	}
+	payload := marshalRankDump(snap)
+	binary.LittleEndian.PutUint64(buf8[:], uint64(len(payload)))
+	if err := c.Send(0, tagDumpSize, buf8[:]); err != nil {
+		return fmt.Errorf("flight: dump size: %w", err)
+	}
+	if err := c.Send(0, tagDumpData, payload); err != nil {
+		return fmt.Errorf("flight: dump data: %w", err)
+	}
+	return nil
+}
+
+// rankDumpMagic guards the wire/file format of one marshalled ring.
+const rankDumpMagic = 0x464c5431 // "FLT1"
+
+// marshalRankDump encodes a snapshot in the fixed little-endian layout:
+// magic, rank, flags, dropped, label table, then 29 bytes per event.
+func marshalRankDump(d *RankDump) []byte {
+	var b bytes.Buffer
+	w := func(v any) { binary.Write(&b, binary.LittleEndian, v) }
+	w(uint32(rankDumpMagic))
+	w(int32(d.Rank))
+	flags := uint32(0)
+	if d.Clocked {
+		flags = 1
+	}
+	w(flags)
+	w(d.Dropped)
+	w(uint32(len(d.Labels)))
+	for _, s := range d.Labels {
+		w(uint32(len(s)))
+		b.WriteString(s)
+	}
+	w(uint32(len(d.Events)))
+	for _, e := range d.Events {
+		w(e.T)
+		w(e.Arg)
+		w(e.Peer)
+		w(e.Tag)
+		w(e.Bytes)
+		w(uint8(e.Kind))
+	}
+	return b.Bytes()
+}
+
+// unmarshalRankDump reverses marshalRankDump.
+func unmarshalRankDump(p []byte) (*RankDump, error) {
+	b := bytes.NewReader(p)
+	rd := func(v any) error { return binary.Read(b, binary.LittleEndian, v) }
+	var magic, flags, n uint32
+	var rank int32
+	d := &RankDump{}
+	if err := rd(&magic); err != nil {
+		return nil, err
+	}
+	if magic != rankDumpMagic {
+		return nil, fmt.Errorf("bad dump magic %#x", magic)
+	}
+	if err := rd(&rank); err != nil {
+		return nil, err
+	}
+	if err := rd(&flags); err != nil {
+		return nil, err
+	}
+	d.Rank, d.Clocked = int(rank), flags&1 != 0
+	if err := rd(&d.Dropped); err != nil {
+		return nil, err
+	}
+	if err := rd(&n); err != nil {
+		return nil, err
+	}
+	if int(n) > len(p) {
+		return nil, fmt.Errorf("label count %d exceeds payload", n)
+	}
+	d.Labels = make([]string, n)
+	for i := range d.Labels {
+		var ln uint32
+		if err := rd(&ln); err != nil {
+			return nil, err
+		}
+		s := make([]byte, ln)
+		if _, err := io.ReadFull(b, s); err != nil {
+			return nil, err
+		}
+		d.Labels[i] = string(s)
+	}
+	if err := rd(&n); err != nil {
+		return nil, err
+	}
+	if int(n) > len(p)/29+1 {
+		return nil, fmt.Errorf("event count %d exceeds payload", n)
+	}
+	d.Events = make([]Event, n)
+	for i := range d.Events {
+		e := &d.Events[i]
+		var kind uint8
+		if err := rd(&e.T); err != nil {
+			return nil, err
+		}
+		if err := rd(&e.Arg); err != nil {
+			return nil, err
+		}
+		if err := rd(&e.Peer); err != nil {
+			return nil, err
+		}
+		if err := rd(&e.Tag); err != nil {
+			return nil, err
+		}
+		if err := rd(&e.Bytes); err != nil {
+			return nil, err
+		}
+		if err := rd(&kind); err != nil {
+			return nil, err
+		}
+		e.Kind = Kind(kind)
+	}
+	return d, nil
+}
+
+// WriteJSON writes the dump as indented JSON — the on-disk format
+// `gcaviz flight` reads.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// ReadDump parses a JSON dump.
+func ReadDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("flight: reading dump: %w", err)
+	}
+	if d.P != len(d.Ranks) || len(d.OffsetNs) != d.P || len(d.BoundNs) != d.P {
+		return nil, fmt.Errorf("flight: dump inconsistent: p=%d ranks=%d offsets=%d bounds=%d",
+			d.P, len(d.Ranks), len(d.OffsetNs), len(d.BoundNs))
+	}
+	for r, rd := range d.Ranks {
+		if rd == nil {
+			return nil, fmt.Errorf("flight: dump missing rank %d", r)
+		}
+		if rd.Rank != r {
+			return nil, fmt.Errorf("flight: dump rank %d claims rank %d", r, rd.Rank)
+		}
+	}
+	return &d, nil
+}

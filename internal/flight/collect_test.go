@@ -1,0 +1,245 @@
+package flight_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/flight"
+	"exacoll/internal/machine"
+	"exacoll/internal/simnet"
+	"exacoll/internal/transport/faulty"
+	"exacoll/internal/transport/mem"
+)
+
+// collectWorld runs recorded traffic and the collection protocol on a mem
+// world, with an optional per-rank fault layer between the substrate and
+// the recorder, and returns rank 0's dump.
+func collectWorld(t *testing.T, p int, wrapFault func(comm.Comm) comm.Comm) *flight.Dump {
+	t.Helper()
+	w := mem.NewWorld(p)
+	defer w.Close()
+	rec := flight.NewRecorder(flight.Options{})
+	var (
+		mu   sync.Mutex
+		dump *flight.Dump
+	)
+	err := w.Run(func(c comm.Comm) error {
+		if wrapFault != nil {
+			c = wrapFault(c)
+		}
+		fc := rec.Wrap(c)
+		sb := make([]byte, 512)
+		rb := make([]byte, 512)
+		for i := 0; i < 3; i++ {
+			if err := core.AllreduceRecDbl(fc, sb, rb, datatype.Sum, datatype.Float64); err != nil {
+				return err
+			}
+		}
+		d, err := flight.Collect(fc, flight.RecorderOf(fc), flight.CollectOptions{})
+		if err != nil {
+			return err
+		}
+		if d != nil {
+			mu.Lock()
+			dump = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("recorded world run: %v", err)
+	}
+	if dump == nil {
+		t.Fatal("rank 0 returned no dump")
+	}
+	return dump
+}
+
+// checkMerged asserts the global timeline is sound: non-decreasing
+// rebased time, and each rank's own stream order preserved exactly
+// (alignment adds a per-rank constant, so it must not reorder a stream).
+func checkMerged(t *testing.T, d *flight.Dump) {
+	t.Helper()
+	merged := d.Merged()
+	if len(merged) == 0 {
+		t.Fatal("merged timeline is empty")
+	}
+	lastSeq := make(map[int]int, d.P)
+	for r := 0; r < d.P; r++ {
+		lastSeq[r] = -1
+	}
+	for i, e := range merged {
+		if i > 0 && e.T < merged[i-1].T {
+			t.Fatalf("merged[%d].T = %d precedes merged[%d].T = %d", i, e.T, i-1, merged[i-1].T)
+		}
+		if e.Seq <= lastSeq[e.Rank] {
+			t.Fatalf("merged[%d] breaks rank %d stream order: seq %d after %d",
+				i, e.Rank, e.Seq, lastSeq[e.Rank])
+		}
+		lastSeq[e.Rank] = e.Seq
+	}
+}
+
+// TestCollectMem covers the wall-clock path: every rank's rings gathered,
+// probe offsets within their own error bound (all ranks share one process
+// clock and one recorder epoch, so the true offset is zero), and a
+// monotonic merged timeline.
+func TestCollectMem(t *testing.T) {
+	const p = 4
+	d := collectWorld(t, p, nil)
+	if d.P != p || len(d.Ranks) != p || len(d.OffsetNs) != p || len(d.BoundNs) != p {
+		t.Fatalf("dump shape: P=%d ranks=%d offsets=%d bounds=%d, want %d each",
+			d.P, len(d.Ranks), len(d.OffsetNs), len(d.BoundNs), p)
+	}
+	if d.Clocked {
+		t.Fatal("mem transport reported a virtual clock")
+	}
+	for r := 0; r < p; r++ {
+		if d.Ranks[r] == nil || d.Ranks[r].Rank != r {
+			t.Fatalf("rank %d snapshot missing or misnumbered", r)
+		}
+		if len(d.Ranks[r].Events) == 0 {
+			t.Fatalf("rank %d snapshot has no events", r)
+		}
+		off, bound := d.OffsetNs[r], d.BoundNs[r]
+		if off < 0 {
+			off = -off
+		}
+		if r == 0 && (off != 0 || bound != 0) {
+			t.Fatalf("root's own offset %d±%d, want 0±0", d.OffsetNs[r], bound)
+		}
+		if off > bound {
+			t.Fatalf("rank %d offset %d exceeds probe bound %d (true offset is 0: shared clock)",
+				r, d.OffsetNs[r], bound)
+		}
+	}
+	checkMerged(t, d)
+}
+
+// TestCollectFaultyJitter re-runs collection with random per-operation
+// jitter under the recorder: probe RTTs inflate, so the Cristian bound
+// must widen to keep covering the true (zero) offset, and the merge must
+// stay ordered.
+func TestCollectFaultyJitter(t *testing.T) {
+	const p = 4
+	d := collectWorld(t, p, func(c comm.Comm) comm.Comm {
+		return faulty.New(c, faulty.Options{
+			Seed:   int64(1000 + c.Rank()),
+			Jitter: 200 * time.Microsecond,
+		})
+	})
+	for r := 1; r < p; r++ {
+		off, bound := d.OffsetNs[r], d.BoundNs[r]
+		if off < 0 {
+			off = -off
+		}
+		if off > bound {
+			t.Fatalf("rank %d offset %d exceeds probe bound %d under jitter", r, d.OffsetNs[r], bound)
+		}
+	}
+	checkMerged(t, d)
+}
+
+// TestCollectSimnet covers the virtual-clock path: the shared simulated
+// clock is globally comparable as recorded, so collection must skip the
+// probes and report exact alignment.
+func TestCollectSimnet(t *testing.T) {
+	const p = 4
+	sim, err := simnet.New(machine.Testbox(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flight.NewRecorder(flight.Options{})
+	var (
+		mu   sync.Mutex
+		dump *flight.Dump
+	)
+	err = sim.Run(func(c comm.Comm) error {
+		fc := rec.Wrap(c)
+		sb := make([]byte, 512)
+		rb := make([]byte, 512)
+		if err := core.AllreduceRecDbl(fc, sb, rb, datatype.Sum, datatype.Float64); err != nil {
+			return err
+		}
+		d, err := flight.Collect(fc, flight.RecorderOf(fc), flight.CollectOptions{})
+		if err != nil {
+			return err
+		}
+		if d != nil {
+			mu.Lock()
+			dump = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("simnet run: %v", err)
+	}
+	if dump == nil {
+		t.Fatal("rank 0 returned no dump")
+	}
+	if !dump.Clocked {
+		t.Fatal("simnet dump not marked clocked")
+	}
+	for r := 0; r < p; r++ {
+		if dump.OffsetNs[r] != 0 || dump.BoundNs[r] != 0 {
+			t.Fatalf("clocked rank %d aligned %d±%d, want exactly 0±0",
+				r, dump.OffsetNs[r], dump.BoundNs[r])
+		}
+		if !dump.Ranks[r].Clocked {
+			t.Fatalf("rank %d snapshot not marked clocked", r)
+		}
+	}
+	checkMerged(t, dump)
+}
+
+// TestDumpJSONRoundTrip pins the `gcaviz flight` interchange format.
+func TestDumpJSONRoundTrip(t *testing.T) {
+	d := collectWorld(t, 2, nil)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := flight.ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P != d.P || got.Clocked != d.Clocked {
+		t.Fatalf("round trip changed header: %+v vs %+v", got, d)
+	}
+	for r := range d.Ranks {
+		if got.OffsetNs[r] != d.OffsetNs[r] || got.BoundNs[r] != d.BoundNs[r] {
+			t.Fatalf("rank %d alignment changed in round trip", r)
+		}
+		if len(got.Ranks[r].Events) != len(d.Ranks[r].Events) {
+			t.Fatalf("rank %d event count changed: %d vs %d",
+				r, len(got.Ranks[r].Events), len(d.Ranks[r].Events))
+		}
+		for i, e := range d.Ranks[r].Events {
+			if got.Ranks[r].Events[i] != e {
+				t.Fatalf("rank %d event %d changed: %+v vs %+v", r, i, got.Ranks[r].Events[i], e)
+			}
+		}
+	}
+}
+
+// TestReadDumpRejectsMalformed checks the validation flight.ReadDump applies to
+// untrusted files.
+func TestReadDumpRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not-json":      "{",
+		"p-mismatch":    `{"p":3,"ranks":[{"rank":0,"events":[]}],"offset_ns":[0],"bound_ns":[0]}`,
+		"rank-renumber": `{"p":1,"ranks":[{"rank":5,"events":[]}],"offset_ns":[0],"bound_ns":[0]}`,
+		"no-offsets":    `{"p":1,"ranks":[{"rank":0,"events":[]}],"offset_ns":[],"bound_ns":[]}`,
+	}
+	for name, raw := range cases {
+		if _, err := flight.ReadDump(bytes.NewReader([]byte(raw))); err == nil {
+			t.Errorf("%s: flight.ReadDump accepted malformed input", name)
+		}
+	}
+}

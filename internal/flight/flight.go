@@ -1,0 +1,381 @@
+// Package flight is the always-on flight recorder: a fixed-size,
+// allocation-free ring buffer of binary trace events per rank, recorded
+// from the communicator wrapper stack (send/recv post and completion),
+// the collective dispatch layer (collective begin/end with the chosen
+// algorithm and radix), the reduction kernels (compute begin/end and
+// segment boundaries), the fault-tolerance agreement rounds, and the
+// hierarchical composition engine's per-level phases.
+//
+// Unlike internal/trace — an opt-in, unbounded, lock-guarded event log
+// used by the simulator harnesses — the flight recorder is built to stay
+// enabled on production hot paths: recording one event is a clock read
+// and a struct store into a preallocated ring slot (zero allocations,
+// enforced by an AllocsPerRun test and a gcabench overhead gate), and a
+// full ring silently overwrites the oldest events, so the recorder's
+// cost is constant no matter how long the run.
+//
+// After a run (or at any collective point), Collect gathers every rank's
+// ring over the communicator itself, aligns the per-rank clocks with
+// offset probes (Cristian's algorithm on wall-clock transports; exact on
+// virtual-clock substrates), and produces a merged Timeline that renders
+// as Chrome trace-event JSON and supports critical-path extraction,
+// per-hop latency attribution, and straggler detection (see analysis.go
+// and `gcaviz flight`).
+//
+// Ownership discipline (mirrors the communicator's): one RankRecorder is
+// owned by the goroutine driving that rank's communicator handle.
+// Recording and Snapshot are single-writer operations on that goroutine;
+// cross-goroutine readers use Published (an atomically swapped immutable
+// copy) or the happens-before edge of joining the world's Run.
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exacoll/internal/comm"
+)
+
+// Kind labels one binary trace event.
+type Kind uint8
+
+// Event kinds. Post/complete pairs bracket an operation on one rank's
+// timeline; Begin/End pairs bracket labeled intervals.
+const (
+	EvNone Kind = iota
+	// EvSendPost marks a send handed to the transport (blocking Send entry,
+	// or Isend post). Peer/Tag/Bytes describe the message.
+	EvSendPost
+	// EvSendComplete marks the send's local completion (eager buffering
+	// accepted the payload; the buffer is reusable).
+	EvSendComplete
+	// EvRecvPost marks a receive posted (blocking Recv entry, or Irecv).
+	EvRecvPost
+	// EvRecvComplete marks a receive matched and copied out; Bytes is the
+	// matched length. The interval since the matching EvRecvPost is the
+	// rank's blocked-or-transfer window for that message.
+	EvRecvComplete
+	// EvWaitBegin marks entry into a blocking Request.Wait.
+	EvWaitBegin
+	// EvWaitEnd marks the wait returning (successful waits on receives are
+	// followed by the EvRecvComplete carrying the byte count).
+	EvWaitEnd
+	// EvReduceBegin/EvReduceEnd bracket one reduction-kernel application of
+	// Bytes bytes (the γ term).
+	EvReduceBegin
+	EvReduceEnd
+	// EvSegment marks a pipeline segment boundary: Arg is the segment
+	// index, Bytes the segment size.
+	EvSegment
+	// EvCollBegin/EvCollEnd bracket one collective call. Arg packs the
+	// label id of the algorithm (or op) name, the op code, the radix and
+	// the low bits of the collective epoch — see PackColl. Bytes is the
+	// selection size.
+	EvCollBegin
+	EvCollEnd
+	// EvPhaseBegin/EvPhaseEnd bracket one hierarchical-composition phase
+	// (node phase, leader phase, root hop); Arg carries the phase label id.
+	EvPhaseBegin
+	EvPhaseEnd
+	// EvAgreeBegin/EvAgreeEnd bracket one fault-tolerance error-agreement
+	// exchange; Arg is the agreement sequence number.
+	EvAgreeBegin
+	EvAgreeEnd
+	// EvMark is a free-form point event labeled by Arg's label id.
+	EvMark
+)
+
+// String names the kind for reports and dumps.
+func (k Kind) String() string {
+	switch k {
+	case EvSendPost:
+		return "send_post"
+	case EvSendComplete:
+		return "send_done"
+	case EvRecvPost:
+		return "recv_post"
+	case EvRecvComplete:
+		return "recv_done"
+	case EvWaitBegin:
+		return "wait_begin"
+	case EvWaitEnd:
+		return "wait_end"
+	case EvReduceBegin:
+		return "reduce_begin"
+	case EvReduceEnd:
+		return "reduce_end"
+	case EvSegment:
+		return "segment"
+	case EvCollBegin:
+		return "coll_begin"
+	case EvCollEnd:
+		return "coll_end"
+	case EvPhaseBegin:
+		return "phase_begin"
+	case EvPhaseEnd:
+		return "phase_end"
+	case EvAgreeBegin:
+		return "agree_begin"
+	case EvAgreeEnd:
+		return "agree_end"
+	case EvMark:
+		return "mark"
+	}
+	return "none"
+}
+
+// Event is one fixed-size binary trace record. The struct is 32 bytes;
+// a ring slot is written in place, never allocated per event.
+type Event struct {
+	// T is the recording rank's local timestamp in nanoseconds: virtual
+	// time on clocked substrates, monotonic nanoseconds since the
+	// recorder's epoch otherwise. Cross-rank comparison requires the
+	// merge-time clock alignment (Timeline.Aligned).
+	T int64 `json:"t"`
+	// Arg is kind-specific payload (see the Kind docs and PackColl).
+	Arg uint64 `json:"arg,omitempty"`
+	// Peer is the other rank of a point-to-point event (-1 otherwise),
+	// in the recorder's world numbering.
+	Peer int32 `json:"peer"`
+	// Tag is the message tag of a point-to-point event.
+	Tag int32 `json:"tag,omitempty"`
+	// Bytes is the payload size of the event, where meaningful.
+	Bytes int32 `json:"bytes,omitempty"`
+	// Kind labels the event.
+	Kind Kind `json:"kind"`
+}
+
+// PackColl packs an EvCollBegin/EvCollEnd Arg: label id (the interned
+// algorithm or op name), op code (core.CollOp), radix and the low 16 bits
+// of the collective epoch.
+func PackColl(label uint32, op int, k int, epoch int64) uint64 {
+	return uint64(label)<<40 | uint64(uint8(op))<<32 | uint64(uint16(k))<<16 | uint64(uint16(epoch))
+}
+
+// UnpackColl reverses PackColl.
+func UnpackColl(arg uint64) (label uint32, op int, k int, epoch int) {
+	return uint32(arg >> 40), int(uint8(arg >> 32)), int(uint16(arg >> 16)), int(uint16(arg))
+}
+
+// PackLabel packs a bare label id into an Arg (phases, marks).
+func PackLabel(label uint32) uint64 { return uint64(label) << 40 }
+
+// LabelOf extracts the label id of a packed Arg.
+func LabelOf(arg uint64) uint32 { return uint32(arg >> 40) }
+
+// DefaultRingSize is the per-rank ring capacity in events when Options
+// leaves it zero: 64Ki events x 32 bytes = 2 MiB per rank, roughly the
+// last few thousand collective calls of a small-message workload.
+const DefaultRingSize = 1 << 16
+
+// MinReduceBracketBytes is the reduction-kernel size below which emitters
+// skip the EvReduceBegin/EvReduceEnd bracket. A small kernel (a 4 KiB f64
+// sum runs in a few hundred nanoseconds) costs less than the two clock
+// reads that would time it, and the always-on overhead budget is spent
+// where attribution matters: on large payloads, where the γ term can
+// dominate a round. Sub-threshold compute folds into the critical path's
+// "local" category.
+const MinReduceBracketBytes = 16 << 10
+
+// Options configures a Recorder.
+type Options struct {
+	// RingSize is the per-rank ring capacity in events; it is rounded up
+	// to a power of two. 0 means DefaultRingSize.
+	RingSize int
+}
+
+// Recorder owns the per-rank flight rings of one world — share one
+// Recorder across all ranks of a process, exactly like metrics.Registry.
+// Rank recorders are created lazily and never freed.
+type Recorder struct {
+	ringSize int
+	epoch    time.Time // shared wall base for all in-process ranks
+
+	mu    sync.Mutex
+	ranks map[int]*RankRecorder
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder(opts Options) *Recorder {
+	size := opts.RingSize
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	// Round up to a power of two so the ring mask is a single AND.
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{ringSize: n, epoch: time.Now(), ranks: map[int]*RankRecorder{}}
+}
+
+// RingSize returns the per-rank ring capacity in events.
+func (f *Recorder) RingSize() int { return f.ringSize }
+
+// Rank returns (creating on first use) the recorder for one rank. The
+// returned RankRecorder must only be driven by the goroutine that drives
+// that rank's communicator handle.
+func (f *Recorder) Rank(rank int) *RankRecorder {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.ranks[rank]
+	if !ok {
+		r = &RankRecorder{
+			rank:     rank,
+			epoch:    f.epoch,
+			buf:      make([]Event, f.ringSize),
+			mask:     uint64(f.ringSize - 1),
+			labelIdx: map[string]uint32{},
+		}
+		f.ranks[rank] = r
+	}
+	return r
+}
+
+// RankRecorder is one rank's flight ring. Single-writer: only the rank's
+// driving goroutine records, snapshots, or publishes.
+type RankRecorder struct {
+	rank  int
+	clk   comm.Clock // non-nil iff the substrate tracks virtual time
+	epoch time.Time
+
+	buf  []Event
+	mask uint64
+	next uint64 // events ever recorded; next & mask is the write slot
+
+	labels   []string
+	labelIdx map[string]uint32
+
+	published atomic.Pointer[RankDump]
+}
+
+// WorldRank returns the rank this recorder records for.
+func (r *RankRecorder) WorldRank() int { return r.rank }
+
+// nowNs returns the rank's local timestamp: virtual seconds scaled to
+// nanoseconds on clocked substrates, monotonic wall nanoseconds since the
+// recorder's epoch otherwise.
+func (r *RankRecorder) nowNs() int64 {
+	if r.clk != nil {
+		return int64(r.clk.Now() * 1e9)
+	}
+	return int64(time.Since(r.epoch))
+}
+
+// Record appends one event to the ring, overwriting the oldest when full.
+// Zero allocations; safe only on the owning goroutine.
+func (r *RankRecorder) Record(k Kind, peer int, tag comm.Tag, bytes int, arg uint64) {
+	i := r.next & r.mask
+	r.buf[i] = Event{
+		T: r.nowNs(), Arg: arg,
+		Peer: int32(peer), Tag: int32(tag), Bytes: int32(bytes), Kind: k,
+	}
+	r.next++
+}
+
+// RecordAt is Record with a caller-supplied timestamp (already in the
+// rank's local time base) — used when one clock read brackets two events.
+func (r *RankRecorder) RecordAt(t int64, k Kind, peer int, tag comm.Tag, bytes int, arg uint64) {
+	i := r.next & r.mask
+	r.buf[i] = Event{
+		T: t, Arg: arg,
+		Peer: int32(peer), Tag: int32(tag), Bytes: int32(bytes), Kind: k,
+	}
+	r.next++
+}
+
+// Mark records a labeled point event.
+func (r *RankRecorder) Mark(label string) {
+	r.Record(EvMark, -1, 0, 0, PackLabel(r.LabelID(label)))
+}
+
+// LabelID interns a label string and returns its id for Arg packing.
+// A hit is a map lookup (no allocation); only the first use of a new
+// label allocates. Ids are stable for the life of the recorder.
+func (r *RankRecorder) LabelID(s string) uint32 {
+	if id, ok := r.labelIdx[s]; ok {
+		return id
+	}
+	id := uint32(len(r.labels))
+	r.labels = append(r.labels, s)
+	r.labelIdx[s] = id
+	return id
+}
+
+// Label resolves an interned id ("" when out of range).
+func (r *RankRecorder) Label(id uint32) string {
+	if int(id) < len(r.labels) {
+		return r.labels[id]
+	}
+	return ""
+}
+
+// Events returns the count of events ever recorded (including overwritten
+// ones).
+func (r *RankRecorder) Events() uint64 { return r.next }
+
+// Dropped returns how many events the ring has overwritten.
+func (r *RankRecorder) Dropped() uint64 {
+	if r.next <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.next - uint64(len(r.buf))
+}
+
+// RankDump is an immutable copy of one rank's ring: events oldest-first,
+// plus the label table that resolves their Arg label ids.
+type RankDump struct {
+	Rank int `json:"rank"`
+	// Clocked reports whether T values are virtual time (a shared global
+	// clock) rather than per-process wall time.
+	Clocked bool `json:"clocked"`
+	// Dropped counts ring overwrites: the dump holds only the newest
+	// ring-size events.
+	Dropped uint64   `json:"dropped"`
+	Labels  []string `json:"labels,omitempty"`
+	Events  []Event  `json:"events"`
+}
+
+// Label resolves an interned label id in this dump.
+func (d *RankDump) Label(id uint32) string {
+	if int(id) < len(d.Labels) {
+		return d.Labels[id]
+	}
+	return ""
+}
+
+// Snapshot copies the ring (oldest event first). Owning goroutine only,
+// or after a happens-before edge with it (e.g. the world Run join).
+func (r *RankRecorder) Snapshot() *RankDump {
+	d := &RankDump{
+		Rank:    r.rank,
+		Clocked: r.clk != nil,
+		Dropped: r.Dropped(),
+		Labels:  append([]string(nil), r.labels...),
+	}
+	n := r.next
+	size := uint64(len(r.buf))
+	if n <= size {
+		d.Events = append([]Event(nil), r.buf[:n]...)
+		return d
+	}
+	// Ring wrapped: unroll from the oldest surviving slot.
+	start := n & r.mask
+	d.Events = make([]Event, 0, size)
+	d.Events = append(d.Events, r.buf[start:]...)
+	d.Events = append(d.Events, r.buf[:start]...)
+	return d
+}
+
+// Publish snapshots the ring and installs the copy for cross-goroutine
+// readers (Published). Owning goroutine only.
+func (r *RankRecorder) Publish() *RankDump {
+	d := r.Snapshot()
+	r.published.Store(d)
+	return d
+}
+
+// Published returns the most recently published snapshot (nil if none).
+// Safe from any goroutine.
+func (r *RankRecorder) Published() *RankDump { return r.published.Load() }

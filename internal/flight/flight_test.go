@@ -1,0 +1,125 @@
+package flight
+
+import (
+	"testing"
+
+	"exacoll/internal/comm"
+)
+
+func TestPackCollRoundTrip(t *testing.T) {
+	cases := []struct {
+		label uint32
+		op, k int
+		epoch int64
+	}{
+		{0, 0, 0, 0},
+		{1, 3, 4, 7},
+		{0xffff, 255, 65535, 65535},
+		{42, 7, 2, 1<<16 + 5}, // epoch truncates to low 16 bits
+	}
+	for _, c := range cases {
+		arg := PackColl(c.label, c.op, c.k, c.epoch)
+		label, op, k, epoch := UnpackColl(arg)
+		if label != c.label || op != c.op || k != c.k || epoch != int(uint16(c.epoch)) {
+			t.Errorf("PackColl(%d,%d,%d,%d) round-tripped to (%d,%d,%d,%d)",
+				c.label, c.op, c.k, c.epoch, label, op, k, epoch)
+		}
+		if LabelOf(arg) != c.label {
+			t.Errorf("LabelOf(PackColl label=%d) = %d", c.label, LabelOf(arg))
+		}
+	}
+	if got := LabelOf(PackLabel(123)); got != 123 {
+		t.Errorf("LabelOf(PackLabel(123)) = %d", got)
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	cases := map[int]int{0: DefaultRingSize, 1: 1, 2: 2, 3: 4, 100: 128, 1 << 10: 1 << 10}
+	for in, want := range cases {
+		if got := NewRecorder(Options{RingSize: in}).RingSize(); got != want {
+			t.Errorf("RingSize %d rounded to %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestRingWrap fills a small ring past capacity and checks the snapshot
+// keeps only the newest events, oldest first, with an accurate drop count.
+func TestRingWrap(t *testing.T) {
+	const size, total = 8, 21
+	rr := NewRecorder(Options{RingSize: size}).Rank(0)
+	for i := 0; i < total; i++ {
+		rr.RecordAt(int64(i), EvMark, -1, 0, i, 0)
+	}
+	if rr.Events() != total {
+		t.Fatalf("Events() = %d, want %d", rr.Events(), total)
+	}
+	if rr.Dropped() != total-size {
+		t.Fatalf("Dropped() = %d, want %d", rr.Dropped(), total-size)
+	}
+	snap := rr.Snapshot()
+	if snap.Dropped != total-size || len(snap.Events) != size {
+		t.Fatalf("snapshot: %d events, %d dropped; want %d, %d",
+			len(snap.Events), snap.Dropped, size, total-size)
+	}
+	for i, e := range snap.Events {
+		want := int64(total - size + i)
+		if e.T != want || int64(e.Bytes) != want {
+			t.Fatalf("snapshot[%d] = T %d Bytes %d, want %d (oldest-first order)",
+				i, e.T, e.Bytes, want)
+		}
+	}
+}
+
+func TestLabelInterning(t *testing.T) {
+	rr := NewRecorder(Options{}).Rank(0)
+	a := rr.LabelID("allreduce")
+	b := rr.LabelID("bcast")
+	if a2 := rr.LabelID("allreduce"); a2 != a {
+		t.Fatalf("re-interning returned %d, want %d", a2, a)
+	}
+	if a == b {
+		t.Fatalf("distinct labels share id %d", a)
+	}
+	if rr.Label(a) != "allreduce" || rr.Label(b) != "bcast" {
+		t.Fatalf("Label() does not resolve interned ids")
+	}
+	snap := rr.Snapshot()
+	if snap.Label(a) != "allreduce" || snap.Label(b) != "bcast" {
+		t.Fatalf("snapshot label table does not resolve interned ids")
+	}
+	if snap.Label(99) != "" {
+		t.Fatalf("out-of-range label id resolved to %q", snap.Label(99))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := EvNone; k <= EvMark; k++ {
+		s := k.String()
+		if s == "" {
+			t.Fatalf("Kind(%d) has empty String", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Kind %d and %d share String %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+// TestRecordZeroAllocs pins the hot-path contract: recording into the
+// ring never allocates (label interning is done once at setup, outside
+// the measured loop).
+func TestRecordZeroAllocs(t *testing.T) {
+	rr := NewRecorder(Options{}).Rank(0)
+	arg := PackColl(rr.LabelID("allreduce"), 2, 2, 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		rr.Record(EvSendPost, 1, comm.TagCollBase, 4096, arg)
+	}); n != 0 {
+		t.Fatalf("Record allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		rr.RecordAt(42, EvRecvPost, 1, comm.TagCollBase, 4096, arg)
+	}); n != 0 {
+		t.Fatalf("RecordAt allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,102 @@
+package flight
+
+import (
+	"sort"
+	"strconv"
+)
+
+// MergedEvent is one event on the global timeline: the recording rank,
+// the event with T rebased into rank 0's clock, and the event's position
+// in its rank's stream (ties on T break by rank then Seq, keeping each
+// rank's stream order — alignment adds a constant per rank, so per-rank
+// order is preserved exactly).
+type MergedEvent struct {
+	Event
+	Rank int `json:"rank"`
+	Seq  int `json:"seq"`
+}
+
+// AlignedRank returns rank r's events with timestamps rebased into rank
+// 0's time base (T + OffsetNs[r]).
+func (d *Dump) AlignedRank(r int) []Event {
+	src := d.Ranks[r].Events
+	out := make([]Event, len(src))
+	off := d.OffsetNs[r]
+	for i, e := range src {
+		e.T += off
+		out[i] = e
+	}
+	return out
+}
+
+// Merged returns the global timeline: every rank's aligned events,
+// sorted by rebased time.
+func (d *Dump) Merged() []MergedEvent {
+	var out []MergedEvent
+	for r := range d.Ranks {
+		for i, e := range d.AlignedRank(r) {
+			out = append(out, MergedEvent{Event: e, Rank: r, Seq: i})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// BeginOf maps the End kind of a Begin/End pair to its Begin (EvNone for
+// non-End kinds). Pairs nest per rank (stack discipline), except
+// concurrent nonblocking collectives, which may interleave — renderers
+// tolerate that by matching the nearest unmatched Begin of the same kind.
+func BeginOf(k Kind) Kind {
+	switch k {
+	case EvWaitEnd:
+		return EvWaitBegin
+	case EvReduceEnd:
+		return EvReduceBegin
+	case EvCollEnd:
+		return EvCollBegin
+	case EvPhaseEnd:
+		return EvPhaseBegin
+	case EvAgreeEnd:
+		return EvAgreeBegin
+	}
+	return EvNone
+}
+
+// SpanLabel names the interval a Begin/End pair brackets from its End
+// event, resolving interned labels against the rank's dump. Renderers
+// (internal/trace's flight adapter, the text report) share it.
+func SpanLabel(rd *RankDump, end Event) string {
+	switch end.Kind {
+	case EvWaitEnd:
+		return "wait"
+	case EvReduceEnd:
+		return "reduce"
+	case EvAgreeEnd:
+		return "ft agree"
+	case EvPhaseEnd:
+		if l := rd.Label(LabelOf(end.Arg)); l != "" {
+			return l
+		}
+		return "phase"
+	case EvCollEnd:
+		label, _, k, _ := UnpackColl(end.Arg)
+		name := rd.Label(label)
+		if name == "" {
+			name = "collective"
+		}
+		if k > 0 {
+			return name + " k=" + strconv.Itoa(k)
+		}
+		return name
+	}
+	return end.Kind.String()
+}

@@ -1,0 +1,212 @@
+package flight
+
+import (
+	"sync"
+
+	"exacoll/internal/comm"
+)
+
+// Recorded is implemented by communicators that carry a flight recorder
+// for their rank. Probe with RecorderOf, which also walks wrapper chains.
+type Recorded interface {
+	FlightRecorder() *RankRecorder
+}
+
+// Unwrapper is implemented by communicator wrappers that can reveal the
+// communicator they wrap (the errors.Unwrap convention). SubComm, the FT
+// epoch comm, the metrics comm and the topo level comm all implement it
+// so capability probes that cannot be forwarded method-by-method — like
+// RecorderOf — can walk the stack.
+type Unwrapper interface {
+	Unwrap() comm.Comm
+}
+
+// RecorderOf returns the flight recorder reachable from c: c itself if it
+// is the flight wrapper, or the first Recorded communicator found by
+// unwrapping the wrapper chain. Nil when no recorder is attached —
+// callers emitting optional events must nil-check.
+func RecorderOf(c comm.Comm) *RankRecorder {
+	for c != nil {
+		if rc, ok := c.(Recorded); ok {
+			return rc.FlightRecorder()
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		c = u.Unwrap()
+	}
+	return nil
+}
+
+// Wrap returns a comm.Comm recording every point-to-point operation of
+// c's rank into the recorder's ring. The wrapper preserves the virtual
+// clock (comm.Clock) of the communicator it wraps and forwards locality
+// queries; metrics instrumentation beneath it stays discoverable through
+// Unwrap (metrics.InstrumentedOf walks the chain), so flight must stay
+// the outermost wrapper.
+//
+// Overhead discipline: the blocking Send/Recv paths and Isend add only a
+// clock read and a ring-slot store per event — no allocations (enforced
+// by TestWrapZeroAllocs and the gcabench flight gate). Irecv allocates
+// one small request wrapper so the completion event can be recorded,
+// matching what the substrate itself allocates per posted receive.
+//
+// Isend records only the post: wrapping the send request to observe its
+// completion would allocate on the comm.SendRecv hot path, and eager
+// semantics make a send's local completion uninformative (the transfer
+// interval the analysis needs is send post → recv complete).
+func (f *Recorder) Wrap(c comm.Comm) comm.Comm {
+	rr := f.Rank(c.Rank())
+	clk, clocked := comm.VirtualClock(c)
+	if clocked {
+		rr.clk = clk
+	}
+	base := &Comm{inner: c, rec: rr}
+	if clocked {
+		return &clockComm{base, clk}
+	}
+	return base
+}
+
+// Comm is the flight-recording communicator wrapper. Construct with
+// Recorder.Wrap.
+type Comm struct {
+	inner comm.Comm
+	rec   *RankRecorder
+}
+
+// FlightRecorder implements Recorded.
+func (fc *Comm) FlightRecorder() *RankRecorder { return fc.rec }
+
+// Unwrap implements Unwrapper.
+func (fc *Comm) Unwrap() comm.Comm { return fc.inner }
+
+// Rank implements comm.Comm.
+func (fc *Comm) Rank() int { return fc.inner.Rank() }
+
+// Size implements comm.Comm.
+func (fc *Comm) Size() int { return fc.inner.Size() }
+
+// ChargeCompute implements comm.Comm. The γ charge itself is not an
+// event: reduction kernels bracket their work with EvReduceBegin/End
+// explicitly (internal/core), which carries strictly more information.
+func (fc *Comm) ChargeCompute(n int) { fc.inner.ChargeCompute(n) }
+
+// Locality forwards comm.Locator to the substrate.
+func (fc *Comm) Locality(rank int) (comm.Locality, bool) {
+	return comm.LocalityOf(fc.inner, rank)
+}
+
+// Send implements comm.Comm: EvSendPost at entry, EvSendComplete when the
+// eager buffering accepts the payload. Failed sends record no completion.
+func (fc *Comm) Send(to int, tag comm.Tag, buf []byte) error {
+	fc.rec.Record(EvSendPost, to, tag, len(buf), 0)
+	err := fc.inner.Send(to, tag, buf)
+	if err == nil {
+		fc.rec.Record(EvSendComplete, to, tag, len(buf), 0)
+	}
+	return err
+}
+
+// Recv implements comm.Comm: EvRecvPost at entry, EvRecvComplete with the
+// matched length on success. The interval between the two is the rank's
+// blocked-or-transfer window for the message.
+func (fc *Comm) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	fc.rec.Record(EvRecvPost, from, tag, len(buf), 0)
+	n, err := fc.inner.Recv(from, tag, buf)
+	if err == nil {
+		fc.rec.Record(EvRecvComplete, from, tag, n, 0)
+	}
+	return n, err
+}
+
+// Isend implements comm.Comm, recording the post only (see Wrap) and
+// returning the substrate's request as-is — zero per-call allocations.
+func (fc *Comm) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	fc.rec.Record(EvSendPost, to, tag, len(buf), 0)
+	req, err := fc.inner.Isend(to, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Irecv implements comm.Comm: EvRecvPost at the post, EvRecvComplete when
+// Wait or Test observes completion, and EvWaitBegin/EvWaitEnd bracketing
+// each blocking Wait on the request.
+func (fc *Comm) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	fc.rec.Record(EvRecvPost, from, tag, len(buf), 0)
+	req, err := fc.inner.Irecv(from, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	return &recvRequest{Request: req, rec: fc.rec, from: int32(from), tag: tag}, nil
+}
+
+// SendRecv implements comm.SendRecver: the exchange's post events share
+// one clock read, and only the receive completion pays a second — two
+// clock reads instead of five for the equivalent Isend+Recv+Wait
+// sequence. On the recursive-doubling hot path, where SendRecv is every
+// round's only primitive, this is most of the recorder's overhead budget.
+// The inner exchange goes through comm.SendRecv, so an inner communicator
+// with its own fast path keeps it.
+func (fc *Comm) SendRecv(to int, sendBuf []byte, from int, recvBuf []byte, tag comm.Tag) (int, error) {
+	t0 := fc.rec.nowNs()
+	fc.rec.RecordAt(t0, EvSendPost, to, tag, len(sendBuf), 0)
+	fc.rec.RecordAt(t0, EvRecvPost, from, tag, len(recvBuf), 0)
+	n, err := comm.SendRecv(fc.inner, to, sendBuf, from, recvBuf, tag)
+	if err == nil {
+		fc.rec.Record(EvRecvComplete, from, tag, n, 0)
+	}
+	return n, err
+}
+
+// recvRequest records a nonblocking receive's completion exactly once.
+// Like the request itself, it must be driven by the rank's goroutine.
+type recvRequest struct {
+	comm.Request
+	rec  *RankRecorder
+	from int32
+	tag  comm.Tag
+	once sync.Once
+}
+
+// Wait implements comm.Request.
+func (r *recvRequest) Wait() error {
+	r.rec.Record(EvWaitBegin, int(r.from), r.tag, 0, 0)
+	err := r.Request.Wait()
+	r.rec.Record(EvWaitEnd, int(r.from), r.tag, 0, 0)
+	if err == nil {
+		r.once.Do(func() {
+			r.rec.Record(EvRecvComplete, int(r.from), r.tag, r.Request.Len(), 0)
+		})
+	}
+	return err
+}
+
+// Test implements comm.Tester when the wrapped request does, recording
+// the completion event once on success (a successful poll never blocked,
+// so no wait events). A non-polling inner request reports not-done so
+// callers fall back to Wait.
+func (r *recvRequest) Test() (bool, error) {
+	done, err, ok := comm.TryTest(r.Request)
+	if !ok || !done {
+		return false, nil
+	}
+	if err == nil {
+		r.once.Do(func() {
+			r.rec.Record(EvRecvComplete, int(r.from), r.tag, r.Request.Len(), 0)
+		})
+	}
+	return true, err
+}
+
+// clockComm re-exposes comm.Clock for clocked substrates.
+type clockComm struct {
+	*Comm
+	clk comm.Clock
+}
+
+// Now implements comm.Clock.
+func (c *clockComm) Now() float64 { return c.clk.Now() }

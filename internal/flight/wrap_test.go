@@ -1,0 +1,168 @@
+package flight
+
+import (
+	"testing"
+
+	"exacoll/internal/comm"
+)
+
+// stubComm is a minimal in-goroutine substrate: sends vanish, receives
+// return the buffer length immediately. It lets the wrapper's hot paths
+// run under testing.AllocsPerRun without coordinating rank goroutines.
+type stubComm struct{ rank, size int }
+
+func (s *stubComm) Rank() int                        { return s.rank }
+func (s *stubComm) Size() int                        { return s.size }
+func (s *stubComm) ChargeCompute(int)                {}
+func (s *stubComm) Send(int, comm.Tag, []byte) error { return nil }
+func (s *stubComm) Recv(_ int, _ comm.Tag, buf []byte) (int, error) {
+	return len(buf), nil
+}
+func (s *stubComm) Isend(int, comm.Tag, []byte) (comm.Request, error) {
+	return stubReq{}, nil
+}
+func (s *stubComm) Irecv(_ int, _ comm.Tag, buf []byte) (comm.Request, error) {
+	return lenReq(len(buf)), nil
+}
+
+type stubReq struct{}
+
+func (stubReq) Wait() error { return nil }
+func (stubReq) Len() int    { return 0 }
+
+type lenReq int
+
+func (lenReq) Wait() error { return nil }
+func (r lenReq) Len() int  { return int(r) }
+
+// TestWrapZeroAllocs enforces the overhead discipline documented on Wrap:
+// the blocking paths, Isend and the SendRecv exchange add no allocations.
+// (Irecv allocates its one recvRequest wrapper by design and is excluded.)
+func TestWrapZeroAllocs(t *testing.T) {
+	fc := NewRecorder(Options{}).Wrap(&stubComm{rank: 0, size: 2})
+	buf := make([]byte, 4096)
+	rb := make([]byte, 4096)
+	cases := map[string]func(){
+		"Send": func() {
+			if err := fc.Send(1, comm.TagCollBase, buf); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"Recv": func() {
+			if _, err := fc.Recv(1, comm.TagCollBase, rb); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"Isend": func() {
+			if _, err := fc.Isend(1, comm.TagCollBase, buf); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"SendRecv": func() {
+			if _, err := comm.SendRecv(fc, 1, buf, 1, rb, comm.TagCollBase); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, fn := range cases {
+		if n := testing.AllocsPerRun(500, fn); n != 0 {
+			t.Errorf("%s allocates %.1f/op through the flight wrapper, want 0", name, n)
+		}
+	}
+}
+
+// TestWrapEventStream checks each wrapped operation records the events
+// the analysis passes depend on, with the right peers, tags and sizes.
+func TestWrapEventStream(t *testing.T) {
+	rec := NewRecorder(Options{})
+	fc := rec.Wrap(&stubComm{rank: 0, size: 4})
+	rr := RecorderOf(fc)
+	if rr == nil {
+		t.Fatal("RecorderOf(wrapped) = nil")
+	}
+
+	buf := make([]byte, 100)
+	if err := fc.Send(2, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Recv(3, 8, buf); err != nil {
+		t.Fatal(err)
+	}
+	req, err := fc.Irecv(1, 9, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comm.SendRecv(fc, 2, buf, 2, buf, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		kind  Kind
+		peer  int32
+		tag   int32
+		bytes int32
+	}
+	wants := []want{
+		{EvSendPost, 2, 7, 100},
+		{EvSendComplete, 2, 7, 100},
+		{EvRecvPost, 3, 8, 100},
+		{EvRecvComplete, 3, 8, 100},
+		{EvRecvPost, 1, 9, 100}, // Irecv post
+		{EvWaitBegin, 1, 9, 0},
+		{EvWaitEnd, 1, 9, 0},
+		{EvRecvComplete, 1, 9, 100},
+		{EvSendPost, 2, 10, 100}, // SendRecv exchange
+		{EvRecvPost, 2, 10, 100},
+		{EvRecvComplete, 2, 10, 100},
+	}
+	evs := rr.Snapshot().Events
+	if len(evs) != len(wants) {
+		t.Fatalf("recorded %d events, want %d: %+v", len(evs), len(wants), evs)
+	}
+	for i, w := range wants {
+		e := evs[i]
+		if e.Kind != w.kind || e.Peer != w.peer || e.Tag != w.tag || e.Bytes != w.bytes {
+			t.Errorf("event %d = {%s peer %d tag %d bytes %d}, want {%s peer %d tag %d bytes %d}",
+				i, e.Kind, e.Peer, e.Tag, e.Bytes, w.kind, w.peer, w.tag, w.bytes)
+		}
+		if i > 0 && e.T < evs[i-1].T {
+			t.Errorf("event %d timestamp %d precedes event %d timestamp %d", i, e.T, i-1, evs[i-1].T)
+		}
+	}
+	// The SendRecv fast path stamps both posts with one clock read.
+	if evs[8].T != evs[9].T {
+		t.Errorf("SendRecv post events have distinct timestamps %d, %d", evs[8].T, evs[9].T)
+	}
+}
+
+// chainComm is an anonymous wrapper exposing only Unwrap, standing in for
+// SubComm / the FT epoch comm / the metrics comm in the probe walk.
+type chainComm struct {
+	comm.Comm
+	inner comm.Comm
+}
+
+func (c *chainComm) Unwrap() comm.Comm { return c.inner }
+
+func TestRecorderOfWalksChains(t *testing.T) {
+	base := &stubComm{rank: 1, size: 2}
+	if RecorderOf(base) != nil {
+		t.Fatal("RecorderOf(bare comm) != nil")
+	}
+	wrapped := NewRecorder(Options{}).Wrap(base)
+	outer := &chainComm{Comm: wrapped, inner: wrapped}
+	outer2 := &chainComm{Comm: outer, inner: outer}
+	rr := RecorderOf(outer2)
+	if rr == nil {
+		t.Fatal("RecorderOf did not walk the wrapper chain")
+	}
+	if rr.WorldRank() != 1 {
+		t.Fatalf("recorder rank %d, want 1", rr.WorldRank())
+	}
+	if RecorderOf(&chainComm{Comm: base, inner: base}) != nil {
+		t.Fatal("RecorderOf found a recorder on an unrecorded chain")
+	}
+}

@@ -35,6 +35,10 @@ func NewEpochComm(c comm.Comm, epoch int64) *EpochComm {
 // Epoch returns the current collective epoch.
 func (ec *EpochComm) Epoch() int64 { return ec.epoch.Load() }
 
+// Unwrap reveals the wrapped communicator (the errors.Unwrap convention),
+// letting capability probes like the flight recorder's walk the chain.
+func (ec *EpochComm) Unwrap() comm.Comm { return ec.inner }
+
 // SetEpoch moves the collective tag window (called between collectives by
 // the FT state machine; concurrent in-flight nonblocking traffic is
 // unaffected because nbc tags are never translated).

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"exacoll/internal/comm"
+	"exacoll/internal/flight"
 	"exacoll/internal/metrics"
 )
 
@@ -156,7 +157,14 @@ func getBit(mask []byte, i int) bool { return mask[i/8]&(1<<(i%8)) != 0 }
 // every live rank compute the identical verdict.
 func (s *State) agree(localFail bool) (aborted bool) {
 	p, me := s.base.Size(), s.base.Rank()
+	rec := flight.RecorderOf(s.out)
+	if rec != nil {
+		rec.Record(flight.EvAgreeBegin, -1, 0, 0, uint64(s.seq))
+	}
 	defer func() {
+		if rec != nil {
+			rec.Record(flight.EvAgreeEnd, -1, 0, 0, uint64(s.seq))
+		}
 		s.seq++
 		if s.cfg.Metrics != nil {
 			s.cfg.Metrics.FTAgreement(me, aborted)

@@ -24,6 +24,25 @@ func (r *Registry) Instrument(c comm.Comm) comm.Comm {
 	return mc
 }
 
+// InstrumentedOf returns the registry reachable from c: c's own when it
+// implements Instrumented, or the nearest instrumented communicator's
+// found by walking Unwrap() wrapper chains (the errors.Unwrap
+// convention) — so instrumentation stays discoverable under outer
+// wrappers like the flight recorder's. Nil when no registry is attached.
+func InstrumentedOf(c comm.Comm) *Registry {
+	for c != nil {
+		if ic, ok := c.(Instrumented); ok {
+			return ic.Metrics()
+		}
+		u, ok := c.(interface{ Unwrap() comm.Comm })
+		if !ok {
+			return nil
+		}
+		c = u.Unwrap()
+	}
+	return nil
+}
+
 // Comm is an instrumented communicator. It implements comm.Comm and
 // Instrumented; use Registry.Instrument to construct it.
 type Comm struct {
@@ -35,6 +54,10 @@ type Comm struct {
 
 // Metrics implements Instrumented.
 func (m *Comm) Metrics() *Registry { return m.reg }
+
+// Unwrap reveals the wrapped communicator (the errors.Unwrap convention),
+// letting capability probes like the flight recorder's walk the chain.
+func (m *Comm) Unwrap() comm.Comm { return m.inner }
 
 // Rank implements comm.Comm.
 func (m *Comm) Rank() int { return m.inner.Rank() }

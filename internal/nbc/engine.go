@@ -6,6 +6,7 @@ import (
 	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
 	"exacoll/internal/datatype"
+	"exacoll/internal/flight"
 	"exacoll/internal/metrics"
 )
 
@@ -48,8 +49,9 @@ type issueKey struct {
 // driven from one goroutine at a time.
 type Engine struct {
 	c   comm.Comm
-	reg *metrics.Registry // nil when c is not instrumented
-	clk comm.Clock        // nil on wall-clock substrates
+	reg *metrics.Registry    // nil when c is not instrumented
+	rec *flight.RankRecorder // nil when c carries no flight recorder
+	clk comm.Clock           // nil on wall-clock substrates
 
 	// nextEpoch numbers collectives in issue order. MPI-3 requires every
 	// rank to issue nonblocking collectives on a communicator in the same
@@ -65,10 +67,7 @@ type Engine struct {
 // overlap windows, and per-call decision records are reported to its
 // registry.
 func NewEngine(c comm.Comm) *Engine {
-	e := &Engine{c: c}
-	if ic, ok := c.(metrics.Instrumented); ok {
-		e.reg = ic.Metrics()
-	}
+	e := &Engine{c: c, rec: flight.RecorderOf(c), reg: metrics.InstrumentedOf(c)}
 	if clk, ok := comm.VirtualClock(c); ok {
 		e.clk = clk
 	}
@@ -105,6 +104,7 @@ type Request struct {
 	err         error
 	start       float64
 	overlapSeen bool
+	collArg     uint64 // flight bracket Arg; 0 when unrecorded
 }
 
 // Start begins executing prog. The returned request completes through
@@ -139,6 +139,12 @@ func (e *Engine) Start(prog *Program) (*Request, error) {
 	if e.reg != nil {
 		e.reg.NBCStart(e.c.Rank())
 		r.start = e.now()
+	}
+	if e.rec != nil {
+		// Concurrent collectives' brackets may interleave on the rank's
+		// timeline; the packed epoch pairs each End with its Begin.
+		r.collArg = flight.PackColl(e.rec.LabelID(prog.Alg), 0, prog.K, int64(epoch))
+		e.rec.Record(flight.EvCollBegin, -1, r.base, prog.Bytes, r.collArg)
 	}
 	e.inflight = append(e.inflight, r)
 	if r.remaining == 0 {
@@ -316,6 +322,9 @@ func (r *Request) finish(err error) {
 			e.inflight = append(e.inflight[:i], e.inflight[i+1:]...)
 			break
 		}
+	}
+	if e.rec != nil {
+		e.rec.Record(flight.EvCollEnd, -1, r.base, r.prog.Bytes, r.collArg)
 	}
 	if e.reg != nil {
 		e.reg.NBCFinish(e.c.Rank())

@@ -6,6 +6,7 @@ import (
 	"exacoll/internal/comm"
 	"exacoll/internal/core"
 	"exacoll/internal/datatype"
+	"exacoll/internal/flight"
 	"exacoll/internal/machine"
 	"exacoll/internal/metrics"
 	"exacoll/internal/tuning"
@@ -52,6 +53,19 @@ type Engine struct {
 	nodeTab *tuning.Table
 	leadTab *tuning.Table
 	reg     *metrics.Registry
+	rec     *flight.RankRecorder // nil when the world carries no recorder
+}
+
+// phase brackets one hierarchy phase (node-level run, leader-level run,
+// root<->leader hop) on the flight timeline; the returned func records
+// the end. A no-op when no recorder rides on the communicator.
+func (e *Engine) phase(label string) func() {
+	if e.rec == nil {
+		return func() {}
+	}
+	arg := flight.PackLabel(e.rec.LabelID(label))
+	e.rec.Record(flight.EvPhaseBegin, -1, 0, 0, arg)
+	return func() { e.rec.Record(flight.EvPhaseEnd, -1, 0, 0, arg) }
 }
 
 // NewEngine factors c by m and prepares the per-level selection state.
@@ -65,11 +79,9 @@ func NewEngine(c comm.Comm, m *Map, cfg Config) (*Engine, error) {
 	if cfg.Spec != nil {
 		spec = *cfg.Spec
 	}
-	e := &Engine{h: h, reg: cfg.Metrics}
+	e := &Engine{h: h, reg: cfg.Metrics, rec: flight.RecorderOf(c)}
 	if e.reg == nil {
-		if ic, ok := c.(metrics.Instrumented); ok {
-			e.reg = ic.Metrics()
-		}
+		e.reg = metrics.InstrumentedOf(c)
 	}
 	e.nodeTab = cfg.NodeTable
 	if e.nodeTab == nil {
@@ -133,13 +145,16 @@ func (e *Engine) Bcast(buf []byte, root int) error {
 	rootNode := m.NodeOf[root]
 	rootLeader := m.Nodes[rootNode][0]
 	if root != rootLeader {
-		if me == root {
-			if err := e.hopSend(rootLeader, buf); err != nil {
-				return err
+		if me == root || me == rootLeader {
+			end := e.phase("bcast root hop")
+			var err error
+			if me == root {
+				err = e.hopSend(rootLeader, buf)
+			} else {
+				err = e.hopRecv(root, buf)
 			}
-		}
-		if me == rootLeader {
-			if err := e.hopRecv(root, buf); err != nil {
+			end()
+			if err != nil {
 				return err
 			}
 		}
@@ -147,12 +162,18 @@ func (e *Engine) Bcast(buf []byte, root int) error {
 	if e.lead != nil && m.NumNodes() > 1 {
 		// Leaders()[v] == Nodes[v][0], so the root node's id is also the
 		// root's index in the leader sub-communicator.
-		if err := e.leadTab.Run(e.lead, core.OpBcast, core.Args{SendBuf: buf, Root: rootNode}); err != nil {
+		end := e.phase("bcast internode")
+		err := e.leadTab.Run(e.lead, core.OpBcast, core.Args{SendBuf: buf, Root: rootNode})
+		end()
+		if err != nil {
 			return err
 		}
 	}
 	if e.node.Size() > 1 {
-		return e.nodeTab.Run(e.node, core.OpBcast, core.Args{SendBuf: buf, Root: 0})
+		end := e.phase("bcast intranode")
+		err := e.nodeTab.Run(e.node, core.OpBcast, core.Args{SendBuf: buf, Root: 0})
+		end()
+		return err
 	}
 	return nil
 }
@@ -170,9 +191,12 @@ func (e *Engine) Reduce(sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Typ
 		return err
 	}
 	if e.node.Size() > 1 {
-		if err := e.nodeTab.Run(e.node, core.OpReduce, core.Args{
+		end := e.phase("reduce intranode")
+		err := e.nodeTab.Run(e.node, core.OpReduce, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: dt, Root: 0,
-		}); err != nil {
+		})
+		end()
+		if err != nil {
 			return err
 		}
 	} else {
@@ -181,20 +205,26 @@ func (e *Engine) Reduce(sendbuf, recvbuf []byte, op datatype.Op, dt datatype.Typ
 	rootNode := m.NodeOf[root]
 	rootLeader := m.Nodes[rootNode][0]
 	if e.lead != nil && m.NumNodes() > 1 {
+		end := e.phase("reduce internode")
 		tmp := append([]byte(nil), recvbuf...)
-		if err := e.leadTab.Run(e.lead, core.OpReduce, core.Args{
+		err := e.leadTab.Run(e.lead, core.OpReduce, core.Args{
 			SendBuf: tmp, RecvBuf: recvbuf, Op: op, Type: dt, Root: rootNode,
-		}); err != nil {
+		})
+		end()
+		if err != nil {
 			return err
 		}
 	}
-	if root != rootLeader {
+	if root != rootLeader && (me == rootLeader || me == root) {
+		end := e.phase("reduce root hop")
+		var err error
 		if me == rootLeader {
-			return e.hopSend(root, recvbuf)
+			err = e.hopSend(root, recvbuf)
+		} else {
+			err = e.hopRecv(rootLeader, recvbuf)
 		}
-		if me == root {
-			return e.hopRecv(rootLeader, recvbuf)
-		}
+		end()
+		return err
 	}
 	return nil
 }
@@ -207,24 +237,33 @@ func (e *Engine) Allreduce(sendbuf, recvbuf []byte, op datatype.Op, dt datatype.
 		return err
 	}
 	if e.node.Size() > 1 {
-		if err := e.nodeTab.Run(e.node, core.OpReduce, core.Args{
+		end := e.phase("allreduce reduce intranode")
+		err := e.nodeTab.Run(e.node, core.OpReduce, core.Args{
 			SendBuf: sendbuf, RecvBuf: recvbuf, Op: op, Type: dt, Root: 0,
-		}); err != nil {
+		})
+		end()
+		if err != nil {
 			return err
 		}
 	} else {
 		copy(recvbuf, sendbuf)
 	}
 	if e.lead != nil && e.h.Map.NumNodes() > 1 {
+		end := e.phase("allreduce internode")
 		tmp := append([]byte(nil), recvbuf...)
-		if err := e.leadTab.Run(e.lead, core.OpAllreduce, core.Args{
+		err := e.leadTab.Run(e.lead, core.OpAllreduce, core.Args{
 			SendBuf: tmp, RecvBuf: recvbuf, Op: op, Type: dt,
-		}); err != nil {
+		})
+		end()
+		if err != nil {
 			return err
 		}
 	}
 	if e.node.Size() > 1 {
-		return e.nodeTab.Run(e.node, core.OpBcast, core.Args{SendBuf: recvbuf, Root: 0})
+		end := e.phase("allreduce bcast intranode")
+		err := e.nodeTab.Run(e.node, core.OpBcast, core.Args{SendBuf: recvbuf, Root: 0})
+		end()
+		return err
 	}
 	return nil
 }
@@ -248,21 +287,27 @@ func (e *Engine) Allgather(sendbuf, recvbuf []byte) error {
 	nodeSize := e.node.Size()
 	gathered := make([]byte, nodeSize*b)
 	if nodeSize > 1 {
-		if err := e.nodeTab.Run(e.node, core.OpGather, core.Args{
+		end := e.phase("allgather gather intranode")
+		err := e.nodeTab.Run(e.node, core.OpGather, core.Args{
 			SendBuf: sendbuf, RecvBuf: gathered, Root: 0,
-		}); err != nil {
+		})
+		end()
+		if err != nil {
 			return err
 		}
 	} else {
 		copy(gathered, sendbuf)
 	}
 	if e.lead != nil && m.NumNodes() > 1 {
+		end := e.phase("allgather internode")
 		padded := make([]byte, m.PPN*b)
 		copy(padded, gathered)
 		all := make([]byte, m.NumNodes()*m.PPN*b)
-		if err := e.leadTab.Run(e.lead, core.OpAllgather, core.Args{
+		err := e.leadTab.Run(e.lead, core.OpAllgather, core.Args{
 			SendBuf: padded, RecvBuf: all,
-		}); err != nil {
+		})
+		end()
+		if err != nil {
 			return err
 		}
 		for v, members := range m.Nodes {
@@ -277,7 +322,10 @@ func (e *Engine) Allgather(sendbuf, recvbuf []byte) error {
 		}
 	}
 	if nodeSize > 1 {
-		return e.nodeTab.Run(e.node, core.OpBcast, core.Args{SendBuf: recvbuf, Root: 0})
+		end := e.phase("allgather bcast intranode")
+		err := e.nodeTab.Run(e.node, core.OpBcast, core.Args{SendBuf: recvbuf, Root: 0})
+		end()
+		return err
 	}
 	return nil
 }
@@ -307,6 +355,10 @@ type levelComm struct {
 
 // Metrics implements metrics.Instrumented.
 func (l *levelComm) Metrics() *metrics.Registry { return l.reg }
+
+// Unwrap implements flight.Unwrapper, so the reduction kernels running on
+// a level find the world's flight recorder through the wrapper chain.
+func (l *levelComm) Unwrap() comm.Comm { return l.inner }
 
 // Rank implements comm.Comm.
 func (l *levelComm) Rank() int { return l.inner.Rank() }

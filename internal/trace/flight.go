@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"io"
+	"sort"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/flight"
+)
+
+// WriteFlightTrace renders a flight-recorder dump's merged cross-rank
+// timeline as Chrome trace-event JSON through the sink renderer: every
+// rank's Begin/End pairs become spans on that rank's thread, point events
+// (send/recv posts and completions, segment boundaries, marks) become
+// instants. Timestamps are the aligned global timeline — each rank's
+// local clock rebased into rank 0's by the dump's offset probes.
+//
+// The adapter lives here rather than in internal/flight to keep flight a
+// leaf package (core's reduction kernels record into it; this package
+// renders core schedules).
+func WriteFlightTrace(w io.Writer, d *flight.Dump) error {
+	var tev []Event
+	for r := range d.Ranks {
+		rd := d.Ranks[r]
+		events := d.AlignedRank(r)
+		// Match Begin/End pairs per kind with a stack of unmatched Begins;
+		// an End whose Begin was ring-dropped renders as an instant.
+		open := map[flight.Kind][]int{}
+		matched := make([]int, len(events)) // End index -> Begin index, else -1
+		for i := range matched {
+			matched[i] = -1
+		}
+		for i, e := range events {
+			if bk := flight.BeginOf(e.Kind); bk != flight.EvNone {
+				if s := open[bk]; len(s) > 0 {
+					matched[i] = s[len(s)-1]
+					open[bk] = s[:len(s)-1]
+				}
+				continue
+			}
+			switch e.Kind {
+			case flight.EvWaitBegin, flight.EvReduceBegin, flight.EvCollBegin,
+				flight.EvPhaseBegin, flight.EvAgreeBegin:
+				open[e.Kind] = append(open[e.Kind], i)
+			}
+		}
+		consumed := map[int]bool{}
+		for i := range events {
+			if matched[i] >= 0 {
+				consumed[matched[i]] = true
+			}
+		}
+		for i, e := range events {
+			if consumed[i] {
+				continue // rendered by its matching End
+			}
+			if b := matched[i]; b >= 0 {
+				begin := events[b]
+				tev = append(tev, Event{
+					Rank: r, Kind: KindSpan, Peer: -1,
+					Label: flight.SpanLabel(rd, e),
+					Time:  float64(begin.T) / 1e9,
+					Dur:   float64(e.T-begin.T) / 1e9,
+				})
+				continue
+			}
+			tev = append(tev, Event{
+				Rank: r, Kind: Kind(e.Kind.String()),
+				Peer: int(e.Peer), Tag: comm.Tag(e.Tag), Bytes: int(e.Bytes),
+				Time: float64(e.T) / 1e9,
+			})
+		}
+	}
+	sort.Slice(tev, func(i, j int) bool { return tev[i].Time < tev[j].Time })
+	return WriteChromeEvents(w, tev)
+}

@@ -220,11 +220,18 @@ func (s *Sink) Summarize() []Summary {
 	return out
 }
 
-// WriteChromeTrace emits the events as Chrome trace-viewer JSON (open in
-// chrome://tracing or Perfetto): instant events on one "thread" per rank,
-// timestamped with the virtual clock in microseconds.
+// WriteChromeTrace emits the sink's events as Chrome trace-viewer JSON.
 func (s *Sink) WriteChromeTrace(w io.Writer) error {
-	events := s.Events()
+	return WriteChromeEvents(w, s.Events())
+}
+
+// WriteChromeEvents emits events as Chrome trace-viewer JSON (open in
+// chrome://tracing or Perfetto): one "thread" per rank, spans (KindSpan)
+// as complete events and everything else as instants, timestamped in
+// microseconds. Shared by the sink and the flight recorder's merged
+// cross-rank timeline (internal/flight), which synthesizes Events in any
+// time base it likes.
+func WriteChromeEvents(w io.Writer, events []Event) error {
 	if _, err := io.WriteString(w, "[\n"); err != nil {
 		return err
 	}

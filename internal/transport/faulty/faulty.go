@@ -119,6 +119,10 @@ type faultyComm struct {
 	rng   *rand.Rand
 }
 
+// Unwrap reveals the wrapped communicator (the errors.Unwrap convention),
+// letting capability probes like the flight recorder's walk the chain.
+func (f *faultyComm) Unwrap() comm.Comm { return f.inner }
+
 func (f *faultyComm) Rank() int           { return f.inner.Rank() }
 func (f *faultyComm) Size() int           { return f.inner.Size() }
 func (f *faultyComm) ChargeCompute(n int) { f.inner.ChargeCompute(n) }
