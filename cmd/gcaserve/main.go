@@ -1,0 +1,267 @@
+// Command gcaserve is the long-lived collective service: one process
+// hosting many concurrent tenants, each a world of collective sessions
+// isolated from its cotenants by tag namespaces, admission control, and
+// per-tenant QoS tuning (see internal/svc).
+//
+// Usage:
+//
+//	gcaserve -addr :8080 -max-sessions 256 -queue 64
+//
+// HTTP API (JSON):
+//
+//	POST /v1/open?id=T&qos=latency|throughput&ranks=N   admit a tenant
+//	POST /v1/run?id=T&op=allreduce&bytes=4096           run one collective
+//	POST /v1/close?id=T                                 retire a tenant
+//	GET  /v1/stats                                      server totals
+//	GET  /metrics                                       Prometheus exposition,
+//	                                                    {tenant, qos} labels
+//	GET  /healthz                                       liveness
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"exacoll/gca"
+	"exacoll/internal/metrics"
+	"exacoll/internal/svc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary: it parses flags, binds the
+// listener, prints the bound address, and serves until the process dies.
+// Exit codes: 1 runtime error, 2 usage.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcaserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxSessions := fs.Int("max-sessions", 256, "max concurrently live tenants")
+	queue := fs.Int("queue", 64, "admission queue length (0: fail fast when full)")
+	admitTimeout := fs.Duration("admit-timeout", 5*time.Second, "max time an open waits in the admission queue")
+	opTimeout := fs.Duration("op-timeout", 30*time.Second, "per-operation timeout inside tenant sessions (0: none)")
+	maxRanks := fs.Int("max-ranks", 512, "max ranks per tenant")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	srv := svc.NewServer(svc.Config{
+		MaxSessions:  *maxSessions,
+		QueueLen:     *queue,
+		AdmitTimeout: *admitTimeout,
+		OpTimeout:    *opTimeout,
+		MaxRanks:     *maxRanks,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "gcaserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gcaserve listening on %s\n", ln.Addr())
+	if err := http.Serve(ln, newMux(srv)); err != nil {
+		fmt.Fprintf(stderr, "gcaserve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// newMux builds the HTTP API over a service server (separated from run so
+// tests drive it through httptest).
+func newMux(srv *svc.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/open", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.FormValue("id")
+		qos := svc.QoS(r.FormValue("qos"))
+		if qos == "" {
+			qos = svc.QoSLatency
+		}
+		ranks, err := strconv.Atoi(r.FormValue("ranks"))
+		if err != nil {
+			http.Error(w, "ranks must be an integer", http.StatusBadRequest)
+			return
+		}
+		tn, err := srv.Open(id, qos, ranks)
+		if err != nil {
+			http.Error(w, err.Error(), openStatus(err))
+			return
+		}
+		writeJSON(w, map[string]any{"id": tn.ID(), "qos": tn.QoS(), "ranks": tn.Size()})
+	})
+	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		tn, ok := srv.Tenant(r.FormValue("id"))
+		if !ok {
+			http.Error(w, "no such tenant", http.StatusNotFound)
+			return
+		}
+		op := r.FormValue("op")
+		nbytes := 1024
+		if v := r.FormValue("bytes"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 8 {
+				http.Error(w, "bytes must be an integer >= 8", http.StatusBadRequest)
+				return
+			}
+			nbytes = n
+		}
+		start := time.Now()
+		if err := runCollective(tn, op, nbytes); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"id": tn.ID(), "op": op, "bytes": nbytes,
+			"seconds": time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/v1/close", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		tn, ok := srv.Tenant(r.FormValue("id"))
+		if !ok {
+			http.Error(w, "no such tenant", http.StatusNotFound)
+			return
+		}
+		tn.Close()
+		writeJSON(w, map[string]any{"id": tn.ID(), "closed": true})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, srv.Stats())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		metrics.WritePrometheusTenants(w, srv.Tenants())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// openStatus maps admission failures to HTTP status codes.
+func openStatus(err error) int {
+	switch {
+	case err == svc.ErrBusy:
+		return http.StatusTooManyRequests
+	case err == svc.ErrAdmissionTimeout:
+		return http.StatusServiceUnavailable
+	case err == svc.ErrClosed:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// runCollective drives one named collective across every rank of the
+// tenant with deterministic data and verifies the result — the service's
+// demo/benchmark entry point, not a data plane (tenant payloads live in
+// the tenant process; the service hosts the communicators).
+func runCollective(tn *svc.Tenant, op string, nbytes int) error {
+	p := tn.Size()
+	want := float64(p*(p+1)) / 2
+	return tn.Run(func(rank int, s *gca.Session) error {
+		switch op {
+		case "barrier":
+			return s.Barrier()
+		case "bcast":
+			buf := make([]byte, nbytes)
+			if rank == 0 {
+				for i := range buf {
+					buf[i] = byte(i)
+				}
+			}
+			if err := s.Bcast(buf, 0); err != nil {
+				return err
+			}
+			for i := range buf {
+				if buf[i] != byte(i) {
+					return fmt.Errorf("bcast[%d] corrupt", i)
+				}
+			}
+			return nil
+		case "allreduce":
+			n := nbytes / 8
+			send := make([]byte, 8*n)
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(send[8*i:], math.Float64bits(float64(rank+1)))
+			}
+			recv := make([]byte, 8*n)
+			if err := s.Allreduce(send, recv, gca.Sum, gca.Float64); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if got := math.Float64frombits(binary.LittleEndian.Uint64(recv[8*i:])); got != want {
+					return fmt.Errorf("allreduce[%d] = %v, want %v", i, got, want)
+				}
+			}
+			return nil
+		case "allgather":
+			blk := nbytes / p
+			if blk < 1 {
+				blk = 1
+			}
+			send := make([]byte, blk)
+			for i := range send {
+				send[i] = byte(rank)
+			}
+			recv := make([]byte, blk*p)
+			if err := s.Allgather(send, recv); err != nil {
+				return err
+			}
+			for j := 0; j < p; j++ {
+				if recv[j*blk] != byte(j) {
+					return fmt.Errorf("allgather block %d corrupt", j)
+				}
+			}
+			return nil
+		case "alltoall":
+			blk := nbytes / p
+			if blk < 1 {
+				blk = 1
+			}
+			send := make([]byte, blk*p)
+			for j := 0; j < p; j++ {
+				for k := 0; k < blk; k++ {
+					send[j*blk+k] = byte(rank*p + j)
+				}
+			}
+			recv := make([]byte, blk*p)
+			if err := s.Alltoall(send, recv); err != nil {
+				return err
+			}
+			for j := 0; j < p; j++ {
+				if recv[j*blk] != byte(j*p+rank) {
+					return fmt.Errorf("alltoall block %d corrupt", j)
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("unknown op %q (barrier, bcast, allreduce, allgather, alltoall)", op)
+	})
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/svc"
+)
+
+func testServer(t *testing.T, cfg svc.Config) (*httptest.Server, *svc.Server) {
+	t.Helper()
+	srv := svc.NewServer(cfg)
+	ts := httptest.NewServer(newMux(srv))
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, srv
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, q url.Values) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path+"?"+q.Encode(), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+// TestAPILifecycle drives the two-tenant quick-start from the README
+// through the HTTP API: open two tenants under different QoS classes, run
+// collectives in each, scrape labeled metrics, close.
+func TestAPILifecycle(t *testing.T) {
+	ts, _ := testServer(t, svc.Config{OpTimeout: 10 * time.Second})
+
+	if code, body := get(t, ts, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+
+	code, body := post(t, ts, "/v1/open", url.Values{"id": {"web"}, "qos": {"latency"}, "ranks": {"4"}})
+	if code != 200 {
+		t.Fatalf("open web: %d %s", code, body)
+	}
+	code, body = post(t, ts, "/v1/open", url.Values{"id": {"batch"}, "qos": {"throughput"}, "ranks": {"4"}})
+	if code != 200 {
+		t.Fatalf("open batch: %d %s", code, body)
+	}
+
+	for _, op := range []string{"barrier", "bcast", "allreduce", "allgather", "alltoall"} {
+		for _, id := range []string{"web", "batch"} {
+			code, body = post(t, ts, "/v1/run", url.Values{"id": {id}, "op": {op}, "bytes": {"2048"}})
+			if code != 200 {
+				t.Fatalf("run %s on %s: %d %s", op, id, code, body)
+			}
+		}
+	}
+
+	_, metricsOut := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`tenant="web",qos="latency"`,
+		`tenant="batch",qos="throughput"`,
+	} {
+		if !strings.Contains(metricsOut, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	code, body = get(t, ts, "/v1/stats")
+	if code != 200 {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var st svc.Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats not JSON: %v in %s", err, body)
+	}
+	if st.Live != 2 || st.Opened != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	for _, id := range []string{"web", "batch"} {
+		if code, body = post(t, ts, "/v1/close", url.Values{"id": {id}}); code != 200 {
+			t.Fatalf("close %s: %d %s", id, code, body)
+		}
+	}
+	if code, _ = post(t, ts, "/v1/run", url.Values{"id": {"web"}, "op": {"barrier"}}); code != 404 {
+		t.Fatalf("run on closed tenant = %d, want 404", code)
+	}
+}
+
+// TestAPIErrors pins the error mapping: bad arguments 400, unknown tenant
+// 404, a full server 429.
+func TestAPIErrors(t *testing.T) {
+	ts, _ := testServer(t, svc.Config{MaxSessions: 1})
+
+	if code, _ := post(t, ts, "/v1/open", url.Values{"id": {"t"}, "ranks": {"x"}}); code != 400 {
+		t.Errorf("non-integer ranks = %d, want 400", code)
+	}
+	if code, _ := post(t, ts, "/v1/open", url.Values{"id": {"t"}, "qos": {"bulk"}, "ranks": {"2"}}); code != 400 {
+		t.Errorf("unknown qos = %d, want 400", code)
+	}
+	if code, _ := post(t, ts, "/v1/run", url.Values{"id": {"ghost"}, "op": {"barrier"}}); code != 404 {
+		t.Errorf("unknown tenant = %d, want 404", code)
+	}
+	if code, _ := post(t, ts, "/v1/open", url.Values{"id": {"t1"}, "ranks": {"2"}}); code != 200 {
+		t.Fatalf("first open failed")
+	}
+	if code, _ := post(t, ts, "/v1/open", url.Values{"id": {"t2"}, "ranks": {"2"}}); code != 429 {
+		t.Errorf("open on full server = %d, want 429", code)
+	}
+	if code, _ := get(t, ts, "/v1/stats"); code != 200 {
+		t.Errorf("stats = %d", code)
+	}
+}
+
+// TestServeSoak is the service soak through the HTTP surface: 64
+// concurrent tenants churning through >= 1000 session creations against
+// one gcaserve mux (scaled down with -short), per-tenant metrics live
+// throughout.
+func TestServeSoak(t *testing.T) {
+	workers, creations := 64, 1000
+	if testing.Short() {
+		workers, creations = 8, 64
+	}
+	ts, srv := testServer(t, svc.Config{
+		MaxSessions:  workers,
+		QueueLen:     workers,
+		AdmitTimeout: 30 * time.Second,
+		OpTimeout:    10 * time.Second,
+	})
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	per := creations / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qos := "latency"
+			if w%2 == 1 {
+				qos = "throughput"
+			}
+			for i := 0; i < per; i++ {
+				id := fmt.Sprintf("soak-%d-%d", w, i)
+				q := url.Values{"id": {id}, "qos": {qos}, "ranks": {"2"}}
+				if code, body := post(t, ts, "/v1/open", q); code != 200 {
+					fail(fmt.Errorf("open %s: %d %s", id, code, body))
+					return
+				}
+				if code, body := post(t, ts, "/v1/run", url.Values{"id": {id}, "op": {"allreduce"}, "bytes": {"256"}}); code != 200 {
+					fail(fmt.Errorf("run %s: %d %s", id, code, body))
+					return
+				}
+				if code, body := post(t, ts, "/v1/close", url.Values{"id": {id}}); code != 200 {
+					fail(fmt.Errorf("close %s: %d %s", id, code, body))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	st := srv.Stats()
+	if st.Live != 0 || st.Opened < uint64(per*workers) {
+		t.Fatalf("stats after churn = %+v, want live 0 opened >= %d", st, per*workers)
+	}
+}
+
+// TestRunUsage covers the run() process wrapper: bad flags exit 2, an
+// unbindable address exits 1.
+func TestRunUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:1"}, &out, &errb); code != 1 {
+		t.Errorf("bad addr exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,99 @@
+// Multitenant: one collective service process hosting two tenants — a
+// latency-class "web" tenant and a throughput-class "analytics" tenant —
+// sharing a host world under disjoint tag namespaces. Both run their
+// collectives concurrently; the per-tenant Prometheus exposition at the
+// end shows each tenant's traffic under its own {tenant, qos} labels.
+//
+// The same service runs standalone as `gcaserve` with this flow driven
+// over HTTP (see README).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"exacoll/gca"
+	"exacoll/internal/metrics"
+	"exacoll/internal/svc"
+)
+
+func main() {
+	srv := svc.NewServer(svc.Config{OpTimeout: 10 * time.Second})
+	defer srv.Close()
+
+	web, err := srv.Open("web", svc.QoSLatency, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analytics, err := srv.Open("analytics", svc.QoSThroughput, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both tenants compute concurrently: web a small allreduce (latency
+	// tables: high-radix trees), analytics a bulk broadcast (throughput
+	// tables: chains and rings). Tag namespaces keep the interleaved
+	// traffic on the shared world perfectly separate.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		err := web.Run(func(rank int, s *gca.Session) error {
+			send, recv := make([]byte, 8), make([]byte, 8)
+			binary.LittleEndian.PutUint64(send, math.Float64bits(float64(rank+1)))
+			if err := s.Allreduce(send, recv, gca.Sum, gca.Float64); err != nil {
+				return err
+			}
+			if got := math.Float64frombits(binary.LittleEndian.Uint64(recv)); got != 10 {
+				return fmt.Errorf("allreduce = %v, want 10", got)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		err := analytics.Run(func(rank int, s *gca.Session) error {
+			buf := make([]byte, 1<<20)
+			if rank == 0 {
+				for i := range buf {
+					buf[i] = byte(i)
+				}
+			}
+			if err := s.Bcast(buf, 0); err != nil {
+				return err
+			}
+			if buf[12345] != byte(12345%256) {
+				return fmt.Errorf("bcast payload corrupt")
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}()
+	wg.Wait()
+
+	// The exposition carries every tenant's series under its identity.
+	var sb strings.Builder
+	if err := metrics.WritePrometheusTenants(&sb, srv.Tenants()); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, `gca_sends_total{tenant=`) && strings.Contains(line, `rank="0"`) {
+			fmt.Println(line)
+		}
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stdout, "tenants=%d worlds=%d\n", st.Live, st.Worlds)
+	fmt.Println("multi-tenant collective service: ok")
+}

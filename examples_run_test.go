@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/machinesweep", "k-ring bcast on Frontier"},
 		{"./examples/tunedselection", "tuned session ran allreduce + bcast: ok"},
 		{"./examples/learnedselection", "learned selection generalizes across communicator sizes: ok"},
+		{"./examples/multitenant", "multi-tenant collective service: ok"},
 	}
 	for _, tc := range cases {
 		tc := tc

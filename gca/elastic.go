@@ -1,0 +1,168 @@
+package gca
+
+// Elastic membership: worlds over TCP that grow, shrink, and re-admit
+// ranks across their lifetime (see internal/elastic). The elastic
+// transport keeps one persistent rendezvous anchor on rank 0; each
+// membership is an epoch, and every change forms a brand-new mesh whose
+// predecessor is fenced — its entire tag space purged — so stragglers
+// from an old membership can never corrupt a new one.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/elastic"
+	"exacoll/internal/ft"
+	"exacoll/internal/transport/tcp"
+)
+
+// ElasticComm is a communicator whose world can change membership: pass
+// it to NewSession like any other Comm, and drive membership changes with
+// Session.Grow / Session.Shrink. Close it when the process leaves the
+// world for good.
+type ElasticComm = elastic.Member
+
+// ConnectElastic joins an elastic multi-process world over TCP — the
+// growable counterpart of ConnectTCP. Rank 0 hosts the persistent
+// rendezvous anchor at addr (accepting up to joinCap queued join requests
+// at any time) and must remain rank 0 of every later membership; other
+// ranks dial it. Provide the same addr everywhere.
+func ConnectElastic(rank, size int, addr string, joinCap int, timeout time.Duration) (*ElasticComm, error) {
+	if rank == 0 {
+		return elastic.Host(addr, size, joinCap, tcp.Options{Timeout: timeout})
+	}
+	return elastic.Dial(addr, rank, size, tcp.Options{Timeout: timeout})
+}
+
+// JoinElastic enters an existing elastic world from outside: it parks a
+// join request at the anchor and blocks (up to timeout) until the
+// incumbents run Session.Grow, then lands as a full member of the grown
+// world. Build a Session over the returned communicator with the same
+// options the incumbents use; a process whose earlier incarnation died
+// rejoins the same way, under a fresh rank and a fresh tag space.
+func JoinElastic(addr string, timeout time.Duration) (*ElasticComm, error) {
+	return elastic.Join(addr, tcp.Options{Timeout: timeout})
+}
+
+// elasticMemberOf walks the session's wrapper chain (the Unwrap
+// convention) down to the elastic member, composing the rank translation
+// of every SubComm crossed on the way — after one or more Shrinks the
+// base communicator is a stack of SubComms over the member. It returns
+// the member and a function mapping base-communicator ranks to
+// member-level ranks (nil, nil when no elastic transport is underneath).
+func elasticMemberOf(c comm.Comm) (*elastic.Member, func(int) int) {
+	xlate := func(r int) int { return r }
+	for cur := c; cur != nil; {
+		switch v := cur.(type) {
+		case *elastic.Member:
+			return v, xlate
+		case *comm.SubComm:
+			sc, prev := v, xlate
+			xlate = func(r int) int { return sc.Parent(prev(r)) }
+		}
+		u, ok := cur.(interface{ Unwrap() comm.Comm })
+		if !ok {
+			return nil, nil
+		}
+		cur = u.Unwrap()
+	}
+	return nil, nil
+}
+
+// ElasticCommOf returns the elastic communicator underneath a session's
+// transport, walking the wrapper chain like Grow does — nil when the
+// session is not on an elastic transport. Useful for lifecycle control
+// (PendingJoins, Epoch, Close) when only the session is at hand.
+func ElasticCommOf(s *Session) *ElasticComm {
+	m, _ := elasticMemberOf(s.base)
+	return m
+}
+
+// growCountTag returns the tag used for the joiner-count broadcast during
+// Grow: the first tag of the given (virgin) collective epoch window.
+func growCountTag(epoch int64) comm.Tag {
+	lo, _ := ft.EpochWindow(epoch)
+	return lo
+}
+
+// Grow admits every join request queued at the anchor and returns a new
+// session over the grown world. Every surviving rank must call Grow
+// collectively (like Shrink); joiners are concurrently completing their
+// JoinElastic calls and build their own sessions afterwards. The protocol:
+//
+//  1. Agree on the survivor set (the same ft agreement Shrink runs), so a
+//     membership change and a rank death cannot split the world. The
+//     anchor host (member rank 0) must be among the survivors.
+//  2. The anchor broadcasts the number of queued joiners to the survivors
+//     and issues each joiner a ticket naming its rank and epoch.
+//  3. Everyone re-rendezvouses into the next epoch's mesh — survivors keep
+//     their relative order and occupy ranks 0..s-1, joiners take ranks
+//     s..s+n-1 — and the old mesh is fenced: every connection closed,
+//     every tag purged.
+//
+// The new session starts from a virgin tag space (the transport is a new
+// mesh), carrying over the session's options. With no queued joiners Grow
+// still regroups, which compacts out any dead ranks — a Shrink that also
+// re-keys the transport epoch. On error the session and its communicator
+// must be abandoned. Requires WithFaultTolerance and an elastic transport
+// (ConnectElastic / JoinElastic).
+func (s *Session) Grow() (*Session, error) {
+	if s.ft == nil {
+		return nil, fmt.Errorf("gca: Grow requires WithFaultTolerance")
+	}
+	member, toMember := elasticMemberOf(s.base)
+	if member == nil {
+		return nil, fmt.Errorf("gca: Grow requires an elastic transport (ConnectElastic/JoinElastic)")
+	}
+	survivors, epoch, err := s.ft.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if toMember(survivors[0]) != 0 {
+		return nil, fmt.Errorf("gca: the anchor host (member rank 0) did not survive; the world cannot grow")
+	}
+	sub, err := comm.NewSub(s.base, survivors)
+	if err != nil {
+		return nil, err
+	}
+
+	// The joiner count is anchor-local knowledge; a linear broadcast over
+	// the survivor sub-communicator makes it collective. The virgin epoch
+	// window cannot hold stragglers, and the whole window dies with the
+	// old mesh moments later.
+	tag := growCountTag(epoch)
+	var cnt [4]byte
+	if sub.Rank() == 0 {
+		n := member.PendingJoins()
+		admitted, err := member.AdmitJoiners(n, sub.Size(), sub.Size()+n)
+		if err != nil {
+			return nil, err
+		}
+		if admitted != n {
+			// A joiner hung up after its ticket was cut: the issued tickets
+			// name a size the mesh can no longer reach. The regroup below
+			// will time out on every participant; callers must rebuild.
+			return nil, fmt.Errorf("gca: admitted %d of %d joiners; grow aborted", admitted, n)
+		}
+		binary.LittleEndian.PutUint32(cnt[:], uint32(n))
+		for i := 1; i < sub.Size(); i++ {
+			if err := sub.Send(i, tag, cnt[:]); err != nil {
+				return nil, fmt.Errorf("gca: grow count broadcast: %w", err)
+			}
+		}
+	} else {
+		if _, err := sub.Recv(0, tag, cnt[:]); err != nil {
+			return nil, fmt.Errorf("gca: grow count broadcast: %w", err)
+		}
+	}
+	joiners := int(binary.LittleEndian.Uint32(cnt[:]))
+
+	if err := member.Regroup(sub.Rank(), sub.Size()+joiners); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cfg.epoch, cfg.seqBase = 0, 0 // fresh mesh, virgin tag space
+	return newSession(member, cfg), nil
+}

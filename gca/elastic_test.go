@@ -1,0 +1,390 @@
+package gca_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/gca"
+)
+
+func elasticFreeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func encF64(vals ...float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decF64(buf []byte) []float64 {
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// verifyCollectives runs every Table I collective through the session and
+// checks bit-exact results (integer-valued float64 sums are exact in IEEE
+// arithmetic, so == is the right comparison). One call per rank,
+// concurrently — the caller drives each session from its own goroutine.
+func verifyCollectives(s *gca.Session) error {
+	p, me := s.Size(), s.Rank()
+	total := float64(p*(p+1)) / 2
+
+	buf := make([]byte, 16)
+	if me == 0 {
+		for i := range buf {
+			buf[i] = byte(i + 1)
+		}
+	}
+	if err := s.Bcast(buf, 0); err != nil {
+		return fmt.Errorf("bcast: %w", err)
+	}
+	for i := range buf {
+		if buf[i] != byte(i+1) {
+			return fmt.Errorf("bcast[%d] = %d, want %d", i, buf[i], i+1)
+		}
+	}
+
+	red := make([]byte, 8)
+	if err := s.Reduce(encF64(float64(me+1)), red, gca.Sum, gca.Float64, 0); err != nil {
+		return fmt.Errorf("reduce: %w", err)
+	}
+	if me == 0 && decF64(red)[0] != total {
+		return fmt.Errorf("reduce = %v, want %v", decF64(red)[0], total)
+	}
+
+	got, err := s.AllreduceFloat64([]float64{float64(me + 1)}, gca.Sum)
+	if err != nil {
+		return fmt.Errorf("allreduce: %w", err)
+	}
+	if got[0] != total {
+		return fmt.Errorf("allreduce = %v, want %v", got[0], total)
+	}
+
+	gat := make([]byte, 4*p)
+	if err := s.Gather([]byte{byte(me), byte(me), byte(me), byte(me)}, gat, 0); err != nil {
+		return fmt.Errorf("gather: %w", err)
+	}
+	if me == 0 {
+		for j := 0; j < p; j++ {
+			if gat[4*j] != byte(j) {
+				return fmt.Errorf("gather block %d = %d", j, gat[4*j])
+			}
+		}
+	}
+
+	var scat []byte
+	if me == 0 {
+		scat = make([]byte, 4*p)
+		for j := 0; j < p; j++ {
+			for k := 0; k < 4; k++ {
+				scat[4*j+k] = byte(j)
+			}
+		}
+	}
+	mine := make([]byte, 4)
+	if err := s.Scatter(scat, mine, 0); err != nil {
+		return fmt.Errorf("scatter: %w", err)
+	}
+	if mine[0] != byte(me) || mine[3] != byte(me) {
+		return fmt.Errorf("scatter block = %v, want rank %d", mine, me)
+	}
+
+	ag := make([]byte, 4*p)
+	if err := s.Allgather([]byte{byte(me), byte(me), byte(me), byte(me)}, ag); err != nil {
+		return fmt.Errorf("allgather: %w", err)
+	}
+	for j := 0; j < p; j++ {
+		if ag[4*j] != byte(j) {
+			return fmt.Errorf("allgather block %d = %d", j, ag[4*j])
+		}
+	}
+
+	vec := make([]float64, p)
+	for i := range vec {
+		vec[i] = float64(me + 1)
+	}
+	rs := make([]byte, s.ReduceScatterBlockSize(8*p, gca.Float64))
+	if err := s.ReduceScatter(encF64(vec...), rs, gca.Sum, gca.Float64); err != nil {
+		return fmt.Errorf("reduce_scatter: %w", err)
+	}
+	for i, v := range decF64(rs) {
+		if v != total {
+			return fmt.Errorf("reduce_scatter[%d] = %v, want %v", i, v, total)
+		}
+	}
+
+	a2aSend := make([]byte, 8*p)
+	for j := 0; j < p; j++ {
+		for k := 0; k < 8; k++ {
+			a2aSend[8*j+k] = byte(me*p + j)
+		}
+	}
+	a2aRecv := make([]byte, 8*p)
+	if err := s.Alltoall(a2aSend, a2aRecv); err != nil {
+		return fmt.Errorf("alltoall: %w", err)
+	}
+	for j := 0; j < p; j++ {
+		if a2aRecv[8*j] != byte(j*p+me) {
+			return fmt.Errorf("alltoall block %d = %d, want %d", j, a2aRecv[8*j], j*p+me)
+		}
+	}
+
+	scan := make([]byte, 8)
+	if err := s.Scan(encF64(float64(me+1)), scan, gca.Sum, gca.Float64); err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	if want := float64((me + 1) * (me + 2) / 2); decF64(scan)[0] != want {
+		return fmt.Errorf("scan = %v, want %v", decF64(scan)[0], want)
+	}
+
+	if err := s.Barrier(); err != nil {
+		return fmt.Errorf("barrier: %w", err)
+	}
+	return nil
+}
+
+// elasticOpts is the session option set every member of the elastic world
+// uses — identical everywhere, like an MPI world's configuration.
+func elasticOpts() []gca.SessionOption {
+	return []gca.SessionOption{gca.WithFaultTolerance(), gca.WithTimeout(2 * time.Second)}
+}
+
+// forEachSession drives fn once per session concurrently and reports every
+// rank's error.
+func forEachSession(t *testing.T, sessions []*gca.Session, what string, fn func(s *gca.Session) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(sessions))
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *gca.Session) {
+			defer wg.Done()
+			errs[i] = fn(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: rank %d: %v", what, i, err)
+		}
+	}
+}
+
+// TestElasticGrowShrinkRejoin is the end-to-end elastic lifecycle over real
+// TCP: start at p=4, grow to 8, kill a rank, shrink to 7, rejoin to 8 —
+// with every Table I collective verified bit-exact at every membership.
+func TestElasticGrowShrinkRejoin(t *testing.T) {
+	addr := elasticFreeAddr(t)
+	const timeout = 10 * time.Second
+
+	// Found the world at p=4 (transport epoch 0).
+	comms := make([]*gca.ElasticComm, 4)
+	{
+		errs := make([]error, 4)
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				comms[r], errs[r] = gca.ConnectElastic(r, 4, addr, 8, timeout)
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("connect rank %d: %v", r, err)
+			}
+		}
+	}
+	anchor := comms[0]
+	live := map[*gca.ElasticComm]bool{}
+	for _, c := range comms {
+		live[c] = true
+	}
+	defer func() {
+		for c, on := range live {
+			if on {
+				c.Close()
+			}
+		}
+	}()
+
+	// startJoins parks n admission requests at the anchor; each JoinElastic
+	// only returns once the incumbents Grow, so results are collected later.
+	startJoins := func(n int) chan *gca.ElasticComm {
+		joined := make(chan *gca.ElasticComm, n)
+		for i := 0; i < n; i++ {
+			go func() {
+				m, err := gca.JoinElastic(addr, timeout)
+				if err != nil {
+					t.Errorf("join: %v", err)
+					joined <- nil
+					return
+				}
+				joined <- m
+			}()
+		}
+		return joined
+	}
+	waitPending := func(n int) {
+		t.Helper()
+		for i := 0; anchor.PendingJoins() < n && i < 500; i++ {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if got := anchor.PendingJoins(); got < n {
+			t.Fatalf("pending joins = %d, want %d", got, n)
+		}
+	}
+	// grow runs Grow on every incumbent session while the parked joiners
+	// complete their rendezvous, then builds the joiners' sessions and
+	// returns the new world's sessions indexed by rank.
+	grow := func(old []*gca.Session, joined chan *gca.ElasticComm, nJoin, newSize int) []*gca.Session {
+		t.Helper()
+		next := make([]*gca.Session, newSize)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, len(old))
+		for i, s := range old {
+			wg.Add(1)
+			go func(i int, s *gca.Session) {
+				defer wg.Done()
+				ns, err := s.Grow()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				mu.Lock()
+				next[ns.Rank()] = ns
+				mu.Unlock()
+			}(i, s)
+		}
+		for i := 0; i < nJoin; i++ {
+			m := <-joined
+			if m == nil {
+				t.FailNow()
+			}
+			live[m] = true
+			next[m.Rank()] = gca.NewSession(m, elasticOpts()...)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("grow: old rank %d: %v", i, err)
+			}
+		}
+		for r, s := range next {
+			if s == nil {
+				t.Fatalf("no session landed at rank %d", r)
+			}
+		}
+		return next
+	}
+
+	sessions := make([]*gca.Session, 4)
+	for r := range sessions {
+		sessions[r] = gca.NewSession(comms[r], elasticOpts()...)
+	}
+	forEachSession(t, sessions, "p=4 collectives", verifyCollectives)
+
+	// Grow 4 -> 8.
+	joined := startJoins(4)
+	waitPending(4)
+	sessions8 := grow(sessions, joined, 4, 8)
+	if anchor.Epoch() != 1 {
+		t.Fatalf("epoch after grow = %d, want 1", anchor.Epoch())
+	}
+	forEachSession(t, sessions8, "p=8 collectives", verifyCollectives)
+
+	// Kill rank 6 without ceremony, then shrink the survivors to p=7.
+	victim := gca.ElasticCommOf(sessions8[6])
+	victim.Close()
+	live[victim] = false
+	time.Sleep(500 * time.Millisecond) // let heartbeats notice the death
+
+	sessions7 := make([]*gca.Session, 7)
+	{
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, 8)
+		for r, s := range sessions8 {
+			if r == 6 {
+				continue
+			}
+			wg.Add(1)
+			go func(r int, s *gca.Session) {
+				defer wg.Done()
+				ns, err := s.Shrink()
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				mu.Lock()
+				sessions7[ns.Rank()] = ns
+				mu.Unlock()
+			}(r, s)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("shrink: rank %d: %v", r, err)
+			}
+		}
+	}
+	for r, s := range sessions7 {
+		if s == nil || s.Size() != 7 {
+			t.Fatalf("shrunken session %d missing or wrong size", r)
+		}
+	}
+	forEachSession(t, sessions7, "p=7 collectives", verifyCollectives)
+
+	// Rejoin: a fresh incarnation comes back through the same door and the
+	// world grows to 8 again — this Grow crosses the SubComm left by
+	// Shrink, exercising the rank translation down to the member.
+	rejoined := startJoins(1)
+	waitPending(1)
+	sessionsFinal := grow(sessions7, rejoined, 1, 8)
+	if anchor.Epoch() != 2 {
+		t.Fatalf("epoch after rejoin = %d, want 2", anchor.Epoch())
+	}
+	forEachSession(t, sessionsFinal, "p=8 rejoin collectives", verifyCollectives)
+}
+
+// TestGrowValidation covers the guard rails: Grow without fault tolerance
+// and Grow on a non-elastic transport.
+func TestGrowValidation(t *testing.T) {
+	w := gca.NewLocalWorld(2)
+	defer w.Close()
+	errs := w.RunAll(func(c gca.Comm) error {
+		if _, err := gca.NewSession(c).Grow(); err == nil {
+			return fmt.Errorf("Grow without WithFaultTolerance must fail")
+		}
+		s := gca.NewSession(c, gca.WithFaultTolerance(), gca.WithTimeout(time.Second))
+		if _, err := s.Grow(); err == nil {
+			return fmt.Errorf("Grow on a non-elastic transport must fail")
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}

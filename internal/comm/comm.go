@@ -118,6 +118,31 @@ const (
 	FlightTagWidth = 16
 	// TagUser is the start of the range available to applications.
 	TagUser Tag = 0
+
+	// NamespaceBase is the first tag of the session-namespace region used
+	// by the multi-tenant service layer (internal/svc): each namespace
+	// slot owns a NamespaceStride-wide window above every singleton-session
+	// range, and a Namespace wrapper translates a whole session tag layout
+	// — user point-to-point, blocking-collective families, nonblocking
+	// epochs, fault-tolerance control and epoch windows, and the flight
+	// collection window — into its slot. Sessions in distinct slots can
+	// therefore share one transport without any possibility of a tag match
+	// across tenants.
+	NamespaceBase Tag = 1 << 23
+	// NamespaceStride is the tag width of one namespace slot.
+	NamespaceStride = 1 << 19
+	// NamespaceSlots is the number of disjoint namespace windows that fit
+	// between NamespaceBase and the top of the signed-32-bit tag space —
+	// 4080 concurrently isolated sessions per shared transport.
+	NamespaceSlots = int((1<<31 - int64(NamespaceBase)) / NamespaceStride)
+	// NamespaceFTEpochs is the number of fault-tolerance epoch windows a
+	// namespace slot keeps distinct before re-use (the full FTEpochs space
+	// does not fit in a slot; 64 concurrently straggling retired epochs is
+	// far beyond what the purge-on-advance discipline can leave behind).
+	NamespaceFTEpochs = 64
+	// NamespaceUserTags is the number of application point-to-point tags
+	// ([TagUser, NamespaceUserTags)) a namespace slot carries.
+	NamespaceUserTags = 4096
 )
 
 // Errors returned by communicator operations.

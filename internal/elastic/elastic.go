@@ -1,0 +1,259 @@
+// Package elastic adds membership changes to the tcp transport: a world
+// that can grow, shrink, and re-admit ranks across its lifetime.
+//
+// The design is re-rendezvous, not in-place surgery. Each membership is an
+// epoch; every epoch's world is a brand-new tcp mesh formed through one
+// persistent Anchor (the rank-0 process's listener, which outlives any
+// single mesh). A membership change — admitting joiners, dropping the
+// dead, or both — moves every continuing member through Regroup: form the
+// epoch-(e+1) mesh, then fence the old incarnation by purging its entire
+// tag space (comm.Purger) and closing it. Stragglers of the old epoch can
+// reach nothing: their connections are gone, their tags purged, and a
+// late re-dial of a retired epoch is answered wrong-epoch by the anchor.
+//
+// Outsiders enter through the anchor's admission queue: RequestJoin parks
+// a connection until the anchor's owner grants a Ticket naming the rank,
+// size, and epoch of the next formation — at which point the joiner is
+// just another member of the new mesh, with a virgin tag space (epochs
+// re-key rendezvous, so joiners and survivors agree trivially on tag
+// state: there is none).
+//
+// One member hosts the anchor and must be rank 0 of every epoch; the
+// anchor host cannot be dropped or die without dissolving the world (the
+// same single-coordinator limitation as plain tcp rendezvous, extended
+// over time).
+package elastic
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/transport/tcp"
+)
+
+// Member is one rank's handle on an elastic world. It implements
+// comm.Comm (plus Deadliner, FailureDetector, Purger, Locator) by
+// delegating to the current epoch's tcp endpoint, and swaps that endpoint
+// on Regroup. A Member must not be used for communication concurrently
+// with its own Regroup — a membership change is collective, like the
+// collectives themselves.
+type Member struct {
+	addr   string
+	opts   tcp.Options
+	anchor *tcp.Anchor // non-nil on the anchor host (rank 0)
+
+	mu    sync.RWMutex
+	proc  *tcp.Proc
+	epoch uint64
+}
+
+// Host starts the anchor-owning member (rank 0 of every epoch): it opens
+// the persistent listener at addr, forms the first world of p ranks at
+// opts.Epoch, and keeps accepting join requests (up to joinCap queued)
+// across all later epochs.
+func Host(addr string, p, joinCap int, opts tcp.Options) (*Member, error) {
+	a, err := tcp.NewAnchor(addr, joinCap, opts)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := a.Rendezvous(p, opts.Epoch)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	return &Member{addr: addr, opts: opts, anchor: a, proc: proc, epoch: opts.Epoch}, nil
+}
+
+// Dial starts a founding non-anchor member: rank (>= 1) of the first
+// p-rank world at opts.Epoch, rendezvousing at the anchor's addr.
+func Dial(addr string, rank, p int, opts tcp.Options) (*Member, error) {
+	if rank < 1 {
+		return nil, fmt.Errorf("elastic: rank 0 must Host the anchor")
+	}
+	proc, err := tcp.Rendezvous(rank, p, addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Member{addr: addr, opts: opts, proc: proc, epoch: opts.Epoch}, nil
+}
+
+// Join enters an existing world from outside: it asks the anchor for
+// admission (blocking up to opts.Timeout for the next growth decision),
+// then rendezvouses into the epoch its ticket names. The returned member
+// is indistinguishable from one that was present from the start. A
+// process whose earlier incarnation died re-enters the same way — under a
+// new rank, in a new epoch, with nothing shared with its old self.
+func Join(addr string, opts tcp.Options) (*Member, error) {
+	ticket, err := tcp.RequestJoin(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	topts := opts
+	topts.Epoch = ticket.Epoch
+	proc, err := tcp.Rendezvous(ticket.Rank, ticket.Size, addr, topts)
+	if err != nil {
+		return nil, err
+	}
+	return &Member{addr: addr, opts: opts, proc: proc, epoch: ticket.Epoch}, nil
+}
+
+// Epoch returns the member's current membership epoch.
+func (m *Member) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// IsAnchor reports whether this member hosts the anchor (rank 0).
+func (m *Member) IsAnchor() bool { return m.anchor != nil }
+
+// PendingJoins reports how many outsiders are queued for admission.
+// Always 0 on non-anchor members — only rank 0 can see or admit joiners;
+// the count becomes collective knowledge by broadcasting it (gca does).
+func (m *Member) PendingJoins() int {
+	if m.anchor == nil {
+		return 0
+	}
+	return m.anchor.PendingJoins()
+}
+
+// AdmitJoiners grants the next n queued join requests tickets for the
+// upcoming epoch: ranks firstRank..firstRank+n-1 of a newSize-rank world
+// at Epoch()+1. Anchor host only. The admitted joiners immediately dial
+// into the next formation, so the caller must follow with Regroup. It
+// returns the number actually admitted (fewer than n when the queue
+// drained or a joiner hung up while parked).
+func (m *Member) AdmitJoiners(n, firstRank, newSize int) (int, error) {
+	if m.anchor == nil {
+		return 0, fmt.Errorf("elastic: only the anchor host admits joiners")
+	}
+	next := m.Epoch() + 1
+	admitted := 0
+	for admitted < n {
+		select {
+		case req := <-m.anchor.Joins():
+			t := tcp.Ticket{Epoch: next, Rank: firstRank + admitted, Size: newSize}
+			if err := req.Admit(t, 5*time.Second); err != nil {
+				// The joiner hung up while parked; its slot stays empty and
+				// the caller learns the real admitted count.
+				continue
+			}
+			admitted++
+		default:
+			return admitted, nil
+		}
+	}
+	return admitted, nil
+}
+
+// Regroup moves this member into the next epoch's world: rank newRank of
+// newSize ranks. Every continuing member and every admitted joiner must
+// converge on the same geometry (the decision is collective input, agreed
+// before calling — gca runs it through the ft agreement). On success the
+// old endpoint is fenced — its entire tag space purged, so no straggler
+// of the old epoch can ever match a posted receive — and closed. On
+// failure the old endpoint remains usable.
+//
+// The anchor host must keep newRank 0; a membership change that would
+// drop or re-rank it is unsupported (dissolve and restart instead).
+func (m *Member) Regroup(newRank, newSize int) error {
+	m.mu.RLock()
+	old, next := m.proc, m.epoch+1
+	m.mu.RUnlock()
+	var proc *tcp.Proc
+	var err error
+	if m.anchor != nil {
+		if newRank != 0 {
+			return fmt.Errorf("elastic: anchor host must stay rank 0, got %d", newRank)
+		}
+		proc, err = m.anchor.Rendezvous(newSize, next)
+	} else {
+		topts := m.opts
+		topts.Epoch = next
+		proc, err = tcp.Rendezvous(newRank, newSize, m.addr, topts)
+	}
+	if err != nil {
+		return fmt.Errorf("elastic: regroup to epoch %d: %w", next, err)
+	}
+	m.mu.Lock()
+	m.proc, m.epoch = proc, next
+	m.mu.Unlock()
+	// Fence the dead incarnation: no tag of the old epoch's world — user,
+	// collective, nbc, ft, flight — may survive into the new one.
+	old.PurgeTags(0, math.MaxInt32)
+	old.Close()
+	return nil
+}
+
+// Close shuts down the current endpoint and, on the anchor host, the
+// persistent listener (bouncing any queued joiners).
+func (m *Member) Close() error {
+	m.mu.RLock()
+	proc := m.proc
+	m.mu.RUnlock()
+	err := proc.Close()
+	if m.anchor != nil {
+		if aerr := m.anchor.Close(); err == nil {
+			err = aerr
+		}
+	}
+	return err
+}
+
+// cur returns the current epoch's endpoint.
+func (m *Member) cur() *tcp.Proc {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.proc
+}
+
+// Unwrap reveals the current endpoint (the errors.Unwrap convention), so
+// capability probes — flight.RecorderOf in particular — walk through.
+func (m *Member) Unwrap() comm.Comm { return m.cur() }
+
+// Rank implements comm.Comm.
+func (m *Member) Rank() int { return m.cur().Rank() }
+
+// Size implements comm.Comm.
+func (m *Member) Size() int { return m.cur().Size() }
+
+// ChargeCompute implements comm.Comm.
+func (m *Member) ChargeCompute(n int) { m.cur().ChargeCompute(n) }
+
+// Send implements comm.Comm.
+func (m *Member) Send(to int, tag comm.Tag, buf []byte) error {
+	return m.cur().Send(to, tag, buf)
+}
+
+// Recv implements comm.Comm.
+func (m *Member) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	return m.cur().Recv(from, tag, buf)
+}
+
+// Isend implements comm.Comm.
+func (m *Member) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	return m.cur().Isend(to, tag, buf)
+}
+
+// Irecv implements comm.Comm.
+func (m *Member) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	return m.cur().Irecv(from, tag, buf)
+}
+
+// SetOpTimeout implements comm.Deadliner on the current endpoint. The
+// setting does not survive Regroup (a fresh epoch starts unbounded, like
+// a fresh world); fault-tolerant sessions re-apply their timeout when
+// they rebuild, exactly as they do after a Shrink.
+func (m *Member) SetOpTimeout(d time.Duration) { m.cur().SetOpTimeout(d) }
+
+// Failed implements comm.FailureDetector.
+func (m *Member) Failed() []int { return m.cur().Failed() }
+
+// PurgeTags implements comm.Purger.
+func (m *Member) PurgeTags(lo, hi comm.Tag) { m.cur().PurgeTags(lo, hi) }
+
+// Locality implements comm.Locator.
+func (m *Member) Locality(rank int) (comm.Locality, bool) { return m.cur().Locality(rank) }

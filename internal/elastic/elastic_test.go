@@ -1,0 +1,209 @@
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/transport/tcp"
+)
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+var testOpts = tcp.Options{Timeout: 10 * time.Second, Heartbeat: 100 * time.Millisecond}
+
+// allreduceCheck runs a real collective over the members and verifies the
+// bit-exact integer result — the strongest signal that a mesh formed
+// correctly after a membership change.
+func allreduceCheck(t *testing.T, members []*Member) {
+	t.Helper()
+	p := len(members)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, c comm.Comm) {
+			defer wg.Done()
+			vals := []float64{float64(c.Rank() + 1)}
+			sendbuf := datatype.EncodeFloat64(vals)
+			recvbuf := make([]byte, len(sendbuf))
+			if p == 1 {
+				copy(recvbuf, sendbuf)
+			} else if err := core.AllreduceRecMul(c, sendbuf, recvbuf, datatype.Sum, datatype.Float64, 2); err != nil {
+				errs[i] = err
+				return
+			}
+			want := float64(p*(p+1)) / 2
+			if got := datatype.DecodeFloat64(recvbuf)[0]; got != want {
+				errs[i] = fmt.Errorf("allreduce = %v, want %v", got, want)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+}
+
+// TestElasticLifecycle walks a world through grow, grow, death, shrink,
+// and rejoin — verifying collectives at every epoch and the tag fence
+// between epochs.
+func TestElasticLifecycle(t *testing.T) {
+	addr := freeAddr(t)
+
+	// Epoch 0: a singleton world.
+	host, err := Host(addr, 1, 8, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	if host.Epoch() != 0 || host.Size() != 1 || !host.IsAnchor() {
+		t.Fatalf("host state: epoch %d size %d", host.Epoch(), host.Size())
+	}
+	allreduceCheck(t, []*Member{host})
+
+	// Grow 1 -> 2: admit one queued joiner, regroup together.
+	grow := func(members []*Member, joiners int) []*Member {
+		t.Helper()
+		old := len(members)
+		next := old + joiners
+		joined := make(chan *Member, joiners)
+		for i := 0; i < joiners; i++ {
+			go func() {
+				m, err := Join(addr, testOpts)
+				if err != nil {
+					t.Errorf("join: %v", err)
+					joined <- nil
+					return
+				}
+				joined <- m
+			}()
+		}
+		for i := 0; host.PendingJoins() < joiners && i < 200; i++ {
+			time.Sleep(10 * time.Millisecond)
+		}
+		n, err := host.AdmitJoiners(joiners, old, next)
+		if err != nil || n != joiners {
+			t.Fatalf("admit: %d, %v", n, err)
+		}
+		var wg sync.WaitGroup
+		for r, m := range members {
+			wg.Add(1)
+			go func(r int, m *Member) {
+				defer wg.Done()
+				if err := m.Regroup(r, next); err != nil {
+					t.Errorf("regroup rank %d: %v", r, err)
+				}
+			}(r, m)
+		}
+		wg.Wait()
+		for i := 0; i < joiners; i++ {
+			m := <-joined
+			if m == nil {
+				t.FailNow()
+			}
+			members = append(members, m)
+		}
+		return members
+	}
+	members := grow([]*Member{host}, 1)
+	if members[1].Epoch() != 1 || members[1].Rank() != 1 {
+		t.Fatalf("joiner state: epoch %d rank %d", members[1].Epoch(), members[1].Rank())
+	}
+	allreduceCheck(t, members)
+
+	// Plant a straggler: a message sent in epoch 1 that nobody receives.
+	// The fence must keep it from ever matching in a later epoch.
+	if err := members[1].Send(0, 7, []byte("ghost of epoch 1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow 2 -> 3.
+	members = grow(members, 1)
+	allreduceCheck(t, members)
+
+	// The epoch-1 straggler is gone: a receive on its tag times out
+	// instead of matching cross-epoch traffic.
+	host.SetOpTimeout(300 * time.Millisecond)
+	if _, err := host.Recv(1, 7, make([]byte, 32)); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("cross-epoch straggler matched: %v", err)
+	}
+	host.SetOpTimeout(0)
+
+	// Kill rank 2 without ceremony, then shrink 3 -> 2 by regrouping the
+	// survivors. The survivors need no agreement here (the test script is
+	// the oracle); gca's Grow runs the real ft agreement first.
+	members[2].Close()
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := members[r].Regroup(r, 2); err != nil {
+				t.Errorf("shrink regroup rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	members = members[:2]
+	if host.Epoch() != 3 {
+		t.Fatalf("epoch after shrink = %d, want 3", host.Epoch())
+	}
+	allreduceCheck(t, members)
+
+	// Rejoin after death: a fresh incarnation of the dead process comes
+	// back through the same join door and lands in a 3-rank world again.
+	members = grow(members, 1)
+	if members[2].Epoch() != 4 || members[2].Size() != 3 {
+		t.Fatalf("rejoined state: epoch %d size %d", members[2].Epoch(), members[2].Size())
+	}
+	allreduceCheck(t, members)
+	for _, m := range members[1:] {
+		m.Close()
+	}
+}
+
+// TestElasticValidation covers the guard rails: non-anchor admission,
+// anchor re-ranking, and Dial's rank-0 rejection.
+func TestElasticValidation(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 0, 2, testOpts); err == nil {
+		t.Error("Dial must reject rank 0")
+	}
+	addr := freeAddr(t)
+	host, err := Host(addr, 1, 0, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	if err := host.Regroup(1, 2); err == nil {
+		t.Error("anchor host must stay rank 0")
+	}
+	if _, err := host.AdmitJoiners(1, 1, 2); err != nil {
+		t.Errorf("admitting from an empty queue should drain quietly: %v", err)
+	}
+
+	// With joinCap 0, a join request bounces immediately.
+	if _, err := Join(addr, tcp.Options{Timeout: 3 * time.Second}); !errors.Is(err, tcp.ErrBusy) {
+		t.Errorf("join with no queue: want ErrBusy, got %v", err)
+	}
+}

@@ -353,3 +353,19 @@ func (s *State) Survivors() ([]int, error) {
 	}
 	return out, nil
 }
+
+// Expand is the grow-side membership step: one agreement on the survivor
+// set, then an epoch advance that retires (and purges) the current
+// collective tag window. It returns the survivors and the fresh epoch,
+// whose virgin window (EpochWindow) the caller may use for
+// membership-change control traffic — e.g. broadcasting the joiner count —
+// without colliding with stragglers of a failed collective. Every
+// surviving member must call it collectively.
+func (s *State) Expand() ([]int, int64, error) {
+	survivors, err := s.Survivors()
+	if err != nil {
+		return nil, 0, err
+	}
+	s.advanceEpoch()
+	return survivors, s.ec.Epoch(), nil
+}

@@ -25,126 +25,182 @@ func ReadJSON(r io.Reader) (*Snapshot, error) {
 	return &s, nil
 }
 
+// TenantSnapshot pairs one tenant's registry snapshot with its identity —
+// the session id and QoS class the service layer stamps on every exported
+// series.
+type TenantSnapshot struct {
+	Tenant   string    `json:"tenant"`
+	QoS      string    `json:"qos,omitempty"`
+	Snapshot *Snapshot `json:"snapshot"`
+}
+
+// WriteJSONTenants emits every tenant's snapshot under its identity as one
+// JSON document ({"tenants": [...]}). ReadJSONTenants inverts it.
+func WriteJSONTenants(w io.Writer, tenants []TenantSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Tenants []TenantSnapshot `json:"tenants"`
+	}{Tenants: tenants})
+}
+
+// ReadJSONTenants parses a document written by WriteJSONTenants.
+func ReadJSONTenants(r io.Reader) ([]TenantSnapshot, error) {
+	var doc struct {
+		Tenants []TenantSnapshot `json:"tenants"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return doc.Tenants, nil
+}
+
 // WritePrometheus emits the snapshot in the Prometheus text exposition
 // format (the /metrics payload). Counter families are labeled by rank;
 // collective families by {op, alg, k}; histograms use the standard
 // cumulative-bucket encoding with log2 `le` bounds in nanoseconds.
 func WritePrometheus(w io.Writer, s *Snapshot) error {
+	return writePrometheus(w, []labeledSnap{{snap: s}})
+}
+
+// WritePrometheusTenants is WritePrometheus over many tenants in one valid
+// exposition: each metric family appears exactly once, with every tenant's
+// series carrying {tenant, qos} labels ahead of the family's own.
+func WritePrometheusTenants(w io.Writer, tenants []TenantSnapshot) error {
+	snaps := make([]labeledSnap, 0, len(tenants))
+	for _, tn := range tenants {
+		if tn.Snapshot == nil {
+			continue
+		}
+		snaps = append(snaps, labeledSnap{
+			prefix: fmt.Sprintf("tenant=%q,qos=%q,", tn.Tenant, tn.QoS),
+			snap:   tn.Snapshot,
+		})
+	}
+	return writePrometheus(w, snaps)
+}
+
+// labeledSnap is one snapshot plus the label prefix ("" or
+// `tenant="…",qos="…",`) prepended to every series' label set.
+type labeledSnap struct {
+	prefix string
+	snap   *Snapshot
+}
+
+// writePrometheus renders the exposition family-major: one HELP/TYPE
+// header per family, then every snapshot's series under it — the iteration
+// order the text format requires (a family split across the output is
+// invalid).
+func writePrometheus(w io.Writer, snaps []labeledSnap) error {
 	bw := bufio.NewWriter(w)
 
 	counter := func(name, help string) {
 		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 	}
-
-	counter("gca_sends_total", "Messages sent (Send and Isend posts) per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_sends_total{rank=\"%d\"} %d\n", r.Rank, r.Sends)
+	perRank := func(name, help, typ string, val func(*RankSnapshot) string) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, ls := range snaps {
+			for i := range ls.snap.Ranks {
+				r := &ls.snap.Ranks[i]
+				fmt.Fprintf(bw, "%s{%srank=\"%d\"} %s\n", name, ls.prefix, r.Rank, val(r))
+			}
+		}
 	}
-	counter("gca_recvs_total", "Messages received per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_recvs_total{rank=\"%d\"} %d\n", r.Rank, r.Recvs)
+	rankCounter := func(name, help string, val func(*RankSnapshot) uint64) {
+		perRank(name, help, "counter", func(r *RankSnapshot) string {
+			return fmt.Sprintf("%d", val(r))
+		})
 	}
-	counter("gca_send_bytes_total", "Bytes sent per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_send_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.SendBytes)
+	rankHist := func(name, help string, h func(*RankSnapshot) HistogramSnapshot) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, ls := range snaps {
+			for i := range ls.snap.Ranks {
+				r := &ls.snap.Ranks[i]
+				writeHist(bw, name, fmt.Sprintf("%srank=\"%d\"", ls.prefix, r.Rank), h(r))
+			}
+		}
 	}
-	counter("gca_recv_bytes_total", "Bytes received per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_recv_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.RecvBytes)
-	}
-	counter("gca_compute_bytes_total", "Reduction-operator bytes (the γ term) per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_compute_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.ComputeBytes)
-	}
-	counter("gca_send_errors_total", "Failed sends per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_send_errors_total{rank=\"%d\"} %d\n", r.Rank, r.SendErrors)
-	}
-	counter("gca_recv_errors_total", "Failed receives per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_recv_errors_total{rank=\"%d\"} %d\n", r.Rank, r.RecvErrors)
-	}
-
-	fmt.Fprintf(bw, "# HELP gca_recv_wait_ns Time blocked in Recv/Wait per rank, nanoseconds.\n# TYPE gca_recv_wait_ns histogram\n")
-	for _, r := range s.Ranks {
-		writeHist(bw, "gca_recv_wait_ns", fmt.Sprintf("rank=\"%d\"", r.Rank), r.WaitNs)
+	collCounter := func(name, help string, val func(*CollectiveSnapshot) string) {
+		counter(name, help)
+		for _, ls := range snaps {
+			for i := range ls.snap.Collectives {
+				c := &ls.snap.Collectives[i]
+				fmt.Fprintf(bw, "%s{%s%s} %s\n", name, ls.prefix, collLabels(*c), val(c))
+			}
+		}
 	}
 
-	counter("gca_nbc_started_total", "Nonblocking collectives started per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_nbc_started_total{rank=\"%d\"} %d\n", r.Rank, r.NBCStarted)
-	}
-	fmt.Fprintf(bw, "# HELP gca_nbc_inflight Nonblocking collectives currently in flight per rank.\n# TYPE gca_nbc_inflight gauge\n")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_nbc_inflight{rank=\"%d\"} %d\n", r.Rank, r.NBCInflight)
-	}
-	fmt.Fprintf(bw, "# HELP gca_nbc_overlap_ns Window between an I<op> call and its first Wait per rank, nanoseconds.\n# TYPE gca_nbc_overlap_ns histogram\n")
-	for _, r := range s.Ranks {
-		writeHist(bw, "gca_nbc_overlap_ns", fmt.Sprintf("rank=\"%d\"", r.Rank), r.OverlapNs)
-	}
+	rankCounter("gca_sends_total", "Messages sent (Send and Isend posts) per rank.",
+		func(r *RankSnapshot) uint64 { return r.Sends })
+	rankCounter("gca_recvs_total", "Messages received per rank.",
+		func(r *RankSnapshot) uint64 { return r.Recvs })
+	rankCounter("gca_send_bytes_total", "Bytes sent per rank.",
+		func(r *RankSnapshot) uint64 { return r.SendBytes })
+	rankCounter("gca_recv_bytes_total", "Bytes received per rank.",
+		func(r *RankSnapshot) uint64 { return r.RecvBytes })
+	rankCounter("gca_compute_bytes_total", "Reduction-operator bytes (the γ term) per rank.",
+		func(r *RankSnapshot) uint64 { return r.ComputeBytes })
+	rankCounter("gca_send_errors_total", "Failed sends per rank.",
+		func(r *RankSnapshot) uint64 { return r.SendErrors })
+	rankCounter("gca_recv_errors_total", "Failed receives per rank.",
+		func(r *RankSnapshot) uint64 { return r.RecvErrors })
 
-	counter("gca_ft_agreements_total", "Post-collective error-agreement rounds per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_ft_agreements_total{rank=\"%d\"} %d\n", r.Rank, r.FTAgreements)
-	}
-	counter("gca_ft_aborted_total", "Collectives agreed failed world-wide per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_ft_aborted_total{rank=\"%d\"} %d\n", r.Rank, r.FTAborted)
-	}
-	counter("gca_ft_retries_total", "Transparent idempotent-collective retries per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_ft_retries_total{rank=\"%d\"} %d\n", r.Rank, r.FTRetries)
-	}
-	counter("gca_ft_failures_detected_total", "Peer process failures detected per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_ft_failures_detected_total{rank=\"%d\"} %d\n", r.Rank, r.FTFailures)
-	}
-	counter("gca_ft_timeouts_total", "Operations abandoned at their deadline per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_ft_timeouts_total{rank=\"%d\"} %d\n", r.Rank, r.FTTimeouts)
-	}
+	rankHist("gca_recv_wait_ns", "Time blocked in Recv/Wait per rank, nanoseconds.",
+		func(r *RankSnapshot) HistogramSnapshot { return r.WaitNs })
 
-	counter("gca_hier_intra_sends_total", "Hierarchical-collective sends kept intranode per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_hier_intra_sends_total{rank=\"%d\"} %d\n", r.Rank, r.HierIntraSends)
-	}
-	counter("gca_hier_intra_bytes_total", "Hierarchical-collective bytes kept intranode per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_hier_intra_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.HierIntraBytes)
-	}
-	counter("gca_hier_inter_sends_total", "Hierarchical-collective sends crossing nodes per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_hier_inter_sends_total{rank=\"%d\"} %d\n", r.Rank, r.HierInterSends)
-	}
-	counter("gca_hier_inter_bytes_total", "Hierarchical-collective bytes crossing nodes per rank.")
-	for _, r := range s.Ranks {
-		fmt.Fprintf(bw, "gca_hier_inter_bytes_total{rank=\"%d\"} %d\n", r.Rank, r.HierInterBytes)
-	}
+	rankCounter("gca_nbc_started_total", "Nonblocking collectives started per rank.",
+		func(r *RankSnapshot) uint64 { return r.NBCStarted })
+	perRank("gca_nbc_inflight", "Nonblocking collectives currently in flight per rank.", "gauge",
+		func(r *RankSnapshot) string { return fmt.Sprintf("%d", r.NBCInflight) })
+	rankHist("gca_nbc_overlap_ns", "Window between an I<op> call and its first Wait per rank, nanoseconds.",
+		func(r *RankSnapshot) HistogramSnapshot { return r.OverlapNs })
 
-	counter("gca_collective_runs_total", "Collective calls by (op, algorithm, radix).")
-	for _, c := range s.Collectives {
-		fmt.Fprintf(bw, "gca_collective_runs_total{%s} %d\n", collLabels(c), c.Count)
-	}
-	counter("gca_collective_bytes_total", "Selection-size bytes by (op, algorithm, radix).")
-	for _, c := range s.Collectives {
-		fmt.Fprintf(bw, "gca_collective_bytes_total{%s} %d\n", collLabels(c), c.Bytes)
-	}
-	counter("gca_collective_seconds_total", "Time in collective calls by (op, algorithm, radix).")
-	for _, c := range s.Collectives {
-		fmt.Fprintf(bw, "gca_collective_seconds_total{%s} %g\n", collLabels(c), c.Seconds)
-	}
-	counter("gca_collective_errors_total", "Failed collective calls by (op, algorithm, radix).")
-	for _, c := range s.Collectives {
-		fmt.Fprintf(bw, "gca_collective_errors_total{%s} %d\n", collLabels(c), c.Errors)
-	}
+	rankCounter("gca_ft_agreements_total", "Post-collective error-agreement rounds per rank.",
+		func(r *RankSnapshot) uint64 { return r.FTAgreements })
+	rankCounter("gca_ft_aborted_total", "Collectives agreed failed world-wide per rank.",
+		func(r *RankSnapshot) uint64 { return r.FTAborted })
+	rankCounter("gca_ft_retries_total", "Transparent idempotent-collective retries per rank.",
+		func(r *RankSnapshot) uint64 { return r.FTRetries })
+	rankCounter("gca_ft_failures_detected_total", "Peer process failures detected per rank.",
+		func(r *RankSnapshot) uint64 { return r.FTFailures })
+	rankCounter("gca_ft_timeouts_total", "Operations abandoned at their deadline per rank.",
+		func(r *RankSnapshot) uint64 { return r.FTTimeouts })
+
+	rankCounter("gca_hier_intra_sends_total", "Hierarchical-collective sends kept intranode per rank.",
+		func(r *RankSnapshot) uint64 { return r.HierIntraSends })
+	rankCounter("gca_hier_intra_bytes_total", "Hierarchical-collective bytes kept intranode per rank.",
+		func(r *RankSnapshot) uint64 { return r.HierIntraBytes })
+	rankCounter("gca_hier_inter_sends_total", "Hierarchical-collective sends crossing nodes per rank.",
+		func(r *RankSnapshot) uint64 { return r.HierInterSends })
+	rankCounter("gca_hier_inter_bytes_total", "Hierarchical-collective bytes crossing nodes per rank.",
+		func(r *RankSnapshot) uint64 { return r.HierInterBytes })
+
+	collCounter("gca_collective_runs_total", "Collective calls by (op, algorithm, radix).",
+		func(c *CollectiveSnapshot) string { return fmt.Sprintf("%d", c.Count) })
+	collCounter("gca_collective_bytes_total", "Selection-size bytes by (op, algorithm, radix).",
+		func(c *CollectiveSnapshot) string { return fmt.Sprintf("%d", c.Bytes) })
+	collCounter("gca_collective_seconds_total", "Time in collective calls by (op, algorithm, radix).",
+		func(c *CollectiveSnapshot) string { return fmt.Sprintf("%g", c.Seconds) })
+	collCounter("gca_collective_errors_total", "Failed collective calls by (op, algorithm, radix).",
+		func(c *CollectiveSnapshot) string { return fmt.Sprintf("%d", c.Errors) })
 
 	fmt.Fprintf(bw, "# HELP gca_collective_latency_ns Per-call collective latency, nanoseconds.\n# TYPE gca_collective_latency_ns histogram\n")
-	for _, c := range s.Collectives {
-		writeHist(bw, "gca_collective_latency_ns", collLabels(c), c.LatencyNs)
+	for _, ls := range snaps {
+		for i := range ls.snap.Collectives {
+			c := &ls.snap.Collectives[i]
+			writeHist(bw, "gca_collective_latency_ns", ls.prefix+collLabels(*c), c.LatencyNs)
+		}
 	}
 
 	counter("gca_decisions_total", "Selection decisions recorded.")
-	fmt.Fprintf(bw, "gca_decisions_total %d\n", s.DecisionsTotal)
+	for _, ls := range snaps {
+		if ls.prefix == "" {
+			fmt.Fprintf(bw, "gca_decisions_total %d\n", ls.snap.DecisionsTotal)
+		} else {
+			fmt.Fprintf(bw, "gca_decisions_total{%s} %d\n",
+				ls.prefix[:len(ls.prefix)-1], ls.snap.DecisionsTotal)
+		}
+	}
 
 	return bw.Flush()
 }

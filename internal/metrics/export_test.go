@@ -73,6 +73,70 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestPrometheusTenants pins the multi-tenant exposition: one HELP/TYPE
+// header per family, every tenant's series under it with {tenant, qos}
+// ahead of the family's own labels — the family-major order the text
+// format requires.
+func TestPrometheusTenants(t *testing.T) {
+	var buf bytes.Buffer
+	tenants := []TenantSnapshot{
+		{Tenant: "sess-1", QoS: "latency", Snapshot: handSnapshot()},
+		{Tenant: "sess-2", QoS: "throughput", Snapshot: handSnapshot()},
+		{Tenant: "nil-snap"}, // skipped, not crashed
+	}
+	if err := WritePrometheusTenants(&buf, tenants); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`gca_sends_total{tenant="sess-1",qos="latency",rank="0"} 7`,
+		`gca_sends_total{tenant="sess-2",qos="throughput",rank="0"} 7`,
+		`gca_recv_wait_ns_bucket{tenant="sess-1",qos="latency",rank="0",le="+Inf"} 2`,
+		`gca_collective_runs_total{tenant="sess-2",qos="throughput",op="MPI_Allreduce",alg="allreduce_recmul",k="4"} 1`,
+		`gca_decisions_total{tenant="sess-1",qos="latency"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("tenant output missing line %q\n--- got:\n%s", want, out)
+		}
+	}
+	// Family-major: exactly one TYPE line per family even with two tenants.
+	if n := strings.Count(out, "# TYPE gca_sends_total counter"); n != 1 {
+		t.Errorf("gca_sends_total TYPE lines = %d, want 1", n)
+	}
+	// No series from the nil snapshot.
+	if strings.Contains(out, "nil-snap") {
+		t.Errorf("nil snapshot leaked series:\n%s", out)
+	}
+	// Both tenants' series sit under the single header, in order.
+	h := strings.Index(out, "# TYPE gca_sends_total counter")
+	s1 := strings.Index(out, `gca_sends_total{tenant="sess-1"`)
+	s2 := strings.Index(out, `gca_sends_total{tenant="sess-2"`)
+	next := strings.Index(out, "# TYPE gca_recvs_total counter")
+	if !(h < s1 && s1 < s2 && s2 < next) {
+		t.Errorf("family-major ordering violated: header=%d s1=%d s2=%d next=%d", h, s1, s2, next)
+	}
+}
+
+// TestJSONTenantsRoundTrip proves WriteJSONTenants/ReadJSONTenants invert
+// each other, identities included.
+func TestJSONTenantsRoundTrip(t *testing.T) {
+	in := []TenantSnapshot{
+		{Tenant: "a", QoS: "latency", Snapshot: handSnapshot()},
+		{Tenant: "b", QoS: "throughput", Snapshot: NewRegistry().Snapshot()},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONTenants(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONTenants(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", in, got)
+	}
+}
+
 // TestJSONRoundTrip proves WriteJSON/ReadJSON invert each other exactly,
 // including histograms and recent decisions.
 func TestJSONRoundTrip(t *testing.T) {

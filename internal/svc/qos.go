@@ -1,0 +1,94 @@
+package svc
+
+import (
+	"fmt"
+
+	"exacoll/internal/core"
+	"exacoll/internal/tuning"
+)
+
+// QoS names a tenant's service class; it selects the tuning table every
+// session of the tenant runs under.
+type QoS string
+
+const (
+	// QoSLatency optimizes for small messages and fast completion:
+	// high-radix trees (fewest rounds), Bruck-style exchanges, no
+	// pipelining. The default.
+	QoSLatency QoS = "latency"
+	// QoSThroughput optimizes for bulk transfers: rings, chains, and
+	// segmented pipelines that approach the bandwidth bound at the cost
+	// of more rounds.
+	QoSThroughput QoS = "throughput"
+)
+
+func (q QoS) validate() error {
+	switch q {
+	case QoSLatency, QoSThroughput:
+		return nil
+	}
+	return fmt.Errorf("svc: unknown QoS class %q", q)
+}
+
+// tableFor builds the selection table of a QoS class for a world of p
+// ranks. The tables are static policy, not measurements: latency picks
+// the fewest-round generalized algorithms at the largest useful radix,
+// throughput the bandwidth-optimal ladders the paper falls back to for
+// bulk payloads. Both validate against the algorithm registry (see
+// TestQoSTablesValid).
+func tableFor(q QoS, p int) *tuning.Table {
+	t := &tuning.Table{Machine: "svc/" + string(q), P: p, PPN: 1, Ops: map[string][]tuning.Entry{}}
+	if q == QoSLatency {
+		// Radix at or near p collapses trees to one or two rounds; cap it
+		// so fan-in stays manageable on bigger tenants.
+		k := p
+		if k > 16 {
+			k = 16
+		}
+		if k < 2 {
+			k = 2
+		}
+		t.Ops[core.OpBcast.String()] = []tuning.Entry{{Alg: "bcast_knomial", K: k}}
+		t.Ops[core.OpReduce.String()] = []tuning.Entry{{Alg: "reduce_knomial", K: k}}
+		t.Ops[core.OpGather.String()] = []tuning.Entry{{Alg: "gather_knomial", K: k}}
+		t.Ops[core.OpScatter.String()] = []tuning.Entry{{Alg: "scatter_knomial", K: k}}
+		t.Ops[core.OpAllgather.String()] = []tuning.Entry{{Alg: "allgather_bruck"}}
+		t.Ops[core.OpAllreduce.String()] = []tuning.Entry{{Alg: "allreduce_recmul", K: minInt(p, 8)}}
+		t.Ops[core.OpReduceScatter.String()] = []tuning.Entry{{Alg: "reducescatter_ring"}}
+		t.Ops[core.OpAlltoall.String()] = []tuning.Entry{{Alg: "alltoall_bruck"}}
+		t.Ops[core.OpScan.String()] = []tuning.Entry{{Alg: "scan_hillissteele"}}
+		return t
+	}
+	t.Ops[core.OpBcast.String()] = []tuning.Entry{
+		{MaxBytes: 8 << 10, Alg: "bcast_knomial", K: minInt(p, 4)},
+		{Alg: "bcast_chain"},
+	}
+	t.Ops[core.OpReduce.String()] = []tuning.Entry{
+		{MaxBytes: 8 << 10, Alg: "reduce_knomial", K: minInt(p, 4)},
+		{Alg: "reduce_knomial_segmented", K: 2},
+	}
+	t.Ops[core.OpGather.String()] = []tuning.Entry{{Alg: "gather_binomial"}}
+	t.Ops[core.OpScatter.String()] = []tuning.Entry{{Alg: "scatter_binomial"}}
+	t.Ops[core.OpAllgather.String()] = []tuning.Entry{
+		{MaxBytes: 8 << 10, Alg: "allgather_recmul", K: 2},
+		{Alg: "allgather_ring"},
+	}
+	t.Ops[core.OpAllreduce.String()] = []tuning.Entry{
+		{MaxBytes: 8 << 10, Alg: "allreduce_recmul", K: 2},
+		{Alg: "allreduce_ring_pipelined"},
+	}
+	t.Ops[core.OpReduceScatter.String()] = []tuning.Entry{{Alg: "reducescatter_ring"}}
+	t.Ops[core.OpAlltoall.String()] = []tuning.Entry{
+		{MaxBytes: 1 << 10, Alg: "alltoall_bruck"},
+		{Alg: "alltoall_pairwise"},
+	}
+	t.Ops[core.OpScan.String()] = []tuning.Entry{{Alg: "scan_linear"}}
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

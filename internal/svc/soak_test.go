@@ -1,0 +1,126 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"exacoll/gca"
+	"exacoll/internal/metrics"
+)
+
+// TestSoakChurn is the service-layer soak from the acceptance criteria:
+// one server sustains >= 1000 session creations across >= 64 concurrent
+// tenants with bounded memory and per-tenant metrics. Every tenant opens,
+// runs a collective on every rank, verifies its registry saw the traffic,
+// and closes; worlds and namespace slots recycle throughout. Run with
+// -race in CI; -short scales the churn down.
+func TestSoakChurn(t *testing.T) {
+	workers, creations := 64, 1000
+	if testing.Short() {
+		workers, creations = 16, 128
+	}
+
+	srv := NewServer(Config{
+		MaxSessions:  workers,
+		QueueLen:     workers,
+		AdmitTimeout: 30 * time.Second,
+		OpTimeout:    10 * time.Second,
+	})
+	defer srv.Close()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(creations) {
+					return
+				}
+				qos := QoSLatency
+				if n%2 == 0 {
+					qos = QoSThroughput
+				}
+				ranks := 2 + 2*int(n%2) // alternate 2- and 4-rank worlds
+				id := fmt.Sprintf("soak-%d-%d", w, n)
+				tn, err := srv.Open(id, qos, ranks)
+				if err != nil {
+					errs <- fmt.Errorf("open %s: %w", id, err)
+					return
+				}
+				want := float64(ranks*(ranks+1)) / 2
+				err = tn.Run(func(rank int, s *gca.Session) error {
+					send, recv := make([]byte, 8), make([]byte, 8)
+					binary.LittleEndian.PutUint64(send, math.Float64bits(float64(rank+1)))
+					if err := s.Allreduce(send, recv, gca.Sum, gca.Float64); err != nil {
+						return err
+					}
+					if got := math.Float64frombits(binary.LittleEndian.Uint64(recv)); got != want {
+						return fmt.Errorf("allreduce = %v, want %v", got, want)
+					}
+					return nil
+				})
+				if err == nil {
+					snap := tn.Snapshot()
+					var sends uint64
+					for _, r := range snap.Snapshot.Ranks {
+						sends += r.Sends
+					}
+					if ranks > 1 && sends == 0 {
+						err = fmt.Errorf("%s: no sends in tenant registry", id)
+					}
+				}
+				tn.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	if st.Live != 0 {
+		t.Errorf("live = %d after churn, want 0", st.Live)
+	}
+	if st.Opened < uint64(creations) {
+		t.Errorf("opened = %d, want >= %d", st.Opened, creations)
+	}
+	// Pooling bound: two world sizes, each pool capped by the concurrency
+	// the semaphore allows, plus at most one idle world retained per size.
+	maxWorlds := 2 * (workers/maxTenantsPerWorld + 2)
+	if st.Worlds > maxWorlds {
+		t.Errorf("worlds = %d, want <= %d (pool not recycling)", st.Worlds, maxWorlds)
+	}
+
+	// Bounded memory: after the churn the heap must not retain the
+	// thousand dead tenants (each held sessions, registries, worlds).
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 256<<20 {
+		t.Errorf("heap after churn = %d MiB, want bounded", ms.HeapAlloc>>20)
+	}
+
+	// The exporter still renders a valid exposition for whatever is live
+	// (nothing, here) without error.
+	var buf bytes.Buffer
+	if err := metrics.WritePrometheusTenants(&buf, srv.Tenants()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,444 @@
+// Package svc is the long-lived collective service: one process hosting
+// many concurrent tenants, each running its own world of collective
+// sessions, with hard isolation between them.
+//
+// The isolation stack, bottom to top:
+//
+//   - Tag namespaces (comm.Namespace): cotenants sharing a host world each
+//     see the full canonical tag layout, translated into a private window
+//     of the real tag space — a message sent in one tenant's namespace can
+//     never match a receive posted in another's, whatever tags, epochs, or
+//     nonblocking schedules either runs. Windows are recycled only after a
+//     purge, so a dead tenant's stragglers die with it.
+//   - Admission control: a semaphore of Config.MaxSessions live tenants
+//     plus a bounded queue of Config.QueueLen parked opens; beyond that,
+//     Open fails fast with ErrBusy rather than letting load grow unbounded.
+//   - QoS classes: each tenant picks a selection-table class — latency
+//     (fewest rounds, high radices) or throughput (bandwidth-optimal
+//     rings and pipelines) — so one tenant's tuning never bleeds into
+//     another's.
+//   - Per-tenant metrics: every tenant records into its own registry,
+//     exported with {tenant, qos} labels (metrics.WritePrometheusTenants).
+//
+// Host worlds are pooled: tenants of the same size share a world (bounded
+// by maxTenantsPerWorld) instead of each paying for their own, and an idle
+// world per size is kept warm for the next arrival. The same pooling idea
+// applies across processes — transport/tcp.Pool shares one mesh of TCP
+// links between sessions on the same host pair.
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exacoll/gca"
+	"exacoll/internal/comm"
+	"exacoll/internal/metrics"
+	"exacoll/internal/transport/mem"
+)
+
+var (
+	// ErrBusy means the server is at capacity and its admission queue is
+	// full; the caller may retry later.
+	ErrBusy = errors.New("svc: server at capacity")
+	// ErrAdmissionTimeout means the open was parked in the admission queue
+	// but no slot freed within Config.AdmitTimeout.
+	ErrAdmissionTimeout = errors.New("svc: admission wait timed out")
+	// ErrClosed means the server is shut down.
+	ErrClosed = errors.New("svc: server closed")
+)
+
+// maxTenantsPerWorld bounds cotenancy on one host world: enough sharing
+// to amortize the world, little enough that endpoint contention stays low.
+const maxTenantsPerWorld = 8
+
+// Config parameterizes a Server. Zero values select the defaults.
+type Config struct {
+	// MaxSessions caps concurrently live tenants (default 64).
+	MaxSessions int
+	// QueueLen caps opens parked waiting for a slot (default 0: full
+	// servers fail fast with ErrBusy).
+	QueueLen int
+	// AdmitTimeout bounds a parked open's wait (default 5s).
+	AdmitTimeout time.Duration
+	// MaxRanks caps one tenant's world size (default 512).
+	MaxRanks int
+	// OpTimeout, when non-zero, bounds every blocking operation of every
+	// tenant session, so one wedged tenant cannot hold its goroutines
+	// forever.
+	OpTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.AdmitTimeout <= 0 {
+		c.AdmitTimeout = 5 * time.Second
+	}
+	if c.MaxRanks <= 0 {
+		c.MaxRanks = 512
+	}
+	return c
+}
+
+// hostWorld is one pooled mem world and its namespace-slot allocator.
+type hostWorld struct {
+	w        *mem.World
+	size     int
+	tenants  int   // live tenants on this world
+	nextSlot int   // first never-used slot
+	free     []int // purged slots ready for reuse
+}
+
+// takeSlot allocates a namespace slot, preferring recycled ones.
+func (hw *hostWorld) takeSlot() (int, bool) {
+	if n := len(hw.free); n > 0 {
+		s := hw.free[n-1]
+		hw.free = hw.free[:n-1]
+		return s, true
+	}
+	if hw.nextSlot < comm.NamespaceSlots {
+		s := hw.nextSlot
+		hw.nextSlot++
+		return s, true
+	}
+	return 0, false
+}
+
+// Server hosts tenants. Safe for concurrent use.
+type Server struct {
+	cfg     Config
+	sem     chan struct{}
+	stop    chan struct{}
+	waiters atomic.Int64
+
+	rejected atomic.Uint64
+	expired  atomic.Uint64
+
+	mu      sync.Mutex
+	closed  bool
+	worlds  map[int][]*hostWorld // by world size
+	tenants map[string]*Tenant
+	opened  uint64
+}
+
+// NewServer starts an empty server.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxSessions),
+		stop:    make(chan struct{}),
+		worlds:  map[int][]*hostWorld{},
+		tenants: map[string]*Tenant{},
+	}
+}
+
+// admit takes one live-tenant slot, parking in the bounded queue when the
+// server is full.
+func (s *Server) admit() error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.QueueLen <= 0 {
+		s.rejected.Add(1)
+		return ErrBusy
+	}
+	if s.waiters.Add(1) > int64(s.cfg.QueueLen) {
+		s.waiters.Add(-1)
+		s.rejected.Add(1)
+		return ErrBusy
+	}
+	defer s.waiters.Add(-1)
+	timer := time.NewTimer(s.cfg.AdmitTimeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		s.expired.Add(1)
+		return ErrAdmissionTimeout
+	case <-s.stop:
+		return ErrClosed
+	}
+}
+
+// Open admits a new tenant: a world of `ranks` collective sessions under
+// the given QoS class, isolated from every cotenant. The id must be
+// unique among live tenants (it becomes the tenant metrics label).
+func (s *Server) Open(id string, qos QoS, ranks int) (*Tenant, error) {
+	if id == "" {
+		return nil, fmt.Errorf("svc: empty tenant id")
+	}
+	if err := qos.validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 1 || ranks > s.cfg.MaxRanks {
+		return nil, fmt.Errorf("svc: ranks %d outside [1, %d]", ranks, s.cfg.MaxRanks)
+	}
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	release := func() { <-s.sem }
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		release()
+		return nil, ErrClosed
+	}
+	if _, dup := s.tenants[id]; dup {
+		s.mu.Unlock()
+		release()
+		return nil, fmt.Errorf("svc: tenant %q already live", id)
+	}
+	hw, slot, err := s.placeLocked(ranks)
+	if err != nil {
+		s.mu.Unlock()
+		release()
+		return nil, err
+	}
+	t := &Tenant{id: id, qos: qos, srv: s, hw: hw, slot: slot, reg: metrics.NewRegistry()}
+	s.tenants[id] = t
+	s.opened++
+	s.mu.Unlock()
+
+	// Build the per-rank stack outside the server lock: namespace over a
+	// fresh per-tenant handle, then a session under the QoS class's table.
+	t.nss = make([]*comm.Namespace, ranks)
+	t.sessions = make([]*gca.Session, ranks)
+	tab := tableFor(qos, ranks)
+	for r := 0; r < ranks; r++ {
+		ns, err := comm.NewNamespace(hw.w.Comm(r), slot)
+		if err != nil {
+			t.teardown()
+			return nil, err
+		}
+		t.nss[r] = ns
+		opts := []gca.SessionOption{gca.WithTable(tab), gca.WithMetrics(t.reg)}
+		if s.cfg.OpTimeout > 0 {
+			opts = append(opts, gca.WithTimeout(s.cfg.OpTimeout))
+		}
+		t.sessions[r] = gca.NewSession(ns, opts...)
+	}
+	return t, nil
+}
+
+// placeLocked finds (or creates) a host world with room for one more
+// tenant of the given size and allocates its namespace slot.
+func (s *Server) placeLocked(ranks int) (*hostWorld, int, error) {
+	for _, hw := range s.worlds[ranks] {
+		if hw.tenants >= maxTenantsPerWorld {
+			continue
+		}
+		if slot, ok := hw.takeSlot(); ok {
+			hw.tenants++
+			return hw, slot, nil
+		}
+	}
+	hw := &hostWorld{w: mem.NewWorld(ranks), size: ranks}
+	slot, _ := hw.takeSlot() // a fresh world always has slot 0
+	hw.tenants = 1
+	s.worlds[ranks] = append(s.worlds[ranks], hw)
+	return hw, slot, nil
+}
+
+// removeLocked returns a tenant's slot to its world, keeping one idle
+// world per size warm and closing surplus ones.
+func (s *Server) removeLocked(t *Tenant) {
+	hw := t.hw
+	hw.tenants--
+	hw.free = append(hw.free, t.slot)
+	if hw.tenants > 0 {
+		return
+	}
+	idle := 0
+	for _, o := range s.worlds[hw.size] {
+		if o.tenants == 0 {
+			idle++
+		}
+	}
+	if idle <= 1 {
+		return
+	}
+	ws := s.worlds[hw.size]
+	for i, o := range ws {
+		if o == hw {
+			ws[i] = ws[len(ws)-1]
+			s.worlds[hw.size] = ws[:len(ws)-1]
+			break
+		}
+	}
+	hw.w.Close()
+}
+
+// Stats is a point-in-time accounting of the server.
+type Stats struct {
+	Live     int    `json:"live"`      // live tenants
+	Queued   int    `json:"queued"`    // opens parked in the admission queue
+	Worlds   int    `json:"worlds"`    // pooled host worlds (incl. idle)
+	Opened   uint64 `json:"opened"`    // tenants admitted since start
+	Rejected uint64 `json:"rejected"`  // opens bounced with ErrBusy
+	Expired  uint64 `json:"timed_out"` // opens expired in the queue
+}
+
+// Stats returns current totals.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	worlds := 0
+	for _, ws := range s.worlds {
+		worlds += len(ws)
+	}
+	return Stats{
+		Live:     len(s.tenants),
+		Queued:   int(s.waiters.Load()),
+		Worlds:   worlds,
+		Opened:   s.opened,
+		Rejected: s.rejected.Load(),
+		Expired:  s.expired.Load(),
+	}
+}
+
+// Tenant returns a live tenant by id.
+func (s *Server) Tenant(id string) (*Tenant, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	return t, ok
+}
+
+// Tenants snapshots every live tenant's metrics under its identity,
+// sorted by id — the payload for metrics.WritePrometheusTenants.
+func (s *Server) Tenants() []metrics.TenantSnapshot {
+	s.mu.Lock()
+	live := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		live = append(live, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	out := make([]metrics.TenantSnapshot, len(live))
+	for i, t := range live {
+		out[i] = t.Snapshot()
+	}
+	return out
+}
+
+// Close shuts the server down: every live tenant is closed, every pooled
+// world torn down, and parked opens released with ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	live := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		live = append(live, t)
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	for _, t := range live {
+		t.Close()
+	}
+	s.mu.Lock()
+	for _, ws := range s.worlds {
+		for _, hw := range ws {
+			hw.w.Close()
+		}
+	}
+	s.worlds = map[int][]*hostWorld{}
+	s.mu.Unlock()
+}
+
+// Tenant is one admitted session world: `ranks` gca.Sessions over a
+// private tag namespace of a pooled host world.
+type Tenant struct {
+	id   string
+	qos  QoS
+	srv  *Server
+	hw   *hostWorld
+	slot int
+	reg  *metrics.Registry
+
+	nss      []*comm.Namespace
+	sessions []*gca.Session
+	closed   atomic.Bool
+}
+
+// ID returns the tenant id.
+func (t *Tenant) ID() string { return t.id }
+
+// QoS returns the tenant's class.
+func (t *Tenant) QoS() QoS { return t.qos }
+
+// Size returns the tenant's world size.
+func (t *Tenant) Size() int { return len(t.sessions) }
+
+// Session returns rank r's collective session (drive each rank from one
+// goroutine, as always).
+func (t *Tenant) Session(r int) *gca.Session { return t.sessions[r] }
+
+// Run executes fn once per rank concurrently and returns the first error.
+func (t *Tenant) Run(fn func(rank int, s *gca.Session) error) error {
+	errs := make([]error, len(t.sessions))
+	var wg sync.WaitGroup
+	for r := range t.sessions {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r, t.sessions[r])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("svc: tenant %s rank %d: %w", t.id, r, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the tenant's telemetry under its identity labels.
+func (t *Tenant) Snapshot() metrics.TenantSnapshot {
+	return metrics.TenantSnapshot{Tenant: t.id, QoS: string(t.qos), Snapshot: t.reg.Snapshot()}
+}
+
+// Close retires the tenant: its namespace window is purged on every rank —
+// buffered stragglers dropped, posted receives cancelled — before the slot
+// returns to the pool, so the next tenant in this window starts clean.
+// Idempotent.
+func (t *Tenant) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	t.teardown()
+}
+
+// teardown is Close minus the idempotence guard (also the Open failure
+// path, before the tenant was ever visible).
+func (t *Tenant) teardown() {
+	for _, ns := range t.nss {
+		if ns != nil {
+			ns.PurgeTags(0, math.MaxInt32)
+		}
+	}
+	s := t.srv
+	s.mu.Lock()
+	if s.tenants[t.id] == t {
+		delete(s.tenants, t.id)
+	}
+	s.removeLocked(t)
+	s.mu.Unlock()
+	<-s.sem
+}

@@ -1,0 +1,331 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"exacoll/gca"
+	"exacoll/internal/metrics"
+)
+
+// TestQoSTablesValid proves every class's table passes the registry
+// validation (ladders ascending, unbounded final rung, generalized
+// algorithms with k >= 1) across world sizes including 1, odd, and
+// non-powers of two.
+func TestQoSTablesValid(t *testing.T) {
+	for _, q := range []QoS{QoSLatency, QoSThroughput} {
+		for _, p := range []int{1, 2, 3, 4, 7, 8, 16, 33, 100} {
+			if err := tableFor(q, p).Validate(); err != nil {
+				t.Errorf("tableFor(%s, %d): %v", q, p, err)
+			}
+		}
+	}
+	if err := QoS("batch").validate(); err == nil {
+		t.Error("unknown QoS class accepted")
+	}
+}
+
+func sumF64(t *testing.T, tn *Tenant) {
+	t.Helper()
+	p := tn.Size()
+	want := float64(p*(p+1)) / 2
+	err := tn.Run(func(rank int, s *gca.Session) error {
+		send := make([]byte, 8)
+		recv := make([]byte, 8)
+		binary.LittleEndian.PutUint64(send, math.Float64bits(float64(rank+1)))
+		if err := s.Allreduce(send, recv, gca.Sum, gca.Float64); err != nil {
+			return err
+		}
+		if got := math.Float64frombits(binary.LittleEndian.Uint64(recv)); got != want {
+			t.Errorf("tenant %s rank %d: allreduce = %v, want %v", tn.ID(), rank, got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRunClose is the basic lifecycle: admit, run a collective on
+// every rank, observe per-tenant metrics, retire.
+func TestOpenRunClose(t *testing.T) {
+	srv := NewServer(Config{OpTimeout: 5 * time.Second})
+	defer srv.Close()
+
+	tn, err := srv.Open("alpha", QoSLatency, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.ID() != "alpha" || tn.QoS() != QoSLatency || tn.Size() != 4 {
+		t.Fatalf("tenant identity = (%s, %s, %d)", tn.ID(), tn.QoS(), tn.Size())
+	}
+	sumF64(t, tn)
+
+	snap := tn.Snapshot()
+	if snap.Tenant != "alpha" || snap.QoS != "latency" {
+		t.Fatalf("snapshot identity = (%s, %s)", snap.Tenant, snap.QoS)
+	}
+	var sends uint64
+	for _, r := range snap.Snapshot.Ranks {
+		sends += r.Sends
+	}
+	if sends == 0 {
+		t.Fatal("allreduce recorded no sends in the tenant registry")
+	}
+
+	st := srv.Stats()
+	if st.Live != 1 || st.Opened != 1 || st.Worlds != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	tn.Close()
+	tn.Close() // idempotent
+	if st := srv.Stats(); st.Live != 0 || st.Opened != 1 {
+		t.Fatalf("stats after close = %+v", st)
+	}
+}
+
+// TestWorldSharingAndSlotRecycling pins the pooling contract: same-size
+// tenants share one host world under distinct namespace slots, a retired
+// tenant's slot is recycled, and a different size gets its own world.
+func TestWorldSharingAndSlotRecycling(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+
+	t1, err := srv.Open("t1", QoSLatency, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := srv.Open("t2", QoSThroughput, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.hw != t2.hw {
+		t.Fatal("same-size tenants did not share a host world")
+	}
+	if t1.slot == t2.slot {
+		t.Fatalf("cotenants share namespace slot %d", t1.slot)
+	}
+	t3, err := srv.Open("t3", QoSLatency, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.hw == t1.hw {
+		t.Fatal("different-size tenants share a host world")
+	}
+
+	slot1 := t1.slot
+	t1.Close()
+	t4, err := srv.Open("t4", QoSLatency, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.hw != t2.hw || t4.slot != slot1 {
+		t.Fatalf("retired slot not recycled: world shared=%v slot=%d want %d",
+			t4.hw == t2.hw, t4.slot, slot1)
+	}
+	sumF64(t, t4) // the recycled window is clean
+}
+
+// TestWorldOverflow: the ninth same-size tenant overflows
+// maxTenantsPerWorld and lands on a second world.
+func TestWorldOverflow(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	var tenants []*Tenant
+	for i := 0; i < maxTenantsPerWorld+1; i++ {
+		tn, err := srv.Open(string(rune('a'+i)), QoSLatency, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants = append(tenants, tn)
+	}
+	if got := srv.Stats().Worlds; got != 2 {
+		t.Fatalf("worlds = %d, want 2 after overflow", got)
+	}
+	for _, tn := range tenants {
+		if tn != tenants[0] && tn.hw != tenants[0].hw {
+			if tn != tenants[len(tenants)-1] {
+				t.Errorf("tenant %s left world 0 before it filled", tn.ID())
+			}
+		}
+	}
+}
+
+// TestAdmissionBusy: with no queue a full server fails fast.
+func TestAdmissionBusy(t *testing.T) {
+	srv := NewServer(Config{MaxSessions: 1})
+	defer srv.Close()
+
+	t1, err := srv.Open("t1", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Open("t2", QoSLatency, 2); !errors.Is(err, ErrBusy) {
+		t.Fatalf("open on full server = %v, want ErrBusy", err)
+	}
+	if st := srv.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	t1.Close()
+	t2, err := srv.Open("t2", QoSLatency, 2)
+	if err != nil {
+		t.Fatalf("open after slot freed: %v", err)
+	}
+	t2.Close()
+}
+
+// TestAdmissionQueue: a parked open is admitted when a slot frees; a
+// waiter beyond the queue bound bounces; a waiter that outlives
+// AdmitTimeout expires.
+func TestAdmissionQueue(t *testing.T) {
+	srv := NewServer(Config{MaxSessions: 1, QueueLen: 1, AdmitTimeout: 30 * time.Second})
+	defer srv.Close()
+
+	t1, err := srv.Open("t1", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		tn, err := srv.Open("t2", QoSLatency, 2)
+		if tn != nil {
+			defer tn.Close()
+		}
+		parked <- err
+	}()
+	waitQueued(t, srv, 1)
+
+	// Queue full: the third open bounces immediately.
+	if _, err := srv.Open("t3", QoSLatency, 2); !errors.Is(err, ErrBusy) {
+		t.Fatalf("open with full queue = %v, want ErrBusy", err)
+	}
+
+	t1.Close()
+	if err := <-parked; err != nil {
+		t.Fatalf("parked open after slot freed: %v", err)
+	}
+
+	// Expiry: park an open behind a tenant nobody closes.
+	exp := NewServer(Config{MaxSessions: 1, QueueLen: 1, AdmitTimeout: 50 * time.Millisecond})
+	defer exp.Close()
+	hold, err := exp.Open("hold", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	if _, err := exp.Open("late", QoSLatency, 2); !errors.Is(err, ErrAdmissionTimeout) {
+		t.Fatalf("expired open = %v, want ErrAdmissionTimeout", err)
+	}
+	if st := exp.Stats(); st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+}
+
+func waitQueued(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued never reached %d", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOpenValidation covers the argument checks and duplicate ids.
+func TestOpenValidation(t *testing.T) {
+	srv := NewServer(Config{MaxRanks: 8})
+	defer srv.Close()
+
+	if _, err := srv.Open("", QoSLatency, 2); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := srv.Open("t", QoS("bulk"), 2); err == nil {
+		t.Error("unknown QoS accepted")
+	}
+	if _, err := srv.Open("t", QoSLatency, 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := srv.Open("t", QoSLatency, 9); err == nil {
+		t.Error("ranks beyond MaxRanks accepted")
+	}
+	t1, err := srv.Open("t", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Open("t", QoSLatency, 2); err == nil {
+		t.Error("duplicate live id accepted")
+	}
+	t1.Close()
+	t2, err := srv.Open("t", QoSLatency, 2)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	t2.Close()
+}
+
+// TestServerClose: close releases parked opens with ErrClosed, closes
+// every live tenant, and rejects later opens.
+func TestServerClose(t *testing.T) {
+	srv := NewServer(Config{MaxSessions: 1, QueueLen: 1, AdmitTimeout: 30 * time.Second})
+	if _, err := srv.Open("t1", QoSLatency, 2); err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		_, err := srv.Open("t2", QoSLatency, 2)
+		parked <- err
+	}()
+	waitQueued(t, srv, 1)
+	srv.Close()
+	if err := <-parked; !errors.Is(err, ErrClosed) {
+		t.Fatalf("parked open on close = %v, want ErrClosed", err)
+	}
+	if _, err := srv.Open("t3", QoSLatency, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("open after close = %v, want ErrClosed", err)
+	}
+	if st := srv.Stats(); st.Live != 0 {
+		t.Fatalf("live = %d after close", st.Live)
+	}
+	srv.Close() // idempotent
+}
+
+// TestTenantsExport: Tenants() feeds the multi-tenant Prometheus exporter
+// with sorted identities.
+func TestTenantsExport(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	tb, err := srv.Open("bravo", QoSThroughput, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := srv.Open("alpha", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumF64(t, ta)
+	sumF64(t, tb)
+
+	tns := srv.Tenants()
+	if len(tns) != 2 || tns[0].Tenant != "alpha" || tns[1].Tenant != "bravo" {
+		t.Fatalf("tenants = %+v", tns)
+	}
+	var buf bytes.Buffer
+	if err := metrics.WritePrometheusTenants(&buf, tns); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`{tenant="alpha",qos="latency",rank="0"}`,
+		`{tenant="bravo",qos="throughput",rank="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,473 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Hello kinds (protocol v3). A world hello is one rank of a known world
+// formation presenting itself at an epoch; a join hello is an outsider
+// asking to be admitted into a future epoch.
+const (
+	helloWorld = 0
+	helloJoin  = 1
+)
+
+// Status words opening every coordinator reply.
+const (
+	statusOK         = 0 // world hello accepted: address list follows
+	statusWrongEpoch = 1 // the presented epoch is already retired
+	statusBusy       = 2 // join queue full (admission control)
+	statusAdmit      = 3 // join granted: (epoch, rank, size) ticket follows
+)
+
+// Errors surfaced by epoch-keyed rendezvous and join admission.
+var (
+	// ErrWrongEpoch reports a rendezvous attempt at an epoch the anchor
+	// has already completed and retired — the dialer raced a membership
+	// change and must re-learn the current epoch before retrying.
+	ErrWrongEpoch = errors.New("tcp: rendezvous epoch already retired")
+	// ErrBusy reports a join request bounced by admission control: the
+	// anchor's join queue was full.
+	ErrBusy = errors.New("tcp: join queue full")
+)
+
+// helloSize is the fixed prefix of a v3 hello:
+// ver(4) kind(4) rank(4) epoch(8) alen(4).
+const helloSize = 24
+
+// writeHello sends one v3 hello frame.
+func writeHello(conn net.Conn, kind, rank int, epoch uint64, addr string) error {
+	b := make([]byte, helloSize+len(addr))
+	binary.LittleEndian.PutUint32(b[0:], protoVersion)
+	binary.LittleEndian.PutUint32(b[4:], uint32(kind))
+	binary.LittleEndian.PutUint32(b[8:], uint32(rank))
+	binary.LittleEndian.PutUint64(b[12:], epoch)
+	binary.LittleEndian.PutUint32(b[20:], uint32(len(addr)))
+	copy(b[helloSize:], addr)
+	_, err := conn.Write(b)
+	return err
+}
+
+// readStatus consumes a coordinator reply's status word, mapping the
+// failure statuses onto their sentinel errors.
+func readStatus(conn net.Conn, epoch uint64) error {
+	var sb [4]byte
+	if _, err := io.ReadFull(conn, sb[:]); err != nil {
+		return fmt.Errorf("tcp: rendezvous status: %w", err)
+	}
+	switch binary.LittleEndian.Uint32(sb[:]) {
+	case statusOK:
+		return nil
+	case statusWrongEpoch:
+		return fmt.Errorf("%w (epoch %d)", ErrWrongEpoch, epoch)
+	case statusBusy:
+		return ErrBusy
+	default:
+		return fmt.Errorf("tcp: unexpected rendezvous status %d", binary.LittleEndian.Uint32(sb[:]))
+	}
+}
+
+// writeStatus sends a bare status reply.
+func writeStatus(conn net.Conn, status uint32, deadline time.Time) error {
+	var sb [4]byte
+	binary.LittleEndian.PutUint32(sb[:], status)
+	conn.SetWriteDeadline(deadline)
+	_, err := conn.Write(sb[:])
+	return err
+}
+
+// Ticket is an admission grant: the joiner becomes rank Rank of the
+// Size-rank world that will form at Epoch. The joiner redeems it by
+// calling Rendezvous(Rank, Size, anchorAddr, Options{Epoch: Epoch}).
+type Ticket struct {
+	Epoch uint64
+	Rank  int
+	Size  int
+}
+
+// parkedHello is one world hello waiting for its epoch's formation.
+type parkedHello struct {
+	conn net.Conn
+	addr string
+}
+
+// JoinRequest is a parked join hello: an outsider holding a connection
+// open, waiting to be admitted into a future world formation or bounced.
+type JoinRequest struct {
+	conn    net.Conn
+	replied bool
+}
+
+// Admit grants the join: the ticket travels back on the held connection
+// and the connection closes (the joiner re-dials as a world member when it
+// redeems the ticket). Admit and Reject may each be called at most once.
+func (j *JoinRequest) Admit(t Ticket, timeout time.Duration) error {
+	if j.replied {
+		return fmt.Errorf("tcp: join request already answered")
+	}
+	j.replied = true
+	defer j.conn.Close()
+	b := make([]byte, 4+16)
+	binary.LittleEndian.PutUint32(b[0:], statusAdmit)
+	binary.LittleEndian.PutUint64(b[4:], t.Epoch)
+	binary.LittleEndian.PutUint32(b[12:], uint32(t.Rank))
+	binary.LittleEndian.PutUint32(b[16:], uint32(t.Size))
+	j.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := j.conn.Write(b); err != nil {
+		return fmt.Errorf("tcp: admit reply: %w", err)
+	}
+	return nil
+}
+
+// Reject bounces the join with a busy status.
+func (j *JoinRequest) Reject() {
+	if j.replied {
+		return
+	}
+	j.replied = true
+	writeStatus(j.conn, statusBusy, time.Now().Add(2*time.Second))
+	j.conn.Close()
+}
+
+// RequestJoin asks the anchor at addr for admission into a future world.
+// It blocks — up to opts.Timeout — until the anchor's owner admits or
+// rejects the request (admission happens at the next Grow, so callers
+// should size the timeout to how long they are willing to wait for one).
+// On success the returned ticket names the joiner's rank, the new world
+// size, and the epoch to rendezvous at.
+func RequestJoin(addr string, opts Options) (Ticket, error) {
+	deadline := time.Now().Add(opts.timeout())
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return Ticket{}, fmt.Errorf("tcp: dial anchor: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+	if err := writeHello(conn, helloJoin, 0, 0, ""); err != nil {
+		return Ticket{}, fmt.Errorf("tcp: join hello: %w", err)
+	}
+	var sb [4]byte
+	if _, err := io.ReadFull(conn, sb[:]); err != nil {
+		return Ticket{}, fmt.Errorf("tcp: join status: %w", err)
+	}
+	switch binary.LittleEndian.Uint32(sb[:]) {
+	case statusAdmit:
+		var tb [16]byte
+		if _, err := io.ReadFull(conn, tb[:]); err != nil {
+			return Ticket{}, fmt.Errorf("tcp: join ticket: %w", err)
+		}
+		return Ticket{
+			Epoch: binary.LittleEndian.Uint64(tb[0:]),
+			Rank:  int(binary.LittleEndian.Uint32(tb[8:])),
+			Size:  int(binary.LittleEndian.Uint32(tb[12:])),
+		}, nil
+	case statusBusy:
+		return Ticket{}, ErrBusy
+	default:
+		return Ticket{}, fmt.Errorf("tcp: unexpected join status %d", binary.LittleEndian.Uint32(sb[:]))
+	}
+}
+
+// Anchor is the long-lived coordinator of an elastic world: a persistent
+// listener at the rendezvous address, owned by the rank-0 process across
+// every membership epoch. It parks world hellos per epoch (arrival order
+// does not matter — survivors and admitted joiners may dial before the
+// anchor's own Rendezvous starts), queues join requests for admission
+// control, and answers retired-epoch stragglers with a wrong-epoch status
+// instead of letting them wedge a formation.
+//
+// A second dial from the same (rank, epoch) replaces the first parked
+// connection — the dialer gave up on it, so rendezvous is idempotent on
+// reconnect.
+type Anchor struct {
+	ln    net.Listener
+	opts  Options
+	joinQ chan *JoinRequest
+	kick  chan struct{}
+	stop  chan struct{}
+
+	mu     sync.Mutex
+	world  map[uint64]map[int]parkedHello
+	doneTo uint64 // epochs <= doneTo (when any) are retired
+	hasRun bool
+	closed bool
+}
+
+// NewAnchor opens the persistent rendezvous listener. joinCap bounds the
+// admission queue: further join requests are answered Busy immediately
+// (0 disables joining — the one-shot Rendezvous case).
+func NewAnchor(addr string, joinCap int, opts Options) (*Anchor, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen: %w", err)
+	}
+	a := &Anchor{
+		ln:    ln,
+		opts:  opts,
+		joinQ: make(chan *JoinRequest, joinCap),
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		world: make(map[uint64]map[int]parkedHello),
+	}
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the listener's concrete address (useful with ":0").
+func (a *Anchor) Addr() string { return a.ln.Addr().String() }
+
+// Joins exposes the admission queue. The anchor's owner drains it when it
+// decides to grow, answering each request with Admit or Reject.
+func (a *Anchor) Joins() <-chan *JoinRequest { return a.joinQ }
+
+// PendingJoins reports how many join requests are currently queued.
+func (a *Anchor) PendingJoins() int { return len(a.joinQ) }
+
+// acceptLoop fields every inbound connection: the hello decides whether it
+// parks as a world member, queues as a join request, or bounces.
+func (a *Anchor) acceptLoop() {
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go a.handleConn(conn)
+	}
+}
+
+// handleConn reads one hello and files the connection.
+func (a *Anchor) handleConn(conn net.Conn) {
+	deadline := time.Now().Add(a.opts.timeout())
+	conn.SetDeadline(deadline)
+	var hb [helloSize]byte
+	if _, err := io.ReadFull(conn, hb[:]); err != nil {
+		conn.Close()
+		return
+	}
+	ver := int(binary.LittleEndian.Uint32(hb[0:]))
+	kind := int(binary.LittleEndian.Uint32(hb[4:]))
+	rank := int(binary.LittleEndian.Uint32(hb[8:]))
+	epoch := binary.LittleEndian.Uint64(hb[12:])
+	alen := int(binary.LittleEndian.Uint32(hb[20:]))
+	if ver != protoVersion || alen > 256 {
+		conn.Close()
+		return
+	}
+	ab := make([]byte, alen)
+	if _, err := io.ReadFull(conn, ab); err != nil {
+		conn.Close()
+		return
+	}
+	switch kind {
+	case helloWorld:
+		if rank < 1 {
+			conn.Close()
+			return
+		}
+		conn.SetDeadline(time.Time{})
+		a.mu.Lock()
+		if a.closed || (a.hasRun && epoch <= a.doneTo) {
+			a.mu.Unlock()
+			writeStatus(conn, statusWrongEpoch, deadline)
+			conn.Close()
+			return
+		}
+		ranks := a.world[epoch]
+		if ranks == nil {
+			ranks = make(map[int]parkedHello)
+			a.world[epoch] = ranks
+		}
+		if old, dup := ranks[rank]; dup {
+			old.conn.Close() // reconnect replaces the stale parked dial
+		}
+		ranks[rank] = parkedHello{conn: conn, addr: string(ab)}
+		a.mu.Unlock()
+		select {
+		case a.kick <- struct{}{}:
+		default:
+		}
+	case helloJoin:
+		req := &JoinRequest{conn: conn}
+		select {
+		case a.joinQ <- req:
+			conn.SetDeadline(time.Time{}) // parked until the owner answers
+		default:
+			req.Reject()
+		}
+	default:
+		conn.Close()
+	}
+}
+
+// Rendezvous forms the p-rank world of one epoch: it waits for ranks
+// 1..p-1 to present world hellos at that epoch, replies to each with the
+// mesh address list, and returns the anchor owner's rank-0 endpoint. One
+// formation runs at a time. Completing a formation retires every epoch
+// <= epoch: parked and future hellos there are answered wrong-epoch.
+func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("tcp: bad world size %d", p)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("tcp: anchor closed")
+	}
+	if a.hasRun && epoch <= a.doneTo {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w (epoch %d)", ErrWrongEpoch, epoch)
+	}
+	a.mu.Unlock()
+	if p == 1 {
+		proc := newProc(0, 1)
+		proc.keyHosts([]string{hostOf(a.Addr())})
+		a.retire(epoch)
+		return proc, nil
+	}
+	deadline := time.Now().Add(a.opts.timeout())
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	var joiners map[int]parkedHello
+	for joiners == nil {
+		a.mu.Lock()
+		ranks := a.world[epoch]
+		complete := len(ranks) >= p-1
+		for r := 1; r < p && complete; r++ {
+			_, complete = ranks[r]
+		}
+		if complete {
+			joiners = ranks
+			delete(a.world, epoch) // consumed: Close must not touch these
+		}
+		a.mu.Unlock()
+		if joiners != nil {
+			break
+		}
+		select {
+		case <-a.kick:
+		case <-timer.C:
+			return nil, fmt.Errorf("tcp: rendezvous epoch %d timed out (have %d of %d members)",
+				epoch, a.parkedCount(epoch)+1, p)
+		case <-a.stop:
+			return nil, fmt.Errorf("tcp: anchor closed")
+		}
+	}
+	// A hello from a rank outside [1, p) at this epoch is a geometry
+	// disagreement — fail loudly rather than form a mismatched world.
+	for r := range joiners {
+		if r >= p {
+			for _, ph := range joiners {
+				ph.conn.Close()
+			}
+			return nil, fmt.Errorf("tcp: rank %d outside world of size %d at epoch %d", r, p, epoch)
+		}
+	}
+	proc := newProc(0, p)
+	var list []byte
+	for r := 1; r < p; r++ {
+		addr := joiners[r].addr
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(addr)))
+		list = append(list, l[:]...)
+		list = append(list, addr...)
+	}
+	reply := make([]byte, 4, 4+len(list))
+	binary.LittleEndian.PutUint32(reply, statusOK)
+	reply = append(reply, list...)
+	for r := 1; r < p; r++ {
+		conn := joiners[r].conn
+		conn.SetWriteDeadline(deadline)
+		if _, err := conn.Write(reply); err != nil {
+			for _, ph := range joiners {
+				ph.conn.Close()
+			}
+			return nil, fmt.Errorf("tcp: address list to %d: %w", r, err)
+		}
+		conn.SetDeadline(time.Time{})
+		proc.conns[r] = conn
+	}
+	hosts := make([]string, p)
+	hosts[0] = hostOf(a.Addr())
+	for r := 1; r < p; r++ {
+		hosts[r] = hostOf(joiners[r].addr)
+	}
+	proc.keyHosts(hosts)
+	proc.startLoops(a.opts)
+	a.retire(epoch)
+	return proc, nil
+}
+
+// retire marks every epoch <= epoch completed, bouncing their parked
+// hellos with a wrong-epoch status.
+func (a *Anchor) retire(epoch uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.hasRun || epoch > a.doneTo {
+		a.hasRun = true
+		a.doneTo = epoch
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e, ranks := range a.world {
+		if e > a.doneTo {
+			continue
+		}
+		for _, ph := range ranks {
+			writeStatus(ph.conn, statusWrongEpoch, deadline)
+			ph.conn.Close()
+		}
+		delete(a.world, e)
+	}
+}
+
+// parkedCount reports how many hellos are parked at an epoch.
+func (a *Anchor) parkedCount(epoch uint64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.world[epoch])
+}
+
+// Close shuts the listener, bounces every parked hello and queued join,
+// and wakes any in-flight Rendezvous. Connections already handed to a
+// formed Proc are not touched.
+func (a *Anchor) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	worlds := a.world
+	a.world = make(map[uint64]map[int]parkedHello)
+	a.mu.Unlock()
+	close(a.stop)
+	err := a.ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for _, ranks := range worlds {
+		for _, ph := range ranks {
+			writeStatus(ph.conn, statusWrongEpoch, deadline)
+			ph.conn.Close()
+		}
+	}
+	for {
+		select {
+		case req := <-a.joinQ:
+			req.Reject()
+		default:
+			return err
+		}
+	}
+}

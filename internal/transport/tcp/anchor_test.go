@@ -1,0 +1,253 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dialRawHello opens a raw connection to the anchor and writes a world
+// hello without ever following through — the stale half-open dial of a
+// rank that crashed or gave up mid-rendezvous.
+func dialRawHello(t *testing.T, addr string, rank int, epoch uint64, meshAddr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	if err := writeHello(conn, helloWorld, rank, epoch, meshAddr); err != nil {
+		t.Fatalf("raw hello: %v", err)
+	}
+	return conn
+}
+
+// TestRendezvousIdempotentReconnect is the reconnect satellite: a second
+// dial from the same (rank, epoch) must replace the first parked hello
+// instead of wedging the mesh. The stale dial advertises an unreachable
+// mesh address, so the test only passes if the replacement — not the
+// original — wins the formation.
+func TestRendezvousIdempotentReconnect(t *testing.T) {
+	a, err := NewAnchor("127.0.0.1:0", 0, Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	stale := dialRawHello(t, a.Addr(), 1, 0, "127.0.0.1:1")
+	defer stale.Close()
+	// Wait until the stale hello is parked so the replacement races nothing.
+	for i := 0; a.parkedCount(0) == 0 && i < 100; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if a.parkedCount(0) != 1 {
+		t.Fatal("stale hello never parked")
+	}
+
+	var joiner *Proc
+	var joinErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		joiner, joinErr = Rendezvous(1, 2, a.Addr(), Options{Timeout: 10 * time.Second})
+	}()
+	// The anchor closes the stale connection the moment the reconnect
+	// replaces it — wait for that before starting the formation, so the
+	// test exercises replacement rather than racing it.
+	stale.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var rb [1]byte
+	if _, err := stale.Read(rb[:]); err == nil {
+		t.Fatal("stale dial received data instead of being replaced")
+	}
+	root, err := a.Rendezvous(2, 0)
+	if err != nil {
+		t.Fatalf("anchor rendezvous: %v", err)
+	}
+	defer root.Close()
+	wg.Wait()
+	if joinErr != nil {
+		t.Fatalf("reconnect rendezvous: %v", joinErr)
+	}
+	defer joiner.Close()
+
+	// The formed world must be live end-to-end.
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := joiner.Recv(0, 7, buf)
+		done <- err
+	}()
+	if err := root.Send(1, 7, []byte("hi")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mesh wedged after reconnect")
+	}
+}
+
+// TestAnchorEpochRekey runs two successive world formations — different
+// epochs, different sizes — through one persistent anchor, then checks
+// that a straggler dialing a retired epoch is bounced with ErrWrongEpoch
+// instead of being parked forever.
+func TestAnchorEpochRekey(t *testing.T) {
+	a, err := NewAnchor("127.0.0.1:0", 0, Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	form := func(p int, epoch uint64) []*Proc {
+		t.Helper()
+		procs := make([]*Proc, p)
+		errs := make([]error, p)
+		var wg sync.WaitGroup
+		for r := 1; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				procs[r], errs[r] = Rendezvous(r, p, a.Addr(), Options{Timeout: 10 * time.Second, Epoch: epoch})
+			}(r)
+		}
+		procs[0], errs[0] = a.Rendezvous(p, epoch)
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("epoch %d rank %d: %v", epoch, r, err)
+			}
+		}
+		return procs
+	}
+	exchange := func(procs []*Proc) {
+		t.Helper()
+		p := len(procs)
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				c := procs[r]
+				next, prev := (r+1)%p, (r+p-1)%p
+				if err := c.Send(next, 5, []byte{byte(r)}); err != nil {
+					errs[r] = err
+					return
+				}
+				var b [1]byte
+				if _, err := c.Recv(prev, 5, b[:]); err != nil {
+					errs[r] = err
+					return
+				}
+				if int(b[0]) != prev {
+					errs[r] = fmt.Errorf("got token %d want %d", b[0], prev)
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+	}
+
+	w0 := form(2, 0)
+	exchange(w0)
+	for _, proc := range w0 {
+		proc.Close()
+	}
+	w1 := form(3, 1)
+	exchange(w1)
+	for _, proc := range w1 {
+		proc.Close()
+	}
+
+	// A straggler presenting the retired epoch is told so immediately.
+	if _, err := Rendezvous(1, 3, a.Addr(), Options{Timeout: 3 * time.Second, Epoch: 1}); !errors.Is(err, ErrWrongEpoch) {
+		t.Fatalf("retired-epoch dial: want ErrWrongEpoch, got %v", err)
+	}
+	if _, err := a.Rendezvous(3, 1); !errors.Is(err, ErrWrongEpoch) {
+		t.Fatalf("retired-epoch anchor rendezvous: want ErrWrongEpoch, got %v", err)
+	}
+}
+
+// TestJoinAdmission covers the ticket flow — request, admit, redeem — and
+// the bounded-queue Busy path.
+func TestJoinAdmission(t *testing.T) {
+	a, err := NewAnchor("127.0.0.1:0", 1, Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Joiner asks for admission, then redeems its ticket as a world member.
+	var joiner *Proc
+	joinErr := make(chan error, 1)
+	go func() {
+		ticket, err := RequestJoin(a.Addr(), Options{Timeout: 10 * time.Second})
+		if err != nil {
+			joinErr <- err
+			return
+		}
+		if ticket != (Ticket{Epoch: 1, Rank: 1, Size: 2}) {
+			joinErr <- fmt.Errorf("ticket %+v", ticket)
+			return
+		}
+		joiner, err = Rendezvous(ticket.Rank, ticket.Size, a.Addr(),
+			Options{Timeout: 10 * time.Second, Epoch: ticket.Epoch})
+		joinErr <- err
+	}()
+
+	var req *JoinRequest
+	select {
+	case req = <-a.Joins():
+	case <-time.After(5 * time.Second):
+		t.Fatal("join request never queued")
+	}
+	if err := req.Admit(Ticket{Epoch: 1, Rank: 1, Size: 2}, 5*time.Second); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	root, err := a.Rendezvous(2, 1)
+	if err != nil {
+		t.Fatalf("grow rendezvous: %v", err)
+	}
+	defer root.Close()
+	if err := <-joinErr; err != nil {
+		t.Fatalf("joiner: %v", err)
+	}
+	defer joiner.Close()
+	if err := root.Send(1, 3, []byte("welcome")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if n, err := joiner.Recv(0, 3, buf); err != nil || string(buf[:n]) != "welcome" {
+		t.Fatalf("recv: %q, %v", buf[:n], err)
+	}
+
+	// Queue capacity is 1: with one request parked, the next bounces Busy.
+	parked := make(chan error, 1)
+	go func() {
+		_, err := RequestJoin(a.Addr(), Options{Timeout: 10 * time.Second})
+		parked <- err
+	}()
+	for i := 0; a.PendingJoins() == 0 && i < 100; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if a.PendingJoins() != 1 {
+		t.Fatal("first join request never parked")
+	}
+	if _, err := RequestJoin(a.Addr(), Options{Timeout: 5 * time.Second}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("overflow join: want ErrBusy, got %v", err)
+	}
+	(<-a.Joins()).Reject()
+	if err := <-parked; !errors.Is(err, ErrBusy) {
+		t.Fatalf("rejected join: want ErrBusy, got %v", err)
+	}
+}

@@ -1,0 +1,154 @@
+package tcp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exacoll/internal/comm"
+)
+
+// Pool shares one Proc — one set of TCP links — among many sessions of a
+// single process. Cotenant sessions between the same host pair would
+// otherwise each hold a full mesh of sockets; through a pool they share
+// the links and the demultiplexing engine, and keep themselves apart with
+// disjoint tag windows (comm.Namespace over an acquired handle).
+//
+// The pool owns the Proc: it closes it when the last handle is released
+// and the pool itself is closed, whichever comes last.
+type Pool struct {
+	proc *Proc
+
+	mu     sync.Mutex
+	refs   int
+	closed bool
+}
+
+// NewPool takes ownership of proc.
+func NewPool(proc *Proc) *Pool {
+	return &Pool{proc: proc, refs: 1} // the pool's own reference
+}
+
+// Acquire returns a new shared handle. Handles are independent
+// comm.Comms over the same links: each carries its own per-op deadline
+// (comm.Deadliner), so one tenant's timeout choice never leaks into
+// another's operations.
+func (pl *Pool) Acquire() (*Shared, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed && pl.refs == 0 {
+		return nil, fmt.Errorf("tcp: pool closed: %w", comm.ErrClosed)
+	}
+	pl.refs++
+	return &Shared{proc: pl.proc, pool: pl}, nil
+}
+
+// Refs reports the number of live handles (excluding the pool's own
+// reference).
+func (pl *Pool) Refs() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	n := pl.refs
+	if !pl.closed {
+		n--
+	}
+	return n
+}
+
+// Close drops the pool's own reference; the Proc shuts down once every
+// acquired handle has been released too.
+func (pl *Pool) Close() error {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return nil
+	}
+	pl.closed = true
+	pl.mu.Unlock()
+	pl.release()
+	return nil
+}
+
+func (pl *Pool) release() {
+	pl.mu.Lock()
+	pl.refs--
+	last := pl.refs == 0
+	pl.mu.Unlock()
+	if last {
+		pl.proc.Close()
+	}
+}
+
+// Shared is one session's handle on a pooled Proc. It implements
+// comm.Comm, comm.Deadliner (per-handle), comm.FailureDetector,
+// comm.Purger, and comm.Locator, and reveals the Proc through Unwrap so
+// capability probes (flight.RecorderOf) walk through it.
+type Shared struct {
+	proc *Proc
+	pool *Pool
+
+	opTimeout atomic.Int64
+	released  atomic.Bool
+}
+
+// Release returns the handle to the pool. Operations after Release fail
+// once the underlying Proc closes; Release is idempotent.
+func (s *Shared) Release() {
+	if !s.released.Swap(true) {
+		s.pool.release()
+	}
+}
+
+// Unwrap reveals the pooled Proc (the errors.Unwrap convention for
+// wrapper chains).
+func (s *Shared) Unwrap() comm.Comm { return s.proc }
+
+// Rank implements comm.Comm.
+func (s *Shared) Rank() int { return s.proc.Rank() }
+
+// Size implements comm.Comm.
+func (s *Shared) Size() int { return s.proc.Size() }
+
+// ChargeCompute implements comm.Comm.
+func (s *Shared) ChargeCompute(n int) { s.proc.ChargeCompute(n) }
+
+// Send implements comm.Comm with this handle's deadline.
+func (s *Shared) Send(to int, tag comm.Tag, buf []byte) error {
+	return s.proc.send(to, tag, buf, time.Duration(s.opTimeout.Load()))
+}
+
+// Recv implements comm.Comm with this handle's deadline.
+func (s *Shared) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
+	return s.proc.recv(from, tag, buf, time.Duration(s.opTimeout.Load()))
+}
+
+// Isend implements comm.Comm with this handle's deadline.
+func (s *Shared) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	return s.proc.isend(to, tag, buf, time.Duration(s.opTimeout.Load()))
+}
+
+// Irecv implements comm.Comm with this handle's deadline.
+func (s *Shared) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	return s.proc.irecv(from, tag, buf, time.Duration(s.opTimeout.Load()))
+}
+
+// SetOpTimeout implements comm.Deadliner for this handle only — the whole
+// point of the pooled handle over a bare *Proc, whose deadline is global.
+func (s *Shared) SetOpTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.opTimeout.Store(int64(d))
+}
+
+// Failed implements comm.FailureDetector.
+func (s *Shared) Failed() []int { return s.proc.Failed() }
+
+// PurgeTags implements comm.Purger. The engine is shared, so callers are
+// expected to purge only tag windows they own (a session purges inside
+// its namespace slot; the slot recycler purges a whole window).
+func (s *Shared) PurgeTags(lo, hi comm.Tag) { s.proc.PurgeTags(lo, hi) }
+
+// Locality implements comm.Locator.
+func (s *Shared) Locality(rank int) (comm.Locality, bool) { return s.proc.Locality(rank) }

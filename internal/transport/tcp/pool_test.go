@@ -1,0 +1,154 @@
+package tcp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+)
+
+// poolWorld forms a 2-rank world and wraps each end in a pool.
+func poolWorld(t *testing.T) (pools [2]*Pool) {
+	t.Helper()
+	addr := freeAddr(t)
+	var procs [2]*Proc
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			procs[r], errs[r] = Rendezvous(r, 2, addr, Options{Timeout: 10 * time.Second})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < 2; r++ {
+		pools[r] = NewPool(procs[r])
+		t.Cleanup(func() { pools[r].Close() })
+	}
+	return pools
+}
+
+// TestPoolPerHandleDeadlines pins the reason Shared exists: two handles on
+// one Proc carry independent per-op timeouts, so one tenant's aggressive
+// deadline cannot time out another tenant's patient receive.
+func TestPoolPerHandleDeadlines(t *testing.T) {
+	pools := poolWorld(t)
+	fast, err := pools[0].Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := pools[0].Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := pools[1].Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Release()
+	defer slow.Release()
+	defer peer.Release()
+
+	fast.SetOpTimeout(100 * time.Millisecond)
+	// The fast handle times out on silence...
+	if _, err := fast.Recv(1, 100, make([]byte, 8)); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("fast handle: want ErrTimeout, got %v", err)
+	}
+	// ...while the slow handle, with no deadline, waits out a late sender.
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := slow.Recv(1, 101, buf)
+		done <- err
+	}()
+	time.Sleep(300 * time.Millisecond) // well past the fast handle's deadline
+	if err := peer.Send(0, 101, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("slow handle: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow handle never completed")
+	}
+}
+
+// TestPoolRefcount checks that the Proc outlives the pool while handles
+// remain and dies with the last release.
+func TestPoolRefcount(t *testing.T) {
+	pools := poolWorld(t)
+	h0, err := pools[0].Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := pools[1].Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pools[0].Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", pools[0].Refs())
+	}
+
+	// Closing the pool must not tear down links still in use by a handle.
+	pools[0].Close()
+	if err := h0.Send(1, 9, []byte("x")); err != nil {
+		t.Fatalf("send after pool close: %v", err)
+	}
+	if _, err := h1.Recv(0, 9, make([]byte, 4)); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+
+	// The last release closes the Proc; new operations fail closed.
+	h0.Release()
+	h0.Release() // idempotent
+	if err := h0.Send(1, 9, []byte("x")); !errors.Is(err, comm.ErrClosed) {
+		t.Fatalf("send after close: want ErrClosed, got %v", err)
+	}
+	if _, err := pools[0].Acquire(); err == nil {
+		t.Fatal("acquire after close + drain must fail")
+	}
+	h1.Release()
+	pools[1].Close()
+}
+
+// TestSharedCapabilities checks the wrapper forwards capabilities and
+// reveals the Proc through Unwrap.
+func TestSharedCapabilities(t *testing.T) {
+	pools := poolWorld(t)
+	h, err := pools[0].Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Rank() != 0 || h.Size() != 2 {
+		t.Fatalf("geometry %d/%d", h.Rank(), h.Size())
+	}
+	if h.Unwrap() != comm.Comm(pools[0].proc) {
+		t.Fatal("Unwrap must reveal the pooled Proc")
+	}
+	if _, ok := h.Locality(1); !ok {
+		t.Fatal("locality not forwarded")
+	}
+	if got := h.Failed(); len(got) != 0 {
+		t.Fatalf("failed = %v", got)
+	}
+	// Purger: a posted receive inside the purged window cancels.
+	req, err := h.Irecv(1, 50, make([]byte, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.PurgeTags(0, 100)
+	if err := req.Wait(); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("purged receive: want ErrTimeout, got %v", err)
+	}
+}

@@ -33,8 +33,12 @@ import (
 // frame header: src(4) tag(4) len(4).
 const headerSize = 12
 
-// wire protocol version for the rendezvous handshake.
-const protoVersion = 2
+// wire protocol version for the rendezvous handshake. Version 3 re-keys
+// rendezvous by epoch: the hello carries a kind (world-member vs join
+// request) and the epoch the dialer wants to rendezvous at, and every
+// reply starts with a status word — the pieces elastic membership needs
+// (see anchor.go).
+const protoVersion = 3
 
 // hbTag is the reserved tag value of a heartbeat frame (never a valid
 // comm.Tag, which is non-negative in practice: collective and user tags
@@ -53,6 +57,12 @@ type Options struct {
 	// heartbeats) before the monitor declares it dead. 0 selects the
 	// default (4 × Heartbeat). Ignored when heartbeats are disabled.
 	SuspectAfter time.Duration
+	// Epoch keys the rendezvous: every member of one world formation must
+	// present the same epoch, and an Anchor parks hellos per epoch so the
+	// worlds of successive membership changes can never mix (a straggling
+	// dial from a retired epoch is answered with a wrong-epoch status
+	// instead of wedging the mesh). 0 — the default — is the first world.
+	Epoch uint64
 }
 
 func (o Options) timeout() time.Duration {
@@ -102,9 +112,9 @@ type Proc struct {
 	// Host-keyed locality, derived once during rendezvous from the same
 	// address list every rank already receives (no extra wire traffic):
 	// ranks whose mesh listeners share a host string share a node.
-	nodeOf  []int // rank -> node id (first-appearance order), nil if unknown
-	localOf []int // rank -> index among its host's ranks
-	ppn     int   // max ranks per host
+	nodeOf  []int        // rank -> node id (first-appearance order), nil if unknown
+	localOf []int        // rank -> index among its host's ranks
+	ppn     int          // max ranks per host
 	synPPN  atomic.Int64 // SetLocality override: contiguous blocks of ppn
 	synPort atomic.Int64
 
@@ -112,14 +122,9 @@ type Proc struct {
 	closeErr  error
 }
 
-// Rendezvous establishes the world. Rank 0 must call with listenAddr
-// (e.g. "127.0.0.1:7777"); other ranks pass the same address they dial.
-// Every rank must know p and its own rank (as mpirun would provide).
-func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
-	if p < 1 || rank < 0 || rank >= p {
-		return nil, fmt.Errorf("tcp: bad rank/size %d/%d", rank, p)
-	}
-	proc := &Proc{
+// newProc allocates an unconnected endpoint of a p-rank world.
+func newProc(rank, p int) *Proc {
+	return &Proc{
 		rank:     rank,
 		size:     p,
 		conns:    make([]net.Conn, p),
@@ -128,113 +133,64 @@ func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
 		lastSeen: make([]atomic.Int64, p),
 		hbStop:   make(chan struct{}),
 	}
-	if p == 1 {
-		proc.keyHosts([]string{hostOf(addr)})
-		return proc, nil
-	}
-	deadline := time.Now().Add(opts.timeout())
-	if rank == 0 {
-		if err := proc.coordinate(addr, deadline); err != nil {
-			return nil, err
-		}
-	} else {
-		if err := proc.join(addr, deadline); err != nil {
-			return nil, err
-		}
-	}
+}
+
+// startLoops launches the demultiplexing readers and the liveness
+// machinery once every mesh connection is in place.
+func (p *Proc) startLoops(opts Options) {
 	now := time.Now().UnixNano()
-	for peer, conn := range proc.conns {
+	for peer, conn := range p.conns {
 		if conn != nil {
-			proc.lastSeen[peer].Store(now)
-			go proc.readLoop(peer, conn)
+			p.lastSeen[peer].Store(now)
+			go p.readLoop(peer, conn)
 		}
 	}
 	if hb := opts.heartbeat(); hb > 0 {
-		proc.hbWG.Add(2)
-		go proc.heartbeatLoop(hb)
-		go proc.monitorLoop(hb, opts.suspectAfter())
+		p.hbWG.Add(2)
+		go p.heartbeatLoop(hb)
+		go p.monitorLoop(hb, opts.suspectAfter())
 	}
+}
+
+// Rendezvous establishes the world. Rank 0 must call with listenAddr
+// (e.g. "127.0.0.1:7777"); other ranks pass the same address they dial.
+// Every rank must know p and its own rank (as mpirun would provide), and
+// all ranks must present the same opts.Epoch.
+//
+// Rank 0's listener lives only for this one formation. A long-lived
+// coordinator that can also field join requests between formations — what
+// elastic membership needs — is an Anchor (NewAnchor + Anchor.Rendezvous),
+// which this function wraps for the one-shot case.
+func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
+	if p < 1 || rank < 0 || rank >= p {
+		return nil, fmt.Errorf("tcp: bad rank/size %d/%d", rank, p)
+	}
+	if rank == 0 {
+		if p == 1 {
+			proc := newProc(0, 1)
+			proc.keyHosts([]string{hostOf(addr)})
+			return proc, nil
+		}
+		a, err := NewAnchor(addr, 0, opts)
+		if err != nil {
+			return nil, err
+		}
+		defer a.Close()
+		return a.Rendezvous(p, opts.Epoch)
+	}
+	proc := newProc(rank, p)
+	if err := proc.join(addr, opts.Epoch, time.Now().Add(opts.timeout())); err != nil {
+		return nil, err
+	}
+	proc.startLoops(opts)
 	return proc, nil
 }
 
-// coordinate is rank 0's rendezvous: accept p-1 joiners, collect each
-// rank's own mesh listener address, broadcast the address list.
-func (p *Proc) coordinate(addr string, deadline time.Time) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("tcp: listen: %w", err)
-	}
-	defer ln.Close()
-	type joiner struct {
-		conn net.Conn
-		addr string
-	}
-	joiners := make(map[int]joiner)
-	for len(joiners) < p.size-1 {
-		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(deadline)
-		}
-		conn, err := ln.Accept()
-		if err != nil {
-			return fmt.Errorf("tcp: accept: %w", err)
-		}
-		var hello [12]byte
-		conn.SetDeadline(deadline)
-		if _, err := io.ReadFull(conn, hello[:]); err != nil {
-			conn.Close()
-			return fmt.Errorf("tcp: hello: %w", err)
-		}
-		ver := int(binary.LittleEndian.Uint32(hello[0:]))
-		r := int(binary.LittleEndian.Uint32(hello[4:]))
-		alen := int(binary.LittleEndian.Uint32(hello[8:]))
-		if ver != protoVersion || r < 1 || r >= p.size || alen > 256 {
-			conn.Close()
-			return fmt.Errorf("tcp: bad hello from rank %d (ver %d)", r, ver)
-		}
-		ab := make([]byte, alen)
-		if _, err := io.ReadFull(conn, ab); err != nil {
-			conn.Close()
-			return fmt.Errorf("tcp: hello addr: %w", err)
-		}
-		if _, dup := joiners[r]; dup {
-			conn.Close()
-			return fmt.Errorf("tcp: duplicate rank %d", r)
-		}
-		joiners[r] = joiner{conn: conn, addr: string(ab)}
-	}
-	// Broadcast the mesh address list (ranks 1..p-1).
-	var list []byte
-	for r := 1; r < p.size; r++ {
-		a := joiners[r].addr
-		var l [4]byte
-		binary.LittleEndian.PutUint32(l[:], uint32(len(a)))
-		list = append(list, l[:]...)
-		list = append(list, a...)
-	}
-	for r := 1; r < p.size; r++ {
-		conn := joiners[r].conn
-		if _, err := conn.Write(list); err != nil {
-			return fmt.Errorf("tcp: address list to %d: %w", r, err)
-		}
-		conn.SetDeadline(time.Time{})
-		p.conns[r] = conn
-	}
-	// Key locality off the same addresses the joiners see: rank 0's host
-	// comes from the shared rendezvous address (identical on every rank),
-	// the rest from the mesh listeners.
-	hosts := make([]string, p.size)
-	hosts[0] = hostOf(addr)
-	for r := 1; r < p.size; r++ {
-		hosts[r] = hostOf(joiners[r].addr)
-	}
-	p.keyHosts(hosts)
-	return nil
-}
-
-// join is a non-zero rank's rendezvous: open a mesh listener, dial rank 0,
-// send (version, rank, mesh address), receive the address list, then dial
-// every lower-ranked peer and accept every higher-ranked one.
-func (p *Proc) join(addr string, deadline time.Time) error {
+// join is a non-zero rank's rendezvous: open a mesh listener, dial the
+// coordinator, send a world hello (version, kind, rank, epoch, mesh
+// address), read the status + address list, then dial every lower-ranked
+// peer and accept every higher-ranked one.
+func (p *Proc) join(addr string, epoch uint64, deadline time.Time) error {
 	var conn0 net.Conn
 	var err error
 	for {
@@ -258,23 +214,24 @@ func (p *Proc) join(addr string, deadline time.Time) error {
 	}
 	defer mesh.Close()
 	conn0.SetDeadline(deadline)
-	meshAddr := mesh.Addr().String()
-	hello := make([]byte, 12+len(meshAddr))
-	binary.LittleEndian.PutUint32(hello[0:], protoVersion)
-	binary.LittleEndian.PutUint32(hello[4:], uint32(p.rank))
-	binary.LittleEndian.PutUint32(hello[8:], uint32(len(meshAddr)))
-	copy(hello[12:], meshAddr)
-	if _, err := conn0.Write(hello); err != nil {
+	if err := writeHello(conn0, helloWorld, p.rank, epoch, mesh.Addr().String()); err != nil {
+		conn0.Close()
 		return fmt.Errorf("tcp: hello: %w", err)
+	}
+	if err := readStatus(conn0, epoch); err != nil {
+		conn0.Close()
+		return err
 	}
 	addrs := make([]string, p.size) // addrs[0] unused
 	for r := 1; r < p.size; r++ {
 		var l [4]byte
 		if _, err := io.ReadFull(conn0, l[:]); err != nil {
+			conn0.Close()
 			return fmt.Errorf("tcp: address list: %w", err)
 		}
 		ab := make([]byte, binary.LittleEndian.Uint32(l[:]))
 		if _, err := io.ReadFull(conn0, ab); err != nil {
+			conn0.Close()
 			return fmt.Errorf("tcp: address list: %w", err)
 		}
 		addrs[r] = string(ab)
@@ -283,14 +240,16 @@ func (p *Proc) join(addr string, deadline time.Time) error {
 	p.conns[0] = conn0
 
 	// Mesh: dial lower ranks (1..rank-1), accept higher ranks. Each mesh
-	// connection starts with the dialer's rank (4 bytes).
+	// connection starts with the dialer's rank (4 bytes). A duplicate dial
+	// from a rank that is already connected replaces the earlier connection
+	// (the dialer gave up on it — keeping the stale socket would wedge the
+	// mesh), so reconnect during formation is idempotent.
 	var wg sync.WaitGroup
 	var acceptErr error
-	higher := p.size - 1 - p.rank
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 0; i < higher; i++ {
+		for remaining := p.size - 1 - p.rank; remaining > 0; {
 			if tl, ok := mesh.(*net.TCPListener); ok {
 				tl.SetDeadline(deadline)
 			}
@@ -307,10 +266,15 @@ func (p *Proc) join(addr string, deadline time.Time) error {
 				return
 			}
 			r := int(binary.LittleEndian.Uint32(rb[:]))
-			if r <= p.rank || r >= p.size || p.conns[r] != nil {
+			if r <= p.rank || r >= p.size {
 				acceptErr = fmt.Errorf("tcp: bad mesh dialer rank %d", r)
 				conn.Close()
 				return
+			}
+			if old := p.conns[r]; old != nil {
+				old.Close()
+			} else {
+				remaining--
 			}
 			conn.SetDeadline(time.Time{})
 			p.conns[r] = conn
@@ -560,6 +524,12 @@ const coalesceMax = 16 << 10
 // payload) is staged in a pooled buffer; the write is synchronous, so the
 // buffer is quiescent on every return path.
 func (p *Proc) Send(to int, tag comm.Tag, buf []byte) error {
+	return p.send(to, tag, buf, time.Duration(p.opTimeout.Load()))
+}
+
+// send is Send with the deadline made explicit, so pooled handles
+// (Shared) can carry per-handle timeouts over one shared Proc.
+func (p *Proc) send(to int, tag comm.Tag, buf []byte, d time.Duration) error {
 	if err := comm.CheckPeer(p.rank, to, p.size); err != nil {
 		return err
 	}
@@ -582,7 +552,7 @@ func (p *Proc) Send(to int, tag comm.Tag, buf []byte) error {
 	if conn == nil {
 		return comm.ErrClosed
 	}
-	if d := time.Duration(p.opTimeout.Load()); d > 0 {
+	if d > 0 {
 		conn.SetWriteDeadline(time.Now().Add(d))
 	} else {
 		conn.SetWriteDeadline(time.Time{})
@@ -633,7 +603,11 @@ func (r *sendReq) Test() (bool, error) { return true, r.err }
 // socket buffers provide the eager behaviour), so the returned request is
 // already complete.
 func (p *Proc) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
-	if err := p.Send(to, tag, buf); err != nil {
+	return p.isend(to, tag, buf, time.Duration(p.opTimeout.Load()))
+}
+
+func (p *Proc) isend(to int, tag comm.Tag, buf []byte, d time.Duration) (comm.Request, error) {
+	if err := p.send(to, tag, buf, d); err != nil {
 		return nil, err
 	}
 	return &sendReq{n: len(buf)}, nil
@@ -641,6 +615,12 @@ func (p *Proc) Isend(to int, tag comm.Tag, buf []byte) (comm.Request, error) {
 
 // Irecv implements comm.Comm.
 func (p *Proc) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
+	return p.irecv(from, tag, buf, time.Duration(p.opTimeout.Load()))
+}
+
+// irecv is Irecv with the per-op deadline made explicit (captured at post
+// time, exactly as Irecv captures the Proc-wide one).
+func (p *Proc) irecv(from int, tag comm.Tag, buf []byte, d time.Duration) (comm.Request, error) {
 	if err := comm.CheckPeer(p.rank, from, p.size); err != nil {
 		return nil, err
 	}
@@ -648,12 +628,16 @@ func (p *Proc) Irecv(from int, tag comm.Tag, buf []byte) (comm.Request, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpRecvReq{pr: pr, e: p.engine, key: engineKey{from, tag}, timeout: time.Duration(p.opTimeout.Load())}, nil
+	return &tcpRecvReq{pr: pr, e: p.engine, key: engineKey{from, tag}, timeout: d}, nil
 }
 
 // Recv implements comm.Comm.
 func (p *Proc) Recv(from int, tag comm.Tag, buf []byte) (int, error) {
-	req, err := p.Irecv(from, tag, buf)
+	return p.recv(from, tag, buf, time.Duration(p.opTimeout.Load()))
+}
+
+func (p *Proc) recv(from int, tag comm.Tag, buf []byte, d time.Duration) (int, error) {
+	req, err := p.irecv(from, tag, buf, d)
 	if err != nil {
 		return 0, err
 	}
