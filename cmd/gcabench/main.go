@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|hotpath|flight|all
+//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|recovery|model|table1|hotpath|flight|all
 //
 // Flags:
 //
@@ -75,7 +75,7 @@ func main() {
 	}
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|model|table1|hotpath|flight|all")
+		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|recovery|model|table1|hotpath|flight|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -120,8 +120,12 @@ func main() {
 		// hier compares the flat tuned selection against the topology
 		// composition engine (internal/topo) at 8 PPN.
 		"hier": cfg.Hier,
+		// recovery times the elastic lifecycle's transitions over real
+		// loopback TCP: grow admission, dead-rank compaction (including
+		// failure detection), and rejoin after death.
+		"recovery": cfg.Recovery,
 	}
-	order := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "overlap", "chaos", "hier"}
+	order := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "overlap", "chaos", "hier", "recovery"}
 
 	for _, arg := range flag.Args() {
 		switch arg {

@@ -15,7 +15,10 @@
 //	GET  /v1/stats                                      server totals
 //	GET  /metrics                                       Prometheus exposition,
 //	                                                    {tenant, qos} labels
-//	GET  /healthz                                       liveness
+//	GET  /healthz                                       health JSON
+//	                                                    {status, pools,
+//	                                                    evicted, breaker_open};
+//	                                                    503 when degraded
 package main
 
 import (
@@ -155,7 +158,14 @@ func newMux(srv *svc.Server) *http.ServeMux {
 		metrics.WritePrometheusTenants(w, srv.Tenants())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
+		h := srv.Health()
+		if h.Status != "ok" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(h)
+			return
+		}
+		writeJSON(w, h)
 	})
 	return mux
 }

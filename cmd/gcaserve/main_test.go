@@ -195,6 +195,33 @@ func TestServeSoak(t *testing.T) {
 	}
 }
 
+// TestHealthzDegraded pins the health contract: a healthy server answers
+// 200 with a JSON body, a degraded (here: closing) server answers 503
+// with the same shape.
+func TestHealthzDegraded(t *testing.T) {
+	srv := svc.NewServer(svc.Config{})
+	ts := httptest.NewServer(newMux(srv))
+	defer ts.Close()
+
+	code, body := get(t, ts, "/healthz")
+	if code != 200 {
+		t.Fatalf("healthy healthz = %d %s", code, body)
+	}
+	var h svc.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+
+	srv.Close()
+	code, body = get(t, ts, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d %s, want 503", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil || h.Status != "degraded" {
+		t.Fatalf("degraded healthz body %q: %v", body, err)
+	}
+}
+
 // TestRunUsage covers the run() process wrapper: bad flags exit 2, an
 // unbindable address exits 1.
 func TestRunUsage(t *testing.T) {

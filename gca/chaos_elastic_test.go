@@ -1,0 +1,701 @@
+package gca_test
+
+// Chaos suite for the elastic lifecycle: a wire- and protocol-level fault
+// sweep over the p=4 -> grow 8 -> kill -> shrink 7 -> rejoin 8 lifecycle,
+// asserting the invariant the resumable-transition design promises —
+// every injected failure terminates bounded, as either a bit-exact
+// healthy epoch or a clean retryable error, never a hang or a corrupted
+// world — plus dedicated scenarios for the cascades a single-shot sweep
+// cannot express: split-world convergence after a post-reply fault,
+// anchor promotion after rank-0 death, and probabilistic wire chaos
+// through the seeded connection-fault injector.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"exacoll/gca"
+	"exacoll/internal/elastic"
+	"exacoll/internal/transport/faulty"
+	"exacoll/internal/transport/tcp"
+)
+
+// errChaos is the injected fault. It wraps tcp.ErrBounced so the
+// classification chain (tcp.Retryable -> gca.Retryable) treats a
+// deliberately failed step exactly like a protocol-level bounce.
+var errChaos = fmt.Errorf("chaos: injected fault: %w", tcp.ErrBounced)
+
+// faultSpec names one protocol boundary of one lifecycle phase.
+type faultSpec struct {
+	point    string
+	epoch    uint64
+	anyEpoch bool // join.* steps carry no meaningful epoch
+}
+
+func (f faultSpec) name() string {
+	if f.anyEpoch {
+		return f.point
+	}
+	return fmt.Sprintf("%s@%d", f.point, f.epoch)
+}
+
+// singleShot arms a hook that fails the spec's boundary exactly once.
+// The returned flag reports whether the fault actually fired — a spec
+// that never fires names a boundary the protocol no longer crosses, and
+// the sweep must fail loudly rather than silently lose coverage.
+func (f faultSpec) singleShot() (tcp.FaultHook, *atomic.Bool) {
+	fired := &atomic.Bool{}
+	hook := func(s tcp.Step) error {
+		if s.Point != f.point || (!f.anyEpoch && s.Epoch != f.epoch) {
+			return nil
+		}
+		if fired.CompareAndSwap(false, true) {
+			return errChaos
+		}
+		return nil
+	}
+	return hook, fired
+}
+
+// elasticChaosSweep places one single-shot fault at every protocol
+// boundary the lifecycle crosses before an address list is committed.
+// (Post-reply boundaries during a grow — rv.status/rv.addrs/rv.mesh.* —
+// can strand the anchor in the new epoch while members fail; that
+// cascade is deliberate design territory and has its own convergence
+// test below rather than a sweep slot. At founding they are swept, since
+// re-founding recovers from anything.)
+var elasticChaosSweep = []faultSpec{
+	// Founding formation, epoch 0. There is no old epoch to fall back to,
+	// so recovery is re-founding from scratch (the harness bulldozer).
+	{point: "rv.dial", epoch: 0},
+	{point: "rv.hello", epoch: 0},
+	{point: "rv.status", epoch: 0},
+	{point: "rv.addrs", epoch: 0},
+	{point: "rv.mesh.accept", epoch: 0},
+	{point: "rv.mesh.dial", epoch: 0},
+	{point: "anchor.rv.begin", epoch: 0},
+	{point: "anchor.rv.reply", epoch: 0},
+	// Grow 4 -> 8, epoch 1: pre-reply boundaries, where every rank fails
+	// together, the old epoch stays intact, and a collective retry of
+	// Grow resumes or restarts the journaled transition.
+	{point: "rv.dial", epoch: 1},
+	{point: "rv.hello", epoch: 1},
+	{point: "anchor.rv.begin", epoch: 1},
+	{point: "anchor.rv.reply", epoch: 1},
+	{point: "anchor.admit", epoch: 1},
+	// Join admission protocol (epoch-agnostic: RequestJoin predates any
+	// epoch assignment). These are absorbed inside the joiner's own retry
+	// loop; the sweep proves the grow still converges around them.
+	{point: "join.dial", anyEpoch: true},
+	{point: "join.hello", anyEpoch: true},
+	{point: "join.ticket", anyEpoch: true},
+	// Rejoin grow 7 -> 8, epoch 2: the same machinery after a death and a
+	// shrink, where the survivor set crossed a SubComm.
+	{point: "rv.hello", epoch: 2},
+	{point: "anchor.rv.begin", epoch: 2},
+}
+
+// elasticChaosShort is the -short subset: one spec per phase/kind.
+var elasticChaosShort = []faultSpec{
+	{point: "rv.hello", epoch: 0},
+	{point: "anchor.rv.reply", epoch: 0},
+	{point: "anchor.admit", epoch: 1},
+	{point: "join.ticket", anyEpoch: true},
+	{point: "rv.hello", epoch: 2},
+}
+
+// TestChaosLifecycleSweep drives the full elastic lifecycle once per
+// fault spec. Apart from the founding bulldozer, the harness retries only
+// what a production controller would: collective Grow retries on
+// retryable errors, nothing else.
+func TestChaosLifecycleSweep(t *testing.T) {
+	specs := elasticChaosSweep
+	if testing.Short() {
+		specs = elasticChaosShort
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.name(), func(t *testing.T) { runChaosLifecycle(t, spec) })
+	}
+}
+
+func runChaosLifecycle(t *testing.T, spec faultSpec) {
+	hook, fired := spec.singleShot()
+	addr := elasticFreeAddr(t)
+	topts := tcp.Options{Timeout: 2 * time.Second, Hook: hook}
+
+	var mu sync.Mutex
+	var members []*gca.ElasticComm
+	track := func(m *gca.ElasticComm) {
+		mu.Lock()
+		members = append(members, m)
+		mu.Unlock()
+	}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, m := range members {
+			m.Close() // idempotent; fenced incarnations are already gone
+		}
+	}()
+
+	// Found p=4. A founding fault has no prior epoch to preserve, so the
+	// recovery story is the bluntest one: close every partial member and
+	// re-found from scratch. The single-shot fault is spent on the first
+	// attempt, so the bulldozer converges by the second round; the loop
+	// bound is the hang detector.
+	var comms []*gca.ElasticComm
+	for attempt := 0; ; attempt++ {
+		if attempt >= 6 {
+			t.Fatalf("founding did not converge in %d attempts", attempt)
+		}
+		cs := make([]*gca.ElasticComm, 4)
+		errs := make([]error, 4)
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				if r == 0 {
+					cs[r], errs[r] = elastic.Host(addr, 4, 16, topts)
+				} else {
+					cs[r], errs[r] = elastic.Dial(addr, r, 4, topts)
+				}
+			}(r)
+		}
+		wg.Wait()
+		failed := 0
+		for _, err := range errs {
+			if err != nil {
+				failed++
+			}
+		}
+		if failed == 0 {
+			comms = cs
+			for _, c := range cs {
+				track(c)
+			}
+			break
+		}
+		// A partially-formed world (the anchor can finish while a member
+		// faults mid-mesh) is torn down whole — survivors of a failed
+		// founding are not worth salvaging.
+		for _, c := range cs {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	anchor := comms[0]
+
+	sessions := make([]*gca.Session, 4)
+	for r := range sessions {
+		sessions[r] = gca.NewSession(comms[r], elasticOpts()...)
+	}
+	forEachSession(t, sessions, "p=4 allreduce", quickAllreduce)
+
+	// Grow 4 -> 8 through whatever the spec throws at it.
+	joined := startChaosJoins(t, addr, hook, 4, track)
+	sessions8 := growUntil(t, sessions, joined, 8, anchor)
+	forEachSession(t, sessions8, "p=8 allreduce", quickAllreduce)
+
+	// Kill rank 6 without ceremony; wait until every survivor's failure
+	// detector has seen the death, then shrink collectively.
+	gca.ElasticCommOf(sessions8[6]).Close()
+	for i, s := range sessions8 {
+		if i != 6 {
+			waitFailure(t, gca.ElasticCommOf(s), 6)
+		}
+	}
+	sessions7 := make([]*gca.Session, 7)
+	{
+		var smu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, 8)
+		for r, s := range sessions8 {
+			if r == 6 {
+				continue
+			}
+			wg.Add(1)
+			go func(r int, s *gca.Session) {
+				defer wg.Done()
+				ns, err := s.Shrink()
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				smu.Lock()
+				sessions7[ns.Rank()] = ns
+				smu.Unlock()
+			}(r, s)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("shrink rank %d: %v", r, err)
+			}
+		}
+	}
+	forEachSession(t, sessions7, "p=7 allreduce", quickAllreduce)
+
+	// Rejoin to 8: the epoch-2 specs fire here (aborted transitions burn
+	// epochs, so with an epoch-1 fault the rejoin forms at 3 or later —
+	// the epoch-2 specs run their earlier phases clean by construction).
+	rejoined := startChaosJoins(t, addr, hook, 1, track)
+	sessionsFinal := growUntil(t, sessions7, rejoined, 8, anchor)
+
+	// The final world must be bit-exact across every Table I collective.
+	forEachSession(t, sessionsFinal, "final p=8 collectives", verifyCollectives)
+	if anchor.Epoch() < 2 {
+		t.Fatalf("final epoch = %d, want >= 2 (two growths happened)", anchor.Epoch())
+	}
+	if !fired.Load() {
+		t.Fatalf("fault %s never fired: the sweep names a boundary the protocol no longer crosses", spec.name())
+	}
+}
+
+// quickAllreduce is the cheap per-membership health probe the sweep runs
+// between phases (the full Table I verification runs once, at the end).
+func quickAllreduce(s *gca.Session) error {
+	total := float64(s.Size()*(s.Size()+1)) / 2
+	got, err := s.AllreduceFloat64([]float64{float64(s.Rank() + 1)}, gca.Sum)
+	if err != nil {
+		return err
+	}
+	if got[0] != total {
+		return fmt.Errorf("allreduce = %v, want %v", got[0], total)
+	}
+	return nil
+}
+
+// startChaosJoins launches n outsiders that enter through the retrying
+// admission path, each carrying the chaos hook so join-side boundaries
+// can fault. Joiners land on the channel as their formations complete.
+func startChaosJoins(t *testing.T, addr string, hook tcp.FaultHook, n int, track func(*gca.ElasticComm)) chan *gca.ElasticComm {
+	t.Helper()
+	joined := make(chan *gca.ElasticComm, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			m, err := elastic.Join(addr, tcp.Options{Timeout: 45 * time.Second, Hook: hook})
+			if err != nil {
+				t.Errorf("join: %v", err)
+				joined <- nil
+				return
+			}
+			track(m)
+			joined <- m
+		}()
+	}
+	return joined
+}
+
+// waitPendingAtLeast blocks until the anchor has n join requests queued —
+// bounced joiners re-request with backoff, so after an aborted transition
+// the queue refills rather than being instantly ready.
+func waitPendingAtLeast(t *testing.T, anchor *gca.ElasticComm, n int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for anchor.PendingJoins() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending joins = %d, want >= %d", anchor.PendingJoins(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// growUntil runs collective Grow rounds until the world reaches want
+// ranks, asserting the sweep invariant along the way: a failed round must
+// fail on every incumbent with a retryable error (anything else is a
+// split world or a hang — the bugs this suite exists to catch), and a
+// successful round that landed fewer joiners than hoped just grows again.
+func growUntil(t *testing.T, cur []*gca.Session, joined chan *gca.ElasticComm, want int, anchor *gca.ElasticComm) []*gca.Session {
+	t.Helper()
+	for round := 0; round < 12; round++ {
+		if need := want - len(cur); need > 0 {
+			waitPendingAtLeast(t, anchor, need)
+		}
+		res := make([]*gca.Session, want)
+		errs := make([]error, len(cur))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i, s := range cur {
+			wg.Add(1)
+			go func(i int, s *gca.Session) {
+				defer wg.Done()
+				ns, err := s.Grow()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				mu.Lock()
+				res[ns.Rank()] = ns
+				mu.Unlock()
+			}(i, s)
+		}
+		wg.Wait()
+		failed := 0
+		for _, err := range errs {
+			if err != nil {
+				failed++
+			}
+		}
+		if failed == len(cur) {
+			for i, err := range errs {
+				if !gca.Retryable(err) {
+					t.Fatalf("grow round %d rank %d: non-retryable %v", round, i, err)
+				}
+			}
+			continue // old epoch intact; retry the transition
+		}
+		if failed > 0 {
+			t.Fatalf("grow round %d split: %d of %d incumbents failed: %v", round, failed, len(cur), errs)
+		}
+		var newSize int
+		for _, s := range res {
+			if s != nil {
+				newSize = s.Size()
+				break
+			}
+		}
+		next := make([]*gca.Session, newSize)
+		for _, s := range res {
+			if s != nil {
+				next[s.Rank()] = s
+			}
+		}
+		for k := 0; k < newSize-len(cur); k++ {
+			m := <-joined
+			if m == nil {
+				t.FailNow() // the join goroutine already reported why
+			}
+			next[m.Rank()] = gca.NewSession(m, elasticOpts()...)
+		}
+		for r, s := range next {
+			if s == nil {
+				t.Fatalf("grow round %d: no session landed at rank %d", round, r)
+			}
+		}
+		if newSize == want {
+			return next
+		}
+		cur = next
+	}
+	t.Fatalf("grow did not reach %d ranks in 12 rounds", want)
+	return nil
+}
+
+// waitFailure blocks until m's failure detector reports rank dead.
+func waitFailure(t *testing.T, m *gca.ElasticComm, rank int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, f := range m.Failed() {
+			if f == rank {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rank %d death never detected (failed = %v)", rank, m.Failed())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosSplitWorldConverges exercises the one cascade the sweep
+// excludes: a fault after the anchor committed the new epoch. The world
+// is p=2 plus one joiner; the joiner faults its mesh dial to rank 1 (the
+// only rv.mesh.dial crossing of the epoch-1 formation — rank 1 dials
+// nobody and the anchor's connections are the rendezvous sockets), so the
+// anchor lands alone in epoch 1 while the surviving member times out on
+// its mesh accept. The stranded member's retry then finds rank 0 dead
+// from its side of the wreck (the anchor fenced epoch 0), elects itself,
+// is refused the anchor address — the true anchor is alive — and ejects.
+// Convergence: the anchor's next Grow compacts the dead ranks out and
+// re-admits both processes, ending in a bit-exact p=3 world.
+func TestChaosSplitWorldConverges(t *testing.T) {
+	spec := faultSpec{point: "rv.mesh.dial", epoch: 1}
+	hook, fired := spec.singleShot()
+	addr := elasticFreeAddr(t)
+	topts := tcp.Options{Timeout: 2 * time.Second, Hook: hook}
+
+	var m0, m1 *gca.ElasticComm
+	{
+		var err0, err1 error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); m0, err0 = elastic.Host(addr, 2, 8, topts) }()
+		go func() { defer wg.Done(); m1, err1 = elastic.Dial(addr, 1, 2, topts) }()
+		wg.Wait()
+		if err0 != nil || err1 != nil {
+			t.Fatalf("founding: %v / %v", err0, err1)
+		}
+	}
+	defer m0.Close()
+	s0 := gca.NewSession(m0, elasticOpts()...)
+	s1 := gca.NewSession(m1, elasticOpts()...)
+
+	joined := make(chan *gca.ElasticComm, 2)
+	join := func() {
+		m, err := elastic.Join(addr, tcp.Options{Timeout: 45 * time.Second, Hook: hook})
+		if err != nil {
+			t.Errorf("join: %v", err)
+			joined <- nil
+			return
+		}
+		joined <- m
+	}
+	go join()
+	waitPendingAtLeast(t, m0, 1)
+
+	// The split: the anchor's Grow succeeds (the fault fires after its
+	// reply), the member's fails on mesh accept, the joiner's formation
+	// faults and its join loop re-requests admission.
+	var anchorNext *gca.Session
+	var anchorErr, memberErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); anchorNext, anchorErr = s0.Grow() }()
+	go func() { defer wg.Done(); _, memberErr = s1.Grow() }()
+	wg.Wait()
+	if anchorErr != nil {
+		t.Fatalf("anchor grow: %v", anchorErr)
+	}
+	if memberErr == nil {
+		t.Fatalf("member grow succeeded despite injected mesh fault")
+	}
+	if !fired.Load() {
+		t.Fatalf("fault never fired")
+	}
+
+	// The stranded member retries, discovers it cannot take over the
+	// anchor's address, and is ejected — the only honest outcome when the
+	// world may have moved on without it.
+	if _, err := s1.Grow(); !errors.Is(err, gca.ErrEjected) {
+		t.Fatalf("stranded member grow: %v, want ErrEjected", err)
+	}
+	if gca.Retryable(gca.ErrEjected) {
+		t.Fatalf("ErrEjected must not be classified retryable")
+	}
+	m1.Close()
+	go join() // the ejected process rejoins through the front door
+
+	// The anchor sees both ranks of its epoch-1 world dead, compacts them
+	// out, and admits the two rejoiners in one transition.
+	waitFailure(t, m0, 1)
+	waitFailure(t, m0, 2)
+	waitPendingAtLeast(t, m0, 2)
+	healed, err := anchorNext.Grow()
+	if err != nil {
+		t.Fatalf("healing grow: %v", err)
+	}
+	final := make([]*gca.Session, 3)
+	final[healed.Rank()] = healed
+	for k := 0; k < 2; k++ {
+		m := <-joined
+		if m == nil {
+			t.FailNow()
+		}
+		defer m.Close()
+		final[m.Rank()] = gca.NewSession(m, elasticOpts()...)
+	}
+	for r, s := range final {
+		if s == nil || s.Size() != 3 {
+			t.Fatalf("rank %d missing or wrong size after convergence", r)
+		}
+	}
+	forEachSession(t, final, "converged p=3 collectives", verifyCollectives)
+}
+
+// TestChaosPromotion kills the anchor process outright and checks the
+// survivor takeover path: the lowest surviving rank binds the freed
+// address, seeds the recovered anchor state from its own epoch, and the
+// next Grow re-forms the world under it — after which a fresh joiner can
+// still enter through the same address.
+func TestChaosPromotion(t *testing.T) {
+	addr := elasticFreeAddr(t)
+	const timeout = 10 * time.Second
+	comms := make([]*gca.ElasticComm, 3)
+	{
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				comms[r], errs[r] = gca.ConnectElastic(r, 3, addr, 8, timeout)
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("connect rank %d: %v", r, err)
+			}
+		}
+	}
+	sessions := make([]*gca.Session, 3)
+	for r := range sessions {
+		sessions[r] = gca.NewSession(comms[r], elasticOpts()...)
+	}
+	forEachSession(t, sessions, "p=3 allreduce", quickAllreduce)
+
+	// Kill rank 0 — anchor listener and all. Survivors detect, then Grow:
+	// rank 1 promotes itself and the world compacts to p=2 under it.
+	comms[0].Close()
+	waitFailure(t, comms[1], 0)
+	waitFailure(t, comms[2], 0)
+
+	next := make([]*gca.Session, 2)
+	{
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, 3)
+		for r := 1; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				ns, err := sessions[r].Grow()
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				mu.Lock()
+				next[ns.Rank()] = ns
+				mu.Unlock()
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("promotion grow rank %d: %v", r, err)
+			}
+		}
+	}
+	promoted := gca.ElasticCommOf(next[0])
+	if !promoted.IsAnchor() {
+		t.Fatalf("surviving rank 0 is not the anchor after promotion")
+	}
+	if comms[1] != promoted {
+		t.Fatalf("promotion landed on the wrong survivor")
+	}
+	forEachSession(t, next, "post-promotion p=2 allreduce", quickAllreduce)
+
+	// The promoted anchor must serve joins at the same address.
+	joined := make(chan *gca.ElasticComm, 1)
+	go func() {
+		m, err := gca.JoinElastic(addr, 30*time.Second)
+		if err != nil {
+			t.Errorf("join after promotion: %v", err)
+			joined <- nil
+			return
+		}
+		joined <- m
+	}()
+	waitPendingAtLeast(t, promoted, 1)
+	final := growUntil(t, next, joined, 3, promoted)
+	forEachSession(t, final, "post-promotion p=3 collectives", verifyCollectives)
+	for _, s := range final {
+		gca.ElasticCommOf(s).Close()
+	}
+}
+
+// TestChaosWire runs the lifecycle through the seeded connection-fault
+// injector: every rendezvous, join, and mesh dial goes through a net that
+// randomly refuses dials and drops fresh connections before the first
+// byte. The retry machinery must absorb all of it — the worlds form, the
+// collectives are bit-exact, and the stats prove chaos actually flowed.
+// Deterministic per seed; override with CHAOS_SEED (echoed on failure).
+func TestChaosWire(t *testing.T) {
+	seed := int64(0xC0FFEE)
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 0, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED %q: %v", v, err)
+		}
+		seed = n
+	}
+	fnet := faulty.NewNet(faulty.NetOptions{
+		Seed:              seed,
+		DialRefuseProb:    0.2,
+		HandshakeDropProb: 0.1,
+	})
+	addr := elasticFreeAddr(t)
+	topts := tcp.Options{Timeout: 15 * time.Second, Dialer: fnet.Dialer()}
+
+	comms := make([]*gca.ElasticComm, 3)
+	{
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				if r == 0 {
+					comms[r], errs[r] = elastic.Host(addr, 3, 8, topts)
+				} else {
+					comms[r], errs[r] = elastic.Dial(addr, r, 3, topts)
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("founding through chaos (seed %#x) rank %d: %v", seed, r, err)
+			}
+		}
+	}
+	var closeOnce sync.Once
+	closers := comms[:]
+	defer closeOnce.Do(func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	})
+	sessions := make([]*gca.Session, 3)
+	for r := range sessions {
+		sessions[r] = gca.NewSession(comms[r], elasticOpts()...)
+	}
+
+	// Grow to 5 with joiners dialing through the same chaotic net.
+	joined := make(chan *gca.ElasticComm, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			m, err := elastic.Join(addr, topts)
+			if err != nil {
+				t.Errorf("join through chaos (seed %#x): %v", seed, err)
+				joined <- nil
+				return
+			}
+			joined <- m
+		}()
+	}
+	waitPendingAtLeast(t, comms[0], 2)
+	sessions5 := growUntil(t, sessions, joined, 5, comms[0])
+	for _, s := range sessions5[3:] {
+		closers = append(closers, gca.ElasticCommOf(s))
+	}
+	forEachSession(t, sessions5, "p=5 chaos collectives", verifyCollectives)
+
+	// A few joinerless regroups rack up enough dials that zero injected
+	// refusals would mean the injector never touched the path.
+	cur := sessions5
+	for i := 0; i < 3; i++ {
+		empty := make(chan *gca.ElasticComm)
+		cur = growUntil(t, cur, empty, 5, comms[0])
+	}
+	forEachSession(t, cur, "post-churn allreduce", quickAllreduce)
+
+	dials, refused, _ := fnet.Stats()
+	if dials < 20 {
+		t.Fatalf("only %d dials crossed the chaos net (seed %#x) — lifecycle too small to mean anything", dials, seed)
+	}
+	if refused == 0 {
+		t.Fatalf("no dial refusals injected across %d dials (seed %#x)", dials, seed)
+	}
+	t.Logf("chaos wire stats (seed %#x): %d dials, %d refused", seed, dials, refused)
+}

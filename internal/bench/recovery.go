@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"exacoll/gca"
+)
+
+// Recovery measures the elastic lifecycle's end-to-end transition
+// latencies over real loopback TCP — the wall-clock cost of each recovery
+// primitive the chaos suite proves correct:
+//
+//   - grow_ms: admit one parked joiner into a p-rank world (journaled
+//     transition open, ticket, plan broadcast, re-rendezvous, old-mesh
+//     fence) until every rank holds the new session.
+//   - compact_ms: one rank of the grown world dies without ceremony; the
+//     series times the survivors' full arc — failure detection,
+//     agreement, and a zero-joiner Grow that compacts the dead rank out
+//     of a fresh epoch.
+//   - rejoin_ms: a fresh incarnation re-enters through the anchor and the
+//     world grows back to p+1.
+//
+// These are latency measurements over real sockets: run without -race,
+// and read trends rather than absolute numbers.
+func (cfg Config) Recovery() (*Figure, error) {
+	ps := []int{2, 4, 8}
+	iters := 3
+	if cfg.Quick {
+		ps = []int{2, 4}
+		iters = 1
+	}
+	grid := &Grid{
+		Title: "elastic recovery latency over loopback TCP: grow, dead-rank compaction, rejoin",
+		XName: "ranks", YName: "wall_ms", Xs: ps,
+	}
+	grow := make([]float64, len(ps))
+	compact := make([]float64, len(ps))
+	rejoin := make([]float64, len(ps))
+	for i, p := range ps {
+		var bg, bc, br float64
+		for it := 0; it < iters; it++ {
+			g, c, r, err := recoveryLifecycle(p)
+			if err != nil {
+				return nil, fmt.Errorf("recovery p=%d: %w", p, err)
+			}
+			if it == 0 || g < bg {
+				bg = g
+			}
+			if it == 0 || c < bc {
+				bc = c
+			}
+			if it == 0 || r < br {
+				br = r
+			}
+		}
+		grow[i] = bg * 1e3
+		compact[i] = bc * 1e3
+		rejoin[i] = br * 1e3
+	}
+	if err := grid.AddSeries("grow_ms", grow); err != nil {
+		return nil, err
+	}
+	if err := grid.AddSeries("compact_ms", compact); err != nil {
+		return nil, err
+	}
+	if err := grid.AddSeries("rejoin_ms", rejoin); err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "recovery",
+		Caption: "elastic recovery latency: grow admission, dead-rank compaction, rejoin after death",
+		Grids:   []*Grid{grid},
+		Notes: []string{
+			"real loopback TCP, best of repeated runs; each transition forms a brand-new mesh and fences the old epoch",
+			"compact_ms includes failure detection (connection death) plus the survivors' agreement and zero-joiner Grow",
+		},
+	}, nil
+}
+
+// recoveryLifecycle drives one p-rank elastic world through grow -> kill ->
+// compact -> rejoin and returns the three transition wall times in seconds.
+func recoveryLifecycle(p int) (grow, compact, rejoin float64, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	const timeout = 10 * time.Second
+
+	comms := make([]*gca.ElasticComm, p)
+	{
+		errs := make([]error, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				comms[r], errs[r] = gca.ConnectElastic(r, p, addr, 8, timeout)
+			}(r)
+		}
+		wg.Wait()
+		for r, e := range errs {
+			if e != nil {
+				return 0, 0, 0, fmt.Errorf("connect rank %d: %w", r, e)
+			}
+		}
+	}
+	var live []*gca.ElasticComm
+	live = append(live, comms...)
+	defer func() {
+		for _, c := range live {
+			c.Close()
+		}
+	}()
+	opts := []gca.SessionOption{gca.WithFaultTolerance(), gca.WithTimeout(5 * time.Second)}
+	sessions := make([]*gca.Session, p)
+	for r := range sessions {
+		sessions[r] = gca.NewSession(comms[r], opts...)
+	}
+	anchor := comms[0]
+
+	// startJoin parks one outsider; waitPending blocks until it is queued
+	// so the timed window measures the transition, not the joiner's dial.
+	startJoin := func() chan *gca.ElasticComm {
+		ch := make(chan *gca.ElasticComm, 1)
+		go func() {
+			m, e := gca.JoinElastic(addr, 30*time.Second)
+			if e != nil {
+				ch <- nil
+				return
+			}
+			ch <- m
+		}()
+		return ch
+	}
+	waitPending := func(n int) error {
+		for i := 0; i < 2000; i++ {
+			if anchor.PendingJoins() >= n {
+				return nil
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return fmt.Errorf("joiner never parked")
+	}
+	// growAll runs Grow collectively and returns the new world's sessions
+	// (joiners collected from ch), indexed by rank.
+	growAll := func(cur []*gca.Session, ch chan *gca.ElasticComm, want int) ([]*gca.Session, error) {
+		next := make([]*gca.Session, want)
+		errs := make([]error, len(cur))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i, s := range cur {
+			wg.Add(1)
+			go func(i int, s *gca.Session) {
+				defer wg.Done()
+				ns, e := s.Grow()
+				if e != nil {
+					errs[i] = e
+					return
+				}
+				mu.Lock()
+				next[ns.Rank()] = ns
+				mu.Unlock()
+			}(i, s)
+		}
+		for k := 0; k < want-len(cur); k++ {
+			m := <-ch
+			if m == nil {
+				wg.Wait()
+				return nil, fmt.Errorf("join failed")
+			}
+			live = append(live, m)
+			next[m.Rank()] = gca.NewSession(m, opts...)
+		}
+		wg.Wait()
+		for i, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("grow rank %d: %w", i, e)
+			}
+		}
+		return next, nil
+	}
+
+	// Transition 1: grow p -> p+1.
+	ch := startJoin()
+	if err := waitPending(1); err != nil {
+		return 0, 0, 0, err
+	}
+	t0 := time.Now()
+	grown, err := growAll(sessions, ch, p+1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	grow = time.Since(t0).Seconds()
+
+	// Transition 2: kill the grown rank, compact the world back to p. The
+	// clock starts at the kill, so failure detection is part of the cost;
+	// every survivor must have seen the death before the collective Grow,
+	// or the agreement could plan a world containing the corpse.
+	t1 := time.Now()
+	gca.ElasticCommOf(grown[p]).Close()
+	for _, s := range grown[:p] {
+		m := gca.ElasticCommOf(s)
+		for detected := false; !detected; {
+			for _, f := range m.Failed() {
+				if f == p {
+					detected = true
+					break
+				}
+			}
+			if !detected {
+				if time.Since(t1) > 10*time.Second {
+					return 0, 0, 0, fmt.Errorf("death of rank %d never detected", p)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	compacted, err := growAll(grown[:p], nil, p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	compact = time.Since(t1).Seconds()
+
+	// Transition 3: a fresh incarnation rejoins, back to p+1.
+	ch = startJoin()
+	if err := waitPending(1); err != nil {
+		return 0, 0, 0, err
+	}
+	t2 := time.Now()
+	if _, err = growAll(compacted, ch, p+1); err != nil {
+		return 0, 0, 0, err
+	}
+	rejoin = time.Since(t2).Seconds()
+	return grow, compact, rejoin, nil
+}

@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestRecoveryFigure runs the quick recovery benchmark and checks its
+// shape: all three elastic transitions (grow, dead-rank compaction,
+// rejoin) complete over real TCP and report positive wall times. The
+// values themselves are not asserted — latency under the test suite's CPU
+// contention is noise; trends are watched on CI's `gcabench recovery` run.
+func TestRecoveryFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-TCP lifecycle benchmark skipped in -short mode")
+	}
+	fig, err := QuickConfig().Recovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Grids) != 1 {
+		t.Fatalf("unexpected figure shape: %+v", fig)
+	}
+	g := fig.Grids[0]
+	if len(g.Series) != 3 {
+		t.Fatalf("unexpected series: %+v", g.Series)
+	}
+	for _, s := range g.Series {
+		for i, ms := range s.Ys {
+			if ms <= 0 {
+				t.Errorf("p=%d: %s = %.2fms", g.Xs[i], s.Name, ms)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package elastic
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/ft"
+	"exacoll/internal/transport/tcp"
+)
+
+// TestAnchorRestartMidLifecycle is the anchor-recovery scenario: the
+// anchor process dies with a joiner parked, restarts from its persisted
+// AnchorState, and the joiner — retrying through the downtime — lands in
+// the world the restarted anchor forms. The state handoff is what makes
+// this safe: the restart resumes past every epoch the dead incarnation
+// retired, so no formation is ever reopened.
+func TestAnchorRestartMidLifecycle(t *testing.T) {
+	addr := freeAddr(t)
+	opts := tcp.Options{Timeout: 8 * time.Second, Heartbeat: 100 * time.Millisecond}
+
+	m0, err := Host(addr, 1, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A joiner parks, outliving the anchor it parked at: its retry loop
+	// must carry it across the bounce (anchor closing) and the downtime
+	// (dials refused until the restarted anchor binds).
+	joined := make(chan *Member, 1)
+	go func() {
+		m, jerr := Join(addr, tcp.Options{Timeout: 20 * time.Second})
+		if jerr != nil {
+			t.Errorf("join across restart: %v", jerr)
+			joined <- nil
+			return
+		}
+		joined <- m
+	}()
+	for i := 0; m0.PendingJoins() < 1 && i < 500; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m0.PendingJoins() < 1 {
+		t.Fatalf("joiner never parked")
+	}
+
+	// Snapshot the anchor's rendezvous position, then kill it.
+	st, ok := m0.AnchorState()
+	if !ok || !st.HasRun {
+		t.Fatalf("anchor state = %+v, %v", st, ok)
+	}
+	m0.Close()
+	time.Sleep(200 * time.Millisecond) // downtime: the joiner's dials refuse
+
+	// Restart from the snapshot. The new incarnation's world forms past
+	// everything the old one retired — never reopening a dead epoch.
+	m1, err := HostWithState(addr, 1, 4, opts, st)
+	if err != nil {
+		t.Fatalf("restart from state: %v", err)
+	}
+	defer m1.Close()
+	if m1.Epoch() <= st.DoneTo {
+		t.Fatalf("restarted epoch %d not past retired %d", m1.Epoch(), st.DoneTo)
+	}
+
+	// The joiner re-requests against the restarted anchor; admit it and
+	// grow the singleton world to 2.
+	for i := 0; m1.PendingJoins() < 1 && i < 1000; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m1.PendingJoins() < 1 {
+		t.Fatalf("joiner never re-parked after restart")
+	}
+	target, joiners, err := m1.BeginGrow(1)
+	if err != nil || joiners != 1 {
+		t.Fatalf("begin grow: target %d joiners %d err %v", target, joiners, err)
+	}
+	if n, aerr := m1.AdmitJoiners(1, 1, 2); aerr != nil || n != 1 {
+		t.Fatalf("admit: %d, %v", n, aerr)
+	}
+	if err := m1.RegroupTo(0, 2, target); err != nil {
+		t.Fatalf("regroup: %v", err)
+	}
+	j := <-joined
+	if j == nil {
+		t.FailNow()
+	}
+	defer j.Close()
+	if j.Epoch() != target || j.Rank() != 1 || j.Size() != 2 {
+		t.Fatalf("joiner landed epoch %d rank %d size %d, want epoch %d rank 1 size 2",
+			j.Epoch(), j.Rank(), j.Size(), target)
+	}
+	allreduceCheck(t, []*Member{m1, j})
+}
+
+// TestEpochFencingStraggler pins the fence contract under pressure: a
+// member left behind by two membership changes cannot inject anything —
+// not on user tags, not on any fenced epoch's ft window — and its own
+// attempts to regroup into retired epochs are refused with a clean
+// retryable wrong-epoch answer, never a hang.
+func TestEpochFencingStraggler(t *testing.T) {
+	addr := freeAddr(t)
+	var m0, m1, m2 *Member
+	errCh := make(chan error, 3)
+	go func() { var e error; m0, e = Host(addr, 3, 0, testOpts); errCh <- e }()
+	go func() { var e error; m1, e = Dial(addr, 1, 3, testOpts); errCh <- e }()
+	go func() { var e error; m2, e = Dial(addr, 2, 3, testOpts); errCh <- e }()
+	if e0, e1, e2 := <-errCh, <-errCh, <-errCh; e0 != nil || e1 != nil || e2 != nil {
+		t.Fatalf("founding: %v / %v / %v", e0, e1, e2)
+	}
+	defer m0.Close()
+	defer m1.Close()
+	allreduceCheck(t, []*Member{m0, m1, m2})
+
+	// Two membership changes m2 never hears about: the survivors move to
+	// epoch 1, then epoch 2, leaving m2 stranded at epoch 0.
+	for _, target := range []uint64{1, 2} {
+		done := make(chan error, 2)
+		go func() { done <- m0.RegroupTo(0, 2, target) }()
+		go func() { done <- m1.RegroupTo(1, 2, target) }()
+		if e1, e2 := <-done, <-done; e1 != nil || e2 != nil {
+			t.Fatalf("regroup to %d: %v / %v", target, e1, e2)
+		}
+	}
+	allreduceCheck(t, []*Member{m0, m1})
+
+	// The straggler's sends — on a user tag and on the first tag of every
+	// fenced epoch's collective window — must all fail. Its connections
+	// are gone and its entire tag space was purged; a send that keeps
+	// "succeeding" means fenced traffic could still land somewhere.
+	m2.SetOpTimeout(time.Second)
+	tags := []comm.Tag{7}
+	for e := int64(0); e <= 2; e++ {
+		lo, _ := ft.EpochWindow(e)
+		tags = append(tags, lo)
+	}
+	for _, tag := range tags {
+		var serr error
+		for i := 0; i < 100; i++ {
+			if serr = m2.Send(0, tag, []byte("straggler")); serr != nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if serr == nil {
+			t.Fatalf("straggler sends on tag %d kept succeeding after the fence", tag)
+		}
+	}
+
+	// Its regroup into either retired epoch is refused — a clean,
+	// classified wrong-epoch, not a hang or a mystery failure.
+	for _, target := range []uint64{1, 2} {
+		err := m2.RegroupTo(2, 3, target)
+		if !errors.Is(err, tcp.ErrWrongEpoch) {
+			t.Fatalf("straggler regroup to %d: %v, want ErrWrongEpoch", target, err)
+		}
+		if !tcp.Retryable(err) {
+			t.Fatalf("wrong-epoch refusal must be retryable, got %v", err)
+		}
+	}
+	m2.Close()
+}

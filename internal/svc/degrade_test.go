@@ -1,0 +1,137 @@
+package svc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/gca"
+)
+
+// TestBreakerTripAndRecover: consecutive Run failures trip the tenant's
+// circuit breaker, the breaker refuses work through the cooldown, shows
+// up in Health as degraded, and a successful trial after the cooldown
+// closes it again.
+func TestBreakerTripAndRecover(t *testing.T) {
+	s := NewServer(Config{BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond})
+	defer s.Close()
+	tn, err := s.Open("flaky", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+
+	boom := errors.New("boom")
+	failing := func(rank int, sess *gca.Session) error { return boom }
+	for i := 0; i < 2; i++ {
+		if err := tn.Run(failing); !errors.Is(err, boom) {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if err := tn.Run(failing); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("after %d failures: %v, want ErrBreakerOpen", 2, err)
+	}
+	if !tn.BreakerOpen() {
+		t.Fatal("BreakerOpen() = false with breaker tripped")
+	}
+	if h := s.Health(); h.Status != "degraded" || h.BreakerOpen != 1 {
+		t.Fatalf("health = %+v, want degraded with 1 breaker open", h)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	// Cooldown elapsed: one trial run goes through and its success resets.
+	if err := tn.Run(func(rank int, sess *gca.Session) error { return sess.Barrier() }); err != nil {
+		t.Fatalf("trial run: %v", err)
+	}
+	if tn.BreakerOpen() {
+		t.Fatal("breaker still open after successful trial")
+	}
+	if h := s.Health(); h.Status != "ok" {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+}
+
+// TestDeadWorldEviction: a rank death inside a pooled world is detected
+// on the next failed Run; the world leaves the placement pool (new
+// tenants land elsewhere), Health reports degraded while the dead world
+// still hosts tenants, and the world is torn down — never kept warm —
+// once its last tenant closes.
+func TestDeadWorldEviction(t *testing.T) {
+	s := NewServer(Config{OpTimeout: 2 * time.Second})
+	defer s.Close()
+	tn, err := s.Open("victim", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadWorld := tn.hw
+
+	tn.hw.w.Kill(1)
+	err = tn.Run(func(rank int, sess *gca.Session) error { return sess.Barrier() })
+	if err == nil {
+		t.Fatal("barrier over a killed rank succeeded")
+	}
+	if h := s.Health(); h.Status != "degraded" || h.Evicted != 1 {
+		t.Fatalf("health = %+v, want degraded with 1 eviction", h)
+	}
+
+	// Placement must avoid the dead world.
+	tn2, err := s.Open("fresh", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn2.hw == deadWorld {
+		t.Fatal("new tenant placed on the dead world")
+	}
+	if err := tn2.Run(func(rank int, sess *gca.Session) error { return sess.Barrier() }); err != nil {
+		t.Fatalf("fresh tenant: %v", err)
+	}
+
+	// Closing the dead world's last tenant tears it down instead of
+	// keeping it warm; health clears (the eviction count is history).
+	tn.Close()
+	s.mu.Lock()
+	for _, ws := range s.worlds {
+		for _, hw := range ws {
+			if hw == deadWorld {
+				s.mu.Unlock()
+				t.Fatal("dead world still pooled after last tenant left")
+			}
+		}
+	}
+	s.mu.Unlock()
+	if h := s.Health(); h.Status != "ok" || h.Evicted != 1 {
+		t.Fatalf("health after cleanup = %+v", h)
+	}
+	tn2.Close()
+}
+
+// TestCloseDrains: Close waits for in-flight Runs (up to DrainTimeout)
+// before tearing worlds down, so a run that was healthy when it started
+// finishes healthy.
+func TestCloseDrains(t *testing.T) {
+	s := NewServer(Config{DrainTimeout: 2 * time.Second})
+	tn, err := s.Open("slow", QoSLatency, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	var once sync.Once
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runErr = tn.Run(func(rank int, sess *gca.Session) error {
+			once.Do(func() { close(started) })
+			time.Sleep(100 * time.Millisecond)
+			return sess.Barrier()
+		})
+	}()
+	<-started
+	s.Close() // must not yank the world out from under the run
+	<-done
+	if runErr != nil {
+		t.Fatalf("drained run failed: %v", runErr)
+	}
+}

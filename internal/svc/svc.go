@@ -51,6 +51,10 @@ var (
 	ErrAdmissionTimeout = errors.New("svc: admission wait timed out")
 	// ErrClosed means the server is shut down.
 	ErrClosed = errors.New("svc: server closed")
+	// ErrBreakerOpen means the tenant's circuit breaker tripped after
+	// repeated failures: work is refused until the cooldown elapses, then
+	// one trial run is allowed through to probe recovery.
+	ErrBreakerOpen = errors.New("svc: tenant circuit breaker open")
 )
 
 // maxTenantsPerWorld bounds cotenancy on one host world: enough sharing
@@ -72,6 +76,16 @@ type Config struct {
 	// tenant session, so one wedged tenant cannot hold its goroutines
 	// forever.
 	OpTimeout time.Duration
+	// BreakerThreshold is how many consecutive Run failures trip a
+	// tenant's circuit breaker (default 3; negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker refuses work before
+	// letting one trial run probe recovery (default 5s).
+	BreakerCooldown time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight tenant runs
+	// to finish before tearing worlds down under them (default 5s;
+	// negative skips draining).
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +98,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxRanks <= 0 {
 		c.MaxRanks = 512
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	return c
 }
 
@@ -94,6 +117,20 @@ type hostWorld struct {
 	tenants  int   // live tenants on this world
 	nextSlot int   // first never-used slot
 	free     []int // purged slots ready for reuse
+	dead     bool  // a rank died: evicted from placement, never kept warm
+}
+
+// checkDead probes the world's failure detector: any killed rank makes
+// the whole pooled world unusable for placement (cotenants share every
+// rank, so one dead rank poisons all of them).
+func (hw *hostWorld) checkDead() bool {
+	if hw.dead {
+		return true
+	}
+	if fd, ok := hw.w.Comm(0).(comm.FailureDetector); ok && len(fd.Failed()) > 0 {
+		hw.dead = true
+	}
+	return hw.dead
 }
 
 // takeSlot allocates a namespace slot, preferring recycled ones.
@@ -120,6 +157,8 @@ type Server struct {
 
 	rejected atomic.Uint64
 	expired  atomic.Uint64
+	evicted  atomic.Uint64
+	inflight atomic.Int64 // tenant Runs currently executing (drain gate)
 
 	mu      sync.Mutex
 	closed  bool
@@ -234,9 +273,20 @@ func (s *Server) Open(id string, qos QoS, ranks int) (*Tenant, error) {
 
 // placeLocked finds (or creates) a host world with room for one more
 // tenant of the given size and allocates its namespace slot.
+// deadCheckLocked probes a world's liveness, counting the false→true
+// transition as an eviction (the moment the world leaves the placement
+// pool, even if lingering tenants keep its memory alive a little longer).
+func (s *Server) deadCheckLocked(hw *hostWorld) bool {
+	was := hw.dead
+	if hw.checkDead() && !was {
+		s.evicted.Add(1)
+	}
+	return hw.dead
+}
+
 func (s *Server) placeLocked(ranks int) (*hostWorld, int, error) {
 	for _, hw := range s.worlds[ranks] {
-		if hw.tenants >= maxTenantsPerWorld {
+		if hw.tenants >= maxTenantsPerWorld || s.deadCheckLocked(hw) {
 			continue
 		}
 		if slot, ok := hw.takeSlot(); ok {
@@ -252,7 +302,8 @@ func (s *Server) placeLocked(ranks int) (*hostWorld, int, error) {
 }
 
 // removeLocked returns a tenant's slot to its world, keeping one idle
-// world per size warm and closing surplus ones.
+// world per size warm and closing surplus ones. A dead world is never
+// kept warm: once its last tenant leaves it is evicted and torn down.
 func (s *Server) removeLocked(t *Tenant) {
 	hw := t.hw
 	hw.tenants--
@@ -260,14 +311,16 @@ func (s *Server) removeLocked(t *Tenant) {
 	if hw.tenants > 0 {
 		return
 	}
-	idle := 0
-	for _, o := range s.worlds[hw.size] {
-		if o.tenants == 0 {
-			idle++
+	if !s.deadCheckLocked(hw) {
+		idle := 0
+		for _, o := range s.worlds[hw.size] {
+			if o.tenants == 0 && !o.dead {
+				idle++
+			}
 		}
-	}
-	if idle <= 1 {
-		return
+		if idle <= 1 {
+			return
+		}
 	}
 	ws := s.worlds[hw.size]
 	for i, o := range ws {
@@ -308,6 +361,46 @@ func (s *Server) Stats() Stats {
 	}
 }
 
+// Health is the server's degradation report: the /healthz payload.
+type Health struct {
+	// Status is "ok", or "degraded" when the server is closing, a dead
+	// world still hosts tenants, or any tenant's breaker is open.
+	Status string `json:"status"`
+	// Pools is the number of pooled host worlds (including idle and dead).
+	Pools int `json:"pools"`
+	// Evicted counts worlds evicted from placement after a rank died.
+	Evicted uint64 `json:"evicted"`
+	// BreakerOpen counts live tenants currently refused by their breaker.
+	BreakerOpen int `json:"breaker_open"`
+}
+
+// Health reports the server's current degradation state.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	pools, deadHosting := 0, 0
+	for _, ws := range s.worlds {
+		for _, hw := range ws {
+			pools++
+			if s.deadCheckLocked(hw) && hw.tenants > 0 {
+				deadHosting++
+			}
+		}
+	}
+	open := 0
+	for _, t := range s.tenants {
+		if t.BreakerOpen() {
+			open++
+		}
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	h := Health{Status: "ok", Pools: pools, Evicted: s.evicted.Load(), BreakerOpen: open}
+	if closed || deadHosting > 0 || open > 0 {
+		h.Status = "degraded"
+	}
+	return h
+}
+
 // Tenant returns a live tenant by id.
 func (s *Server) Tenant(id string) (*Tenant, bool) {
 	s.mu.Lock()
@@ -333,8 +426,10 @@ func (s *Server) Tenants() []metrics.TenantSnapshot {
 	return out
 }
 
-// Close shuts the server down: every live tenant is closed, every pooled
-// world torn down, and parked opens released with ErrClosed.
+// Close shuts the server down gracefully: admission stops immediately
+// (parked opens release with ErrClosed), in-flight tenant runs get up to
+// Config.DrainTimeout to finish, then every live tenant is closed and
+// every pooled world torn down.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -348,6 +443,12 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	close(s.stop)
+	if d := s.cfg.DrainTimeout; d > 0 {
+		deadline := time.Now().Add(d)
+		for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
 	for _, t := range live {
 		t.Close()
 	}
@@ -374,6 +475,63 @@ type Tenant struct {
 	nss      []*comm.Namespace
 	sessions []*gca.Session
 	closed   atomic.Bool
+
+	// Circuit breaker: BreakerThreshold consecutive Run failures open it
+	// for BreakerCooldown; after the cooldown one trial run probes
+	// recovery (half-open), and a success resets the strike count.
+	bkMu      sync.Mutex
+	strikes   int
+	openUntil time.Time
+	halfOpen  bool
+}
+
+// breakerAllow gates a Run: nil when work may proceed, ErrBreakerOpen
+// while the breaker refuses.
+func (t *Tenant) breakerAllow() error {
+	th := t.srv.cfg.BreakerThreshold
+	if th < 0 {
+		return nil
+	}
+	t.bkMu.Lock()
+	defer t.bkMu.Unlock()
+	if t.strikes < th {
+		return nil
+	}
+	if time.Now().Before(t.openUntil) || t.halfOpen {
+		return ErrBreakerOpen
+	}
+	t.halfOpen = true // cooldown elapsed: admit exactly one trial
+	return nil
+}
+
+// breakerRecord folds a Run outcome into the breaker.
+func (t *Tenant) breakerRecord(err error) {
+	th := t.srv.cfg.BreakerThreshold
+	if th < 0 {
+		return
+	}
+	t.bkMu.Lock()
+	defer t.bkMu.Unlock()
+	t.halfOpen = false
+	if err == nil {
+		t.strikes = 0
+		return
+	}
+	t.strikes++
+	if t.strikes >= th {
+		t.openUntil = time.Now().Add(t.srv.cfg.BreakerCooldown)
+	}
+}
+
+// BreakerOpen reports whether the tenant's breaker currently refuses work.
+func (t *Tenant) BreakerOpen() bool {
+	th := t.srv.cfg.BreakerThreshold
+	if th < 0 {
+		return false
+	}
+	t.bkMu.Lock()
+	defer t.bkMu.Unlock()
+	return t.strikes >= th && (time.Now().Before(t.openUntil) || t.halfOpen)
 }
 
 // ID returns the tenant id.
@@ -390,7 +548,16 @@ func (t *Tenant) Size() int { return len(t.sessions) }
 func (t *Tenant) Session(r int) *gca.Session { return t.sessions[r] }
 
 // Run executes fn once per rank concurrently and returns the first error.
+// Failures feed the tenant's circuit breaker and the host world's death
+// check: repeated failures trip the breaker (ErrBreakerOpen until the
+// cooldown), and a failure on a world with a dead rank evicts that world
+// from the placement pool.
 func (t *Tenant) Run(fn func(rank int, s *gca.Session) error) error {
+	if err := t.breakerAllow(); err != nil {
+		return err
+	}
+	t.srv.inflight.Add(1)
+	defer t.srv.inflight.Add(-1)
 	errs := make([]error, len(t.sessions))
 	var wg sync.WaitGroup
 	for r := range t.sessions {
@@ -401,12 +568,21 @@ func (t *Tenant) Run(fn func(rank int, s *gca.Session) error) error {
 		}(r)
 	}
 	wg.Wait()
+	var first error
 	for r, err := range errs {
 		if err != nil {
-			return fmt.Errorf("svc: tenant %s rank %d: %w", t.id, r, err)
+			first = fmt.Errorf("svc: tenant %s rank %d: %w", t.id, r, err)
+			break
 		}
 	}
-	return nil
+	t.breakerRecord(first)
+	if first != nil {
+		s := t.srv
+		s.mu.Lock()
+		s.deadCheckLocked(t.hw)
+		s.mu.Unlock()
+	}
+	return first
 }
 
 // Snapshot returns the tenant's telemetry under its identity labels.

@@ -1,0 +1,223 @@
+package faulty
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Connection-level fault injection — the wire chaos under the op-level
+// budgets in this package. A Net wraps real dials (tcp.Options.Dialer
+// accepts its Dialer directly) and injects the failure modes a production
+// link actually exhibits:
+//
+//   - dial refusal: the connection never establishes (listener down,
+//     SYN dropped) — ErrDialRefused at dial time.
+//   - handshake drop: the connection establishes and dies before a byte
+//     moves — the peer sees an immediate EOF mid-hello.
+//   - mid-stream reset: the connection carries a random (seeded) number
+//     of bytes, then resets — both ends see a hard failure at an
+//     arbitrary protocol point.
+//   - asymmetric partition: outbound writes black-hole (succeed locally,
+//     deliver nothing) and new dials refuse, while inbound traffic still
+//     flows — the classic one-way link failure that only liveness
+//     monitoring can detect.
+//   - slow link: reads and writes are throttled to a byte rate, widening
+//     every race window without changing any outcome.
+//
+// All randomness derives from NetOptions.Seed, so a failing chaos run
+// replays from its seed. Injected errors wrap ErrInjected.
+
+// Errors injected by a Net, all wrapping ErrInjected.
+var (
+	ErrDialRefused = fmt.Errorf("%w: dial refused", ErrInjected)
+	ErrConnReset   = fmt.Errorf("%w: connection reset", ErrInjected)
+)
+
+// NetOptions configures a Net. Zero values inject nothing.
+type NetOptions struct {
+	// Seed fixes the random stream behind every probabilistic decision.
+	Seed int64
+	// DialRefuseProb refuses each outbound dial with this probability.
+	DialRefuseProb float64
+	// HandshakeDropProb closes each new connection before any byte moves.
+	HandshakeDropProb float64
+	// ResetProb gives each connection, with this probability, a byte
+	// budget drawn uniformly from [ResetMinBytes, ResetMaxBytes]; the
+	// first read or write past the budget closes the connection and
+	// surfaces ErrConnReset.
+	ResetProb float64
+	// ResetMinBytes and ResetMaxBytes bound the reset budget (defaults
+	// 1 and 4096).
+	ResetMinBytes, ResetMaxBytes int
+	// ThrottleBytesPerSec caps the link rate (0: unthrottled).
+	ThrottleBytesPerSec int
+}
+
+// Net is a seeded connection-fault injector. Plug its Dialer into
+// tcp.Options.Dialer; every connection it creates carries the configured
+// faults. Safe for concurrent use.
+type Net struct {
+	opts NetOptions
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partitioned atomic.Bool
+	dials       atomic.Int64
+	resets      atomic.Int64
+	refusals    atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[*chaosConn]struct{}
+}
+
+// NewNet builds a connection-fault injector from seeded options.
+func NewNet(o NetOptions) *Net {
+	if o.ResetMinBytes <= 0 {
+		o.ResetMinBytes = 1
+	}
+	if o.ResetMaxBytes < o.ResetMinBytes {
+		o.ResetMaxBytes = o.ResetMinBytes + 4096
+	}
+	return &Net{
+		opts:  o,
+		rng:   rand.New(rand.NewSource(o.Seed)),
+		conns: map[*chaosConn]struct{}{},
+	}
+}
+
+func (n *Net) draw() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64()
+}
+
+func (n *Net) drawBudget() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	span := n.opts.ResetMaxBytes - n.opts.ResetMinBytes
+	return int64(n.opts.ResetMinBytes + n.rng.Intn(span+1))
+}
+
+// Partition toggles the asymmetric partition: while on, new dials refuse
+// and writes on existing connections black-hole (deliver nothing while
+// reporting success), but inbound traffic keeps flowing — the peer's only
+// evidence is silence. The liveness monitor's case.
+func (n *Net) Partition(on bool) { n.partitioned.Store(on) }
+
+// Stats reports (dials attempted, dials refused, connections reset).
+func (n *Net) Stats() (dials, refused, resets int64) {
+	return n.dials.Load(), n.refusals.Load(), n.resets.Load()
+}
+
+// Dialer returns a dial function carrying the configured faults —
+// the value for tcp.Options.Dialer.
+func (n *Net) Dialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		n.dials.Add(1)
+		if n.partitioned.Load() {
+			n.refusals.Add(1)
+			return nil, fmt.Errorf("%w (partitioned, %s)", ErrDialRefused, addr)
+		}
+		if p := n.opts.DialRefuseProb; p > 0 && n.draw() < p {
+			n.refusals.Add(1)
+			return nil, fmt.Errorf("%w (%s)", ErrDialRefused, addr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if p := n.opts.HandshakeDropProb; p > 0 && n.draw() < p {
+			conn.Close()
+			n.resets.Add(1)
+			return nil, fmt.Errorf("%w (handshake drop, %s)", ErrConnReset, addr)
+		}
+		return n.wrap(conn), nil
+	}
+}
+
+// wrap returns conn carrying this net's mid-stream faults.
+func (n *Net) wrap(conn net.Conn) net.Conn {
+	c := &chaosConn{Conn: conn, net: n, budget: -1}
+	if p := n.opts.ResetProb; p > 0 && n.draw() < p {
+		c.budget = n.drawBudget()
+	}
+	n.connMu.Lock()
+	n.conns[c] = struct{}{}
+	n.connMu.Unlock()
+	return c
+}
+
+func (n *Net) drop(c *chaosConn) {
+	n.connMu.Lock()
+	delete(n.conns, c)
+	n.connMu.Unlock()
+}
+
+// chaosConn is one connection under a Net's fault regime. The byte budget
+// is shared between directions so the reset lands at one deterministic
+// stream offset per seeded draw.
+type chaosConn struct {
+	net.Conn
+	net    *Net
+	mu     sync.Mutex
+	budget int64 // bytes until injected reset; -1 = never
+	done   bool
+}
+
+// spend consumes budget for nb transferred bytes; it reports whether the
+// connection should now reset.
+func (c *chaosConn) spend(nb int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget < 0 || c.done {
+		return false
+	}
+	c.budget -= int64(nb)
+	if c.budget < 0 {
+		c.done = true
+		return true
+	}
+	return false
+}
+
+func (c *chaosConn) throttle(nb int) {
+	if rate := c.net.opts.ThrottleBytesPerSec; rate > 0 && nb > 0 {
+		time.Sleep(time.Duration(float64(nb) / float64(rate) * float64(time.Second)))
+	}
+}
+
+func (c *chaosConn) Read(b []byte) (int, error) {
+	nb, err := c.Conn.Read(b)
+	c.throttle(nb)
+	if err == nil && c.spend(nb) {
+		c.net.resets.Add(1)
+		c.Conn.Close()
+		return nb, fmt.Errorf("%w (read)", ErrConnReset)
+	}
+	return nb, err
+}
+
+func (c *chaosConn) Write(b []byte) (int, error) {
+	if c.net.partitioned.Load() {
+		// Black-hole: report success, deliver nothing. The peer's
+		// monitor sees only silence.
+		return len(b), nil
+	}
+	c.throttle(len(b))
+	if c.spend(len(b)) {
+		c.net.resets.Add(1)
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w (write)", ErrConnReset)
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *chaosConn) Close() error {
+	c.net.drop(c)
+	return c.Conn.Close()
+}

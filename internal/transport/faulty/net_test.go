@@ -1,0 +1,153 @@
+package faulty
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes bytes back until EOF.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestNetDialRefusal(t *testing.T) {
+	ln := echoListener(t)
+	n := NewNet(NetOptions{Seed: 1, DialRefuseProb: 1})
+	_, err := n.Dialer()(ln.Addr().String(), time.Second)
+	if !errors.Is(err, ErrDialRefused) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrDialRefused wrapping ErrInjected, got %v", err)
+	}
+	dials, refused, _ := n.Stats()
+	if dials != 1 || refused != 1 {
+		t.Fatalf("stats dials=%d refused=%d", dials, refused)
+	}
+}
+
+func TestNetHandshakeDrop(t *testing.T) {
+	ln := echoListener(t)
+	n := NewNet(NetOptions{Seed: 1, HandshakeDropProb: 1})
+	_, err := n.Dialer()(ln.Addr().String(), time.Second)
+	if !errors.Is(err, ErrConnReset) {
+		t.Fatalf("want ErrConnReset, got %v", err)
+	}
+}
+
+func TestNetMidStreamReset(t *testing.T) {
+	ln := echoListener(t)
+	n := NewNet(NetOptions{Seed: 7, ResetProb: 1, ResetMinBytes: 8, ResetMaxBytes: 8})
+	conn, err := n.Dialer()(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Budget is 8 bytes shared across directions; the write that crosses
+	// it must surface a reset.
+	var resetErr error
+	for i := 0; i < 4; i++ {
+		if _, err := conn.Write(make([]byte, 4)); err != nil {
+			resetErr = err
+			break
+		}
+	}
+	if !errors.Is(resetErr, ErrConnReset) {
+		t.Fatalf("want mid-stream ErrConnReset, got %v", resetErr)
+	}
+	if _, _, resets := n.Stats(); resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+}
+
+func TestNetDeterministicFromSeed(t *testing.T) {
+	draw := func(seed int64) []bool {
+		n := NewNet(NetOptions{Seed: seed, DialRefuseProb: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = n.draw() < 0.5
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNetPartitionBlackholesWrites(t *testing.T) {
+	ln := echoListener(t)
+	n := NewNet(NetOptions{Seed: 3})
+	conn, err := n.Dialer()(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Healthy first: a write round-trips through the echo server.
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo failed: %q %v", buf, err)
+	}
+
+	n.Partition(true)
+	// Writes report success but deliver nothing; a read only sees silence.
+	if nb, err := conn.Write([]byte("lost")); err != nil || nb != 4 {
+		t.Fatalf("partitioned write: nb=%d err=%v", nb, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read got data through an outbound partition")
+	}
+	// New dials refuse while partitioned.
+	if _, err := n.Dialer()(ln.Addr().String(), time.Second); !errors.Is(err, ErrDialRefused) {
+		t.Fatalf("partitioned dial: %v", err)
+	}
+
+	n.Partition(false)
+	conn.SetReadDeadline(time.Time{})
+	if _, err := conn.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "back" {
+		t.Fatalf("post-heal echo failed: %q %v", buf, err)
+	}
+}
+
+func TestNetThrottle(t *testing.T) {
+	ln := echoListener(t)
+	n := NewNet(NetOptions{Seed: 1, ThrottleBytesPerSec: 64 * 1024})
+	conn, err := n.Dialer()(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write(make([]byte, 16*1024)); err != nil {
+		t.Fatal(err)
+	}
+	// 16 KiB at 64 KiB/s ≈ 250ms; allow generous slack below that floor.
+	if el := time.Since(start); el < 100*time.Millisecond {
+		t.Fatalf("throttled write finished in %v, want >= 100ms", el)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"exacoll/internal/comm"
 )
 
 // Hello kinds (protocol v3). A world hello is one rank of a known world
@@ -24,6 +26,7 @@ const (
 	statusWrongEpoch = 1 // the presented epoch is already retired
 	statusBusy       = 2 // join queue full (admission control)
 	statusAdmit      = 3 // join granted: (epoch, rank, size) ticket follows
+	statusRetry      = 4 // parked past deadline or transition aborted: retry
 )
 
 // Errors surfaced by epoch-keyed rendezvous and join admission.
@@ -68,6 +71,8 @@ func readStatus(conn net.Conn, epoch uint64) error {
 		return fmt.Errorf("%w (epoch %d)", ErrWrongEpoch, epoch)
 	case statusBusy:
 		return ErrBusy
+	case statusRetry:
+		return fmt.Errorf("%w (epoch %d)", ErrBounced, epoch)
 	default:
 		return fmt.Errorf("tcp: unexpected rendezvous status %d", binary.LittleEndian.Uint32(sb[:]))
 	}
@@ -93,16 +98,24 @@ type Ticket struct {
 
 // parkedHello is one world hello waiting for its epoch's formation.
 type parkedHello struct {
-	conn net.Conn
-	addr string
+	conn  net.Conn
+	addr  string
+	since time.Time // when it parked — the admission-deadline clock
 }
 
 // JoinRequest is a parked join hello: an outsider holding a connection
 // open, waiting to be admitted into a future world formation or bounced.
 type JoinRequest struct {
 	conn    net.Conn
+	opts    Options
 	replied bool
+	bounced bool
 }
+
+// Bounced reports whether the request was answered with a retryable
+// bounce (an injected admission fault) rather than a ticket — the joiner
+// is already retrying, so its rank slot may be reused.
+func (j *JoinRequest) Bounced() bool { return j.bounced }
 
 // Admit grants the join: the ticket travels back on the held connection
 // and the connection closes (the joiner re-dials as a world member when it
@@ -110,6 +123,14 @@ type JoinRequest struct {
 func (j *JoinRequest) Admit(t Ticket, timeout time.Duration) error {
 	if j.replied {
 		return fmt.Errorf("tcp: join request already answered")
+	}
+	if err := j.opts.step("anchor.admit", t.Epoch, 0, t.Rank); err != nil {
+		// The admission step failed: bounce the joiner retryably so it
+		// re-requests instead of parking against a ticket never sent.
+		j.replied, j.bounced = true, true
+		writeStatus(j.conn, statusRetry, time.Now().Add(2*time.Second))
+		j.conn.Close()
+		return err
 	}
 	j.replied = true
 	defer j.conn.Close()
@@ -143,22 +164,23 @@ func (j *JoinRequest) Reject() {
 // size, and the epoch to rendezvous at.
 func RequestJoin(addr string, opts Options) (Ticket, error) {
 	deadline := time.Now().Add(opts.timeout())
-	var conn net.Conn
-	var err error
-	for {
-		conn, err = net.DialTimeout("tcp", addr, time.Until(deadline))
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return Ticket{}, fmt.Errorf("tcp: dial anchor: %w", err)
-		}
-		time.Sleep(50 * time.Millisecond)
+	if err := opts.step("join.dial", 0, -1, 0); err != nil {
+		return Ticket{}, err
+	}
+	conn, err := opts.dialRetry(addr, deadline)
+	if err != nil {
+		return Ticket{}, fmt.Errorf("tcp: dial anchor: %w", err)
 	}
 	defer conn.Close()
 	conn.SetDeadline(deadline)
+	if err := opts.step("join.hello", 0, -1, 0); err != nil {
+		return Ticket{}, err
+	}
 	if err := writeHello(conn, helloJoin, 0, 0, ""); err != nil {
 		return Ticket{}, fmt.Errorf("tcp: join hello: %w", err)
+	}
+	if err := opts.step("join.ticket", 0, -1, 0); err != nil {
+		return Ticket{}, err
 	}
 	var sb [4]byte
 	if _, err := io.ReadFull(conn, sb[:]); err != nil {
@@ -177,6 +199,10 @@ func RequestJoin(addr string, opts Options) (Ticket, error) {
 		}, nil
 	case statusBusy:
 		return Ticket{}, ErrBusy
+	case statusRetry:
+		return Ticket{}, fmt.Errorf("%w (join request aged out)", ErrBounced)
+	case statusWrongEpoch:
+		return Ticket{}, fmt.Errorf("%w (join raced a membership change)", ErrWrongEpoch)
 	default:
 		return Ticket{}, fmt.Errorf("tcp: unexpected join status %d", binary.LittleEndian.Uint32(sb[:]))
 	}
@@ -200,31 +226,109 @@ type Anchor struct {
 	kick  chan struct{}
 	stop  chan struct{}
 
-	mu     sync.Mutex
-	world  map[uint64]map[int]parkedHello
-	doneTo uint64 // epochs <= doneTo (when any) are retired
-	hasRun bool
-	closed bool
+	mu      sync.Mutex
+	world   map[uint64]map[int]parkedHello
+	doneTo  uint64 // epochs <= doneTo (when any) are retired
+	hasRun  bool
+	closed  bool
+	forming uint64 // epoch with a Rendezvous in flight (admission-deadline exempt)
+	inForm  bool
+}
+
+// AnchorState is the anchor's persistent rendezvous position: which
+// epochs are retired. A restarted anchor seeded with the state of its
+// previous incarnation answers stale-epoch dials with wrong-epoch instead
+// of parking them against a formation that already happened, and forms
+// its next world at the right epoch — the recovery path for an anchor
+// process that crashed and came back, or for a survivor promoted to
+// anchor duty after rank 0 died.
+type AnchorState struct {
+	DoneTo uint64 `json:"done_to"`
+	HasRun bool   `json:"has_run"`
 }
 
 // NewAnchor opens the persistent rendezvous listener. joinCap bounds the
 // admission queue: further join requests are answered Busy immediately
 // (0 disables joining — the one-shot Rendezvous case).
 func NewAnchor(addr string, joinCap int, opts Options) (*Anchor, error) {
+	return NewAnchorWithState(addr, joinCap, opts, AnchorState{})
+}
+
+// NewAnchorWithState opens the rendezvous listener resuming from a
+// persisted position — the anchor-recovery entry point. A zero state is a
+// fresh anchor.
+func NewAnchorWithState(addr string, joinCap int, opts Options, st AnchorState) (*Anchor, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcp: listen: %w", err)
 	}
 	a := &Anchor{
-		ln:    ln,
-		opts:  opts,
-		joinQ: make(chan *JoinRequest, joinCap),
-		kick:  make(chan struct{}, 1),
-		stop:  make(chan struct{}),
-		world: make(map[uint64]map[int]parkedHello),
+		ln:     ln,
+		opts:   opts,
+		joinQ:  make(chan *JoinRequest, joinCap),
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		world:  make(map[uint64]map[int]parkedHello),
+		doneTo: st.DoneTo,
+		hasRun: st.HasRun,
 	}
 	go a.acceptLoop()
+	if d := opts.admitDeadline(); d > 0 {
+		go a.janitorLoop(d)
+	}
 	return a, nil
+}
+
+// State snapshots the anchor's rendezvous position for persistence.
+func (a *Anchor) State() AnchorState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AnchorState{DoneTo: a.doneTo, HasRun: a.hasRun}
+}
+
+// janitorLoop enforces the admission deadline: a world hello parked
+// longer than d — an admitted joiner whose formation never ran, or a
+// survivor of an abandoned transition — is bounced with a retryable
+// status instead of holding its connection (and its ticket's rank slot)
+// forever. Hellos at the epoch currently being formed are exempt: their
+// wait is bounded by the formation's own timeout.
+func (a *Anchor) janitorLoop(d time.Duration) {
+	interval := d / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var expired []parkedHello
+		a.mu.Lock()
+		for e, ranks := range a.world {
+			if a.inForm && e == a.forming {
+				continue
+			}
+			for r, ph := range ranks {
+				if now.Sub(ph.since) > d {
+					expired = append(expired, ph)
+					delete(ranks, r)
+				}
+			}
+			if len(ranks) == 0 {
+				delete(a.world, e)
+			}
+		}
+		a.mu.Unlock()
+		deadline := now.Add(2 * time.Second)
+		for _, ph := range expired {
+			writeStatus(ph.conn, statusRetry, deadline)
+			ph.conn.Close()
+		}
+	}
 }
 
 // Addr returns the listener's concrete address (useful with ":0").
@@ -294,14 +398,14 @@ func (a *Anchor) handleConn(conn net.Conn) {
 		if old, dup := ranks[rank]; dup {
 			old.conn.Close() // reconnect replaces the stale parked dial
 		}
-		ranks[rank] = parkedHello{conn: conn, addr: string(ab)}
+		ranks[rank] = parkedHello{conn: conn, addr: string(ab), since: time.Now()}
 		a.mu.Unlock()
 		select {
 		case a.kick <- struct{}{}:
 		default:
 		}
 	case helloJoin:
-		req := &JoinRequest{conn: conn}
+		req := &JoinRequest{conn: conn, opts: a.opts}
 		select {
 		case a.joinQ <- req:
 			conn.SetDeadline(time.Time{}) // parked until the owner answers
@@ -322,6 +426,9 @@ func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("tcp: bad world size %d", p)
 	}
+	if err := a.opts.step("anchor.rv.begin", epoch, 0, -1); err != nil {
+		return nil, err
+	}
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
@@ -331,7 +438,13 @@ func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
 		a.mu.Unlock()
 		return nil, fmt.Errorf("%w (epoch %d)", ErrWrongEpoch, epoch)
 	}
+	a.forming, a.inForm = epoch, true
 	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.inForm = false
+		a.mu.Unlock()
+	}()
 	if p == 1 {
 		proc := newProc(0, 1)
 		proc.keyHosts([]string{hostOf(a.Addr())})
@@ -360,8 +473,12 @@ func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
 		select {
 		case <-a.kick:
 		case <-timer.C:
-			return nil, fmt.Errorf("tcp: rendezvous epoch %d timed out (have %d of %d members)",
-				epoch, a.parkedCount(epoch)+1, p)
+			// Not every member showed up: the missing ones are failing their
+			// own rendezvous, so this formation may simply be retried —
+			// classify as a timeout, which membership-change retry loops
+			// treat as transient.
+			return nil, fmt.Errorf("%w: rendezvous epoch %d (have %d of %d members)",
+				comm.ErrTimeout, epoch, a.parkedCount(epoch)+1, p)
 		case <-a.stop:
 			return nil, fmt.Errorf("tcp: anchor closed")
 		}
@@ -391,7 +508,11 @@ func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
 	for r := 1; r < p; r++ {
 		conn := joiners[r].conn
 		conn.SetWriteDeadline(deadline)
-		if _, err := conn.Write(reply); err != nil {
+		err := a.opts.step("anchor.rv.reply", epoch, 0, r)
+		if err == nil {
+			_, err = conn.Write(reply)
+		}
+		if err != nil {
 			for _, ph := range joiners {
 				ph.conn.Close()
 			}
@@ -430,6 +551,43 @@ func (a *Anchor) retire(epoch uint64) {
 			ph.conn.Close()
 		}
 		delete(a.world, e)
+	}
+}
+
+// AbortEpoch abandons a half-formed transition: every hello parked at an
+// epoch <= e is bounced with a retryable status — survivors re-enter
+// their membership change from the top, admitted joiners re-request
+// admission — and e is retired, so stragglers re-dialing it are answered
+// instead of parking against a formation that will never run. The
+// anchor's owner calls this when it abandons a transition whose tickets
+// named a geometry that can no longer form (a joiner died holding one, a
+// survivor count changed between attempts). No-op for epochs already
+// retired.
+func (a *Anchor) AbortEpoch(e uint64) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	if !a.hasRun || e > a.doneTo {
+		a.hasRun = true
+		a.doneTo = e
+	}
+	var bounced []parkedHello
+	for ep, ranks := range a.world {
+		if ep > a.doneTo {
+			continue
+		}
+		for _, ph := range ranks {
+			bounced = append(bounced, ph)
+		}
+		delete(a.world, ep)
+	}
+	a.mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for _, ph := range bounced {
+		writeStatus(ph.conn, statusRetry, deadline)
+		ph.conn.Close()
 	}
 }
 

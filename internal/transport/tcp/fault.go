@@ -1,0 +1,141 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Step identifies one protocol boundary of rendezvous, join admission, or
+// mesh formation — the granularity at which the chaos layer injects
+// failures. Every boundary the elastic lifecycle crosses is named, so a
+// fault sweep can place exactly one failure at each and assert the
+// transition either completes or fails retryably.
+type Step struct {
+	// Point names the boundary, e.g. "rv.dial", "anchor.rv.reply",
+	// "join.ticket". The full set is whatever the current protocol
+	// crosses; chaos tests discover it by counting a fault-free run.
+	Point string
+	// Epoch is the membership epoch the step serves (0 when unknown).
+	Epoch uint64
+	// Rank is the acting rank (-1 when not yet assigned — a joiner).
+	Rank int
+	// Peer is the remote rank involved (-1 for none/unknown).
+	Peer int
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("%s(epoch=%d rank=%d peer=%d)", s.Point, s.Epoch, s.Rank, s.Peer)
+}
+
+// FaultHook observes every protocol step before it executes; a non-nil
+// return aborts the step with that error. Hooks must be safe for
+// concurrent use (rendezvous runs protocol steps from several goroutines).
+type FaultHook func(Step) error
+
+// hookErr marks an error as injected by the fault hook, so retry loops
+// can tell a deliberate fault (fail now — the sweep is measuring this
+// boundary) from an organic connection error (redial). It is transparent
+// to errors.Is/As via Unwrap.
+type hookErr struct{ err error }
+
+func (e hookErr) Error() string { return e.err.Error() }
+func (e hookErr) Unwrap() error { return e.err }
+
+// isHookErr reports whether err came from the fault hook.
+func isHookErr(err error) bool {
+	var he hookErr
+	return errors.As(err, &he)
+}
+
+// step consults the configured hook at one protocol boundary.
+func (o Options) step(point string, epoch uint64, rank, peer int) error {
+	if o.Hook == nil {
+		return nil
+	}
+	if err := o.Hook(Step{Point: point, Epoch: epoch, Rank: rank, Peer: peer}); err != nil {
+		return hookErr{err}
+	}
+	return nil
+}
+
+// ErrBounced reports a rendezvous or join attempt the anchor answered
+// with a retryable bounce: the hello was parked past its admission
+// deadline, or the transition it belonged to was aborted. The dialer
+// should back off and retry from the top (a joiner re-requests admission;
+// a member re-runs its membership change).
+var ErrBounced = errors.New("tcp: rendezvous bounced; retry")
+
+// Retryable reports whether a rendezvous/join error is transient — the
+// caller may back off and retry the whole operation. Wrong-epoch answers
+// count: the dialer raced a membership change and retrying re-learns the
+// current epoch (elastic joiners re-request admission; members re-agree).
+func Retryable(err error) bool {
+	return errors.Is(err, ErrBounced) || errors.Is(err, ErrBusy) || errors.Is(err, ErrWrongEpoch)
+}
+
+// Dial parameters: bounded exponential backoff with jitter between
+// redial attempts, so a thundering herd of rendezvousing ranks does not
+// hammer an anchor that is down or restarting.
+const (
+	dialBackoffBase = 25 * time.Millisecond
+	dialBackoffMax  = time.Second
+)
+
+// backoffDelay returns the sleep before redial attempt (attempt counts
+// from 0): min(base<<attempt, max), jittered to [50%, 100%] of that.
+func backoffDelay(attempt int) time.Duration {
+	d := dialBackoffBase
+	for i := 0; i < attempt && d < dialBackoffMax; i++ {
+		d *= 2
+	}
+	if d > dialBackoffMax {
+		d = dialBackoffMax
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// JoinBackoff returns the jittered sleep before retry attempt (counted
+// from 0) of a higher-level join or membership-change operation — the
+// same bounded-exponential curve the transport uses between redials, so
+// every retry loop in the stack thunders at the same civilized rate.
+func JoinBackoff(attempt int) time.Duration { return backoffDelay(attempt) }
+
+// dialOne performs one dial attempt through the configured dialer.
+func (o Options) dialOne(addr string, timeout time.Duration) (net.Conn, error) {
+	if o.Dialer != nil {
+		return o.Dialer(addr, timeout)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// dialRetry dials addr until success or deadline, backing off between
+// attempts. The rendezvous pattern: listeners come and go across anchor
+// restarts and membership changes, so refusal is retried, not fatal.
+func (o Options) dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("deadline exceeded")
+			}
+			return nil, fmt.Errorf("tcp: dial %s: %w", addr, lastErr)
+		}
+		conn, err := o.dialOne(addr, remain)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		delay := backoffDelay(attempt)
+		if rest := time.Until(deadline); delay > rest {
+			delay = rest
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+}

@@ -63,6 +63,21 @@ type Options struct {
 	// dial from a retired epoch is answered with a wrong-epoch status
 	// instead of wedging the mesh). 0 — the default — is the first world.
 	Epoch uint64
+	// AdmitDeadline bounds how long a world hello may stay parked at an
+	// anchor before it is bounced with a retryable status (the admitted
+	// joiner whose formation never ran, the survivor of an aborted
+	// transition). 0 selects the default (2 × Timeout); a negative value
+	// disables the deadline. Epochs with a formation in flight are exempt.
+	AdmitDeadline time.Duration
+	// Hook, when non-nil, is consulted at every rendezvous/join/admission
+	// protocol boundary before the step executes; a non-nil return aborts
+	// the step with that error. The chaos layer's injection point —
+	// production configurations leave it nil.
+	Hook FaultHook
+	// Dialer replaces net.DialTimeout for every outbound rendezvous and
+	// mesh dial, so connection-level fault injectors (transport/faulty's
+	// Net) can refuse, reset, partition, or throttle real TCP links.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (o Options) timeout() time.Duration {
@@ -91,6 +106,16 @@ func (o Options) suspectAfter() time.Duration {
 		return o.SuspectAfter
 	}
 	return 4 * hb
+}
+
+func (o Options) admitDeadline() time.Duration {
+	if o.AdmitDeadline < 0 {
+		return 0
+	}
+	if o.AdmitDeadline == 0 {
+		return 2 * o.timeout()
+	}
+	return o.AdmitDeadline
 }
 
 // Proc is one rank's endpoint in a TCP world. It implements comm.Comm,
@@ -179,64 +204,85 @@ func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
 		return a.Rendezvous(p, opts.Epoch)
 	}
 	proc := newProc(rank, p)
-	if err := proc.join(addr, opts.Epoch, time.Now().Add(opts.timeout())); err != nil {
+	if err := proc.join(addr, opts, time.Now().Add(opts.timeout())); err != nil {
+		proc.closeConns()
 		return nil, err
 	}
 	proc.startLoops(opts)
 	return proc, nil
 }
 
+// closeConns tears down whatever connections a failed join left behind,
+// so an aborted formation leaks no sockets.
+func (p *Proc) closeConns() {
+	for _, c := range p.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
 // join is a non-zero rank's rendezvous: open a mesh listener, dial the
 // coordinator, send a world hello (version, kind, rank, epoch, mesh
 // address), read the status + address list, then dial every lower-ranked
-// peer and accept every higher-ranked one.
-func (p *Proc) join(addr string, epoch uint64, deadline time.Time) error {
+// peer and accept every higher-ranked one. Every dial backs off with
+// jitter until the deadline, and every protocol boundary consults the
+// fault hook, so a chaos sweep can fail the formation at any point.
+func (p *Proc) join(addr string, opts Options, deadline time.Time) error {
+	epoch := opts.Epoch
+	// The coordinator handshake retries through connection-level failure
+	// (handshake drops, resets before the address list) until the
+	// deadline: a redial re-parks an identical hello and the anchor's
+	// dup-replace keeps that idempotent. Protocol answers — wrong-epoch,
+	// busy, bounce — and injected hook faults return immediately.
 	var conn0 net.Conn
-	var err error
-	for {
-		conn0, err = net.DialTimeout("tcp", addr, time.Until(deadline))
-		if err == nil {
-			break
+	var mesh net.Listener
+	var addrs []string
+	for attempt := 0; ; attempt++ {
+		if err := opts.step("rv.dial", epoch, p.rank, 0); err != nil {
+			return err
 		}
-		if time.Now().After(deadline) {
+		c, err := opts.dialRetry(addr, deadline)
+		if err != nil {
 			return fmt.Errorf("tcp: dial rank 0: %w", err)
 		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	// Bind the mesh listener on the interface that reaches rank 0, so the
-	// advertised address works across hosts and carries the host string
-	// that locality keying groups ranks by (on one host this is the
-	// loopback address, exactly as before).
-	mesh, err := net.Listen("tcp", net.JoinHostPort(hostOf(conn0.LocalAddr().String()), "0"))
-	if err != nil {
-		conn0.Close()
-		return fmt.Errorf("tcp: mesh listen: %w", err)
-	}
-	defer mesh.Close()
-	conn0.SetDeadline(deadline)
-	if err := writeHello(conn0, helloWorld, p.rank, epoch, mesh.Addr().String()); err != nil {
-		conn0.Close()
-		return fmt.Errorf("tcp: hello: %w", err)
-	}
-	if err := readStatus(conn0, epoch); err != nil {
-		conn0.Close()
-		return err
-	}
-	addrs := make([]string, p.size) // addrs[0] unused
-	for r := 1; r < p.size; r++ {
-		var l [4]byte
-		if _, err := io.ReadFull(conn0, l[:]); err != nil {
-			conn0.Close()
-			return fmt.Errorf("tcp: address list: %w", err)
+		// Bind the mesh listener on the interface that reaches rank 0, so
+		// the advertised address works across hosts and carries the host
+		// string that locality keying groups ranks by (on one host this is
+		// the loopback address, exactly as before).
+		if mesh == nil {
+			mesh, err = net.Listen("tcp", net.JoinHostPort(hostOf(c.LocalAddr().String()), "0"))
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("tcp: mesh listen: %w", err)
+			}
+			defer mesh.Close()
 		}
-		ab := make([]byte, binary.LittleEndian.Uint32(l[:]))
-		if _, err := io.ReadFull(conn0, ab); err != nil {
-			conn0.Close()
-			return fmt.Errorf("tcp: address list: %w", err)
+		addrs, err = p.anchorHandshake(c, mesh.Addr().String(), opts, deadline)
+		if err == nil {
+			conn0 = c
+			break
 		}
-		addrs[r] = string(ab)
+		c.Close()
+		if isHookErr(err) || errors.Is(err, ErrWrongEpoch) ||
+			errors.Is(err, ErrBusy) || errors.Is(err, ErrBounced) {
+			return err
+		}
+		if time.Until(deadline) <= 0 {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				// Parked at the anchor until the formation deadline ran out:
+				// the formation stalled on some other rank (which is failing
+				// its own rendezvous) and the anchor is aborting this epoch.
+				// Transient — the caller retries the membership change.
+				return fmt.Errorf("%w: rendezvous reply: %v", comm.ErrTimeout, err)
+			}
+			return err
+		}
+		if d := backoffDelay(attempt); d > 0 {
+			time.Sleep(d)
+		}
 	}
-	conn0.SetDeadline(time.Time{})
 	p.conns[0] = conn0
 
 	// Mesh: dial lower ranks (1..rank-1), accept higher ranks. Each mesh
@@ -253,6 +299,10 @@ func (p *Proc) join(addr string, epoch uint64, deadline time.Time) error {
 			if tl, ok := mesh.(*net.TCPListener); ok {
 				tl.SetDeadline(deadline)
 			}
+			if err := opts.step("rv.mesh.accept", epoch, p.rank, -1); err != nil {
+				acceptErr = err
+				return
+			}
 			conn, err := mesh.Accept()
 			if err != nil {
 				acceptErr = err
@@ -261,9 +311,11 @@ func (p *Proc) join(addr string, epoch uint64, deadline time.Time) error {
 			var rb [4]byte
 			conn.SetDeadline(deadline)
 			if _, err := io.ReadFull(conn, rb[:]); err != nil {
-				acceptErr = err
+				// An inbound connection that died before delivering its rank
+				// header (a handshake-dropped or reset dial) is the dialer's
+				// problem — it will redial. Keep accepting.
 				conn.Close()
-				return
+				continue
 			}
 			r := int(binary.LittleEndian.Uint32(rb[:]))
 			if r <= p.rank || r >= p.size {
@@ -280,23 +332,91 @@ func (p *Proc) join(addr string, epoch uint64, deadline time.Time) error {
 			p.conns[r] = conn
 		}
 	}()
+	// On any dial-side failure the accept goroutine must be stopped before
+	// returning — it writes p.conns, which the caller tears down on error.
+	// Closing the listener wakes Accept; a conn mid-header is bounded by its
+	// own deadline.
+	meshFail := func(err error) error {
+		mesh.Close()
+		wg.Wait()
+		return err
+	}
 	for r := 1; r < p.rank; r++ {
-		conn, err := net.DialTimeout("tcp", addrs[r], time.Until(deadline))
-		if err != nil {
-			return fmt.Errorf("tcp: mesh dial %d: %w", r, err)
+		if err := opts.step("rv.mesh.dial", epoch, p.rank, r); err != nil {
+			return meshFail(err)
 		}
-		var rb [4]byte
-		binary.LittleEndian.PutUint32(rb[:], uint32(p.rank))
-		if _, err := conn.Write(rb[:]); err != nil {
-			return fmt.Errorf("tcp: mesh hello to %d: %w", r, err)
+		// Dial + rank header as one retried unit: a write that fails (the
+		// link reset mid-handshake) redials, and the acceptor's dup-replace
+		// keeps the retry idempotent.
+		for attempt := 0; ; attempt++ {
+			conn, err := opts.dialRetry(addrs[r], deadline)
+			if err != nil {
+				return meshFail(fmt.Errorf("tcp: mesh dial %d: %w", r, err))
+			}
+			var rb [4]byte
+			binary.LittleEndian.PutUint32(rb[:], uint32(p.rank))
+			_, werr := conn.Write(rb[:])
+			if werr == nil {
+				p.conns[r] = conn
+				break
+			}
+			conn.Close()
+			if time.Until(deadline) <= 0 {
+				return meshFail(fmt.Errorf("tcp: mesh hello to %d: %w", r, werr))
+			}
+			if d := backoffDelay(attempt); d > 0 {
+				time.Sleep(d)
+			}
 		}
-		p.conns[r] = conn
 	}
 	wg.Wait()
 	if acceptErr != nil {
+		var nerr net.Error
+		if errors.As(acceptErr, &nerr) && nerr.Timeout() {
+			// A higher rank never dialed in before the deadline: the
+			// formation is transient roadkill (that rank is failing its own
+			// rendezvous), so classify it as a timeout the caller may retry.
+			return fmt.Errorf("%w: mesh accept: %v", comm.ErrTimeout, acceptErr)
+		}
 		return fmt.Errorf("tcp: mesh accept: %w", acceptErr)
 	}
 	return nil
+}
+
+// anchorHandshake runs one attempt of the coordinator exchange on an
+// established connection: hello out, status and address list back.
+func (p *Proc) anchorHandshake(conn0 net.Conn, meshAddr string, opts Options, deadline time.Time) ([]string, error) {
+	epoch := opts.Epoch
+	conn0.SetDeadline(deadline)
+	if err := opts.step("rv.hello", epoch, p.rank, 0); err != nil {
+		return nil, err
+	}
+	if err := writeHello(conn0, helloWorld, p.rank, epoch, meshAddr); err != nil {
+		return nil, fmt.Errorf("tcp: hello: %w", err)
+	}
+	if err := opts.step("rv.status", epoch, p.rank, 0); err != nil {
+		return nil, err
+	}
+	if err := readStatus(conn0, epoch); err != nil {
+		return nil, err
+	}
+	if err := opts.step("rv.addrs", epoch, p.rank, 0); err != nil {
+		return nil, err
+	}
+	addrs := make([]string, p.size) // addrs[0] unused
+	for r := 1; r < p.size; r++ {
+		var l [4]byte
+		if _, err := io.ReadFull(conn0, l[:]); err != nil {
+			return nil, fmt.Errorf("tcp: address list: %w", err)
+		}
+		ab := make([]byte, binary.LittleEndian.Uint32(l[:]))
+		if _, err := io.ReadFull(conn0, ab); err != nil {
+			return nil, fmt.Errorf("tcp: address list: %w", err)
+		}
+		addrs[r] = string(ab)
+	}
+	conn0.SetDeadline(time.Time{})
+	return addrs, nil
 }
 
 // heartbeatLoop sends one liveness frame per interval on every connection
