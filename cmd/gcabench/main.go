@@ -229,6 +229,12 @@ func runHotpath(out string, cfg bench.Config) {
 	fmt.Printf("   allreduce 4KiB p=%d: %.0f ns/op, %.0f allocs/op; bcast: %.0f ns/op, %.0f allocs/op\n",
 		rep.P, rep.Metrics.AllreduceSmallNsOp, rep.Metrics.AllreduceSmallAllocs,
 		rep.Metrics.BcastSmallNsOp, rep.Metrics.BcastSmallAllocs)
+	fmt.Printf("   stream 1MiB: mem %.0f, shm %.0f, tcp %.0f, striped tcp %.0f MB/s (%d stripes, %d cpus)\n",
+		rep.Metrics.MemBW1MiBMBps, rep.Metrics.ShmBW1MiBMBps,
+		rep.Metrics.TCPBW1MiBMBps, rep.Metrics.TCPStripedBW1MiBMBps,
+		rep.StripeCount, rep.NumCPU)
+	fmt.Printf("   stripe speedup: %.2fx at 256KiB, %.2fx at 1MiB; tuned allreduce k=%d\n",
+		rep.StripeSpeedup256KiB, rep.StripeSpeedup1MiB, rep.TunedKAtStripes)
 	fmt.Printf("   wrote %s\n", path)
 	if !rep.Pass {
 		for _, f := range rep.Failures {

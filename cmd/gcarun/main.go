@@ -1,6 +1,8 @@
-// Command gcarun runs one collective across real OS processes over TCP —
-// the mpirun-style launcher for the library. Start one process per rank
-// with the same -size and -addr; rank 0 listens, the rest dial in.
+// Command gcarun runs one collective across real OS processes — the
+// mpirun-style launcher for the library. The wire is TCP by default
+// (start one process per rank with the same -size and -addr; rank 0
+// listens, the rest dial in) or intranode shared memory with
+// -transport shm.
 //
 // Example (3 ranks of an allreduce on one host):
 //
@@ -12,6 +14,14 @@
 // the launcher, so a full run is one command:
 //
 //	gcarun -spawn 3 -coll allreduce -alg allreduce_recmul -k 3 -bytes 1024
+//
+// Over shared memory the launcher creates the region file, the ranks
+// attach, and the launcher removes it when the run ends:
+//
+//	gcarun -spawn 8 -transport shm -coll allreduce -alg allreduce_recmul -k 4 -bytes 4096
+//
+// -stripes S opens S parallel TCP connections per peer pair and stripes
+// large messages across them (the multi-port NIC model, §II-B2).
 package main
 
 import (
@@ -34,9 +44,18 @@ import (
 	"exacoll/internal/metrics"
 	"exacoll/internal/osu"
 	"exacoll/internal/topo"
+	"exacoll/internal/transport/shm"
 	"exacoll/internal/transport/tcp"
 	"exacoll/internal/tuning"
 )
+
+// transportComm is the launcher-facing surface of a wire transport: the
+// collective interface plus the lifecycle and locality knobs gcarun sets.
+type transportComm interface {
+	comm.Comm
+	SetLocality(ppn, ports int)
+	Close() error
+}
 
 func main() {
 	rank := flag.Int("rank", -1, "this process's rank (set by -spawn)")
@@ -51,6 +70,9 @@ func main() {
 	ppn := flag.Int("ppn", 0,
 		"ranks per node (synthetic locality): discover a topology map and route bcast/reduce/allgather/allreduce through the hierarchical engine")
 	spawn := flag.Int("spawn", 0, "spawn N local ranks and act as launcher")
+	transport := flag.String("transport", "tcp", "wire transport: tcp (sockets, optional striping) | shm (intranode shared memory)")
+	shmPath := flag.String("shm-path", "", "shm region file (created by -spawn; required when launching shm ranks by hand)")
+	stripes := flag.Int("stripes", 0, "tcp: parallel connections per peer pair; large sends stripe across them")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve HTTP observability endpoints (/metrics Prometheus, /debug/collectives JSON) on this address while running; with -spawn, rank r gets port+r")
 	flightPath := flag.String("flight", "",
@@ -60,7 +82,7 @@ func main() {
 	flag.Parse()
 
 	if *spawn > 0 {
-		launch(*spawn, *metricsAddr, *cpuprofile, *memprofile)
+		launch(*spawn, *transport, *shmPath, *metricsAddr, *cpuprofile, *memprofile)
 		return
 	}
 	if *rank < 0 || *size < 1 {
@@ -113,7 +135,19 @@ func main() {
 		fatal(fmt.Errorf("%s implements %v, not %v", name, alg.Op, op))
 	}
 
-	tc, err := tcp.Rendezvous(*rank, *size, *addr, tcp.Options{Timeout: 30 * time.Second})
+	var tc transportComm
+	switch *transport {
+	case "tcp":
+		tc, err = tcp.Rendezvous(*rank, *size, *addr,
+			tcp.Options{Timeout: 30 * time.Second, Stripes: *stripes})
+	case "shm":
+		if *shmPath == "" {
+			fatal(fmt.Errorf("-transport shm needs -shm-path (or use -spawn, which creates one)"))
+		}
+		tc, err = shm.Attach(*shmPath, *rank, *size, shm.Options{})
+	default:
+		fatal(fmt.Errorf("unknown transport %q (want tcp or shm)", *transport))
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -294,8 +328,11 @@ func metricsAddrForRank(addr string, rank int) string {
 // launch re-executes this binary once per rank with the original flags.
 // Per-rank outputs (metrics endpoint, profiles) get a rank-distinct
 // variant so spawned processes do not clobber each other; the flight dump
-// path is forwarded as-is (only rank 0 writes it).
-func launch(n int, metricsAddr, cpuprofile, memprofile string) {
+// path is forwarded as-is (only rank 0 writes it). Over shared memory the
+// launcher owns the region file: create before the first rank starts,
+// remove after the last exits, so crashed runs leave nothing behind in
+// /dev/shm.
+func launch(n int, transport, shmPath, metricsAddr, cpuprofile, memprofile string) {
 	self, err := os.Executable()
 	if err != nil {
 		fatal(err)
@@ -310,6 +347,14 @@ func launch(n int, metricsAddr, cpuprofile, memprofile string) {
 	})
 	if !flagSet("size") {
 		args = append(args, "-size", strconv.Itoa(n))
+	}
+	ownShm := ""
+	if transport == "shm" && shmPath == "" {
+		ownShm = shm.DefaultPath(fmt.Sprintf("gcarun-%d", os.Getpid()))
+		if err := shm.Create(ownShm, n, shm.Options{}); err != nil {
+			fatal(err)
+		}
+		args = append(args, "-shm-path", ownShm)
 	}
 	procs := make([]*exec.Cmd, n)
 	for r := 0; r < n; r++ {
@@ -337,6 +382,9 @@ func launch(n int, metricsAddr, cpuprofile, memprofile string) {
 			fmt.Fprintf(os.Stderr, "gcarun: rank %d: %v\n", r, err)
 			code = 1
 		}
+	}
+	if ownShm != "" {
+		os.Remove(ownShm)
 	}
 	os.Exit(code)
 }

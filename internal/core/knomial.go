@@ -30,8 +30,13 @@ func BcastKnomial(c comm.Comm, buf []byte, root, k int) error {
 			return err
 		}
 	}
-	children := t.Children(v)
-	reqs := make([]comm.Request, 0, len(children))
+	// Stack-backed scratch keeps the steady-state bcast at zero
+	// allocations per call (32 covers (k-1)·log_k(p) children for every
+	// realistic radix; append spills wider trees to the heap).
+	var childArr [32]Child
+	var reqArr [32]comm.Request
+	children := t.AppendChildren(childArr[:0], v)
+	reqs := reqArr[:0]
 	for _, ch := range children {
 		req, err := c.Isend(absRank(ch.VRank, root, p), tagKnomial, buf)
 		if err != nil {

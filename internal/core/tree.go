@@ -53,16 +53,23 @@ func (t KnomialTree) Parent(v int) int {
 // subtree first, matching MPICH's binomial send order), ascending j within
 // a weight.
 func (t KnomialTree) Children(v int) []Child {
-	var out []Child
+	return t.AppendChildren(nil, v)
+}
+
+// AppendChildren appends v's children to dst in the Children order and
+// returns the extended slice. Passing a stack-backed dst with enough
+// capacity makes the hot path allocation-free; append falls back to the
+// heap transparently for very wide trees (large k).
+func (t KnomialTree) AppendChildren(dst []Child, v int) []Child {
 	for w := t.lowestWeight(v) / t.K; w >= 1; w /= t.K {
 		for j := 1; j < t.K; j++ {
 			c := v + j*w
 			if c < t.P {
-				out = append(out, Child{VRank: c, Weight: w})
+				dst = append(dst, Child{VRank: c, Weight: w})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // SubtreeSize returns the number of vranks in the subtree rooted at v,

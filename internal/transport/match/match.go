@@ -1,0 +1,359 @@
+// Package match implements the (source, tag) FIFO message-matching engine
+// shared by the byte-stream transports (tcp, shm). It reproduces the MPI
+// point-to-point semantics of the in-memory transport — exact (source,
+// tag) matching, FIFO ordering per (source, tag) pair, eager buffering of
+// unexpected messages, per-peer sticky failure — behind an API a
+// demultiplexing reader goroutine can drive.
+//
+// Payload buffers handed to Deliver come from the internal/buf pool and
+// are owned by the engine from that point: they are recycled once copied
+// into a posted receive (or dropped at purge/teardown). DeliverTo is the
+// zero-copy variant for transports whose payload already lives in
+// addressable memory (the shm handoff region): when a receive is already
+// posted, the payload is copied exactly once, straight into the user's
+// buffer, with no pooled staging in between.
+package match
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	scratch "exacoll/internal/buf"
+	"exacoll/internal/comm"
+)
+
+// Engine is one rank's matching state. Failures are tracked per peer so
+// one peer's death does not poison receives still pending from others.
+type Engine struct {
+	mu         sync.Mutex
+	unexpected map[key][][]byte
+	posted     map[key][]*Recv
+	peerErr    map[int]error
+	closed     error
+}
+
+type key struct {
+	src int
+	tag comm.Tag
+}
+
+// Recv is one posted receive. Wait on it through the Request wrapper
+// (Engine.Request) or directly via WaitDone.
+type Recv struct {
+	buf  []byte
+	done chan struct{}
+	n    int
+	err  error
+}
+
+func (r *Recv) wait() error {
+	<-r.done
+	return r.err
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		unexpected: make(map[key][][]byte),
+		posted:     make(map[key][]*Recv),
+		peerErr:    make(map[int]error),
+	}
+}
+
+// Deliver hands an inbound payload — a pool-owned buffer — to its matching
+// receive, or parks it on the unexpected queue. The engine owns the buffer
+// from here: it is recycled once copied into a receive (or dropped).
+func (e *Engine) Deliver(src int, tag comm.Tag, payload []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil || e.peerErr[src] != nil {
+		scratch.Put(payload)
+		return
+	}
+	k := key{src, tag}
+	if prs := e.posted[k]; len(prs) > 0 {
+		pr := prs[0]
+		if len(prs) == 1 {
+			delete(e.posted, k)
+		} else {
+			e.posted[k] = prs[1:]
+		}
+		pr.complete(payload)
+		scratch.Put(payload)
+		return
+	}
+	e.unexpected[k] = append(e.unexpected[k], payload)
+}
+
+// DeliverTo delivers an n-byte message whose payload is produced by read —
+// a callback that must fill exactly its argument (e.g. a copy out of a
+// shared-memory region). When a matching receive is already posted and
+// large enough, read writes straight into the user's buffer: one copy
+// end-to-end. Otherwise the payload is staged in a pooled buffer and
+// parked (or dropped on truncation into the posted receive's error).
+//
+// The caller must invoke DeliverTo for one source from a single goroutine
+// (the transport's per-peer reader), which preserves FIFO per (source,
+// tag). read's error is returned verbatim and fails the receive it was
+// targeting; the caller is expected to tear the peer down in response.
+func (e *Engine) DeliverTo(src int, tag comm.Tag, n int, read func(dst []byte) error) error {
+	k := key{src, tag}
+	e.mu.Lock()
+	if e.closed != nil || e.peerErr[src] != nil {
+		e.mu.Unlock()
+		// Still consume the payload to keep the producer's stream coherent.
+		b := scratch.Get(n)
+		err := read(b)
+		scratch.Put(b)
+		return err
+	}
+	var pr *Recv
+	if prs := e.posted[k]; len(prs) > 0 && len(prs[0].buf) >= n {
+		pr = prs[0]
+		if len(prs) == 1 {
+			delete(e.posted, k)
+		} else {
+			e.posted[k] = prs[1:]
+		}
+	}
+	e.mu.Unlock()
+	if pr != nil {
+		// The receive was unlinked above, so the engine can no longer cancel
+		// or purge it: this fill-then-complete is race-free.
+		if err := read(pr.buf[:n]); err != nil {
+			pr.err = err
+			close(pr.done)
+			return err
+		}
+		pr.n = n
+		close(pr.done)
+		return nil
+	}
+	payload := scratch.Get(n)
+	if err := read(payload); err != nil {
+		scratch.Put(payload)
+		return err
+	}
+	e.Deliver(src, tag, payload)
+	return nil
+}
+
+func (pr *Recv) complete(payload []byte) {
+	if len(payload) > len(pr.buf) {
+		pr.err = fmt.Errorf("%w: have %d bytes, message is %d",
+			comm.ErrTruncated, len(pr.buf), len(payload))
+	} else {
+		copy(pr.buf, payload)
+		pr.n = len(payload)
+	}
+	close(pr.done)
+}
+
+// Post registers a receive into buf, matching an already-buffered message
+// if one exists. Already-buffered messages are deliverable even if the
+// peer has since died (they were "on the wire").
+func (e *Engine) Post(src int, tag comm.Tag, buf []byte) (*Recv, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil {
+		return nil, e.closed
+	}
+	pr := &Recv{buf: buf, done: make(chan struct{})}
+	k := key{src, tag}
+	if msgs := e.unexpected[k]; len(msgs) > 0 {
+		m := msgs[0]
+		if len(msgs) == 1 {
+			delete(e.unexpected, k)
+		} else {
+			e.unexpected[k] = msgs[1:]
+		}
+		pr.complete(m)
+		scratch.Put(m)
+		return pr, nil
+	}
+	if err := e.peerErr[src]; err != nil {
+		return nil, err
+	}
+	e.posted[k] = append(e.posted[k], pr)
+	return pr, nil
+}
+
+// Cancel removes a still-pending posted receive and fails it with err,
+// reporting false when it already completed concurrently (in which case
+// its recorded result stands).
+func (e *Engine) Cancel(src int, tag comm.Tag, pr *Recv, err error) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := key{src, tag}
+	prs := e.posted[k]
+	for i, q := range prs {
+		if q != pr {
+			continue
+		}
+		if len(prs) == 1 {
+			delete(e.posted, k)
+		} else {
+			e.posted[k] = append(prs[:i:i], prs[i+1:]...)
+		}
+		pr.err = err
+		close(pr.done)
+		return true
+	}
+	return false
+}
+
+// PeerError returns the recorded failure of a peer (nil while healthy).
+func (e *Engine) PeerError(peer int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil {
+		return e.closed
+	}
+	return e.peerErr[peer]
+}
+
+// PeerFailed reports whether a peer has a recorded failure.
+func (e *Engine) PeerFailed(peer int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.peerErr[peer] != nil
+}
+
+// FailedPeers lists peers with recorded failures (unordered).
+func (e *Engine) FailedPeers() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []int
+	for peer := range e.peerErr {
+		out = append(out, peer)
+	}
+	return out
+}
+
+// PurgeTags drops buffered messages with tags in [lo, hi) and cancels
+// receives still posted there with ErrTimeout (the quiesce of a retired
+// collective epoch).
+func (e *Engine) PurgeTags(lo, hi comm.Tag) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, msgs := range e.unexpected {
+		if k.tag >= lo && k.tag < hi {
+			for _, m := range msgs {
+				scratch.Put(m)
+			}
+			delete(e.unexpected, k)
+		}
+	}
+	for k, prs := range e.posted {
+		if k.tag < lo || k.tag >= hi {
+			continue
+		}
+		for _, pr := range prs {
+			pr.err = fmt.Errorf("%w: receive purged with its tag window", comm.ErrTimeout)
+			close(pr.done)
+		}
+		delete(e.posted, k)
+	}
+}
+
+// FailPeer marks one peer dead: receives pending on that peer error out,
+// and future posts for it fail, but traffic with other peers continues.
+func (e *Engine) FailPeer(peer int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil || e.peerErr[peer] != nil {
+		return
+	}
+	e.peerErr[peer] = err
+	for k, prs := range e.posted {
+		if k.src != peer {
+			continue
+		}
+		for _, pr := range prs {
+			pr.err = err
+			close(pr.done)
+		}
+		delete(e.posted, k)
+	}
+}
+
+// Fail poisons the whole engine (local Close): all pending and future
+// receives error with err.
+func (e *Engine) Fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed != nil {
+		return
+	}
+	e.closed = err
+	for k, prs := range e.posted {
+		for _, pr := range prs {
+			pr.err = err
+			close(pr.done)
+		}
+		delete(e.posted, k)
+	}
+	for k, msgs := range e.unexpected {
+		for _, m := range msgs {
+			scratch.Put(m)
+		}
+		delete(e.unexpected, k)
+	}
+}
+
+// UnexpectedCount reports how many (source, tag) queues currently hold
+// buffered unexpected messages — a test observability hook.
+func (e *Engine) UnexpectedCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.unexpected)
+}
+
+// Request wraps a posted receive as a comm.Request carrying the per-op
+// timeout captured at post time. It implements comm.Tester.
+func (e *Engine) Request(pr *Recv, src int, tag comm.Tag, timeout time.Duration) comm.Request {
+	return &Req{pr: pr, e: e, src: src, tag: tag, timeout: timeout}
+}
+
+// Req is the comm.Request handle of a posted receive.
+type Req struct {
+	pr      *Recv
+	e       *Engine
+	src     int
+	tag     comm.Tag
+	timeout time.Duration
+}
+
+// Wait implements comm.Request.
+func (r *Req) Wait() error {
+	if r.timeout <= 0 {
+		return r.pr.wait()
+	}
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	select {
+	case <-r.pr.done:
+		return r.pr.err
+	case <-timer.C:
+		terr := fmt.Errorf("%w: no message from rank %d tag %d within %v",
+			comm.ErrTimeout, r.src, r.tag, r.timeout)
+		if r.e.Cancel(r.src, r.tag, r.pr, terr) {
+			return terr
+		}
+		return r.pr.wait()
+	}
+}
+
+// Len implements comm.Request.
+func (r *Req) Len() int { return r.pr.n }
+
+// Test implements comm.Tester: a nonblocking completion poll.
+func (r *Req) Test() (bool, error) {
+	select {
+	case <-r.pr.done:
+		return true, r.pr.err
+	default:
+		return false, nil
+	}
+}

@@ -1,0 +1,163 @@
+// Package shm implements comm.Comm across OS processes on one node over
+// a shared mmap'd region — the intranode transport of the topo
+// composition engine, where the paper's processes-per-node term of the
+// machine model stops being synthetic.
+//
+// The region holds, for every ordered rank pair (s → d), two
+// single-producer/single-consumer byte rings: a small control ring
+// carrying 16-byte frames with inline payloads, and a big handoff ring
+// through which large payloads stream. A per-source reader goroutine on
+// the destination demultiplexes frames into the shared matching engine
+// (internal/transport/match); when a receive is already posted, a large
+// payload is copied exactly once — shared memory straight into the
+// user's buffer (match.Engine.DeliverTo).
+//
+// All cross-process synchronization is lock-free: ring head/tail cursors
+// and per-rank liveness slots are 8-byte words in the region accessed
+// through sync/atomic, so the rings carry proper happens-before edges —
+// visible to the race detector when the region is shared in-process
+// (World) and correct across processes via the same seq-cst atomics.
+//
+// Fencing on process death: every rank owns a liveness slot (state +
+// heartbeat counter). A rank that dies silently stops bumping its
+// heartbeat and is declared dead by the first peer to notice
+// (compare-and-swap on the state word, so all survivors agree); a rank
+// that leaves cleanly marks itself departed. Readers drain everything a
+// dead peer fully published — eager sends were "on the wire" — then
+// surface comm.ErrPeerDead, matching the mem and tcp transports.
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const (
+	// magic stamps an initialized region; the creator stores it last
+	// (atomically), so attachers polling for it never observe a
+	// half-initialized header.
+	magic = uint64(0x47434153484d3031) // "GCASHM01"
+
+	headerBytes = 64  // magic(8) p(4) ringCap(4) bigCap(4) pad
+	slotBytes   = 64  // state(8) heartbeat(8), padded to a cache line
+	ringHdr     = 128 // head(8) and tail(8) on separate cache lines
+
+	// Per-rank liveness states (the state word of a slot).
+	slotEmpty    = 0 // never attached
+	slotAttached = 1
+	slotDeparted = 2 // clean Close: peers drain, then ErrPeerDead
+	slotDead     = 3 // killed, crashed, or declared by staleness CAS
+)
+
+// geometry is the compile-time-independent shape of a region.
+type geometry struct {
+	p       int
+	ringCap int // control ring bytes (power of two)
+	bigCap  int // big handoff ring bytes (power of two)
+}
+
+func (g geometry) pairBytes() int { return 2*ringHdr + g.ringCap + g.bigCap }
+
+func (g geometry) totalBytes() int {
+	return headerBytes + g.p*slotBytes + g.p*g.p*g.pairBytes()
+}
+
+// pairBase returns the offset of ordered pair (s → d)'s region.
+func (g geometry) pairBase(s, d int) int {
+	return headerBytes + g.p*slotBytes + (s*g.p+d)*g.pairBytes()
+}
+
+// region is one mapping of the shared file.
+type region struct {
+	data []byte
+	geo  geometry
+	own  bool // munmap on close (cross-process mappings own theirs)
+}
+
+func (rg *region) slotState(r int) *uint64 {
+	return u64at(rg.data, headerBytes+r*slotBytes)
+}
+
+func (rg *region) slotHB(r int) *uint64 {
+	return u64at(rg.data, headerBytes+r*slotBytes+8)
+}
+
+// ctrl returns the control ring of pair (s → d).
+func (rg *region) ctrl(s, d int) ring {
+	base := rg.geo.pairBase(s, d)
+	return ring{
+		head: u64at(rg.data, base),
+		tail: u64at(rg.data, base+64),
+		data: rg.data[base+ringHdr : base+ringHdr+rg.geo.ringCap],
+	}
+}
+
+// big returns the big handoff ring of pair (s → d).
+func (rg *region) big(s, d int) ring {
+	base := rg.geo.pairBase(s, d) + ringHdr + rg.geo.ringCap
+	return ring{
+		head: u64at(rg.data, base),
+		tail: u64at(rg.data, base+64),
+		data: rg.data[base+ringHdr : base+ringHdr+rg.geo.bigCap],
+	}
+}
+
+func (rg *region) close() {
+	if rg.own && rg.data != nil {
+		syscall.Munmap(rg.data)
+	}
+	rg.data = nil
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// initFile sizes and initializes the region file: geometry header first,
+// magic last. The file must be fresh (all zero).
+func initFile(f *os.File, geo geometry) error {
+	if err := f.Truncate(int64(geo.totalBytes())); err != nil {
+		return fmt.Errorf("shm: truncate: %w", err)
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(geo.p))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(geo.ringCap))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(geo.bigCap))
+	if _, err := f.WriteAt(hdr[8:], 8); err != nil {
+		return fmt.Errorf("shm: write header: %w", err)
+	}
+	binary.LittleEndian.PutUint64(hdr[:8], magic)
+	if _, err := f.WriteAt(hdr[:8], 0); err != nil {
+		return fmt.Errorf("shm: write magic: %w", err)
+	}
+	return nil
+}
+
+// mapFile maps an initialized region file, validating its header.
+func mapFile(f *os.File, wantP int) (*region, error) {
+	var hdr [24]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("shm: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[:8]) != magic {
+		return nil, fmt.Errorf("shm: region not initialized")
+	}
+	geo := geometry{
+		p:       int(binary.LittleEndian.Uint32(hdr[8:])),
+		ringCap: int(binary.LittleEndian.Uint32(hdr[12:])),
+		bigCap:  int(binary.LittleEndian.Uint32(hdr[16:])),
+	}
+	if geo.p < 1 || !isPow2(geo.ringCap) || !isPow2(geo.bigCap) {
+		return nil, fmt.Errorf("shm: corrupt region header (p=%d ring=%d big=%d)",
+			geo.p, geo.ringCap, geo.bigCap)
+	}
+	if wantP > 0 && geo.p != wantP {
+		return nil, fmt.Errorf("shm: region is a %d-rank world, want %d", geo.p, wantP)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, geo.totalBytes(),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("shm: mmap: %w", err)
+	}
+	return &region{data: data, geo: geo, own: true}, nil
+}

@@ -1,0 +1,131 @@
+package shm
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// u64at views an 8-byte-aligned offset of the mapped region as a
+// *uint64 for sync/atomic access. Region layout guarantees 64-byte
+// alignment of every cursor and slot word, and mmap returns
+// page-aligned memory, so the cast is always aligned.
+func u64at(b []byte, off int) *uint64 {
+	return (*uint64)(unsafe.Pointer(&b[off]))
+}
+
+// ring is one single-producer/single-consumer byte stream in the shared
+// region. head is the consumer cursor (bytes consumed), tail the
+// producer cursor (bytes published); both grow monotonically and are
+// never wrapped — the data index is cursor & mask. The producer copies
+// payload first and then atomically advances tail (release), the
+// consumer loads tail (acquire) before reading, so payload bytes are
+// ordered by the cursor atomics for both the hardware and the race
+// detector.
+type ring struct {
+	head *uint64
+	tail *uint64
+	data []byte
+}
+
+// spinBudget is how many empty polls a ring side burns on
+// runtime.Gosched before sleeping. Shared-memory latencies are sub-µs,
+// so a short spin catches the common case; the sleep keeps a blocked
+// collective from melting a core.
+const spinBudget = 64
+
+// backoff yields the scheduler for the first spinBudget rounds, then
+// sleeps with escalation (20µs doubling to ~1.3ms), so an idle world of
+// p·(p-1) reader goroutines costs a trickle of wakeups while an active
+// transfer stays in the spin zone (the round counter resets on every
+// byte of progress). Returns the next round counter.
+func backoff(round int) int {
+	if round < spinBudget {
+		runtime.Gosched()
+	} else {
+		k := (round - spinBudget) / 8
+		if k > 6 {
+			k = 6
+		}
+		time.Sleep(time.Duration(20<<k) * time.Microsecond)
+	}
+	return round + 1
+}
+
+// writeAll publishes all of b into the ring, blocking while the
+// consumer lags. abort is polled while blocked; its error aborts the
+// write mid-stream (the stream is then corrupt — callers must fence the
+// peer, mirroring tcp's sendError contract).
+func (r ring) writeAll(b []byte, abort func() error) error {
+	capacity := uint64(len(r.data))
+	tail := atomic.LoadUint64(r.tail)
+	round := 0
+	for len(b) > 0 {
+		head := atomic.LoadUint64(r.head)
+		space := capacity - (tail - head)
+		if space == 0 {
+			if err := abort(); err != nil {
+				return err
+			}
+			round = backoff(round)
+			continue
+		}
+		round = 0
+		n := uint64(len(b))
+		if n > space {
+			n = space
+		}
+		idx := tail & (capacity - 1)
+		first := capacity - idx
+		if first > n {
+			first = n
+		}
+		copy(r.data[idx:idx+first], b[:first])
+		copy(r.data[:n-first], b[first:n])
+		tail += n
+		atomic.StoreUint64(r.tail, tail)
+		b = b[n:]
+	}
+	return nil
+}
+
+// readFull consumes exactly len(dst) bytes from the ring into dst,
+// blocking while the producer lags. abort is polled while blocked.
+func (r ring) readFull(dst []byte, abort func() error) error {
+	capacity := uint64(len(r.data))
+	head := atomic.LoadUint64(r.head)
+	round := 0
+	for len(dst) > 0 {
+		tail := atomic.LoadUint64(r.tail)
+		avail := tail - head
+		if avail == 0 {
+			if err := abort(); err != nil {
+				return err
+			}
+			round = backoff(round)
+			continue
+		}
+		round = 0
+		n := uint64(len(dst))
+		if n > avail {
+			n = avail
+		}
+		idx := head & (capacity - 1)
+		first := capacity - idx
+		if first > n {
+			first = n
+		}
+		copy(dst[:first], r.data[idx:idx+first])
+		copy(dst[first:n], r.data[:n-first])
+		head += n
+		atomic.StoreUint64(r.head, head)
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// readable reports how many published bytes are waiting (consumer side).
+func (r ring) readable() uint64 {
+	return atomic.LoadUint64(r.tail) - atomic.LoadUint64(r.head)
+}

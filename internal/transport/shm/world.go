@@ -1,0 +1,176 @@
+package shm
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"exacoll/internal/comm"
+)
+
+// World is the in-process harness over the shm transport, mirroring
+// mem.World's surface (NewWorld, Comm, Run, RunAll, Kill, SetLocality,
+// Close) so the same test and benchmark drivers run over real
+// shared-memory rings. All ranks share one mapping of an unlinked
+// region file, which keeps every cross-rank access visible to the race
+// detector — the same code paths a multi-process gcarun run exercises,
+// minus only the process boundary.
+type World struct {
+	rg   *region
+	opts Options
+
+	mu     sync.Mutex
+	procs  []*Proc
+	closed bool
+
+	synPPN   atomic.Int64
+	synPorts atomic.Int64
+	synSet   atomic.Bool
+}
+
+// NewWorld creates a p-rank in-process shared-memory world with
+// test-sized rings (64 KiB control, 1 MiB big per pair).
+func NewWorld(p int) *World {
+	return NewWorldOpts(p, Options{RingBytes: 64 << 10, BigBytes: 1 << 20})
+}
+
+// NewWorldOpts creates a world with explicit options.
+func NewWorldOpts(p int, opts Options) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("shm: world size %d", p))
+	}
+	f, err := os.CreateTemp(tempDir(), "gcashm-world-*")
+	if err != nil {
+		panic(fmt.Sprintf("shm: temp region: %v", err))
+	}
+	path := f.Name()
+	if err := initFile(f, opts.geometry(p)); err != nil {
+		f.Close()
+		os.Remove(path)
+		panic(fmt.Sprintf("shm: init region: %v", err))
+	}
+	rg, err := mapFile(f, p)
+	// The mapping outlives both the descriptor and the directory entry;
+	// unlinking now means no cleanup path can ever leak the file.
+	f.Close()
+	os.Remove(path)
+	if err != nil {
+		panic(fmt.Sprintf("shm: map region: %v", err))
+	}
+	return &World{rg: rg, opts: opts, procs: make([]*Proc, p)}
+}
+
+func tempDir() string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		return "/dev/shm"
+	}
+	return os.TempDir()
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.rg.geo.p }
+
+// Comm returns rank's communicator, attaching it on first use (lazy,
+// like mem.World — no barrier). Each rank's handle must be driven from
+// its own goroutine.
+func (w *World) Comm(rank int) comm.Comm {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rank < 0 || rank >= len(w.procs) {
+		panic(fmt.Sprintf("shm: rank %d outside world of %d", rank, len(w.procs)))
+	}
+	if w.closed {
+		panic("shm: world closed")
+	}
+	if w.procs[rank] == nil {
+		pr, err := newProc(w.rg, rank, w.opts, false)
+		if err != nil {
+			panic(fmt.Sprintf("shm: attach rank %d: %v", rank, err))
+		}
+		if w.synSet.Load() {
+			pr.SetLocality(int(w.synPPN.Load()), int(w.synPorts.Load()))
+		}
+		w.procs[rank] = pr
+	}
+	return w.procs[rank]
+}
+
+// SetLocality declares a synthetic layout for all ranks (current and
+// future handles), mirroring mem.World.SetLocality.
+func (w *World) SetLocality(ppn, ports int) {
+	w.synPPN.Store(int64(ppn))
+	w.synPorts.Store(int64(ports))
+	w.synSet.Store(true)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, pr := range w.procs {
+		if pr != nil {
+			pr.SetLocality(ppn, ports)
+		}
+	}
+}
+
+// Kill fail-stops a rank: its slot goes dead immediately and survivors
+// fence it after draining what it already published. A rank never
+// attached is killed in the region directly, so it can never join.
+func (w *World) Kill(rank int) {
+	w.mu.Lock()
+	pr := w.procs[rank]
+	w.mu.Unlock()
+	if pr != nil {
+		pr.Kill()
+		return
+	}
+	st := w.rg.slotState(rank)
+	atomic.StoreUint64(st, slotDead)
+}
+
+// Close tears down all ranks and unmaps the region.
+func (w *World) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	procs := append([]*Proc(nil), w.procs...)
+	w.mu.Unlock()
+	for _, pr := range procs {
+		if pr != nil {
+			pr.Close()
+		}
+	}
+	w.rg.close()
+}
+
+// Run executes fn once per rank, each on its own goroutine, and returns
+// the first non-nil error.
+func (w *World) Run(fn func(c comm.Comm) error) error {
+	for _, err := range w.RunAll(fn) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll executes fn once per rank and returns every rank's error.
+func (w *World) RunAll(fn func(c comm.Comm) error) []error {
+	p := w.Size()
+	comms := make([]comm.Comm, p)
+	for r := 0; r < p; r++ {
+		comms[r] = w.Comm(r)
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}

@@ -446,7 +446,7 @@ func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
 		a.mu.Unlock()
 	}()
 	if p == 1 {
-		proc := newProc(0, 1)
+		proc := newProc(0, 1, a.opts)
 		proc.keyHosts([]string{hostOf(a.Addr())})
 		a.retire(epoch)
 		return proc, nil
@@ -493,14 +493,36 @@ func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
 			return nil, fmt.Errorf("tcp: rank %d outside world of size %d at epoch %d", r, p, epoch)
 		}
 	}
-	proc := newProc(0, p)
+	proc := newProc(0, p, a.opts)
+	// A striped world needs extra connections from every member to rank 0,
+	// but the members' stripe-0 links are the parked rendezvous connections
+	// themselves — so rank 0 opens a dedicated stripe listener whose
+	// address travels at the end of the reply, and accepts the extra dials
+	// after the replies go out.
+	var stripeLn net.Listener
+	if proc.stripes > 1 {
+		var err error
+		stripeLn, err = net.Listen("tcp", net.JoinHostPort(hostOf(a.Addr()), "0"))
+		if err != nil {
+			for _, ph := range joiners {
+				ph.conn.Close()
+			}
+			return nil, fmt.Errorf("tcp: stripe listen: %w", err)
+		}
+		defer stripeLn.Close()
+	}
 	var list []byte
-	for r := 1; r < p; r++ {
-		addr := joiners[r].addr
+	appendAddr := func(addr string) {
 		var l [4]byte
 		binary.LittleEndian.PutUint32(l[:], uint32(len(addr)))
 		list = append(list, l[:]...)
 		list = append(list, addr...)
+	}
+	for r := 1; r < p; r++ {
+		appendAddr(joiners[r].addr)
+	}
+	if stripeLn != nil {
+		appendAddr(stripeLn.Addr().String())
 	}
 	reply := make([]byte, 4, 4+len(list))
 	binary.LittleEndian.PutUint32(reply, statusOK)
@@ -521,6 +543,12 @@ func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
 		conn.SetDeadline(time.Time{})
 		proc.conns[r] = conn
 	}
+	if stripeLn != nil {
+		if err := proc.acceptStripes(stripeLn, deadline); err != nil {
+			proc.closeConns()
+			return nil, err
+		}
+	}
 	hosts := make([]string, p)
 	hosts[0] = hostOf(a.Addr())
 	for r := 1; r < p; r++ {
@@ -530,6 +558,42 @@ func (a *Anchor) Rendezvous(p int, epoch uint64) (*Proc, error) {
 	proc.startLoops(a.opts)
 	a.retire(epoch)
 	return proc, nil
+}
+
+// acceptStripes collects the (p-1)·(S-1) extra stripe connections of a
+// striped rendezvous: every member dials rank 0's stripe listener once
+// per stripe 1..S-1, identifying itself with an 8-byte (rank, stripe)
+// hello. A duplicate (rank, stripe) replaces the earlier connection, so
+// member-side redials stay idempotent.
+func (p *Proc) acceptStripes(ln net.Listener, deadline time.Time) error {
+	for remaining := (p.size - 1) * (p.stripes - 1); remaining > 0; {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: stripe accept: %w", err)
+		}
+		conn.SetDeadline(deadline)
+		r, s, err := p.readMeshHello(conn)
+		if err != nil {
+			conn.Close() // the dialer redials
+			continue
+		}
+		if r < 1 || r >= p.size || s < 1 || s >= p.stripes {
+			conn.Close()
+			return fmt.Errorf("tcp: bad stripe dialer rank %d stripe %d", r, s)
+		}
+		slot := p.stripeSlot(r, s)
+		if old := *slot; old != nil {
+			old.Close()
+		} else {
+			remaining--
+		}
+		conn.SetDeadline(time.Time{})
+		*slot = conn
+	}
+	return nil
 }
 
 // retire marks every epoch <= epoch completed, bouncing their parked

@@ -1,0 +1,76 @@
+package tcp_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/transport/tcp"
+	"exacoll/internal/transport/transporttest"
+)
+
+// freeAddrT reserves a loopback port for a rendezvous anchor.
+func freeAddrT(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// stripedTCPWorld adapts a striped loopback mesh to the conformance
+// harness's World surface.
+type stripedTCPWorld struct {
+	procs []*tcp.Proc
+	once  sync.Once
+}
+
+func (w *stripedTCPWorld) Comm(rank int) comm.Comm { return w.procs[rank] }
+
+func (w *stripedTCPWorld) Close() {
+	w.once.Do(func() {
+		for _, p := range w.procs {
+			if p != nil {
+				p.Close()
+			}
+		}
+	})
+}
+
+// TestTableIConformanceStriped runs the Table I matrix over the striped
+// TCP transport (4 connections per peer pair, 1 KiB striping threshold
+// so even modest payloads cross the segment-reassembly path), comparing
+// bit for bit against the mem reference. Striping must be invisible to
+// every collective: segments reorder across connections, reassembly and
+// in-order delivery restore exact MPI matching semantics.
+func TestTableIConformanceStriped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("striped conformance is the long-haul suite; covered by the shm/mem matrix in -short")
+	}
+	transporttest.RunTableI(t, func(t *testing.T, p int) transporttest.World {
+		addr := freeAddrT(t)
+		opts := tcp.Options{Timeout: 20 * time.Second, Stripes: 4, StripeThreshold: 1 << 10}
+		procs := make([]*tcp.Proc, p)
+		errs := make([]error, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				procs[r], errs[r] = tcp.Rendezvous(r, p, addr, opts)
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d rendezvous: %v", r, err)
+			}
+		}
+		return &stripedTCPWorld{procs: procs}
+	})
+}

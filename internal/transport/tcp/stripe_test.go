@@ -1,0 +1,217 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+
+	"sync"
+	"testing"
+	"time"
+
+	"exacoll/internal/comm"
+)
+
+// stripedWorld forms a p-rank world with S stripes per peer pair and a
+// small striping threshold so modest payloads exercise the striped path.
+func stripedWorld(t *testing.T, p, stripes int) []*Proc {
+	t.Helper()
+	addr := freeAddr(t)
+	opts := Options{Timeout: 10 * time.Second, Stripes: stripes, StripeThreshold: 1 << 10}
+	procs := make([]*Proc, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			procs[r], errs[r] = Rendezvous(r, p, addr, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d rendezvous: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, pr := range procs {
+			if pr != nil {
+				pr.Close()
+			}
+		}
+	})
+	return procs
+}
+
+// TestStripedBasic: small (single-segment), large (split), and
+// zero-length messages all arrive intact and in FIFO order per
+// (source, tag) across a striped pair.
+func TestStripedBasic(t *testing.T) {
+	procs := stripedWorld(t, 2, 4)
+
+	large := make([]byte, 300<<10) // well past the 1 KiB test threshold
+	for i := range large {
+		large[i] = byte(i * 7)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// FIFO: small, large, zero, small again — one tag.
+		if err := procs[1].Send(0, 5, []byte("hello")); err != nil {
+			t.Errorf("send small: %v", err)
+		}
+		if err := procs[1].Send(0, 5, large); err != nil {
+			t.Errorf("send large: %v", err)
+		}
+		if err := procs[1].Send(0, 5, nil); err != nil {
+			t.Errorf("send zero: %v", err)
+		}
+		if err := procs[1].Send(0, 5, []byte("bye")); err != nil {
+			t.Errorf("send tail: %v", err)
+		}
+	}()
+	buf := make([]byte, len(large))
+	n, err := procs[0].Recv(1, 5, buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("first recv: n=%d err=%v", n, err)
+	}
+	n, err = procs[0].Recv(1, 5, buf)
+	if err != nil || n != len(large) || !bytes.Equal(buf[:n], large) {
+		t.Fatalf("large recv: n=%d err=%v equal=%v", n, err, bytes.Equal(buf[:n], large))
+	}
+	n, err = procs[0].Recv(1, 5, buf)
+	if err != nil || n != 0 {
+		t.Fatalf("zero recv: n=%d err=%v", n, err)
+	}
+	n, err = procs[0].Recv(1, 5, buf)
+	if err != nil || string(buf[:n]) != "bye" {
+		t.Fatalf("tail recv: n=%d err=%v", n, err)
+	}
+	wg.Wait()
+}
+
+// TestStripedLocalityPorts: a striped world reports its stripe count as
+// Locality.Ports, so tuning selects k ≈ #ports; a SetLocality override
+// still wins.
+func TestStripedLocalityPorts(t *testing.T) {
+	procs := stripedWorld(t, 2, 3)
+	loc, ok := procs[0].Locality(1)
+	if !ok || loc.Ports != 3 {
+		t.Fatalf("Locality(1) = %+v, %v; want Ports=3", loc, ok)
+	}
+	procs[0].SetLocality(1, 7)
+	if loc, _ := procs[0].Locality(1); loc.Ports != 7 {
+		t.Fatalf("override Locality(1).Ports = %d, want 7", loc.Ports)
+	}
+}
+
+// TestStripedManyMessages: a storm of interleaved small and large
+// messages on multiple tags survives reordering across stripes.
+func TestStripedManyMessages(t *testing.T) {
+	procs := stripedWorld(t, 3, 2)
+	const rounds = 40
+	payload := func(src, i int) []byte {
+		n := 64
+		if i%5 == 0 {
+			n = 8 << 10 // striped
+		}
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(src*31 + i*7 + j)
+		}
+		return b
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			pr := procs[r]
+			var inner sync.WaitGroup
+			for peer := 0; peer < 3; peer++ {
+				if peer == r {
+					continue
+				}
+				inner.Add(2)
+				go func(peer int) {
+					defer inner.Done()
+					for i := 0; i < rounds; i++ {
+						if err := pr.Send(peer, comm.Tag(r), payload(r, i)); err != nil {
+							t.Errorf("rank %d send to %d: %v", r, peer, err)
+							return
+						}
+					}
+				}(peer)
+				go func(peer int) {
+					defer inner.Done()
+					buf := make([]byte, 8<<10)
+					for i := 0; i < rounds; i++ {
+						n, err := pr.Recv(peer, comm.Tag(peer), buf)
+						if err != nil {
+							t.Errorf("rank %d recv from %d: %v", r, peer, err)
+							return
+						}
+						want := payload(peer, i)
+						if !bytes.Equal(buf[:n], want) {
+							t.Errorf("rank %d msg %d from %d: corrupt (n=%d want %d)", r, i, peer, n, len(want))
+							return
+						}
+					}
+				}(peer)
+			}
+			inner.Wait()
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TestStripedPeerDeath: closing one rank's process surfaces
+// ErrPeerDead on the survivor across all stripes.
+func TestStripedPeerDeath(t *testing.T) {
+	procs := stripedWorld(t, 2, 4)
+	procs[1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if failed := procs[0].Failed(); len(failed) == 1 && failed[0] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead striped peer never detected; Failed() = %v", procs[0].Failed())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := procs[0].Recv(1, 3, make([]byte, 4)); !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("recv from dead striped peer: want ErrPeerDead, got %v", err)
+	}
+	if err := procs[0].Send(1, 3, []byte{1}); !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("send to dead striped peer: want ErrPeerDead, got %v", err)
+	}
+}
+
+// TestStripedSegmentation exercises every size straddling the threshold
+// and the stripe-count boundaries.
+func TestStripedSegmentation(t *testing.T) {
+	procs := stripedWorld(t, 2, 4)
+	th := procs[0].stripeThres
+	sizes := []int{th - 1, th, th + 1, th + 2, 4 * th, 4*th + 3, 64 * th}
+	buf := make([]byte, 64*th+8)
+	for _, n := range sizes {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i ^ (i >> 8))
+		}
+		errc := make(chan error, 1)
+		go func() { errc <- procs[1].Send(0, 9, msg) }()
+		got, err := procs[0].Recv(1, 9, buf)
+		if err != nil {
+			t.Fatalf("size %d: recv: %v", n, err)
+		}
+		if serr := <-errc; serr != nil {
+			t.Fatalf("size %d: send: %v", n, serr)
+		}
+		if got != n || !bytes.Equal(buf[:got], msg) {
+			t.Fatalf("size %d: corrupt (got %d)", n, got)
+		}
+	}
+}

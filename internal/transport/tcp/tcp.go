@@ -28,6 +28,7 @@ import (
 
 	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
+	"exacoll/internal/transport/match"
 )
 
 // frame header: src(4) tag(4) len(4).
@@ -78,6 +79,21 @@ type Options struct {
 	// mesh dial, so connection-level fault injectors (transport/faulty's
 	// Net) can refuse, reset, partition, or throttle real TCP links.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Stripes opens N parallel connections per peer and stripes large
+	// sends across them (see tcp_stripe.go) — the multi-port NIC model of
+	// the paper made concrete: aggregate bandwidth scales with connection
+	// count, and Locality.Ports reports it so tuning picks k ≈ #ports.
+	// 0 or 1 is the classic single-connection wire protocol; every member
+	// of a world must present the same value. Clamped to 16.
+	Stripes int
+	// StripeThreshold is the smallest payload that is split across
+	// stripes; smaller messages travel whole on stripe 0 (in order, low
+	// latency). 0 selects the default (64 KiB). Only meaningful when
+	// Stripes > 1.
+	StripeThreshold int
+	// Ports is an alias for Stripes kept for callers that think in the
+	// paper's vocabulary; when both are set Stripes wins.
+	Ports int
 }
 
 func (o Options) timeout() time.Duration {
@@ -118,16 +134,45 @@ func (o Options) admitDeadline() time.Duration {
 	return o.AdmitDeadline
 }
 
+func (o Options) stripes() int {
+	s := o.Stripes
+	if s < 1 {
+		s = o.Ports
+	}
+	if s < 1 {
+		return 1
+	}
+	if s > 16 {
+		return 16
+	}
+	return s
+}
+
+func (o Options) stripeThreshold() int {
+	if o.StripeThreshold > 0 {
+		return o.StripeThreshold
+	}
+	return 64 << 10
+}
+
 // Proc is one rank's endpoint in a TCP world. It implements comm.Comm,
 // comm.Deadliner, comm.FailureDetector, and comm.Purger.
 type Proc struct {
 	rank  int
 	size  int
-	conns []net.Conn // conns[peer], nil at self
+	conns []net.Conn // conns[peer] (stripe 0), nil at self
 
-	engine *engine
+	engine *match.Engine
 
-	sendMu []sync.Mutex // per-peer write locks
+	sendMu []sync.Mutex // per-peer stripe-0 write locks
+
+	// Striping state (tcp_stripe.go); empty when stripes == 1.
+	stripes     int
+	stripeThres int
+	sconns      [][]net.Conn   // sconns[peer][s-1] is stripe s of a peer
+	ssendMu     [][]sync.Mutex // matching write locks
+	txSeq       []atomic.Uint32
+	rx          []rxReasm
 
 	opTimeout atomic.Int64   // per-op deadline in nanoseconds; 0 = unbounded
 	lastSeen  []atomic.Int64 // unix nanos of the last frame from each peer
@@ -148,16 +193,36 @@ type Proc struct {
 }
 
 // newProc allocates an unconnected endpoint of a p-rank world.
-func newProc(rank, p int) *Proc {
-	return &Proc{
-		rank:     rank,
-		size:     p,
-		conns:    make([]net.Conn, p),
-		engine:   newEngine(),
-		sendMu:   make([]sync.Mutex, p),
-		lastSeen: make([]atomic.Int64, p),
-		hbStop:   make(chan struct{}),
+func newProc(rank, p int, opts Options) *Proc {
+	pr := &Proc{
+		rank:        rank,
+		size:        p,
+		conns:       make([]net.Conn, p),
+		engine:      match.New(),
+		sendMu:      make([]sync.Mutex, p),
+		stripes:     opts.stripes(),
+		stripeThres: opts.stripeThreshold(),
+		lastSeen:    make([]atomic.Int64, p),
+		hbStop:      make(chan struct{}),
 	}
+	if p == 1 {
+		pr.stripes = 1
+	}
+	if pr.stripes > 1 {
+		pr.sconns = make([][]net.Conn, p)
+		pr.ssendMu = make([][]sync.Mutex, p)
+		pr.txSeq = make([]atomic.Uint32, p)
+		pr.rx = make([]rxReasm, p)
+		for peer := 0; peer < p; peer++ {
+			if peer == rank {
+				continue
+			}
+			pr.sconns[peer] = make([]net.Conn, pr.stripes-1)
+			pr.ssendMu[peer] = make([]sync.Mutex, pr.stripes-1)
+			pr.rx[peer].pend = make(map[uint32]*pendMsg)
+		}
+	}
+	return pr
 }
 
 // startLoops launches the demultiplexing readers and the liveness
@@ -165,8 +230,16 @@ func newProc(rank, p int) *Proc {
 func (p *Proc) startLoops(opts Options) {
 	now := time.Now().UnixNano()
 	for peer, conn := range p.conns {
-		if conn != nil {
-			p.lastSeen[peer].Store(now)
+		if conn == nil {
+			continue
+		}
+		p.lastSeen[peer].Store(now)
+		if p.stripes > 1 {
+			go p.readLoopStriped(peer, conn)
+			for _, sc := range p.sconns[peer] {
+				go p.readLoopStriped(peer, sc)
+			}
+		} else {
 			go p.readLoop(peer, conn)
 		}
 	}
@@ -192,7 +265,7 @@ func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
 	}
 	if rank == 0 {
 		if p == 1 {
-			proc := newProc(0, 1)
+			proc := newProc(0, 1, opts)
 			proc.keyHosts([]string{hostOf(addr)})
 			return proc, nil
 		}
@@ -203,7 +276,7 @@ func Rendezvous(rank, p int, addr string, opts Options) (*Proc, error) {
 		defer a.Close()
 		return a.Rendezvous(p, opts.Epoch)
 	}
-	proc := newProc(rank, p)
+	proc := newProc(rank, p, opts)
 	if err := proc.join(addr, opts, time.Now().Add(opts.timeout())); err != nil {
 		proc.closeConns()
 		return nil, err
@@ -218,6 +291,13 @@ func (p *Proc) closeConns() {
 	for _, c := range p.conns {
 		if c != nil {
 			c.Close()
+		}
+	}
+	for _, scs := range p.sconns {
+		for _, c := range scs {
+			if c != nil {
+				c.Close()
+			}
 		}
 	}
 }
@@ -238,6 +318,7 @@ func (p *Proc) join(addr string, opts Options, deadline time.Time) error {
 	var conn0 net.Conn
 	var mesh net.Listener
 	var addrs []string
+	var stripe0Addr string
 	for attempt := 0; ; attempt++ {
 		if err := opts.step("rv.dial", epoch, p.rank, 0); err != nil {
 			return err
@@ -258,7 +339,7 @@ func (p *Proc) join(addr string, opts Options, deadline time.Time) error {
 			}
 			defer mesh.Close()
 		}
-		addrs, err = p.anchorHandshake(c, mesh.Addr().String(), opts, deadline)
+		addrs, stripe0Addr, err = p.anchorHandshake(c, mesh.Addr().String(), opts, deadline)
 		if err == nil {
 			conn0 = c
 			break
@@ -286,16 +367,18 @@ func (p *Proc) join(addr string, opts Options, deadline time.Time) error {
 	p.conns[0] = conn0
 
 	// Mesh: dial lower ranks (1..rank-1), accept higher ranks. Each mesh
-	// connection starts with the dialer's rank (4 bytes). A duplicate dial
-	// from a rank that is already connected replaces the earlier connection
-	// (the dialer gave up on it — keeping the stale socket would wedge the
+	// connection starts with the dialer's rank (4 bytes) — or, when the
+	// world stripes, (rank, stripe) as 8 bytes, and each peer pair builds
+	// one connection per stripe. A duplicate dial from a (rank, stripe)
+	// that is already connected replaces the earlier connection (the
+	// dialer gave up on it — keeping the stale socket would wedge the
 	// mesh), so reconnect during formation is idempotent.
 	var wg sync.WaitGroup
 	var acceptErr error
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for remaining := p.size - 1 - p.rank; remaining > 0; {
+		for remaining := (p.size - 1 - p.rank) * p.stripes; remaining > 0; {
 			if tl, ok := mesh.(*net.TCPListener); ok {
 				tl.SetDeadline(deadline)
 			}
@@ -308,28 +391,28 @@ func (p *Proc) join(addr string, opts Options, deadline time.Time) error {
 				acceptErr = err
 				return
 			}
-			var rb [4]byte
 			conn.SetDeadline(deadline)
-			if _, err := io.ReadFull(conn, rb[:]); err != nil {
+			r, s, err := p.readMeshHello(conn)
+			if err != nil {
 				// An inbound connection that died before delivering its rank
 				// header (a handshake-dropped or reset dial) is the dialer's
 				// problem — it will redial. Keep accepting.
 				conn.Close()
 				continue
 			}
-			r := int(binary.LittleEndian.Uint32(rb[:]))
-			if r <= p.rank || r >= p.size {
-				acceptErr = fmt.Errorf("tcp: bad mesh dialer rank %d", r)
+			if r <= p.rank || r >= p.size || s < 0 || s >= p.stripes {
+				acceptErr = fmt.Errorf("tcp: bad mesh dialer rank %d stripe %d", r, s)
 				conn.Close()
 				return
 			}
-			if old := p.conns[r]; old != nil {
+			slot := p.stripeSlot(r, s)
+			if old := *slot; old != nil {
 				old.Close()
 			} else {
 				remaining--
 			}
 			conn.SetDeadline(time.Time{})
-			p.conns[r] = conn
+			*slot = conn
 		}
 	}()
 	// On any dial-side failure the accept goroutine must be stopped before
@@ -345,28 +428,17 @@ func (p *Proc) join(addr string, opts Options, deadline time.Time) error {
 		if err := opts.step("rv.mesh.dial", epoch, p.rank, r); err != nil {
 			return meshFail(err)
 		}
-		// Dial + rank header as one retried unit: a write that fails (the
-		// link reset mid-handshake) redials, and the acceptor's dup-replace
-		// keeps the retry idempotent.
-		for attempt := 0; ; attempt++ {
-			conn, err := opts.dialRetry(addrs[r], deadline)
-			if err != nil {
-				return meshFail(fmt.Errorf("tcp: mesh dial %d: %w", r, err))
+		for s := 0; s < p.stripes; s++ {
+			if err := p.dialMeshStripe(addrs[r], r, s, opts, deadline); err != nil {
+				return meshFail(err)
 			}
-			var rb [4]byte
-			binary.LittleEndian.PutUint32(rb[:], uint32(p.rank))
-			_, werr := conn.Write(rb[:])
-			if werr == nil {
-				p.conns[r] = conn
-				break
-			}
-			conn.Close()
-			if time.Until(deadline) <= 0 {
-				return meshFail(fmt.Errorf("tcp: mesh hello to %d: %w", r, werr))
-			}
-			if d := backoffDelay(attempt); d > 0 {
-				time.Sleep(d)
-			}
+		}
+	}
+	// Extra stripes to rank 0 dial its dedicated stripe listener (the
+	// stripe-0 connection to rank 0 is the rendezvous connection itself).
+	for s := 1; s < p.stripes; s++ {
+		if err := p.dialMeshStripe(stripe0Addr, 0, s, opts, deadline); err != nil {
+			return meshFail(err)
 		}
 	}
 	wg.Wait()
@@ -380,43 +452,70 @@ func (p *Proc) join(addr string, opts Options, deadline time.Time) error {
 		}
 		return fmt.Errorf("tcp: mesh accept: %w", acceptErr)
 	}
+	// Key locality from the circulated address list, mirroring what the
+	// anchor computes for rank 0: the mesh addresses carry every member's
+	// host, and rank 0's host is the anchor address the caller dialed.
+	hosts := make([]string, p.size)
+	hosts[0] = hostOf(addr)
+	for r := 1; r < p.size; r++ {
+		hosts[r] = hostOf(addrs[r])
+	}
+	p.keyHosts(hosts)
 	return nil
 }
 
 // anchorHandshake runs one attempt of the coordinator exchange on an
-// established connection: hello out, status and address list back.
-func (p *Proc) anchorHandshake(conn0 net.Conn, meshAddr string, opts Options, deadline time.Time) ([]string, error) {
+// established connection: hello out, status and address list back. When
+// the world stripes, one extra address follows the list — rank 0's
+// stripe listener (both sides key this on their own Options.Stripes,
+// which every member of a world must agree on).
+func (p *Proc) anchorHandshake(conn0 net.Conn, meshAddr string, opts Options, deadline time.Time) ([]string, string, error) {
 	epoch := opts.Epoch
 	conn0.SetDeadline(deadline)
 	if err := opts.step("rv.hello", epoch, p.rank, 0); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if err := writeHello(conn0, helloWorld, p.rank, epoch, meshAddr); err != nil {
-		return nil, fmt.Errorf("tcp: hello: %w", err)
+		return nil, "", fmt.Errorf("tcp: hello: %w", err)
 	}
 	if err := opts.step("rv.status", epoch, p.rank, 0); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if err := readStatus(conn0, epoch); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if err := opts.step("rv.addrs", epoch, p.rank, 0); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	addrs := make([]string, p.size) // addrs[0] unused
-	for r := 1; r < p.size; r++ {
+	readAddr := func() (string, error) {
 		var l [4]byte
 		if _, err := io.ReadFull(conn0, l[:]); err != nil {
-			return nil, fmt.Errorf("tcp: address list: %w", err)
+			return "", fmt.Errorf("tcp: address list: %w", err)
 		}
 		ab := make([]byte, binary.LittleEndian.Uint32(l[:]))
 		if _, err := io.ReadFull(conn0, ab); err != nil {
-			return nil, fmt.Errorf("tcp: address list: %w", err)
+			return "", fmt.Errorf("tcp: address list: %w", err)
 		}
-		addrs[r] = string(ab)
+		return string(ab), nil
+	}
+	addrs := make([]string, p.size) // addrs[0] unused
+	for r := 1; r < p.size; r++ {
+		a, err := readAddr()
+		if err != nil {
+			return nil, "", err
+		}
+		addrs[r] = a
+	}
+	var stripe0Addr string
+	if p.stripes > 1 {
+		a, err := readAddr()
+		if err != nil {
+			return nil, "", err
+		}
+		stripe0Addr = a
 	}
 	conn0.SetDeadline(time.Time{})
-	return addrs, nil
+	return addrs, stripe0Addr, nil
 }
 
 // heartbeatLoop sends one liveness frame per interval on every connection
@@ -425,7 +524,13 @@ func (p *Proc) anchorHandshake(conn0 net.Conn, meshAddr string, opts Options, de
 // failPeer long before the peer's silence would.
 func (p *Proc) heartbeatLoop(interval time.Duration) {
 	defer p.hbWG.Done()
-	hdr := make([]byte, headerSize)
+	// Heartbeats ride stripe 0 only; in a striped world they wear the
+	// striped header (same size as data frames, tag = hbTag).
+	hn := headerSize
+	if p.stripes > 1 {
+		hn = stripedHeaderSize
+	}
+	hdr := make([]byte, hn)
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(p.rank))
 	binary.LittleEndian.PutUint32(hdr[4:], hbTag)
 	binary.LittleEndian.PutUint32(hdr[8:], 0)
@@ -438,7 +543,7 @@ func (p *Proc) heartbeatLoop(interval time.Duration) {
 		case <-ticker.C:
 		}
 		for peer := range p.conns {
-			if peer == p.rank || p.engine.peerFailed(peer) {
+			if peer == p.rank || p.engine.PeerFailed(peer) {
 				continue
 			}
 			p.sendMu[peer].Lock()
@@ -468,7 +573,7 @@ func (p *Proc) monitorLoop(interval, suspectAfter time.Duration) {
 		}
 		now := time.Now().UnixNano()
 		for peer := range p.conns {
-			if peer == p.rank || p.conns[peer] == nil || p.engine.peerFailed(peer) {
+			if peer == p.rank || p.conns[peer] == nil || p.engine.PeerFailed(peer) {
 				continue
 			}
 			if now-p.lastSeen[peer].Load() > int64(suspectAfter) {
@@ -478,12 +583,20 @@ func (p *Proc) monitorLoop(interval, suspectAfter time.Duration) {
 	}
 }
 
-// failPeerConn records a peer failure and closes its connection so any
-// reader or writer blocked on it wakes immediately.
+// failPeerConn records a peer failure and closes its connections (all
+// stripes — one corrupt or dead stripe condemns the peer) so any reader
+// or writer blocked on them wakes immediately.
 func (p *Proc) failPeerConn(peer int, err error) {
-	p.engine.failPeer(peer, err)
+	p.engine.FailPeer(peer, err)
 	if conn := p.conns[peer]; conn != nil {
 		conn.Close()
+	}
+	if p.sconns != nil {
+		for _, sc := range p.sconns[peer] {
+			if sc != nil {
+				sc.Close()
+			}
+		}
 	}
 }
 
@@ -493,7 +606,7 @@ func (p *Proc) readLoop(peer int, conn net.Conn) {
 	for {
 		var hdr [headerSize]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			p.engine.failPeer(peer, peerDeadErr(peer, err))
+			p.engine.FailPeer(peer, peerDeadErr(peer, err))
 			return
 		}
 		p.lastSeen[peer].Store(time.Now().UnixNano())
@@ -505,16 +618,16 @@ func (p *Proc) readLoop(peer int, conn net.Conn) {
 		}
 		tag := comm.Tag(rawTag)
 		if src != peer || n < 0 || n > 1<<30 {
-			p.engine.failPeer(peer, fmt.Errorf("tcp: bad frame from %d (src %d, len %d)", peer, src, n))
+			p.engine.FailPeer(peer, fmt.Errorf("tcp: bad frame from %d (src %d, len %d)", peer, src, n))
 			return
 		}
 		payload := scratch.Get(n)
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			scratch.Put(payload)
-			p.engine.failPeer(peer, peerDeadErr(peer, err))
+			p.engine.FailPeer(peer, peerDeadErr(peer, err))
 			return
 		}
-		p.engine.deliver(src, tag, payload)
+		p.engine.Deliver(src, tag, payload)
 	}
 }
 
@@ -546,13 +659,13 @@ func (p *Proc) SetOpTimeout(d time.Duration) {
 // Failed implements comm.FailureDetector: peers whose connection dropped,
 // whose heartbeats stopped, or that sent garbage, in ascending order.
 func (p *Proc) Failed() []int {
-	failed := p.engine.failedPeers()
+	failed := p.engine.FailedPeers()
 	sort.Ints(failed)
 	return failed
 }
 
 // PurgeTags implements comm.Purger.
-func (p *Proc) PurgeTags(lo, hi comm.Tag) { p.engine.purgeTags(lo, hi) }
+func (p *Proc) PurgeTags(lo, hi comm.Tag) { p.engine.PurgeTags(lo, hi) }
 
 // hostOf extracts the host part of a listen address, falling back to the
 // whole string when it has no port (so equal strings still key together).
@@ -610,6 +723,13 @@ func (p *Proc) Locality(rank int) (comm.Locality, bool) {
 	if rank < 0 || rank >= p.size {
 		return comm.Locality{}, false
 	}
+	// A synthetic SetLocality port count wins; otherwise a striped world
+	// reports its stripe count — the transport's real parallel-connection
+	// fan-out, which is exactly what the tuning model means by "ports".
+	ports := int(p.synPort.Load())
+	if ports == 0 && p.stripes > 1 {
+		ports = p.stripes
+	}
 	if ppn := int(p.synPPN.Load()); ppn >= 1 {
 		if ppn > p.size {
 			ppn = p.size
@@ -618,7 +738,7 @@ func (p *Proc) Locality(rank int) (comm.Locality, bool) {
 			Node:      rank / ppn,
 			LocalRank: rank % ppn,
 			PPN:       ppn,
-			Ports:     int(p.synPort.Load()),
+			Ports:     ports,
 		}, true
 	}
 	if p.nodeOf == nil {
@@ -628,7 +748,7 @@ func (p *Proc) Locality(rank int) (comm.Locality, bool) {
 		Node:      p.nodeOf[rank],
 		LocalRank: p.localOf[rank],
 		PPN:       p.ppn,
-		Ports:     int(p.synPort.Load()),
+		Ports:     ports,
 	}, true
 }
 
@@ -653,6 +773,9 @@ func (p *Proc) send(to int, tag comm.Tag, buf []byte, d time.Duration) error {
 	if err := comm.CheckPeer(p.rank, to, p.size); err != nil {
 		return err
 	}
+	if p.stripes > 1 {
+		return p.sendStriped(to, tag, buf, d)
+	}
 	fn := headerSize
 	if len(buf) <= coalesceMax {
 		fn += len(buf)
@@ -665,7 +788,7 @@ func (p *Proc) send(to int, tag comm.Tag, buf []byte, d time.Duration) error {
 	binary.LittleEndian.PutUint32(frame[8:], uint32(len(buf)))
 	p.sendMu[to].Lock()
 	defer p.sendMu[to].Unlock()
-	if err := p.engine.peerError(to); err != nil {
+	if err := p.engine.PeerError(to); err != nil {
 		return err
 	}
 	conn := p.conns[to]
@@ -690,7 +813,7 @@ func (p *Proc) send(to int, tag comm.Tag, buf []byte, d time.Duration) error {
 
 // sendError classifies a failed frame write. The frame may be partially
 // written, so the connection's stream is corrupt either way: the peer is
-// marked failed and the connection closed.
+// marked failed and its connections closed.
 func (p *Proc) sendError(to int, err error) error {
 	var nerr net.Error
 	if errors.As(err, &nerr) && nerr.Timeout() {
@@ -698,10 +821,7 @@ func (p *Proc) sendError(to int, err error) error {
 	} else {
 		err = fmt.Errorf("%w: send to rank %d: %v", comm.ErrPeerDead, to, err)
 	}
-	p.engine.failPeer(to, err)
-	if conn := p.conns[to]; conn != nil {
-		conn.Close()
-	}
+	p.failPeerConn(to, err)
 	return err
 }
 
@@ -744,11 +864,11 @@ func (p *Proc) irecv(from int, tag comm.Tag, buf []byte, d time.Duration) (comm.
 	if err := comm.CheckPeer(p.rank, from, p.size); err != nil {
 		return nil, err
 	}
-	pr, err := p.engine.post(from, tag, buf)
+	pr, err := p.engine.Post(from, tag, buf)
 	if err != nil {
 		return nil, err
 	}
-	return &tcpRecvReq{pr: pr, e: p.engine, key: engineKey{from, tag}, timeout: d}, nil
+	return p.engine.Request(pr, from, tag, d), nil
 }
 
 // Recv implements comm.Comm.
@@ -767,7 +887,7 @@ func (p *Proc) recv(from int, tag comm.Tag, buf []byte, d time.Duration) (int, e
 	return req.Len(), nil
 }
 
-// Close tears down all connections.
+// Close tears down all connections (all stripes).
 func (p *Proc) Close() error {
 	p.closeOnce.Do(func() {
 		close(p.hbStop)
@@ -777,265 +897,14 @@ func (p *Proc) Close() error {
 				c.Close()
 			}
 		}
-		p.engine.fail(comm.ErrClosed)
+		for _, scs := range p.sconns {
+			for _, c := range scs {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+		p.engine.Fail(comm.ErrClosed)
 	})
 	return p.closeErr
-}
-
-// engine is the (source, tag) FIFO matching engine shared with the mem
-// transport's semantics. Failures are tracked per peer so one peer's
-// orderly shutdown does not poison receives still pending from others.
-type engine struct {
-	mu         sync.Mutex
-	unexpected map[engineKey][][]byte
-	posted     map[engineKey][]*tcpRecv
-	peerErr    map[int]error
-	closed     error
-}
-
-type engineKey struct {
-	src int
-	tag comm.Tag
-}
-
-type tcpRecv struct {
-	buf  []byte
-	done chan struct{}
-	n    int
-	err  error
-}
-
-func (r *tcpRecv) wait() error {
-	<-r.done
-	return r.err
-}
-
-// tcpRecvReq is the comm.Request handle of a posted receive, carrying the
-// per-op timeout captured at post time.
-type tcpRecvReq struct {
-	pr      *tcpRecv
-	e       *engine
-	key     engineKey
-	timeout time.Duration
-}
-
-func (r *tcpRecvReq) Wait() error {
-	if r.timeout <= 0 {
-		return r.pr.wait()
-	}
-	timer := time.NewTimer(r.timeout)
-	defer timer.Stop()
-	select {
-	case <-r.pr.done:
-		return r.pr.err
-	case <-timer.C:
-		terr := fmt.Errorf("%w: no message from rank %d tag %d within %v",
-			comm.ErrTimeout, r.key.src, r.key.tag, r.timeout)
-		if r.e.cancel(r.key, r.pr, terr) {
-			return terr
-		}
-		return r.pr.wait()
-	}
-}
-
-func (r *tcpRecvReq) Len() int { return r.pr.n }
-
-// Test implements comm.Tester: a nonblocking completion poll.
-func (r *tcpRecvReq) Test() (bool, error) {
-	select {
-	case <-r.pr.done:
-		return true, r.pr.err
-	default:
-		return false, nil
-	}
-}
-
-func newEngine() *engine {
-	return &engine{
-		unexpected: make(map[engineKey][][]byte),
-		posted:     make(map[engineKey][]*tcpRecv),
-		peerErr:    make(map[int]error),
-	}
-}
-
-// deliver hands an inbound payload — a pool-owned buffer — to its matching
-// receive, or parks it on the unexpected queue. The engine owns the buffer
-// from here: it is recycled once copied into a receive (or dropped).
-func (e *engine) deliver(src int, tag comm.Tag, payload []byte) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed != nil || e.peerErr[src] != nil {
-		scratch.Put(payload)
-		return
-	}
-	key := engineKey{src, tag}
-	if prs := e.posted[key]; len(prs) > 0 {
-		pr := prs[0]
-		if len(prs) == 1 {
-			delete(e.posted, key)
-		} else {
-			e.posted[key] = prs[1:]
-		}
-		pr.complete(payload)
-		scratch.Put(payload)
-		return
-	}
-	e.unexpected[key] = append(e.unexpected[key], payload)
-}
-
-func (pr *tcpRecv) complete(payload []byte) {
-	if len(payload) > len(pr.buf) {
-		pr.err = fmt.Errorf("%w: have %d bytes, message is %d",
-			comm.ErrTruncated, len(pr.buf), len(payload))
-	} else {
-		copy(pr.buf, payload)
-		pr.n = len(payload)
-	}
-	close(pr.done)
-}
-
-func (e *engine) post(src int, tag comm.Tag, buf []byte) (*tcpRecv, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed != nil {
-		return nil, e.closed
-	}
-	pr := &tcpRecv{buf: buf, done: make(chan struct{})}
-	key := engineKey{src, tag}
-	// Already-buffered messages are deliverable even if the peer has since
-	// disconnected (TCP flushed them before the close).
-	if msgs := e.unexpected[key]; len(msgs) > 0 {
-		m := msgs[0]
-		if len(msgs) == 1 {
-			delete(e.unexpected, key)
-		} else {
-			e.unexpected[key] = msgs[1:]
-		}
-		pr.complete(m)
-		scratch.Put(m)
-		return pr, nil
-	}
-	if err := e.peerErr[src]; err != nil {
-		return nil, err
-	}
-	e.posted[key] = append(e.posted[key], pr)
-	return pr, nil
-}
-
-// cancel removes a still-pending posted receive and fails it with err,
-// reporting false when it already completed concurrently.
-func (e *engine) cancel(key engineKey, pr *tcpRecv, err error) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	prs := e.posted[key]
-	for i, q := range prs {
-		if q != pr {
-			continue
-		}
-		if len(prs) == 1 {
-			delete(e.posted, key)
-		} else {
-			e.posted[key] = append(prs[:i:i], prs[i+1:]...)
-		}
-		pr.err = err
-		close(pr.done)
-		return true
-	}
-	return false
-}
-
-// peerError returns the recorded failure of a peer (nil while healthy).
-func (e *engine) peerError(peer int) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed != nil {
-		return e.closed
-	}
-	return e.peerErr[peer]
-}
-
-// peerFailed reports whether a peer has a recorded failure.
-func (e *engine) peerFailed(peer int) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.peerErr[peer] != nil
-}
-
-// failedPeers lists peers with recorded failures.
-func (e *engine) failedPeers() []int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var out []int
-	for peer := range e.peerErr {
-		out = append(out, peer)
-	}
-	return out
-}
-
-// purgeTags drops buffered messages with tags in [lo, hi) and cancels
-// receives still posted there with ErrTimeout (the quiesce of a retired
-// collective epoch).
-func (e *engine) purgeTags(lo, hi comm.Tag) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for key, msgs := range e.unexpected {
-		if key.tag >= lo && key.tag < hi {
-			for _, m := range msgs {
-				scratch.Put(m)
-			}
-			delete(e.unexpected, key)
-		}
-	}
-	for key, prs := range e.posted {
-		if key.tag < lo || key.tag >= hi {
-			continue
-		}
-		for _, pr := range prs {
-			pr.err = fmt.Errorf("%w: receive purged with its tag window", comm.ErrTimeout)
-			close(pr.done)
-		}
-		delete(e.posted, key)
-	}
-}
-
-// failPeer marks one peer dead: receives pending on that peer error out,
-// and future posts for it fail, but traffic with other peers continues.
-func (e *engine) failPeer(peer int, err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed != nil || e.peerErr[peer] != nil {
-		return
-	}
-	e.peerErr[peer] = err
-	for key, prs := range e.posted {
-		if key.src != peer {
-			continue
-		}
-		for _, pr := range prs {
-			pr.err = err
-			close(pr.done)
-		}
-		delete(e.posted, key)
-	}
-}
-
-// fail poisons the whole engine (local Close): all pending and future
-// receives error.
-func (e *engine) fail(err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed != nil {
-		return
-	}
-	if errors.Is(err, io.EOF) {
-		err = comm.ErrClosed
-	}
-	e.closed = err
-	for key, prs := range e.posted {
-		for _, pr := range prs {
-			pr.err = err
-			close(pr.done)
-		}
-		delete(e.posted, key)
-	}
 }

@@ -175,10 +175,7 @@ func TestPurgeTagsTCP(t *testing.T) {
 	// Wait until both frames are buffered at rank 0 before purging.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		procs[0].engine.mu.Lock()
-		n := len(procs[0].engine.unexpected)
-		procs[0].engine.mu.Unlock()
-		if n == 2 {
+		if procs[0].engine.UnexpectedCount() == 2 {
 			break
 		}
 		if time.Now().After(deadline) {

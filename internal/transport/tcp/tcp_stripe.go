@@ -1,0 +1,275 @@
+package tcp
+
+// Multi-connection striping: with Options.Stripes = S > 1, every peer
+// pair holds S parallel TCP connections and large sends are split into S
+// contiguous segments written concurrently, one per connection — the
+// software analogue of a multi-port NIC, where aggregate bandwidth scales
+// with the number of ports and the tuned collective radix should track it
+// (k ≈ #ports, the paper's central machine parameter).
+//
+// Wire format: every frame (heartbeats included) wears a 24-byte header
+//
+//	src(4) tag(4) msgLen(4) seq(4) off(4) segLen(4)
+//
+// where seq is a per-(sender, receiver) monotone message counter assigned
+// at send time. Independent connections reorder freely, so the receiver
+// reassembles segments by seq — scratch-pooled message buffers filled at
+// disjoint offsets by concurrent stripe readers, no extra copies — and
+// delivers completed messages to the matching engine strictly in seq
+// order, which restores the per-(source, tag) FIFO that MPI semantics
+// (and the matching engine) require. Messages at or below
+// Options.StripeThreshold travel whole on stripe 0: one segment, no
+// split, latency unharmed.
+//
+// Failure is all-or-nothing per peer: any stripe's read or write error
+// condemns the peer and closes every stripe (a surviving subset would
+// deliver a gapped seq stream, which can never flush).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	scratch "exacoll/internal/buf"
+	"exacoll/internal/comm"
+)
+
+// striped frame header: src(4) tag(4) msgLen(4) seq(4) off(4) segLen(4).
+const stripedHeaderSize = 24
+
+// pendMsg is one partially-reassembled inbound message.
+type pendMsg struct {
+	tag  comm.Tag
+	buf  []byte // scratch-pooled, len == msgLen; engine-owned once delivered
+	got  int    // bytes received so far
+	done bool
+}
+
+// rxReasm is the per-peer reassembly state shared by that peer's stripe
+// readers. Segment socket reads happen outside mu (concurrent readers
+// fill disjoint ranges of one message buffer); only the bookkeeping and
+// the in-order flush hold it.
+type rxReasm struct {
+	mu   sync.Mutex
+	next uint32 // seq of the next message to deliver
+	pend map[uint32]*pendMsg
+}
+
+// stripeSlot returns the connection slot of (peer, stripe).
+func (p *Proc) stripeSlot(peer, s int) *net.Conn {
+	if s == 0 {
+		return &p.conns[peer]
+	}
+	return &p.sconns[peer][s-1]
+}
+
+// stripeLock returns the write lock of (peer, stripe).
+func (p *Proc) stripeLock(peer, s int) *sync.Mutex {
+	if s == 0 {
+		return &p.sendMu[peer]
+	}
+	return &p.ssendMu[peer][s-1]
+}
+
+// readMeshHello consumes one inbound mesh identification header: the
+// dialer's rank (4 bytes), plus its stripe (4 more) in a striped world.
+func (p *Proc) readMeshHello(conn net.Conn) (rank, stripe int, err error) {
+	n := 4
+	if p.stripes > 1 {
+		n = 8
+	}
+	var hb [8]byte
+	if _, err := io.ReadFull(conn, hb[:n]); err != nil {
+		return 0, 0, err
+	}
+	rank = int(binary.LittleEndian.Uint32(hb[0:]))
+	if p.stripes > 1 {
+		stripe = int(binary.LittleEndian.Uint32(hb[4:]))
+	}
+	return rank, stripe, nil
+}
+
+// dialMeshStripe dials one (peer, stripe) mesh connection, retrying with
+// backoff until deadline. Dial + hello form one retried unit: a write
+// that fails redials, and the acceptor's dup-replace keeps that
+// idempotent.
+func (p *Proc) dialMeshStripe(addr string, peer, s int, opts Options, deadline time.Time) error {
+	hn := 4
+	if p.stripes > 1 {
+		hn = 8
+	}
+	var hb [8]byte
+	binary.LittleEndian.PutUint32(hb[0:], uint32(p.rank))
+	binary.LittleEndian.PutUint32(hb[4:], uint32(s))
+	for attempt := 0; ; attempt++ {
+		conn, err := opts.dialRetry(addr, deadline)
+		if err != nil {
+			return fmt.Errorf("tcp: mesh dial %d stripe %d: %w", peer, s, err)
+		}
+		_, werr := conn.Write(hb[:hn])
+		if werr == nil {
+			*p.stripeSlot(peer, s) = conn
+			return nil
+		}
+		conn.Close()
+		if time.Until(deadline) <= 0 {
+			return fmt.Errorf("tcp: mesh hello to %d stripe %d: %w", peer, s, werr)
+		}
+		if d := backoffDelay(attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// sendStriped is the striped-world send path: assign the message its
+// per-peer seq, then write it as one segment on stripe 0 (small) or as
+// one concurrent segment per stripe (large).
+func (p *Proc) sendStriped(to int, tag comm.Tag, buf []byte, d time.Duration) error {
+	if err := p.engine.PeerError(to); err != nil {
+		return err
+	}
+	seq := p.txSeq[to].Add(1) - 1
+	n := len(buf)
+	if n <= p.stripeThres {
+		return p.writeSegment(to, 0, tag, seq, uint32(n), 0, buf, d)
+	}
+	// Split into p.stripes contiguous near-equal segments and write them
+	// concurrently; every stripe write is independently deadline-bounded.
+	chunk := (n + p.stripes - 1) / p.stripes
+	var wg sync.WaitGroup
+	errs := make([]error, p.stripes)
+	for s := 0; s < p.stripes; s++ {
+		off := s * chunk
+		if off >= n {
+			break
+		}
+		end := off + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, off, end int) {
+			defer wg.Done()
+			errs[s] = p.writeSegment(to, s, tag, seq, uint32(n), uint32(off), buf[off:end], d)
+		}(s, off, end)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSegment frames and writes one segment on one stripe. Small
+// segments coalesce into the pooled header buffer (one socket write);
+// the write is synchronous, so the staging buffer is quiescent on every
+// return path.
+func (p *Proc) writeSegment(to, s int, tag comm.Tag, seq, msgLen, off uint32, seg []byte, d time.Duration) error {
+	fn := stripedHeaderSize
+	if len(seg) <= coalesceMax {
+		fn += len(seg)
+	}
+	frame := scratch.Get(fn)
+	defer scratch.Put(frame)
+	copy(frame[stripedHeaderSize:], seg)
+	binary.LittleEndian.PutUint32(frame[0:], uint32(p.rank))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(frame[8:], msgLen)
+	binary.LittleEndian.PutUint32(frame[12:], seq)
+	binary.LittleEndian.PutUint32(frame[16:], off)
+	binary.LittleEndian.PutUint32(frame[20:], uint32(len(seg)))
+	mu := p.stripeLock(to, s)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := p.engine.PeerError(to); err != nil {
+		return err
+	}
+	conn := *p.stripeSlot(to, s)
+	if conn == nil {
+		return comm.ErrClosed
+	}
+	if d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	} else {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	if len(frame) == stripedHeaderSize && len(seg) > 0 {
+		// writev: header and large payload leave in one syscall without
+		// copying the payload through the staging buffer.
+		bufs := net.Buffers{frame, seg}
+		if _, err := bufs.WriteTo(conn); err != nil {
+			return p.sendError(to, err)
+		}
+		return nil
+	}
+	if _, err := conn.Write(frame); err != nil {
+		return p.sendError(to, err)
+	}
+	return nil
+}
+
+// readLoopStriped demultiplexes one stripe connection of one peer:
+// segments land at their offset in the pooled reassembly buffer, and
+// completed messages flush to the matching engine in strict seq order.
+func (p *Proc) readLoopStriped(peer int, conn net.Conn) {
+	rx := &p.rx[peer]
+	for {
+		var hdr [stripedHeaderSize]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			p.failPeerConn(peer, peerDeadErr(peer, err))
+			return
+		}
+		p.lastSeen[peer].Store(time.Now().UnixNano())
+		src := int(binary.LittleEndian.Uint32(hdr[0:]))
+		rawTag := binary.LittleEndian.Uint32(hdr[4:])
+		msgLen := int(binary.LittleEndian.Uint32(hdr[8:]))
+		seq := binary.LittleEndian.Uint32(hdr[12:])
+		off := int(binary.LittleEndian.Uint32(hdr[16:]))
+		segLen := int(binary.LittleEndian.Uint32(hdr[20:]))
+		if rawTag == hbTag && src == peer && msgLen == 0 {
+			continue // liveness frame; lastSeen already updated
+		}
+		if src != peer || msgLen < 0 || msgLen > 1<<30 || off+segLen > msgLen {
+			p.failPeerConn(peer, fmt.Errorf("tcp: bad striped frame from %d (src %d, len %d, seg %d@%d)",
+				peer, src, msgLen, segLen, off))
+			return
+		}
+		rx.mu.Lock()
+		pm := rx.pend[seq]
+		if pm == nil {
+			pm = &pendMsg{tag: comm.Tag(rawTag), buf: scratch.Get(msgLen)}
+			rx.pend[seq] = pm
+		}
+		rx.mu.Unlock()
+		if segLen > 0 {
+			// Outside the lock: sibling stripe readers fill disjoint ranges
+			// of the same message buffer concurrently.
+			if _, err := io.ReadFull(conn, pm.buf[off:off+segLen]); err != nil {
+				// Sibling readers may still be mid-write into pending buffers,
+				// so none can be proven quiescent: leak them to the GC.
+				p.failPeerConn(peer, peerDeadErr(peer, err))
+				return
+			}
+		}
+		rx.mu.Lock()
+		pm.got += segLen
+		if pm.got >= msgLen {
+			pm.done = true
+		}
+		for {
+			nm := rx.pend[rx.next]
+			if nm == nil || !nm.done {
+				break
+			}
+			delete(rx.pend, rx.next)
+			rx.next++
+			p.engine.Deliver(peer, nm.tag, nm.buf)
+		}
+		rx.mu.Unlock()
+	}
+}
