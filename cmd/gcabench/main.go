@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|recovery|model|table1|hotpath|flight|all
+//	gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|recovery|vcoll|model|table1|hotpath|flight|all
 //
 // Flags:
 //
@@ -75,7 +75,7 @@ func main() {
 	}
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|recovery|model|table1|hotpath|flight|all")
+		fmt.Fprintln(os.Stderr, "usage: gcabench [flags] fig7|fig8|fig9|fig10|fig11|overlap|chaos|hier|recovery|vcoll|model|table1|hotpath|flight|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -124,8 +124,12 @@ func main() {
 		// loopback TCP: grow admission, dead-rank compaction (including
 		// failure detection), and rejoin after death.
 		"recovery": cfg.Recovery,
+		// vcoll extends the radix study to the vector/irregular workload
+		// class: latency under uniform, skewed, and one-hot count
+		// distributions.
+		"vcoll": cfg.VColl,
 	}
-	order := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "overlap", "chaos", "hier", "recovery"}
+	order := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "overlap", "chaos", "hier", "recovery", "vcoll"}
 
 	for _, arg := range flag.Args() {
 		switch arg {

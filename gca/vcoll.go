@@ -1,0 +1,187 @@
+package gca
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"exacoll/internal/core"
+)
+
+// vcollBytes scales a per-rank element-count vector by the datatype size
+// (rejecting overflow) and returns the byte counts, their prefix offsets
+// into a packed buffer, and the packed total.
+func vcollBytes(counts []int, t Type) (bcounts, off []int, total int, err error) {
+	bcounts, err = core.ScaleCounts(counts, t)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	off = make([]int, len(bcounts)+1)
+	for i, n := range bcounts {
+		off[i+1] = off[i] + n
+	}
+	return bcounts, off, off[len(bcounts)], nil
+}
+
+// checkDispls validates that every displaced block fits inside buf:
+// displs[r] is an element offset, bcounts[r] a byte length.
+func checkDispls(displs, bcounts []int, t Type, buf []byte) error {
+	if len(displs) != len(bcounts) {
+		return fmt.Errorf("gca: %d displacements for %d counts: %w",
+			len(displs), len(bcounts), core.ErrBadBuffer)
+	}
+	for r, d := range displs {
+		if d < 0 || d > (len(buf)-bcounts[r])/t.Size() {
+			return fmt.Errorf("gca: rank %d block [%d elems + %d bytes] outside %d-byte buffer: %w",
+				r, d, bcounts[r], len(buf), core.ErrBadBuffer)
+		}
+	}
+	return nil
+}
+
+// Allgatherv collects variable-sized contributions: rank r contributes
+// counts[r] elements of type t (len(sendbuf) = counts[r]·size bytes on
+// rank r) and every rank receives all contributions. counts is in
+// elements and must be identical on every rank — selection, like the
+// algorithms themselves, keys on the shared count total, so skewed
+// per-rank sizes can never split the ranks' algorithm choice. With displs
+// nil the blocks land packed in rank order; otherwise block r is placed
+// at element offset displs[r] of recvbuf.
+func (s *Session) Allgatherv(sendbuf []byte, counts, displs []int, recvbuf []byte, t Type) error {
+	bcounts, off, total, err := vcollBytes(counts, t)
+	if err != nil {
+		return err
+	}
+	return s.coll("allgatherv", core.OpAllgatherv, total, true, func() error {
+		if displs == nil {
+			return s.tab.Run(s.c, core.OpAllgatherv, core.Args{
+				SendBuf: sendbuf, RecvBuf: recvbuf, Counts: bcounts})
+		}
+		if err := checkDispls(displs, bcounts, t, recvbuf); err != nil {
+			return err
+		}
+		packed := make([]byte, total)
+		if err := s.tab.Run(s.c, core.OpAllgatherv, core.Args{
+			SendBuf: sendbuf, RecvBuf: packed, Counts: bcounts}); err != nil {
+			return err
+		}
+		for r, d := range displs {
+			copy(recvbuf[d*t.Size():d*t.Size()+bcounts[r]], packed[off[r]:off[r+1]])
+		}
+		return nil
+	})
+}
+
+// AllgathervCtx is Allgatherv bounded by ctx's deadline.
+func (s *Session) AllgathervCtx(ctx context.Context, sendbuf []byte, counts, displs []int, recvbuf []byte, t Type) error {
+	return s.withCtx(ctx, func() error { return s.Allgatherv(sendbuf, counts, displs, recvbuf, t) })
+}
+
+// ReduceScatterv reduces every rank's full sendbuf element-wise and
+// scatters the result by the shared counts vector: rank r receives the
+// counts[r] elements starting at element sum(counts[:r]) of the reduced
+// vector. counts is in elements and identical on every rank;
+// len(sendbuf) covers the full vector, len(recvbuf) = counts[rank]·size.
+func (s *Session) ReduceScatterv(sendbuf, recvbuf []byte, counts []int, op Op, t Type) error {
+	bcounts, _, total, err := vcollBytes(counts, t)
+	if err != nil {
+		return err
+	}
+	return s.coll("reduce_scatterv", core.OpReduceScatterv, total, false, func() error {
+		return s.tab.Run(s.c, core.OpReduceScatterv, core.Args{
+			SendBuf: sendbuf, RecvBuf: recvbuf, Counts: bcounts, Op: op, Type: t})
+	})
+}
+
+// ReduceScattervCtx is ReduceScatterv bounded by ctx's deadline.
+func (s *Session) ReduceScattervCtx(ctx context.Context, sendbuf, recvbuf []byte, counts []int, op Op, t Type) error {
+	return s.withCtx(ctx, func() error { return s.ReduceScatterv(sendbuf, recvbuf, counts, op, t) })
+}
+
+// Alltoallv exchanges fully personalized variable-sized blocks:
+// sendcounts[q] elements of type t go to rank q (read from element offset
+// sdispls[q], or packed in rank order when sdispls is nil), and
+// recvcounts[q] elements arrive from rank q (placed at element offset
+// rdispls[q], or packed when rdispls is nil). Unlike the shared counts of
+// Allgatherv, each rank passes only its own send/recv rows — the session
+// assembles the global count matrix with a fixed-size allgather, then
+// verifies the peers' declared sends match recvcounts before moving
+// payload, so a count disagreement fails fast instead of corrupting
+// buffers.
+func (s *Session) Alltoallv(sendbuf []byte, sendcounts, sdispls []int, recvbuf []byte, recvcounts, rdispls []int, t Type) error {
+	p := s.c.Size()
+	me := s.c.Rank()
+	if len(sendcounts) != p || len(recvcounts) != p {
+		return fmt.Errorf("gca: alltoallv wants %d send and recv counts, got %d and %d: %w",
+			p, len(sendcounts), len(recvcounts), core.ErrBadBuffer)
+	}
+	sb, soff, stotal, err := vcollBytes(sendcounts, t)
+	if err != nil {
+		return err
+	}
+	rb, roff, rtotal, err := vcollBytes(recvcounts, t)
+	if err != nil {
+		return err
+	}
+	return s.coll("alltoallv", core.OpAlltoallv, stotal+rtotal, true, func() error {
+		// Assemble the global element-count matrix: one fixed-size
+		// allgather of each rank's row, int64-encoded.
+		row := make([]byte, 8*p)
+		for q, n := range sendcounts {
+			binary.LittleEndian.PutUint64(row[q*8:], uint64(n))
+		}
+		all := make([]byte, 8*p*p)
+		if err := core.AllgatherBruck(s.c, row, all); err != nil {
+			return err
+		}
+		m := make([]int, p*p)
+		for i := range m {
+			m[i] = int(binary.LittleEndian.Uint64(all[i*8:]))
+		}
+		for q := 0; q < p; q++ {
+			if m[q*p+me] != recvcounts[q] {
+				return fmt.Errorf("gca: rank %d declares %d elements for us, recvcounts[%d] = %d: %w",
+					q, m[q*p+me], q, recvcounts[q], core.ErrBadBuffer)
+			}
+		}
+		mb, err := core.ScaleCounts(m, t)
+		if err != nil {
+			return err
+		}
+
+		send := sendbuf
+		if sdispls != nil {
+			if err := checkDispls(sdispls, sb, t, sendbuf); err != nil {
+				return err
+			}
+			send = make([]byte, stotal)
+			for q, d := range sdispls {
+				copy(send[soff[q]:soff[q+1]], sendbuf[d*t.Size():d*t.Size()+sb[q]])
+			}
+		}
+		recv := recvbuf
+		if rdispls != nil {
+			if err := checkDispls(rdispls, rb, t, recvbuf); err != nil {
+				return err
+			}
+			recv = make([]byte, rtotal)
+		}
+		if err := s.tab.Run(s.c, core.OpAlltoallv, core.Args{
+			SendBuf: send, RecvBuf: recv, Counts: mb}); err != nil {
+			return err
+		}
+		if rdispls != nil {
+			for q, d := range rdispls {
+				copy(recvbuf[d*t.Size():d*t.Size()+rb[q]], recv[roff[q]:roff[q+1]])
+			}
+		}
+		return nil
+	})
+}
+
+// AlltoallvCtx is Alltoallv bounded by ctx's deadline.
+func (s *Session) AlltoallvCtx(ctx context.Context, sendbuf []byte, sendcounts, sdispls []int, recvbuf []byte, recvcounts, rdispls []int, t Type) error {
+	return s.withCtx(ctx, func() error {
+		return s.Alltoallv(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls, t)
+	})
+}

@@ -1,0 +1,283 @@
+package gca_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"exacoll/gca"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+)
+
+// vcollElems is the skewed per-rank element-count vector the session
+// tests share: ragged, with zero-contribution ranks.
+func vcollElems(p int) []int {
+	counts := make([]int, p)
+	for r := range counts {
+		counts[r] = (r * 5) % 7 // 0, 5, 3, 1, 6, ... — zeros included
+	}
+	return counts
+}
+
+// TestSessionVColl drives the three vector collectives through the public
+// Session API on a local world — packed and displaced layouts — and
+// checks data, the selection-decision records (op name, shared selection
+// size, cross-rank agreement), and that the chosen algorithms come from
+// the right ladders.
+func TestSessionVColl(t *testing.T) {
+	const p = 6
+	w := gca.NewLocalWorld(p)
+	defer w.Close()
+	reg := gca.NewMetrics()
+	counts := vcollElems(p)
+	off := make([]int, p+1)
+	for r, n := range counts {
+		off[r+1] = off[r] + n
+	}
+	total := off[p]
+
+	err := w.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c, gca.OnMachine(gca.Frontier()), gca.WithMetrics(reg))
+		me := s.Rank()
+
+		// Allgatherv, int32 payloads, packed then displaced.
+		enc32 := func(seed, n int) []byte {
+			b := make([]byte, 4*n)
+			for i := 0; i < n; i++ {
+				v := uint32(seed*1000 + i)
+				b[4*i], b[4*i+1], b[4*i+2], b[4*i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			}
+			return b
+		}
+		recv := make([]byte, 4*total)
+		if err := s.Allgatherv(enc32(me, counts[me]), counts, nil, recv, gca.Int32); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			if !bytes.Equal(recv[4*off[r]:4*off[r+1]], enc32(r, counts[r])) {
+				return fmt.Errorf("allgatherv block %d mismatch at rank %d", r, me)
+			}
+		}
+		// Displaced: reverse rank order, with one element of slack between
+		// blocks so placement is genuinely non-packed.
+		displs := make([]int, p)
+		pos := 0
+		for r := p - 1; r >= 0; r-- {
+			displs[r] = pos
+			pos += counts[r] + 1
+		}
+		dst := make([]byte, 4*pos)
+		if err := s.Allgatherv(enc32(me, counts[me]), counts, displs, dst, gca.Int32); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			got := dst[4*displs[r] : 4*displs[r]+4*counts[r]]
+			if !bytes.Equal(got, enc32(r, counts[r])) {
+				return fmt.Errorf("displaced allgatherv block %d mismatch at rank %d", r, me)
+			}
+		}
+
+		// ReduceScatterv over float64 with exact small-integer sums.
+		vec := func(r int) []float64 {
+			v := make([]float64, total)
+			for i := range v {
+				v[i] = float64((r + 1) * (i + 2))
+			}
+			return v
+		}
+		sum := make([]float64, total)
+		for r := 0; r < p; r++ {
+			for i, x := range vec(r) {
+				sum[i] += x
+			}
+		}
+		rsRecv := make([]byte, 8*counts[me])
+		if err := s.ReduceScatterv(datatype.EncodeFloat64(vec(me)), rsRecv, counts, gca.Sum, gca.Float64); err != nil {
+			return err
+		}
+		want := datatype.EncodeFloat64(sum)[8*off[me] : 8*off[me+1]]
+		if !bytes.Equal(rsRecv, want) {
+			return fmt.Errorf("reduce-scatterv mismatch at rank %d", me)
+		}
+
+		// Alltoallv with per-pair skew (bytes, Uint8), packed rows.
+		cell := func(i, j int) int { return (i*3 + j*5) % 4 }
+		blk := func(i, j int) []byte {
+			b := make([]byte, cell(i, j))
+			for x := range b {
+				b[x] = byte(i*59 + j*17 + x)
+			}
+			return b
+		}
+		var sendcounts, recvcounts []int
+		var send []byte
+		for q := 0; q < p; q++ {
+			sendcounts = append(sendcounts, cell(me, q))
+			recvcounts = append(recvcounts, cell(q, me))
+			send = append(send, blk(me, q)...)
+		}
+		rtotal := 0
+		for _, n := range recvcounts {
+			rtotal += n
+		}
+		arecv := make([]byte, rtotal)
+		if err := s.Alltoallv(send, sendcounts, nil, arecv, recvcounts, nil, gca.Uint8); err != nil {
+			return err
+		}
+		pos = 0
+		for q := 0; q < p; q++ {
+			if !bytes.Equal(arecv[pos:pos+recvcounts[q]], blk(q, me)) {
+				return fmt.Errorf("alltoallv block from %d mismatch at rank %d", q, me)
+			}
+			pos += recvcounts[q]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each rank recorded one decision per tuned collective call (the two
+	// Allgatherv layouts, ReduceScatterv, Alltoallv = 4 each), with the
+	// shared selection size and a cross-rank-identical choice from the
+	// operation's own ladder.
+	snap := reg.Snapshot()
+	byOp := map[string][]gca.Decision{}
+	for _, d := range snap.Decisions {
+		byOp[d.Op] = append(byOp[d.Op], d)
+	}
+	wantBytes := map[string]int{
+		"MPI_Allgatherv":      4 * total,
+		"MPI_Reduce_scatterv": 8 * total,
+	}
+	for op, n := range map[string]int{
+		"MPI_Allgatherv": 2 * p, "MPI_Reduce_scatterv": p, "MPI_Alltoallv": p,
+	} {
+		ds := byOp[op]
+		if len(ds) != n {
+			t.Fatalf("%s: %d decisions, want %d", op, len(ds), n)
+		}
+		for _, d := range ds {
+			if d.Alg == "" || (wantBytes[op] != 0 && d.Bytes != wantBytes[op]) {
+				t.Errorf("%s decision %+v: want alg set, bytes %d", op, d, wantBytes[op])
+			}
+			if d.Alg != ds[0].Alg || d.K != ds[0].K {
+				t.Errorf("%s: ranks disagree on selection: %+v vs %+v", op, d, ds[0])
+			}
+		}
+	}
+}
+
+// TestSessionVCollFlight checks the flight recorder brackets every
+// vector-collective Session call: the cross-rank analysis yields one
+// instance per call, in order, with the session-level labels.
+func TestSessionVCollFlight(t *testing.T) {
+	const p = 4
+	w := gca.NewLocalWorld(p)
+	defer w.Close()
+	counts := []int{2, 0, 3, 1}
+	total := 6
+	var (
+		mu   sync.Mutex
+		dump *gca.FlightDump
+	)
+	err := w.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c, gca.WithFlightRecorder(gca.FlightOptions{}))
+		me := s.Rank()
+		recv := make([]byte, 8*total)
+		send := make([]byte, 8*counts[me])
+		if err := s.Allgatherv(send, counts, nil, recv, gca.Float64); err != nil {
+			return err
+		}
+		rs := make([]byte, 8*counts[me])
+		if err := s.ReduceScatterv(make([]byte, 8*total), rs, counts, gca.Sum, gca.Float64); err != nil {
+			return err
+		}
+		sc := make([]int, p)
+		for q := range sc {
+			sc[q] = 1
+		}
+		if err := s.Alltoallv(make([]byte, p), sc, nil, make([]byte, p), sc, nil, gca.Uint8); err != nil {
+			return err
+		}
+		d, err := s.FlightDump()
+		if err != nil {
+			return err
+		}
+		if d != nil {
+			mu.Lock()
+			dump = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump == nil {
+		t.Fatal("rank 0 received no dump")
+	}
+	a := dump.Analyze()
+	if len(a.Instances) != 3 {
+		t.Fatalf("analyzed %d instances, want 3", len(a.Instances))
+	}
+	for i, want := range []string{"allgatherv", "reduce_scatterv", "alltoallv"} {
+		in := a.Instances[i]
+		if in.Label != want {
+			t.Errorf("instance %d label %q, want %q", i, in.Label, want)
+		}
+		if in.WallNs() <= 0 {
+			t.Errorf("instance %d has non-positive wall time", i)
+		}
+	}
+}
+
+// TestSessionVCollValidation exercises the session-level argument checks:
+// element counts whose byte total overflows, displacements outside the
+// buffer, and an alltoallv count-matrix disagreement between ranks must
+// all fail with ErrBadBuffer on every rank, without corrupting buffers.
+func TestSessionVCollValidation(t *testing.T) {
+	const p = 4
+	w := gca.NewLocalWorld(p)
+	defer w.Close()
+	err := w.Run(func(c gca.Comm) error {
+		s := gca.NewSession(c)
+		me := s.Rank()
+
+		over := []int{1, math.MaxInt / 4, math.MaxInt / 4, math.MaxInt / 4}
+		if err := s.Allgatherv(nil, over, nil, nil, gca.Float64); !errors.Is(err, core.ErrBadBuffer) {
+			return fmt.Errorf("overflowing counts: got %v, want ErrBadBuffer", err)
+		}
+		if err := s.ReduceScatterv(nil, nil, over, gca.Sum, gca.Float64); !errors.Is(err, core.ErrBadBuffer) {
+			return fmt.Errorf("overflowing reduce-scatterv counts: got %v, want ErrBadBuffer", err)
+		}
+
+		counts := []int{1, 1, 1, 1}
+		displs := []int{0, 1, 2, 9} // last block falls outside recvbuf
+		recv := make([]byte, 8*p)
+		send := make([]byte, 8)
+		if err := s.Allgatherv(send, counts, displs, recv, gca.Float64); !errors.Is(err, core.ErrBadBuffer) {
+			return fmt.Errorf("out-of-range displs: got %v, want ErrBadBuffer", err)
+		}
+
+		// Rank 2 claims to send more than the others expect: the count
+		// exchange must detect the disagreement before any payload moves.
+		sc := []int{1, 1, 1, 1}
+		if me == 2 {
+			sc = []int{2, 2, 2, 2}
+		}
+		sbuf := make([]byte, sc[0]*p)
+		rbuf := make([]byte, p)
+		if err := s.Alltoallv(sbuf, sc, nil, rbuf, []int{1, 1, 1, 1}, nil, gca.Uint8); !errors.Is(err, core.ErrBadBuffer) {
+			return fmt.Errorf("count disagreement: got %v, want ErrBadBuffer", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -57,8 +57,61 @@ func MakeArgs(op core.CollOp, rank, p, n, root, k int) core.Args {
 	case core.OpScan:
 		a.SendBuf = pattern(rank, n)
 		a.RecvBuf = make([]byte, n)
+	case core.OpAllgatherv:
+		counts := vcollCounts(p, n)
+		total := 0
+		for _, cn := range counts {
+			total += cn
+		}
+		a.Counts = counts
+		a.SendBuf = pattern(rank, counts[rank])
+		a.RecvBuf = make([]byte, total)
+	case core.OpReduceScatterv:
+		counts := vcollCounts(p, n)
+		total := 0
+		for _, cn := range counts {
+			total += cn
+		}
+		a.Counts = counts
+		a.SendBuf = pattern(rank, total)
+		a.RecvBuf = make([]byte, counts[rank])
+	case core.OpAlltoallv:
+		m := vcollMatrix(p, n)
+		a.Counts = m
+		sendTotal, recvTotal := 0, 0
+		for q := 0; q < p; q++ {
+			sendTotal += m[rank*p+q]
+			recvTotal += m[q*p+rank]
+		}
+		a.SendBuf = pattern(rank, sendTotal)
+		a.RecvBuf = make([]byte, recvTotal)
 	}
 	return a
+}
+
+// vcollCounts is the deterministic skewed per-rank byte-count vector used
+// for the vector collectives: multiples of 8 (element-aligned for float64
+// reduce-scatterv) scaling with n, zeros included.
+func vcollCounts(p, n int) []int {
+	unit := RoundSize(n)
+	counts := make([]int, p)
+	for r := range counts {
+		counts[r] = ((r*37 + 1) % 5) * unit
+	}
+	return counts
+}
+
+// vcollMatrix is the deterministic skewed p×p alltoallv byte-count matrix
+// (row-major, entry [i*p+j] = bytes i sends j), zeros included.
+func vcollMatrix(p, n int) []int {
+	unit := RoundSize(n)
+	m := make([]int, p*p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			m[i*p+j] = ((i*31 + j*17 + 1) % 5) * unit
+		}
+	}
+	return m
 }
 
 // RoundSize rounds a message size up to a multiple of 8 bytes so float64

@@ -179,7 +179,7 @@ func TestQuickFigures(t *testing.T) {
 		t.Skip("figure smoke test is not short")
 	}
 	cfg := QuickConfig()
-	figs := []func() (*Figure, error){cfg.Fig7, cfg.Fig8, cfg.Fig9, cfg.Fig10, cfg.Fig11}
+	figs := []func() (*Figure, error){cfg.Fig7, cfg.Fig8, cfg.Fig9, cfg.Fig10, cfg.Fig11, cfg.VColl}
 	for _, f := range figs {
 		fig, err := f()
 		if err != nil {

@@ -129,6 +129,57 @@ func checkSimCollective(c comm.Comm, alg *core.Algorithm, n, root, k int) error 
 		if !bytes.Equal(a.RecvBuf, datatype.EncodeFloat64(want)) {
 			return fmt.Errorf("scan mismatch at rank %d", me)
 		}
+	case core.OpAllgatherv:
+		pos := 0
+		for r := 0; r < p; r++ {
+			want := MakeArgs(alg.Op, r, p, n, root, k).SendBuf
+			if !bytes.Equal(a.RecvBuf[pos:pos+len(want)], want) {
+				return fmt.Errorf("allgatherv block %d mismatch at rank %d", r, me)
+			}
+			pos += len(want)
+		}
+	case core.OpReduceScatterv:
+		// MakeArgs payloads are raw byte patterns reinterpreted as float64,
+		// so their sums round — the expectation must reproduce the ring's
+		// association, not natural rank order: block r accumulates along
+		// the reversed ring chain r-1, r-2, ..., r+1, owner folded in last
+		// (IEEE addition is commutative, so local-vs-incoming operand order
+		// doesn't matter, but the grouping does). The mem/shm/tcp suites
+		// use exactly-summing integer-valued vectors instead.
+		inputs := make([][]float64, p)
+		for r := 0; r < p; r++ {
+			inputs[r] = datatype.DecodeFloat64(MakeArgs(alg.Op, r, p, n, root, k).SendBuf)
+		}
+		off := 0
+		for r := 0; r < me; r++ {
+			off += a.Counts[r]
+		}
+		offE, elems := off/8, a.Counts[me]/8
+		want := make([]float64, elems)
+		copy(want, inputs[(me-1+p)%p][offE:offE+elems])
+		for j := 2; j <= p; j++ {
+			q := (me - j + p) % p
+			for i := range want {
+				want[i] = inputs[q][offE+i] + want[i]
+			}
+		}
+		if !bytes.Equal(a.RecvBuf, datatype.EncodeFloat64(want)) {
+			return fmt.Errorf("reduce-scatterv mismatch at rank %d", me)
+		}
+	case core.OpAlltoallv:
+		pos := 0
+		for src := 0; src < p; src++ {
+			srcSend := MakeArgs(alg.Op, src, p, n, root, k).SendBuf
+			srcOff := 0
+			for q := 0; q < me; q++ {
+				srcOff += a.Counts[src*p+q]
+			}
+			sz := a.Counts[src*p+me]
+			if !bytes.Equal(a.RecvBuf[pos:pos+sz], srcSend[srcOff:srcOff+sz]) {
+				return fmt.Errorf("alltoallv block from %d wrong at rank %d", src, me)
+			}
+			pos += sz
+		}
 	}
 	return nil
 }

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/core"
+	"exacoll/internal/datatype"
+	"exacoll/internal/simnet"
+)
+
+// vcollUniform is the degenerate regular distribution: every rank
+// contributes exactly unit bytes.
+func vcollUniform(p, unit int) []int {
+	c := make([]int, p)
+	for r := range c {
+		c[r] = unit
+	}
+	return c
+}
+
+func vcollUniformMatrix(p, unit int) []int {
+	m := make([]int, p*p)
+	for i := range m {
+		m[i] = unit
+	}
+	return m
+}
+
+// vcollOneHot is the hardest skew: one rank holds the whole p·unit
+// payload, everyone else contributes nothing.
+func vcollOneHot(p, unit int) []int {
+	c := make([]int, p)
+	c[p/2] = unit * p
+	return c
+}
+
+func vcollOneHotMatrix(p, unit int) []int {
+	m := make([]int, p*p)
+	for i := 0; i < p; i++ {
+		m[i*p+(i+1)%p] = unit * p
+	}
+	return m
+}
+
+// vcollArgs builds one rank's argument bundle from explicit count
+// shapes — the distribution-parameterized sibling of MakeArgs (which
+// bakes in the single skewed shape the conformance suite uses).
+func vcollArgs(op core.CollOp, rank, p, k int, counts, m []int) core.Args {
+	pattern := func(seed, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte((seed*31 + i) % 251)
+		}
+		return b
+	}
+	total := 0
+	for _, cn := range counts {
+		total += cn
+	}
+	a := core.Args{K: k, Op: datatype.Sum, Type: datatype.Float64}
+	switch op {
+	case core.OpAllgatherv:
+		a.Counts = counts
+		a.SendBuf = pattern(rank, counts[rank])
+		a.RecvBuf = make([]byte, total)
+	case core.OpReduceScatterv:
+		a.Counts = counts
+		a.SendBuf = pattern(rank, total)
+		a.RecvBuf = make([]byte, counts[rank])
+	case core.OpAlltoallv:
+		a.Counts = m
+		sendTotal, recvTotal := 0, 0
+		for q := 0; q < p; q++ {
+			sendTotal += m[rank*p+q]
+			recvTotal += m[q*p+rank]
+		}
+		a.SendBuf = pattern(rank, sendTotal)
+		a.RecvBuf = make([]byte, recvTotal)
+	case core.OpAllreduce:
+		a.SendBuf = pattern(rank, total)
+		a.RecvBuf = make([]byte, total)
+	}
+	return a
+}
+
+// VColl is the vector/irregular-collective study (not a paper figure):
+// latency of every vcoll algorithm — both allgathervs, the ring
+// reduce-scatterv, both alltoallvs, and the Kolmakov–Zhang generalized
+// allreduce over the same total bytes — swept over unit block sizes, one
+// grid per count distribution. Uniform is the regular baseline; the
+// skewed grid uses the conformance suite's ragged-with-zeros shape; the
+// one-hot grid concentrates the whole payload on a single rank, the skew
+// that separates algorithms whose critical path follows the largest
+// contribution (rings) from those that amortize it over rounds (Bruck).
+func (cfg Config) VColl() (*Figure, error) {
+	p := cfg.Nodes
+	sizes := cfg.sizes(8, 64<<10)
+	type series struct {
+		name string
+		alg  string
+		k    int
+	}
+	allSeries := []series{
+		{"allgatherv_ring", "allgatherv_ring", 0},
+		{"allgatherv_knomial_bruck k=2", "allgatherv_knomial_bruck", 2},
+		{"allgatherv_knomial_bruck k=8", "allgatherv_knomial_bruck", 8},
+		{"reducescatterv_ring", "reducescatterv_ring", 0},
+		{"alltoallv_linear", "alltoallv_linear", 0},
+		{"alltoallv_bruck", "alltoallv_bruck", 0},
+		{"allreduce_gkz k=2", "allreduce_gkz", 2},
+		{"allreduce_gkz k=4", "allreduce_gkz", 4},
+	}
+	if cfg.Quick {
+		allSeries = []series{
+			{"allgatherv_ring", "allgatherv_ring", 0},
+			{"allgatherv_knomial_bruck k=2", "allgatherv_knomial_bruck", 2},
+			{"reducescatterv_ring", "reducescatterv_ring", 0},
+			{"alltoallv_bruck", "alltoallv_bruck", 0},
+			{"allreduce_gkz k=2", "allreduce_gkz", 2},
+		}
+	}
+	dists := []struct {
+		name   string
+		counts func(p, unit int) []int
+		matrix func(p, unit int) []int
+	}{
+		{"uniform", vcollUniform, vcollUniformMatrix},
+		{"skewed", vcollCounts, vcollMatrix},
+		{"onehot", vcollOneHot, vcollOneHotMatrix},
+	}
+	fig := &Figure{
+		ID: "vcoll",
+		Caption: fmt.Sprintf("vector/irregular collectives on %s, p=%d: latency vs unit block size under uniform, skewed, and one-hot count distributions",
+			cfg.Frontier.Name, p),
+		Notes: []string{
+			"not a paper figure: extends the Table I radix study to the vector workload class (allgatherv/reduce-scatterv/alltoallv) plus the generalized Kolmakov-Zhang allreduce over matching total bytes",
+			"x axis is the unit block size; per-rank counts are the distribution's multiples of it, so total bytes grow with p and skew",
+		},
+	}
+	for _, d := range dists {
+		g := &Grid{
+			Title: fmt.Sprintf("%s counts on %s, p=%d", d.name, cfg.Frontier.Name, p),
+			XName: "unit_bytes", YName: "latency_us",
+		}
+		for _, n := range sizes {
+			g.Xs = append(g.Xs, RoundSize(n))
+		}
+		for _, s := range allSeries {
+			fn, op, err := AlgFn(s.alg)
+			if err != nil {
+				return nil, err
+			}
+			ys := make([]float64, len(g.Xs))
+			for i, unit := range g.Xs {
+				counts := d.counts(p, unit)
+				m := d.matrix(p, unit)
+				sim, err := simnet.New(cfg.Frontier, p)
+				if err != nil {
+					return nil, err
+				}
+				if err := sim.Run(func(c comm.Comm) error {
+					return fn(c, vcollArgs(op, c.Rank(), p, s.k, counts, m))
+				}); err != nil {
+					return nil, fmt.Errorf("vcoll %s dist=%s unit=%d: %w", s.name, d.name, unit, err)
+				}
+				ys[i] = sim.MaxTime() * 1e6
+			}
+			if err := g.AddSeries(s.name, ys); err != nil {
+				return nil, err
+			}
+		}
+		fig.Grids = append(fig.Grids, g)
+	}
+	return fig, nil
+}

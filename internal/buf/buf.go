@@ -27,7 +27,10 @@
 //     builds poison buffers on Put so use-after-Put reads surface in tests.
 package buf
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 const (
 	minBits = 6  // smallest class: 64 B
@@ -59,6 +62,31 @@ var classes = func() []*class {
 	return cs
 }()
 
+// gets and puts count ownership transfers: every Get of a non-empty
+// buffer and every Put of a non-empty buffer, whether or not the bytes
+// came from (or return to) a free list. Their difference is the number of
+// buffers currently owned by callers, so leak tests can assert it returns
+// to a baseline.
+var gets, puts atomic.Uint64
+
+// PoolStats is a snapshot of the pool's ownership counters.
+type PoolStats struct {
+	// Gets counts Get calls that handed a non-empty buffer to a caller.
+	Gets uint64
+	// Puts counts Put calls that returned a non-empty buffer (including
+	// buffers the pool then dropped for being off-class).
+	Puts uint64
+}
+
+// Outstanding is the number of buffers currently held by callers.
+func (s PoolStats) Outstanding() uint64 { return s.Gets - s.Puts }
+
+// Stats returns the current ownership counters. The snapshot is only
+// meaningfully quiescent when no collective is in flight.
+func Stats() PoolStats {
+	return PoolStats{Gets: gets.Load(), Puts: puts.Load()}
+}
+
 // classIndex returns the index of the smallest class holding n bytes, or
 // -1 if n exceeds the largest class.
 func classIndex(n int) int {
@@ -79,6 +107,7 @@ func Get(n int) []byte {
 	if n <= 0 {
 		return nil
 	}
+	gets.Add(1)
 	ci := classIndex(n)
 	if ci < 0 {
 		return make([]byte, n)
@@ -110,6 +139,7 @@ func Put(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
+	puts.Add(1)
 	ci := classIndex(cap(b))
 	if ci < 0 || cap(b) != 1<<(uint(ci)+minBits) {
 		return

@@ -39,7 +39,7 @@ type Tag int32
 //	[TagUser, TagCollBase)      application point-to-point traffic
 //	[TagCollBase, TagNBCBase)   blocking collectives (internal/core): each
 //	                            algorithm family owns a fixed base
-//	                            (TagCollBase + 0x000, +0x100, ... +0xd00)
+//	                            (TagCollBase + 0x000, +0x100, ... +0xf00)
 //	                            and all rounds of one call share it —
 //	                            per-(source, tag) FIFO ordering makes that
 //	                            safe because a rank runs at most one
@@ -74,10 +74,11 @@ const (
 	// TagCollBase + family offset.
 	TagCollBase Tag = 1 << 20
 	// TagNBCBase is the first tag reserved for nonblocking collectives.
-	// It lies above every blocking family base (TagCollBase + 0xd00 — the
-	// segmented-pipeline family of internal/core — is the highest in use;
-	// +0xc00 is the hierarchical composition engine's inter-level hops,
-	// internal/topo).
+	// It lies above every blocking family base (TagCollBase + 0xf00 — the
+	// generalized-allreduce family of internal/core — is the highest in
+	// use; +0xe00 is the vector collectives, +0xd00 the segmented
+	// pipelines, +0xc00 the hierarchical composition engine's inter-level
+	// hops, internal/topo).
 	TagNBCBase Tag = TagCollBase + 0x10000
 	// NBCTagStride is the number of tags each nonblocking-collective epoch
 	// owns (one per schedule phase; no compiled schedule uses more).
@@ -102,7 +103,7 @@ const (
 	TagFTEpochBase Tag = TagFTBase + FTTagSeqs
 	// FTEpochStride is the tag width of one retired-epoch window; it
 	// covers every blocking family base (the highest in use is
-	// TagCollBase + 0xd00, internal/core's segmented-pipeline family).
+	// TagCollBase + 0xf00, internal/core's generalized-allreduce family).
 	FTEpochStride = 0x1000
 	// FTEpochs is the number of disjoint collective-epoch windows before
 	// the fault-tolerance tag space wraps.

@@ -192,9 +192,101 @@ func checkCollective(t *testing.T, alg *Algorithm, p, n, root, k int) {
 			return nil
 		})
 
+	case OpAllgatherv:
+		counts := conformanceCounts(p, n)
+		off := prefixOffsets(counts)
+		want := make([]byte, 0, off[p])
+		for r := 0; r < p; r++ {
+			want = append(want, rankPayload(r, counts[r])...)
+		}
+		runOnWorld(t, p, func(c comm.Comm) error {
+			me := c.Rank()
+			recvbuf := make([]byte, off[p])
+			a := Args{SendBuf: rankPayload(me, counts[me]), RecvBuf: recvbuf, Counts: counts, K: k}
+			if err := alg.Run(c, a); err != nil {
+				return err
+			}
+			if !bytes.Equal(recvbuf, want) {
+				return fmt.Errorf("allgatherv result mismatch at rank %d", me)
+			}
+			return nil
+		})
+
+	case OpReduceScatterv:
+		counts := conformanceCounts(p, n)
+		off := prefixOffsets(counts)
+		sum := expectedSum(p, off[p]/8)
+		runOnWorld(t, p, func(c comm.Comm) error {
+			me := c.Rank()
+			sendbuf := datatype.EncodeFloat64(rankVector(me, off[p]/8))
+			recvbuf := make([]byte, counts[me])
+			a := Args{SendBuf: sendbuf, RecvBuf: recvbuf, Counts: counts,
+				Op: datatype.Sum, Type: datatype.Float64, K: k}
+			if err := alg.Run(c, a); err != nil {
+				return err
+			}
+			want := datatype.EncodeFloat64(sum)[off[me]:off[me+1]]
+			if !bytes.Equal(recvbuf, want) {
+				return fmt.Errorf("reduce-scatterv block mismatch at rank %d", me)
+			}
+			return nil
+		})
+
+	case OpAlltoallv:
+		m := conformanceCountMatrix(p, n)
+		runOnWorld(t, p, func(c comm.Comm) error {
+			me := c.Rank()
+			var sendbuf []byte
+			for dst := 0; dst < p; dst++ {
+				sendbuf = append(sendbuf, rankPayload(me*1000+dst, m[me*p+dst])...)
+			}
+			recvTotal := 0
+			for src := 0; src < p; src++ {
+				recvTotal += m[src*p+me]
+			}
+			recvbuf := make([]byte, recvTotal)
+			if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, Counts: m, K: k}); err != nil {
+				return err
+			}
+			pos := 0
+			for src := 0; src < p; src++ {
+				sz := m[src*p+me]
+				if !bytes.Equal(recvbuf[pos:pos+sz], rankPayload(src*1000+me, sz)) {
+					return fmt.Errorf("alltoallv block from %d wrong at rank %d", src, me)
+				}
+				pos += sz
+			}
+			return nil
+		})
+
 	default:
 		t.Fatalf("unhandled op %v", alg.Op)
 	}
+}
+
+// conformanceCounts is the deterministic ragged per-rank byte-count vector
+// for the v-collective cases: multiples of 8 (element-aligned for float64
+// reductions) scaled with n, with genuine zero counts sprinkled in.
+func conformanceCounts(p, n int) []int {
+	unit := 8 * (n/32 + 1)
+	counts := make([]int, p)
+	for r := range counts {
+		counts[r] = ((r * 37) % 5) * unit
+	}
+	return counts
+}
+
+// conformanceCountMatrix is the ragged p×p alltoallv byte-count matrix,
+// zeros included.
+func conformanceCountMatrix(p, n int) []int {
+	unit := 8 * (n/32 + 1)
+	m := make([]int, p*p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			m[i*p+j] = ((i*31 + j*17) % 5) * unit
+		}
+	}
+	return m
 }
 
 var conformanceSizes = []int{8, 64, 1024, 8192}

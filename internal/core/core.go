@@ -35,6 +35,8 @@ const (
 	tagBarrier  comm.Tag = comm.TagCollBase + 0xa00
 	tagAlltoall comm.Tag = comm.TagCollBase + 0xb00
 	tagPipe     comm.Tag = comm.TagCollBase + 0xd00
+	tagVColl    comm.Tag = comm.TagCollBase + 0xe00
+	tagGKZ      comm.Tag = comm.TagCollBase + 0xf00
 )
 
 // Validation errors shared by all algorithms.

@@ -76,6 +76,26 @@ func buildArgs(op CollOp, rank, p, n int) Args {
 	case OpScan:
 		a.SendBuf = make([]byte, n)
 		a.RecvBuf = make([]byte, n)
+	case OpAllgatherv:
+		counts := conformanceCounts(p, n)
+		a.Counts = counts
+		a.SendBuf = make([]byte, counts[rank])
+		a.RecvBuf = make([]byte, prefixOffsets(counts)[p])
+	case OpReduceScatterv:
+		counts := conformanceCounts(p, n)
+		a.Counts = counts
+		a.SendBuf = make([]byte, prefixOffsets(counts)[p])
+		a.RecvBuf = make([]byte, counts[rank])
+	case OpAlltoallv:
+		m := conformanceCountMatrix(p, n)
+		a.Counts = m
+		st, rt := 0, 0
+		for q := 0; q < p; q++ {
+			st += m[rank*p+q]
+			rt += m[q*p+rank]
+		}
+		a.SendBuf = make([]byte, st)
+		a.RecvBuf = make([]byte, rt)
 	}
 	return a
 }

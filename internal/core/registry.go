@@ -12,7 +12,7 @@ import (
 type CollOp int
 
 // The collective operations covered by the paper (Table I) plus the
-// reduce-scatter building block.
+// reduce-scatter building block and the vector ("v") variants.
 const (
 	OpBcast CollOp = iota
 	OpReduce
@@ -23,6 +23,9 @@ const (
 	OpReduceScatter
 	OpAlltoall
 	OpScan
+	OpAllgatherv
+	OpReduceScatterv
+	OpAlltoallv
 )
 
 // String returns the MPI-style name of the operation.
@@ -46,6 +49,12 @@ func (o CollOp) String() string {
 		return "MPI_Alltoall"
 	case OpScan:
 		return "MPI_Scan"
+	case OpAllgatherv:
+		return "MPI_Allgatherv"
+	case OpReduceScatterv:
+		return "MPI_Reduce_scatterv"
+	case OpAlltoallv:
+		return "MPI_Alltoallv"
 	default:
 		return fmt.Sprintf("CollOp(%d)", int(o))
 	}
@@ -109,6 +118,13 @@ type Args struct {
 	Type datatype.Type
 	// Root is the root rank for rooted collectives.
 	Root int
+	// Counts carries the shared per-rank byte counts of the vector ("v")
+	// collectives: p entries for allgatherv (bytes contributed by each
+	// rank) and reduce-scatterv (bytes received by each rank), p×p
+	// row-major entries for alltoallv (Counts[i*p+j] = bytes rank i sends
+	// rank j). Every rank must pass identical Counts — selection and
+	// message sizing both derive from it.
+	Counts []int
 	// K is the radix/group-size parameter of generalized algorithms.
 	K int
 	// SegSize is the pipeline segment size in bytes for segmented
@@ -408,6 +424,59 @@ func init() {
 			return AllreduceRingPipelined(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, seg)
 		},
 	})
+	// --- Vector ("v") collectives. Counts carries the shared per-rank
+	// byte counts (see Args.Counts); alltoallv takes the full matrix. The
+	// Kolmakov–Zhang allreduce is Generalized but not TableI: it extends
+	// the family past the paper's ten.
+	register(&Algorithm{
+		Name: "allgatherv_ring", Op: OpAllgatherv, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error {
+			return AllgathervRing(c, a.SendBuf, a.Counts, a.RecvBuf)
+		},
+	})
+	register(&Algorithm{
+		Name: "allgatherv_knomial_bruck", Op: OpAllgatherv, Kernel: KernelBruck,
+		Generalized: true, Baseline: "allgatherv_ring", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			return AllgathervKnomialBruck(c, a.SendBuf, a.Counts, a.RecvBuf, a.K)
+		},
+	})
+	register(&Algorithm{
+		Name: "reducescatterv_ring", Op: OpReduceScatterv, Kernel: KernelRing,
+		Run: func(c comm.Comm, a Args) error {
+			return ReduceScattervRing(c, a.SendBuf, a.Counts, a.RecvBuf, a.Op, a.Type)
+		},
+	})
+	register(&Algorithm{
+		Name: "alltoallv_linear", Op: OpAlltoallv, Kernel: KernelLinear,
+		Run: func(c comm.Comm, a Args) error {
+			p := c.Size()
+			me := c.Rank()
+			if len(a.Counts) != p*p {
+				return fmt.Errorf("%w: %d matrix entries for %d ranks", ErrBadBuffer, len(a.Counts), p)
+			}
+			sendcounts := a.Counts[me*p : (me+1)*p]
+			recvcounts := make([]int, p)
+			for q := 0; q < p; q++ {
+				recvcounts[q] = a.Counts[q*p+me]
+			}
+			return AlltoallvLinear(c, a.SendBuf, sendcounts, a.RecvBuf, recvcounts)
+		},
+	})
+	register(&Algorithm{
+		Name: "alltoallv_bruck", Op: OpAlltoallv, Kernel: KernelBruck,
+		Run: func(c comm.Comm, a Args) error {
+			return AlltoallvBruck(c, a.SendBuf, a.Counts, a.RecvBuf)
+		},
+	})
+	register(&Algorithm{
+		Name: "allreduce_gkz", Op: OpAllreduce, Kernel: KernelRabenseifner,
+		Generalized: true, Baseline: "allreduce_rabenseifner", DefaultK: 2,
+		Run: func(c comm.Comm, a Args) error {
+			return AllreduceGeneralizedKZ(c, a.SendBuf, a.RecvBuf, a.Op, a.Type, a.K)
+		},
+	})
+
 	register(&Algorithm{
 		Name: "alltoall_pairwise", Op: OpAlltoall, Kernel: KernelRing,
 		Run: func(c comm.Comm, a Args) error { return AlltoallPairwise(c, a.SendBuf, a.RecvBuf) },

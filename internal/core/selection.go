@@ -12,9 +12,21 @@ package core
 // the root holds the p·block send buffer (non-roots may pass nil), so
 // its per-rank block — len(RecvBuf), identical on every rank including
 // the root — is the selection size.
+// The vector collectives are the other exception: per-rank buffer lengths
+// differ under skew, but the counts vector (or matrix) is shared, so its
+// total is the agreement-safe size — and the right one to select on, since
+// skewed traffic stresses bandwidth by total volume, not by any one rank's
+// contribution.
 func SelectionSize(op CollOp, a Args) int {
-	if op == OpScatter {
+	switch op {
+	case OpScatter:
 		return len(a.RecvBuf)
+	case OpAllgatherv, OpReduceScatterv, OpAlltoallv:
+		total := 0
+		for _, n := range a.Counts {
+			total += n
+		}
+		return total
 	}
 	return len(a.SendBuf)
 }

@@ -163,6 +163,52 @@ func runAndVerify(c comm.Comm, alg *Algorithm, n, root, k int) error {
 				return fmt.Errorf("alltoall block %d mismatch", src)
 			}
 		}
+	case OpAllgatherv:
+		counts := conformanceCounts(p, n)
+		off := prefixOffsets(counts)
+		recvbuf := make([]byte, off[p])
+		if err := alg.Run(c, Args{SendBuf: rankPayload(me, counts[me]), RecvBuf: recvbuf,
+			Counts: counts, K: k}); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			if !bytes.Equal(recvbuf[off[r]:off[r+1]], rankPayload(r, counts[r])) {
+				return fmt.Errorf("allgatherv block %d mismatch", r)
+			}
+		}
+	case OpReduceScatterv:
+		counts := conformanceCounts(p, n)
+		off := prefixOffsets(counts)
+		sendbuf := datatype.EncodeFloat64(rankVector(me, off[p]/8))
+		recvbuf := make([]byte, counts[me])
+		if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, Counts: counts,
+			Op: datatype.Sum, Type: datatype.Float64, K: k}); err != nil {
+			return err
+		}
+		want := datatype.EncodeFloat64(expectedSum(p, off[p]/8))[off[me]:off[me+1]]
+		if !bytes.Equal(recvbuf, want) {
+			return fmt.Errorf("reduce-scatterv mismatch")
+		}
+	case OpAlltoallv:
+		m := conformanceCountMatrix(p, n)
+		var sendbuf []byte
+		recvTotal := 0
+		for q := 0; q < p; q++ {
+			sendbuf = append(sendbuf, rankPayload(me*1000+q, m[me*p+q])...)
+			recvTotal += m[q*p+me]
+		}
+		recvbuf := make([]byte, recvTotal)
+		if err := alg.Run(c, Args{SendBuf: sendbuf, RecvBuf: recvbuf, Counts: m, K: k}); err != nil {
+			return err
+		}
+		pos := 0
+		for src := 0; src < p; src++ {
+			sz := m[src*p+me]
+			if !bytes.Equal(recvbuf[pos:pos+sz], rankPayload(src*1000+me, sz)) {
+				return fmt.Errorf("alltoallv block %d mismatch", src)
+			}
+			pos += sz
+		}
 	}
 	return nil
 }

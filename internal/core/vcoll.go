@@ -2,19 +2,26 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	scratch "exacoll/internal/buf"
 	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
 )
 
 // Variable-count collectives (the MPI "v" variants). The k-nomial tree
 // handles them naturally: subtrees span contiguous vrank ranges, so a
 // variable-size gather/scatter still forwards one contiguous packed
 // region per child, exactly like the fair-block scatter inside the
-// scatter-allgather bcasts. These round out the library's MPI surface;
-// the paper's evaluation does not cover them.
+// scatter-allgather bcasts. Allgatherv/Reduce_scatterv ride the same
+// Schedule duality as their uniform cousins, and Alltoallv gets both the
+// linear exchange and a packed Bruck-style dissemination (Jocksch et al.,
+// arXiv:2006.13112, generalize these constructions; the paper's own
+// evaluation does not cover them).
 
-// checkCounts validates a per-rank byte-count vector.
+// checkCounts validates a per-rank byte-count vector: exactly p entries,
+// none negative, and a total that fits in int (offsets are prefix sums, so
+// an overflowing total would silently corrupt them).
 func checkCounts(p int, counts []int) (total int, err error) {
 	if len(counts) != p {
 		return 0, fmt.Errorf("%w: %d counts for %d ranks", ErrBadBuffer, len(counts), p)
@@ -23,9 +30,48 @@ func checkCounts(p int, counts []int) (total int, err error) {
 		if n < 0 {
 			return 0, fmt.Errorf("%w: negative count %d for rank %d", ErrBadBuffer, n, r)
 		}
+		if n > math.MaxInt-total {
+			return 0, fmt.Errorf("%w: count total overflows at rank %d", ErrBadBuffer, r)
+		}
 		total += n
 	}
 	return total, nil
+}
+
+// ScaleCounts converts a per-rank element-count vector into byte counts
+// for a datatype, rejecting any entry (or total) that would overflow int.
+// The gca-facing API takes element counts + datatype; offsets derived from
+// a wrapped total would be corrupt, so this is validated up front.
+func ScaleCounts(counts []int, t datatype.Type) ([]int, error) {
+	size := t.Size()
+	out := make([]int, len(counts))
+	total := 0
+	for i, n := range counts {
+		if n < 0 {
+			return nil, fmt.Errorf("%w: negative count %d for rank %d", ErrBadBuffer, n, i)
+		}
+		if n > math.MaxInt/size {
+			return nil, fmt.Errorf("%w: count %d overflows when scaled by %v size %d",
+				ErrBadBuffer, n, t, size)
+		}
+		b := n * size
+		if b > math.MaxInt-total {
+			return nil, fmt.Errorf("%w: count total overflows at rank %d", ErrBadBuffer, i)
+		}
+		total += b
+		out[i] = b
+	}
+	return out, nil
+}
+
+// prefixOffsets returns the p+1 exclusive prefix sums of counts (offsets of
+// rank blocks concatenated in index order).
+func prefixOffsets(counts []int) []int {
+	off := make([]int, len(counts)+1)
+	for i, n := range counts {
+		off[i+1] = off[i] + n
+	}
+	return off
 }
 
 // GathervKnomial gathers counts[r] bytes from every rank r into recvbuf at
@@ -76,7 +122,12 @@ func GathervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, r
 		hi := packedOff[ch.VRank+sz] - base
 		req, err := c.Irecv(absRank(ch.VRank, root, p), tagKnomial+2, packed[lo:hi])
 		if err != nil {
-			return err // earlier receives still target packed: leak it
+			// Settle the receives already posted (their errors are
+			// subsumed by the post failure), after which packed is
+			// quiescent and can go back to the pool.
+			_ = comm.WaitAll(reqs[:i]...)
+			scratch.Put(packed)
+			return err
 		}
 		reqs[i] = req
 	}
@@ -162,7 +213,12 @@ func ScattervKnomial(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, 
 		hi := packedOff[ch.VRank+sz] - base
 		req, err := c.Isend(absRank(ch.VRank, root, p), tagScatter+2, packed[lo:hi])
 		if err != nil {
-			return err // earlier sends may still read packed: leak it
+			// Settle the sends already posted (ignoring their errors),
+			// after which nothing can still read packed and it can go
+			// back to the pool instead of leaking to the GC.
+			_ = comm.WaitAll(reqs...)
+			scratch.Put(packed)
+			return err
 		}
 		reqs = append(reqs, req)
 	}
@@ -189,14 +245,338 @@ func AllgathervRing(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte) e
 	if len(recvbuf) != total {
 		return fmt.Errorf("%w: allgatherv recvbuf=%d, want %d", ErrBadBuffer, len(recvbuf), total)
 	}
-	off := make([]int, p+1)
-	for r := 0; r < p; r++ {
-		off[r+1] = off[r] + counts[r]
-	}
+	off := prefixOffsets(counts)
 	copy(recvbuf[off[me]:off[me+1]], sendbuf)
 	if p == 1 {
 		return nil
 	}
 	layout := func(b int) (int, int) { return off[b], counts[b] }
 	return RingSchedule(p).RunAllgather(c, recvbuf, layout, tagSched+2)
+}
+
+// AllgathervKnomialBruck is the latency-oriented allgatherv: a radix-k
+// Bruck dissemination in ⌈log_k p⌉ phases of k−1 concurrent exchanges.
+// Every rank keeps the blocks it holds packed in vrank order (its own
+// block first), so each exchange ships one contiguous prefix regardless of
+// how skewed the counts are; a final local rotation restores rank order.
+// The uniform-count k=2 case is Bruck's classic allgather.
+func AllgathervKnomialBruck(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, k int) error {
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	p := c.Size()
+	me := c.Rank()
+	total, err := checkCounts(p, counts)
+	if err != nil {
+		return err
+	}
+	if len(sendbuf) != counts[me] {
+		return fmt.Errorf("%w: allgatherv sendbuf=%d, counts[%d]=%d", ErrBadBuffer, len(sendbuf), me, counts[me])
+	}
+	if len(recvbuf) != total {
+		return fmt.Errorf("%w: allgatherv recvbuf=%d, want %d", ErrBadBuffer, len(recvbuf), total)
+	}
+	rankOff := prefixOffsets(counts)
+	if p == 1 {
+		copy(recvbuf, sendbuf)
+		return nil
+	}
+
+	// relOff[j] is the packed offset of the block from rank (me + j) mod p
+	// — the dissemination order. Any rank's packed layout is computable
+	// from the shared counts vector, which is how senders and receivers
+	// agree on message sizes without exchanging them.
+	relOff := make([]int, p+1)
+	for j := 0; j < p; j++ {
+		relOff[j+1] = relOff[j] + counts[(me+j)%p]
+	}
+	acc := scratch.Get(total)
+	copy(acc, sendbuf)
+
+	reqs := make([]comm.Request, 0, 2*(k-1))
+	for w := 1; w < p; w = minInt(p, w*k) {
+		// Phase invariant: acc[:relOff[w]] holds blocks me..me+w−1. Each
+		// sub-exchange j ships that prefix (truncated at p blocks total)
+		// to the rank j·w behind; the symmetric receive lands at the
+		// packed range for blocks me+j·w onward. Sends read the prefix
+		// while receives fill disjoint later ranges of acc.
+		reqs = reqs[:0]
+		for j := 1; j < k; j++ {
+			cnt := minInt(w, p-j*w)
+			if cnt <= 0 {
+				break
+			}
+			from := (me + j*w) % p
+			peerOff := relOff[j*w]
+			req, err := c.Irecv(from, tagVColl, acc[peerOff:relOff[j*w+cnt]])
+			if err != nil {
+				// Earlier posts may still target acc, and settling them here
+				// can deadlock when every rank fails the same phase (nobody
+				// has sent yet), so acc leaks to the GC — the convention of
+				// the schedule executors.
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for j := 1; j < k; j++ {
+			cnt := minInt(w, p-j*w)
+			if cnt <= 0 {
+				break
+			}
+			to := ((me-j*w)%p + p) % p
+			// The receiver's packed range for my blocks has my relOff
+			// prefix length: both sides derive it from counts.
+			req, err := c.Isend(to, tagVColl, acc[:relOff[cnt]])
+			if err != nil {
+				// Posted receives may still target acc; settling them can
+				// deadlock when every rank fails this phase's first send
+				// (no phase message was ever posted), so acc leaks.
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := comm.WaitAll(reqs...); err != nil {
+			scratch.Put(acc)
+			return err
+		}
+	}
+
+	// Rotate from dissemination order back to rank order.
+	for j := 0; j < p; j++ {
+		r := (me + j) % p
+		copy(recvbuf[rankOff[r]:rankOff[r+1]], acc[relOff[j]:relOff[j+1]])
+	}
+	scratch.Put(acc)
+	return nil
+}
+
+// ReduceScattervRing reduce-scatters the full vector sendbuf: rank r
+// receives the fully reduced counts[r]-byte block (rank blocks
+// concatenated in rank order) in recvbuf. It is the time-reversed
+// AllgathervRing — the same ring schedule run backwards with accumulation
+// — so the block layout is the caller's counts vector rather than the
+// fair split, and every count must be element-aligned so reductions never
+// split an element.
+func ReduceScattervRing(c comm.Comm, sendbuf []byte, counts []int, recvbuf []byte, op datatype.Op, dt datatype.Type) error {
+	p := c.Size()
+	me := c.Rank()
+	total, err := checkCounts(p, counts)
+	if err != nil {
+		return err
+	}
+	for r, n := range counts {
+		if n%dt.Size() != 0 {
+			return fmt.Errorf("%w: reduce-scatterv count %d for rank %d not a multiple of %v size %d",
+				ErrBadBuffer, n, r, dt, dt.Size())
+		}
+	}
+	if len(sendbuf) != total {
+		return fmt.Errorf("%w: reduce-scatterv sendbuf=%d, want %d", ErrBadBuffer, len(sendbuf), total)
+	}
+	if len(recvbuf) != counts[me] {
+		return fmt.Errorf("%w: reduce-scatterv recvbuf=%d, counts[%d]=%d", ErrBadBuffer, len(recvbuf), me, counts[me])
+	}
+	off := prefixOffsets(counts)
+	work := scratch.Get(total)
+	copy(work, sendbuf)
+	if p > 1 {
+		layout := func(b int) (int, int) { return off[b], counts[b] }
+		if err := RingSchedule(p).RunReduceScatter(c, work, layout, op, dt, tagSched+3); err != nil {
+			return err // posting-error paths may leave sends reading work: leak
+		}
+	}
+	copy(recvbuf, work[off[me]:off[me+1]])
+	scratch.Put(work)
+	return nil
+}
+
+// checkCountMatrix validates a p×p row-major byte-count matrix (entry
+// [i*p+j] is the bytes rank i sends to rank j) and returns its total.
+func checkCountMatrix(p int, m []int) (total int, err error) {
+	if len(m) != p*p {
+		return 0, fmt.Errorf("%w: %d matrix entries for %d ranks", ErrBadBuffer, len(m), p)
+	}
+	for i, n := range m {
+		if n < 0 {
+			return 0, fmt.Errorf("%w: negative count %d at matrix entry %d", ErrBadBuffer, n, i)
+		}
+		if n > math.MaxInt-total {
+			return 0, fmt.Errorf("%w: count total overflows at matrix entry %d", ErrBadBuffer, i)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// AlltoallvLinear posts every irregular send and receive at once, like
+// AlltoallLinear. sendcounts[q] is what this rank sends to q (sendbuf is
+// the dense rank-order concatenation); recvcounts[q] is what it receives
+// from q. Counts are local views — rank r's sendcounts[q] must equal rank
+// q's recvcounts[r].
+func AlltoallvLinear(c comm.Comm, sendbuf []byte, sendcounts []int, recvbuf []byte, recvcounts []int) error {
+	p := c.Size()
+	me := c.Rank()
+	sendTotal, err := checkCounts(p, sendcounts)
+	if err != nil {
+		return err
+	}
+	recvTotal, err := checkCounts(p, recvcounts)
+	if err != nil {
+		return err
+	}
+	if len(sendbuf) != sendTotal || len(recvbuf) != recvTotal {
+		return fmt.Errorf("%w: alltoallv sendbuf=%d want %d, recvbuf=%d want %d",
+			ErrBadBuffer, len(sendbuf), sendTotal, len(recvbuf), recvTotal)
+	}
+	soff := prefixOffsets(sendcounts)
+	roff := prefixOffsets(recvcounts)
+	copy(recvbuf[roff[me]:roff[me+1]], sendbuf[soff[me]:soff[me+1]])
+	reqs := make([]comm.Request, 0, 2*(p-1))
+	for q := 0; q < p; q++ {
+		if q == me {
+			continue
+		}
+		req, err := c.Irecv(q, tagVColl+1, recvbuf[roff[q]:roff[q+1]])
+		if err != nil {
+			// Earlier receives may still target recvbuf. Settling them here
+			// can deadlock when every rank fails before sending (the posted
+			// receives would wait on messages nobody posts), so the posts
+			// are left dangling and the caller must not reuse the buffers —
+			// the schedule executors' convention.
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	for q := 0; q < p; q++ {
+		if q == me {
+			continue
+		}
+		req, err := c.Isend(q, tagVColl+1, sendbuf[soff[q]:soff[q+1]])
+		if err != nil {
+			return err // posted receives may still target recvbuf: see above
+		}
+		reqs = append(reqs, req)
+	}
+	return comm.WaitAll(reqs...)
+}
+
+// AlltoallvBruck is the packed Bruck-style alltoallv: ⌈log2 p⌉ store-and-
+// forward rounds instead of p−1 direct exchanges, the small-message regime
+// where per-message latency dominates. It needs the full p×p count matrix
+// m (row-major, m[i*p+j] = bytes i sends to j): with variable sizes every
+// rank must compute the evolving slot sizes of every other rank to pack
+// and unpack the combined messages, which local count vectors cannot
+// provide. sendbuf is the dense concatenation of row me; recvbuf of column
+// me.
+func AlltoallvBruck(c comm.Comm, sendbuf []byte, m []int, recvbuf []byte) error {
+	p := c.Size()
+	me := c.Rank()
+	if _, err := checkCountMatrix(p, m); err != nil {
+		return err
+	}
+	sendTotal, recvTotal := 0, 0
+	for q := 0; q < p; q++ {
+		sendTotal += m[me*p+q]
+		recvTotal += m[q*p+me]
+	}
+	if len(sendbuf) != sendTotal || len(recvbuf) != recvTotal {
+		return fmt.Errorf("%w: alltoallv sendbuf=%d want %d, recvbuf=%d want %d",
+			ErrBadBuffer, len(sendbuf), sendTotal, len(recvbuf), recvTotal)
+	}
+	if p == 1 {
+		copy(recvbuf, sendbuf)
+		return nil
+	}
+
+	// Slot i holds the payload currently routed through this rank toward
+	// rank (me + i) mod p. After processing the set B of distance bits,
+	// slot i at rank r holds the payload (origin r − (i & B), destination
+	// origin + i) — so its size is m[origin*p + origin+i], computable by
+	// every rank at every round from the shared matrix.
+	originOf := func(i, bits int) int { return ((me-(i&bits))%p + p) % p }
+	slotSize := func(i, bits int) int {
+		o := originOf(i, bits)
+		return m[o*p+(o+i)%p]
+	}
+
+	srow := prefixOffsets(m[me*p : (me+1)*p])
+	tmpLen := 0
+	for i := 0; i < p; i++ {
+		tmpLen += slotSize(i, 0)
+	}
+	tmp := scratch.Get(tmpLen)
+	pos := 0
+	for i := 0; i < p; i++ {
+		dst := (me + i) % p
+		copy(tmp[pos:pos+m[me*p+dst]], sendbuf[srow[dst]:srow[dst+1]])
+		pos += m[me*p+dst]
+	}
+
+	bits := 0
+	for dist := 1; dist < p; dist <<= 1 {
+		// Slots with the dist bit set move to (me + dist); the incoming
+		// combined message from (me − dist) replaces them. Slot sizes
+		// change across the round, so the surviving slots are repacked
+		// into a fresh buffer sized for the new layout.
+		newBits := bits | dist
+		oldOff := make([]int, p+1)
+		newOff := make([]int, p+1)
+		outLen, inLen := 0, 0
+		for i := 0; i < p; i++ {
+			oldOff[i+1] = oldOff[i] + slotSize(i, bits)
+			newOff[i+1] = newOff[i] + slotSize(i, newBits)
+			if i&dist != 0 {
+				outLen += slotSize(i, bits)
+				inLen += slotSize(i, newBits)
+			}
+		}
+		out := scratch.Get(outLen)
+		in := scratch.Get(inLen)
+		next := scratch.Get(newOff[p])
+		pos := 0
+		for i := 0; i < p; i++ {
+			if i&dist != 0 {
+				copy(out[pos:], tmp[oldOff[i]:oldOff[i+1]])
+				pos += oldOff[i+1] - oldOff[i]
+			} else {
+				copy(next[newOff[i]:newOff[i+1]], tmp[oldOff[i]:oldOff[i+1]])
+			}
+		}
+		to := (me + dist) % p
+		from := ((me-dist)%p + p) % p
+		_, err := comm.SendRecv(c, to, out, from, in, tagVColl+2)
+		scratch.Put(out)
+		if err != nil {
+			scratch.Put(in)
+			scratch.Put(next)
+			scratch.Put(tmp)
+			return err
+		}
+		pos = 0
+		for i := 0; i < p; i++ {
+			if i&dist != 0 {
+				copy(next[newOff[i]:newOff[i+1]], in[pos:])
+				pos += newOff[i+1] - newOff[i]
+			}
+		}
+		scratch.Put(in)
+		scratch.Put(tmp)
+		tmp = next
+		bits = newBits
+	}
+
+	// Slot i now holds the payload from rank (me − i) destined to me.
+	rcol := make([]int, p+1)
+	for q := 0; q < p; q++ {
+		rcol[q+1] = rcol[q] + m[q*p+me]
+	}
+	pos = 0
+	for i := 0; i < p; i++ {
+		src := ((me-i)%p + p) % p
+		sz := m[src*p+me]
+		copy(recvbuf[rcol[src]:rcol[src]+sz], tmp[pos:pos+sz])
+		pos += sz
+	}
+	scratch.Put(tmp)
+	return nil
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+)
+
+// TestVCollSmallAllocs extends the alloc-regression gate to the
+// vector/irregular workload class: small skewed collectives on the mem
+// transport must keep their steady-state allocation counts pinned, so a
+// future change that drops the scratch-pool discipline (per-call staging
+// in Bruck's rounds, ring staging, alltoallv round buffers) shows up as a
+// gate failure, not a silent slowdown. The rings' bounds are dominated by
+// per-call schedule construction (as with allreduce_ring in
+// TestAllreduceSmallAllocs); the Bruck and linear variants stay an order
+// of magnitude lower because their staging rides the pool. The count
+// vectors are ragged with zeros — the shapes the pool actually has to
+// absorb.
+func TestVCollSmallAllocs(t *testing.T) {
+	skipIfPoisoning(t)
+	const p = 8
+	counts := make([]int, p)
+	for r := range counts {
+		counts[r] = ((r * 3) % 5) * 256 // ragged, zeros at r=0 and r=5
+	}
+	total := prefixOffsets(counts)[p]
+	m := make([]int, p*p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			m[i*p+j] = ((i*31 + j*17) % 5) * 64
+		}
+	}
+	rowTotals := func(r int) (st, rt int) {
+		for q := 0; q < p; q++ {
+			st += m[r*p+q]
+			rt += m[q*p+r]
+		}
+		return
+	}
+	for _, tc := range []struct {
+		name  string
+		bound float64
+		fns   func(r int) func(c comm.Comm) error
+	}{
+		{"allgatherv_ring", 700, func(r int) func(c comm.Comm) error {
+			sb, rb := make([]byte, counts[r]), make([]byte, total)
+			return func(c comm.Comm) error { return AllgathervRing(c, sb, counts, rb) }
+		}},
+		{"allgatherv_knomial_bruck_k2", 80, func(r int) func(c comm.Comm) error {
+			sb, rb := make([]byte, counts[r]), make([]byte, total)
+			return func(c comm.Comm) error { return AllgathervKnomialBruck(c, sb, counts, rb, 2) }
+		}},
+		{"reducescatterv_ring", 750, func(r int) func(c comm.Comm) error {
+			sb, rb := make([]byte, total), make([]byte, counts[r])
+			return func(c comm.Comm) error {
+				return ReduceScattervRing(c, sb, counts, rb, datatype.Sum, datatype.Float64)
+			}
+		}},
+		{"alltoallv_linear", 120, func(r int) func(c comm.Comm) error {
+			st, rt := rowTotals(r)
+			sb, rb := make([]byte, st), make([]byte, rt)
+			sc := m[r*p : (r+1)*p]
+			rc := make([]int, p)
+			for q := 0; q < p; q++ {
+				rc[q] = m[q*p+r]
+			}
+			return func(c comm.Comm) error { return AlltoallvLinear(c, sb, sc, rb, rc) }
+		}},
+		{"alltoallv_bruck", 100, func(r int) func(c comm.Comm) error {
+			st, rt := rowTotals(r)
+			sb, rb := make([]byte, st), make([]byte, rt)
+			return func(c comm.Comm) error { return AlltoallvBruck(c, sb, m, rb) }
+		}},
+		{"allreduce_gkz_k3", 60, func(r int) func(c comm.Comm) error {
+			sb, rb := make([]byte, total), make([]byte, total)
+			return func(c comm.Comm) error {
+				return AllreduceGeneralizedKZ(c, sb, rb, datatype.Sum, datatype.Float64, 3)
+			}
+		}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			lw := newLockstep(p)
+			fns := make([]func(c comm.Comm) error, p)
+			for r := 0; r < p; r++ {
+				fns[r] = tc.fns(r)
+			}
+			if avg := measureAllocs(t, lw, fns); avg > tc.bound {
+				t.Errorf("%s: %.1f allocs per collective, want <= %.0f", tc.name, avg, tc.bound)
+			}
+		})
+	}
+}

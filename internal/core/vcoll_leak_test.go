@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"exacoll/internal/buf"
+	"exacoll/internal/comm"
+	"exacoll/internal/datatype"
+	"exacoll/internal/transport/faulty"
+	"exacoll/internal/transport/mem"
+)
+
+// TestVCollCountOverflow covers the arithmetic guard rails: count vectors
+// and matrices whose totals (or datatype-scaled totals) overflow int must
+// be rejected with ErrBadBuffer before any offset is computed.
+func TestVCollCountOverflow(t *testing.T) {
+	huge := math.MaxInt/2 + 1
+	if _, err := checkCounts(2, []int{huge, huge}); !errors.Is(err, ErrBadBuffer) {
+		t.Errorf("checkCounts overflow: got %v, want ErrBadBuffer", err)
+	}
+	if _, err := checkCountMatrix(2, []int{1, huge, huge, 1}); !errors.Is(err, ErrBadBuffer) {
+		t.Errorf("checkCountMatrix overflow: got %v, want ErrBadBuffer", err)
+	}
+	// Element counts that fit in int but overflow when scaled by the
+	// datatype size — the gca-facing hazard.
+	if _, err := ScaleCounts([]int{math.MaxInt/8 + 1}, datatype.Float64); !errors.Is(err, ErrBadBuffer) {
+		t.Errorf("ScaleCounts per-entry overflow: got %v, want ErrBadBuffer", err)
+	}
+	if _, err := ScaleCounts([]int{math.MaxInt / 8, math.MaxInt / 8}, datatype.Float64); !errors.Is(err, ErrBadBuffer) {
+		t.Errorf("ScaleCounts total overflow: got %v, want ErrBadBuffer", err)
+	}
+	if out, err := ScaleCounts([]int{3, 0, 5}, datatype.Float64); err != nil ||
+		out[0] != 24 || out[1] != 0 || out[2] != 40 {
+		t.Errorf("ScaleCounts(3,0,5 × 8) = %v, %v", out, err)
+	}
+	// And through an algorithm entry point: the run must fail cleanly, not
+	// corrupt offsets.
+	w := mem.NewWorld(2)
+	defer w.Close()
+	err := w.Run(func(c comm.Comm) error {
+		if err := AllgathervRing(c, nil, []int{huge, huge}, nil); !errors.Is(err, ErrBadBuffer) {
+			return fmt.Errorf("allgatherv overflow: got %v, want ErrBadBuffer", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// errPostInjected marks a failure injected at Irecv post time — the path
+// the faulty transport cannot reach (it fails receives at completion).
+var errPostInjected = errors.New("vcoll_leak_test: injected Irecv post failure")
+
+// irecvPostFail fails every Irecv after the first n with an immediate post
+// error, the failure mode of a transport that cannot allocate or route the
+// receive (faulty injects receive errors only at completion, so this path
+// needs its own wrapper).
+type irecvPostFail struct {
+	comm.Comm
+	allowed atomic.Int64
+}
+
+func (f *irecvPostFail) Irecv(from int, tag comm.Tag, b []byte) (comm.Request, error) {
+	if f.allowed.Add(-1) < 0 {
+		return nil, errPostInjected
+	}
+	return f.Comm.Irecv(from, tag, b)
+}
+
+// leakStats runs fn and returns the scratch pool's outstanding-buffer
+// growth across it. The pool counters are process-global, so callers must
+// have quiesced every world before reading (tests here close their worlds
+// inside fn).
+func leakStats(fn func()) uint64 {
+	before := buf.Stats()
+	fn()
+	return buf.Stats().Outstanding() - before.Outstanding()
+}
+
+// TestGathervLeakOnIrecvPostError is the scratch-leak regression test for
+// GathervKnomial's receive-posting error path: when the i-th child Irecv
+// fails at post, the already-posted receives must be settled and the
+// packed staging buffer returned to the pool. Before the settle-then-Put
+// fix the buffer leaked (and with pool poisoning on, an unsettled receive
+// completing into a recycled buffer corrupts an unrelated collective).
+func TestGathervLeakOnIrecvPostError(t *testing.T) {
+	const p = 8
+	const root = 0
+	counts := vcounts(p)
+	total := prefixOffsets(counts)[p]
+	// Fail the root's 1st, 2nd, ... Irecv post: with k=2 the root has
+	// three children, so the sweep covers empty, partial, and full settle
+	// sets (the last budget succeeds outright).
+	for _, allow := range []int{0, 1, 2, 99} {
+		allow := allow
+		leaked := leakStats(func() {
+			w := mem.NewWorld(p)
+			defer w.Close()
+			err := w.Run(func(c comm.Comm) error {
+				if c.Rank() == root {
+					f := &irecvPostFail{Comm: c}
+					f.allowed.Store(int64(allow))
+					c = f
+				}
+				var recvbuf []byte
+				if c.Rank() == root {
+					recvbuf = make([]byte, total)
+				}
+				return GathervKnomial(c, rankPayload(c.Rank(), counts[c.Rank()]), counts, recvbuf, root, 2)
+			})
+			if allow >= 99 {
+				if err != nil {
+					t.Errorf("allow=%d: unexpected failure: %v", allow, err)
+				}
+			} else if !errors.Is(err, errPostInjected) && !errors.Is(err, comm.ErrClosed) {
+				t.Errorf("allow=%d: got %v, want injected post error", allow, err)
+			}
+		})
+		if leaked != 0 {
+			t.Errorf("allow=%d: %d scratch buffers leaked on Gatherv error path", allow, leaked)
+		}
+	}
+}
+
+// TestScattervLeakOnSendError is the matching regression for
+// ScattervKnomial's send-posting error path, driven by the faulty
+// transport's world-wide send budget: whichever rank's Isend post fails
+// must settle its posted sends and return the packed buffer. The sweep
+// moves the failure point across the tree; every world must come back
+// with zero outstanding pool buffers.
+func TestScattervLeakOnSendError(t *testing.T) {
+	const p = 8
+	const root = 0
+	counts := vcounts(p)
+	total := prefixOffsets(counts)[p]
+	for _, budget := range []int{0, 1, 2, 3, 5, 1 << 20} {
+		budget := budget
+		leaked := leakStats(func() {
+			w := mem.NewWorld(p)
+			defer w.Close()
+			b := faulty.NewBudget(budget)
+			err := w.Run(func(c comm.Comm) error {
+				fc := faulty.Wrap(c, b)
+				var sendbuf []byte
+				if c.Rank() == root {
+					sendbuf = rankPayload(99, total)
+				}
+				return ScattervKnomial(fc, sendbuf, counts, make([]byte, counts[c.Rank()]), root, 3)
+			})
+			if budget >= 1<<20 {
+				if err != nil {
+					t.Errorf("budget=%d: unexpected failure: %v", budget, err)
+				}
+			} else if err != nil && !errors.Is(err, faulty.ErrInjected) && !errors.Is(err, comm.ErrClosed) {
+				t.Errorf("budget=%d: unexpected error type: %v", budget, err)
+			}
+		})
+		if leaked != 0 {
+			t.Errorf("budget=%d: %d scratch buffers leaked on Scatterv error path", budget, leaked)
+		}
+	}
+}
+
+// TestAlltoallvBruckLeakOnError sweeps a send budget across the packed
+// Bruck alltoallv, asserting the same pool invariant: its rounds move
+// data with blocking SendRecv (quiescent on return by contract), so
+// unlike the nonblocking symmetric algorithms — which must leak on a
+// post error to avoid the all-ranks-settling deadlock — every one of its
+// error paths can and must hand all four round buffers back.
+func TestAlltoallvBruckLeakOnError(t *testing.T) {
+	const p = 6
+	m := make([]int, p*p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			m[i*p+j] = (i*31 + j*17) % 41
+		}
+	}
+	for _, budget := range []int{0, 1, 3, 7, 1 << 20} {
+		budget := budget
+		leaked := leakStats(func() {
+			w := mem.NewWorld(p)
+			defer w.Close()
+			b := faulty.NewBudget(budget)
+			err := w.Run(func(c comm.Comm) error {
+				me := c.Rank()
+				sendTotal, recvTotal := 0, 0
+				for q := 0; q < p; q++ {
+					sendTotal += m[me*p+q]
+					recvTotal += m[q*p+me]
+				}
+				return AlltoallvBruck(faulty.Wrap(c, b), rankPayload(me, sendTotal), m, make([]byte, recvTotal))
+			})
+			if budget >= 1<<20 && err != nil {
+				t.Errorf("budget=%d: unexpected failure: %v", budget, err)
+			}
+			if err != nil && !errors.Is(err, faulty.ErrInjected) && !errors.Is(err, comm.ErrClosed) {
+				t.Errorf("budget=%d: unexpected error type: %v", budget, err)
+			}
+		})
+		if leaked != 0 {
+			t.Errorf("budget=%d: %d scratch buffers leaked", budget, leaked)
+		}
+	}
+}

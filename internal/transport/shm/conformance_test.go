@@ -23,6 +23,15 @@ func TestTableIConformance(t *testing.T) {
 	})
 }
 
+// TestVCollConformance runs the skewed-size vector-collective matrix
+// (ragged and zero-count vectors, one-hot skew, int64 and float64) over
+// shared-memory rings against the mem reference.
+func TestVCollConformance(t *testing.T) {
+	transporttest.RunVColl(t, func(t *testing.T, p int) transporttest.World {
+		return shm.NewWorld(p)
+	})
+}
+
 // TestKillMidCollective: a rank fail-stops while a collective is in
 // flight. Every survivor's collective must surface ErrPeerDead — no
 // hangs, no wrong answers silently delivered — and the outcome must be

@@ -52,25 +52,40 @@ func TestTableIConformanceStriped(t *testing.T) {
 	if testing.Short() {
 		t.Skip("striped conformance is the long-haul suite; covered by the shm/mem matrix in -short")
 	}
-	transporttest.RunTableI(t, func(t *testing.T, p int) transporttest.World {
-		addr := freeAddrT(t)
-		opts := tcp.Options{Timeout: 20 * time.Second, Stripes: 4, StripeThreshold: 1 << 10}
-		procs := make([]*tcp.Proc, p)
-		errs := make([]error, p)
-		var wg sync.WaitGroup
-		for r := 0; r < p; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
-				procs[r], errs[r] = tcp.Rendezvous(r, p, addr, opts)
-			}(r)
+	transporttest.RunTableI(t, stripedFactory)
+}
+
+// stripedFactory builds a 4-stripe loopback mesh with a 1 KiB striping
+// threshold — the configuration both conformance matrices run against.
+func stripedFactory(t *testing.T, p int) transporttest.World {
+	addr := freeAddrT(t)
+	opts := tcp.Options{Timeout: 20 * time.Second, Stripes: 4, StripeThreshold: 1 << 10}
+	procs := make([]*tcp.Proc, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			procs[r], errs[r] = tcp.Rendezvous(r, p, addr, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d rendezvous: %v", r, err)
 		}
-		wg.Wait()
-		for r, err := range errs {
-			if err != nil {
-				t.Fatalf("rank %d rendezvous: %v", r, err)
-			}
-		}
-		return &stripedTCPWorld{procs: procs}
-	})
+	}
+	return &stripedTCPWorld{procs: procs}
+}
+
+// TestVCollConformanceStriped runs the skewed-size vector-collective
+// matrix over the same striped mesh: the 1032-byte unit blocks straddle
+// the striping threshold, so ragged per-rank payloads mix striped and
+// unstriped messages within a single collective.
+func TestVCollConformanceStriped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("striped conformance is the long-haul suite; covered by the shm/mem matrix in -short")
+	}
+	transporttest.RunVColl(t, stripedFactory)
 }

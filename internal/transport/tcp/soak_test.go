@@ -147,6 +147,91 @@ func runVerified(c comm.Comm, alg *core.Algorithm, n, root, k int) error {
 				return fmt.Errorf("alltoall block %d mismatch", src)
 			}
 		}
+	case core.OpAllgatherv:
+		counts := make([]int, p)
+		total := 0
+		for r := range counts {
+			counts[r] = ((r*37 + 1) % 5) * n
+			total += counts[r]
+		}
+		a.Counts = counts
+		a.SendBuf = bytes.Repeat(pattern(me), (counts[me]+n-1)/n+1)[:counts[me]]
+		a.RecvBuf = make([]byte, total)
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		pos := 0
+		for r := 0; r < p; r++ {
+			want := bytes.Repeat(pattern(r), (counts[r]+n-1)/n+1)[:counts[r]]
+			if !bytes.Equal(a.RecvBuf[pos:pos+counts[r]], want) {
+				return fmt.Errorf("allgatherv block %d mismatch", r)
+			}
+			pos += counts[r]
+		}
+	case core.OpReduceScatterv:
+		counts := make([]int, p)
+		total := 0
+		for r := range counts {
+			counts[r] = ((r*37 + 1) % 5) * n
+			total += counts[r]
+		}
+		a.Counts = counts
+		fullElems := total / 8
+		full := func(r int) []float64 {
+			v := make([]float64, fullElems)
+			for i := range v {
+				v[i] = float64((r + 2) * (i%31 + 1))
+			}
+			return v
+		}
+		fullSum := make([]float64, fullElems)
+		for r := 0; r < p; r++ {
+			for i, x := range full(r) {
+				fullSum[i] += x
+			}
+		}
+		a.SendBuf = datatype.EncodeFloat64(full(me))
+		a.RecvBuf = make([]byte, counts[me])
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		off := 0
+		for r := 0; r < me; r++ {
+			off += counts[r]
+		}
+		want := datatype.EncodeFloat64(fullSum)[off : off+counts[me]]
+		if !bytes.Equal(a.RecvBuf, want) {
+			return fmt.Errorf("reduce-scatterv mismatch")
+		}
+	case core.OpAlltoallv:
+		m := make([]int, p*p)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				m[i*p+j] = ((i*31 + j*17 + 1) % 5) * n
+			}
+		}
+		a.Counts = m
+		blk := func(i, j int) []byte {
+			sz := m[i*p+j]
+			return bytes.Repeat(pattern(i*100+j), (sz+n-1)/n+1)[:sz]
+		}
+		recvTotal := 0
+		for q := 0; q < p; q++ {
+			a.SendBuf = append(a.SendBuf, blk(me, q)...)
+			recvTotal += m[q*p+me]
+		}
+		a.RecvBuf = make([]byte, recvTotal)
+		if err := alg.Run(c, a); err != nil {
+			return err
+		}
+		pos := 0
+		for src := 0; src < p; src++ {
+			sz := m[src*p+me]
+			if !bytes.Equal(a.RecvBuf[pos:pos+sz], blk(src, me)) {
+				return fmt.Errorf("alltoallv block %d mismatch", src)
+			}
+			pos += sz
+		}
 	}
 	return nil
 }

@@ -1,0 +1,17 @@
+package transporttest
+
+import (
+	"testing"
+
+	"exacoll/internal/transport/mem"
+)
+
+// TestVCollMem runs the skewed-size matrix with mem as both candidate
+// and reference: a self-check that every (algorithm, distribution, unit,
+// datatype) combination the harness generates is well-formed and
+// deterministic on the reference substrate itself.
+func TestVCollMem(t *testing.T) {
+	RunVColl(t, func(t *testing.T, p int) World {
+		return memWorld{mem.NewWorld(p)}
+	})
+}

@@ -90,6 +90,21 @@ func Recommended(spec machine.Spec, p int) *Table {
 	t.Ops[core.OpScan.String()] = []Entry{
 		{Alg: "scan_hillissteele"},
 	}
+	// Vector collectives select on the shared total of the count vector
+	// (core.SelectionSize), so skew never splits the ranks' choices: the
+	// Bruck dissemination wins while latency dominates, the ring and the
+	// linear exchange win once the aggregate payload is bandwidth-bound.
+	t.Ops[core.OpAllgatherv.String()] = []Entry{
+		{MaxBytes: 256 << 10, Alg: "allgatherv_knomial_bruck", K: kMid},
+		{Alg: "allgatherv_ring"},
+	}
+	t.Ops[core.OpReduceScatterv.String()] = []Entry{
+		{Alg: "reducescatterv_ring"},
+	}
+	t.Ops[core.OpAlltoallv.String()] = []Entry{
+		{MaxBytes: 8 << 10, Alg: "alltoallv_bruck"},
+		{Alg: "alltoallv_linear"},
+	}
 	return t
 }
 
